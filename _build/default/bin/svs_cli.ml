@@ -1,0 +1,168 @@
+(* Command-line driver for the SVS evaluation: regenerate any table or
+   figure of the paper with custom workload, seed and parameters. *)
+
+open Cmdliner
+module E = Svs_experiments
+
+let ppf = Format.std_formatter
+
+(* --- common options --- *)
+
+let workload =
+  let parse = function
+    | "synthetic" -> Ok E.Spec.Synthetic
+    | "arena" -> Ok E.Spec.Arena
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S (synthetic|arena)" s))
+  in
+  let print ppf w = E.Spec.pp_workload ppf w in
+  Arg.conv (parse, print)
+
+let spec_term =
+  let workload_arg =
+    Arg.(
+      value
+      & opt workload E.Spec.Synthetic
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload: $(b,synthetic) (calibrated generator) or $(b,arena) (game).")
+  in
+  let seed =
+    Arg.(value & opt int 2002 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 11696
+      & info [ "rounds" ] ~docv:"N" ~doc:"Trace length in game rounds (paper: 11696).")
+  in
+  let make workload seed rounds = { E.Spec.default with workload; seed; rounds } in
+  Term.(const make $ workload_arg $ seed $ rounds)
+
+let csv_term =
+  Arg.(
+    value & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the series as CSV to $(docv).")
+
+let write_csv path series ~x_label =
+  let oc = open_out path in
+  output_string oc (Svs_stats.Series.to_csv ~x_label series);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let buffer_term =
+  Arg.(
+    value & opt int 15
+    & info [ "b"; "buffer" ] ~docv:"MSGS" ~doc:"Protocol buffer size in messages.")
+
+(* --- commands --- *)
+
+let cmd name ~doc run = Cmd.v (Cmd.info name ~doc) run
+
+let t1 =
+  cmd "t1" ~doc:"Session statistics of §5.2 (paper vs measured)."
+    Term.(const (fun spec -> E.Table_stats.print ~spec ppf ()) $ spec_term)
+
+let fig3a =
+  cmd "fig3a" ~doc:"Figure 3(a): frequency of item modifications by rank."
+    Term.(
+      const (fun spec csv ->
+          let series = [ E.Fig3.fig3a ~spec () ] in
+          Svs_stats.Series.render ~x_label:"item rank" ~y_format:(Printf.sprintf "%.2f") ppf
+            series;
+          Option.iter (fun path -> write_csv path series ~x_label:"item rank") csv)
+      $ spec_term $ csv_term)
+
+let fig3b =
+  cmd "fig3b" ~doc:"Figure 3(b): obsolescence distance distribution."
+    Term.(
+      const (fun spec csv ->
+          let series = [ E.Fig3.fig3b ~spec () ] in
+          Svs_stats.Series.render ~x_label:"distance" ~y_format:(Printf.sprintf "%.2f") ppf
+            series;
+          Option.iter (fun path -> write_csv path series ~x_label:"distance") csv)
+      $ spec_term $ csv_term)
+
+let fig4 =
+  cmd "fig4" ~doc:"Figure 4: producer idle % and buffer occupancy vs consumer rate."
+    Term.(
+      const (fun spec buffer csv ->
+          E.Fig4.print ~spec ~buffer ppf ();
+          Option.iter
+            (fun path ->
+              let points = E.Fig4.sweep ~spec ~buffer () in
+              write_csv (path ^ ".idle.csv") (E.Fig4.fig4a points) ~x_label:"consumer_msgs";
+              write_csv (path ^ ".occupancy.csv") (E.Fig4.fig4b points)
+                ~x_label:"consumer_msgs")
+            csv)
+      $ spec_term $ buffer_term $ csv_term)
+
+let fig5 =
+  cmd "fig5" ~doc:"Figure 5: threshold rate and tolerated perturbation vs buffer size."
+    Term.(
+      const (fun spec csv ->
+          E.Fig5.print ~spec ppf ();
+          Option.iter
+            (fun path ->
+              let data = E.Fig5.sweep ~spec () in
+              write_csv (path ^ ".threshold.csv") (E.Fig5.fig5a data) ~x_label:"buffer";
+              write_csv (path ^ ".perturbation.csv") (E.Fig5.fig5b data) ~x_label:"buffer")
+            csv)
+      $ spec_term $ csv_term)
+
+let v1 =
+  cmd "viewlat" ~doc:"V1: view-change flush cost and latency, reliable vs semantic."
+    Term.(const (fun spec -> E.View_latency.print ~spec ppf ()) $ spec_term)
+
+let a1 =
+  cmd "ablation" ~doc:"A1: obsolescence-encoding ablation (tagging/enumeration/k-enum)."
+    Term.(const (fun spec -> E.Ablation.print ~spec ppf ()) $ spec_term)
+
+let a2 =
+  cmd "protocol" ~doc:"A2: full-protocol validation of the Figure 4(a) shape."
+    Term.(const (fun spec -> E.Protocol_pipeline.print ~spec ppf ()) $ spec_term)
+
+let a34 =
+  cmd "alternatives" ~doc:"A3/A4: exclusion / big buffers / deadline drop / SVS comparison."
+    Term.(const (fun spec -> E.Alternatives.print ~spec ppf ()) $ spec_term)
+
+let a5 =
+  cmd "lastresort" ~doc:"A5: overflow exclusion — purging first, expulsion when not enough."
+    Term.(const (fun spec -> E.Last_resort.print ~spec ppf ()) $ spec_term)
+
+let a6 =
+  cmd "scaling" ~doc:"A6: player-count scaling of the game workload."
+    Term.(const (fun (_ : E.Spec.t) -> E.Scaling.print ppf ()) $ spec_term)
+
+let claims =
+  cmd "claims" ~doc:"Evaluate every qualitative paper claim against fresh measurements."
+    Term.(const (fun spec -> E.Claims.print ~spec ppf ()) $ spec_term)
+
+let all =
+  cmd "all" ~doc:"Run the complete evaluation (every table and figure)."
+    Term.(
+      const (fun spec ->
+          E.Table_stats.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Fig3.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Fig4.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Fig5.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.View_latency.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Ablation.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Protocol_pipeline.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Alternatives.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Last_resort.print ~spec ppf ();
+          Format.fprintf ppf "@.";
+          E.Scaling.print ppf ())
+      $ spec_term)
+
+let main =
+  let doc = "Semantic View Synchrony (DSN 2002) evaluation driver" in
+  let info = Cmd.info "svs_cli" ~version:"1.0.0" ~doc in
+  Cmd.group info [ t1; fig3a; fig3b; fig4; fig5; v1; a1; a2; a34; a5; a6; claims; all ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,156 @@
+(* Run a live SVS group member over TCP.
+
+   Start one process per member, e.g. in three terminals:
+
+     svs_node --me 0 --peer 0:127.0.0.1:7100 --peer 1:127.0.0.1:7101 \
+              --peer 2:127.0.0.1:7102 --publish 4 --rate 50
+     svs_node --me 1 --peer 0:127.0.0.1:7100 --peer 1:127.0.0.1:7101 \
+              --peer 2:127.0.0.1:7102
+     svs_node --me 2 --peer 0:127.0.0.1:7100 --peer 1:127.0.0.1:7101 \
+              --peer 2:127.0.0.1:7102 --consume-rate 10
+
+   The publisher multicasts tagged item updates; every member prints
+   what it delivers and each view change. Kill a member and watch the
+   survivors agree on the next view; slow a member down (low
+   --consume-rate) and watch obsolete updates being purged instead of
+   stalling the group. *)
+
+open Cmdliner
+module Loop = Svs_rt.Loop
+module Node = Svs_rt.Node
+module Tcp_mesh = Svs_rt.Tcp_mesh
+module Types = Svs_core.Types
+module View = Svs_core.View
+module Wire_codec = Svs_core.Wire_codec
+module Annotation = Svs_obs.Annotation
+
+let payload_codec = Wire_codec.pair_codec Wire_codec.int_codec Wire_codec.int_codec
+
+let parse_peer s =
+  match String.split_on_char ':' s with
+  | [ id; host; port ] -> (
+      match (int_of_string_opt id, int_of_string_opt port) with
+      | Some id, Some port -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> Error (`Msg ("no address for " ^ host))
+          | { Unix.h_addr_list; _ } -> Ok (id, Unix.ADDR_INET (h_addr_list.(0), port))
+          | exception Not_found -> Error (`Msg ("unknown host " ^ host)))
+      | _ -> Error (`Msg ("bad peer spec: " ^ s)))
+  | _ -> Error (`Msg ("peer spec must be id:host:port, got " ^ s))
+
+let peer_conv =
+  Arg.conv
+    ( parse_peer,
+      fun ppf (id, addr) ->
+        match addr with
+        | Unix.ADDR_INET (a, p) ->
+            Format.fprintf ppf "%d:%s:%d" id (Unix.string_of_inet_addr a) p
+        | Unix.ADDR_UNIX path -> Format.fprintf ppf "%d:unix:%s" id path )
+
+let run me peers publish rate consume_rate duration reliable verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  if peers = [] then `Error (false, "at least one --peer required")
+  else if not (List.mem_assoc me peers) then
+    `Error (false, Printf.sprintf "--me %d has no --peer entry" me)
+  else begin
+    let loop = Loop.create () in
+    let listen_addr = List.assoc me peers in
+    let listen_fd, _ = Tcp_mesh.listener listen_addr in
+    let config = { Node.default_config with semantic = not reliable } in
+    let delivered = ref 0 in
+    let node = Node.create loop ~me ~listen_fd ~peers ~payload_codec ~config () in
+    (* Deliveries are pulled at the consumption rate (a slow consumer
+       is simulated by a low --consume-rate); unconsumed messages stay
+       in the protocol buffers where they remain purgeable. *)
+    let consume () =
+      match Node.deliver node with
+      | None -> ()
+      | Some (Types.Data d) ->
+          incr delivered;
+          let item, v = d.Types.payload in
+          Format.printf "[%d] item %d = %d@." me item v
+      | Some (Types.View_change v) -> Format.printf "[%d] *** new view %a ***@." me View.pp v
+    in
+    (match consume_rate with
+    | None ->
+        ignore
+          (Loop.every loop ~period:0.01 (fun () ->
+               while Node.pending node > 0 do
+                 consume ()
+               done;
+               true)
+            : Loop.timer)
+    | Some r ->
+        ignore
+          (Loop.every loop ~period:(1.0 /. float_of_int r) (fun () ->
+               consume ();
+               true)
+            : Loop.timer));
+    (match publish with
+    | None -> ()
+    | Some items ->
+        let counter = ref 0 in
+        ignore
+          (Loop.every loop ~period:(1.0 /. float_of_int rate) (fun () ->
+               incr counter;
+               let item = !counter mod items in
+               (match Node.multicast node ~ann:(Annotation.Tag item) (item, !counter) with
+               | Ok _ -> ()
+               | Error `Blocked -> ()
+               | Error `Not_member -> Format.printf "[%d] no longer a member@." me);
+               true)
+            : Loop.timer));
+    (match duration with
+    | None -> ()
+    | Some seconds -> ignore (Loop.after loop ~delay:seconds (fun () -> Loop.stop loop)));
+    Format.printf "[%d] up; initial view %a@." me View.pp (Node.view node);
+    Loop.run loop;
+    Format.printf "[%d] done: delivered=%d purged=%d final view %a@." me !delivered
+      (Node.purged node) View.pp (Node.view node);
+    Node.shutdown node;
+    `Ok ()
+  end
+
+let cmd =
+  let me =
+    Arg.(required & opt (some int) None & info [ "me" ] ~docv:"ID" ~doc:"This member's id.")
+  in
+  let peers =
+    Arg.(
+      value & opt_all peer_conv []
+      & info [ "peer" ] ~docv:"ID:HOST:PORT" ~doc:"A group member (repeat for each).")
+  in
+  let publish =
+    Arg.(
+      value & opt (some int) None
+      & info [ "publish" ] ~docv:"ITEMS" ~doc:"Publish tagged updates over this many items.")
+  in
+  let rate =
+    Arg.(value & opt int 20 & info [ "rate" ] ~docv:"MSG/S" ~doc:"Publish rate.")
+  in
+  let consume_rate =
+    Arg.(
+      value & opt (some int) None
+      & info [ "consume-rate" ] ~docv:"MSG/S"
+          ~doc:"Throttle local delivery (simulates a slow member).")
+  in
+  let duration =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Exit after this long (default: run forever).")
+  in
+  let reliable =
+    Arg.(value & flag & info [ "reliable" ] ~doc:"Disable purging (plain view synchrony).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Protocol debug logging.")
+  in
+  Cmd.v
+    (Cmd.info "svs_node" ~version:"1.0.0" ~doc:"Run a live SVS group member over TCP")
+    Term.(
+      ret (const run $ me $ peers $ publish $ rate $ consume_rate $ duration $ reliable $ verbose))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/game_replication.ml: Format List Svs_core Svs_game Svs_net Svs_replication Svs_sim

@@ -1,0 +1,1 @@
+examples/monitoring.ml: Array Format List Svs_core Svs_net Svs_obs Svs_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Svs_core Svs_net Svs_obs Svs_sim

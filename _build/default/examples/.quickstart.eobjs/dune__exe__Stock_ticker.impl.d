@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Array Float Format Fun List Printf Svs_net Svs_obs Svs_order Svs_sim

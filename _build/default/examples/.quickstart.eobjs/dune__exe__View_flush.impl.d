@@ -1,0 +1,1 @@
+examples/view_flush.ml: Format Stdlib Svs_experiments

@@ -1,0 +1,141 @@
+exception Truncated
+
+exception Malformed of string
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(initial_capacity = 64) () = Buffer.create initial_capacity
+
+  let length = Buffer.length
+
+  let contents = Buffer.contents
+
+  let uint8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.Writer.uint8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let varint t v =
+    if v < 0 then invalid_arg "Codec.Writer.varint: negative value";
+    let rec go v =
+      if v < 0x80 then Buffer.add_char t (Char.chr v)
+      else begin
+        Buffer.add_char t (Char.chr (0x80 lor (v land 0x7F)));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let zigzag t v =
+    (* The zigzag image of extreme ints can set the top bit, which
+       looks negative: emit it as a raw 63-bit pattern with logical
+       shifts rather than through the non-negative [varint]. *)
+    let u = (v lsl 1) lxor (v asr (Sys.int_size - 1)) in
+    let rec go u =
+      if u land lnot 0x7F = 0 then Buffer.add_char t (Char.chr (u land 0x7F))
+      else begin
+        Buffer.add_char t (Char.chr (0x80 lor (u land 0x7F)));
+        go (u lsr 7)
+      end
+    in
+    go u
+
+  let float64 t v =
+    let bits = Int64.bits_of_float v in
+    for i = 0 to 7 do
+      Buffer.add_char t
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+    done
+
+  let bool t v = uint8 t (if v then 1 else 0)
+
+  let bytes t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let raw t s = Buffer.add_string t s
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter (f t) xs
+
+  let option t f = function
+    | None -> bool t false
+    | Some x ->
+        bool t true;
+        f t x
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let remaining t = String.length t.data - t.pos
+
+  let eof t = remaining t = 0
+
+  let take t n =
+    if remaining t < n then raise Truncated;
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let uint8 t =
+    if remaining t < 1 then raise Truncated;
+    let c = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let varint t =
+    let rec go shift acc =
+      if shift > Sys.int_size - 1 then raise (Malformed "varint too long");
+      let b = uint8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let zigzag t =
+    let v = varint t in
+    (v lsr 1) lxor (-(v land 1))
+
+  let float64 t =
+    let s = take t 8 in
+    let bits = ref 0L in
+    for i = 7 downto 0 do
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[i]))
+    done;
+    Int64.float_of_bits !bits
+
+  let bool t =
+    match uint8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Malformed (Printf.sprintf "bool byte %d" n))
+
+  let bytes t =
+    let n = varint t in
+    take t n
+
+  let raw t n = take t n
+
+  let list t f =
+    let n = varint t in
+    if n < 0 then raise (Malformed "negative list length");
+    (* Elements must be decoded left to right. *)
+    let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (f t :: acc) in
+    go n []
+
+  let option t f = if bool t then Some (f t) else None
+end
+
+let round_trip ~write ~read v =
+  let w = Writer.create () in
+  write w v;
+  read (Reader.of_string (Writer.contents w))
+
+let encoded_size ~write v =
+  let w = Writer.create () in
+  write w v;
+  Writer.length w

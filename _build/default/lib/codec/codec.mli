@@ -1,0 +1,84 @@
+(** Binary wire codec primitives.
+
+    A small, dependency-free serialization layer: little-endian fixed
+    integers, LEB128 varints (with zigzag for signed values), floats,
+    strings and byte blobs. Used by [Svs_core.Wire_codec] to give every
+    protocol message a concrete wire size — which in turn drives the
+    bandwidth-aware network model — and usable by applications for
+    their payloads.
+
+    Readers raise {!Truncated} on short input and {!Malformed} on
+    invalid encodings; writers never fail. *)
+
+exception Truncated
+
+exception Malformed of string
+
+module Writer : sig
+  type t
+
+  val create : ?initial_capacity:int -> unit -> t
+
+  val length : t -> int
+
+  val contents : t -> string
+
+  val uint8 : t -> int -> unit
+  (** Must fit a byte. *)
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; the value must be non-negative. *)
+
+  val zigzag : t -> int -> unit
+  (** Signed varint (zigzag). *)
+
+  val float64 : t -> float -> unit
+  (** IEEE-754 binary64, little endian. *)
+
+  val bool : t -> bool -> unit
+
+  val bytes : t -> string -> unit
+  (** Length-prefixed blob. *)
+
+  val raw : t -> string -> unit
+  (** Unprefixed raw bytes (reader must know the length). *)
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** Length-prefixed sequence. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+
+  val remaining : t -> int
+
+  val eof : t -> bool
+
+  val uint8 : t -> int
+
+  val varint : t -> int
+
+  val zigzag : t -> int
+
+  val float64 : t -> float
+
+  val bool : t -> bool
+
+  val bytes : t -> string
+
+  val raw : t -> int -> string
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val option : t -> (t -> 'a) -> 'a option
+end
+
+val round_trip : write:(Writer.t -> 'a -> unit) -> read:(Reader.t -> 'a) -> 'a -> 'a
+(** Encode then decode (for tests). *)
+
+val encoded_size : write:(Writer.t -> 'a -> unit) -> 'a -> int
+(** Size in bytes of the encoding, without materialising consumers. *)

@@ -1,0 +1,1 @@
+lib/consensus/arbiter.ml: Hashtbl List Svs_sim

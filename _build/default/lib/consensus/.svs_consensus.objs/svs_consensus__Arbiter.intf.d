@@ -1,0 +1,1 @@
+lib/consensus/arbiter.mli: Svs_sim

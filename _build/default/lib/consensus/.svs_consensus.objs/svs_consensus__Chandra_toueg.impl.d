@@ -1,0 +1,1 @@
+lib/consensus/chandra_toueg.ml: Array Format Hashtbl List Printf Svs_codec Svs_sim

@@ -1,0 +1,1 @@
+lib/consensus/chandra_toueg.mli: Format Svs_codec Svs_sim

@@ -1,0 +1,60 @@
+module Engine = Svs_sim.Engine
+
+type 'v instance_state = {
+  mutable proposals : (int * 'v) list;
+  mutable decision : 'v option;
+}
+
+type 'v t = {
+  engine : Engine.t;
+  mutable members : int list;
+  quorum : int;
+  decision_delay : float;
+  deliver : dst:int -> instance:int -> 'v -> unit;
+  instances : (int, 'v instance_state) Hashtbl.t;
+}
+
+let create engine ~members ?quorum ?(decision_delay = 0.0) ~deliver () =
+  if members = [] then invalid_arg "Arbiter.create: empty membership";
+  let quorum =
+    match quorum with
+    | Some q ->
+        if q <= 0 || q > List.length members then invalid_arg "Arbiter.create: bad quorum";
+        q
+    | None -> (List.length members / 2) + 1
+  in
+  { engine; members; quorum; decision_delay; deliver; instances = Hashtbl.create 7 }
+
+let state t instance =
+  match Hashtbl.find_opt t.instances instance with
+  | Some st -> st
+  | None ->
+      let st = { proposals = []; decision = None } in
+      Hashtbl.replace t.instances instance st;
+      st
+
+let propose t ~instance ~from v =
+  let st = state t instance in
+  if st.decision = None && not (List.mem_assoc from st.proposals) then begin
+    st.proposals <- (from, v) :: st.proposals;
+    if List.length st.proposals >= t.quorum then begin
+      let from_min, value =
+        List.fold_left
+          (fun (best_p, best_v) (p, v) -> if p < best_p then (p, v) else (best_p, best_v))
+          (List.hd st.proposals) (List.tl st.proposals)
+      in
+      ignore from_min;
+      st.decision <- Some value;
+      let notify () =
+        List.iter (fun dst -> t.deliver ~dst ~instance value) t.members
+      in
+      ignore (Engine.schedule t.engine ~delay:t.decision_delay notify : Engine.handle)
+    end
+  end
+
+let remove_member t p = t.members <- List.filter (fun q -> q <> p) t.members
+
+let decided t ~instance =
+  match Hashtbl.find_opt t.instances instance with
+  | None -> false
+  | Some st -> st.decision <> None

@@ -1,0 +1,33 @@
+(** Centralised consensus arbiter for simulations where consensus is
+    not the component under study.
+
+    The arbiter is an omniscient simulation object (not a distributed
+    protocol): members hand it proposals; once a quorum (majority by
+    default) of proposals for an instance has arrived it decides the
+    proposal of the lowest-numbered proposer and delivers the decision
+    to every member after a configurable delay. It trivially satisfies
+    validity, agreement and (given a live quorum) termination, so
+    experiments that embed it measure only the view-change protocol
+    above it. *)
+
+type 'v t
+
+val create :
+  Svs_sim.Engine.t ->
+  members:int list ->
+  ?quorum:int ->
+  ?decision_delay:float ->
+  deliver:(dst:int -> instance:int -> 'v -> unit) ->
+  unit ->
+  'v t
+(** [quorum] defaults to a majority of [members]; [decision_delay]
+    (default 0) is the virtual time between quorum and delivery. *)
+
+val propose : 'v t -> instance:int -> from:int -> 'v -> unit
+(** Duplicate proposals from the same member are ignored. *)
+
+val remove_member : 'v t -> int -> unit
+(** Crashed members no longer receive decisions (already-counted
+    proposals remain). *)
+
+val decided : 'v t -> instance:int -> bool

@@ -1,0 +1,263 @@
+module Engine = Svs_sim.Engine
+
+type 'v msg =
+  | Estimate of { round : int; est : 'v; ts : int }
+  | Proposal of { round : int; value : 'v }
+  | Reply of { round : int; ack : bool }
+  | Decide of { value : 'v }
+
+let pp_msg pp_v ppf = function
+  | Estimate { round; est; ts } ->
+      Format.fprintf ppf "ESTIMATE(r=%d,ts=%d,%a)" round ts pp_v est
+  | Proposal { round; value } -> Format.fprintf ppf "PROPOSE(r=%d,%a)" round pp_v value
+  | Reply { round; ack } -> Format.fprintf ppf "REPLY(r=%d,%s)" round (if ack then "ack" else "nack")
+  | Decide { value } -> Format.fprintf ppf "DECIDE(%a)" pp_v value
+
+module Cw = Svs_codec.Codec.Writer
+module Cr = Svs_codec.Codec.Reader
+
+let write_msg write_v w = function
+  | Estimate { round; est; ts } ->
+      Cw.uint8 w 0;
+      Cw.varint w round;
+      Cw.varint w ts;
+      write_v w est
+  | Proposal { round; value } ->
+      Cw.uint8 w 1;
+      Cw.varint w round;
+      write_v w value
+  | Reply { round; ack } ->
+      Cw.uint8 w 2;
+      Cw.varint w round;
+      Cw.bool w ack
+  | Decide { value } ->
+      Cw.uint8 w 3;
+      write_v w value
+
+let read_msg read_v r =
+  match Cr.uint8 r with
+  | 0 ->
+      let round = Cr.varint r in
+      let ts = Cr.varint r in
+      let est = read_v r in
+      Estimate { round; est; ts }
+  | 1 ->
+      let round = Cr.varint r in
+      let value = read_v r in
+      Proposal { round; value }
+  | 2 ->
+      let round = Cr.varint r in
+      let ack = Cr.bool r in
+      Reply { round; ack }
+  | 3 -> Decide { value = read_v r }
+  | n -> raise (Svs_codec.Codec.Malformed (Printf.sprintf "consensus tag %d" n))
+
+let msg_size ~value_size = function
+  | Estimate { est; _ } -> 10 + value_size est
+  | Proposal { value; _ } -> 6 + value_size value
+  | Reply _ -> 6
+  | Decide { value } -> 2 + value_size value
+
+type 'v t = {
+  engine : Engine.t;
+  me : int;
+  members : int array;
+  majority : int;
+  suspects : int -> bool;
+  send : dst:int -> 'v msg -> unit;
+  on_decide : 'v -> unit;
+  mutable round : int;
+  mutable estimate : 'v;
+  mutable ts : int;
+  mutable has_decided : bool;
+  mutable awaiting_proposal : bool;
+  (* Per-round message stores; messages may arrive for rounds we have
+     not reached (channels are FIFO but processes advance at different
+     speeds), so everything is keyed by round. *)
+  estimates : (int, (int * 'v * int) list ref) Hashtbl.t;
+  proposals : (int, 'v) Hashtbl.t;
+  replies : (int, (int * bool) list ref) Hashtbl.t;
+  proposed : (int, unit) Hashtbl.t; (* rounds for which I sent PROPOSE *)
+  closed : (int, unit) Hashtbl.t; (* rounds for which I gave up as coordinator *)
+  mutable poll : Engine.handle option;
+}
+
+let coordinator t r = t.members.(r mod Array.length t.members)
+
+let decided t = t.has_decided
+
+let round t = t.round
+
+let stop t =
+  match t.poll with
+  | None -> ()
+  | Some h ->
+      Engine.cancel h;
+      t.poll <- None
+
+(* Deliver to a peer, short-circuiting self-sends so an instance does
+   not depend on the transport looping messages back. *)
+let rec tell t ~dst msg = if dst = t.me then handle t ~src:t.me msg else t.send ~dst msg
+
+and tell_all t msg = Array.iter (fun dst -> tell t ~dst msg) t.members
+
+and decide t value =
+  if not t.has_decided then begin
+    t.has_decided <- true;
+    t.awaiting_proposal <- false;
+    stop t;
+    Array.iter (fun dst -> if dst <> t.me then t.send ~dst (Decide { value })) t.members;
+    t.on_decide value
+  end
+
+(* Coordinator phase 2: with a majority of estimates, propose the one
+   with the highest timestamp (the possibly-locked value). *)
+and try_propose t r =
+  if
+    t.me = coordinator t r
+    && (not (Hashtbl.mem t.proposed r))
+    && not (Hashtbl.mem t.closed r)
+  then
+    match Hashtbl.find_opt t.estimates r with
+    | None -> ()
+    | Some ests when List.length !ests < t.majority -> ()
+    | Some ests ->
+        let best =
+          List.fold_left
+            (fun acc (_, est, ts) ->
+              match acc with
+              | Some (_, best_ts) when best_ts >= ts -> acc
+              | _ -> Some (est, ts))
+            None !ests
+        in
+        (match best with
+        | None -> assert false
+        | Some (value, _) ->
+            Hashtbl.replace t.proposed r ();
+            tell_all t (Proposal { round = r; value }))
+
+(* Coordinator phase 4: with a majority of replies, decide if a
+   majority of processes acknowledged (locked) the proposal. *)
+and try_decide t r =
+  if t.me = coordinator t r && Hashtbl.mem t.proposed r && not t.has_decided then
+    match Hashtbl.find_opt t.replies r with
+    | None -> ()
+    | Some replies ->
+        let total = List.length !replies in
+        let acks = List.length (List.filter snd !replies) in
+        if acks >= t.majority then
+          match Hashtbl.find_opt t.proposals r with
+          | Some value -> decide t value
+          | None -> assert false
+        else if total >= Array.length t.members then
+          (* Every member replied and acks still lack a majority: this
+             round can never decide; it is permanently closed. *)
+          Hashtbl.replace t.closed r ()
+
+(* Participant phase 3: adopt the coordinator's proposal, lock it, ack,
+   and move to the next round. *)
+and check_proposal t =
+  if t.awaiting_proposal && not t.has_decided then
+    match Hashtbl.find_opt t.proposals t.round with
+    | None -> ()
+    | Some value ->
+        let r = t.round in
+        t.estimate <- value;
+        t.ts <- r;
+        t.awaiting_proposal <- false;
+        tell t ~dst:(coordinator t r) (Reply { round = r; ack = true });
+        enter_round t (r + 1)
+
+and enter_round t r =
+  if not t.has_decided then begin
+    t.round <- r;
+    t.awaiting_proposal <- true;
+    tell t ~dst:(coordinator t r) (Estimate { round = r; est = t.estimate; ts = t.ts });
+    check_proposal t
+  end
+
+and handle t ~src msg =
+  match msg with
+  | Decide { value } -> decide t value
+  | _ when t.has_decided -> ()
+  | Estimate { round = r; est; ts } ->
+      let ests =
+        match Hashtbl.find_opt t.estimates r with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.estimates r l;
+            l
+      in
+      if not (List.exists (fun (s, _, _) -> s = src) !ests) then begin
+        ests := (src, est, ts) :: !ests;
+        try_propose t r;
+        try_decide t r
+      end
+  | Proposal { round = r; value } ->
+      if not (Hashtbl.mem t.proposals r) then begin
+        Hashtbl.replace t.proposals r value;
+        check_proposal t
+      end
+  | Reply { round = r; ack } ->
+      let replies =
+        match Hashtbl.find_opt t.replies r with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.replies r l;
+            l
+      in
+      if not (List.exists (fun (s, _) -> s = src) !replies) then begin
+        replies := (src, ack) :: !replies;
+        try_decide t r
+      end
+
+(* Failure-detector poll: a participant stuck waiting for the current
+   round's proposal nacks and advances when the coordinator is
+   suspected. *)
+let poll_detector t () =
+  if (not t.has_decided) && t.awaiting_proposal then begin
+    let coord = coordinator t t.round in
+    if coord <> t.me && t.suspects coord && not (Hashtbl.mem t.proposals t.round) then begin
+      let r = t.round in
+      t.awaiting_proposal <- false;
+      tell t ~dst:coord (Reply { round = r; ack = false });
+      enter_round t (r + 1)
+    end
+  end;
+  not t.has_decided
+
+let create engine ~me ~members ~suspects ~send ~on_decide ?(poll_period = 0.01) proposal =
+  if members = [] then invalid_arg "Chandra_toueg.create: empty membership";
+  if not (List.mem me members) then
+    invalid_arg "Chandra_toueg.create: me must be a member";
+  let members = Array.of_list (List.sort_uniq compare members) in
+  let n = Array.length members in
+  let t =
+    {
+      engine;
+      me;
+      members;
+      majority = (n / 2) + 1;
+      suspects;
+      send;
+      on_decide;
+      round = 0;
+      estimate = proposal;
+      ts = 0;
+      has_decided = false;
+      awaiting_proposal = false;
+      estimates = Hashtbl.create 7;
+      proposals = Hashtbl.create 7;
+      replies = Hashtbl.create 7;
+      proposed = Hashtbl.create 7;
+      closed = Hashtbl.create 7;
+      poll = None;
+    }
+  in
+  t.poll <- Some (Engine.every engine ~period:poll_period (poll_detector t));
+  enter_round t 0;
+  t
+
+let on_message t ~src msg = handle t ~src msg

@@ -1,0 +1,61 @@
+(** Chandra–Toueg rotating-coordinator consensus for crash-stop
+    processes with a majority of correct members and an (eventually
+    accurate) failure detector.
+
+    One value of type ['v t] is a single process's participation in a
+    single consensus instance. The implementation is transport-agnostic:
+    it emits wire messages through the [send] function given at creation
+    and must be fed inbound messages via {!on_message}. Waiting on the
+    failure detector is realised by a periodic poll of [suspects].
+
+    Properties (given reliable FIFO channels, a majority of correct
+    members, and a failure detector that eventually stops suspecting
+    some correct member):
+    - Validity: the decided value was proposed by some member.
+    - Agreement: no two members decide differently.
+    - Termination: every correct member eventually decides. *)
+
+type 'v t
+
+type 'v msg
+(** Wire messages exchanged between the instance's members. *)
+
+val pp_msg : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v msg -> unit
+
+val msg_size : value_size:('v -> int) -> 'v msg -> int
+(** Approximate wire size in bytes (headers + carried value), for
+    bandwidth-modelled networks. *)
+
+val write_msg :
+  (Svs_codec.Codec.Writer.t -> 'v -> unit) ->
+  Svs_codec.Codec.Writer.t ->
+  'v msg ->
+  unit
+
+val read_msg :
+  (Svs_codec.Codec.Reader.t -> 'v) -> Svs_codec.Codec.Reader.t -> 'v msg
+
+val create :
+  Svs_sim.Engine.t ->
+  me:int ->
+  members:int list ->
+  suspects:(int -> bool) ->
+  send:(dst:int -> 'v msg -> unit) ->
+  on_decide:('v -> unit) ->
+  ?poll_period:float ->
+  'v ->
+  'v t
+(** [create engine ~me ~members ~suspects ~send ~on_decide proposal]
+    starts participating with initial estimate [proposal]. [on_decide]
+    fires exactly once. [poll_period] (default 0.01 s) is the failure
+    detector polling interval. *)
+
+val on_message : 'v t -> src:int -> 'v msg -> unit
+
+val decided : 'v t -> bool
+
+val round : 'v t -> int
+(** Current round (for tests/inspection). *)
+
+val stop : 'v t -> unit
+(** Cancel internal timers; used when tearing a process down. *)

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Format Hashtbl List Svs_obs View

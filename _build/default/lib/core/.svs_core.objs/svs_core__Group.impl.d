@@ -1,0 +1,1 @@
+lib/core/group.ml: Checker Hashtbl List Option Printf Protocol Queue Stdlib Svs_consensus Svs_detector Svs_net Svs_sim Types View Wire_codec

@@ -1,0 +1,1 @@
+lib/core/group.mli: Checker Svs_detector Svs_net Svs_obs Svs_sim Types View Wire_codec

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Dq Hashtbl List Logs Option Queue Stdlib Svs_obs Types View

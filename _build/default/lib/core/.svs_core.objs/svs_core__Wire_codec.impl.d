@@ -1,0 +1,1 @@
+lib/core/wire_codec.ml: Printf Svs_codec Svs_obs Types View

@@ -1,0 +1,1 @@
+lib/core/wire_codec.mli: Svs_codec Svs_obs Types View

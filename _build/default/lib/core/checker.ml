@@ -1,0 +1,335 @@
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+
+type meta = {
+  id : Msg_id.t;
+  ann : Annotation.t;
+  view_id : int;
+}
+
+type pevent = Deliver of meta | Install of View.t
+
+type t = {
+  multicasts : (Msg_id.t, meta) Hashtbl.t;
+  mutable multicast_order : meta list; (* reversed *)
+  processes : (int, pevent list ref) Hashtbl.t; (* reversed logs *)
+}
+
+type violation =
+  | Created of { p : int; id : Msg_id.t }
+  | Duplicated of { p : int; id : Msg_id.t }
+  | Fifo_order of { p : int; first : Msg_id.t; second : Msg_id.t }
+  | Svs_hole of { p : int; q : int; view_id : int; missing : Msg_id.t }
+  | Fifo_sr_hole of { p : int; view_id : int; missing : Msg_id.t; because : Msg_id.t }
+  | View_disagreement of { p : int; q : int; view_id : int }
+  | Vs_mismatch of { p : int; q : int; view_id : int; missing : Msg_id.t }
+
+let pp_violation ppf = function
+  | Created { p; id } -> Format.fprintf ppf "process %d delivered never-multicast %a" p Msg_id.pp id
+  | Duplicated { p; id } -> Format.fprintf ppf "process %d delivered %a twice" p Msg_id.pp id
+  | Fifo_order { p; first; second } ->
+      Format.fprintf ppf "process %d delivered %a before %a (FIFO violation)" p Msg_id.pp
+        first Msg_id.pp second
+  | Svs_hole { p; q; view_id; missing } ->
+      Format.fprintf ppf
+        "SVS: %a delivered by %d in view %d has no cover delivered by %d before its next \
+         install"
+        Msg_id.pp missing p view_id q
+  | Fifo_sr_hole { p; view_id; missing; because } ->
+      Format.fprintf ppf
+        "FIFO-SR: process %d delivered %a in view %d but no cover of predecessor %a"
+        p Msg_id.pp because view_id Msg_id.pp missing
+  | View_disagreement { p; q; view_id } ->
+      Format.fprintf ppf "processes %d and %d installed different memberships for view %d" p
+        q view_id
+  | Vs_mismatch { p; q; view_id; missing } ->
+      Format.fprintf ppf
+        "strict VS: %a delivered by %d in view %d but not by %d" Msg_id.pp missing p view_id
+        q
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let create () =
+  { multicasts = Hashtbl.create 256; multicast_order = []; processes = Hashtbl.create 16 }
+
+let record_multicast t meta =
+  Hashtbl.replace t.multicasts meta.id meta;
+  t.multicast_order <- meta :: t.multicast_order
+
+let plog t p =
+  match Hashtbl.find_opt t.processes p with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace t.processes p l;
+      l
+
+let record_delivery t ~p meta = plog t p := Deliver meta :: !(plog t p)
+
+let record_install t ~p view = plog t p := Install view :: !(plog t p)
+
+(* --- Obsolescence reachability over the transitive closure. --- *)
+
+(* successors.(id) = messages that directly obsolete id. *)
+let build_successors t =
+  let succ : (Msg_id.t, Msg_id.t list ref) Hashtbl.t = Hashtbl.create 256 in
+  let all = List.rev t.multicast_order in
+  let note older newer =
+    match Hashtbl.find_opt succ older.id with
+    | Some l -> l := newer.id :: !l
+    | None -> Hashtbl.replace succ older.id (ref [ newer.id ])
+  in
+  List.iter
+    (fun older ->
+      List.iter
+        (fun newer ->
+          if
+            (not (Msg_id.equal older.id newer.id))
+            && Annotation.obsoletes ~older:(older.id, older.ann) ~newer:(newer.id, newer.ann)
+          then note older newer)
+        all)
+    all;
+  fun id -> match Hashtbl.find_opt succ id with Some l -> !l | None -> []
+
+(* [covered successors m targets]: does some m' with m ⊑* m' belong to
+   [targets]? BFS over the closure. *)
+let covered successors (id : Msg_id.t) targets =
+  let visited = Hashtbl.create 16 in
+  let rec bfs = function
+    | [] -> false
+    | x :: rest ->
+        if Hashtbl.mem visited x then bfs rest
+        else begin
+          Hashtbl.replace visited x ();
+          if Msg_id.Set.mem x targets then true else bfs (successors x @ rest)
+        end
+  in
+  bfs [ id ]
+
+(* --- Per-process view segmentation. --- *)
+
+type segment = { view : View.t; deliveries : meta list (* in order *) }
+
+(* Segments in order; a process's deliveries in segment i happen
+   between installing segment i's view and the next install. *)
+let segments_of events =
+  let flush current acc =
+    match current with
+    | None -> acc
+    | Some (view, ds) -> { view; deliveries = List.rev ds } :: acc
+  in
+  let rec split current acc = function
+    | [] -> List.rev (flush current acc)
+    | Install v :: rest -> split (Some (v, [])) (flush current acc) rest
+    | Deliver _ :: _ when current = None ->
+        invalid_arg "Checker: delivery recorded before the process's initial install"
+    | Deliver m :: rest -> (
+        match current with
+        | None -> assert false
+        | Some (view, ds) -> split (Some (view, m :: ds)) acc rest)
+  in
+  split None [] events
+
+let deliveries_in_view t ~p ~view_id =
+  match Hashtbl.find_opt t.processes p with
+  | None -> []
+  | Some log ->
+      let segs = segments_of (List.rev !log) in
+      List.concat_map
+        (fun s -> if s.view.View.id = view_id then s.deliveries else [])
+        segs
+
+(* --- Checks. --- *)
+
+let check_integrity_and_fifo t violations =
+  Hashtbl.iter
+    (fun p log ->
+      let seen = Hashtbl.create 64 in
+      let last_sn = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Install _ -> ()
+          | Deliver m ->
+              if not (Hashtbl.mem t.multicasts m.id) then
+                violations := Created { p; id = m.id } :: !violations;
+              if Hashtbl.mem seen m.id then
+                violations := Duplicated { p; id = m.id } :: !violations
+              else Hashtbl.replace seen m.id ();
+              (match Hashtbl.find_opt last_sn m.id.Msg_id.sender with
+              | Some (prev_sn, prev_id) when m.id.Msg_id.sn <= prev_sn ->
+                  violations :=
+                    Fifo_order { p; first = prev_id; second = m.id } :: !violations
+              | Some _ | None -> ());
+              Hashtbl.replace last_sn m.id.Msg_id.sender (m.id.Msg_id.sn, m.id))
+        (List.rev !log))
+    t.processes
+
+(* All (p, segments) pairs. *)
+let all_segments t =
+  Hashtbl.fold (fun p log acc -> (p, segments_of (List.rev !log)) :: acc) t.processes []
+
+(* Deliveries of a process strictly before it installs the view with
+   id [view_id] (i.e. everything in segments with a smaller view id). *)
+let delivered_before segs ~view_id =
+  List.fold_left
+    (fun acc s ->
+      if s.view.View.id < view_id then
+        List.fold_left (fun acc m -> Msg_id.Set.add m.id acc) acc s.deliveries
+      else acc)
+    Msg_id.Set.empty segs
+
+let consecutive_pairs segs =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  pairs segs
+
+let check_view_agreement all violations =
+  let by_id = Hashtbl.create 16 in
+  List.iter
+    (fun (p, segs) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt by_id s.view.View.id with
+          | None -> Hashtbl.replace by_id s.view.View.id (p, s.view)
+          | Some (q, v) ->
+              if not (View.equal v s.view) then
+                violations := View_disagreement { p; q; view_id = s.view.View.id } :: !violations)
+        segs)
+    all
+
+let check_svs successors all violations =
+  (* For p installing v_i and v_{i+1}: every m delivered by p in v_i
+     must be covered at every q that installed both. *)
+  List.iter
+    (fun (p, psegs) ->
+      List.iter
+        (fun (si, sj) ->
+          List.iter
+            (fun (q, qsegs) ->
+              if q <> p then
+                let q_has_both =
+                  List.exists (fun s -> s.view.View.id = si.view.View.id) qsegs
+                  && List.exists (fun s -> s.view.View.id = sj.view.View.id) qsegs
+                in
+                if q_has_both then begin
+                  let q_delivered = delivered_before qsegs ~view_id:sj.view.View.id in
+                  List.iter
+                    (fun m ->
+                      if not (covered successors m.id q_delivered) then
+                        violations :=
+                          Svs_hole { p; q; view_id = si.view.View.id; missing = m.id }
+                          :: !violations)
+                    si.deliveries
+                end)
+            all)
+        (consecutive_pairs psegs))
+    all
+
+let check_fifo_sr t successors all violations =
+  (* Clause (ii): p installing v_i, v_{i+1} and delivering m' in v_i
+     owes a cover for every same-sender predecessor m of m'. *)
+  let multicast_sns = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (id : Msg_id.t) _ ->
+      let l =
+        match Hashtbl.find_opt multicast_sns id.Msg_id.sender with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace multicast_sns id.Msg_id.sender l;
+            l
+      in
+      l := id :: !l)
+    t.multicasts;
+  List.iter
+    (fun (_p, psegs) ->
+      List.iter
+        (fun (si, sj) ->
+          let p = _p in
+          let owed = delivered_before psegs ~view_id:(sj.view.View.id + 0) in
+          let owed =
+            List.fold_left (fun acc m -> Msg_id.Set.add m.id acc) owed si.deliveries
+          in
+          (* Highest delivered sn per sender up to installing v_{i+1}. *)
+          let max_sn = Hashtbl.create 8 in
+          Msg_id.Set.iter
+            (fun id ->
+              let cur =
+                match Hashtbl.find_opt max_sn id.Msg_id.sender with
+                | Some sn -> sn
+                | None -> -1
+              in
+              if id.Msg_id.sn > cur then Hashtbl.replace max_sn id.Msg_id.sender id.Msg_id.sn)
+            owed;
+          Hashtbl.iter
+            (fun sender max ->
+              match Hashtbl.find_opt multicast_sns sender with
+              | None -> ()
+              | Some ids ->
+                  List.iter
+                    (fun (id : Msg_id.t) ->
+                      if id.Msg_id.sn < max && not (covered successors id owed) then
+                        violations :=
+                          Fifo_sr_hole
+                            {
+                              p;
+                              view_id = si.view.View.id;
+                              missing = id;
+                              because = Msg_id.make ~sender ~sn:max;
+                            }
+                          :: !violations)
+                    !ids)
+            max_sn)
+        (consecutive_pairs psegs))
+    all
+
+let verify t =
+  let violations = ref [] in
+  check_integrity_and_fifo t violations;
+  let all = all_segments t in
+  check_view_agreement all violations;
+  let successors = build_successors t in
+  check_svs successors all violations;
+  check_fifo_sr t successors all violations;
+  List.rev !violations
+
+let check_strict_vs all violations =
+  List.iter
+    (fun (p, psegs) ->
+      List.iter
+        (fun (si, sj) ->
+          List.iter
+            (fun (q, qsegs) ->
+              if q <> p then
+                let q_has_next =
+                  List.exists (fun s -> s.view.View.id = sj.view.View.id) qsegs
+                in
+                match
+                  List.find_opt (fun s -> s.view.View.id = si.view.View.id) qsegs
+                with
+                | Some qseg when q_has_next ->
+                    let q_set =
+                      List.fold_left
+                        (fun acc m -> Msg_id.Set.add m.id acc)
+                        Msg_id.Set.empty qseg.deliveries
+                    in
+                    List.iter
+                      (fun m ->
+                        if not (Msg_id.Set.mem m.id q_set) then
+                          violations :=
+                            Vs_mismatch
+                              { p; q; view_id = si.view.View.id; missing = m.id }
+                            :: !violations)
+                      si.deliveries
+                | Some _ | None -> ())
+            all)
+        (consecutive_pairs psegs))
+    all
+
+let verify_strict_vs t =
+  let base = verify t in
+  let violations = ref [] in
+  check_strict_vs (all_segments t) violations;
+  base @ List.rev !violations

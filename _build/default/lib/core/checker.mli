@@ -1,0 +1,64 @@
+(** Execution-trace oracle for the paper's §3.2 safety properties.
+
+    Tests record every multicast, delivery and view installation of an
+    execution; {!verify} then checks:
+
+    - {b Integrity}: no creation (every delivered message was
+      multicast), no duplication (per process).
+    - {b FIFO} (clause i of FIFO Semantic Reliability): per process and
+      per sender, deliveries occur in strictly increasing sequence
+      order.
+    - {b Semantic View Synchrony}: if [p] installs consecutive views
+      [v_i], [v_{i+1}] and delivers [m] in [v_i], every process [q]
+      installing both views delivers some [m'] with [m ⊑ m'] before
+      installing [v_{i+1}].
+    - {b FIFO Semantic Reliability} (clause ii): if [p] installs both
+      views and delivers [m'] in [v_i], then for every message [m]
+      multicast before [m'] by the same sender, [p] delivers some
+      [m''] with [m ⊑ m''] before installing [v_{i+1}].
+    - {b View agreement}: processes installing the same view number
+      agree on its membership.
+
+    Coverage [⊑] is checked against the {e transitive closure} of the
+    relation encoded by the annotations: the encodings are
+    under-approximations of the application's transitive relation, so
+    the closure is the strongest relation the protocol may rely on.
+
+    {!verify_strict_vs} additionally demands classical View Synchrony
+    (identical delivery sets between views) — it must pass whenever
+    purging is disabled or the relation is empty, demonstrating the
+    paper's claim that SVS with an empty relation {e is} VS. *)
+
+type t
+
+type meta = {
+  id : Svs_obs.Msg_id.t;
+  ann : Svs_obs.Annotation.t;
+  view_id : int;
+}
+
+type violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_string : violation -> string
+
+val create : unit -> t
+
+val record_multicast : t -> meta -> unit
+
+val record_delivery : t -> p:int -> meta -> unit
+
+val record_install : t -> p:int -> View.t -> unit
+(** Must also be called once per process with its initial view, before
+    any of its deliveries. *)
+
+val verify : t -> violation list
+(** Empty list = all SVS properties hold. *)
+
+val verify_strict_vs : t -> violation list
+(** {!verify} plus classical view synchrony (equal per-view delivery
+    sets among processes installing the next view). *)
+
+val deliveries_in_view : t -> p:int -> view_id:int -> meta list
+(** For tests: what [p] delivered while in the given view. *)

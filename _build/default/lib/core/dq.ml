@@ -1,0 +1,87 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of front element *)
+  mutable size : int;
+}
+
+let create () = { data = Array.make 16 None; head = 0; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let capacity t = Array.length t.data
+
+let index t i = (t.head + i) mod capacity t
+
+let grow t =
+  if t.size = capacity t then begin
+    let ncap = 2 * capacity t in
+    let ndata = Array.make ncap None in
+    for i = 0 to t.size - 1 do
+      ndata.(i) <- t.data.(index t i)
+    done;
+    t.data <- ndata;
+    t.head <- 0
+  end
+
+let push_back t x =
+  grow t;
+  t.data.(index t t.size) <- Some x;
+  t.size <- t.size + 1
+
+let push_front t x =
+  grow t;
+  t.head <- (t.head - 1 + capacity t) mod capacity t;
+  t.data.(t.head) <- Some x;
+  t.size <- t.size + 1
+
+let pop_front t =
+  if t.size = 0 then None
+  else begin
+    let x = t.data.(t.head) in
+    t.data.(t.head) <- None;
+    t.head <- index t 1;
+    t.size <- t.size - 1;
+    x
+  end
+
+let peek_front t = if t.size = 0 then None else t.data.(t.head)
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Dq.get: index out of bounds";
+  match t.data.(index t i) with Some x -> x | None -> assert false
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    match t.data.(index t i) with Some x -> f x | None -> assert false
+  done
+
+let exists p t =
+  let rec scan i = i < t.size && (p (get t i) || scan (i + 1)) in
+  scan 0
+
+let filter_in_place p t =
+  let kept = ref 0 in
+  let old_size = t.size in
+  for i = 0 to old_size - 1 do
+    let x = get t i in
+    if p x then begin
+      if !kept <> i then t.data.(index t !kept) <- Some x;
+      incr kept
+    end
+  done;
+  for i = !kept to old_size - 1 do
+    t.data.(index t i) <- None
+  done;
+  t.size <- !kept;
+  old_size - !kept
+
+let to_list t =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (get t i :: acc) in
+  build (t.size - 1) []
+
+let clear t =
+  t.data <- Array.make 16 None;
+  t.head <- 0;
+  t.size <- 0

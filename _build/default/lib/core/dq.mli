@@ -1,0 +1,36 @@
+(** Resizable ring-buffer deque.
+
+    Backs the protocol's [to-deliver] queue: O(1) amortised push/pop at
+    both ends plus in-place filtering, which is what [purge] needs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+
+val push_front : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+
+val peek_front : 'a t -> 'a option
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the i-th element from the front (0-based). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front to back. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val filter_in_place : ('a -> bool) -> 'a t -> int
+(** Keeps elements satisfying the predicate, preserving order; returns
+    the number removed. *)
+
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

@@ -1,0 +1,418 @@
+module Engine = Svs_sim.Engine
+module Network = Svs_net.Network
+module Latency = Svs_net.Latency
+module Oracle = Svs_detector.Oracle
+module Heartbeat = Svs_detector.Heartbeat
+module Arbiter = Svs_consensus.Arbiter
+module Ct = Svs_consensus.Chandra_toueg
+open Types
+
+type detector_mode =
+  | Oracle
+  | Heartbeats of Heartbeat.config
+
+type consensus_mode =
+  | Arbiter
+  | Chandra_toueg
+
+type overflow = {
+  backlog_limit : int;
+  patience : float;
+  check_period : float;
+}
+
+type config = {
+  semantic : bool;
+  buffer_capacity : int option;
+  detector : detector_mode;
+  consensus : consensus_mode;
+  auto_view_change : bool;
+  stability_period : float option;
+  overflow_exclusion : overflow option;
+}
+
+let default_config =
+  {
+    semantic = true;
+    buffer_capacity = None;
+    detector = Oracle;
+    consensus = Arbiter;
+    auto_view_change = true;
+    stability_period = None;
+    overflow_exclusion = None;
+  }
+
+type 'p packet =
+  | Proto of 'p wire
+  | Cons of { view_id : int; msg : 'p proposal Ct.msg }
+  | Beat
+
+type 'p t = {
+  me : int;
+  cluster : 'p cluster;
+  proto : 'p Protocol.t;
+  inbox : (int * 'p data) Queue.t;
+  mutable hb : Heartbeat.t option;
+  instances : (int, 'p proposal Ct.t) Hashtbl.t;
+  cons_stash : (int, (int * 'p proposal Ct.msg) list ref) Hashtbl.t;
+  mutable installed_cbs : (View.t -> unit) list;
+  mutable excluded_cbs : (View.t -> unit) list;
+  mutable crashed : bool;
+}
+
+and 'p cluster = {
+  engine : Engine.t;
+  net : 'p packet Network.t;
+  config : config;
+  check : Checker.t;
+  oracle : Oracle.t option;
+  mutable arbiter : 'p proposal Arbiter.t option;
+  mutable member_list : 'p t list;
+}
+
+let engine c = c.engine
+
+let members c = c.member_list
+
+let member c p =
+  match List.find_opt (fun m -> m.me = p) c.member_list with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Group.member: no member %d" p)
+
+let checker c = c.check
+
+let id m = m.me
+
+let view m = Protocol.current_view m.proto
+
+let is_blocked m = Protocol.blocked m.proto
+
+let is_member m = (not m.crashed) && Protocol.alive m.proto && View.mem m.me (view m)
+
+let pending m = Protocol.to_deliver_length m.proto
+
+let inbox m = Queue.length m.inbox
+
+let inflight_from m ~src =
+  Queue.fold (fun n (s, _) -> if s = src then n + 1 else n) 0 m.inbox
+
+let purged m = Protocol.purged_count m.proto
+
+let stable_trimmed m = Protocol.stable_trimmed m.proto
+
+let pred_size m = List.length (Protocol.accepted_in_view m.proto)
+
+let on_installed m f = m.installed_cbs <- f :: m.installed_cbs
+
+let on_excluded m f = m.excluded_cbs <- f :: m.excluded_cbs
+
+let suspects m p =
+  match (m.cluster.oracle, m.hb) with
+  | Some o, _ -> Svs_detector.Oracle.suspects o p
+  | None, Some hb -> Heartbeat.suspects hb p
+  | None, None -> false
+
+let suspected_set m =
+  match (m.cluster.oracle, m.hb) with
+  | Some o, _ -> Svs_detector.Oracle.suspected_set o
+  | None, Some hb -> Heartbeat.suspected_set hb
+  | None, None -> []
+
+(* Room left in the bounded delivery queue. *)
+let has_room m =
+  match m.cluster.config.buffer_capacity with
+  | None -> true
+  | Some cap -> Protocol.to_deliver_length m.proto < cap
+
+let rec drain m =
+  let outs = Protocol.take_outputs m.proto in
+  List.iter (handle_output m) outs;
+  if outs <> [] then pump m
+
+(* Feed held-back data into the protocol while the delivery queue has
+   room (the paper's backpressure: a full node "ceases to accept
+   further messages from the network"). *)
+and pump m =
+  if (not m.crashed) && (not (Queue.is_empty m.inbox)) && has_room m then begin
+    let src, d = Queue.pop m.inbox in
+    Protocol.receive m.proto ~src (Wdata d);
+    drain m;
+    pump m
+  end
+
+and handle_output m out =
+  match out with
+  | Send { dst; wire } -> Network.send m.cluster.net ~src:m.me ~dst (Proto wire)
+  | Installed v -> List.iter (fun f -> f v) m.installed_cbs
+  | Excluded v ->
+      retire m;
+      List.iter (fun f -> f v) m.excluded_cbs
+  | Propose { view_id; proposal } -> (
+      match m.cluster.config.consensus with
+      | Arbiter -> (
+          match m.cluster.arbiter with
+          | Some a -> Svs_consensus.Arbiter.propose a ~instance:view_id ~from:m.me proposal
+          | None -> assert false)
+      | Chandra_toueg -> start_instance m ~view_id proposal)
+
+and start_instance m ~view_id proposal =
+  if not (Hashtbl.mem m.instances view_id) then begin
+    let members = (Protocol.current_view m.proto).View.members in
+    let inst =
+      Ct.create m.cluster.engine ~me:m.me ~members
+        ~suspects:(fun p -> suspects m p)
+        ~send:(fun ~dst msg -> Network.send m.cluster.net ~src:m.me ~dst (Cons { view_id; msg }))
+        ~on_decide:(fun v ->
+          Protocol.decided m.proto ~view_id v;
+          drain m)
+        proposal
+    in
+    Hashtbl.replace m.instances view_id inst;
+    (match Hashtbl.find_opt m.cons_stash view_id with
+    | None -> ()
+    | Some stash ->
+        let msgs = List.rev !stash in
+        Hashtbl.remove m.cons_stash view_id;
+        List.iter (fun (src, msg) -> Ct.on_message inst ~src msg) msgs);
+    drain m
+  end
+
+and retire m =
+  m.crashed <- true;
+  (match m.hb with Some hb -> Heartbeat.stop hb | None -> ());
+  Hashtbl.iter (fun _ inst -> Ct.stop inst) m.instances;
+  Queue.clear m.inbox
+
+let on_packet m ~src packet =
+  if not m.crashed then
+    match packet with
+    | Beat -> ( match m.hb with Some hb -> Heartbeat.on_heartbeat hb ~src | None -> ())
+    | Proto (Wdata d) ->
+        (* Note: the held-back backlog is deliberately NOT purged. A
+           message purged here could lose its cover before either is
+           accepted (the cover may be dropped as stale at the next view
+           installation without ever entering any member's PRED set),
+           violating FIFO semantic reliability. Purging is only safe in
+           the accepted sets — the delivery queue and the agreed pred —
+           where every cover is itself accounted for. *)
+        Queue.add (src, d) m.inbox;
+        pump m
+    | Proto wire ->
+        Protocol.receive m.proto ~src wire;
+        drain m
+    | Cons { view_id; msg } -> (
+        match Hashtbl.find_opt m.instances view_id with
+        | Some inst ->
+            Ct.on_message inst ~src msg;
+            drain m
+        | None ->
+            if view_id >= (Protocol.current_view m.proto).View.id then begin
+              let stash =
+                match Hashtbl.find_opt m.cons_stash view_id with
+                | Some s -> s
+                | None ->
+                    let s = ref [] in
+                    Hashtbl.replace m.cons_stash view_id s;
+                    s
+              in
+              stash := (src, msg) :: !stash
+            end)
+
+let on_suspicion m =
+  if (not m.crashed) && Protocol.alive m.proto then begin
+    Protocol.notify_suspicion_change m.proto;
+    if m.cluster.config.auto_view_change then begin
+      let leave = suspected_set m in
+      if leave <> [] then Protocol.trigger_view_change m.proto ~leave
+    end;
+    drain m
+  end
+
+let multicast m ?ann payload =
+  if m.crashed then Error `Not_member
+  else
+    match Protocol.multicast m.proto ?ann payload with
+    | Error _ as e -> e
+    | Ok d ->
+        Checker.record_multicast m.cluster.check
+          { Checker.id = d.id; ann = d.ann; view_id = d.view_id };
+        drain m;
+        Ok d
+
+let deliver m =
+  if m.crashed then None
+  else
+    match Protocol.deliver m.proto with
+    | None -> None
+    | Some (Data d) as r ->
+        Checker.record_delivery m.cluster.check ~p:m.me
+          { Checker.id = d.id; ann = d.ann; view_id = d.view_id };
+        pump m;
+        r
+    | Some (View_change v) as r ->
+        Checker.record_install m.cluster.check ~p:m.me v;
+        pump m;
+        r
+
+let deliver_all m =
+  let rec go acc =
+    match deliver m with None -> List.rev acc | Some d -> go (d :: acc)
+  in
+  go []
+
+let trigger_view_change m ~leave =
+  if not m.crashed then begin
+    Protocol.trigger_view_change m.proto ~leave;
+    drain m
+  end
+
+let bytes_sent c = Network.bytes_sent c.net
+
+let partition c a b = Network.disconnect c.net a b
+
+let heal c a b = Network.reconnect c.net a b
+
+let crash c p =
+  let m = member c p in
+  retire m;
+  Network.crash c.net ~node:p;
+  match c.oracle with Some o -> Svs_detector.Oracle.mark_crashed o p | None -> ()
+
+let packet_size pc packet =
+  match packet with
+  | Beat -> 4
+  | Proto wire -> 8 + Wire_codec.wire_size pc wire
+  | Cons { msg; _ } ->
+      12 + Ct.msg_size ~value_size:(fun p -> Wire_codec.proposal_size pc p) msg
+
+let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
+    ?payload_codec ?(config = default_config) () =
+  if member_ids = [] then invalid_arg "Group.create_cluster: empty membership";
+  let ids = List.sort_uniq compare member_ids in
+  let n_nodes = List.fold_left Stdlib.max 0 ids + 1 in
+  let sizer = Option.map (fun pc packet -> packet_size pc packet) payload_codec in
+  let net = Network.create eng ~nodes:n_nodes ~latency ?bandwidth ?sizer () in
+  let initial_view = View.initial ~members:ids in
+  let oracle =
+    match config.detector with
+    | Oracle -> Some (Svs_detector.Oracle.create ~nodes:n_nodes)
+    | Heartbeats _ -> None
+  in
+  let cluster =
+    {
+      engine = eng;
+      net;
+      config;
+      check = Checker.create ();
+      oracle;
+      arbiter = None;
+      member_list = [];
+    }
+  in
+  (match config.consensus with
+  | Chandra_toueg -> ()
+  | Arbiter ->
+      let deliver ~dst ~instance value =
+        match List.find_opt (fun m -> m.me = dst) cluster.member_list with
+        | Some m when not m.crashed ->
+            Protocol.decided m.proto ~view_id:instance value;
+            drain m
+        | Some _ | None -> ()
+      in
+      (* Quorum 1: the arbiter is a trusted decision service, and any
+         single SVS proposal is already safe to adopt (its construction
+         guarantees the pred set covers every proposed member's PRED),
+         so deciding on the first proposal maximises liveness. *)
+      cluster.arbiter <-
+        Some (Svs_consensus.Arbiter.create eng ~members:ids ~quorum:1 ~deliver ()));
+  let mk_member me =
+    (* The protocol's failure-detector query needs the member record,
+       which needs the protocol: tie the knot through a reference. *)
+    let m_ref = ref None in
+    let suspects_fn p = match !m_ref with Some m -> suspects m p | None -> false in
+    let m =
+      {
+        me;
+        cluster;
+        proto =
+          Protocol.create ~me ~initial_view ~semantic:config.semantic ~suspects:suspects_fn
+            ();
+        inbox = Queue.create ();
+        hb = None;
+        instances = Hashtbl.create 7;
+        cons_stash = Hashtbl.create 7;
+        installed_cbs = [];
+        excluded_cbs = [];
+        crashed = false;
+      }
+    in
+    m_ref := Some m;
+    m
+  in
+  let ms = List.map mk_member ids in
+  cluster.member_list <- ms;
+  (* Reconfiguration as a last resort (§3.2: "the lack of available
+     buffer space at one or more processes" triggers a view change):
+     a member whose network backlog stays above the limit for the
+     whole patience window is expelled by the first healthy member. *)
+  (match config.overflow_exclusion with
+  | None -> ()
+  | Some { backlog_limit; patience; check_period } ->
+      let over_since : (int, float) Hashtbl.t = Hashtbl.create 8 in
+      ignore
+        (Engine.every eng ~period:check_period (fun () ->
+             let now = Engine.now eng in
+             List.iter
+               (fun m ->
+                 if is_member m && Queue.length m.inbox > backlog_limit then begin
+                   if not (Hashtbl.mem over_since m.me) then Hashtbl.replace over_since m.me now;
+                   let since = Hashtbl.find over_since m.me in
+                   if now -. since >= patience then begin
+                     match
+                       List.find_opt
+                         (fun p -> p.me <> m.me && is_member p && not (is_blocked p))
+                         cluster.member_list
+                     with
+                     | Some initiator ->
+                         Hashtbl.remove over_since m.me;
+                         trigger_view_change initiator ~leave:[ m.me ]
+                     | None -> ()
+                   end
+                 end
+                 else Hashtbl.remove over_since m.me)
+               cluster.member_list;
+             true)
+          : Engine.handle));
+  (match config.stability_period with
+  | None -> ()
+  | Some period ->
+      ignore
+        (Engine.every eng ~period (fun () ->
+             List.iter
+               (fun m ->
+                 if not m.crashed then begin
+                   Protocol.gossip_stability m.proto;
+                   drain m
+                 end)
+               cluster.member_list;
+             true)
+          : Engine.handle));
+  List.iter
+    (fun m ->
+      Checker.record_install cluster.check ~p:m.me initial_view;
+      Network.set_handler net ~node:m.me (fun ~src packet -> on_packet m ~src packet);
+      (match config.detector with
+      | Oracle -> (
+          match oracle with
+          | Some o -> Svs_detector.Oracle.on_suspect o (fun _ -> on_suspicion m)
+          | None -> assert false)
+      | Heartbeats hb_config ->
+          let hb =
+            Heartbeat.create eng hb_config ~me:m.me ~peers:ids
+              ~send_heartbeat:(fun ~dst -> Network.send net ~src:m.me ~dst Beat)
+          in
+          Heartbeat.on_suspect hb (fun _ -> on_suspicion m);
+          Heartbeat.on_rescind hb (fun _ -> on_suspicion m);
+          m.hb <- Some hb))
+    ms;
+  cluster

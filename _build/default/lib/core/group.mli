@@ -1,0 +1,145 @@
+(** The user-facing group-communication stack: SVS protocol + simulated
+    network + failure detector + consensus, assembled per process.
+
+    A {!cluster} owns the shared pieces (network, optional oracle
+    detector, optional consensus arbiter) and one {!t} per member.
+    Applications multicast with an obsolescence annotation and pull
+    deliveries; view changes appear in the delivery stream as
+    {!Types.View_change} markers, exactly as in the paper's interface
+    (§3.2: "view changes are signaled to the application by delivering
+    a special control message").
+
+    Every multicast, delivery, and application-level view installation
+    is recorded in the cluster's {!Checker.t}, so any scenario built on
+    this module can assert the SVS safety properties afterwards. *)
+
+type 'p t
+
+type 'p cluster
+
+type detector_mode =
+  | Oracle  (** Perfect detector driven by {!crash}. *)
+  | Heartbeats of Svs_detector.Heartbeat.config
+
+type consensus_mode =
+  | Arbiter  (** Centralised decision service ({!Svs_consensus.Arbiter}). *)
+  | Chandra_toueg  (** The real ◇S consensus over the same network. *)
+
+type overflow = {
+  backlog_limit : int;  (** Held-back messages tolerated at a member. *)
+  patience : float;  (** Seconds above the limit before expulsion. *)
+  check_period : float;
+}
+
+type config = {
+  semantic : bool;  (** Purge obsolete messages (false = plain VS). *)
+  buffer_capacity : int option;
+      (** Bound on the delivery queue; when reached the member stops
+          accepting data from the network (control traffic still
+          flows), exerting backpressure. *)
+  detector : detector_mode;
+  consensus : consensus_mode;
+  auto_view_change : bool;
+      (** Trigger a view change (leave = suspected set) on suspicion. *)
+  stability_period : float option;
+      (** When set, members gossip receive floors at this period and
+          garbage-collect stable messages from the PRED bookkeeping
+          (keeps view changes cheap on long-running groups). Note:
+          periodic gossip keeps the engine's event queue non-empty, so
+          run the engine with a horizon. *)
+  overflow_exclusion : overflow option;
+      (** Reconfiguration as a last resort (§3.2): expel a member whose
+          backlog exceeds the limit for the whole patience window.
+          With purging on, this fires only when obsolescence cannot
+          absorb the perturbation — the paper's "if purging is not
+          enough ... reconfiguration can still happen". (Periodic
+          checker: run the engine with a horizon.) *)
+}
+
+val default_config : config
+(** semantic, unbounded buffer, oracle detector, arbiter consensus,
+    auto view change. *)
+
+val create_cluster :
+  Svs_sim.Engine.t ->
+  members:int list ->
+  ?latency:Svs_net.Latency.t ->
+  ?bandwidth:float ->
+  ?payload_codec:'p Wire_codec.payload_codec ->
+  ?config:config ->
+  unit ->
+  'p cluster
+(** With [bandwidth] (bytes/s) and [payload_codec], links serialise
+    messages at their real encoded size, so view-change flushes and
+    PRED exchanges take time proportional to what purging saved. *)
+
+val engine : 'p cluster -> Svs_sim.Engine.t
+
+val members : 'p cluster -> 'p t list
+
+val member : 'p cluster -> int -> 'p t
+
+val checker : 'p cluster -> Checker.t
+
+val bytes_sent : 'p cluster -> int
+(** Total wire bytes (0 unless a payload codec was supplied). *)
+
+val crash : 'p cluster -> int -> unit
+(** Crash-stop a member: silenced on the network, marked at the oracle
+    detector (if any). *)
+
+val partition : 'p cluster -> int -> int -> unit
+(** Disconnect the pair of members; messages between them are held (not
+    lost — the system model's channels are reliable) until {!heal}. *)
+
+val heal : 'p cluster -> int -> int -> unit
+
+(** {1 Member operations} *)
+
+val id : 'p t -> int
+
+val view : 'p t -> View.t
+
+val is_blocked : 'p t -> bool
+
+val is_member : 'p t -> bool
+(** False once excluded from the group or crashed. *)
+
+val multicast :
+  'p t ->
+  ?ann:Svs_obs.Annotation.t ->
+  'p ->
+  ('p Types.data, [ `Blocked | `Not_member ]) result
+
+val deliver : 'p t -> 'p Types.delivery option
+
+val deliver_all : 'p t -> 'p Types.delivery list
+(** Drain everything currently deliverable. *)
+
+val pending : 'p t -> int
+(** Data messages waiting in the delivery queue. *)
+
+val inbox : 'p t -> int
+(** Data messages held back by backpressure (network side). *)
+
+val inflight_from : 'p t -> src:int -> int
+(** Of {!inbox}, those sent by [src] — lets a producer model a bounded
+    outgoing buffer towards a slow receiver. *)
+
+val purged : 'p t -> int
+(** Messages purged as obsolete at this member so far. *)
+
+val stable_trimmed : 'p t -> int
+(** Messages garbage-collected as stable at this member so far. *)
+
+val pred_size : 'p t -> int
+(** Size of the PRED set this member would currently send (unstable
+    accepted messages of the view) — the view-change flush cost. *)
+
+val trigger_view_change : 'p t -> leave:int list -> unit
+
+val on_installed : 'p t -> (View.t -> unit) -> unit
+(** Protocol-level installation (before the marker reaches the
+    application); used to measure view-change latency. *)
+
+val on_excluded : 'p t -> (View.t -> unit) -> unit

@@ -1,0 +1,364 @@
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+open Types
+
+let log_src = Logs.Src.create "svs.protocol" ~doc:"SVS protocol (Figure 1)"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type 'p entry = Edata of 'p data | Eview of View.t
+
+(* Per-view-change bookkeeping (Figure 1's leave / global-pred /
+   pred-received variables, instantiated for the current view only:
+   older instances can never be consulted again because decisions for
+   past views are discarded). *)
+type 'p vc_state = {
+  mutable leave : int list;
+  mutable global_pred : 'p data Msg_id.Map.t;
+  mutable pred_received : int list;
+  mutable pred_sent : bool;
+  mutable proposed : bool;
+}
+
+type 'p t = {
+  me : int;
+  semantic : bool;
+  suspects : int -> bool;
+  mutable cv : View.t;
+  mutable blocked : bool;
+  mutable dead : bool; (* excluded from the group *)
+  mutable next_sn : int;
+  to_deliver : 'p entry Dq.t;
+  mutable delivered_this_view : 'p data list; (* reversed *)
+  floors : (int, int) Hashtbl.t; (* sender -> highest accepted sn *)
+  mutable vc : 'p vc_state option;
+  stash : (int * 'p wire) Queue.t; (* future-view messages *)
+  mutable outputs : 'p output list; (* reversed *)
+  mutable purged : int;
+  (* Stability tracking: the latest gossiped receive floors of every
+     peer; messages at or below every member's floor are stable and can
+     be dropped from the PRED bookkeeping. *)
+  peer_floors : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  mutable trimmed : int;
+}
+
+let create ~me ~initial_view ?(semantic = true) ~suspects () =
+  {
+    me;
+    semantic;
+    suspects;
+    cv = initial_view;
+    blocked = false;
+    dead = not (View.mem me initial_view);
+    next_sn = 0;
+    to_deliver = Dq.create ();
+    delivered_this_view = [];
+    floors = Hashtbl.create 16;
+    vc = None;
+    stash = Queue.create ();
+    outputs = [];
+    purged = 0;
+    peer_floors = Hashtbl.create 16;
+    trimmed = 0;
+  }
+
+let me t = t.me
+
+let current_view t = t.cv
+
+let blocked t = t.blocked
+
+let alive t = not t.dead
+
+let purged_count t = t.purged
+
+let to_deliver_length t =
+  let n = ref 0 in
+  Dq.iter (function Edata _ -> incr n | Eview _ -> ()) t.to_deliver;
+  !n
+
+let emit t o = t.outputs <- o :: t.outputs
+
+let take_outputs t =
+  let outs = List.rev t.outputs in
+  t.outputs <- [];
+  outs
+
+let floor_of t sender =
+  match Hashtbl.find_opt t.floors sender with Some sn -> sn | None -> -1
+
+let raise_floor t (id : Msg_id.t) =
+  if id.sn > floor_of t id.sender then Hashtbl.replace t.floors id.sender id.sn
+
+(* Incremental purge around a newly inserted message: with the queue
+   already purged, only pairs involving [fresh] can newly match. Both
+   directions are checked because enumeration annotations can relate
+   messages across senders in either queue order. *)
+let purge_around t (fresh : 'p data) =
+  if t.semantic then begin
+    let drop_fresh = ref false in
+    Dq.iter
+      (function
+        | Eview _ -> ()
+        | Edata m ->
+            if
+              (not (Msg_id.equal m.id fresh.id))
+              && m.view_id = fresh.view_id
+              && obsoletes fresh m
+            then drop_fresh := true)
+      t.to_deliver;
+    let keep = function
+      | Eview _ -> true
+      | Edata m ->
+          if Msg_id.equal m.id fresh.id then not !drop_fresh
+          else not (m.view_id = fresh.view_id && obsoletes m fresh)
+    in
+    t.purged <- t.purged + Dq.filter_in_place keep t.to_deliver
+  end
+
+(* Insert an accepted data message (t2 self-copy, t3 reception, or t7
+   injection) and purge. *)
+let accept t (d : 'p data) =
+  raise_floor t d.id;
+  Dq.push_back t.to_deliver (Edata d);
+  purge_around t d
+
+let stable_floor t sender =
+  List.fold_left
+    (fun acc p ->
+      let f =
+        if p = t.me then floor_of t sender
+        else
+          match Hashtbl.find_opt t.peer_floors p with
+          | None -> -1
+          | Some tbl -> Option.value ~default:(-1) (Hashtbl.find_opt tbl sender)
+      in
+      Stdlib.min acc f)
+    max_int t.cv.View.members
+
+let trim_stable t =
+  let keep (d : 'p data) = d.id.Msg_id.sn > stable_floor t d.id.Msg_id.sender in
+  let before = List.length t.delivered_this_view in
+  t.delivered_this_view <- List.filter keep t.delivered_this_view;
+  t.trimmed <- t.trimmed + (before - List.length t.delivered_this_view)
+
+let stable_trimmed t = t.trimmed
+
+let local_pred t =
+  let from_queue =
+    List.filter_map
+      (function Edata d when d.view_id = t.cv.View.id -> Some d | Edata _ | Eview _ -> None)
+      (Dq.to_list t.to_deliver)
+  in
+  List.rev_append t.delivered_this_view from_queue
+
+let accepted_in_view = local_pred
+
+let send_to_others t wire =
+  List.iter (fun dst -> if dst <> t.me then emit t (Send { dst; wire })) t.cv.View.members
+
+(* t7: once every unsuspected member's PRED arrived and they form a
+   majority, propose (pred-received \ leave, global-pred). *)
+let try_propose t =
+  match t.vc with
+  | None -> ()
+  | Some vc ->
+      let have p = List.mem p vc.pred_received in
+      let ready =
+        vc.pred_sent && (not vc.proposed)
+        && List.for_all (fun p -> t.suspects p || have p) t.cv.View.members
+        && List.length vc.pred_received >= View.majority t.cv
+      in
+      if ready then begin
+        vc.proposed <- true;
+        Log.debug (fun m ->
+            m "p%d: t7 proposing view %d with %d members, %d pred msgs" t.me
+              (t.cv.View.id + 1)
+              (List.length vc.pred_received)
+              (Msg_id.Map.cardinal vc.global_pred));
+        let members = List.filter (fun p -> not (List.mem p vc.leave)) vc.pred_received in
+        let next_view = View.make ~id:(t.cv.View.id + 1) ~members in
+        let pred =
+          List.map snd (Msg_id.Map.bindings vc.global_pred)
+          |> List.sort (fun a b -> Msg_id.compare a.id b.id)
+        in
+        emit t (Propose { view_id = t.cv.View.id; proposal = { next_view; pred } })
+      end
+
+let notify_suspicion_change t = if not t.dead then try_propose t
+
+let vc_state t =
+  match t.vc with
+  | Some vc -> vc
+  | None ->
+      let vc =
+        {
+          leave = [];
+          global_pred = Msg_id.Map.empty;
+          pred_received = [];
+          pred_sent = false;
+          proposed = false;
+        }
+      in
+      t.vc <- Some vc;
+      vc
+
+let multicast t ?(ann = Annotation.Unrelated) payload =
+  if t.dead || not (View.mem t.me t.cv) then Error `Not_member
+  else if t.blocked then Error `Blocked
+  else begin
+    let id = Msg_id.make ~sender:t.me ~sn:t.next_sn in
+    t.next_sn <- t.next_sn + 1;
+    let d = { id; view_id = t.cv.View.id; payload; ann } in
+    send_to_others t (Wdata d);
+    accept t d;
+    Ok d
+  end
+
+(* t5: first INIT for the current view. *)
+let handle_init t ~src ~leave =
+  if not t.blocked then begin
+    Log.debug (fun m ->
+        m "p%d: view change for %a started by %d (leave: %d)" t.me View.pp t.cv src
+          (List.length leave));
+    if src <> t.me then send_to_others t (Winit { view_id = t.cv.View.id; leave });
+    t.blocked <- true;
+    let vc = vc_state t in
+    vc.leave <- List.filter (fun p -> View.mem p t.cv) leave;
+    let pred = local_pred t in
+    send_to_others t (Wpred { view_id = t.cv.View.id; msgs = pred });
+    (* Self-delivery of our own PRED (the paper sends it to all,
+       including self). *)
+    vc.global_pred <-
+      List.fold_left (fun acc d -> Msg_id.Map.add d.id d acc) vc.global_pred pred;
+    if not (List.mem t.me vc.pred_received) then
+      vc.pred_received <- t.me :: vc.pred_received;
+    vc.pred_sent <- true;
+    try_propose t
+  end
+
+let handle_stable t ~src ~floors =
+  if src <> t.me then begin
+    let tbl =
+      match Hashtbl.find_opt t.peer_floors src with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace t.peer_floors src tbl;
+          tbl
+    in
+    List.iter
+      (fun (sender, sn) ->
+        match Hashtbl.find_opt tbl sender with
+        | Some old when old >= sn -> ()
+        | Some _ | None -> Hashtbl.replace tbl sender sn)
+      floors;
+    trim_stable t
+  end
+
+let gossip_stability t =
+  if (not t.dead) && not t.blocked then begin
+    let floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) t.floors [] in
+    if floors <> [] then send_to_others t (Wstable { floors })
+  end
+
+(* t6. *)
+let handle_pred t ~src ~msgs =
+  let vc = vc_state t in
+  vc.global_pred <-
+    List.fold_left (fun acc d -> Msg_id.Map.add d.id d acc) vc.global_pred msgs;
+  if not (List.mem src vc.pred_received) then vc.pred_received <- src :: vc.pred_received;
+  try_propose t
+
+(* t3. *)
+let handle_data t (d : 'p data) =
+  if not t.blocked then
+    if d.id.Msg_id.sn <= floor_of t d.id.Msg_id.sender then ()
+      (* duplicate (already accepted once) *)
+    else begin
+      let covered =
+        Dq.exists
+          (function
+            | Eview _ -> false
+            | Edata m -> m.view_id = d.view_id && covers d m && not (Msg_id.equal m.id d.id))
+          t.to_deliver
+      in
+      if covered && t.semantic then begin
+        (* Already obsolete on arrival: account it as accepted (for
+           FIFO floors) but never enqueue it. *)
+        raise_floor t d.id;
+        t.purged <- t.purged + 1
+      end
+      else accept t d
+    end
+
+let rec receive t ~src wire =
+  if not t.dead then
+    match wire with
+    | Wstable { floors } -> handle_stable t ~src ~floors
+    | Wdata _ | Winit _ | Wpred _ ->
+        let view_id =
+          match wire with
+          | Wdata d -> d.view_id
+          | Winit { view_id; _ } | Wpred { view_id; _ } -> view_id
+          | Wstable _ -> assert false
+        in
+        if view_id < t.cv.View.id then () (* stale: superseded by the agreed pred set *)
+        else if view_id > t.cv.View.id then Queue.add (src, wire) t.stash
+        else (
+          match wire with
+          | Wdata d -> handle_data t d
+          | Winit { leave; _ } -> handle_init t ~src ~leave
+          | Wpred { msgs; _ } -> handle_pred t ~src ~msgs
+          | Wstable _ -> assert false)
+
+and replay_stash t =
+  let pending = Queue.create () in
+  Queue.transfer t.stash pending;
+  Queue.iter (fun (src, wire) -> receive t ~src wire) pending
+
+and decided t ~view_id (p : 'p proposal) =
+  if (not t.dead) && view_id = t.cv.View.id then begin
+    if View.mem t.me p.next_view then begin
+      (* Inject agreed predecessors this process never accepted. The
+         floor check both deduplicates and preserves per-sender FIFO:
+         anything at or below the floor was accepted before (then
+         delivered or purged under a cover). *)
+      List.iter
+        (fun (d : 'p data) ->
+          if d.view_id = t.cv.View.id && d.id.Msg_id.sn > floor_of t d.id.Msg_id.sender
+          then accept t d)
+        p.pred;
+      Log.info (fun m ->
+          m "p%d: installing %a (injected pred, %d purged so far)" t.me View.pp p.next_view
+            t.purged);
+      Dq.push_back t.to_deliver (Eview p.next_view);
+      t.cv <- p.next_view;
+      t.blocked <- false;
+      t.vc <- None;
+      t.delivered_this_view <- [];
+      emit t (Installed p.next_view);
+      replay_stash t
+    end
+    else begin
+      Log.info (fun m -> m "p%d: excluded from %a" t.me View.pp p.next_view);
+      t.dead <- true;
+      t.vc <- None;
+      emit t (Excluded p.next_view)
+    end
+  end
+
+let trigger_view_change t ~leave =
+  if (not t.dead) && not t.blocked then begin
+    let wire = Winit { view_id = t.cv.View.id; leave } in
+    send_to_others t wire;
+    handle_init t ~src:t.me ~leave
+  end
+
+let deliver t =
+  match Dq.pop_front t.to_deliver with
+  | None -> None
+  | Some (Eview v) -> Some (View_change v)
+  | Some (Edata d) ->
+      if d.view_id = t.cv.View.id then t.delivered_this_view <- d :: t.delivered_this_view;
+      Some (Data d)

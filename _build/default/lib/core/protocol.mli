@@ -1,0 +1,92 @@
+(** The Semantic View Synchrony protocol of the paper's Figure 1.
+
+    One value of type ['p t] is a single process's protocol state. The
+    module is transport- and consensus-agnostic: every transition that
+    would send a message or start consensus instead pushes an
+    {!Types.output} which the embedding (usually {!Group}) drains with
+    {!take_outputs} and routes. Inputs are the paper's transitions:
+
+    - t1 {!deliver} — the application pulls the next message;
+    - t2 {!multicast} — the application sends, with an obsolescence
+      annotation;
+    - t3/t5/t6 {!receive} — a wire message ([DATA]/[INIT]/[PRED])
+      arrives;
+    - t4 {!trigger_view_change} — an external event requests removal
+      of some members;
+    - t7 completes through the consensus service: the [Propose] output
+      carries the (next view, predecessor set) proposal and {!decided}
+      feeds the decision back.
+
+    Purging (the shaded steps of Figure 1) runs at multicast,
+    reception, and view installation when [semantic] is on; with it off
+    the protocol is the underlying conventional View Synchrony
+    algorithm, which is also what an empty obsolescence relation
+    yields. *)
+
+type 'p t
+
+val create :
+  me:int ->
+  initial_view:View.t ->
+  ?semantic:bool ->
+  suspects:(int -> bool) ->
+  unit ->
+  'p t
+(** [semantic] defaults to [true]. [suspects] is the failure-detector
+    query used by the t7 guard. *)
+
+val me : 'p t -> int
+
+val current_view : 'p t -> View.t
+
+val blocked : 'p t -> bool
+(** True while a view change is in progress (between the first [INIT]
+    and the installation of the next view). *)
+
+val alive : 'p t -> bool
+(** False once the process has been excluded from the group. *)
+
+val to_deliver_length : 'p t -> int
+(** Data messages queued for the application (excludes view markers). *)
+
+val purged_count : 'p t -> int
+(** Total messages purged as obsolete since creation. *)
+
+val multicast :
+  'p t -> ?ann:Svs_obs.Annotation.t -> 'p -> ('p Types.data, [ `Blocked | `Not_member ]) result
+(** t2. [ann] defaults to [Unrelated]. Fails while {!blocked} (the
+    paper's guard: the application must retry after the view change)
+    or when this process is not (or no longer) a group member. *)
+
+val receive : 'p t -> src:int -> 'p Types.wire -> unit
+(** t3/t5/t6 with the guard discipline of Figure 1: messages for past
+    views are discarded, messages for future views are stashed and
+    re-examined after the next installation. *)
+
+val deliver : 'p t -> 'p Types.delivery option
+(** t1. [None] when the queue is empty. *)
+
+val trigger_view_change : 'p t -> leave:int list -> unit
+(** t4. Ignored while already {!blocked}. *)
+
+val notify_suspicion_change : 'p t -> unit
+(** Re-evaluate the t7 guard after the failure detector changed. *)
+
+val decided : 'p t -> view_id:int -> 'p Types.proposal -> unit
+(** Consensus decision for the view-change instance [view_id]. *)
+
+val take_outputs : 'p t -> 'p Types.output list
+(** Drain pending outputs, oldest first. *)
+
+val gossip_stability : 'p t -> unit
+(** Broadcast this process's per-sender receive floors ([STABLE]).
+    When every member's floor covers a delivered message, it is stable
+    and dropped from the PRED bookkeeping, keeping view changes cheap.
+    Call periodically; a no-op while blocked. *)
+
+val stable_trimmed : 'p t -> int
+(** Delivered messages garbage-collected as stable so far. *)
+
+val accepted_in_view : 'p t -> 'p Types.data list
+(** The local-pred sequence (messages of the current view accepted so
+    far, in order) — what t5 would send; exposed for tests. *)

@@ -1,0 +1,51 @@
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+
+type 'p data = {
+  id : Msg_id.t;
+  view_id : int;
+  payload : 'p;
+  ann : Annotation.t;
+}
+
+let obsoletes older newer =
+  Annotation.obsoletes ~older:(older.id, older.ann) ~newer:(newer.id, newer.ann)
+
+let covers older newer =
+  Annotation.covers ~older:(older.id, older.ann) ~newer:(newer.id, newer.ann)
+
+type 'p delivery =
+  | Data of 'p data
+  | View_change of View.t
+
+type 'p wire =
+  | Wdata of 'p data
+  | Winit of { view_id : int; leave : int list }
+  | Wpred of { view_id : int; msgs : 'p data list }
+  | Wstable of { floors : (int * int) list }
+
+type 'p proposal = {
+  next_view : View.t;
+  pred : 'p data list;
+}
+
+type 'p output =
+  | Send of { dst : int; wire : 'p wire }
+  | Propose of { view_id : int; proposal : 'p proposal }
+  | Installed of View.t
+  | Excluded of View.t
+
+let pp_data pp_payload ppf d =
+  Format.fprintf ppf "[DATA %a v%d %a %a]" Msg_id.pp d.id d.view_id pp_payload d.payload
+    Annotation.pp d.ann
+
+let pp_wire pp_payload ppf = function
+  | Wdata d -> pp_data pp_payload ppf d
+  | Winit { view_id; leave } ->
+      Format.fprintf ppf "[INIT v%d leave={%a}]" view_id
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        leave
+  | Wpred { view_id; msgs } -> Format.fprintf ppf "[PRED v%d |%d msgs|]" view_id (List.length msgs)
+  | Wstable { floors } -> Format.fprintf ppf "[STABLE |%d senders|]" (List.length floors)

@@ -1,0 +1,57 @@
+(** Shared message types of the SVS protocol (paper §3.2–3.3). *)
+
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+
+type 'p data = {
+  id : Msg_id.t;
+  view_id : int;  (** View in which the message was multicast. *)
+  payload : 'p;
+  ann : Annotation.t;  (** Obsolescence annotation (§4.2). *)
+}
+
+val obsoletes : 'p data -> 'p data -> bool
+(** [obsoletes older newer] per the annotations. *)
+
+val covers : 'p data -> 'p data -> bool
+
+type 'p delivery =
+  | Data of 'p data
+  | View_change of View.t
+      (** The paper's [VIEW] control message: everything delivered
+          before it belongs to the previous view. *)
+
+(** Wire messages: the paper's [DATA], [INIT] and [PRED], plus the
+    [STABLE] gossip used for stability tracking (§2.1 notes that a
+    message is kept "until it is known to be stable, i.e. received by
+    all processes"; gossiping per-sender receive floors lets members
+    garbage-collect stable messages from the PRED bookkeeping). *)
+type 'p wire =
+  | Wdata of 'p data
+  | Winit of { view_id : int; leave : int list }
+  | Wpred of { view_id : int; msgs : 'p data list }
+      (** The sender's accepted-to-deliver sequence for the view. *)
+  | Wstable of { floors : (int * int) list }
+      (** Per-sender highest contiguously received sequence number. *)
+
+type 'p proposal = {
+  next_view : View.t;
+  pred : 'p data list;
+      (** Agreed messages to deliver before installing [next_view],
+          sorted by (sender, sn). *)
+}
+
+type 'p output =
+  | Send of { dst : int; wire : 'p wire }
+  | Propose of { view_id : int; proposal : 'p proposal }
+      (** Hand this proposal to the consensus service for the instance
+          keyed by [view_id]. *)
+  | Installed of View.t
+  | Excluded of View.t
+      (** Consensus removed this process from the group. *)
+
+val pp_data :
+  (Format.formatter -> 'p -> unit) -> Format.formatter -> 'p data -> unit
+
+val pp_wire :
+  (Format.formatter -> 'p -> unit) -> Format.formatter -> 'p wire -> unit

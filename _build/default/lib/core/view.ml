@@ -1,0 +1,24 @@
+type t = { id : int; members : int list }
+
+let make ~id ~members =
+  if members = [] then invalid_arg "View.make: empty membership";
+  { id; members = List.sort_uniq compare members }
+
+let initial ~members = make ~id:0 ~members
+
+let mem p t = List.mem p t.members
+
+let size t = List.length t.members
+
+let majority t = (size t / 2) + 1
+
+let remove t l = make ~id:(t.id + 1) ~members:(List.filter (fun p -> not (List.mem p l)) t.members)
+
+let equal a b = a.id = b.id && a.members = b.members
+
+let pp ppf t =
+  Format.fprintf ppf "v%d{%a}" t.id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    t.members

@@ -1,0 +1,24 @@
+(** Group views: a numbered membership snapshot. *)
+
+type t = { id : int; members : int list }
+(** [members] is sorted and duplicate-free. *)
+
+val make : id:int -> members:int list -> t
+
+val initial : members:int list -> t
+(** View 0. *)
+
+val mem : int -> t -> bool
+
+val size : t -> int
+
+val majority : t -> int
+(** Smallest strict majority of the membership. *)
+
+val remove : t -> int list -> t
+(** [remove v l] is a candidate successor view: id + 1, members minus
+    [l]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

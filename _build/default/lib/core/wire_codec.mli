@@ -1,0 +1,59 @@
+(** Binary encoding of the SVS wire protocol.
+
+    Gives every control and data message a concrete byte
+    representation: used by tests (round-trip properties), by the
+    encoding ablation (real wire sizes instead of estimates), and by
+    the bandwidth-aware network model (transmission time proportional
+    to actual message size). *)
+
+module Codec = Svs_codec.Codec
+
+type 'p payload_codec = {
+  write : Codec.Writer.t -> 'p -> unit;
+  read : Codec.Reader.t -> 'p;
+}
+
+val unit_codec : unit payload_codec
+
+val int_codec : int payload_codec
+
+val string_codec : string payload_codec
+
+val pair_codec : 'a payload_codec -> 'b payload_codec -> ('a * 'b) payload_codec
+
+(** {1 Component encoders} *)
+
+val write_msg_id : Codec.Writer.t -> Svs_obs.Msg_id.t -> unit
+
+val read_msg_id : Codec.Reader.t -> Svs_obs.Msg_id.t
+
+val write_annotation : Codec.Writer.t -> Svs_obs.Annotation.t -> unit
+
+val read_annotation : Codec.Reader.t -> Svs_obs.Annotation.t
+
+val write_view : Codec.Writer.t -> View.t -> unit
+
+val read_view : Codec.Reader.t -> View.t
+
+val write_data : 'p payload_codec -> Codec.Writer.t -> 'p Types.data -> unit
+
+val read_data : 'p payload_codec -> Codec.Reader.t -> 'p Types.data
+
+(** {1 Whole messages} *)
+
+val write_wire : 'p payload_codec -> Codec.Writer.t -> 'p Types.wire -> unit
+
+val read_wire : 'p payload_codec -> Codec.Reader.t -> 'p Types.wire
+
+val wire_to_string : 'p payload_codec -> 'p Types.wire -> string
+
+val wire_of_string : 'p payload_codec -> string -> 'p Types.wire
+
+val wire_size : 'p payload_codec -> 'p Types.wire -> int
+(** Encoded size in bytes. *)
+
+val write_proposal : 'p payload_codec -> Codec.Writer.t -> 'p Types.proposal -> unit
+
+val read_proposal : 'p payload_codec -> Codec.Reader.t -> 'p Types.proposal
+
+val proposal_size : 'p payload_codec -> 'p Types.proposal -> int

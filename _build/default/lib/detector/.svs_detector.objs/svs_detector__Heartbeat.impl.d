@@ -1,0 +1,1 @@
+lib/detector/heartbeat.ml: List Svs_sim

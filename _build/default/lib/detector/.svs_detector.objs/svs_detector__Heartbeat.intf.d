@@ -1,0 +1,1 @@
+lib/detector/heartbeat.mli: Svs_sim

@@ -1,0 +1,1 @@
+lib/detector/oracle.ml: Array List

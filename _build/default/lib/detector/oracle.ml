@@ -1,0 +1,26 @@
+type t = {
+  crashed : bool array;
+  mutable callbacks : (int -> unit) list;
+}
+
+let create ~nodes =
+  if nodes <= 0 then invalid_arg "Oracle.create: need at least one node";
+  { crashed = Array.make nodes false; callbacks = [] }
+
+let mark_crashed t p =
+  if p < 0 || p >= Array.length t.crashed then invalid_arg "Oracle.mark_crashed: bad node";
+  if not t.crashed.(p) then begin
+    t.crashed.(p) <- true;
+    List.iter (fun f -> f p) t.callbacks
+  end
+
+let suspects t p = p >= 0 && p < Array.length t.crashed && t.crashed.(p)
+
+let suspected_set t =
+  let acc = ref [] in
+  for p = Array.length t.crashed - 1 downto 0 do
+    if t.crashed.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let on_suspect t f = t.callbacks <- f :: t.callbacks

@@ -1,0 +1,21 @@
+(** Perfect failure detector driven directly by simulation crash events.
+
+    The test/experiment harness notifies the oracle when it crashes a
+    node; every process then suspects exactly the crashed nodes. Used
+    where the evaluation needs consensus/view changes that are not
+    themselves under study. *)
+
+type t
+
+val create : nodes:int -> t
+
+val mark_crashed : t -> int -> unit
+
+val suspects : t -> int -> bool
+(** [suspects t p] is true iff [p] has been marked crashed. *)
+
+val suspected_set : t -> int list
+
+val on_suspect : t -> (int -> unit) -> unit
+(** Register a callback fired (once per node) when a node is marked
+    crashed. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Format Hashtbl List Pipeline Printf Spec Stdlib Svs_obs Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+lib/experiments/alternatives.ml: Array Float Format List Printf Spec Stdlib Svs_core Svs_obs Svs_stats Svs_workload

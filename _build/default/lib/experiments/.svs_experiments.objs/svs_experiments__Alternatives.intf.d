@@ -1,0 +1,1 @@
+lib/experiments/alternatives.mli: Format Spec

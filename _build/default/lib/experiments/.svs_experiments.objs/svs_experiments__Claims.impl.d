@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Fig4 Fig5 Format Last_resort List Pipeline Printf Spec Svs_stats Svs_workload View_latency

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Format List Printf Spec Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Format List Pipeline Printf Spec Svs_stats

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Format List Pipeline Printf Spec Stdlib Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+lib/experiments/last_resort.ml: Array Float Format List Printf Spec Stdlib String Svs_core Svs_net Svs_sim Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+lib/experiments/last_resort.mli: Format Spec

@@ -1,0 +1,1 @@
+lib/experiments/pipeline.ml: Array Float Stdlib Svs_core Svs_obs Svs_stats Svs_workload

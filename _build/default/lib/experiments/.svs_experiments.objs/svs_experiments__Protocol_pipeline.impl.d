@@ -1,0 +1,1 @@
+lib/experiments/protocol_pipeline.ml: Array Float Format List Pipeline Printf Spec Svs_core Svs_net Svs_sim Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+lib/experiments/protocol_pipeline.mli: Format Pipeline Spec

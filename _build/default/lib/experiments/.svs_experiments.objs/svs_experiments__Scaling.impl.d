@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Ablation Format List Pipeline Printf Stdlib Svs_game Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+lib/experiments/spec.ml: Format Stdlib Svs_game Svs_workload

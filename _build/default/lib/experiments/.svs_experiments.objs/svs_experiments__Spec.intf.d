@@ -1,0 +1,1 @@
+lib/experiments/spec.mli: Format Svs_workload

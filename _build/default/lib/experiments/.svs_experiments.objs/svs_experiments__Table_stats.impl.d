@@ -1,0 +1,1 @@
+lib/experiments/table_stats.ml: Format List Printf Spec Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+lib/experiments/table_stats.mli: Format Spec

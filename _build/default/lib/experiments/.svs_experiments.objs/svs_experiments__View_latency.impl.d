@@ -1,0 +1,1 @@
+lib/experiments/view_latency.ml: Array Float Format List Pipeline Printf Spec Stdlib Svs_core Svs_net Svs_sim Svs_stats Svs_workload

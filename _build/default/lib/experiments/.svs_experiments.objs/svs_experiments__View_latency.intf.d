@@ -1,0 +1,1 @@
+lib/experiments/view_latency.mli: Format Pipeline Spec

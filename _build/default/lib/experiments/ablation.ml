@@ -1,0 +1,123 @@
+module Trace = Svs_workload.Trace
+module Stream = Svs_workload.Stream
+module Annotation = Svs_obs.Annotation
+module Msg_id = Svs_obs.Msg_id
+module Enum_builder = Svs_obs.Enum_builder
+module Series = Svs_stats.Series
+
+type encoding = Tagging | Enumeration | Kenumeration
+
+let encoding_label = function
+  | Tagging -> "item tagging"
+  | Enumeration -> "message enumeration"
+  | Kenumeration -> "k-enumeration"
+
+type row = {
+  encoding : encoding;
+  threshold : float;
+  purged_at_30 : int;
+  bytes_per_message : float;
+}
+
+(* Single-item re-annotation shared by tagging and enumeration: one
+   message per op, updates purgeable, creations/destructions reliable. *)
+let single_item_stream ~annotate_update trace =
+  let messages = ref [] in
+  let sn = ref 0 in
+  Trace.iter_rounds
+    (fun round_ix { Trace.ops; _ } ->
+      let base = float_of_int round_ix /. trace.Trace.round_rate in
+      let n = List.length ops in
+      let dt =
+        if n = 0 then 0.0 else 1.0 /. trace.Trace.round_rate /. float_of_int (n + 1)
+      in
+      List.iteri
+        (fun j op ->
+          let kind, ann =
+            match op.Trace.kind with
+            | Trace.Update -> (Stream.Update, annotate_update ~sn:!sn ~item:op.Trace.item)
+            | Trace.Create -> (Stream.Create, Annotation.Unrelated)
+            | Trace.Destroy -> (Stream.Destroy, Annotation.Unrelated)
+          in
+          messages :=
+            {
+              Stream.sn = !sn;
+              round = round_ix;
+              time = base +. (float_of_int (j + 1) *. dt);
+              item = Some op.Trace.item;
+              kind;
+              ann;
+            }
+            :: !messages;
+          incr sn)
+        ops)
+    trace;
+  Array.of_list (List.rev !messages)
+
+let annotate encoding ?(k = 30) ?(window = 16) trace =
+  match encoding with
+  | Kenumeration -> Stream.of_trace ~k trace
+  | Tagging ->
+      single_item_stream trace ~annotate_update:(fun ~sn:_ ~item -> Annotation.Tag item)
+  | Enumeration ->
+      let builder = Enum_builder.create ~window () in
+      let last_update : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      single_item_stream trace ~annotate_update:(fun ~sn ~item ->
+          let id = Msg_id.make ~sender:0 ~sn in
+          let direct =
+            match Hashtbl.find_opt last_update item with
+            | Some prev -> [ Msg_id.make ~sender:0 ~sn:prev ]
+            | None -> []
+          in
+          Hashtbl.replace last_update item sn;
+          Annotation.Enum (Enum_builder.next builder ~id ~direct))
+
+let bytes_per_message encoding ~k messages =
+  match encoding with
+  | Tagging -> 4.0
+  | Kenumeration -> float_of_int ((k + 7) / 8)
+  | Enumeration ->
+      let total_preds =
+        Array.fold_left
+          (fun acc (m : Stream.message) ->
+            match m.Stream.ann with
+            | Annotation.Enum preds -> acc + List.length preds
+            | Annotation.Tag _ | Annotation.Kenum _ | Annotation.Unrelated -> acc)
+          0 messages
+      in
+      8.0 *. float_of_int total_preds /. float_of_int (Array.length messages)
+
+let rows ?(spec = Spec.default) ?(buffer = 15) () =
+  let trace = Spec.trace spec in
+  let k = Stdlib.max 8 (spec.Spec.k_factor * buffer) in
+  List.map
+    (fun encoding ->
+      let messages = annotate encoding ~k trace in
+      let threshold = Pipeline.threshold ~messages ~buffer ~mode:Pipeline.Semantic () in
+      let at30 =
+        Pipeline.run ~messages { Pipeline.buffer; consumer_rate = 30.0; mode = Pipeline.Semantic }
+      in
+      {
+        encoding;
+        threshold;
+        purged_at_30 = at30.Pipeline.purged;
+        bytes_per_message = bytes_per_message encoding ~k messages;
+      })
+    [ Tagging; Enumeration; Kenumeration ]
+
+let print ?(spec = Spec.default) ppf () =
+  Format.fprintf ppf
+    "A1: obsolescence-representation ablation (buffer 15, semantic pipeline)@.";
+  let rws = rows ~spec () in
+  Series.render_table ppf
+    ~header:[ "encoding"; "threshold (msg/s)"; "purged @30msg/s"; "bytes/msg" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             encoding_label r.encoding;
+             Printf.sprintf "%.1f" r.threshold;
+             string_of_int r.purged_at_30;
+             Printf.sprintf "%.1f" r.bytes_per_message;
+           ])
+         rws)

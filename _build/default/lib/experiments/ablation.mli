@@ -1,0 +1,30 @@
+(** A1 — ablation of the obsolescence representations of §4.2.
+
+    The same trace is annotated three ways — item tagging, message
+    enumeration (with a bounded window), and k-enumeration batches —
+    and replayed through the §5.3 pipeline. The experiment compares
+    purging effectiveness (threshold consumer rate) and the wire-size
+    cost of each representation.
+
+    Tagging and enumeration are applied per single-item update (they
+    cannot express composite-update atomicity, which is why the paper
+    builds k-enumeration); creations and destructions stay reliable. *)
+
+type encoding = Tagging | Enumeration | Kenumeration
+
+val encoding_label : encoding -> string
+
+type row = {
+  encoding : encoding;
+  threshold : float;  (** msg/s at buffer 15, 5% disturbance. *)
+  purged_at_30 : int;  (** Purged messages at a 30 msg/s consumer. *)
+  bytes_per_message : float;  (** Representation cost estimate. *)
+}
+
+val annotate : encoding -> ?k:int -> ?window:int -> Svs_workload.Trace.t -> Svs_workload.Stream.message array
+(** Re-annotate a trace under the given encoding ([k], default 30, for
+    k-enumeration; [window], default 16, for enumeration). *)
+
+val rows : ?spec:Spec.t -> ?buffer:int -> unit -> row list
+
+val print : ?spec:Spec.t -> Format.formatter -> unit -> unit

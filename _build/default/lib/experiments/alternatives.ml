@@ -1,0 +1,196 @@
+module Dq = Svs_core.Dq
+module Stream = Svs_workload.Stream
+module Trace_stats = Svs_workload.Trace_stats
+module Annotation = Svs_obs.Annotation
+module Series = Svs_stats.Series
+
+type policy = Exclude | Big_buffers | Deadline | Svs
+
+let policy_label = function
+  | Exclude -> "exclude slow member"
+  | Big_buffers -> "over-provisioned buffers"
+  | Deadline -> "deadline drop (Δ-causal)"
+  | Svs -> "semantic view synchrony"
+
+type row = {
+  policy : policy;
+  reconfigurations : int;
+  peak_buffer : int;
+  blocked_fraction : float;
+  lost_live : int;
+  purged_obsolete : int;
+}
+
+type config = {
+  buffer : int;
+  consumer_rate : float;
+  freeze_every : float;
+  freeze_for : float;
+  grace : float;
+  deadline : float;
+}
+
+let default_config =
+  {
+    buffer = 15;
+    consumer_rate = 100.0;
+    freeze_every = 30.0;
+    freeze_for = 1.0;
+    grace = 0.05;
+    deadline = 0.3;
+  }
+
+type entry = { msg : Stream.message; mutable inserted : float }
+
+let run ?(spec = Spec.default) ?(config = default_config) policy =
+  let messages = Spec.messages ~buffer:config.buffer spec in
+  let covers = Trace_stats.cover_distances messages in
+  let n = Array.length messages in
+  let cap = match policy with Big_buffers -> max_int | Exclude | Deadline | Svs -> config.buffer in
+  let service = 1.0 /. config.consumer_rate in
+  let buffer : entry Dq.t = Dq.create () in
+  let lag = ref 0.0 in
+  let blocked_time = ref 0.0 in
+  let consumer_free = ref 0.0 in
+  let excluded = ref false in
+  let reconfigurations = ref 0 in
+  let peak = ref 0 in
+  let lost_live = ref 0 in
+  let purged_obsolete = ref 0 in
+  let last_time = ref 0.0 in
+
+  let frozen t = t >= config.freeze_every && Float.rem t config.freeze_every < config.freeze_for in
+  let end_of_freeze t =
+    (Float.of_int (int_of_float (t /. config.freeze_every)) *. config.freeze_every)
+    +. config.freeze_for
+  in
+  let next_healthy t = if frozen t then end_of_freeze t else t in
+
+  let msg_id (m : Stream.message) = Stream.id_of ~sender:0 m in
+  let obsoletes older newer =
+    Annotation.obsoletes
+      ~older:(msg_id older.msg, older.msg.Stream.ann)
+      ~newer:(msg_id newer, newer.Stream.ann)
+  in
+  let insert now (m : Stream.message) =
+    if policy = Svs then
+      purged_obsolete :=
+        !purged_obsolete
+        + Dq.filter_in_place (fun e -> not (obsoletes e m)) buffer;
+    Dq.push_back buffer { msg = m; inserted = now };
+    peak := Stdlib.max !peak (Dq.length buffer)
+  in
+  (* Deadline policy: when full, shed expired messages from the head. *)
+  let shed_expired now =
+    let removed =
+      Dq.filter_in_place
+        (fun e ->
+          let keep = now -. e.inserted <= config.deadline in
+          if not keep then begin
+            let ix = e.msg.Stream.sn in
+            if ix >= 0 && ix < n && covers.(ix) = None then incr lost_live
+            else incr purged_obsolete
+          end;
+          keep)
+        buffer
+    in
+    removed > 0
+  in
+  let pop now =
+    ignore (Dq.pop_front buffer);
+    consumer_free := now +. service;
+    last_time := now
+  in
+  let i = ref 0 in
+  let running = ref true in
+  while !running do
+    let next_emit = if !i < n then messages.(!i).Stream.time +. !lag else infinity in
+    let next_pop =
+      if Dq.is_empty buffer || !excluded then infinity
+      else next_healthy (Float.max !consumer_free (Float.min next_emit !consumer_free))
+    in
+    (* A frozen consumer's next pop happens when it thaws. *)
+    let next_pop =
+      if next_pop = infinity then infinity else next_healthy (Float.max next_pop !consumer_free)
+    in
+    if next_emit = infinity && (Dq.is_empty buffer || !excluded) then running := false
+    else if next_pop <= next_emit then pop next_pop
+    else begin
+      let m = messages.(!i) in
+      let te = next_emit in
+      (* Rejoin a previously excluded member once it is healthy. *)
+      if !excluded && not (frozen te) then excluded := false;
+      if !excluded then begin
+        (* The slow member is out of the group: nothing is buffered for
+           it; the producer proceeds unimpeded. *)
+        last_time := Float.max !last_time te;
+        incr i
+      end
+      else if Dq.length buffer < cap then begin
+        insert te m;
+        if !consumer_free < te then consumer_free := te +. service;
+        last_time := Float.max !last_time te;
+        incr i
+      end
+      else if policy = Deadline && shed_expired te then begin
+        insert te m;
+        last_time := Float.max !last_time te;
+        incr i
+      end
+      else begin
+        (* Full: the producer is blocked until the consumer frees a
+           slot (possibly not before the freeze ends). *)
+        let resume = next_healthy (Float.max !consumer_free te) in
+        if policy = Exclude && resume -. te > config.grace then begin
+          (* Flow control exceeded the grace period: expel the member.
+             Its buffered messages are dropped here (a real system
+             would state-transfer on re-join). *)
+          incr reconfigurations;
+          excluded := true;
+          blocked_time := !blocked_time +. config.grace;
+          lag := !lag +. config.grace;
+          Dq.clear buffer;
+          last_time := Float.max !last_time (te +. config.grace);
+          incr i
+        end
+        else begin
+          blocked_time := !blocked_time +. (resume -. te);
+          lag := !lag +. (resume -. te);
+          pop resume;
+          insert resume m;
+          incr i
+        end
+      end
+    end
+  done;
+  let duration = !last_time in
+  {
+    policy;
+    reconfigurations = !reconfigurations;
+    peak_buffer = !peak;
+    blocked_fraction = (if duration > 0.0 then !blocked_time /. duration else 0.0);
+    lost_live = !lost_live;
+    purged_obsolete = !purged_obsolete;
+  }
+
+let print ?(spec = Spec.default) ?(config = default_config) ppf () =
+  Format.fprintf ppf
+    "A3/A4: design alternatives under periodic perturbations (receiver freezes %.1fs every \
+     %.0fs; buffer %d; consumer %.0f msg/s)@."
+    config.freeze_for config.freeze_every config.buffer config.consumer_rate;
+  let rows = List.map (fun p -> run ~spec ~config p) [ Exclude; Big_buffers; Deadline; Svs ] in
+  Series.render_table ppf
+    ~header:
+      [ "policy"; "reconfigs"; "peak buffer"; "producer blocked"; "lost live msgs"; "skipped obsolete" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             policy_label r.policy;
+             string_of_int r.reconfigurations;
+             (if r.peak_buffer = max_int then "unbounded" else string_of_int r.peak_buffer);
+             Printf.sprintf "%.2f%%" (100.0 *. r.blocked_fraction);
+             string_of_int r.lost_live;
+             string_of_int r.purged_obsolete;
+           ])
+         rows)

@@ -1,0 +1,51 @@
+(** A3/A4 — the design alternatives the paper argues against.
+
+    §2.2 lists three ways to survive a perturbed member without SVS:
+    expel it, over-provision buffers, or weaken reliability; §6 adds
+    time-based (Δ-causal / deadline) message dropping. This experiment
+    puts each policy through the same workload — a receiver that
+    freezes periodically — and quantifies the cost the paper claims
+    each one pays:
+
+    - [Exclude]: bounded buffer, no purging; a member blocking the
+      producer beyond a grace period is expelled and later re-joins
+      (costing a reconfiguration + state transfer each time).
+    - [Big_buffers]: no purging, buffers large enough to mask the
+      perturbation — the cost is the peak memory.
+    - [Deadline]: bounded buffer; when full, messages older than Δ are
+      dropped regardless of content — the cost is losing messages that
+      were never made obsolete (real information loss).
+    - [Svs]: bounded buffer with semantic purging — drops only covered
+      content, never blocks long, never reconfigures. *)
+
+type policy = Exclude | Big_buffers | Deadline | Svs
+
+val policy_label : policy -> string
+
+type row = {
+  policy : policy;
+  reconfigurations : int;  (** Times the slow member was expelled. *)
+  peak_buffer : int;  (** Maximum messages buffered. *)
+  blocked_fraction : float;  (** Producer flow-control stall. *)
+  lost_live : int;
+      (** Messages dropped that no later message made obsolete —
+          the receiver's state is missing real content. 0 for
+          Exclude/Big_buffers/Svs. *)
+  purged_obsolete : int;  (** Covered messages skipped (harmless). *)
+}
+
+type config = {
+  buffer : int;  (** Bound for Exclude/Deadline/Svs. *)
+  consumer_rate : float;  (** While the receiver is healthy. *)
+  freeze_every : float;  (** Perturbation period (s). *)
+  freeze_for : float;  (** Perturbation length (s). *)
+  grace : float;  (** Producer stall tolerated before expelling. *)
+  deadline : float;  (** Δ for the Deadline policy (s). *)
+}
+
+val default_config : config
+
+val run :
+  ?spec:Spec.t -> ?config:config -> policy -> row
+
+val print : ?spec:Spec.t -> ?config:config -> Format.formatter -> unit -> unit

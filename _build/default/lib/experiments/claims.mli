@@ -1,0 +1,22 @@
+(** Machine-checked reproduction claims.
+
+    Each qualitative claim the paper's evaluation makes is encoded as a
+    predicate over freshly measured results, so the reproduction can be
+    re-validated on any machine, seed or workload with one command
+    ([svs_cli claims]). These are the same invariants the test suite
+    guards, packaged as a user-facing report. *)
+
+type verdict = {
+  id : string;  (** e.g. "C3" *)
+  claim : string;  (** The paper's statement, paraphrased. *)
+  source : string;  (** Where the paper makes it. *)
+  holds : bool;
+  detail : string;  (** The measured numbers behind the verdict. *)
+}
+
+val evaluate : ?spec:Spec.t -> unit -> verdict list
+(** Runs the underlying experiments (on a shortened trace by default
+    when [spec] is not given — a few seconds of compute). *)
+
+val print : ?spec:Spec.t -> Format.formatter -> unit -> unit
+(** Render the report; the final line states how many claims hold. *)

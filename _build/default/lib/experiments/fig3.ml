@@ -1,0 +1,39 @@
+module Series = Svs_stats.Series
+module Histogram = Svs_stats.Histogram
+module Trace_stats = Svs_workload.Trace_stats
+
+let fig3a ?(spec = Spec.default) ?(max_rank = 50) () =
+  let trace = Spec.trace spec in
+  let ranks = Trace_stats.rank_frequencies trace in
+  let points =
+    List.filter_map
+      (fun (rank, pct) -> if rank <= max_rank then Some (float_of_int rank, pct) else None)
+      ranks
+  in
+  Series.make ~label:"% of rounds" points
+
+let fig3b ?(spec = Spec.default) ?(max_distance = 20) () =
+  let messages = Spec.messages spec in
+  let h = Trace_stats.obsolescence_distances messages in
+  let total = float_of_int (Histogram.count h) in
+  let points =
+    List.filter_map
+      (fun (d, c) ->
+        if d <= max_distance then Some (float_of_int d, 100.0 *. float_of_int c /. total)
+        else None)
+      (Histogram.buckets h)
+  in
+  Series.make ~label:"% of messages" points
+
+let print ?(spec = Spec.default) ppf () =
+  Format.fprintf ppf "Figure 3(a): frequency of item modifications (workload: %a)@."
+    Spec.pp_workload spec.Spec.workload;
+  Series.render ~x_label:"item rank"
+    ~y_format:(Printf.sprintf "%.2f")
+    ppf
+    [ fig3a ~spec () ];
+  Format.fprintf ppf "@.Figure 3(b): obsolescence distance@.";
+  Series.render ~x_label:"distance"
+    ~y_format:(Printf.sprintf "%.2f")
+    ppf
+    [ fig3b ~spec () ]

@@ -1,0 +1,14 @@
+(** Figure 3 — characterisation of access to application state.
+
+    (a) Frequency of item modifications by item rank (% of rounds).
+    (b) Distribution of the distance to the closest related message. *)
+
+val fig3a : ?spec:Spec.t -> ?max_rank:int -> unit -> Svs_stats.Series.t
+(** Default [max_rank] 50, as in the paper's plot. *)
+
+val fig3b : ?spec:Spec.t -> ?max_distance:int -> unit -> Svs_stats.Series.t
+(** Percentage of obsoleted messages by distance; default
+    [max_distance] 20 as in the paper's plot. *)
+
+val print : ?spec:Spec.t -> Format.formatter -> unit -> unit
+(** Render both sub-figures as text tables. *)

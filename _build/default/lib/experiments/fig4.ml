@@ -1,0 +1,51 @@
+module Series = Svs_stats.Series
+
+type point = {
+  rate : float;
+  reliable : Pipeline.result;
+  semantic : Pipeline.result;
+}
+
+let default_rates =
+  [ 10.; 20.; 28.; 30.; 40.; 50.; 60.; 73.; 80.; 90.; 100.; 110.; 120.; 130.; 140. ]
+
+let sweep ?(spec = Spec.default) ?(buffer = 15) ?(rates = default_rates) () =
+  let messages = Spec.messages ~buffer spec in
+  let run mode rate =
+    Pipeline.run ~messages { Pipeline.buffer; consumer_rate = rate; mode }
+  in
+  List.map
+    (fun rate ->
+      { rate; reliable = run Pipeline.Reliable rate; semantic = run Pipeline.Semantic rate })
+    rates
+
+let idle (r : Pipeline.result) = 100.0 *. (1.0 -. r.Pipeline.blocked_fraction)
+
+let fig4a points =
+  let series mode extract =
+    Series.make ~label:(Pipeline.mode_label mode)
+      (List.map (fun p -> (p.rate, extract p)) points)
+  in
+  [
+    series Pipeline.Reliable (fun p -> idle p.reliable);
+    series Pipeline.Semantic (fun p -> idle p.semantic);
+  ]
+
+let fig4b points =
+  let series mode extract =
+    Series.make ~label:(Pipeline.mode_label mode)
+      (List.map (fun p -> (p.rate, extract p)) points)
+  in
+  [
+    series Pipeline.Reliable (fun p -> p.reliable.Pipeline.mean_occupancy);
+    series Pipeline.Semantic (fun p -> p.semantic.Pipeline.mean_occupancy);
+  ]
+
+let print ?(spec = Spec.default) ?(buffer = 15) ppf () =
+  let points = sweep ~spec ~buffer () in
+  Format.fprintf ppf
+    "Figure 4(a): producer idle %% vs consumer rate (buffer=%d msgs, workload: %a)@." buffer
+    Spec.pp_workload spec.Spec.workload;
+  Series.render ~x_label:"consumer msg/s" ~y_format:(Printf.sprintf "%.1f") ppf (fig4a points);
+  Format.fprintf ppf "@.Figure 4(b): buffer occupancy (msgs) vs consumer rate@.";
+  Series.render ~x_label:"consumer msg/s" ~y_format:(Printf.sprintf "%.2f") ppf (fig4b points)

@@ -1,0 +1,24 @@
+(** Figure 4 — impact of an increasingly slow consumer with a fixed
+    buffer, reliable vs semantic.
+
+    (a) Producer idle % (100% = never blocked by flow control) as the
+    consumer rate decreases.
+    (b) Time-weighted buffer occupancy over the same sweep. *)
+
+type point = {
+  rate : float;
+  reliable : Pipeline.result;
+  semantic : Pipeline.result;
+}
+
+val sweep : ?spec:Spec.t -> ?buffer:int -> ?rates:float list -> unit -> point list
+(** Default buffer 15 (the paper's §5.4 text), default rates
+    10..140 msg/s. *)
+
+val fig4a : point list -> Svs_stats.Series.t list
+(** Producer idle %, one series per mode. *)
+
+val fig4b : point list -> Svs_stats.Series.t list
+(** Mean buffer occupancy, one series per mode. *)
+
+val print : ?spec:Spec.t -> ?buffer:int -> Format.formatter -> unit -> unit

@@ -1,0 +1,67 @@
+module Series = Svs_stats.Series
+
+type point = {
+  buffer : int;
+  reliable_threshold : float;
+  semantic_threshold : float;
+  reliable_perturbation : float;
+  semantic_perturbation : float;
+}
+
+let default_buffers = [ 4; 8; 12; 16; 20; 24; 28 ]
+
+let sweep ?(spec = Spec.default) ?(buffers = default_buffers) () =
+  let trace = Spec.trace spec in
+  let points =
+    List.map
+      (fun buffer ->
+        (* The paper sizes k to twice the buffer, so the stream is
+           re-annotated per buffer size. *)
+        let k = Stdlib.max 8 (spec.Spec.k_factor * buffer) in
+        let messages = Svs_workload.Stream.of_trace ~k trace in
+        {
+          buffer;
+          reliable_threshold =
+            Pipeline.threshold ~messages ~buffer ~mode:Pipeline.Reliable ();
+          semantic_threshold =
+            Pipeline.threshold ~messages ~buffer ~mode:Pipeline.Semantic ();
+          reliable_perturbation =
+            Pipeline.perturbation_tolerance ~messages ~buffer ~mode:Pipeline.Reliable ();
+          semantic_perturbation =
+            Pipeline.perturbation_tolerance ~messages ~buffer ~mode:Pipeline.Semantic ();
+        })
+      buffers
+  in
+  let avg_rate =
+    let messages = Svs_workload.Stream.of_trace ~k:30 trace in
+    Svs_workload.Stream.mean_rate messages trace
+  in
+  (points, avg_rate)
+
+let fig5a (points, avg_rate) =
+  [
+    Series.make ~label:"reliable"
+      (List.map (fun p -> (float_of_int p.buffer, p.reliable_threshold)) points);
+    Series.make ~label:"semantic"
+      (List.map (fun p -> (float_of_int p.buffer, p.semantic_threshold)) points);
+    Series.make ~label:"avg input rate"
+      (List.map (fun p -> (float_of_int p.buffer, avg_rate)) points);
+  ]
+
+let fig5b (points, _) =
+  [
+    Series.make ~label:"reliable"
+      (List.map (fun p -> (float_of_int p.buffer, 1000.0 *. p.reliable_perturbation)) points);
+    Series.make ~label:"semantic"
+      (List.map (fun p -> (float_of_int p.buffer, 1000.0 *. p.semantic_perturbation)) points);
+  ]
+
+let print ?(spec = Spec.default) ppf () =
+  let data = sweep ~spec () in
+  Format.fprintf ppf
+    "Figure 5(a): threshold consumer rate (msg/s, <=5%% producer disturbance) vs buffer \
+     size (workload: %a)@."
+    Spec.pp_workload spec.Spec.workload;
+  Series.render ~x_label:"buffer (msg)" ~y_format:(Printf.sprintf "%.1f") ppf (fig5a data);
+  Format.fprintf ppf "@.Figure 5(b): tolerated perturbation (ms) vs buffer size@.";
+  Series.render ~x_label:"buffer (msg)" ~y_format:(Printf.sprintf "%.0f") ppf (fig5b data)

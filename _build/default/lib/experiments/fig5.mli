@@ -1,0 +1,24 @@
+(** Figure 5 — impact of purging as a function of buffer size.
+
+    (a) Threshold consumer rate (lowest rate disturbing the producer
+    at most 5%) vs buffer size; the paper also plots the average input
+    rate as a horizontal reference.
+    (b) Tolerated full-stop perturbation length (ms) vs buffer size. *)
+
+type point = {
+  buffer : int;
+  reliable_threshold : float;
+  semantic_threshold : float;
+  reliable_perturbation : float;  (** seconds *)
+  semantic_perturbation : float;  (** seconds *)
+}
+
+val sweep : ?spec:Spec.t -> ?buffers:int list -> unit -> point list * float
+(** Returns the points and the average input rate (msg/s). Default
+    buffers 4..28 step 4 (the paper's x range). *)
+
+val fig5a : point list * float -> Svs_stats.Series.t list
+
+val fig5b : point list * float -> Svs_stats.Series.t list
+
+val print : ?spec:Spec.t -> Format.formatter -> unit -> unit

@@ -1,0 +1,159 @@
+module Dq = Svs_core.Dq
+module Stream = Svs_workload.Stream
+module Annotation = Svs_obs.Annotation
+module Timeline = Svs_stats.Timeline
+
+type mode = Reliable | Semantic
+
+let mode_label = function Reliable -> "reliable" | Semantic -> "semantic"
+
+type config = {
+  buffer : int;
+  consumer_rate : float;
+  mode : mode;
+}
+
+type result = {
+  duration : float;
+  produced : int;
+  delivered : int;
+  purged : int;
+  blocked_time : float;
+  blocked_fraction : float;
+  mean_occupancy : float;
+  max_occupancy : int;
+}
+
+let msg_id (m : Stream.message) = Stream.id_of ~sender:0 m
+
+(* Insert with purge: the incoming message removes the queued messages
+   it obsoletes (Figure 1's purge, restricted to the single producer
+   stream of this model). Returns how many were purged. *)
+let insert ~mode buffer (m : Stream.message) =
+  let purged =
+    match mode with
+    | Reliable -> 0
+    | Semantic ->
+        Dq.filter_in_place
+          (fun (q : Stream.message) ->
+            not
+              (Annotation.obsoletes ~older:(msg_id q, q.Stream.ann)
+                 ~newer:(msg_id m, m.Stream.ann)))
+          buffer
+  in
+  Dq.push_back buffer m;
+  purged
+
+let run ~messages config =
+  if config.buffer <= 0 then invalid_arg "Pipeline.run: buffer must be positive";
+  if config.consumer_rate <= 0.0 then invalid_arg "Pipeline.run: consumer rate must be positive";
+  let n = Array.length messages in
+  let service = 1.0 /. config.consumer_rate in
+  let buffer : Stream.message Dq.t = Dq.create () in
+  let occupancy = Timeline.create () in
+  let lag = ref 0.0 in
+  let blocked_time = ref 0.0 in
+  let purged = ref 0 in
+  let delivered = ref 0 in
+  let consumer_free = ref 0.0 in
+  let last_time = ref 0.0 in
+  let note_occupancy time = Timeline.set occupancy ~time (float_of_int (Dq.length buffer)) in
+  let consume time =
+    ignore (Dq.pop_front buffer);
+    incr delivered;
+    consumer_free := time +. service;
+    note_occupancy time;
+    last_time := time
+  in
+  let i = ref 0 in
+  let running = ref true in
+  while !running do
+    let next_emit = if !i < n then messages.(!i).Stream.time +. !lag else infinity in
+    let next_consume = if Dq.is_empty buffer then infinity else !consumer_free in
+    if next_emit = infinity && next_consume = infinity then running := false
+    else if next_consume <= next_emit then consume next_consume
+    else begin
+      let m = messages.(!i) in
+      if Dq.length buffer >= config.buffer then begin
+        (* Producer blocked by flow control until the consumer frees a
+           slot. The consumer cannot be idle here (the buffer is
+           non-empty), so it next pops at [consumer_free]. *)
+        let resume = !consumer_free in
+        assert (resume > next_emit);
+        blocked_time := !blocked_time +. (resume -. next_emit);
+        lag := !lag +. (resume -. next_emit);
+        consume resume;
+        purged := !purged + insert ~mode:config.mode buffer m;
+        note_occupancy resume;
+        incr i
+      end
+      else begin
+        purged := !purged + insert ~mode:config.mode buffer m;
+        (* An idle consumer starts on the new head immediately. *)
+        if !consumer_free < next_emit then consumer_free := next_emit +. service;
+        note_occupancy next_emit;
+        last_time := Float.max !last_time next_emit;
+        incr i
+      end
+    end
+  done;
+  let duration = !last_time in
+  Timeline.finish occupancy ~time:duration;
+  {
+    duration;
+    produced = n;
+    delivered = !delivered;
+    purged = !purged;
+    blocked_time = !blocked_time;
+    blocked_fraction = (if duration > 0.0 then !blocked_time /. duration else 0.0);
+    mean_occupancy = Timeline.mean occupancy;
+    max_occupancy = int_of_float (Timeline.max_value occupancy);
+  }
+
+let threshold ~messages ~buffer ~mode ?(tolerance = 0.5) ?(max_blocked = 0.05) () =
+  let blocked_at rate =
+    (run ~messages { buffer; consumer_rate = rate; mode }).blocked_fraction
+  in
+  (* Blocked fraction decreases with consumer rate: bisect. *)
+  let rec bisect lo hi =
+    if hi -. lo <= tolerance then hi
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if blocked_at mid <= max_blocked then bisect lo mid else bisect mid hi
+  in
+  let hi = 400.0 in
+  if blocked_at hi > max_blocked then infinity else bisect 0.25 hi
+
+let perturbation_tolerance ~messages ~buffer ~mode ?(samples = 200) () =
+  let n = Array.length messages in
+  if n = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    let count = ref 0 in
+    let step = Stdlib.max 1 (n / samples) in
+    let start = ref 0 in
+    while !start < n do
+      let s = !start in
+      let buffer_q : Stream.message Dq.t = Dq.create () in
+      let t0 = messages.(s).Stream.time in
+      let elapsed = ref None in
+      let j = ref s in
+      while !elapsed = None && !j < n do
+        let m = messages.(!j) in
+        if Dq.length buffer_q >= buffer then elapsed := Some (m.Stream.time -. t0)
+        else begin
+          ignore (insert ~mode buffer_q m);
+          incr j
+        end
+      done;
+      let tol =
+        match !elapsed with
+        | Some e -> e
+        | None -> messages.(n - 1).Stream.time -. t0 (* censored: never filled *)
+      in
+      total := !total +. tol;
+      incr count;
+      start := !start + step
+    done;
+    !total /. float_of_int !count
+  end

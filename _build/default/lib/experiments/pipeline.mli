@@ -1,0 +1,59 @@
+(** The paper's §5.3 simulation model: a producer replaying the game's
+    message stream into a bounded protocol buffer drained by a consumer
+    of configurable speed.
+
+    The buffer stands for the protocol buffers on the path to the slow
+    receiver. With [Semantic] mode, an inserted message purges the
+    queued messages it obsoletes (the annotations carry k-enumeration
+    bitmaps); with [Reliable] mode nothing is ever purged. A message
+    can only be accepted while the buffer holds fewer than [buffer]
+    messages — when full, the producer blocks (flow control) until the
+    consumer frees space, and the blocked time is accounted. *)
+
+type mode = Reliable | Semantic
+
+val mode_label : mode -> string
+
+type config = {
+  buffer : int;
+  consumer_rate : float;  (** Messages per second. *)
+  mode : mode;
+}
+
+type result = {
+  duration : float;  (** Virtual seconds simulated. *)
+  produced : int;
+  delivered : int;
+  purged : int;
+  blocked_time : float;
+  blocked_fraction : float;  (** Fraction of the run the producer was blocked. *)
+  mean_occupancy : float;  (** Time-weighted buffer occupancy. *)
+  max_occupancy : int;
+}
+
+val run : messages:Svs_workload.Stream.message array -> config -> result
+(** Replay the whole stream (its embedded timestamps give the offered
+    load and burstiness). *)
+
+val threshold :
+  messages:Svs_workload.Stream.message array ->
+  buffer:int ->
+  mode:mode ->
+  ?tolerance:float ->
+  ?max_blocked:float ->
+  unit ->
+  float
+(** Figure 5(a): the lowest consumer rate (msg/s, within [tolerance],
+    default 0.5) that keeps the producer blocked at most [max_blocked]
+    (default 5%) of the time. *)
+
+val perturbation_tolerance :
+  messages:Svs_workload.Stream.message array ->
+  buffer:int ->
+  mode:mode ->
+  ?samples:int ->
+  unit ->
+  float
+(** Figure 5(b): how long (seconds) a receiver may stop consuming
+    entirely before the producer blocks, averaged over [samples]
+    (default 200) random perturbation start points. *)

@@ -1,0 +1,33 @@
+(** A2 — protocol-in-the-loop validation of the Figure 4(a) shape.
+
+    The high-level pipeline of {!Pipeline} is the paper's own §5.3
+    methodology; this experiment replays the same stream through the
+    {e full} SVS stack (Figure 1 protocol, consensus service, bounded
+    delivery queues, network backpressure) with one slow member, and
+    checks that the producer-disturbance shape agrees: with purging
+    the producer stays undisturbed at consumer rates far below what
+    reliable delivery needs.
+
+    The producer models a bounded outgoing buffer towards the slow
+    member: it blocks while more than [buffer] of its messages are
+    held back at the slow member's network inbox. *)
+
+type point = {
+  rate : float;
+  blocked_fraction : float;
+  purged : int;
+  backlog : int;  (** Slow member's held-back messages at the end. *)
+  violations : int;  (** Checker violations (must be 0). *)
+}
+
+val sweep :
+  ?spec:Spec.t ->
+  ?buffer:int ->
+  ?duration:float ->
+  ?rates:float list ->
+  mode:Pipeline.mode ->
+  unit ->
+  point list
+(** Defaults: buffer 15, 60 s of trace, rates [20;30;40;60;80;100]. *)
+
+val print : ?spec:Spec.t -> Format.formatter -> unit -> unit

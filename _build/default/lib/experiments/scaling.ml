@@ -1,0 +1,72 @@
+module Arena = Svs_game.Arena
+module Stream = Svs_workload.Stream
+module Trace_stats = Svs_workload.Trace_stats
+module Histogram = Svs_stats.Histogram
+module Series = Svs_stats.Series
+
+type row = {
+  players : int;
+  message_rate : float;
+  never_obsolete : float;
+  p90_distance : int;
+  semantic_threshold_small : float;
+  semantic_threshold_large : float;
+}
+
+let sweep ?(rounds = 6000) ?(players = [ 2; 5; 10; 20 ]) ?(seed = 42) () =
+  List.map
+    (fun n ->
+      let trace = Arena.simulate ~rounds { Arena.default_config with players = n; seed } in
+      let measure ~buffer =
+        let k = Stdlib.max 8 (2 * buffer) in
+        let messages = Stream.of_trace ~k trace in
+        Pipeline.threshold ~messages ~buffer ~mode:Pipeline.Semantic ()
+      in
+      let messages = Stream.of_trace ~k:30 trace in
+      let summary = Trace_stats.summarise trace messages in
+      let distances = Trace_stats.obsolescence_distances messages in
+      (* The paper instruments raw per-item updates, so the
+         never-obsolete share is measured on the single-item (tagged)
+         encoding; the batch encoding's piggybacked commits would count
+         as never-obsolete and mask the trend. *)
+      let single = Ablation.annotate Ablation.Tagging trace in
+      {
+        players = n;
+        message_rate = summary.Trace_stats.message_rate;
+        never_obsolete = Trace_stats.never_obsolete_share single;
+        p90_distance =
+          (if Histogram.count distances = 0 then 0 else Histogram.percentile distances 90.0);
+        semantic_threshold_small = measure ~buffer:15;
+        semantic_threshold_large = measure ~buffer:60;
+      })
+    players
+
+let print ppf () =
+  Format.fprintf ppf
+    "A6: player-count scaling (arena server; §5.2's observation about larger sessions)@.";
+  let rows = sweep () in
+  Series.render_table ppf
+    ~header:
+      [
+        "players"; "msg/s"; "never-obsolete"; "p90 distance"; "sem threshold (buf 15)";
+        "sem threshold (buf 60)";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.players;
+             Printf.sprintf "%.1f" r.message_rate;
+             Printf.sprintf "%.1f%%" (100.0 *. r.never_obsolete);
+             string_of_int r.p90_distance;
+             Printf.sprintf "%.1f" r.semantic_threshold_small;
+             Printf.sprintf "%.1f" r.semantic_threshold_large;
+           ])
+         rows);
+  Format.fprintf ppf
+    "note: message rate and obsolescence distance grow with the session as the paper@.";
+  Format.fprintf ppf
+    "observed, and purging regains effectiveness at larger buffers; the never-obsolete@.";
+  Format.fprintf ppf
+    "share stays flat here because arena projectile (reliable) traffic scales with@.";
+  Format.fprintf ppf "update traffic, unlike the instrumented Quake sessions.@."

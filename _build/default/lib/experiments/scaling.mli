@@ -1,0 +1,27 @@
+(** A6 — player-count scaling (the paper's §5.2 closing observation).
+
+    "We have also collected data with other numbers of players. It can
+    be observed that when more players join the game the message rate
+    increases, the share of messages that never become obsolete
+    decreases, but the distance between related messages increases.
+    This suggests that higher purging rates would be possible than
+    those presented here, although at the expense of larger buffer
+    sizes."
+
+    This experiment reruns the arena server with growing player counts
+    and measures exactly those quantities, plus the semantic threshold
+    at a small and a large buffer to show the buffer-size trade-off. *)
+
+type row = {
+  players : int;
+  message_rate : float;  (** msg/s *)
+  never_obsolete : float;  (** fraction *)
+  p90_distance : int;  (** 90th percentile obsolescence distance *)
+  semantic_threshold_small : float;  (** buffer 15 *)
+  semantic_threshold_large : float;  (** buffer 60 *)
+}
+
+val sweep : ?rounds:int -> ?players:int list -> ?seed:int -> unit -> row list
+(** Defaults: 6000 rounds, players [2;5;10;20]. *)
+
+val print : Format.formatter -> unit -> unit

@@ -1,0 +1,27 @@
+type workload = Synthetic | Arena
+
+type t = {
+  workload : workload;
+  seed : int;
+  rounds : int;
+  k_factor : int;
+}
+
+let default = { workload = Synthetic; seed = 2002; rounds = 11696; k_factor = 2 }
+
+let trace t =
+  match t.workload with
+  | Synthetic ->
+      Svs_workload.Synthetic.generate
+        { Svs_workload.Synthetic.default with rounds = t.rounds; seed = t.seed }
+  | Arena ->
+      Svs_game.Arena.simulate ~rounds:t.rounds
+        { Svs_game.Arena.default_config with seed = t.seed }
+
+let messages ?(buffer = 15) t =
+  let k = Stdlib.max 8 (t.k_factor * buffer) in
+  Svs_workload.Stream.of_trace ~k (trace t)
+
+let pp_workload ppf = function
+  | Synthetic -> Format.pp_print_string ppf "synthetic (calibrated)"
+  | Arena -> Format.pp_print_string ppf "arena game"

@@ -1,0 +1,23 @@
+(** Shared experiment configuration: which workload feeds an
+    experiment and the paper-derived defaults. *)
+
+type workload =
+  | Synthetic  (** Calibrated generator ({!Svs_workload.Synthetic}). *)
+  | Arena  (** Organic trace from the {!Svs_game.Arena} server. *)
+
+type t = {
+  workload : workload;
+  seed : int;
+  rounds : int;
+  k_factor : int;
+      (** k-enumeration window = [k_factor * buffer] (paper: 2). *)
+}
+
+val default : t
+
+val trace : t -> Svs_workload.Trace.t
+
+val messages : ?buffer:int -> t -> Svs_workload.Stream.message array
+(** Message stream with k sized from [buffer] (default 15). *)
+
+val pp_workload : Format.formatter -> workload -> unit

@@ -1,0 +1,54 @@
+module Trace_stats = Svs_workload.Trace_stats
+module Series = Svs_stats.Series
+
+type row = {
+  metric : string;
+  paper : string;
+  measured : string;
+}
+
+let rows ?(spec = Spec.default) () =
+  let trace = Spec.trace spec in
+  let messages = Spec.messages spec in
+  let s = Trace_stats.summarise trace messages in
+  let top_rank =
+    match Trace_stats.rank_frequencies trace with
+    | (_, pct) :: _ -> Printf.sprintf "%.1f%%" pct
+    | [] -> "-"
+  in
+  [
+    { metric = "rounds recorded"; paper = "11696"; measured = string_of_int s.Trace_stats.rounds };
+    {
+      metric = "session length (s)";
+      paper = "~360";
+      measured = Printf.sprintf "%.0f" s.Trace_stats.duration;
+    };
+    {
+      metric = "avg active items per round";
+      paper = "42.33";
+      measured = Printf.sprintf "%.2f" s.Trace_stats.avg_active_items;
+    };
+    {
+      metric = "avg modified items per round";
+      paper = "1.39";
+      measured = Printf.sprintf "%.2f" s.Trace_stats.avg_modified_per_round;
+    };
+    {
+      metric = "messages never obsolete";
+      paper = "41.88%";
+      measured = Printf.sprintf "%.2f%%" (100.0 *. s.Trace_stats.never_obsolete_share);
+    };
+    {
+      metric = "offered load (msg/s)";
+      paper = "-";
+      measured = Printf.sprintf "%.1f" s.Trace_stats.message_rate;
+    };
+    { metric = "top item modified in rounds"; paper = "~22%"; measured = top_rank };
+  ]
+
+let print ?(spec = Spec.default) ppf () =
+  Format.fprintf ppf "T1: session statistics (§5.2), workload: %a@." Spec.pp_workload
+    spec.Spec.workload;
+  Series.render_table ppf
+    ~header:[ "metric"; "paper"; "measured" ]
+    ~rows:(List.map (fun r -> [ r.metric; r.paper; r.measured ]) (rows ~spec ()))

@@ -1,0 +1,11 @@
+(** T1 — the in-text session statistics of §5.2, paper vs measured. *)
+
+type row = {
+  metric : string;
+  paper : string;  (** The value the paper reports ("-" if not given). *)
+  measured : string;
+}
+
+val rows : ?spec:Spec.t -> unit -> row list
+
+val print : ?spec:Spec.t -> Format.formatter -> unit -> unit

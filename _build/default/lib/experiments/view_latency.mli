@@ -1,0 +1,31 @@
+(** V1 — view-change cost under load with a slow member, reliable vs
+    semantic (the §3.3/§5.4 claim that SVS keeps buffers small and so
+    "has no negative impact on the latency of the view change").
+
+    A full protocol stack (group + detector + consensus + stability
+    gossip) runs the game stream from one member while another member
+    consumes slowly behind a bounded buffer. Mid-run, a voluntary view
+    change is triggered; the experiment measures the PRED flush size
+    and the trigger→installation latency. *)
+
+type result = {
+  mode : Pipeline.mode;
+  pred_size : int;  (** Messages in the agreed flush (max over members). *)
+  latency : float;  (** Seconds from trigger to last installation. *)
+  slow_backlog : int;  (** Slow member's held-back messages at trigger. *)
+  purged : int;  (** Total purged at the slow member. *)
+  violations : int;  (** Checker violations (must be 0). *)
+}
+
+val run :
+  ?spec:Spec.t ->
+  ?buffer:int ->
+  ?consumer_rate:float ->
+  ?trigger_at:float ->
+  mode:Pipeline.mode ->
+  unit ->
+  result
+(** Defaults: buffer 15, slow consumer 30 msg/s, trigger at 20 s. *)
+
+val print : ?spec:Spec.t -> Format.formatter -> unit -> unit
+(** Run both modes and render the comparison. *)

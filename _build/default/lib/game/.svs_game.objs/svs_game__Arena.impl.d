@@ -1,0 +1,1 @@
+lib/game/arena.ml: Array Float Hashtbl List Stdlib Svs_sim Svs_workload

@@ -1,0 +1,1 @@
+lib/game/arena.mli: Hashtbl Svs_workload

@@ -1,0 +1,269 @@
+module Rng = Svs_sim.Rng
+
+type config = {
+  players : int;
+  pickups : int;
+  arena_size : float;
+  round_rate : float;
+  shoot_probability : float;
+  projectile_speed : float;
+  projectile_ttl : int;
+  pickup_respawn_probability : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    players = 5;
+    pickups = 37;
+    arena_size = 100.0;
+    round_rate = 30.0;
+    shoot_probability = 0.09;
+    projectile_speed = 3.0;
+    projectile_ttl = 5;
+    pickup_respawn_probability = 0.002;
+    seed = 42;
+  }
+
+type vec = { x : float; y : float; z : float }
+
+type item_kind = Player | Pickup | Projectile
+
+type item_state = {
+  kind : item_kind;
+  position : vec;
+  velocity : vec;
+  attribute : int;
+}
+
+type event =
+  | Updated of int * item_state
+  | Created of int * item_state
+  | Destroyed of int
+
+type projectile = { mutable ttl : int; owner : int }
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  world : (int, item_state) Hashtbl.t;
+  projectiles : (int, projectile) Hashtbl.t;
+  (* Players near the action move almost every round; others idle.
+     Activity levels are fixed per player, giving the skewed update
+     pattern of Figure 3(a). *)
+  activity : float array;
+  mutable next_item : int;
+  mutable round : int;
+}
+
+let zero = { x = 0.0; y = 0.0; z = 0.0 }
+
+let vec_add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+
+let vec_scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+
+let vec_dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y and dz = a.z -. b.z in
+  (dx *. dx) +. (dy *. dy) +. (dz *. dz)
+
+(* Ground-plane distance: items rest on the floor, so interaction
+   radius ignores height. *)
+let ground_dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let random_position rng size =
+  { x = Rng.float rng size; y = Rng.float rng size; z = Rng.float rng size }
+
+let random_direction rng =
+  let v =
+    {
+      x = Rng.uniform rng ~lo:(-1.0) ~hi:1.0;
+      y = Rng.uniform rng ~lo:(-1.0) ~hi:1.0;
+      z = Rng.uniform rng ~lo:(-0.2) ~hi:0.2;
+    }
+  in
+  let n = sqrt (vec_dist2 v zero) in
+  if n < 1e-6 then { x = 1.0; y = 0.0; z = 0.0 } else vec_scale (1.0 /. n) v
+
+let clamp_to_arena size p =
+  let c v = Float.min (Float.max v 0.0) size in
+  { x = c p.x; y = c p.y; z = c p.z }
+
+let create config =
+  if config.players <= 0 then invalid_arg "Arena.create: need at least one player";
+  let rng = Rng.create ~seed:config.seed in
+  let world = Hashtbl.create 64 in
+  for p = 0 to config.players - 1 do
+    Hashtbl.replace world p
+      {
+        kind = Player;
+        position = random_position rng config.arena_size;
+        velocity = zero;
+        attribute = 100;
+      }
+  done;
+  for i = 0 to config.pickups - 1 do
+    Hashtbl.replace world (config.players + i)
+      {
+        kind = Pickup;
+        position = random_position rng config.arena_size;
+        velocity = zero;
+        attribute = 25;
+      }
+  done;
+  (* Activity ~ 1/(rank^0.9): the most active player moves in roughly
+     a quarter of the rounds, matching the skew of Figure 3(a). *)
+  let activity =
+    Array.init config.players (fun i -> 0.33 /. Float.pow (float_of_int (i + 1)) 0.9)
+  in
+  {
+    config;
+    rng;
+    world;
+    projectiles = Hashtbl.create 16;
+    activity;
+    next_item = config.players + config.pickups;
+    round = 0;
+  }
+
+let restore config ~round items =
+  let t = create config in
+  Hashtbl.reset t.world;
+  Hashtbl.reset t.projectiles;
+  let max_id = ref (config.players + config.pickups - 1) in
+  List.iter
+    (fun (id, st) ->
+      Hashtbl.replace t.world id st;
+      if id > !max_id then max_id := id;
+      match st.kind with
+      | Projectile ->
+          Hashtbl.replace t.projectiles id
+            { ttl = config.projectile_ttl; owner = st.attribute }
+      | Player | Pickup -> ())
+    items;
+  t.next_item <- !max_id + 1;
+  t.round <- round;
+  t
+
+let round t = t.round
+
+let items t =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun id st acc -> (id, st) :: acc) t.world [])
+
+let item_count t = Hashtbl.length t.world
+
+let apply world = function
+  | Updated (id, st) | Created (id, st) -> Hashtbl.replace world id st
+  | Destroyed id -> Hashtbl.remove world id
+
+let step t =
+  let cfg = t.config in
+  let events = ref [] in
+  let emit e =
+    events := e :: !events;
+    apply t.world e
+  in
+  t.round <- t.round + 1;
+  (* Players: move with their activity probability; occasionally pick a
+     new direction. *)
+  for p = 0 to cfg.players - 1 do
+    let st = Hashtbl.find t.world p in
+    if Rng.chance t.rng t.activity.(p) then begin
+      let velocity =
+        if st.velocity = zero || Rng.chance t.rng 0.15 then
+          vec_scale (0.5 +. Rng.float t.rng 1.0) (random_direction t.rng)
+        else st.velocity
+      in
+      let position = clamp_to_arena cfg.arena_size (vec_add st.position velocity) in
+      emit (Updated (p, { st with position; velocity }));
+      (* Walking over a pickup consumes it (it will recharge): a fixed
+         item set touched by every player, so per-item update frequency
+         grows with the session size — the effect behind the paper's
+         §5.2 note that larger sessions have fewer never-obsolete
+         messages. *)
+      for i = 0 to cfg.pickups - 1 do
+        let id = cfg.players + i in
+        let pst = Hashtbl.find t.world id in
+        if pst.attribute > 0 && ground_dist2 pst.position position < 25.0 then
+          emit (Updated (id, { pst with attribute = 0 }))
+      done;
+      (* Moving players may shoot. *)
+      if Rng.chance t.rng cfg.shoot_probability then begin
+        let id = t.next_item in
+        t.next_item <- t.next_item + 1;
+        let dir = random_direction t.rng in
+        Hashtbl.replace t.projectiles id { ttl = cfg.projectile_ttl; owner = p };
+        emit
+          (Created
+             ( id,
+               {
+                 kind = Projectile;
+                 position;
+                 velocity = vec_scale cfg.projectile_speed dir;
+                 attribute = p;
+               } ))
+      end
+    end
+  done;
+  (* Projectiles fly every round; expire or hit a player. *)
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun id proj ->
+      let st = Hashtbl.find t.world id in
+      proj.ttl <- proj.ttl - 1;
+      let position = vec_add st.position st.velocity in
+      let hit =
+        let found = ref None in
+        for p = 0 to cfg.players - 1 do
+          if p <> proj.owner && !found = None then begin
+            let pst = Hashtbl.find t.world p in
+            if vec_dist2 pst.position position < 4.0 then found := Some p
+          end
+        done;
+        !found
+      in
+      match hit with
+      | Some victim ->
+          let vst = Hashtbl.find t.world victim in
+          emit (Updated (victim, { vst with attribute = Stdlib.max 0 (vst.attribute - 20) }));
+          dead := id :: !dead
+      | None ->
+          if proj.ttl <= 0 || position.x < 0.0 || position.x > cfg.arena_size then
+            dead := id :: !dead
+          else emit (Updated (id, { st with position })))
+    t.projectiles;
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.projectiles id;
+      emit (Destroyed id))
+    !dead;
+  (* Pickups recharge over time (consumed ones more eagerly). *)
+  for i = 0 to cfg.pickups - 1 do
+    let id = cfg.players + i in
+    let st = Hashtbl.find t.world id in
+    let p =
+      if st.attribute = 0 then cfg.pickup_respawn_probability *. 10.0
+      else cfg.pickup_respawn_probability
+    in
+    if Rng.chance t.rng p then emit (Updated (id, { st with attribute = 25 + Rng.int t.rng 50 }))
+  done;
+  List.rev !events
+
+let simulate ?(rounds = 11696) config =
+  let t = create config in
+  let make_round _ =
+    let events = step t in
+    let ops =
+      List.map
+        (fun e ->
+          match e with
+          | Updated (id, _) -> { Svs_workload.Trace.item = id; kind = Svs_workload.Trace.Update }
+          | Created (id, _) -> { Svs_workload.Trace.item = id; kind = Svs_workload.Trace.Create }
+          | Destroyed id -> { Svs_workload.Trace.item = id; kind = Svs_workload.Trace.Destroy })
+        events
+    in
+    { Svs_workload.Trace.ops; active = item_count t }
+  in
+  { Svs_workload.Trace.rounds = Array.init rounds make_round; round_rate = config.round_rate }

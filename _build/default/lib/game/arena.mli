@@ -1,0 +1,74 @@
+(** A small multiplayer arena game server.
+
+    This is the repository's stand-in for the Quake server the paper
+    instruments (§5.1–5.2): the game state is a collection of items
+    (players, pickups, projectiles), each holding position/velocity in
+    3D plus type-specific attributes; the game advances in rounds
+    (frames); per round, items are updated, created (projectiles
+    fired) and destroyed (projectiles expiring, targets hit).
+
+    The per-round {!event} list is exactly what a primary server
+    multicasts to its replicas, and {!simulate} records it as a
+    {!Svs_workload.Trace.t} so the evaluation can run on organically
+    generated traffic as well as on the calibrated synthetic model. *)
+
+type config = {
+  players : int;
+  pickups : int;
+  arena_size : float;  (** Cube side length. *)
+  round_rate : float;  (** Frames per second. *)
+  shoot_probability : float;  (** Per active player per round. *)
+  projectile_speed : float;
+  projectile_ttl : int;  (** Rounds before a projectile expires. *)
+  pickup_respawn_probability : float;
+  seed : int;
+}
+
+val default_config : config
+(** A 5-player session like the paper's. *)
+
+type vec = { x : float; y : float; z : float }
+
+type item_kind = Player | Pickup | Projectile
+
+type item_state = {
+  kind : item_kind;
+  position : vec;
+  velocity : vec;
+  attribute : int;  (** Health for players, charge for pickups, owner for projectiles. *)
+}
+
+type event =
+  | Updated of int * item_state
+  | Created of int * item_state
+  | Destroyed of int
+
+type t
+
+val create : config -> t
+
+val restore : config -> round:int -> (int * item_state) list -> t
+(** Rebuild a server from replicated world state (fail-over: a backup
+    that just became primary continues the game from its store).
+    Projectile time-to-live is not part of the replicated state, so
+    restored projectiles get a fresh [projectile_ttl] — the same
+    conservative refresh a real server would apply. *)
+
+val step : t -> event list
+(** Advance one round; the events are the state changes a primary
+    would replicate, in emission order. *)
+
+val round : t -> int
+
+val items : t -> (int * item_state) list
+(** Current world state, sorted by item id. *)
+
+val item_count : t -> int
+
+val apply : (int, item_state) Hashtbl.t -> event -> unit
+(** Replica-side state transition: apply one replicated event to a
+    materialised copy of the world. *)
+
+val simulate : ?rounds:int -> config -> Svs_workload.Trace.t
+(** Run the game for [rounds] (default 11696, the paper's session
+    length) and record the modification trace. *)

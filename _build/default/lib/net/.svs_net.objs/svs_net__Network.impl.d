@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Float Latency Printf Queue Svs_sim

@@ -1,0 +1,31 @@
+module Rng = Svs_sim.Rng
+
+type t =
+  | Zero
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Shifted_exponential of { base : float; mean : float }
+
+let sample t rng =
+  match t with
+  | Zero -> 0.0
+  | Constant d -> d
+  | Uniform { lo; hi } -> Rng.uniform rng ~lo ~hi
+  | Exponential { mean } -> Rng.exponential rng ~mean
+  | Shifted_exponential { base; mean } -> base +. Rng.exponential rng ~mean
+
+let mean = function
+  | Zero -> 0.0
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean } -> mean
+  | Shifted_exponential { base; mean } -> base +. mean
+
+let pp ppf = function
+  | Zero -> Format.pp_print_string ppf "zero"
+  | Constant d -> Format.fprintf ppf "constant(%gs)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%gs,%gs)" lo hi
+  | Exponential { mean } -> Format.fprintf ppf "exp(mean=%gs)" mean
+  | Shifted_exponential { base; mean } ->
+      Format.fprintf ppf "shifted-exp(base=%gs,mean=%gs)" base mean

@@ -1,0 +1,17 @@
+(** Pluggable one-way link latency models. *)
+
+type t =
+  | Zero  (** Instantaneous delivery (same-timestamp event). *)
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Shifted_exponential of { base : float; mean : float }
+      (** [base] fixed propagation plus an exponential queueing tail. *)
+
+val sample : t -> Svs_sim.Rng.t -> float
+(** A non-negative delay in seconds. *)
+
+val mean : t -> float
+(** Expected delay of the model. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+module Engine = Svs_sim.Engine
+
+type 'msg link = {
+  mutable last_arrival : float;
+      (* Enforces FIFO under random latency: the next arrival is never
+         scheduled before the previous one on the same link. *)
+  mutable busy_until : float;
+      (* Store-and-forward serialisation when bandwidth is finite. *)
+  mutable partitioned : bool;
+  held : 'msg Queue.t; (* Messages buffered while partitioned. *)
+}
+
+type 'msg node = {
+  mutable alive : bool;
+  mutable paused : bool;
+  mutable handler : (src:int -> 'msg -> unit) option;
+  inbox : (int * 'msg) Queue.t;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  latency : Latency.t;
+  bandwidth : float; (* bytes per second; infinity = unmodelled *)
+  sizer : ('msg -> int) option;
+  nodes : 'msg node array;
+  links : 'msg link array array; (* links.(src).(dst) *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bytes : int;
+}
+
+let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?sizer () =
+  if nodes <= 0 then invalid_arg "Network.create: need at least one node";
+  if bandwidth <= 0.0 then invalid_arg "Network.create: bandwidth must be positive";
+  let mk_node () = { alive = true; paused = false; handler = None; inbox = Queue.create () } in
+  let mk_link () =
+    { last_arrival = 0.0; busy_until = 0.0; partitioned = false; held = Queue.create () }
+  in
+  {
+    engine;
+    latency;
+    bandwidth;
+    sizer;
+    nodes = Array.init nodes (fun _ -> mk_node ());
+    links = Array.init nodes (fun _ -> Array.init nodes (fun _ -> mk_link ()));
+    sent = 0;
+    delivered = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+
+let size t = Array.length t.nodes
+
+let check_node t node =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Network: node %d out of range" node)
+
+let set_handler t ~node f =
+  check_node t node;
+  t.nodes.(node).handler <- Some f
+
+let handle t ~dst ~src msg =
+  let n = t.nodes.(dst) in
+  if n.alive then
+    if n.paused then Queue.add (src, msg) n.inbox
+    else begin
+      t.delivered <- t.delivered + 1;
+      match n.handler with
+      | Some f -> f ~src msg
+      | None -> ()
+    end
+
+let schedule_arrival t ~src ~dst msg =
+  let link = t.links.(src).(dst) in
+  let now = Engine.now t.engine in
+  (* Serialise onto the link first (when bandwidth is modelled), then
+     propagate. *)
+  let departure =
+    match t.sizer with
+    | Some size when t.bandwidth < infinity ->
+        let bytes = size msg in
+        t.bytes <- t.bytes + bytes;
+        let d = Float.max now link.busy_until +. (float_of_int bytes /. t.bandwidth) in
+        link.busy_until <- d;
+        d
+    | Some size ->
+        t.bytes <- t.bytes + size msg;
+        now
+    | None -> now
+  in
+  let arrival =
+    Float.max (departure +. Latency.sample t.latency (Engine.rng t.engine)) link.last_arrival
+  in
+  link.last_arrival <- arrival;
+  ignore
+    (Engine.schedule_at t.engine ~time:arrival (fun () -> handle t ~dst ~src msg)
+      : Engine.handle)
+
+let send t ~src ~dst msg =
+  check_node t src;
+  check_node t dst;
+  if t.nodes.(src).alive && t.nodes.(dst).alive then begin
+    t.sent <- t.sent + 1;
+    let link = t.links.(src).(dst) in
+    if link.partitioned then Queue.add msg link.held
+    else schedule_arrival t ~src ~dst msg
+  end
+
+let broadcast t ~src ?(include_self = true) msg =
+  check_node t src;
+  for dst = 0 to size t - 1 do
+    if include_self || dst <> src then send t ~src ~dst msg
+  done
+
+let crash t ~node =
+  check_node t node;
+  let n = t.nodes.(node) in
+  n.alive <- false;
+  Queue.clear n.inbox
+
+let alive t ~node =
+  check_node t node;
+  t.nodes.(node).alive
+
+let pause_receive t ~node =
+  check_node t node;
+  t.nodes.(node).paused <- true
+
+let resume_receive t ~node =
+  check_node t node;
+  let n = t.nodes.(node) in
+  n.paused <- false;
+  (* Drain in order; the handler may re-pause, which stops the drain. *)
+  let rec drain () =
+    if (not n.paused) && n.alive && not (Queue.is_empty n.inbox) then begin
+      let src, msg = Queue.pop n.inbox in
+      t.delivered <- t.delivered + 1;
+      (match n.handler with Some f -> f ~src msg | None -> ());
+      drain ()
+    end
+  in
+  drain ()
+
+let receive_paused t ~node =
+  check_node t node;
+  t.nodes.(node).paused
+
+let inbox_length t ~node =
+  check_node t node;
+  Queue.length t.nodes.(node).inbox
+
+let disconnect t a b =
+  check_node t a;
+  check_node t b;
+  t.links.(a).(b).partitioned <- true;
+  t.links.(b).(a).partitioned <- true
+
+let release t ~src ~dst =
+  let link = t.links.(src).(dst) in
+  link.partitioned <- false;
+  while not (Queue.is_empty link.held) do
+    schedule_arrival t ~src ~dst (Queue.pop link.held)
+  done
+
+let reconnect t a b =
+  check_node t a;
+  check_node t b;
+  release t ~src:a ~dst:b;
+  release t ~src:b ~dst:a
+
+let messages_sent t = t.sent
+
+let messages_delivered t = t.delivered
+
+let bytes_sent t = t.bytes

@@ -1,0 +1,71 @@
+(** Simulated fully-connected message-passing network (paper §3.1).
+
+    Nodes [0 .. n-1] are pairwise connected by reliable FIFO channels
+    (the paper's system-model assumption): every message sent over a
+    live link is eventually delivered, in send order, after a delay
+    drawn from the link's latency model.
+
+    Supported deviations, for testing and experiments:
+    - {!crash}: crash-stop a node — it stops sending and receiving.
+    - {!pause_receive}/{!resume_receive}: receiver-side backpressure; a
+      paused node queues inbound messages instead of handling them
+      (models "ceases to accept further messages from the network").
+    - {!disconnect}/{!reconnect}: a temporarily partitioned link holds
+      messages and releases them in order on reconnection, preserving
+      the reliable-channel contract. *)
+
+type 'msg t
+
+val create :
+  Svs_sim.Engine.t ->
+  nodes:int ->
+  ?latency:Latency.t ->
+  ?bandwidth:float ->
+  ?sizer:('msg -> int) ->
+  unit ->
+  'msg t
+(** Default latency is {!Latency.Zero}. When both [bandwidth] (bytes
+    per second) and [sizer] (message size in bytes) are given, each
+    link serialises messages store-and-forward: a message occupies its
+    link for [size/bandwidth] seconds before the propagation latency,
+    so large messages (e.g. PRED flushes) visibly delay what follows
+    them. Without them, transmission is instantaneous. *)
+
+val engine : 'msg t -> Svs_sim.Engine.t
+
+val size : 'msg t -> int
+
+val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Install the upcall invoked on delivery at [node]. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Self-sends are allowed and delivered through the same path. Sends
+    from or to a crashed node are dropped. *)
+
+val broadcast : 'msg t -> src:int -> ?include_self:bool -> 'msg -> unit
+(** Send to every node (default: including [src] itself). *)
+
+val crash : 'msg t -> node:int -> unit
+
+val alive : 'msg t -> node:int -> bool
+
+val pause_receive : 'msg t -> node:int -> unit
+
+val resume_receive : 'msg t -> node:int -> unit
+
+val receive_paused : 'msg t -> node:int -> bool
+
+val inbox_length : 'msg t -> node:int -> int
+(** Messages held while the node's receive side is paused. *)
+
+val disconnect : 'msg t -> int -> int -> unit
+(** Symmetrically partition the pair of nodes. *)
+
+val reconnect : 'msg t -> int -> int -> unit
+
+val messages_sent : 'msg t -> int
+
+val messages_delivered : 'msg t -> int
+
+val bytes_sent : 'msg t -> int
+(** Total sized bytes accepted for transmission (0 without a sizer). *)

@@ -1,0 +1,1 @@
+lib/obs/annotation.ml: Bitvec Format List Msg_id

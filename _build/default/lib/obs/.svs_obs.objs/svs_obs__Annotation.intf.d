@@ -1,0 +1,1 @@
+lib/obs/annotation.mli: Bitvec Format Msg_id

@@ -1,0 +1,1 @@
+lib/obs/batch_encoder.ml: Annotation Bitvec Hashtbl Int Kenum_stream List Set

@@ -1,0 +1,1 @@
+lib/obs/batch_encoder.mli: Annotation Bitvec

@@ -1,0 +1,1 @@
+lib/obs/bitvec.ml: Array Char Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/obs/bitvec.mli: Format

@@ -1,0 +1,1 @@
+lib/obs/enum_builder.ml: Hashtbl List Msg_id Option Queue

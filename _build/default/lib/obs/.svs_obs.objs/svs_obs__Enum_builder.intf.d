@@ -1,0 +1,1 @@
+lib/obs/enum_builder.mli: Msg_id

@@ -1,0 +1,1 @@
+lib/obs/kenum_stream.ml: Array Bitvec List

@@ -1,0 +1,1 @@
+lib/obs/msg_id.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/obs/msg_id.mli: Format Map Set

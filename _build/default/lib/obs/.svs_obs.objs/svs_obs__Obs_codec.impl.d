@@ -1,0 +1,1 @@
+lib/obs/obs_codec.ml: Annotation Bitvec Msg_id Printf Svs_codec

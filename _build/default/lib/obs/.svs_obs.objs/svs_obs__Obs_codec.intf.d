@@ -1,0 +1,1 @@
+lib/obs/obs_codec.mli: Annotation Msg_id Svs_codec

@@ -1,0 +1,31 @@
+type t =
+  | Unrelated
+  | Tag of int
+  | Enum of Msg_id.t list
+  | Kenum of Bitvec.t
+
+let obsoletes ~older:(oid, oann) ~newer:(nid, nann) =
+  match nann with
+  | Unrelated -> false
+  | Tag ntag -> (
+      match oann with
+      | Tag otag -> otag = ntag && Msg_id.precedes oid nid
+      | Unrelated | Enum _ | Kenum _ -> false)
+  | Enum preds ->
+      (not (Msg_id.equal oid nid))
+      && (oid.Msg_id.sender <> nid.Msg_id.sender || Msg_id.precedes oid nid)
+      && List.exists (Msg_id.equal oid) preds
+  | Kenum bm ->
+      oid.Msg_id.sender = nid.Msg_id.sender
+      && Msg_id.precedes oid nid
+      && Bitvec.get bm (nid.Msg_id.sn - oid.Msg_id.sn)
+
+let covers ~older ~newer =
+  Msg_id.equal (fst older) (fst newer) || obsoletes ~older ~newer
+
+let pp ppf = function
+  | Unrelated -> Format.pp_print_string ppf "unrelated"
+  | Tag tag -> Format.fprintf ppf "tag(%d)" tag
+  | Enum preds ->
+      Format.fprintf ppf "enum(%a)" (Format.pp_print_list ~pp_sep:Format.pp_print_space Msg_id.pp) preds
+  | Kenum bm -> Format.fprintf ppf "kenum%a" Bitvec.pp bm

@@ -1,0 +1,33 @@
+(** Per-message obsolescence annotations and the relation they encode
+    (paper §4.2).
+
+    The application attaches an annotation to every multicast message;
+    the protocol tests pairs of (id, annotation) to decide purging. Any
+    relation decidable from annotations is an under-approximation of
+    the application's (transitive) obsolescence relation: missing pairs
+    only reduce purging, they never violate safety.
+
+    The three encodings of the paper are supported:
+    - {!Tag}: item tagging — same sender + same tag, higher sequence
+      number obsoletes lower.
+    - {!Enum}: message enumeration — the message lists all (transitive)
+      predecessors it makes obsolete.
+    - {!Kenum}: k-enumeration — a bitmap over the k preceding messages
+      of the same sender. *)
+
+type t =
+  | Unrelated  (** Never obsoletes nor is obsoleted — plain reliable payload. *)
+  | Tag of int
+  | Enum of Msg_id.t list
+  | Kenum of Bitvec.t
+
+val obsoletes : older:Msg_id.t * t -> newer:Msg_id.t * t -> bool
+(** [obsoletes ~older ~newer] is [true] iff the annotations encode
+    [older ≺ newer]. Irreflexive and antisymmetric by construction
+    (same-sender encodings require a strictly higher sequence number;
+    [Enum] refuses [older = newer]). *)
+
+val covers : older:Msg_id.t * t -> newer:Msg_id.t * t -> bool
+(** The reflexive closure [older ⊑ newer]. *)
+
+val pp : Format.formatter -> t -> unit

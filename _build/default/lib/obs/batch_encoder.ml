@@ -1,0 +1,102 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  stream : Kenum_stream.t;
+  separate_commit : bool;
+  last_pure_update : (int, int) Hashtbl.t; (* item -> sn of last pure update *)
+  mutable recent_commits : (int * Iset.t) list; (* (sn, batch items), newest first *)
+}
+
+type emitted = {
+  sn : int;
+  item : int option;
+  commit : bool;
+  bitmap : Bitvec.t;
+}
+
+let create ~k ?(first_sn = 0) ?(separate_commit = false) () =
+  {
+    stream = Kenum_stream.create ~k ~first_sn ();
+    separate_commit;
+    last_pure_update = Hashtbl.create 64;
+    recent_commits = [];
+  }
+
+let next_sn t = Kenum_stream.next_sn t.stream
+
+let annotation e = Annotation.Kenum e.bitmap
+
+let evict t =
+  let horizon = next_sn t - Kenum_stream.k t.stream in
+  t.recent_commits <-
+    List.filter (fun (sn, _) -> sn >= horizon) t.recent_commits
+
+let commit_direct t ~commit_sn ~items =
+  let k = Kenum_stream.k t.stream in
+  let per_item acc item =
+    match Hashtbl.find_opt t.last_pure_update item with
+    | Some sn when commit_sn - sn <= k -> (commit_sn - sn) :: acc
+    | Some _ | None -> acc
+  in
+  let from_items = List.fold_left per_item [] items in
+  let item_set = Iset.of_list items in
+  let from_commits =
+    List.filter_map
+      (fun (sn, batch) ->
+        if Iset.subset batch item_set && commit_sn - sn <= k then Some (commit_sn - sn)
+        else None)
+      t.recent_commits
+  in
+  from_items @ from_commits
+
+let encode t ~items =
+  if items = [] then invalid_arg "Batch_encoder.encode: empty batch";
+  let distinct = List.sort_uniq compare items in
+  if List.length distinct <> List.length items then
+    invalid_arg "Batch_encoder.encode: duplicate items in batch";
+  let emit_pure item =
+    let sn = next_sn t in
+    let bitmap = Kenum_stream.push t.stream ~direct:[] in
+    { sn; item = Some item; commit = false; bitmap }
+  in
+  let emit_commit ~item =
+    let sn = next_sn t in
+    let direct = commit_direct t ~commit_sn:sn ~items in
+    let bitmap = Kenum_stream.push t.stream ~direct in
+    { sn; item; commit = true; bitmap }
+  in
+  let messages =
+    (* Bind the pure updates before the commit: sequence numbers must
+       follow emission order, and [@]'s operand evaluation order is
+       unspecified. *)
+    if t.separate_commit then begin
+      let pures = List.map emit_pure items in
+      let commit = emit_commit ~item:None in
+      pures @ [ commit ]
+    end
+    else begin
+      let rec split acc = function
+        | [] -> assert false
+        | [ last ] -> (List.rev acc, last)
+        | x :: rest -> split (x :: acc) rest
+      in
+      let pure_items, last_item = split [] items in
+      let pures = List.map emit_pure pure_items in
+      let commit = emit_commit ~item:(Some last_item) in
+      pures @ [ commit ]
+    end
+  in
+  (* Update tracking: pure updates are individually coverable; the item
+     piggybacking the commit is only coverable through the commit
+     subset rule, so any stale entry for it must be dropped. *)
+  List.iter
+    (fun e ->
+      match (e.item, e.commit) with
+      | Some item, false -> Hashtbl.replace t.last_pure_update item e.sn
+      | Some item, true -> Hashtbl.remove t.last_pure_update item
+      | None, _ -> ())
+    messages;
+  let commit_sn = (List.nth messages (List.length messages - 1)).sn in
+  t.recent_commits <- (commit_sn, Iset.of_list items) :: t.recent_commits;
+  evict t;
+  messages

@@ -1,0 +1,39 @@
+(** Encoder for atomic multi-item composite updates (paper §4.1,
+    Figure 2), built on the k-enumeration encoding.
+
+    A composite update of several items is split into a batch of
+    per-item update messages terminated by a commit; receivers apply a
+    batch only once its commit is delivered (FIFO order guarantees the
+    commit arrives last). Obsolescence rules:
+
+    - pure (non-commit) updates never obsolete anything;
+    - a batch's commit obsoletes, per item in the batch, the last pure
+      update of that item from earlier batches;
+    - a commit also obsoletes earlier commits whose item set is a
+      subset of the new batch's items (the only sound relation between
+      composite updates), absorbing their bitmaps so chains compose.
+
+    By default the commit role is piggybacked on the batch's last
+    update message (saving one message, as the paper suggests); with
+    [separate_commit] a dedicated commit message is emitted instead,
+    which keeps every per-item update individually purgeable. *)
+
+type t
+
+type emitted = {
+  sn : int;
+  item : int option;  (** [None] for a dedicated commit message. *)
+  commit : bool;  (** Whether this message closes the batch. *)
+  bitmap : Bitvec.t;
+}
+
+val create : k:int -> ?first_sn:int -> ?separate_commit:bool -> unit -> t
+
+val encode : t -> items:int list -> emitted list
+(** One batch; [items] must be non-empty and duplicate-free. Returns
+    the messages in emission (FIFO) order, the last one being the
+    commit. *)
+
+val annotation : emitted -> Annotation.t
+
+val next_sn : t -> int

@@ -1,0 +1,43 @@
+type t = {
+  window : int;
+  closures : (Msg_id.t, Msg_id.Set.t) Hashtbl.t;
+  order : Msg_id.t Queue.t; (* eviction order *)
+}
+
+let create ~window () =
+  if window <= 0 then invalid_arg "Enum_builder.create: window must be positive";
+  { window; closures = Hashtbl.create (2 * window); order = Queue.create () }
+
+let evict t =
+  while Queue.length t.order > t.window do
+    Hashtbl.remove t.closures (Queue.pop t.order)
+  done
+
+let next t ~id ~direct =
+  if List.exists (Msg_id.equal id) direct then
+    invalid_arg "Enum_builder.next: a message cannot obsolete itself";
+  let closure =
+    List.fold_left
+      (fun acc pred ->
+        let acc = Msg_id.Set.add pred acc in
+        match Hashtbl.find_opt t.closures pred with
+        | None -> acc
+        | Some preds -> Msg_id.Set.union preds acc)
+      Msg_id.Set.empty direct
+  in
+  Hashtbl.replace t.closures id closure;
+  Queue.add id t.order;
+  evict t;
+  (* Keep only the most recent [window] predecessors in the emitted
+     enumeration: order by (sender, sn) descending and truncate. *)
+  let all = Msg_id.Set.elements closure in
+  let sorted = List.sort (fun a b -> Msg_id.compare b a) all in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take t.window sorted
+
+let closure_of t id =
+  Option.map Msg_id.Set.elements (Hashtbl.find_opt t.closures id)

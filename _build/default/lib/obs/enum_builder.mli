@@ -1,0 +1,22 @@
+(** Sender-side builder for the message-enumeration encoding.
+
+    Remembers the (transitively closed) predecessor sets of recent
+    messages so that a new message enumerating its direct predecessors
+    is emitted with the full transitive set, truncated to a window of
+    recent messages (the optimisation discussed in §4.2: only recent
+    members of the enumeration matter because distant pairs rarely
+    share a buffer). *)
+
+type t
+
+val create : window:int -> unit -> t
+(** [window] bounds how many recent messages' closures are remembered
+    and how many predecessors an emitted enumeration carries. *)
+
+val next : t -> id:Msg_id.t -> direct:Msg_id.t list -> Msg_id.t list
+(** [next t ~id ~direct] registers message [id] which directly
+    obsoletes [direct]; returns the transitive enumeration to attach
+    as [Annotation.Enum]. Direct predecessors equal to [id] raise. *)
+
+val closure_of : t -> Msg_id.t -> Msg_id.t list option
+(** The remembered closure of a recent message. *)

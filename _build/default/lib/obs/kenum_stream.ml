@@ -1,0 +1,46 @@
+type t = {
+  width : int;
+  mutable next_sn : int;
+  first_sn : int;
+  ring : Bitvec.t option array; (* bitmap of message sn at ring.(sn mod width) *)
+}
+
+let create ~k ?(first_sn = 0) () =
+  if k <= 0 then invalid_arg "Kenum_stream.create: k must be positive";
+  { width = k; next_sn = first_sn; first_sn; ring = Array.make k None }
+
+let k t = t.width
+
+let next_sn t = t.next_sn
+
+let bitmap_of t ~sn =
+  if sn < t.first_sn || sn >= t.next_sn || t.next_sn - sn > t.width then None
+  else t.ring.(sn mod t.width)
+
+let push t ~direct =
+  let sn = t.next_sn in
+  let bm = Bitvec.create ~k:t.width in
+  let add d =
+    if d < 1 then invalid_arg "Kenum_stream.push: distance must be >= 1";
+    if d <= t.width && sn - d >= t.first_sn then begin
+      Bitvec.set bm d;
+      (* Absorb the obsoleted message's own bitmap, shifted by its
+         distance, to keep the encoded relation transitively closed
+         within the window. *)
+      match bitmap_of t ~sn:(sn - d) with
+      | None -> ()
+      | Some pred_bm -> Bitvec.or_shifted ~into:bm pred_bm ~shift:d
+    end
+  in
+  List.iter add direct;
+  t.ring.(sn mod t.width) <- Some bm;
+  t.next_sn <- sn + 1;
+  bm
+
+let push_preds t ~preds =
+  let sn = t.next_sn in
+  let to_distance p =
+    if p >= sn then invalid_arg "Kenum_stream.push_preds: predecessor not in the past";
+    sn - p
+  in
+  push t ~direct:(List.map to_distance preds)

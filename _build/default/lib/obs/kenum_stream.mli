@@ -1,0 +1,33 @@
+(** Sender-side builder for the k-enumeration encoding.
+
+    One stream per sender. For each outgoing message the application
+    names the distances (in the sender's message stream) of the
+    messages it *directly* obsoletes; the stream composes these with
+    the remembered bitmaps of those messages (shift + or, as described
+    in §4.2) so the emitted bitmap covers transitive predecessors up to
+    the window [k]. *)
+
+type t
+
+val create : k:int -> ?first_sn:int -> unit -> t
+(** [first_sn] (default 0) is the sequence number of the first message
+    that will be emitted. *)
+
+val k : t -> int
+
+val next_sn : t -> int
+(** Sequence number the next {!push} will use. *)
+
+val push : t -> direct:int list -> Bitvec.t
+(** [push t ~direct] registers the next message; [direct] lists the
+    distances (>= 1) of directly-obsoleted earlier messages. Distances
+    beyond [k] are dropped. Returns the composed bitmap to attach as
+    [Annotation.Kenum]. *)
+
+val push_preds : t -> preds:int list -> Bitvec.t
+(** Like {!push} but with absolute predecessor sequence numbers rather
+    than distances; predecessors [>= next_sn] raise. *)
+
+val bitmap_of : t -> sn:int -> Bitvec.t option
+(** The remembered bitmap of a recent message (within the window);
+    [None] if it fell out. *)

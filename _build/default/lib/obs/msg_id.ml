@@ -1,0 +1,21 @@
+type t = { sender : int; sn : int }
+
+let make ~sender ~sn = { sender; sn }
+
+let compare a b =
+  match Int.compare a.sender b.sender with 0 -> Int.compare a.sn b.sn | c -> c
+
+let equal a b = a.sender = b.sender && a.sn = b.sn
+
+let precedes a b = a.sender = b.sender && a.sn < b.sn
+
+let pp ppf t = Format.fprintf ppf "%d.%d" t.sender t.sn
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,25 @@
+(** Unique message identifiers.
+
+    A message is identified by its sender and a per-sender sequence
+    number assigned in multicast order (the paper assumes uniquely
+    identified messages and uses sender id + sequence number for the
+    encodings of §4.2). *)
+
+type t = { sender : int; sn : int }
+
+val make : sender:int -> sn:int -> t
+
+val compare : t -> t -> int
+(** Lexicographic on (sender, sn). *)
+
+val equal : t -> t -> bool
+
+val precedes : t -> t -> bool
+(** [precedes a b] iff both have the same sender and [a.sn < b.sn]
+    (FIFO predecessor). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

@@ -1,0 +1,12 @@
+(** Wire encoders for the obsolescence types (shared by the SVS wire
+    protocol and the ordered-multicast toolkit). *)
+
+module Codec = Svs_codec.Codec
+
+val write_msg_id : Codec.Writer.t -> Msg_id.t -> unit
+
+val read_msg_id : Codec.Reader.t -> Msg_id.t
+
+val write_annotation : Codec.Writer.t -> Annotation.t -> unit
+
+val read_annotation : Codec.Reader.t -> Annotation.t

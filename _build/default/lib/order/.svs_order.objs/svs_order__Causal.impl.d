@@ -1,0 +1,1 @@
+lib/order/causal.ml: Array Fun Hashtbl List Svs_codec Svs_obs

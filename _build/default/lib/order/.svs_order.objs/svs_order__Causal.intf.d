@@ -1,0 +1,1 @@
+lib/order/causal.mli: Svs_codec Svs_obs

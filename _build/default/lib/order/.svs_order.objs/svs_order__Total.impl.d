@@ -1,0 +1,1 @@
+lib/order/total.ml: Array Hashtbl List Printf Svs_codec Svs_obs

@@ -1,0 +1,1 @@
+lib/order/total.mli: Svs_codec Svs_obs

@@ -1,0 +1,69 @@
+(** Semantically reliable causal multicast.
+
+    The paper positions SVS as one element of "a full group
+    communication toolkit offering semantic reliable multicast
+    services", explicitly including causally and totally ordered
+    multicast (§7). This module is the causal member of that toolkit:
+    classic vector-clock causal broadcast (CBCAST-style) extended with
+    obsolescence purging.
+
+    Purging under causal order must not break the delivery condition:
+    later messages' vector clocks count the purged message. We
+    therefore keep a {e ghost} of each purged message — its id and
+    vector clock, with the payload dropped — and advance the delivered
+    vector through ghosts silently when their causal past is
+    satisfied. The application never sees obsolete payloads, buffer
+    {e payload} space (the expensive part) is reclaimed immediately,
+    and causality of everything delivered is preserved.
+
+    Like {!Svs_core.Protocol}, the module is transport-agnostic: wire
+    it to any FIFO-reliable point-to-point transport. Membership is
+    static (the dynamic-membership machinery lives in SVS proper). *)
+
+type 'p msg
+
+type 'p data = {
+  id : Svs_obs.Msg_id.t;
+  payload : 'p;
+  ann : Svs_obs.Annotation.t;
+}
+
+type 'p t
+
+val create :
+  me:int ->
+  members:int list ->
+  ?semantic:bool ->
+  send:(dst:int -> 'p msg -> unit) ->
+  unit ->
+  'p t
+(** [send] must provide reliable FIFO channels to each member (the
+    transport self-delivery is not used; local copies are handled
+    internally). [semantic] defaults to true. *)
+
+val multicast : 'p t -> ?ann:Svs_obs.Annotation.t -> 'p -> 'p data
+
+val on_message : 'p t -> src:int -> 'p msg -> unit
+
+val deliver : 'p t -> 'p data option
+(** Next causally deliverable, non-obsolete message ([None] when
+    nothing is currently deliverable). *)
+
+val deliver_all : 'p t -> 'p data list
+
+val pending : 'p t -> int
+(** Buffered messages whose causal past is incomplete (ghosts
+    included). *)
+
+val purged : 'p t -> int
+
+val delivered_vector : 'p t -> (int * int) list
+(** Per-sender count of causally accounted messages (delivered or
+    ghosted); for tests. *)
+
+val write_msg :
+  (Svs_codec.Codec.Writer.t -> 'p -> unit) -> Svs_codec.Codec.Writer.t -> 'p msg -> unit
+(** Wire encoding, so the toolkit also runs over real transports. *)
+
+val read_msg :
+  (Svs_codec.Codec.Reader.t -> 'p) -> Svs_codec.Codec.Reader.t -> 'p msg

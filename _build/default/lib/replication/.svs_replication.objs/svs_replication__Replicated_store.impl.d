@@ -1,0 +1,1 @@
+lib/replication/replicated_store.ml: Hashtbl List Svs_core Svs_obs

@@ -1,0 +1,1 @@
+lib/replication/replicated_store.mli: Svs_core

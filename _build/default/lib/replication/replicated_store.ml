@@ -1,0 +1,134 @@
+module Group = Svs_core.Group
+module Types = Svs_core.Types
+module View = Svs_core.View
+module Batch_encoder = Svs_obs.Batch_encoder
+
+type 'v op =
+  | Set of int * 'v
+  | Remove of int
+
+type 'v payload = { op : 'v op; commit : bool }
+
+type 'v t = {
+  member : 'v payload Group.t;
+  encoder : Batch_encoder.t;
+  store : (int, 'v) Hashtbl.t;
+  mutable pending : 'v op list; (* current batch, reversed *)
+  mutable next_pseudo : int; (* ids for reliable (never-purged) slots *)
+  mutable applied : int;
+}
+
+let attach ?(k = 64) member =
+  {
+    member;
+    encoder = Batch_encoder.create ~k ();
+    store = Hashtbl.create 64;
+    pending = [];
+    next_pseudo = -1;
+    applied = 0;
+  }
+
+let member t = t.member
+
+let view t = Group.view t.member
+
+let is_member t = Group.is_member t.member
+
+let role t =
+  let v = view t in
+  match v.View.members with
+  | p :: _ when p = Group.id t.member -> `Primary
+  | _ :: _ | [] -> `Backup
+
+let get t item = Hashtbl.find_opt t.store item
+
+let items t =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun id v acc -> (id, v) :: acc) t.store [])
+
+let applied_batches t = t.applied
+
+let store_equal a b = items a = items b
+
+let apply_op t = function
+  | Set (item, v) -> Hashtbl.replace t.store item v
+  | Remove item -> Hashtbl.remove t.store item
+
+(* Replica-side delivery: buffer ops until the batch's commit, then
+   apply atomically; an uncommitted tail at a view boundary is dropped
+   (its commit was not in the agreed set for anyone, so all replicas
+   drop the same tail). *)
+let handle_delivery t = function
+  | Types.Data d ->
+      let { op; commit } = d.Types.payload in
+      t.pending <- op :: t.pending;
+      if commit then begin
+        List.iter (apply_op t) (List.rev t.pending);
+        t.pending <- [];
+        t.applied <- t.applied + 1
+      end
+  | Types.View_change _ -> t.pending <- []
+
+let process_one t =
+  match Group.deliver t.member with
+  | None -> false
+  | Some d ->
+      handle_delivery t d;
+      true
+
+let rec process t = if process_one t then process t
+
+let submit t ops =
+  if ops = [] then Error `Empty
+  else if role t <> `Primary || not (is_member t) then Error `Not_primary
+  else if Group.is_blocked t.member then Error `Blocked
+  else begin
+    (* Build the batch: writable items are purgeable; removals ride
+       never-reused pseudo-items so they stay reliable. *)
+    let slot_of_op op =
+      match op with
+      | Set (item, _) -> (item, op)
+      | Remove _ ->
+          let p = t.next_pseudo in
+          t.next_pseudo <- t.next_pseudo - 1;
+          (p, op)
+    in
+    (* Deduplicate Set items (last write wins inside a batch). *)
+    let dedup =
+      List.fold_left
+        (fun acc op ->
+          match op with
+          | Set (item, _) -> List.filter (function Set (i, _) -> i <> item | Remove _ -> true) acc @ [ op ]
+          | Remove _ -> acc @ [ op ])
+        [] ops
+    in
+    let slots = List.map slot_of_op dedup in
+    let emitted = Batch_encoder.encode t.encoder ~items:(List.map fst slots) in
+    (* Pair each emitted message with its op (encoder preserves the
+       item order we passed; a separate-commit message cannot occur
+       because we use piggybacked commits). *)
+    let results =
+      List.map
+        (fun e ->
+          match e.Batch_encoder.item with
+          | None -> assert false
+          | Some slot ->
+              let op = List.assoc slot slots in
+              (e, { op; commit = e.Batch_encoder.commit }))
+        emitted
+    in
+    (* The simulation is single-threaded, so no view change can begin
+       between the blocked check above and the last send: the whole
+       batch goes out in one view. The assertion pins the invariant
+       that the encoder's sequence numbers stay in lockstep with the
+       protocol's per-sender numbering (annotations reference
+       distances in that shared space). *)
+    List.iter
+      (fun (e, payload) ->
+        match Group.multicast t.member ~ann:(Batch_encoder.annotation e) payload with
+        | Ok d -> assert (d.Types.id.Svs_obs.Msg_id.sn = e.Batch_encoder.sn)
+        | Error (`Blocked | `Not_member) ->
+            invalid_arg "Replicated_store.submit: view change during a batch")
+      results;
+    Ok ()
+  end

@@ -1,0 +1,59 @@
+(** Primary-backup replication of an item store over SVS (§4).
+
+    Each group member materialises the same collection of data items.
+    The {e primary} (lowest id in the current view) executes client
+    requests — atomic batches of item writes and removals — and
+    multicasts them with k-enumeration obsolescence annotations built
+    by {!Svs_obs.Batch_encoder}; backups apply delivered batches.
+
+    Guarantees (inherited from SVS):
+    - Batches are applied atomically at commit delivery (§4.1).
+    - A slow backup may skip obsolete intermediate writes, but any two
+      replicas installing the same next view have identical stores at
+      that point — which is exactly what makes fail-over safe: any
+      survivor can take over as primary.
+    - Removals and any update marked reliable are never skipped. *)
+
+type 'v op =
+  | Set of int * 'v
+  | Remove of int
+
+type 'v payload
+(** What actually travels in group messages: one op plus its position
+    in the batch framing. *)
+
+type 'v t
+
+val attach : ?k:int -> 'v payload Svs_core.Group.t -> 'v t
+(** Wrap a group member into a replica. [k] (default 64) is the
+    k-enumeration window; the paper recommends twice the buffer size. *)
+
+val submit : 'v t -> 'v op list -> (unit, [ `Not_primary | `Blocked | `Empty ]) result
+(** Execute a client request (an atomic batch). Only the primary
+    accepts requests; during a view change the group is blocked and
+    the client must retry. *)
+
+val process : 'v t -> unit
+(** Drain and apply everything currently deliverable. Call from the
+    replica's consumption loop. *)
+
+val process_one : 'v t -> bool
+(** Apply at most one delivery; [false] when nothing was pending. *)
+
+val role : 'v t -> [ `Primary | `Backup ]
+
+val is_member : 'v t -> bool
+
+val view : 'v t -> Svs_core.View.t
+
+val get : 'v t -> int -> 'v option
+
+val items : 'v t -> (int * 'v) list
+(** Sorted by item id. *)
+
+val applied_batches : 'v t -> int
+
+val store_equal : 'v t -> 'v t -> bool
+
+val member : 'v t -> 'v payload Svs_core.Group.t
+(** The underlying group member (for crash/instrumentation). *)

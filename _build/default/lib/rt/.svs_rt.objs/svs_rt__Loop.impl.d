@@ -1,0 +1,1 @@
+lib/rt/loop.ml: Float List Option Sys Unix

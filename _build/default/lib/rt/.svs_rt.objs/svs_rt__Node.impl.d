@@ -1,0 +1,1 @@
+lib/rt/node.ml: Hashtbl List Logs Loop Printf Svs_codec Svs_consensus Svs_core Svs_detector Svs_sim Tcp_mesh

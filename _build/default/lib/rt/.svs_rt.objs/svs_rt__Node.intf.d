@@ -1,0 +1,1 @@
+lib/rt/node.mli: Loop Svs_core Svs_detector Svs_obs Unix

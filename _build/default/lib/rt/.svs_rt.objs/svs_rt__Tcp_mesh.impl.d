@@ -1,0 +1,1 @@
+lib/rt/tcp_mesh.ml: Buffer Bytes Char List Loop String Unix

@@ -1,0 +1,1 @@
+lib/rt/tcp_mesh.mli: Loop Unix

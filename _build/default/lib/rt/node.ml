@@ -1,0 +1,245 @@
+module Engine = Svs_sim.Engine
+module Heartbeat = Svs_detector.Heartbeat
+module Ct = Svs_consensus.Chandra_toueg
+module Protocol = Svs_core.Protocol
+module Types = Svs_core.Types
+module View = Svs_core.View
+module Wire_codec = Svs_core.Wire_codec
+module Codec = Svs_codec.Codec
+
+let src = Logs.Src.create "svs.rt" ~doc:"SVS real-time node"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  semantic : bool;
+  heartbeat : Heartbeat.config;
+  stability_period : float option;
+}
+
+let default_config =
+  { semantic = true; heartbeat = Heartbeat.default_config; stability_period = Some 1.0 }
+
+(* Packets on the mesh: protocol wire messages, consensus messages for
+   a view-change instance, heartbeats. *)
+type 'p packet =
+  | Proto of 'p Types.wire
+  | Cons of { view_id : int; msg : 'p Types.proposal Ct.msg }
+  | Beat
+
+let write_packet pc w = function
+  | Proto wire ->
+      Codec.Writer.uint8 w 0;
+      Wire_codec.write_wire pc w wire
+  | Cons { view_id; msg } ->
+      Codec.Writer.uint8 w 1;
+      Codec.Writer.varint w view_id;
+      Ct.write_msg (Wire_codec.write_proposal pc) w msg
+  | Beat -> Codec.Writer.uint8 w 2
+
+let read_packet pc r =
+  match Codec.Reader.uint8 r with
+  | 0 -> Proto (Wire_codec.read_wire pc r)
+  | 1 ->
+      let view_id = Codec.Reader.varint r in
+      let msg = Ct.read_msg (Wire_codec.read_proposal pc) r in
+      Cons { view_id; msg }
+  | 2 -> Beat
+  | n -> raise (Codec.Malformed (Printf.sprintf "packet tag %d" n))
+
+type 'p t = {
+  loop : Loop.t;
+  me : int;
+  engine : Engine.t; (* timer wheel for the reused automata *)
+  started_at : float;
+  proto : 'p Protocol.t;
+  mesh : Tcp_mesh.t;
+  payload_codec : 'p Wire_codec.payload_codec;
+  hb : Heartbeat.t;
+  instances : (int, 'p Types.proposal Ct.t) Hashtbl.t;
+  cons_stash : (int, (int * 'p Types.proposal Ct.msg) list ref) Hashtbl.t;
+  on_deliverable : unit -> unit;
+  mutable stopped : bool;
+}
+
+let id t = t.me
+
+let view t = Protocol.current_view t.proto
+
+let is_member t =
+  (not t.stopped) && Protocol.alive t.proto && View.mem t.me (view t)
+
+let purged t = Protocol.purged_count t.proto
+
+let pending_to t ~dst = Tcp_mesh.pending_bytes t.mesh ~dst
+
+let send_packet t ~dst packet =
+  let w = Codec.Writer.create () in
+  write_packet t.payload_codec w packet;
+  Tcp_mesh.send t.mesh ~dst (Codec.Writer.contents w)
+
+let rec drain t =
+  let outs = Protocol.take_outputs t.proto in
+  List.iter (handle_output t) outs;
+  if Protocol.to_deliver_length t.proto > 0 then t.on_deliverable ()
+
+and handle_output t = function
+  | Types.Send { dst; wire } -> send_packet t ~dst (Proto wire)
+  | Types.Installed v -> Log.info (fun m -> m "node %d installed %a" t.me View.pp v)
+  | Types.Excluded v ->
+      Log.warn (fun m -> m "node %d excluded from %a" t.me View.pp v);
+      t.stopped <- true
+  | Types.Propose { view_id; proposal } -> start_instance t ~view_id proposal
+
+and start_instance t ~view_id proposal =
+  if not (Hashtbl.mem t.instances view_id) then begin
+    let members = (view t).View.members in
+    let inst =
+      Ct.create t.engine ~me:t.me ~members
+        ~suspects:(fun p -> Heartbeat.suspects t.hb p)
+        ~send:(fun ~dst msg -> send_packet t ~dst (Cons { view_id; msg }))
+        ~on_decide:(fun v ->
+          Protocol.decided t.proto ~view_id v;
+          drain t)
+        proposal
+    in
+    Hashtbl.replace t.instances view_id inst;
+    (match Hashtbl.find_opt t.cons_stash view_id with
+    | None -> ()
+    | Some stash ->
+        let msgs = List.rev !stash in
+        Hashtbl.remove t.cons_stash view_id;
+        List.iter (fun (src, msg) -> Ct.on_message inst ~src msg) msgs);
+    drain t
+  end
+
+let on_suspicion t =
+  if is_member t then begin
+    Protocol.notify_suspicion_change t.proto;
+    let suspected = Heartbeat.suspected_set t.hb in
+    if suspected <> [] then Protocol.trigger_view_change t.proto ~leave:suspected;
+    drain t
+  end
+
+let on_packet t ~src packet =
+  if not t.stopped then
+    match packet with
+    | Beat -> Heartbeat.on_heartbeat t.hb ~src
+    | Proto wire ->
+        Protocol.receive t.proto ~src wire;
+        drain t
+    | Cons { view_id; msg } -> (
+        match Hashtbl.find_opt t.instances view_id with
+        | Some inst ->
+            Ct.on_message inst ~src msg;
+            drain t
+        | None ->
+            if view_id >= (view t).View.id then begin
+              let stash =
+                match Hashtbl.find_opt t.cons_stash view_id with
+                | Some s -> s
+                | None ->
+                    let s = ref [] in
+                    Hashtbl.replace t.cons_stash view_id s;
+                    s
+              in
+              stash := (src, msg) :: !stash
+            end)
+
+let multicast t ?ann payload =
+  if t.stopped then Error `Not_member
+  else begin
+    let result = Protocol.multicast t.proto ?ann payload in
+    drain t;
+    result
+  end
+
+let deliver t = if t.stopped then None else Protocol.deliver t.proto
+
+let deliver_all t =
+  let rec go acc = match deliver t with None -> List.rev acc | Some d -> go (d :: acc) in
+  go []
+
+let pending t = Protocol.to_deliver_length t.proto
+
+let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
+    ?(on_deliverable = fun () -> ()) () =
+  let members = List.sort_uniq compare (List.map fst peers) in
+  if not (List.mem me members) then invalid_arg "Node.create: me must be a peer";
+  let engine = Engine.create ~seed:me () in
+  let started_at = Loop.now loop in
+  let t_ref = ref None in
+  let mesh =
+    Tcp_mesh.create loop ~me ~listen_fd ~peers
+      ~on_frame:(fun ~src frame ->
+        match !t_ref with
+        | None -> ()
+        | Some t -> (
+            match read_packet payload_codec (Codec.Reader.of_string frame) with
+            | packet -> on_packet t ~src packet
+            | exception (Codec.Truncated | Codec.Malformed _) ->
+                Log.warn (fun m -> m "node %d: malformed frame from %d" me src)))
+      ()
+  in
+  let hb_ref = ref None in
+  let proto =
+    Protocol.create ~me
+      ~initial_view:(View.initial ~members)
+      ~semantic:config.semantic
+      ~suspects:(fun p -> match !hb_ref with Some hb -> Heartbeat.suspects hb p | None -> false)
+      ()
+  in
+  let hb =
+    Heartbeat.create engine config.heartbeat ~me ~peers:members
+      ~send_heartbeat:(fun ~dst ->
+        match !t_ref with Some t -> send_packet t ~dst Beat | None -> ())
+  in
+  hb_ref := Some hb;
+  let t =
+    {
+      loop;
+      me;
+      engine;
+      started_at;
+      proto;
+      mesh;
+      payload_codec;
+      hb;
+      instances = Hashtbl.create 7;
+      cons_stash = Hashtbl.create 7;
+      on_deliverable;
+      stopped = false;
+    }
+  in
+  t_ref := Some t;
+  Heartbeat.on_suspect hb (fun _ -> on_suspicion t);
+  Heartbeat.on_rescind hb (fun _ -> on_suspicion t);
+  (* Advance the automata's virtual clock to wall time. *)
+  ignore
+    (Loop.every loop ~period:0.01 (fun () ->
+         if not t.stopped then begin
+           Engine.run ~until:(Loop.now loop -. t.started_at) t.engine;
+           drain t
+         end;
+         not t.stopped)
+      : Loop.timer);
+  (match config.stability_period with
+  | None -> ()
+  | Some period ->
+      ignore
+        (Loop.every loop ~period (fun () ->
+             if not t.stopped then begin
+               Protocol.gossip_stability t.proto;
+               drain t
+             end;
+             not t.stopped)
+          : Loop.timer));
+  t
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Heartbeat.stop t.hb;
+    Hashtbl.iter (fun _ inst -> Ct.stop inst) t.instances;
+    Tcp_mesh.close t.mesh
+  end

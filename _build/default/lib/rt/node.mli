@@ -1,0 +1,69 @@
+(** A group member running for real: the SVS protocol + heartbeat
+    failure detection + Chandra–Toueg consensus over a TCP mesh, driven
+    by wall-clock time.
+
+    The same automata that run under the simulator are reused verbatim
+    (they are transport-agnostic); their timers live in a private
+    {!Svs_sim.Engine} that the I/O loop advances to wall-clock time.
+
+    Deliveries are pulled with {!deliver} — the paper's down-call
+    interface (§3.2): messages the application has not consumed yet
+    stay in the protocol buffers where they remain purgeable. Suspicion
+    (missed heartbeats) triggers a view change automatically, like the
+    simulated {!Svs_core.Group} stack. *)
+
+type 'p t
+
+type config = {
+  semantic : bool;
+  heartbeat : Svs_detector.Heartbeat.config;
+  stability_period : float option;
+}
+
+val default_config : config
+(** Semantic purging on, 100 ms heartbeats (350 ms initial timeout),
+    stability gossip every second. *)
+
+val create :
+  Loop.t ->
+  me:int ->
+  listen_fd:Unix.file_descr ->
+  peers:(int * Unix.sockaddr) list ->
+  payload_codec:'p Svs_core.Wire_codec.payload_codec ->
+  ?config:config ->
+  ?on_deliverable:(unit -> unit) ->
+  unit ->
+  'p t
+(** [peers] must list every initial member (including [me], whose
+    address entry is ignored for dialing). The initial view is the set
+    of peer ids. [on_deliverable] is a hint fired when new messages
+    became deliverable. *)
+
+val deliver : 'p t -> 'p Svs_core.Types.delivery option
+(** Pull the next delivery (down-call interface). *)
+
+val deliver_all : 'p t -> 'p Svs_core.Types.delivery list
+
+val pending : 'p t -> int
+(** Data messages waiting in the delivery queue. *)
+
+val id : 'p t -> int
+
+val view : 'p t -> Svs_core.View.t
+
+val is_member : 'p t -> bool
+
+val multicast :
+  'p t ->
+  ?ann:Svs_obs.Annotation.t ->
+  'p ->
+  ('p Svs_core.Types.data, [ `Blocked | `Not_member ]) result
+
+val purged : 'p t -> int
+
+val pending_to : 'p t -> dst:int -> int
+(** Outbound bytes buffered towards a peer (sender-side buffer). *)
+
+val shutdown : 'p t -> unit
+(** Close all sockets and stop the node's timers (a crash, from the
+    group's point of view). *)

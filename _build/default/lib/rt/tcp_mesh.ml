@@ -1,0 +1,196 @@
+let frame_header_bytes = 4
+
+type outgoing = {
+  dst : int;
+  addr : Unix.sockaddr;
+  mutable fd : Unix.file_descr option;
+  mutable broken : bool;
+      (* An established connection that failed. The paper's system
+         model gives reliable FIFO channels between correct processes;
+         once a stream breaks, bytes already handed to the kernel may
+         be lost, so silently reconnecting would violate FIFO
+         reliability. Crash-stop semantics apply instead: the peer is
+         written off (heartbeats stop, suspicion and the view change
+         machinery take over). *)
+  out : Buffer.t; (* bytes not yet written to the kernel *)
+}
+
+type incoming = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable peer : int option; (* learned from the hello frame *)
+}
+
+type t = {
+  loop : Loop.t;
+  me : int;
+  listen_fd : Unix.file_descr;
+  outgoing : (int * outgoing) list;
+  mutable incoming : incoming list;
+  on_frame : src:int -> string -> unit;
+  mutable closed : bool;
+}
+
+let listener addr =
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd addr;
+  Unix.listen fd 16;
+  (fd, Unix.getsockname fd)
+
+let encode_frame payload =
+  let n = String.length payload in
+  let header = Bytes.create frame_header_bytes in
+  Bytes.set_uint8 header 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 header 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 header 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 header 3 (n land 0xFF);
+  Bytes.to_string header ^ payload
+
+(* Push as much of the pending output as the kernel will take. *)
+let flush_outgoing (out : outgoing) =
+  match out.fd with
+  | None -> ()
+  | Some fd ->
+      let data = Buffer.contents out.out in
+      let len = String.length data in
+      if len > 0 then begin
+        match Unix.write_substring fd data 0 len with
+        | written ->
+            Buffer.clear out.out;
+            if written < len then Buffer.add_substring out.out data written (len - written)
+        | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) ->
+            (* Established connection lost: write the peer off. *)
+            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+            out.fd <- None;
+            out.broken <- true;
+            Buffer.clear out.out
+      end
+
+let try_dial t (out : outgoing) =
+  if (not t.closed) && out.fd = None && not out.broken then begin
+    let domain = Unix.domain_of_sockaddr out.addr in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd out.addr with
+    | () ->
+        Unix.set_nonblock fd;
+        out.fd <- Some fd;
+        (* Hello frame first, then any queued traffic. *)
+        let hello = encode_frame (string_of_int t.me) in
+        let pending = Buffer.contents out.out in
+        Buffer.clear out.out;
+        Buffer.add_string out.out hello;
+        Buffer.add_string out.out pending;
+        flush_outgoing out
+    | exception Unix.Unix_error (_, _, _) -> (
+        try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  end
+
+(* Split complete frames out of an incoming byte buffer. *)
+let rec drain_frames t inc =
+  let data = Buffer.contents inc.buf in
+  let available = String.length data in
+  if available >= frame_header_bytes then begin
+    let n =
+      (Char.code data.[0] lsl 24)
+      lor (Char.code data.[1] lsl 16)
+      lor (Char.code data.[2] lsl 8)
+      lor Char.code data.[3]
+    in
+    if available >= frame_header_bytes + n then begin
+      let payload = String.sub data frame_header_bytes n in
+      Buffer.clear inc.buf;
+      Buffer.add_substring inc.buf data (frame_header_bytes + n)
+        (available - frame_header_bytes - n);
+      (match inc.peer with
+      | None -> inc.peer <- int_of_string_opt payload
+      | Some src -> if not t.closed then t.on_frame ~src payload);
+      drain_frames t inc
+    end
+  end
+
+let drop_incoming t inc =
+  Loop.remove_fd t.loop inc.fd;
+  (try Unix.close inc.fd with Unix.Unix_error (_, _, _) -> ());
+  t.incoming <- List.filter (fun other -> other != inc) t.incoming
+
+let on_readable_incoming t inc () =
+  let chunk = Bytes.create 65536 in
+  match Unix.read inc.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> drop_incoming t inc
+  | read ->
+      Buffer.add_subbytes inc.buf chunk 0 read;
+      drain_frames t inc
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> drop_incoming t inc
+
+let on_accept t () =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      let inc = { fd; buf = Buffer.create 4096; peer = None } in
+      t.incoming <- inc :: t.incoming;
+      Loop.on_readable t.loop fd (on_readable_incoming t inc)
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let create loop ~me ~listen_fd ~peers ~on_frame () =
+  Unix.set_nonblock listen_fd;
+  let outgoing =
+    List.filter_map
+      (fun (dst, addr) ->
+        if dst = me then None
+        else Some (dst, { dst; addr; fd = None; broken = false; out = Buffer.create 4096 }))
+      peers
+  in
+  let t = { loop; me; listen_fd; outgoing; incoming = []; on_frame; closed = false } in
+  Loop.on_readable loop listen_fd (on_accept t);
+  List.iter (fun (_, out) -> try_dial t out) outgoing;
+  ignore
+    (Loop.every loop ~period:0.05 (fun () ->
+         if not t.closed then
+           List.iter
+             (fun (_, (out : outgoing)) ->
+               if out.fd = None then try_dial t out else flush_outgoing out)
+             t.outgoing;
+         not t.closed)
+      : Loop.timer);
+  t
+
+let send t ~dst payload =
+  if not t.closed then
+    match List.assoc_opt dst t.outgoing with
+    | None -> ()
+    | Some (out : outgoing) ->
+        Buffer.add_string out.out (encode_frame payload);
+        if out.fd = None then try_dial t out;
+        flush_outgoing out
+
+let connected t =
+  List.filter_map
+    (fun (dst, (out : outgoing)) -> if out.fd <> None then Some dst else None)
+    t.outgoing
+
+let pending_bytes t ~dst =
+  match List.assoc_opt dst t.outgoing with
+  | None -> 0
+  | Some out -> Buffer.length out.out
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Loop.remove_fd t.loop t.listen_fd;
+    (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+    List.iter
+      (fun (_, (out : outgoing)) ->
+        match out.fd with
+        | Some fd ->
+            Loop.remove_fd t.loop fd;
+            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+            out.fd <- None
+        | None -> ())
+      t.outgoing;
+    List.iter (fun inc -> drop_incoming t inc) t.incoming
+  end

@@ -1,0 +1,50 @@
+(** Full-mesh TCP transport for group members.
+
+    Each member listens on one address and dials every peer; the
+    connection a node dials carries its outbound traffic, so each
+    ordered pair of members has a dedicated FIFO byte stream — the
+    reliable FIFO channel of the paper's system model (§3.1), for as
+    long as both endpoints are up. Messages are length-prefixed frames
+    opened by a hello frame carrying the dialer's id.
+
+    Outbound data is buffered and flushed opportunistically, so a slow
+    peer never blocks the caller — exactly the buffering behaviour the
+    paper's flow-control story assumes. *)
+
+type t
+
+val listener : Unix.sockaddr -> Unix.file_descr * Unix.sockaddr
+(** Bind + listen; returns the socket and its actual address (useful
+    with port 0). *)
+
+val create :
+  Loop.t ->
+  me:int ->
+  listen_fd:Unix.file_descr ->
+  peers:(int * Unix.sockaddr) list ->
+  on_frame:(src:int -> string -> unit) ->
+  unit ->
+  t
+(** Starts accepting and dialing immediately; dials are retried in the
+    background until they succeed. *)
+
+val send : t -> dst:int -> string -> unit
+(** Queue a frame for [dst]; buffered until the connection is up.
+    Frames to unknown destinations are dropped.
+
+    Once an {e established} connection to a peer fails, the peer is
+    written off and never redialed: bytes already in flight may have
+    been lost, so resuming the stream would silently violate the
+    reliable-FIFO channel assumption of the system model. The peer is
+    handled as crashed (suspicion, view change) instead. *)
+
+val connected : t -> int list
+(** Peers whose outbound connection is currently established. *)
+
+val pending_bytes : t -> dst:int -> int
+(** Outbound bytes not yet handed to the kernel (the sender-side
+    buffer of the paper's model). *)
+
+val close : t -> unit
+(** Close every socket (the process "crashes" from the peers' point of
+    view). *)

@@ -1,0 +1,106 @@
+type event = {
+  time : float;
+  seq : int;
+  mutable cancelled : bool;
+  mutable action : unit -> unit;
+}
+
+type handle = event
+
+type t = {
+  queue : event Heap.t;
+  root_rng : Rng.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let event_leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
+
+let create ?(seed = 42) () =
+  {
+    queue = Heap.create ~leq:event_leq ();
+    root_rng = Rng.create ~seed;
+    clock = 0.0;
+    next_seq = 0;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time t.clock);
+  let ev = { time; seq = t.next_seq; cancelled = false; action = f } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue ev;
+  ev
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel ev =
+  ev.cancelled <- true;
+  ev.action <- (fun () -> ())
+
+let cancelled ev = ev.cancelled
+
+let pending t =
+  Heap.fold (fun n ev -> if ev.cancelled then n else n + 1) 0 t.queue
+
+let step t =
+  let rec next () =
+    match Heap.pop t.queue with
+    | None -> false
+    | Some ev ->
+        if ev.cancelled then next ()
+        else begin
+          t.clock <- ev.time;
+          t.executed <- t.executed + 1;
+          ev.action ();
+          true
+        end
+  in
+  next ()
+
+let run ?until ?max_events t =
+  let horizon = match until with None -> infinity | Some u -> u in
+  let budget = match max_events with None -> max_int | Some n -> n in
+  let rec loop ran =
+    if ran >= budget then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ev when ev.cancelled ->
+          ignore (Heap.pop t.queue);
+          loop ran
+      | Some ev when ev.time > horizon -> ()
+      | Some _ ->
+          if step t then loop (ran + 1) else ()
+  in
+  loop 0;
+  (match until with
+  | Some u when t.clock < u -> t.clock <- u
+  | Some _ | None -> ())
+
+let every t ?start ~period f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let first = match start with None -> period | Some s -> s in
+  (* A stable outer handle: cancelling it marks [stopped]; the inner
+     per-period events check the flag before firing. *)
+  let outer = { time = t.clock +. first; seq = -1; cancelled = false; action = (fun () -> ()) } in
+  let rec arm delay =
+    ignore
+      (schedule t ~delay (fun () ->
+           if not outer.cancelled then
+             if f () then arm period else outer.cancelled <- true)
+        : handle)
+  in
+  arm first;
+  outer
+
+let events_executed t = t.executed

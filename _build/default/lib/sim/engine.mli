@@ -1,0 +1,56 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over virtual time. Events are closures
+    scheduled at absolute or relative virtual times and executed in
+    timestamp order (FIFO among equal timestamps). Closures may schedule
+    further events. All randomness should come from {!rng} so a run is a
+    pure function of the seed. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is a fresh engine at time [0.0]. Default seed 42. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at absolute [time], which must not
+    be in the past. *)
+
+val cancel : handle -> unit
+(** Cancels a scheduled event; cancelling an already-executed or
+    already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val pending : t -> int
+(** Number of scheduled (non-cancelled) events. *)
+
+val step : t -> bool
+(** Executes the next event. [false] if the queue was empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** [run t] executes events until the queue drains, virtual time would
+    exceed [until], or [max_events] have run. After [run ~until], the
+    clock reads [until] if the horizon was reached (or the queue drained
+    earlier with events remaining beyond it); otherwise the time of the
+    last event. *)
+
+val every : t -> ?start:float -> period:float -> (unit -> bool) -> handle
+(** [every t ~period f] runs [f] periodically starting at
+    [now + start] (default [period]); rescheduling stops when [f]
+    returns [false] or the returned handle is cancelled. The handle
+    stays valid across periods. *)
+
+val events_executed : t -> int

@@ -1,0 +1,111 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finaliser: xor-shift-multiply mixing of the raw counter. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep the top 62 bits so the result fits OCaml's int positively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform mantissa bits in [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p = float t 1.0 < p
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let exponential t ~mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let normal t ~mu ~sigma =
+  let u1 = 1.0 -. float t 1.0 in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = 1.0 -. float t 1.0 in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let poisson t ~lambda =
+  if lambda < 0.0 then invalid_arg "Rng.poisson: negative lambda";
+  let ell = exp (-.lambda) in
+  let rec loop k p =
+    let p = p *. float t 1.0 in
+    if p <= ell then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+module Zipf = struct
+  type t = { cdf : float array }
+  (* cdf.(k-1) = P(rank <= k); binary search on sample. *)
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. (w /. total);
+        cdf.(i) <- !acc)
+      weights;
+    cdf.(n - 1) <- 1.0;
+    { cdf }
+
+  let sample z rng =
+    let u = float rng 1.0 in
+    (* Smallest index with cdf >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if z.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (Array.length z.cdf - 1) + 1
+
+  let probability z k =
+    if k < 1 || k > Array.length z.cdf then invalid_arg "Zipf.probability: rank out of range";
+    if k = 1 then z.cdf.(0) else z.cdf.(k - 1) -. z.cdf.(k - 2)
+end

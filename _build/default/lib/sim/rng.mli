@@ -1,0 +1,71 @@
+(** Deterministic pseudo-random number generator and samplers.
+
+    A SplitMix64 generator: fast, 64-bit state, and fully reproducible
+    from an integer seed, independent of the OCaml stdlib [Random]
+    state. All simulation randomness must flow through a value of this
+    type so that experiments are replayable with [--seed]. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t]'s stream, advancing [t].
+    Streams of the two generators are (statistically) independent. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian sample (Box–Muller). *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success; >= 0.
+    [p] must be in (0, 1]. *)
+
+val poisson : t -> lambda:float -> int
+(** Poisson sample by inversion; suitable for small/moderate [lambda]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+(** Zipf(s) sampler over ranks [1..n] with precomputed CDF. *)
+module Zipf : sig
+  type rng := t
+  type t
+
+  val create : n:int -> s:float -> t
+  (** [create ~n ~s] prepares a sampler where rank [k] has probability
+      proportional to [1 / k^s]. *)
+
+  val sample : t -> rng -> int
+  (** A rank in [\[1, n\]]. *)
+
+  val probability : t -> int -> float
+  (** [probability z k] is the probability of rank [k]. *)
+end

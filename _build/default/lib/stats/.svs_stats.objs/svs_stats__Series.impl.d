@@ -1,0 +1,1 @@
+lib/stats/series.ml: Array Buffer Float Format Histogram List Printf Set Stdlib String

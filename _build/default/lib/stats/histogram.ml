@@ -1,0 +1,68 @@
+module Imap = Map.Make (Int)
+
+type t = { mutable counts : int Imap.t; mutable total : int }
+
+let create () = { counts = Imap.empty; total = 0 }
+
+let add_many t b n =
+  if n < 0 then invalid_arg "Histogram.add_many: negative count";
+  if n > 0 then begin
+    t.counts <-
+      Imap.update b (function None -> Some n | Some c -> Some (c + n)) t.counts;
+    t.total <- t.total + n
+  end
+
+let add t b = add_many t b 1
+
+let count t = t.total
+
+let bucket_count t b = match Imap.find_opt b t.counts with None -> 0 | Some c -> c
+
+let buckets t = Imap.bindings t.counts
+
+let fraction t b =
+  if t.total = 0 then 0.0 else float_of_int (bucket_count t b) /. float_of_int t.total
+
+let fraction_le t b =
+  if t.total = 0 then 0.0
+  else
+    let below =
+      Imap.fold (fun k c acc -> if k <= b then acc + c else acc) t.counts 0
+    in
+    float_of_int below /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  let target = p /. 100.0 *. float_of_int t.total in
+  let result = ref None in
+  let acc = ref 0 in
+  Imap.iter
+    (fun b c ->
+      if !result = None then begin
+        acc := !acc + c;
+        if float_of_int !acc >= target then result := Some b
+      end)
+    t.counts;
+  match !result with
+  | Some b -> b
+  | None ->
+      (* p = 0 with target 0: the smallest bucket. *)
+      fst (Imap.min_binding t.counts)
+
+let mean t =
+  if t.total = 0 then nan
+  else
+    let sum = Imap.fold (fun b c acc -> acc +. (float_of_int b *. float_of_int c)) t.counts 0.0 in
+    sum /. float_of_int t.total
+
+let min_bucket t = Option.map fst (Imap.min_binding_opt t.counts)
+
+let max_bucket t = Option.map fst (Imap.max_binding_opt t.counts)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (b, c) -> Format.fprintf ppf "%6d: %d (%.1f%%)@," b c (100.0 *. fraction t b))
+    (buckets t);
+  Format.fprintf ppf "@]"

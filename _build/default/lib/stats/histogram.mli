@@ -1,0 +1,42 @@
+(** Integer-bucket histogram with percentile queries.
+
+    Buckets are arbitrary integers (e.g. message distances, queue
+    lengths, item ranks); counts grow on demand. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one observation of bucket [b]. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t b n] records [n] observations of bucket [b]. *)
+
+val count : t -> int
+(** Total observations. *)
+
+val bucket_count : t -> int -> int
+(** Observations recorded for exactly this bucket. *)
+
+val buckets : t -> (int * int) list
+(** All (bucket, count) pairs with non-zero count, ascending bucket. *)
+
+val fraction : t -> int -> float
+(** [fraction t b] is [bucket_count t b / count t]. *)
+
+val fraction_le : t -> int -> float
+(** Cumulative fraction of observations with bucket [<= b]. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,100]: smallest bucket such that at
+    least [p]% of observations are [<=] it.
+    @raise Invalid_argument on an empty histogram. *)
+
+val mean : t -> float
+
+val min_bucket : t -> int option
+
+val max_bucket : t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type t = { label : string; points : (float * float) list }
+
+let make ~label points = { label; points }
+
+let of_histogram ~label ?(normalise = true) h =
+  let total = float_of_int (Histogram.count h) in
+  let scale c = if normalise then 100.0 *. float_of_int c /. total else float_of_int c in
+  let points =
+    List.map (fun (b, c) -> (float_of_int b, scale c)) (Histogram.buckets h)
+  in
+  { label; points }
+
+let xs t = List.map fst t.points
+
+let y_at t x = List.assoc_opt x t.points
+
+let map_y f t = { t with points = List.map (fun (x, y) -> (x, f y)) t.points }
+
+let default_format v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3f" v
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+let render_table ppf ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc row -> Stdlib.max acc (List.length row)) 0 all in
+  let widths = Array.make cols 0 in
+  let account row =
+    List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+  in
+  List.iter account all;
+  let print_row row =
+    let cells = List.mapi (fun i cell -> pad widths.(i) cell) row in
+    Format.fprintf ppf "%s@," (String.concat "  " cells)
+  in
+  Format.fprintf ppf "@[<v>";
+  print_row header;
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Format.fprintf ppf "%s@," rule;
+  List.iter print_row rows;
+  Format.fprintf ppf "@]@."
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv ?(x_label = "x") series =
+  let module Fset = Set.Make (Float) in
+  let all_xs =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc (x, _) -> Fset.add x acc) acc s.points)
+      Fset.empty series
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "," (List.map csv_escape (x_label :: List.map (fun s -> s.label) series)));
+  Buffer.add_char buf '\n';
+  Fset.iter
+    (fun x ->
+      let cells =
+        default_format x
+        :: List.map
+             (fun s -> match y_at s x with None -> "" | Some y -> Printf.sprintf "%.6g" y)
+             series
+      in
+      Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+      Buffer.add_char buf '\n')
+    all_xs;
+  Buffer.contents buf
+
+let render ?(x_label = "x") ?(x_format = default_format) ?(y_format = default_format) ppf
+    series =
+  (* Collect the union of x values across the series, ascending. *)
+  let module Fset = Set.Make (Float) in
+  let all_xs =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc (x, _) -> Fset.add x acc) acc s.points)
+      Fset.empty series
+  in
+  let header = x_label :: List.map (fun s -> s.label) series in
+  let row x =
+    x_format x
+    :: List.map
+         (fun s -> match y_at s x with None -> "-" | Some y -> y_format y)
+         series
+  in
+  let rows = List.map row (Fset.elements all_xs) in
+  render_table ppf ~header ~rows

@@ -1,0 +1,38 @@
+(** Experiment output containers and plain-text rendering.
+
+    A {!t} is a named sequence of (x, y) points — one curve of a paper
+    figure. {!render} prints one or several series sharing an x axis as
+    an aligned text table, which is how [bench/main.exe] reports every
+    reproduced figure. *)
+
+type t = { label : string; points : (float * float) list }
+
+val make : label:string -> (float * float) list -> t
+
+val of_histogram : label:string -> ?normalise:bool -> Histogram.t -> t
+(** One point per bucket; with [normalise] (default true) the y values
+    are percentages of the total count. *)
+
+val xs : t -> float list
+
+val y_at : t -> float -> float option
+(** Exact-x lookup. *)
+
+val map_y : (float -> float) -> t -> t
+
+(** Rendering several series against a shared x column. *)
+val render :
+  ?x_label:string ->
+  ?x_format:(float -> string) ->
+  ?y_format:(float -> string) ->
+  Format.formatter ->
+  t list ->
+  unit
+
+val render_table :
+  Format.formatter -> header:string list -> rows:string list list -> unit
+(** Generic aligned table printer used for the paper's in-text stats. *)
+
+val to_csv : ?x_label:string -> t list -> string
+(** The same shared-x table as {!render}, in CSV form (for plotting
+    with external tools). Missing points are empty cells. *)

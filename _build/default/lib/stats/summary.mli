@@ -1,0 +1,33 @@
+(** Online univariate summary: count, mean, variance, min, max.
+
+    Uses Welford's algorithm, so it is numerically stable and O(1) per
+    observation. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Sample (n-1) variance; [nan] when fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [nan] when empty. *)
+
+val max : t -> float
+(** [nan] when empty. *)
+
+val total : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] summarises the union of both observation streams. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type segment = { value : float; span : float }
+
+type t = {
+  mutable segments : segment list; (* reversed *)
+  mutable last_time : float;
+  mutable last_value : float;
+  mutable finished : bool;
+}
+
+let create ?(start = 0.0) ?(value = 0.0) () =
+  { segments = []; last_time = start; last_value = value; finished = false }
+
+let close_segment t ~time =
+  if time < t.last_time then
+    invalid_arg
+      (Printf.sprintf "Timeline: non-monotonic time %g < %g" time t.last_time);
+  let span = time -. t.last_time in
+  if span > 0.0 then t.segments <- { value = t.last_value; span } :: t.segments;
+  t.last_time <- time
+
+let set t ~time v =
+  if t.finished then invalid_arg "Timeline.set: already finished";
+  close_segment t ~time;
+  t.last_value <- v
+
+let finish t ~time =
+  if not t.finished then begin
+    close_segment t ~time;
+    t.finished <- true
+  end
+
+let duration t = List.fold_left (fun acc s -> acc +. s.span) 0.0 t.segments
+
+let mean t =
+  let dur = duration t in
+  if dur <= 0.0 then nan
+  else
+    let weighted =
+      List.fold_left (fun acc s -> acc +. (s.value *. s.span)) 0.0 t.segments
+    in
+    weighted /. dur
+
+let max_value t =
+  let from_segments =
+    List.fold_left (fun acc s -> Float.max acc s.value) neg_infinity t.segments
+  in
+  if t.finished then from_segments else Float.max from_segments t.last_value
+
+let time_at t pred =
+  List.fold_left (fun acc s -> if pred s.value then acc +. s.span else acc) 0.0 t.segments
+
+let fraction_at t pred =
+  let dur = duration t in
+  if dur <= 0.0 then 0.0 else time_at t pred /. dur
+
+let current t = t.last_value

@@ -1,0 +1,33 @@
+(** Time-weighted statistics of a piecewise-constant signal.
+
+    Record the signal's value at each change point; queries weight each
+    value by how long it was held. Used for buffer-occupancy and
+    blocked/idle-fraction measurements in the simulations. *)
+
+type t
+
+val create : ?start:float -> ?value:float -> unit -> t
+(** A signal holding [value] (default 0) from time [start] (default 0). *)
+
+val set : t -> time:float -> float -> unit
+(** [set t ~time v]: the signal takes value [v] at [time]. [time] must
+    be monotonically non-decreasing across calls. *)
+
+val finish : t -> time:float -> unit
+(** Close the observation window at [time] (weights the last segment). *)
+
+val duration : t -> float
+(** Observed span (after [finish], or up to the last change point). *)
+
+val mean : t -> float
+(** Time-weighted mean value; [nan] if the span is empty. *)
+
+val max_value : t -> float
+
+val time_at : t -> (float -> bool) -> float
+(** [time_at t pred] is the total time during which [pred value] held. *)
+
+val fraction_at : t -> (float -> bool) -> float
+(** [time_at] normalised by {!duration}. *)
+
+val current : t -> float

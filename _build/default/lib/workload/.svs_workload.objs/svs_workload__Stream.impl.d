@@ -1,0 +1,1 @@
+lib/workload/stream.ml: Array List Svs_obs Trace

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array List Svs_sim Trace

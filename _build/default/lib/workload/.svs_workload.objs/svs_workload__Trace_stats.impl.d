@@ -1,0 +1,1 @@
+lib/workload/trace_stats.ml: Array Format Hashtbl List Option Stream Svs_obs Svs_stats Trace

@@ -1,0 +1,84 @@
+module Annotation = Svs_obs.Annotation
+module Batch_encoder = Svs_obs.Batch_encoder
+module Msg_id = Svs_obs.Msg_id
+
+type kind = Update | Commit | Create | Destroy
+
+type message = {
+  sn : int;
+  round : int;
+  time : float;
+  item : int option;
+  kind : kind;
+  ann : Annotation.t;
+}
+
+let of_trace ?(k = 64) ?sender trace =
+  ignore sender;
+  let enc = Batch_encoder.create ~k () in
+  let messages = ref [] in
+  let count = ref 0 in
+  (* Pseudo-item ids for create/destroy ops: never reused, so their
+     messages are never covered by later commits. *)
+  let next_pseudo = ref (-1) in
+  Trace.iter_rounds
+    (fun round_ix { Trace.ops; _ } ->
+      if ops <> [] then begin
+        (* Updates first; creations/destructions close the batch. *)
+        let updates, reliable =
+          List.partition (fun op -> op.Trace.kind = Trace.Update) ops
+        in
+        let update_items =
+          List.sort_uniq compare (List.map (fun op -> op.Trace.item) updates)
+        in
+        let pseudo =
+          List.map
+            (fun op ->
+              let p = !next_pseudo in
+              decr next_pseudo;
+              (p, op))
+            reliable
+        in
+        let batch_items = update_items @ List.map fst pseudo in
+        let emitted = Batch_encoder.encode enc ~items:batch_items in
+        let base_time = float_of_int round_ix /. trace.Trace.round_rate in
+        let n = List.length emitted in
+        let dt = 1.0 /. trace.Trace.round_rate /. float_of_int (n + 1) in
+        List.iteri
+          (fun i e ->
+            let kind, item =
+              match e.Batch_encoder.item with
+              | None -> (Commit, None)
+              | Some raw when raw >= 0 ->
+                  ((if e.Batch_encoder.commit then Commit else Update), Some raw)
+              | Some raw -> (
+                  match List.assoc_opt raw pseudo with
+                  | Some op ->
+                      ( (match op.Trace.kind with
+                        | Trace.Create -> Create
+                        | Trace.Destroy -> Destroy
+                        | Trace.Update -> assert false),
+                        Some op.Trace.item )
+                  | None -> assert false)
+            in
+            incr count;
+            messages :=
+              {
+                sn = e.Batch_encoder.sn;
+                round = round_ix;
+                time = base_time +. (float_of_int (i + 1) *. dt);
+                item;
+                kind;
+                ann = Batch_encoder.annotation e;
+              }
+              :: !messages)
+          emitted
+      end)
+    trace;
+  Array.of_list (List.rev !messages)
+
+let id_of ~sender m = Msg_id.make ~sender ~sn:m.sn
+
+let mean_rate messages trace =
+  let dur = Trace.duration trace in
+  if dur <= 0.0 then 0.0 else float_of_int (Array.length messages) /. dur

@@ -1,0 +1,32 @@
+(** Conversion of item-access traces into annotated message streams.
+
+    Each round's modifications become one atomic batch (§4.1): pure
+    per-item updates followed by a commit, encoded with k-enumeration
+    bitmaps by {!Svs_obs.Batch_encoder}. Creations and destructions are
+    encoded as never-reused pseudo-items so they can never be purged
+    (the paper: they "must be reliably delivered"). *)
+
+type kind =
+  | Update  (** Pure per-item update (not a commit). *)
+  | Commit  (** Batch-closing message (may carry the last update). *)
+  | Create
+  | Destroy
+
+type message = {
+  sn : int;
+  round : int;
+  time : float;  (** Emission time derived from the round rate. *)
+  item : int option;  (** Real item for updates/creates/destroys. *)
+  kind : kind;
+  ann : Svs_obs.Annotation.t;
+}
+
+val of_trace : ?k:int -> ?sender:int -> Trace.t -> message array
+(** [k] is the k-enumeration window (default 64; the paper uses twice
+    the buffer size). Message times are spread uniformly within each
+    round. [sender] (default 0) is used in message ids. *)
+
+val id_of : sender:int -> message -> Svs_obs.Msg_id.t
+
+val mean_rate : message array -> Trace.t -> float
+(** Average offered load in messages per second. *)

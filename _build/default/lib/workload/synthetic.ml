@@ -1,0 +1,97 @@
+module Rng = Svs_sim.Rng
+
+type config = {
+  rounds : int;
+  round_rate : float;
+  persistent_items : int;
+  zipf_s : float;
+  action_updates_mean : float;
+  quiet_updates_mean : float;
+  action_dwell : float;
+  quiet_dwell : float;
+  spawn_probability : float;
+  volatile_lifetime : float;
+  seed : int;
+}
+
+let default =
+  {
+    rounds = 11696;
+    round_rate = 30.0;
+    persistent_items = 42;
+    zipf_s = 1.2;
+    action_updates_mean = 3.0;
+    quiet_updates_mean = 0.45;
+    action_dwell = 20.0;
+    quiet_dwell = 60.0;
+    spawn_probability = 0.11;
+    volatile_lifetime = 4.0;
+    seed = 2002;
+  }
+
+type volatile = { vitem : int; mutable life : int }
+
+let generate config =
+  if config.rounds <= 0 then invalid_arg "Synthetic.generate: rounds must be positive";
+  let rng = Rng.create ~seed:config.seed in
+  let zipf = Rng.Zipf.create ~n:config.persistent_items ~s:config.zipf_s in
+  let next_volatile = ref config.persistent_items in
+  let volatiles : volatile list ref = ref [] in
+  (* Two-state Markov-modulated load: bursts of action (fire-fights)
+     alternate with quiet exploration, giving the bursty traffic the
+     paper observes (a receiver must run faster than the mean rate to
+     absorb the bursts). *)
+  let in_action = ref false in
+  (* Participants of the current fire-fight: bursts concentrate on a
+     handful of items, so consecutive updates of the same item sit
+     close together in the stream (short obsolescence distances). *)
+  let combatants = ref [||] in
+  let enter_action () =
+    in_action := true;
+    combatants :=
+      Array.init 5 (fun _ -> Rng.Zipf.sample zipf rng - 1)
+  in
+  let make_round _ =
+    let ops = ref [] in
+    let emit item kind = ops := { Trace.item; kind } :: !ops in
+    (if !in_action then begin
+       if Rng.chance rng (1.0 /. config.action_dwell) then in_action := false
+     end
+     else if Rng.chance rng (1.0 /. config.quiet_dwell) then enter_action ());
+    let lambda = if !in_action then config.action_updates_mean else config.quiet_updates_mean in
+    (* Persistent-item updates: Poisson count, Zipf-picked items. *)
+    let count = Rng.poisson rng ~lambda in
+    let picked = ref [] in
+    for _ = 1 to count do
+      let item =
+        if !in_action && Array.length !combatants > 0 && Rng.chance rng 0.85 then
+          Rng.pick rng !combatants
+        else Rng.Zipf.sample zipf rng - 1
+      in
+      if not (List.mem item !picked) then begin
+        picked := item :: !picked;
+        emit item Trace.Update
+      end
+    done;
+    (* Volatile items move every round while alive. *)
+    List.iter
+      (fun v ->
+        v.life <- v.life - 1;
+        if v.life > 0 then emit v.vitem Trace.Update else emit v.vitem Trace.Destroy)
+      !volatiles;
+    volatiles := List.filter (fun v -> v.life > 0) !volatiles;
+    (* Spawns: fire-fights spawn projectiles, quiet phases rarely. *)
+    let spawn_p = config.spawn_probability *. (if !in_action then 2.5 else 0.4) in
+    if Rng.chance rng spawn_p then begin
+      let item = !next_volatile in
+      incr next_volatile;
+      let life = 1 + Rng.geometric rng ~p:(1.0 /. config.volatile_lifetime) in
+      volatiles := { vitem = item; life } :: !volatiles;
+      emit item Trace.Create
+    end;
+    let active = config.persistent_items + List.length !volatiles in
+    { Trace.ops = List.rev !ops; active }
+  in
+  { Trace.rounds = Array.init config.rounds make_round; round_rate = config.round_rate }
+
+let paper_session ?(seed = default.seed) () = generate { default with seed }

@@ -1,0 +1,42 @@
+(** Synthetic Quake-like traffic generator, calibrated to the paper's
+    published session statistics (§5.2).
+
+    The model has two item populations:
+    - {e persistent} items (players, doors, platforms): modified round
+      by round with Zipf-distributed popularity — a couple of hot
+      items (the players near the action) and a long tail;
+    - {e volatile} items (projectiles): created with some probability
+      per round, updated every round while alive (they move each
+      frame), destroyed after a geometric lifetime. Creations and
+      destructions are reliable (never obsoleted).
+
+    With the default configuration the generated trace lands near the
+    paper's numbers: ≈42 active items, ≈1.4 modified per round, ≈40%
+    of messages never obsolete, and obsolescence distances
+    concentrated within ten messages. *)
+
+type config = {
+  rounds : int;
+  round_rate : float;  (** Frames per second (paper: ~30). *)
+  persistent_items : int;
+  zipf_s : float;  (** Popularity skew of persistent items. *)
+  action_updates_mean : float;
+      (** Poisson mean of persistent-item updates per round during an
+          action burst (a fire-fight). *)
+  quiet_updates_mean : float;  (** Same, during quiet exploration. *)
+  action_dwell : float;  (** Mean burst length in rounds. *)
+  quiet_dwell : float;  (** Mean quiet-phase length in rounds. *)
+  spawn_probability : float;
+      (** Base chance per round that a volatile item is created
+          (amplified during bursts). *)
+  volatile_lifetime : float;  (** Mean lifetime in rounds. *)
+  seed : int;
+}
+
+val default : config
+(** Calibrated to the paper's 5-player session. *)
+
+val generate : config -> Trace.t
+
+val paper_session : ?seed:int -> unit -> Trace.t
+(** The default configuration at the paper's length (11696 rounds). *)

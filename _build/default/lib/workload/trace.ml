@@ -1,0 +1,20 @@
+type kind = Update | Create | Destroy
+
+type op = { item : int; kind : kind }
+
+type round = { ops : op list; active : int }
+
+type t = { rounds : round array; round_rate : float }
+
+let round_count t = Array.length t.rounds
+
+let duration t = float_of_int (round_count t) /. t.round_rate
+
+let total_ops t = Array.fold_left (fun acc r -> acc + List.length r.ops) 0 t.rounds
+
+let iter_rounds f t = Array.iteri f t.rounds
+
+let pp_kind ppf = function
+  | Update -> Format.pp_print_string ppf "update"
+  | Create -> Format.pp_print_string ppf "create"
+  | Destroy -> Format.pp_print_string ppf "destroy"

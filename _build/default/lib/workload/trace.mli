@@ -1,0 +1,34 @@
+(** Item-access traces (paper §5.2).
+
+    The evaluation consumes the game's update pattern as a trace: a
+    sequence of rounds, each modifying, creating and destroying items.
+    Traces come from the synthetic generator ({!Synthetic}), from the
+    arena game (svs_game), or are hand-built in tests. *)
+
+type kind =
+  | Update  (** New value for an existing item — obsoletes older values. *)
+  | Create  (** Item enters the world — must be delivered reliably. *)
+  | Destroy  (** Item leaves the world — must be delivered reliably. *)
+
+type op = { item : int; kind : kind }
+
+type round = {
+  ops : op list;  (** Modifications in this round, in order. *)
+  active : int;  (** Items alive during this round. *)
+}
+
+type t = {
+  rounds : round array;
+  round_rate : float;  (** Rounds per second (the game's frame rate). *)
+}
+
+val round_count : t -> int
+
+val duration : t -> float
+(** Trace length in seconds. *)
+
+val total_ops : t -> int
+
+val iter_rounds : (int -> round -> unit) -> t -> unit
+
+val pp_kind : Format.formatter -> kind -> unit

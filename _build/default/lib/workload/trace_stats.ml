@@ -1,0 +1,122 @@
+module Annotation = Svs_obs.Annotation
+module Bitvec = Svs_obs.Bitvec
+module Histogram = Svs_stats.Histogram
+
+type summary = {
+  rounds : int;
+  duration : float;
+  avg_active_items : float;
+  avg_modified_per_round : float;
+  messages : int;
+  message_rate : float;
+  never_obsolete_share : float;
+}
+
+(* For every message, the distance to the closest later message whose
+   bitmap (or enumeration) directly names it; None if never obsoleted.
+   Kenum bitmaps name predecessors by distance, so one pass over the
+   newer messages suffices. *)
+let closest_cover_distances (messages : Stream.message array) =
+  let n = Array.length messages in
+  (* Map sn -> index (sns are dense but start at the encoder's base). *)
+  let index_of_sn = Hashtbl.create n in
+  Array.iteri (fun i m -> Hashtbl.replace index_of_sn m.Stream.sn i) messages;
+  let best = Array.make n None in
+  let note ~older_sn ~dist =
+    match Hashtbl.find_opt index_of_sn older_sn with
+    | None -> ()
+    | Some i -> (
+        match best.(i) with
+        | Some d when d <= dist -> ()
+        | Some _ | None -> best.(i) <- Some dist)
+  in
+  (* Tag relations are implicit (same tag, higher sequence number), so
+     they are reconstructed from the last occurrence of each tag. *)
+  let last_tag : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun m ->
+      match m.Stream.ann with
+      | Annotation.Kenum bm ->
+          List.iter (fun d -> note ~older_sn:(m.Stream.sn - d) ~dist:d) (Bitvec.distances bm)
+      | Annotation.Enum preds ->
+          List.iter
+            (fun (id : Svs_obs.Msg_id.t) ->
+              note ~older_sn:id.Svs_obs.Msg_id.sn ~dist:(m.Stream.sn - id.Svs_obs.Msg_id.sn))
+            preds
+      | Annotation.Tag tag ->
+          (match Hashtbl.find_opt last_tag tag with
+          | Some prev -> note ~older_sn:prev ~dist:(m.Stream.sn - prev)
+          | None -> ());
+          Hashtbl.replace last_tag tag m.Stream.sn
+      | Annotation.Unrelated -> ())
+    messages;
+  best
+
+let cover_distances = closest_cover_distances
+
+let obsolescence_distances messages =
+  let h = Histogram.create () in
+  Array.iter
+    (function Some d -> Histogram.add h d | None -> ())
+    (closest_cover_distances messages);
+  h
+
+let never_obsolete_share messages =
+  let n = Array.length messages in
+  if n = 0 then 0.0
+  else
+    let never =
+      Array.fold_left
+        (fun acc cover -> if cover = None then acc + 1 else acc)
+        0
+        (closest_cover_distances messages)
+    in
+    float_of_int never /. float_of_int n
+
+let summarise trace messages =
+  let rounds = Trace.round_count trace in
+  let active_total =
+    Array.fold_left (fun acc r -> acc +. float_of_int r.Trace.active) 0.0 trace.Trace.rounds
+  in
+  let modified_total =
+    Array.fold_left (fun acc r -> acc +. float_of_int (List.length r.Trace.ops)) 0.0
+      trace.Trace.rounds
+  in
+  {
+    rounds;
+    duration = Trace.duration trace;
+    avg_active_items = (if rounds = 0 then 0.0 else active_total /. float_of_int rounds);
+    avg_modified_per_round =
+      (if rounds = 0 then 0.0 else modified_total /. float_of_int rounds);
+    messages = Array.length messages;
+    message_rate = Stream.mean_rate messages trace;
+    never_obsolete_share = never_obsolete_share messages;
+  }
+
+let rank_frequencies trace =
+  let rounds_with : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Trace.iter_rounds
+    (fun _ { Trace.ops; _ } ->
+      let items =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun op -> if op.Trace.kind = Trace.Update then Some op.Trace.item else None)
+             ops)
+      in
+      List.iter
+        (fun item ->
+          Hashtbl.replace rounds_with item
+            (1 + Option.value ~default:0 (Hashtbl.find_opt rounds_with item)))
+        items)
+    trace;
+  let counts = Hashtbl.fold (fun _ c acc -> c :: acc) rounds_with [] in
+  let sorted = List.sort (fun a b -> compare b a) counts in
+  let total_rounds = float_of_int (Trace.round_count trace) in
+  List.mapi (fun i c -> (i + 1, 100.0 *. float_of_int c /. total_rounds)) sorted
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>rounds: %d (%.1f s)@,avg active items/round: %.2f@,avg modified items/round: \
+     %.2f@,messages: %d (%.1f msg/s)@,never-obsolete share: %.2f%%@]"
+    s.rounds s.duration s.avg_active_items s.avg_modified_per_round s.messages s.message_rate
+    (100.0 *. s.never_obsolete_share)

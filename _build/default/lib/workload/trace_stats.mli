@@ -1,0 +1,34 @@
+(** Statistics the paper reports about the instrumented Quake session
+    (§5.2, Figure 3, and the in-text numbers reproduced as table T1). *)
+
+type summary = {
+  rounds : int;
+  duration : float;  (** seconds *)
+  avg_active_items : float;  (** paper: 42.33 *)
+  avg_modified_per_round : float;  (** paper: 1.39 *)
+  messages : int;
+  message_rate : float;  (** msg/s offered load *)
+  never_obsolete_share : float;  (** paper: 41.88% (as a fraction) *)
+}
+
+val summarise : Trace.t -> Stream.message array -> summary
+
+val rank_frequencies : Trace.t -> (int * float) list
+(** Figure 3(a): [(rank, % of rounds in which the rank-th most-modified
+    item was modified)], rank 1 first. Only Update ops count. *)
+
+val obsolescence_distances : Stream.message array -> Svs_stats.Histogram.t
+(** Figure 3(b): per message that eventually becomes obsolete, the
+    distance (in messages) to the closest later message that directly
+    obsoletes it. *)
+
+val never_obsolete_share : Stream.message array -> float
+(** Fraction of messages never obsoleted by any later message. *)
+
+val cover_distances : Stream.message array -> int option array
+(** Per message, the distance to the closest later message that
+    directly obsoletes it ([None] = never obsoleted). Basis of
+    {!obsolescence_distances} and {!never_obsolete_share}; also used by
+    experiments that need to know whether a drop lost live content. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Float Format List Printf QCheck QCheck_alcotest String Svs_codec Svs_core Svs_obs

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Svs_consensus Svs_detector Svs_net Svs_sim

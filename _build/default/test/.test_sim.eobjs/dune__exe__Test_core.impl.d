@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun Gen List Option Printf QCheck QCheck_alcotest Stdlib String Svs_core Svs_detector Svs_net Svs_obs Svs_sim

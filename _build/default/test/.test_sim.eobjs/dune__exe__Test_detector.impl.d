@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Svs_detector Svs_net Svs_sim

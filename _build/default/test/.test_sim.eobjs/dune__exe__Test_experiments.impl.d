@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float List Printf Svs_experiments Svs_obs Svs_stats Svs_workload

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Svs_game Svs_workload

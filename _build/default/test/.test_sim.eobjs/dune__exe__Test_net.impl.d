@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest Svs_net Svs_sim

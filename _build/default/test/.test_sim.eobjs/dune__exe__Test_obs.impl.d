@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Gen List QCheck QCheck_alcotest Svs_obs Svs_sim

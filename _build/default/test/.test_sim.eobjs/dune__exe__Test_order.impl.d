@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest Svs_codec Svs_net Svs_obs Svs_order Svs_sim

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Svs_core Svs_net Svs_replication Svs_sim

@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Array Bytes Char List Option Printf String Svs_codec Svs_core Svs_detector Svs_obs Svs_order Svs_rt Unix

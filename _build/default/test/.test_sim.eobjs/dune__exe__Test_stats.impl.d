@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Astring Float Format Gen List QCheck QCheck_alcotest String Svs_stats

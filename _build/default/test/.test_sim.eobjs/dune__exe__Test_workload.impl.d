@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hashtbl Lazy List Printf QCheck QCheck_alcotest Svs_obs Svs_stats Svs_workload

@@ -1,0 +1,233 @@
+(* Tests for consensus: Chandra–Toueg over the simulated network and
+   the centralised arbiter. *)
+
+module Engine = Svs_sim.Engine
+module Network = Svs_net.Network
+module Latency = Svs_net.Latency
+module Oracle = Svs_detector.Oracle
+module Ct = Svs_consensus.Chandra_toueg
+module Arbiter = Svs_consensus.Arbiter
+
+(* A rig running one CT instance among n nodes with an oracle FD. *)
+type rig = {
+  engine : Engine.t;
+  net : string Ct.msg Network.t;
+  oracle : Oracle.t;
+  instances : string Ct.t option array;
+  decisions : string option array;
+}
+
+let make_rig ?(n = 5) ?(latency = Latency.Uniform { lo = 0.001; hi = 0.01 }) ~proposals () =
+  let engine = Engine.create ~seed:11 () in
+  let net = Network.create engine ~nodes:n ~latency () in
+  let oracle = Oracle.create ~nodes:n in
+  let instances = Array.make n None in
+  let decisions = Array.make n None in
+  let members = List.init n Fun.id in
+  List.iteri
+    (fun i proposal ->
+      Network.set_handler net ~node:i (fun ~src msg ->
+          match instances.(i) with
+          | Some inst -> Ct.on_message inst ~src msg
+          | None -> ());
+      let inst =
+        Ct.create engine ~me:i ~members
+          ~suspects:(fun p -> Oracle.suspects oracle p)
+          ~send:(fun ~dst msg -> Network.send net ~src:i ~dst msg)
+          ~on_decide:(fun v ->
+            assert (decisions.(i) = None);
+            decisions.(i) <- Some v)
+          proposal
+      in
+      instances.(i) <- Some inst)
+    proposals;
+  { engine; net; oracle; instances; decisions }
+
+let proposals_of n = List.init n (fun i -> Printf.sprintf "p%d" i)
+
+let check_agreement_validity rig ~correct ~proposals =
+  let decided =
+    List.filter_map (fun i -> rig.decisions.(i)) correct
+  in
+  Alcotest.(check int) "all correct decided" (List.length correct) (List.length decided);
+  (match decided with
+  | [] -> Alcotest.fail "nobody decided"
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check string) "agreement" v v') rest;
+      Alcotest.(check bool) "validity: decided value was proposed" true (List.mem v proposals))
+
+let test_ct_no_failures () =
+  let rig = make_rig ~proposals:(proposals_of 5) () in
+  Engine.run ~until:10.0 rig.engine;
+  check_agreement_validity rig ~correct:[ 0; 1; 2; 3; 4 ] ~proposals:(proposals_of 5)
+
+let test_ct_coordinator_crash () =
+  (* Crash node 0 (the round-0 coordinator) before it can finish. *)
+  let rig = make_rig ~proposals:(proposals_of 5) ~latency:(Latency.Constant 0.05) () in
+  Network.crash rig.net ~node:0;
+  ignore (Engine.schedule rig.engine ~delay:0.2 (fun () -> Oracle.mark_crashed rig.oracle 0));
+  Engine.run ~until:30.0 rig.engine;
+  check_agreement_validity rig ~correct:[ 1; 2; 3; 4 ] ~proposals:(proposals_of 5)
+
+let test_ct_two_crashes () =
+  let rig = make_rig ~proposals:(proposals_of 5) ~latency:(Latency.Constant 0.05) () in
+  Network.crash rig.net ~node:0;
+  Network.crash rig.net ~node:1;
+  ignore
+    (Engine.schedule rig.engine ~delay:0.3 (fun () ->
+         Oracle.mark_crashed rig.oracle 0;
+         Oracle.mark_crashed rig.oracle 1));
+  Engine.run ~until:30.0 rig.engine;
+  check_agreement_validity rig ~correct:[ 2; 3; 4 ] ~proposals:(proposals_of 5)
+
+let test_ct_single_member () =
+  let rig = make_rig ~n:1 ~proposals:[ "solo" ] () in
+  Engine.run ~until:5.0 rig.engine;
+  Alcotest.(check (option string)) "solo decides own value" (Some "solo") rig.decisions.(0)
+
+let test_ct_late_suspicion_still_terminates () =
+  (* The coordinator crashes mid-round; suspicion arrives late. *)
+  let rig = make_rig ~proposals:(proposals_of 3) ~n:3 ~latency:(Latency.Constant 0.02) () in
+  ignore
+    (Engine.schedule rig.engine ~delay:0.01 (fun () -> Network.crash rig.net ~node:0));
+  ignore (Engine.schedule rig.engine ~delay:2.0 (fun () -> Oracle.mark_crashed rig.oracle 0));
+  Engine.run ~until:30.0 rig.engine;
+  check_agreement_validity rig ~correct:[ 1; 2 ] ~proposals:(proposals_of 3)
+
+let ct_agreement_property =
+  QCheck.Test.make ~name:"CT agreement+validity under random crash schedules" ~count:30
+    QCheck.(pair small_int (int_bound 1))
+    (fun (seed, crash_count) ->
+      let n = 5 in
+      let engine = Engine.create ~seed () in
+      let net = Network.create engine ~nodes:n ~latency:(Latency.Exponential { mean = 0.02 }) () in
+      let oracle = Oracle.create ~nodes:n in
+      let instances = Array.make n None in
+      let decisions = Array.make n None in
+      let members = List.init n Fun.id in
+      let proposals = proposals_of n in
+      List.iteri
+        (fun i proposal ->
+          Network.set_handler net ~node:i (fun ~src msg ->
+              match instances.(i) with Some inst -> Ct.on_message inst ~src msg | None -> ());
+          instances.(i) <-
+            Some
+              (Ct.create engine ~me:i ~members
+                 ~suspects:(fun p -> Oracle.suspects oracle p)
+                 ~send:(fun ~dst msg -> Network.send net ~src:i ~dst msg)
+                 ~on_decide:(fun v -> decisions.(i) <- Some v)
+                 proposal))
+        proposals;
+      (* Crash up to [crash_count] random processes at random times. *)
+      let rng = Svs_sim.Rng.create ~seed:(seed + 1) in
+      let crashed = ref [] in
+      for _ = 1 to crash_count do
+        let victim = Svs_sim.Rng.int rng n in
+        if not (List.mem victim !crashed) then begin
+          crashed := victim :: !crashed;
+          let at = Svs_sim.Rng.float rng 0.2 in
+          ignore
+            (Engine.schedule engine ~delay:at (fun () ->
+                 Network.crash net ~node:victim;
+                 ignore
+                   (Engine.schedule engine ~delay:0.5 (fun () ->
+                        Oracle.mark_crashed oracle victim))))
+        end
+      done;
+      Engine.run ~until:60.0 engine;
+      let correct = List.filter (fun i -> not (List.mem i !crashed)) (List.init n Fun.id) in
+      let decided = List.filter_map (fun i -> decisions.(i)) correct in
+      List.length decided = List.length correct
+      && (match decided with
+         | [] -> false
+         | v :: rest -> List.for_all (( = ) v) rest && List.mem v proposals))
+
+(* --- Arbiter --- *)
+
+let test_arbiter_decides_at_quorum () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let a =
+    Arbiter.create e ~members:[ 0; 1; 2 ]
+      ~deliver:(fun ~dst ~instance v -> log := (dst, instance, v) :: !log)
+      ()
+  in
+  Arbiter.propose a ~instance:7 ~from:1 "b";
+  Engine.run e;
+  Alcotest.(check bool) "below quorum: no decision" true (!log = []);
+  Arbiter.propose a ~instance:7 ~from:0 "a";
+  Engine.run e;
+  Alcotest.(check bool) "decided" true (Arbiter.decided a ~instance:7);
+  (* Lowest-id proposer wins: value "a". *)
+  let values = List.map (fun (_, _, v) -> v) !log in
+  Alcotest.(check (list string)) "same value to everyone" [ "a"; "a"; "a" ] values
+
+let test_arbiter_ignores_duplicates () =
+  let e = Engine.create () in
+  let a =
+    Arbiter.create e ~members:[ 0; 1; 2 ] ~deliver:(fun ~dst:_ ~instance:_ _ -> ()) ()
+  in
+  Arbiter.propose a ~instance:1 ~from:0 "x";
+  Arbiter.propose a ~instance:1 ~from:0 "y";
+  Engine.run e;
+  Alcotest.(check bool) "one proposer twice is not a quorum" false (Arbiter.decided a ~instance:1)
+
+let test_arbiter_quorum_one () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let a =
+    Arbiter.create e ~members:[ 0; 1; 2 ] ~quorum:1
+      ~deliver:(fun ~dst:_ ~instance:_ _ -> incr count)
+      ()
+  in
+  Arbiter.propose a ~instance:0 ~from:2 "z";
+  Engine.run e;
+  Alcotest.(check int) "delivered to all three" 3 !count
+
+let test_arbiter_removed_member_not_notified () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let a =
+    Arbiter.create e ~members:[ 0; 1; 2 ] ~quorum:1
+      ~deliver:(fun ~dst ~instance:_ _ -> log := dst :: !log)
+      ()
+  in
+  Arbiter.remove_member a 1;
+  Arbiter.propose a ~instance:3 ~from:0 "v";
+  Engine.run e;
+  Alcotest.(check (list int)) "only remaining members" [ 0; 2 ] (List.sort compare !log)
+
+let test_arbiter_decision_delay () =
+  let e = Engine.create () in
+  let at = ref nan in
+  let a =
+    Arbiter.create e ~members:[ 0 ] ~quorum:1 ~decision_delay:0.25
+      ~deliver:(fun ~dst:_ ~instance:_ _ -> at := Engine.now e)
+      ()
+  in
+  Arbiter.propose a ~instance:0 ~from:0 "v";
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "delivery delayed" 0.25 !at
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_consensus"
+    [
+      ( "chandra-toueg",
+        [
+          Alcotest.test_case "no failures" `Quick test_ct_no_failures;
+          Alcotest.test_case "coordinator crash" `Quick test_ct_coordinator_crash;
+          Alcotest.test_case "two crashes" `Quick test_ct_two_crashes;
+          Alcotest.test_case "single member" `Quick test_ct_single_member;
+          Alcotest.test_case "late suspicion" `Quick test_ct_late_suspicion_still_terminates;
+          q ct_agreement_property;
+        ] );
+      ( "arbiter",
+        [
+          Alcotest.test_case "decides at quorum" `Quick test_arbiter_decides_at_quorum;
+          Alcotest.test_case "duplicate proposals" `Quick test_arbiter_ignores_duplicates;
+          Alcotest.test_case "quorum one" `Quick test_arbiter_quorum_one;
+          Alcotest.test_case "removed member" `Quick test_arbiter_removed_member_not_notified;
+          Alcotest.test_case "decision delay" `Quick test_arbiter_decision_delay;
+        ] );
+    ]

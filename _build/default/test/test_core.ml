@@ -1,0 +1,1022 @@
+(* Tests for svs_core: the deque, the Figure 1 protocol automaton, the
+   trace checker and the assembled Group stack. *)
+
+module Dq = Svs_core.Dq
+module View = Svs_core.View
+module Types = Svs_core.Types
+module Protocol = Svs_core.Protocol
+module Checker = Svs_core.Checker
+module Group = Svs_core.Group
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+module Bitvec = Svs_obs.Bitvec
+module Engine = Svs_sim.Engine
+module Latency = Svs_net.Latency
+module Rng = Svs_sim.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Dq                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dq_fifo () =
+  let d = Dq.create () in
+  for i = 1 to 100 do
+    Dq.push_back d i
+  done;
+  Alcotest.(check int) "length" 100 (Dq.length d);
+  Alcotest.(check (option int)) "peek" (Some 1) (Dq.peek_front d);
+  let drained = List.init 100 (fun _ -> Option.get (Dq.pop_front d)) in
+  Alcotest.(check (list int)) "FIFO" (List.init 100 (fun i -> i + 1)) drained
+
+let test_dq_push_front () =
+  let d = Dq.create () in
+  Dq.push_back d 2;
+  Dq.push_front d 1;
+  Dq.push_back d 3;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Dq.to_list d)
+
+let test_dq_filter_in_place () =
+  let d = Dq.create () in
+  for i = 1 to 10 do
+    Dq.push_back d i
+  done;
+  let removed = Dq.filter_in_place (fun x -> x mod 2 = 0) d in
+  Alcotest.(check int) "removed" 5 removed;
+  Alcotest.(check (list int)) "kept order" [ 2; 4; 6; 8; 10 ] (Dq.to_list d)
+
+let test_dq_wraparound () =
+  let d = Dq.create () in
+  (* Force head to wrap: push/pop repeatedly beyond initial capacity. *)
+  for round = 0 to 20 do
+    for i = 0 to 9 do
+      Dq.push_back d ((round * 10) + i)
+    done;
+    for _ = 0 to 7 do
+      ignore (Dq.pop_front d)
+    done
+  done;
+  let l = Dq.to_list d in
+  Alcotest.(check int) "kept 2 per round" (2 * 21) (List.length l);
+  Alcotest.(check bool) "still sorted" true (List.sort compare l = l)
+
+let dq_matches_list_model =
+  QCheck.Test.make ~name:"dq behaves like a list queue" ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let d = Dq.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (push, x) ->
+          if push then begin
+            Dq.push_back d x;
+            model := !model @ [ x ];
+            true
+          end
+          else
+            let got = Dq.pop_front d in
+            let expect =
+              match !model with
+              | [] -> None
+              | y :: rest ->
+                  model := rest;
+                  Some y
+            in
+            got = expect)
+        ops
+      && Dq.to_list d = !model)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol unit tests (manual synchronous router)                      *)
+(* ------------------------------------------------------------------ *)
+
+type proc = { pid : int; p : int Protocol.t }
+
+(* Route all pending Send outputs synchronously until quiescence;
+   returns the non-Send outputs in occurrence order. *)
+let route (procs : proc list) =
+  let acc = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun { pid; p } ->
+        List.iter
+          (fun o ->
+            progress := true;
+            match o with
+            | Types.Send { dst; wire } -> (
+                match List.find_opt (fun pr -> pr.pid = dst) procs with
+                | Some target -> Protocol.receive target.p ~src:pid wire
+                | None -> ())
+            | other -> acc := (pid, other) :: !acc)
+          (Protocol.take_outputs p))
+      procs
+  done;
+  List.rev !acc
+
+let make_procs ?(semantic = true) ?(suspected = fun _ -> false) n =
+  let members = List.init n Fun.id in
+  let view = View.initial ~members in
+  List.map
+    (fun pid ->
+      { pid; p = Protocol.create ~me:pid ~initial_view:view ~semantic ~suspects:suspected () })
+    members
+
+let drain_data p =
+  let rec go acc =
+    match Protocol.deliver p with
+    | None -> List.rev acc
+    | Some (Types.Data d) -> go (d.Types.payload :: acc)
+    | Some (Types.View_change _) -> go acc
+  in
+  go []
+
+let tag_ann item = Annotation.Tag item
+
+let test_proto_multicast_reaches_all () =
+  let procs = make_procs 3 in
+  let p0 = (List.hd procs).p in
+  (match Protocol.multicast p0 41 with Ok _ -> () | Error _ -> Alcotest.fail "multicast");
+  (match Protocol.multicast p0 42 with Ok _ -> () | Error _ -> Alcotest.fail "multicast");
+  ignore (route procs);
+  List.iter
+    (fun { pid; p } ->
+      Alcotest.(check (list int)) (Printf.sprintf "proc %d FIFO delivery" pid) [ 41; 42 ]
+        (drain_data p))
+    procs
+
+let test_proto_purge_in_queue () =
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p in
+  (* Three updates of the same item: only the last survives in queues
+     that have not been consumed. *)
+  List.iter (fun v -> ignore (Protocol.multicast p0 ~ann:(tag_ann 7) v)) [ 1; 2; 3 ];
+  ignore (route procs);
+  List.iter
+    (fun { pid; p } ->
+      Alcotest.(check (list int)) (Printf.sprintf "proc %d purged to last" pid) [ 3 ]
+        (drain_data p);
+      Alcotest.(check int) (Printf.sprintf "proc %d purge count" pid) 2 (Protocol.purged_count p))
+    procs
+
+let test_proto_fast_consumer_sees_all () =
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p
+  and p1 = (List.nth procs 1).p in
+  ignore (Protocol.multicast p0 ~ann:(tag_ann 7) 1);
+  ignore (route procs);
+  Alcotest.(check (list int)) "fast consumer got first" [ 1 ] (drain_data p1);
+  ignore (Protocol.multicast p0 ~ann:(tag_ann 7) 2);
+  ignore (route procs);
+  Alcotest.(check (list int)) "and the second" [ 2 ] (drain_data p1)
+
+let test_proto_no_purge_when_vs () =
+  let procs = make_procs ~semantic:false 2 in
+  let p0 = (List.hd procs).p in
+  List.iter (fun v -> ignore (Protocol.multicast p0 ~ann:(tag_ann 7) v)) [ 1; 2; 3 ];
+  ignore (route procs);
+  let p1 = (List.nth procs 1).p in
+  Alcotest.(check (list int)) "plain VS keeps everything" [ 1; 2; 3 ] (drain_data p1);
+  Alcotest.(check int) "no purging" 0 (Protocol.purged_count p1)
+
+let decide_first procs outs =
+  (* Feed the first Propose decision to every process. *)
+  match
+    List.find_map
+      (function _, Types.Propose { view_id; proposal } -> Some (view_id, proposal) | _ -> None)
+      outs
+  with
+  | None -> Alcotest.fail "no proposal emitted"
+  | Some (view_id, proposal) ->
+      List.iter (fun { p; _ } -> Protocol.decided p ~view_id proposal) procs;
+      route procs
+
+let test_proto_view_change_basic () =
+  let procs = make_procs 3 in
+  let p0 = (List.hd procs).p in
+  ignore (Protocol.multicast p0 10);
+  ignore (route procs);
+  Protocol.trigger_view_change p0 ~leave:[ 2 ];
+  let outs = route procs in
+  (* All three (unsuspected) must have sent PREDs, then proposals. *)
+  let installs = decide_first procs outs in
+  let installed =
+    List.filter_map (function pid, Types.Installed v -> Some (pid, v) | _ -> None) installs
+  in
+  Alcotest.(check int) "two survivors installed" 2 (List.length installed);
+  List.iter
+    (fun (_, v) -> Alcotest.(check (list int)) "membership without 2" [ 0; 1 ] v.View.members)
+    installed;
+  let excluded =
+    List.filter_map (function pid, Types.Excluded _ -> Some pid | _ -> None) installs
+  in
+  Alcotest.(check (list int)) "process 2 excluded" [ 2 ] excluded;
+  (* Survivors see the data then the view marker. *)
+  let p1 = (List.nth procs 1).p in
+  (match Protocol.deliver p1 with
+  | Some (Types.Data d) -> Alcotest.(check int) "data first" 10 d.Types.payload
+  | _ -> Alcotest.fail "expected data");
+  (match Protocol.deliver p1 with
+  | Some (Types.View_change v) -> Alcotest.(check int) "then view 1" 1 v.View.id
+  | _ -> Alcotest.fail "expected view marker")
+
+let test_proto_multicast_blocked_during_view_change () =
+  let procs = make_procs 3 in
+  let p0 = (List.hd procs).p in
+  Protocol.trigger_view_change p0 ~leave:[];
+  (* Do not route: p0 is blocked now. *)
+  (match Protocol.multicast p0 99 with
+  | Error `Blocked -> ()
+  | Ok _ | Error `Not_member -> Alcotest.fail "expected Blocked");
+  Alcotest.(check bool) "blocked flag" true (Protocol.blocked p0)
+
+let test_proto_view_change_flushes_unconsumed () =
+  (* A slow process that consumed nothing must still deliver the agreed
+     messages before the view marker. *)
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p
+  and p1 = (List.nth procs 1).p in
+  List.iter (fun v -> ignore (Protocol.multicast p0 v)) [ 1; 2; 3 ];
+  ignore (route procs);
+  Protocol.trigger_view_change p0 ~leave:[];
+  let outs = route procs in
+  ignore (decide_first procs outs);
+  Alcotest.(check (list int)) "all flushed before marker" [ 1; 2; 3 ] (drain_data p1)
+
+let test_proto_svs_pred_injection () =
+  (* p1 never received m (we bypass routing selectively): after the view
+     change, the agreed pred set must inject it. *)
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p
+  and p1 = (List.nth procs 1).p in
+  (* Multicast but deliberately drop the Send to p1. *)
+  (match Protocol.multicast p0 77 with Ok _ -> () | Error _ -> Alcotest.fail "mc");
+  let outs0 = Protocol.take_outputs p0 in
+  Alcotest.(check int) "one send" 1
+    (List.length (List.filter (function Types.Send _ -> true | _ -> false) outs0));
+  (* Now run a view change; p0's PRED contains 77. *)
+  Protocol.trigger_view_change p0 ~leave:[];
+  let outs = route procs in
+  ignore (decide_first procs outs);
+  Alcotest.(check (list int)) "injected from pred set" [ 77 ] (drain_data p1)
+
+let test_proto_stale_data_dropped_after_view () =
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p
+  and p1 = (List.nth procs 1).p in
+  (* Craft a data message tagged with view 0 and deliver it after the
+     group moved to view 1: it must be ignored (its fate was settled by
+     the agreed pred set). *)
+  Protocol.trigger_view_change p0 ~leave:[];
+  let outs = route procs in
+  ignore (decide_first procs outs);
+  Alcotest.(check int) "now in view 1" 1 (Protocol.current_view p1).View.id;
+  let stale =
+    Types.Wdata
+      {
+        Types.id = Msg_id.make ~sender:0 ~sn:999;
+        view_id = 0;
+        payload = 5;
+        ann = Annotation.Unrelated;
+      }
+  in
+  Protocol.receive p1 ~src:0 stale;
+  ignore (route procs);
+  Alcotest.(check (list int)) "stale dropped"
+    [] (drain_data p1 |> List.filter (fun v -> v = 5))
+
+let test_proto_future_view_data_stashed () =
+  let procs = make_procs 2 in
+  let p1 = (List.nth procs 1).p in
+  (* A message from the future view arrives before p1 has installed it:
+     it must be stashed, then delivered after installation. *)
+  let future =
+    Types.Wdata
+      {
+        Types.id = Msg_id.make ~sender:0 ~sn:50;
+        view_id = 1;
+        payload = 123;
+        ann = Annotation.Unrelated;
+      }
+  in
+  Protocol.receive p1 ~src:0 future;
+  Alcotest.(check (list int)) "not delivered yet" [] (drain_data p1);
+  let p0 = (List.hd procs).p in
+  Protocol.trigger_view_change p0 ~leave:[];
+  let outs = route procs in
+  ignore (decide_first procs outs);
+  Alcotest.(check (list int)) "stash replayed after install" [ 123 ] (drain_data p1)
+
+let test_proto_not_member_multicast () =
+  let members = [ 0; 1 ] in
+  let view = View.initial ~members in
+  let outsider =
+    Protocol.create ~me:7 ~initial_view:view ~semantic:true ~suspects:(fun _ -> false) ()
+  in
+  match Protocol.multicast outsider 1 with
+  | Error `Not_member -> ()
+  | Ok _ | Error `Blocked -> Alcotest.fail "expected Not_member"
+
+let test_proto_suspected_member_skipped_in_t7 () =
+  (* With process 2 suspected and silent, the others can still complete
+     the view change (t7 waits only for unsuspected members). *)
+  let suspected = ref (fun _ -> false) in
+  let procs = make_procs ~suspected:(fun p -> !suspected p) 3 in
+  let alive = List.filter (fun pr -> pr.pid <> 2) procs in
+  suspected := (fun p -> p = 2);
+  let p0 = (List.hd procs).p in
+  ignore (Protocol.multicast p0 5);
+  ignore (route alive);
+  Protocol.trigger_view_change p0 ~leave:[ 2 ];
+  let outs = route alive in
+  let installs = decide_first alive outs in
+  let installed = List.filter (function _, Types.Installed _ -> true | _ -> false) installs in
+  Alcotest.(check int) "both survivors installed" 2 (List.length installed)
+
+let test_proto_local_pred_tracking () =
+  (* accepted_in_view = delivered ++ queued, both restricted to the
+     current view — exactly what t5 would put in the PRED message. *)
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p
+  and p1 = (List.nth procs 1).p in
+  List.iter (fun v -> ignore (Protocol.multicast p0 v)) [ 1; 2; 3 ];
+  ignore (route procs);
+  (* p1 consumes one message; the other two stay queued. *)
+  (match Protocol.deliver p1 with
+  | Some (Types.Data d) -> Alcotest.(check int) "consumed first" 1 d.Types.payload
+  | _ -> Alcotest.fail "expected data");
+  let pred = List.map (fun d -> d.Types.payload) (Protocol.accepted_in_view p1) in
+  Alcotest.(check (list int)) "delivered ++ queued" [ 1; 2; 3 ] pred
+
+let test_proto_voluntary_leave () =
+  (* A member can ask to leave (§3.2: "processes that voluntarily want
+     to leave"): it initiates a view change naming itself. *)
+  let procs = make_procs 3 in
+  let p2 = (List.nth procs 2).p in
+  Protocol.trigger_view_change p2 ~leave:[ 2 ];
+  let outs = route procs in
+  let installs = decide_first procs outs in
+  Alcotest.(check (list int)) "self excluded"
+    [ 2 ]
+    (List.filter_map (function pid, Types.Excluded _ -> Some pid | _ -> None) installs);
+  Alcotest.(check (list int)) "survivors" [ 0; 1 ]
+    (Protocol.current_view (List.hd procs).p).View.members
+
+let test_proto_deterministic () =
+  (* Identical input sequences produce identical output sequences. *)
+  let run () =
+    let procs = make_procs 3 in
+    let p0 = (List.hd procs).p in
+    List.iter (fun v -> ignore (Protocol.multicast p0 ~ann:(tag_ann (v mod 2)) v)) [ 1; 2; 3; 4 ];
+    ignore (route procs);
+    Protocol.trigger_view_change p0 ~leave:[ 2 ];
+    let outs = route procs in
+    ignore (decide_first procs outs);
+    List.map (fun { p; _ } -> drain_data p) procs
+  in
+  Alcotest.(check bool) "two runs agree" true (run () = run ())
+
+(* Differential test: the protocol's incremental purge must leave the
+   same queue contents as a naive fixpoint purge over the full set. *)
+let purge_matches_fixpoint_model =
+  QCheck.Test.make ~name:"incremental purge matches fixpoint model" ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(int_range 1 40) (pair (int_bound 4) (int_bound 2))))
+    (fun (seed, sends) ->
+      ignore seed;
+      (* Single sender (0) multicasts tagged messages; receiver 1 never
+         consumes, so its queue purges incrementally. *)
+      let procs = make_procs 2 in
+      let p0 = (List.hd procs).p in
+      let annotated =
+        List.mapi (fun i (tag, _) -> (i, tag)) sends
+      in
+      List.iter (fun (i, tag) -> ignore (Protocol.multicast p0 ~ann:(tag_ann tag) i)) annotated;
+      ignore (route procs);
+      let p1 = (List.nth procs 1).p in
+      let queue = drain_data p1 in
+      (* Model: keep message i iff no later message with the same tag. *)
+      let expected =
+        List.filter
+          (fun (i, tag) ->
+            not (List.exists (fun (j, tag') -> j > i && tag' = tag) annotated))
+          annotated
+        |> List.map fst
+      in
+      queue = expected)
+
+(* Cross-sender obsolescence through enumeration annotations: member 1
+   acknowledges member 0's readings with messages that obsolete them. *)
+let test_proto_cross_sender_enum () =
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p
+  and p1 = (List.nth procs 1).p in
+  let d0 =
+    match Protocol.multicast p0 100 with Ok d -> d | Error _ -> Alcotest.fail "mc"
+  in
+  ignore (route procs);
+  (* p1 consumed p0's message and replies with a digest that makes the
+     original obsolete. *)
+  Alcotest.(check (list int)) "p1 got it" [ 100 ] (drain_data p1);
+  ignore (Protocol.multicast p1 ~ann:(Annotation.Enum [ d0.Types.id ]) 200);
+  ignore (route procs);
+  (* p0 never consumed its own copy of 100: the digest purged it. *)
+  Alcotest.(check (list int)) "original purged at p0 by the digest" [ 200 ] (drain_data p0)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol hardening                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_proto_duplicate_decision_ignored () =
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p in
+  Protocol.trigger_view_change p0 ~leave:[];
+  let outs = route procs in
+  ignore (decide_first procs outs);
+  let view_after = Protocol.current_view p0 in
+  (* Replay the stale decision: it must be ignored. *)
+  (match
+     List.find_map
+       (function _, Types.Propose { view_id; proposal } -> Some (view_id, proposal) | _ -> None)
+       outs
+   with
+  | Some (view_id, proposal) -> Protocol.decided p0 ~view_id proposal
+  | None -> Alcotest.fail "no proposal");
+  ignore (route procs);
+  Alcotest.(check bool) "view unchanged" true (View.equal view_after (Protocol.current_view p0))
+
+let test_proto_receive_when_dead () =
+  let procs = make_procs 2 in
+  let p0 = (List.hd procs).p in
+  Protocol.trigger_view_change p0 ~leave:[ 1 ];
+  let outs = route procs in
+  (match
+     List.find_map
+       (function _, Types.Propose { view_id; proposal } -> Some (view_id, proposal) | _ -> None)
+       outs
+   with
+  | Some (view_id, proposal) -> List.iter (fun { p; _ } -> Protocol.decided p ~view_id proposal) procs
+  | None -> Alcotest.fail "no proposal");
+  let p1 = (List.nth procs 1).p in
+  Alcotest.(check bool) "p1 excluded" false (Protocol.alive p1);
+  (* Feeding traffic to a dead protocol must be inert. *)
+  Protocol.receive p1 ~src:0
+    (Types.Wdata
+       { Types.id = Msg_id.make ~sender:0 ~sn:99; view_id = 1; payload = 1; ann = Annotation.Unrelated });
+  Alcotest.(check (list int)) "no deliveries" [] (drain_data p1);
+  match Protocol.multicast p1 5 with
+  | Error `Not_member -> ()
+  | Ok _ | Error `Blocked -> Alcotest.fail "dead protocol accepted a multicast"
+
+let test_proto_trigger_while_blocked_ignored () =
+  let procs = make_procs 3 in
+  let p0 = (List.hd procs).p in
+  Protocol.trigger_view_change p0 ~leave:[ 2 ];
+  (* A second trigger while blocked must not restart the exchange. *)
+  Protocol.trigger_view_change p0 ~leave:[ 1 ];
+  let outs = route procs in
+  ignore (decide_first procs outs);
+  (* The first leave list won: member 1 is still in. *)
+  Alcotest.(check (list int)) "membership from first trigger" [ 0; 1 ]
+    (Protocol.current_view p0).View.members
+
+(* ------------------------------------------------------------------ *)
+(* Checker unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let meta ?(ann = Annotation.Unrelated) ?(view = 0) sender sn =
+  { Checker.id = Msg_id.make ~sender ~sn; ann; view_id = view }
+
+let test_checker_accepts_clean_trace () =
+  let c = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1 ] in
+  Checker.record_install c ~p:0 v0;
+  Checker.record_install c ~p:1 v0;
+  let m = meta 0 0 in
+  Checker.record_multicast c m;
+  Checker.record_delivery c ~p:0 m;
+  Checker.record_delivery c ~p:1 m;
+  Alcotest.(check int) "no violations" 0 (List.length (Checker.verify c))
+
+let test_checker_detects_creation () =
+  let c = Checker.create () in
+  Checker.record_install c ~p:0 (View.initial ~members:[ 0 ]);
+  Checker.record_delivery c ~p:0 (meta 0 0);
+  Alcotest.(check bool) "creation detected" true (Checker.verify c <> [])
+
+let test_checker_detects_duplication () =
+  let c = Checker.create () in
+  Checker.record_install c ~p:0 (View.initial ~members:[ 0 ]);
+  let m = meta 0 0 in
+  Checker.record_multicast c m;
+  Checker.record_delivery c ~p:0 m;
+  Checker.record_delivery c ~p:0 m;
+  Alcotest.(check bool) "duplication detected" true (Checker.verify c <> [])
+
+let test_checker_detects_fifo_violation () =
+  let c = Checker.create () in
+  Checker.record_install c ~p:0 (View.initial ~members:[ 0 ]);
+  let m0 = meta 0 0 and m1 = meta 0 1 in
+  Checker.record_multicast c m0;
+  Checker.record_multicast c m1;
+  Checker.record_delivery c ~p:0 m1;
+  Checker.record_delivery c ~p:0 m0;
+  Alcotest.(check bool) "fifo violation detected" true (Checker.verify c <> [])
+
+let test_checker_detects_svs_hole () =
+  (* p delivers m in view 0 and both install view 1, but q never covers
+     m: SVS violation. *)
+  let c = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1 ] in
+  let v1 = View.make ~id:1 ~members:[ 0; 1 ] in
+  List.iter (fun p -> Checker.record_install c ~p v0) [ 0; 1 ];
+  let m = meta 0 0 in
+  Checker.record_multicast c m;
+  Checker.record_delivery c ~p:0 m;
+  List.iter (fun p -> Checker.record_install c ~p v1) [ 0; 1 ];
+  Alcotest.(check bool) "hole detected" true (Checker.verify c <> [])
+
+let test_checker_accepts_cover_instead () =
+  (* q skips m but delivers a message that obsoletes it: legal SVS. *)
+  let c = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1 ] in
+  let v1 = View.make ~id:1 ~members:[ 0; 1 ] in
+  List.iter (fun p -> Checker.record_install c ~p v0) [ 0; 1 ];
+  let m0 = meta ~ann:(Annotation.Tag 3) 0 0 in
+  let m1 = meta ~ann:(Annotation.Tag 3) 0 1 in
+  Checker.record_multicast c m0;
+  Checker.record_multicast c m1;
+  (* p delivers both; q only the cover. *)
+  Checker.record_delivery c ~p:0 m0;
+  Checker.record_delivery c ~p:0 m1;
+  Checker.record_delivery c ~p:1 m1;
+  List.iter (fun p -> Checker.record_install c ~p v1) [ 0; 1 ];
+  Alcotest.(check (list string)) "cover satisfies SVS" []
+    (List.map Checker.violation_to_string (Checker.verify c))
+
+let test_checker_transitive_cover () =
+  (* q delivers only the end of a chain m0 ≺ m1 ≺ m2: still legal. *)
+  let c = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1 ] in
+  let v1 = View.make ~id:1 ~members:[ 0; 1 ] in
+  List.iter (fun p -> Checker.record_install c ~p v0) [ 0; 1 ];
+  let bm1 = Bitvec.create ~k:4 in
+  Bitvec.set bm1 1;
+  (* m2's bitmap only names m1 (distance 1) — NOT m0: the closure must
+     still accept m2 as a cover of m0. *)
+  let m0 = meta 0 0 in
+  let m1 = { (meta 0 1) with Checker.ann = Annotation.Kenum bm1 } in
+  let bm2 = Bitvec.create ~k:4 in
+  Bitvec.set bm2 1;
+  let m2 = { (meta 0 2) with Checker.ann = Annotation.Kenum bm2 } in
+  List.iter (Checker.record_multicast c) [ m0; m1; m2 ];
+  List.iter (Checker.record_delivery c ~p:0) [ m0; m1; m2 ];
+  Checker.record_delivery c ~p:1 m2;
+  List.iter (fun p -> Checker.record_install c ~p v1) [ 0; 1 ];
+  Alcotest.(check (list string)) "closure covers" []
+    (List.map Checker.violation_to_string (Checker.verify c))
+
+let test_checker_strict_vs_flags_purge () =
+  let c = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1 ] in
+  let v1 = View.make ~id:1 ~members:[ 0; 1 ] in
+  List.iter (fun p -> Checker.record_install c ~p v0) [ 0; 1 ];
+  let m0 = meta ~ann:(Annotation.Tag 3) 0 0 in
+  let m1 = meta ~ann:(Annotation.Tag 3) 0 1 in
+  Checker.record_multicast c m0;
+  Checker.record_multicast c m1;
+  Checker.record_delivery c ~p:0 m0;
+  Checker.record_delivery c ~p:0 m1;
+  Checker.record_delivery c ~p:1 m1;
+  List.iter (fun p -> Checker.record_install c ~p v1) [ 0; 1 ];
+  Alcotest.(check bool) "SVS ok" true (Checker.verify c = []);
+  Alcotest.(check bool) "strict VS flags the omission" true (Checker.verify_strict_vs c <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Group integration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let drain_everyone cluster =
+  List.iter (fun m -> ignore (Group.deliver_all m)) (Group.members cluster)
+
+let check_no_violations ?(strict = false) cluster =
+  let c = Group.checker cluster in
+  let violations = if strict then Checker.verify_strict_vs c else Checker.verify c in
+  Alcotest.(check (list string)) "checker clean" []
+    (List.map Checker.violation_to_string violations)
+
+let test_group_basic_multicast () =
+  let e = Engine.create ~seed:1 () in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2; 3 ]
+      ~latency:(Latency.Uniform { lo = 0.001; hi = 0.01 })
+      ()
+  in
+  let m0 = Group.member cluster 0 in
+  for i = 1 to 20 do
+    match Group.multicast m0 i with Ok _ -> () | Error _ -> Alcotest.fail "multicast failed"
+  done;
+  Engine.run e;
+  List.iter
+    (fun m ->
+      let data =
+        List.filter_map
+          (function Types.Data d -> Some d.Types.payload | Types.View_change _ -> None)
+          (Group.deliver_all m)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d got all in order" (Group.id m))
+        (List.init 20 (fun i -> i + 1))
+        data)
+    (Group.members cluster);
+  check_no_violations ~strict:true cluster
+
+let test_group_crash_triggers_view_change () =
+  let e = Engine.create ~seed:2 () in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2; 3 ]
+      ~latency:(Latency.Uniform { lo = 0.001; hi = 0.01 })
+      ()
+  in
+  let m0 = Group.member cluster 0 in
+  for i = 1 to 10 do
+    ignore (Group.multicast m0 i)
+  done;
+  ignore (Engine.schedule e ~delay:0.5 (fun () -> Group.crash cluster 3));
+  Engine.run e;
+  drain_everyone cluster;
+  List.iter
+    (fun m ->
+      if Group.id m <> 3 then begin
+        let v = Group.view m in
+        Alcotest.(check int) (Printf.sprintf "member %d in view 1" (Group.id m)) 1 v.View.id;
+        Alcotest.(check (list int)) "membership excludes 3" [ 0; 1; 2 ] v.View.members
+      end)
+    (Group.members cluster);
+  check_no_violations cluster
+
+let test_group_purging_under_slow_consumer () =
+  let e = Engine.create ~seed:3 () in
+  let config = { Group.default_config with buffer_capacity = Some 8 } in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1 ] ~latency:(Latency.Constant 0.001) ~config ()
+  in
+  let producer = Group.member cluster 0 in
+  let slow = Group.member cluster 1 in
+  (* Producer: 200 updates of a handful of hot items; slow consumer
+     never consumes during the run. *)
+  let rng = Rng.create ~seed:7 in
+  let sent = ref 0 in
+  ignore
+    (Engine.every e ~period:0.01 (fun () ->
+         let item = Rng.int rng 3 in
+         (match Group.multicast producer ~ann:(Annotation.Tag item) !sent with
+         | Ok _ -> incr sent
+         | Error _ -> ());
+         !sent < 200));
+  Engine.run e;
+  Alcotest.(check bool) "messages were purged" true (Group.purged slow > 0);
+  Alcotest.(check bool) "queue bounded" true (Group.pending slow <= 8);
+  drain_everyone cluster;
+  check_no_violations cluster
+
+let test_group_vs_mode_no_purging () =
+  let e = Engine.create ~seed:4 () in
+  let config = { Group.default_config with semantic = false } in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2 ] ~latency:(Latency.Constant 0.001) ~config ()
+  in
+  let m0 = Group.member cluster 0 in
+  for i = 1 to 30 do
+    ignore (Group.multicast m0 ~ann:(Annotation.Tag 1) i)
+  done;
+  ignore (Engine.schedule e ~delay:0.5 (fun () -> Group.crash cluster 2));
+  Engine.run e;
+  drain_everyone cluster;
+  List.iter (fun m -> Alcotest.(check int) "nothing purged" 0 (Group.purged m))
+    (Group.members cluster);
+  check_no_violations ~strict:true cluster
+
+let test_group_chandra_toueg_heartbeats () =
+  let e = Engine.create ~seed:5 () in
+  let config =
+    {
+      Group.default_config with
+      detector = Group.Heartbeats Svs_detector.Heartbeat.default_config;
+      consensus = Group.Chandra_toueg;
+    }
+  in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2; 3 ]
+      ~latency:(Latency.Uniform { lo = 0.001; hi = 0.005 })
+      ~config ()
+  in
+  let m0 = Group.member cluster 0 in
+  for i = 1 to 10 do
+    ignore (Group.multicast m0 i)
+  done;
+  ignore (Engine.schedule e ~delay:0.5 (fun () -> Group.crash cluster 2));
+  Engine.run ~until:30.0 e;
+  drain_everyone cluster;
+  List.iter
+    (fun m ->
+      if Group.id m <> 2 then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "member %d moved past view 0" (Group.id m))
+          true
+          ((Group.view m).View.id >= 1);
+        Alcotest.(check bool) "membership excludes 2" false (View.mem 2 (Group.view m))
+      end)
+    (Group.members cluster);
+  check_no_violations cluster
+
+let test_group_two_successive_view_changes () =
+  let e = Engine.create ~seed:6 () in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2; 3; 4 ] ~latency:(Latency.Constant 0.002) ()
+  in
+  let m0 = Group.member cluster 0 in
+  ignore
+    (Engine.every e ~period:0.05 (fun () ->
+         ignore (Group.multicast m0 ~ann:(Annotation.Tag 1) 0);
+         Engine.now e < 3.0));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> Group.crash cluster 4));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> Group.crash cluster 3));
+  Engine.run ~until:5.0 e;
+  drain_everyone cluster;
+  List.iter
+    (fun m ->
+      if Group.id m <= 2 then begin
+        Alcotest.(check int) (Printf.sprintf "member %d view" (Group.id m)) 2
+          (Group.view m).View.id;
+        Alcotest.(check (list int)) "final membership" [ 0; 1; 2 ] (Group.view m).View.members
+      end)
+    (Group.members cluster);
+  check_no_violations cluster
+
+let test_group_stability_gc () =
+  (* With stability gossip on, delivered messages that everyone has
+     received are trimmed from the PRED bookkeeping, so the potential
+     view-change flush stays small on a long-running group. *)
+  let e = Engine.create ~seed:8 () in
+  let config = { Group.default_config with stability_period = Some 0.1 } in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2 ] ~latency:(Latency.Constant 0.001) ~config ()
+  in
+  let m0 = Group.member cluster 0 in
+  ignore
+    (Engine.every e ~period:0.01 (fun () ->
+         ignore (Group.multicast m0 !(ref 0));
+         List.iter (fun m -> ignore (Group.deliver_all m)) (Group.members cluster);
+         Engine.now e < 5.0));
+  Engine.run ~until:6.0 e;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d trimmed stable messages (%d)" (Group.id m)
+           (Group.stable_trimmed m))
+        true
+        (Group.stable_trimmed m > 300);
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d PRED stays small (%d)" (Group.id m) (Group.pred_size m))
+        true
+        (Group.pred_size m < 100))
+    (Group.members cluster);
+  check_no_violations cluster
+
+let test_group_overflow_exclusion () =
+  (* A member that stops consuming long enough gets expelled once its
+     backlog exceeds the configured bound (§3.2's buffer-space
+     trigger); the group survives and stays safe. *)
+  let e = Engine.create ~seed:9 () in
+  let config =
+    {
+      Group.default_config with
+      buffer_capacity = Some 5;
+      overflow_exclusion =
+        Some { Group.backlog_limit = 20; patience = 0.1; check_period = 0.02 };
+    }
+  in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2 ] ~latency:(Latency.Constant 0.001) ~config ()
+  in
+  let m0 = Group.member cluster 0 in
+  (* Members 0 and 1 consume; member 2 never does. *)
+  ignore
+    (Engine.every e ~period:0.005 (fun () ->
+         ignore (Group.multicast m0 0);
+         ignore (Group.deliver_all m0);
+         ignore (Group.deliver_all (Group.member cluster 1));
+         Engine.now e < 3.0));
+  Engine.run ~until:4.0 e;
+  List.iter (fun m -> ignore (Group.deliver_all m)) (Group.members cluster);
+  Alcotest.(check (list int)) "member 2 expelled" [ 0; 1 ] (Group.view m0).View.members;
+  Alcotest.(check bool) "survivors moved on" true ((Group.view m0).View.id >= 1);
+  check_no_violations cluster
+
+let test_group_partition_heals () =
+  (* A transient partition delays messages but loses nothing (reliable
+     channels); after healing, everything is delivered and safe. *)
+  let e = Engine.create ~seed:10 () in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2 ] ~latency:(Latency.Constant 0.001) ()
+  in
+  let m0 = Group.member cluster 0 in
+  for i = 1 to 5 do
+    ignore (Group.multicast m0 i)
+  done;
+  Group.partition cluster 0 2;
+  ignore
+    (Engine.schedule e ~delay:0.1 (fun () ->
+         for i = 6 to 10 do
+           ignore (Group.multicast m0 i)
+         done));
+  ignore (Engine.schedule e ~delay:0.5 (fun () -> Group.heal cluster 0 2));
+  Engine.run e;
+  List.iter
+    (fun m ->
+      let data =
+        List.filter_map
+          (function Types.Data d -> Some d.Types.payload | Types.View_change _ -> None)
+          (Group.deliver_all m)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d got everything in order" (Group.id m))
+        (List.init 10 (fun i -> i + 1))
+        data)
+    (Group.members cluster);
+  check_no_violations ~strict:true cluster
+
+let test_group_partition_during_view_change () =
+  (* The view-change initiator is partitioned from one member right as
+     the change starts; reliable channels hold the INIT/PRED traffic
+     until the heal, after which the change completes. *)
+  let e = Engine.create ~seed:11 () in
+  let config = { Group.default_config with consensus = Group.Chandra_toueg } in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2; 3 ] ~latency:(Latency.Constant 0.002)
+      ~config ()
+  in
+  let m0 = Group.member cluster 0 in
+  ignore (Group.multicast m0 1);
+  ignore
+    (Engine.schedule e ~delay:0.1 (fun () ->
+         Group.partition cluster 0 3;
+         Group.crash cluster 2));
+  ignore (Engine.schedule e ~delay:1.5 (fun () -> Group.heal cluster 0 3));
+  Engine.run ~until:20.0 e;
+  List.iter (fun m -> ignore (Group.deliver_all m)) (Group.members cluster);
+  List.iter
+    (fun m ->
+      if List.mem (Group.id m) [ 0; 1; 3 ] then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "member %d reconfigured" (Group.id m))
+          true
+          ((Group.view m).View.id >= 1);
+        Alcotest.(check bool) "crashed member gone" false (View.mem 2 (Group.view m))
+      end)
+    (Group.members cluster);
+  check_no_violations cluster
+
+let test_group_bandwidth_codec () =
+  (* With a payload codec and finite bandwidth, the cluster still
+     behaves identically (just slower) and accounts real wire bytes. *)
+  let e = Engine.create ~seed:12 () in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2 ] ~latency:(Latency.Constant 0.001)
+      ~bandwidth:100_000.0 ~payload_codec:Svs_core.Wire_codec.int_codec ()
+  in
+  let m0 = Group.member cluster 0 in
+  for i = 1 to 20 do
+    ignore (Group.multicast m0 i)
+  done;
+  ignore (Engine.schedule e ~delay:0.5 (fun () -> Group.crash cluster 2));
+  Engine.run e;
+  drain_everyone cluster;
+  Alcotest.(check bool) "bytes accounted" true (Group.bytes_sent cluster > 500);
+  List.iter
+    (fun m ->
+      if Group.id m <> 2 then
+        Alcotest.(check (list int)) "view without 2" [ 0; 1 ] (Group.view m).View.members)
+    (Group.members cluster);
+  check_no_violations ~strict:true cluster
+
+(* Random end-to-end scenarios, verified by the checker. *)
+let group_random_scenarios ~semantic ~name =
+  QCheck.Test.make ~name ~count:25
+    QCheck.(triple small_int (int_range 2 5) (int_range 0 1))
+    (fun (seed, n, crashes) ->
+      let e = Engine.create ~seed () in
+      let config =
+        { Group.default_config with semantic; buffer_capacity = Some 10 }
+      in
+      let cluster =
+        Group.create_cluster e
+          ~members:(List.init n Fun.id)
+          ~latency:(Latency.Exponential { mean = 0.004 })
+          ~config ()
+      in
+      let rng = Rng.create ~seed:(seed * 31) in
+      (* Every member multicasts tagged updates at its own pace. *)
+      List.iter
+        (fun m ->
+          let period = 0.01 +. Rng.float rng 0.02 in
+          ignore
+            (Engine.every e ~period (fun () ->
+                 ignore (Group.multicast m ~ann:(Annotation.Tag (Rng.int rng 4)) (Group.id m));
+                 Engine.now e < 2.0)))
+        (Group.members cluster);
+      (* Some members consume slowly during the run. *)
+      List.iter
+        (fun m ->
+          let period = 0.005 +. Rng.float rng 0.05 in
+          ignore
+            (Engine.every e ~period (fun () ->
+                 ignore (Group.deliver m);
+                 Engine.now e < 5.0)))
+        (Group.members cluster);
+      (* Random crash schedule: fewer than half the members. *)
+      let max_crashes = Stdlib.min crashes ((n - 1) / 2) in
+      let victims = ref [] in
+      for _ = 1 to max_crashes do
+        let v = Rng.int rng n in
+        if not (List.mem v !victims) then begin
+          victims := v :: !victims;
+          let at = 0.2 +. Rng.float rng 1.5 in
+          ignore (Engine.schedule e ~delay:at (fun () -> Group.crash cluster v))
+        end
+      done;
+      Engine.run ~until:6.0 e;
+      drain_everyone cluster;
+      let violations =
+        if semantic then Checker.verify (Group.checker cluster)
+        else Checker.verify_strict_vs (Group.checker cluster)
+      in
+      if violations <> [] then
+        QCheck.Test.fail_reportf "violations:@.%s"
+          (String.concat "\n" (List.map Checker.violation_to_string violations))
+      else true)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_core"
+    [
+      ( "dq",
+        [
+          Alcotest.test_case "fifo" `Quick test_dq_fifo;
+          Alcotest.test_case "push_front" `Quick test_dq_push_front;
+          Alcotest.test_case "filter_in_place" `Quick test_dq_filter_in_place;
+          Alcotest.test_case "wraparound" `Quick test_dq_wraparound;
+          q dq_matches_list_model;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "multicast reaches all" `Quick test_proto_multicast_reaches_all;
+          Alcotest.test_case "purge in queue" `Quick test_proto_purge_in_queue;
+          Alcotest.test_case "fast consumer sees all" `Quick test_proto_fast_consumer_sees_all;
+          Alcotest.test_case "plain VS keeps all" `Quick test_proto_no_purge_when_vs;
+          Alcotest.test_case "view change basic" `Quick test_proto_view_change_basic;
+          Alcotest.test_case "multicast blocked" `Quick test_proto_multicast_blocked_during_view_change;
+          Alcotest.test_case "flush before marker" `Quick test_proto_view_change_flushes_unconsumed;
+          Alcotest.test_case "pred injection" `Quick test_proto_svs_pred_injection;
+          Alcotest.test_case "stale data dropped" `Quick test_proto_stale_data_dropped_after_view;
+          Alcotest.test_case "future data stashed" `Quick test_proto_future_view_data_stashed;
+          Alcotest.test_case "outsider multicast" `Quick test_proto_not_member_multicast;
+          Alcotest.test_case "t7 skips suspected" `Quick test_proto_suspected_member_skipped_in_t7;
+          Alcotest.test_case "cross-sender enum" `Quick test_proto_cross_sender_enum;
+          Alcotest.test_case "duplicate decision" `Quick test_proto_duplicate_decision_ignored;
+          Alcotest.test_case "dead protocol inert" `Quick test_proto_receive_when_dead;
+          Alcotest.test_case "trigger while blocked" `Quick test_proto_trigger_while_blocked_ignored;
+          Alcotest.test_case "local-pred tracking" `Quick test_proto_local_pred_tracking;
+          Alcotest.test_case "voluntary leave" `Quick test_proto_voluntary_leave;
+          Alcotest.test_case "deterministic" `Quick test_proto_deterministic;
+          q purge_matches_fixpoint_model;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "clean trace" `Quick test_checker_accepts_clean_trace;
+          Alcotest.test_case "creation" `Quick test_checker_detects_creation;
+          Alcotest.test_case "duplication" `Quick test_checker_detects_duplication;
+          Alcotest.test_case "fifo" `Quick test_checker_detects_fifo_violation;
+          Alcotest.test_case "svs hole" `Quick test_checker_detects_svs_hole;
+          Alcotest.test_case "cover accepted" `Quick test_checker_accepts_cover_instead;
+          Alcotest.test_case "transitive cover" `Quick test_checker_transitive_cover;
+          Alcotest.test_case "strict VS flags purge" `Quick test_checker_strict_vs_flags_purge;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "basic multicast" `Quick test_group_basic_multicast;
+          Alcotest.test_case "crash → view change" `Quick test_group_crash_triggers_view_change;
+          Alcotest.test_case "slow consumer purging" `Quick test_group_purging_under_slow_consumer;
+          Alcotest.test_case "VS mode" `Quick test_group_vs_mode_no_purging;
+          Alcotest.test_case "CT + heartbeats" `Quick test_group_chandra_toueg_heartbeats;
+          Alcotest.test_case "two view changes" `Quick test_group_two_successive_view_changes;
+          Alcotest.test_case "stability GC" `Quick test_group_stability_gc;
+          Alcotest.test_case "overflow exclusion" `Quick test_group_overflow_exclusion;
+          Alcotest.test_case "partition heals" `Quick test_group_partition_heals;
+          Alcotest.test_case "partition during view change" `Quick
+            test_group_partition_during_view_change;
+          Alcotest.test_case "bandwidth + codec" `Quick test_group_bandwidth_codec;
+          q (group_random_scenarios ~semantic:true ~name:"random scenarios (semantic)");
+          q (group_random_scenarios ~semantic:false ~name:"random scenarios (strict VS)");
+        ] );
+    ]

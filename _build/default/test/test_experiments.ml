@@ -1,0 +1,330 @@
+(* Tests for the evaluation harness: the pipeline model and each
+   experiment's qualitative invariants (the paper's shapes). These are
+   the guardrails that keep the reproduction honest: if a change breaks
+   "semantic beats reliable where it should", these fail. *)
+
+module E = Svs_experiments
+module P = E.Pipeline
+module Stream = Svs_workload.Stream
+module Trace = Svs_workload.Trace
+module Annotation = Svs_obs.Annotation
+module Bitvec = Svs_obs.Bitvec
+
+(* A tiny synthetic stream: one hot item updated every 10 ms, encoded
+   with k-enumeration chains (message n obsoletes n-1). *)
+let chain_stream ?(n = 400) ?(period = 0.01) ?(k = 16) () =
+  let stream = Svs_obs.Kenum_stream.create ~k () in
+  Array.init n (fun i ->
+      let bm = Svs_obs.Kenum_stream.push stream ~direct:(if i = 0 then [] else [ 1 ]) in
+      {
+        Stream.sn = i;
+        round = i;
+        time = float_of_int i *. period;
+        item = Some 1;
+        kind = Stream.Commit;
+        ann = Annotation.Kenum bm;
+      })
+
+(* A stream of unrelated (never-obsolete) messages. *)
+let reliable_stream ?(n = 400) ?(period = 0.01) () =
+  Array.init n (fun i ->
+      {
+        Stream.sn = i;
+        round = i;
+        time = float_of_int i *. period;
+        item = None;
+        kind = Stream.Create;
+        ann = Annotation.Unrelated;
+      })
+
+(* --- Pipeline mechanics --- *)
+
+let test_pipeline_fast_consumer_no_blocking () =
+  let messages = chain_stream () in
+  let r = P.run ~messages { P.buffer = 8; consumer_rate = 1000.0; mode = P.Reliable } in
+  Alcotest.(check int) "all delivered" 400 r.P.delivered;
+  Alcotest.(check (float 1e-9)) "never blocked" 0.0 r.P.blocked_fraction;
+  Alcotest.(check int) "nothing purged" 0 r.P.purged
+
+let test_pipeline_conservation () =
+  let messages = chain_stream () in
+  let r = P.run ~messages { P.buffer = 8; consumer_rate = 60.0; mode = P.Semantic } in
+  Alcotest.(check int) "produced = delivered + purged" r.P.produced
+    (r.P.delivered + r.P.purged)
+
+let test_pipeline_semantic_absorbs_chain () =
+  (* A fully-chained stream purges down to whatever the consumer can
+     take: the producer should never block even at a very slow
+     consumer, because every insertion purges a predecessor. *)
+  let messages = chain_stream ~k:16 () in
+  let sem = P.run ~messages { P.buffer = 8; consumer_rate = 20.0; mode = P.Semantic } in
+  let rel = P.run ~messages { P.buffer = 8; consumer_rate = 20.0; mode = P.Reliable } in
+  Alcotest.(check bool)
+    (Printf.sprintf "semantic barely blocked (%.2f)" sem.P.blocked_fraction)
+    true (sem.P.blocked_fraction < 0.02);
+  Alcotest.(check bool)
+    (Printf.sprintf "reliable heavily blocked (%.2f)" rel.P.blocked_fraction)
+    true (rel.P.blocked_fraction > 0.5)
+
+let test_pipeline_semantic_useless_on_reliable_traffic () =
+  (* With no obsolescence the two modes must behave identically. *)
+  let messages = reliable_stream () in
+  let sem = P.run ~messages { P.buffer = 8; consumer_rate = 50.0; mode = P.Semantic } in
+  let rel = P.run ~messages { P.buffer = 8; consumer_rate = 50.0; mode = P.Reliable } in
+  Alcotest.(check int) "same purges (none)" rel.P.purged sem.P.purged;
+  Alcotest.(check (float 1e-9)) "same blocking" rel.P.blocked_fraction sem.P.blocked_fraction
+
+let test_pipeline_occupancy_bounded () =
+  let messages = chain_stream () in
+  let r = P.run ~messages { P.buffer = 5; consumer_rate = 30.0; mode = P.Reliable } in
+  Alcotest.(check bool) "max occupancy within buffer" true (r.P.max_occupancy <= 5)
+
+let test_pipeline_rejects_bad_config () =
+  let messages = chain_stream ~n:5 () in
+  Alcotest.check_raises "zero buffer" (Invalid_argument "Pipeline.run: buffer must be positive")
+    (fun () -> ignore (P.run ~messages { P.buffer = 0; consumer_rate = 10.0; mode = P.Reliable }));
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Pipeline.run: consumer rate must be positive") (fun () ->
+      ignore (P.run ~messages { P.buffer = 4; consumer_rate = 0.0; mode = P.Reliable }))
+
+let test_threshold_monotone_in_mode () =
+  let messages = chain_stream ~n:800 () in
+  let rel = P.threshold ~messages ~buffer:8 ~mode:P.Reliable () in
+  let sem = P.threshold ~messages ~buffer:8 ~mode:P.Semantic () in
+  Alcotest.(check bool)
+    (Printf.sprintf "semantic threshold (%.1f) below reliable (%.1f)" sem rel)
+    true (sem < rel)
+
+let test_perturbation_reliable_formula () =
+  (* With unrelated traffic at a constant rate, the tolerated full-stop
+     perturbation is simply buffer/rate. *)
+  let messages = reliable_stream ~n:1000 ~period:0.01 () in
+  let tol = P.perturbation_tolerance ~messages ~buffer:20 ~mode:P.Reliable ~samples:50 () in
+  Alcotest.(check bool) (Printf.sprintf "~0.2 s (got %.3f)" tol) true
+    (Float.abs (tol -. 0.2) < 0.02)
+
+let test_perturbation_semantic_longer () =
+  let messages = chain_stream ~n:2000 ~k:40 () in
+  let rel = P.perturbation_tolerance ~messages ~buffer:16 ~mode:P.Reliable ~samples:50 () in
+  let sem = P.perturbation_tolerance ~messages ~buffer:16 ~mode:P.Semantic ~samples:50 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "semantic (%.3f) outlasts reliable (%.3f)" sem rel)
+    true (sem > 2.0 *. rel)
+
+(* --- Experiment-level shape checks on a shortened workload --- *)
+
+let spec = { E.Spec.default with rounds = 3000 }
+
+let test_fig4_shapes () =
+  let points = E.Fig4.sweep ~spec ~buffer:15 ~rates:[ 30.; 60.; 120. ] () in
+  let at rate f =
+    f (List.find (fun (p : E.Fig4.point) -> p.E.Fig4.rate = rate) points)
+  in
+  (* Fast consumer: nobody blocks. *)
+  Alcotest.(check bool) "no blocking at 120" true
+    (at 120. (fun p -> p.E.Fig4.reliable.P.blocked_fraction < 0.02));
+  (* At 30 msg/s the reliable producer suffers; semantic much less. *)
+  let rel30 = at 30. (fun p -> p.E.Fig4.reliable.P.blocked_fraction) in
+  let sem30 = at 30. (fun p -> p.E.Fig4.semantic.P.blocked_fraction) in
+  Alcotest.(check bool)
+    (Printf.sprintf "semantic (%.2f) << reliable (%.2f) at 30 msg/s" sem30 rel30)
+    true
+    (sem30 < rel30 /. 2.0);
+  (* Occupancy ordering (Figure 4b): semantic keeps buffers emptier. *)
+  let rocc = at 30. (fun p -> p.E.Fig4.reliable.P.mean_occupancy) in
+  let socc = at 30. (fun p -> p.E.Fig4.semantic.P.mean_occupancy) in
+  Alcotest.(check bool) "semantic occupancy lower" true (socc < rocc)
+
+let test_fig5_shapes () =
+  let points, avg_rate = E.Fig5.sweep ~spec ~buffers:[ 4; 16; 28 ] () in
+  let p4 = List.nth points 0 and p16 = List.nth points 1 and p28 = List.nth points 2 in
+  (* Reliable thresholds stay above the mean input rate. *)
+  List.iter
+    (fun (p : E.Fig5.point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reliable threshold (%.1f) >= avg rate (%.1f)"
+           p.E.Fig5.reliable_threshold avg_rate)
+        true
+        (p.E.Fig5.reliable_threshold >= avg_rate *. 0.9))
+    points;
+  (* Purging is ineffective at tiny buffers, effective at large ones. *)
+  Alcotest.(check bool) "tiny buffer: semantic ~ reliable" true
+    (p4.E.Fig5.semantic_threshold > p4.E.Fig5.reliable_threshold *. 0.7);
+  Alcotest.(check bool) "large buffer: semantic crosses below avg rate" true
+    (p28.E.Fig5.semantic_threshold < avg_rate);
+  (* Perturbation tolerance grows with buffer and semantic wins. *)
+  Alcotest.(check bool) "tolerance grows" true
+    (p28.E.Fig5.reliable_perturbation > p16.E.Fig5.reliable_perturbation);
+  Alcotest.(check bool) "semantic outlasts reliable at 28" true
+    (p28.E.Fig5.semantic_perturbation > 1.3 *. p28.E.Fig5.reliable_perturbation)
+
+let test_view_latency_shape () =
+  let rel = E.View_latency.run ~spec ~mode:P.Reliable () in
+  let sem = E.View_latency.run ~spec ~mode:P.Semantic () in
+  Alcotest.(check int) "reliable run is safe" 0 rel.E.View_latency.violations;
+  Alcotest.(check int) "semantic run is safe" 0 sem.E.View_latency.violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "flush shrinks (rel %d vs sem %d)" rel.E.View_latency.pred_size
+       sem.E.View_latency.pred_size)
+    true
+    (sem.E.View_latency.pred_size * 3 < rel.E.View_latency.pred_size);
+  Alcotest.(check bool) "semantic purged at the slow member" true
+    (sem.E.View_latency.purged > 0)
+
+let test_ablation_shape () =
+  let rows = E.Ablation.rows ~spec () in
+  Alcotest.(check int) "three encodings" 3 (List.length rows);
+  let by enc = List.find (fun r -> r.E.Ablation.encoding = enc) rows in
+  let tag = by E.Ablation.Tagging and kenum = by E.Ablation.Kenumeration in
+  (* All encodings must enable purging (finite threshold below the
+     reliable one is checked via fig5; here: purging happened). *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (E.Ablation.encoding_label r.E.Ablation.encoding ^ " purges")
+        true
+        (r.E.Ablation.purged_at_30 > 0))
+    rows;
+  (* Tagging is the most compact; enumeration the least. *)
+  let enum = by E.Ablation.Enumeration in
+  Alcotest.(check bool) "tagging compact" true
+    (tag.E.Ablation.bytes_per_message <= kenum.E.Ablation.bytes_per_message);
+  Alcotest.(check bool) "enumeration costly" true
+    (enum.E.Ablation.bytes_per_message > tag.E.Ablation.bytes_per_message)
+
+let test_protocol_pipeline_shape () =
+  let rel = E.Protocol_pipeline.sweep ~spec ~duration:20.0 ~rates:[ 30.; 100. ] ~mode:P.Reliable () in
+  let sem = E.Protocol_pipeline.sweep ~spec ~duration:20.0 ~rates:[ 30.; 100. ] ~mode:P.Semantic () in
+  let get points rate =
+    List.find (fun (p : E.Protocol_pipeline.point) -> p.E.Protocol_pipeline.rate = rate) points
+  in
+  List.iter
+    (fun (p : E.Protocol_pipeline.point) ->
+      Alcotest.(check int) "no violations" 0 p.E.Protocol_pipeline.violations)
+    (rel @ sem);
+  let rel30 = (get rel 30.).E.Protocol_pipeline.blocked_fraction in
+  let sem30 = (get sem 30.).E.Protocol_pipeline.blocked_fraction in
+  Alcotest.(check bool)
+    (Printf.sprintf "full stack: semantic (%.2f) << reliable (%.2f)" sem30 rel30)
+    true
+    (sem30 < rel30 /. 2.0)
+
+let test_alternatives_shape () =
+  let config = { E.Alternatives.default_config with freeze_every = 10.0 } in
+  let get p = E.Alternatives.run ~spec ~config p in
+  let exclude = get E.Alternatives.Exclude in
+  let big = get E.Alternatives.Big_buffers in
+  let deadline = get E.Alternatives.Deadline in
+  let svs = get E.Alternatives.Svs in
+  (* §2.2's trade-offs, quantified: *)
+  Alcotest.(check bool) "exclusion reconfigures every perturbation" true
+    (exclude.E.Alternatives.reconfigurations >= 5);
+  Alcotest.(check int) "big buffers never reconfigure" 0 big.E.Alternatives.reconfigurations;
+  Alcotest.(check bool) "big buffers over-allocate" true
+    (big.E.Alternatives.peak_buffer > 3 * config.E.Alternatives.buffer);
+  Alcotest.(check bool) "deadline dropping loses live content" true
+    (deadline.E.Alternatives.lost_live > 0);
+  Alcotest.(check int) "SVS: no reconfigurations" 0 svs.E.Alternatives.reconfigurations;
+  Alcotest.(check int) "SVS: no live losses" 0 svs.E.Alternatives.lost_live;
+  Alcotest.(check bool) "SVS: bounded memory" true
+    (svs.E.Alternatives.peak_buffer <= config.E.Alternatives.buffer);
+  Alcotest.(check bool) "SVS: purging did the work" true
+    (svs.E.Alternatives.purged_obsolete > 0);
+  Alcotest.(check bool) "SVS blocks less than exclusion's baseline" true
+    (svs.E.Alternatives.blocked_fraction <= exclude.E.Alternatives.blocked_fraction +. 0.05)
+
+let test_last_resort_shape () =
+  (* Short freezes: nobody expelled. Long freezes: reliable goes first;
+     at the extreme both reconfigure (the paper's last-resort clause). *)
+  let points = E.Last_resort.sweep ~spec ~freezes:[ 0.5; 4.0; 8.0 ] () in
+  let at f = List.find (fun (p : E.Last_resort.point) -> p.E.Last_resort.freeze = f) points in
+  let short = at 0.5 and mid = at 4.0 and long = at 8.0 in
+  Alcotest.(check bool) "short freeze survived by both" true
+    ((not short.E.Last_resort.reliable_excluded) && not short.E.Last_resort.semantic_excluded);
+  Alcotest.(check bool) "mid freeze: reliable expelled, semantic survives" true
+    (mid.E.Last_resort.reliable_excluded && not mid.E.Last_resort.semantic_excluded);
+  Alcotest.(check bool) "long freeze: purging not enough, both reconfigure" true
+    (long.E.Last_resort.reliable_excluded && long.E.Last_resort.semantic_excluded);
+  Alcotest.(check bool) "semantic backlog grows slower" true
+    (mid.E.Last_resort.semantic_peak_backlog < mid.E.Last_resort.reliable_peak_backlog)
+
+let test_scaling_shape () =
+  let rows = E.Scaling.sweep ~rounds:2000 ~players:[ 2; 10 ] () in
+  let small = List.nth rows 0 and large = List.nth rows 1 in
+  Alcotest.(check bool) "rate grows with players" true
+    (large.E.Scaling.message_rate > small.E.Scaling.message_rate);
+  Alcotest.(check bool) "distances grow with players" true
+    (large.E.Scaling.p90_distance >= small.E.Scaling.p90_distance);
+  Alcotest.(check bool) "larger buffers keep purging effective" true
+    (large.E.Scaling.semantic_threshold_large < large.E.Scaling.semantic_threshold_small)
+
+let test_claims_all_hold () =
+  let verdicts = E.Claims.evaluate ~spec () in
+  Alcotest.(check int) "ten claims" 10 (List.length verdicts);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s — %s" v.E.Claims.id v.E.Claims.claim v.E.Claims.detail)
+        true v.E.Claims.holds)
+    verdicts
+
+let test_spec_workloads () =
+  let synth = E.Spec.trace { spec with E.Spec.workload = E.Spec.Synthetic } in
+  let arena = E.Spec.trace { spec with E.Spec.workload = E.Spec.Arena } in
+  Alcotest.(check int) "synthetic rounds" 3000 (Trace.round_count synth);
+  Alcotest.(check int) "arena rounds" 3000 (Trace.round_count arena);
+  Alcotest.(check bool) "different traces" true (synth <> arena)
+
+let test_table_stats_rows () =
+  let rows = E.Table_stats.rows ~spec () in
+  Alcotest.(check bool) "has the paper's metrics" true (List.length rows >= 6);
+  List.iter
+    (fun r -> Alcotest.(check bool) "measured non-empty" true (r.E.Table_stats.measured <> ""))
+    rows
+
+let test_fig3_series () =
+  let a = E.Fig3.fig3a ~spec () in
+  let b = E.Fig3.fig3b ~spec () in
+  (match a.Svs_stats.Series.points with
+  | (rank1, top) :: (_, next) :: _ ->
+      Alcotest.(check (float 1e-9)) "starts at rank 1" 1.0 rank1;
+      Alcotest.(check bool) "monotone head" true (top >= next)
+  | _ -> Alcotest.fail "fig3a too short");
+  Alcotest.(check bool) "fig3b within plot range" true
+    (List.for_all (fun (d, _) -> d >= 1.0 && d <= 20.0) b.Svs_stats.Series.points)
+
+let () =
+  Alcotest.run "svs_experiments"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "fast consumer" `Quick test_pipeline_fast_consumer_no_blocking;
+          Alcotest.test_case "conservation" `Quick test_pipeline_conservation;
+          Alcotest.test_case "semantic absorbs chains" `Quick test_pipeline_semantic_absorbs_chain;
+          Alcotest.test_case "no-op on reliable traffic" `Quick
+            test_pipeline_semantic_useless_on_reliable_traffic;
+          Alcotest.test_case "occupancy bounded" `Quick test_pipeline_occupancy_bounded;
+          Alcotest.test_case "config validation" `Quick test_pipeline_rejects_bad_config;
+          Alcotest.test_case "threshold ordering" `Quick test_threshold_monotone_in_mode;
+          Alcotest.test_case "perturbation formula" `Quick test_perturbation_reliable_formula;
+          Alcotest.test_case "perturbation semantic" `Quick test_perturbation_semantic_longer;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "figure 4" `Slow test_fig4_shapes;
+          Alcotest.test_case "figure 5" `Slow test_fig5_shapes;
+          Alcotest.test_case "view latency" `Slow test_view_latency_shape;
+          Alcotest.test_case "ablation" `Slow test_ablation_shape;
+          Alcotest.test_case "protocol pipeline" `Slow test_protocol_pipeline_shape;
+          Alcotest.test_case "design alternatives" `Slow test_alternatives_shape;
+          Alcotest.test_case "last resort" `Slow test_last_resort_shape;
+          Alcotest.test_case "player scaling" `Slow test_scaling_shape;
+          Alcotest.test_case "all claims hold" `Slow test_claims_all_hold;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "spec workloads" `Quick test_spec_workloads;
+          Alcotest.test_case "table stats" `Quick test_table_stats_rows;
+          Alcotest.test_case "fig3 series" `Quick test_fig3_series;
+        ] );
+    ]

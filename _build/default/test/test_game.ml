@@ -1,0 +1,166 @@
+(* Tests for the arena game server. *)
+
+module Arena = Svs_game.Arena
+module Trace = Svs_workload.Trace
+
+let small_config = { Arena.default_config with players = 3; pickups = 5; seed = 17 }
+
+let test_initial_world () =
+  let t = Arena.create small_config in
+  Alcotest.(check int) "players + pickups" 8 (Arena.item_count t);
+  let kinds = List.map (fun (_, st) -> st.Arena.kind) (Arena.items t) in
+  Alcotest.(check int) "3 players" 3
+    (List.length (List.filter (fun k -> k = Arena.Player) kinds));
+  Alcotest.(check int) "5 pickups" 5
+    (List.length (List.filter (fun k -> k = Arena.Pickup) kinds));
+  Alcotest.(check int) "round 0" 0 (Arena.round t)
+
+let test_step_advances_round () =
+  let t = Arena.create small_config in
+  ignore (Arena.step t);
+  ignore (Arena.step t);
+  Alcotest.(check int) "round 2" 2 (Arena.round t)
+
+let test_events_apply_to_replica () =
+  (* A replica applying every event must track the world exactly. *)
+  let t = Arena.create small_config in
+  let replica = Hashtbl.create 64 in
+  List.iter (fun (id, st) -> Hashtbl.replace replica id st) (Arena.items t);
+  for _ = 1 to 200 do
+    List.iter (Arena.apply replica) (Arena.step t)
+  done;
+  let replica_items =
+    List.sort (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun id st acc -> (id, st) :: acc) replica [])
+  in
+  Alcotest.(check bool) "replica matches world" true (replica_items = Arena.items t)
+
+let test_projectiles_live_and_die () =
+  let t =
+    Arena.create { small_config with shoot_probability = 0.5; projectile_ttl = 3 }
+  in
+  let created = ref 0 and destroyed = ref 0 in
+  for _ = 1 to 300 do
+    List.iter
+      (function
+        | Arena.Created (_, st) when st.Arena.kind = Arena.Projectile -> incr created
+        | Arena.Destroyed _ -> incr destroyed
+        | Arena.Created _ | Arena.Updated _ -> ())
+      (Arena.step t)
+  done;
+  Alcotest.(check bool) "projectiles spawned" true (!created > 10);
+  Alcotest.(check bool) "most projectiles died" true
+    (!destroyed >= !created - 20);
+  (* The world must not leak projectiles. *)
+  Alcotest.(check bool) "bounded world" true (Arena.item_count t < 8 + 30)
+
+let test_hits_reduce_health () =
+  (* With many players in a tiny arena and aggressive shooting, hits
+     must land and reduce someone's health. *)
+  let t =
+    Arena.create
+      { small_config with players = 8; arena_size = 12.0; shoot_probability = 0.8 }
+  in
+  let initial = List.map (fun (_, st) -> st.Arena.attribute) (Arena.items t) in
+  for _ = 1 to 500 do
+    ignore (Arena.step t)
+  done;
+  let final =
+    List.filter_map
+      (fun (_, st) -> if st.Arena.kind = Arena.Player then Some st.Arena.attribute else None)
+      (Arena.items t)
+  in
+  ignore initial;
+  Alcotest.(check bool) "someone got hurt" true (List.exists (fun h -> h < 100) final)
+
+let test_determinism () =
+  let a = Arena.create small_config in
+  let b = Arena.create small_config in
+  for _ = 1 to 100 do
+    let ea = Arena.step a and eb = Arena.step b in
+    if ea <> eb then Alcotest.fail "same seed diverged"
+  done
+
+let test_restore_round_trip () =
+  let t = Arena.create small_config in
+  for _ = 1 to 150 do
+    ignore (Arena.step t)
+  done;
+  let snapshot = Arena.items t in
+  let restored = Arena.restore small_config ~round:(Arena.round t) snapshot in
+  Alcotest.(check bool) "items preserved" true (Arena.items restored = snapshot);
+  Alcotest.(check int) "round preserved" (Arena.round t) (Arena.round restored);
+  (* The restored server must be able to keep playing. *)
+  ignore (Arena.step restored);
+  Alcotest.(check bool) "still steps" true (Arena.round restored = Arena.round t + 1)
+
+let test_restore_fresh_ids () =
+  (* New items created after a restore must not collide with existing
+     ids. *)
+  let t = Arena.create { small_config with shoot_probability = 1.0 } in
+  for _ = 1 to 50 do
+    ignore (Arena.step t)
+  done;
+  let restored =
+    Arena.restore { small_config with shoot_probability = 1.0 } ~round:(Arena.round t)
+      (Arena.items t)
+  in
+  let existing = List.map fst (Arena.items restored) in
+  let fresh = ref [] in
+  for _ = 1 to 20 do
+    List.iter
+      (function Arena.Created (id, _) -> fresh := id :: !fresh | _ -> ())
+      (Arena.step restored)
+  done;
+  Alcotest.(check bool) "no id collision" true
+    (List.for_all (fun id -> not (List.mem id existing)) !fresh)
+
+let test_simulate_produces_trace () =
+  let trace = Arena.simulate ~rounds:500 small_config in
+  Alcotest.(check int) "rounds" 500 (Trace.round_count trace);
+  Alcotest.(check bool) "has ops" true (Trace.total_ops trace > 0)
+
+let simulate_trace_consistency =
+  QCheck.Test.make ~name:"arena traces respect create/update/destroy discipline" ~count:10
+    QCheck.small_int
+    (fun seed ->
+      let trace = Arena.simulate ~rounds:300 { small_config with seed } in
+      let alive = Hashtbl.create 64 in
+      for i = 0 to small_config.Arena.players + small_config.Arena.pickups - 1 do
+        Hashtbl.replace alive i ()
+      done;
+      let ok = ref true in
+      Trace.iter_rounds
+        (fun _ { Trace.ops; _ } ->
+          List.iter
+            (fun op ->
+              match op.Trace.kind with
+              | Trace.Create ->
+                  if Hashtbl.mem alive op.Trace.item then ok := false
+                  else Hashtbl.replace alive op.Trace.item ()
+              | Trace.Update -> if not (Hashtbl.mem alive op.Trace.item) then ok := false
+              | Trace.Destroy ->
+                  if Hashtbl.mem alive op.Trace.item then Hashtbl.remove alive op.Trace.item
+                  else ok := false)
+            ops)
+        trace;
+      !ok)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_game"
+    [
+      ( "arena",
+        [
+          Alcotest.test_case "initial world" `Quick test_initial_world;
+          Alcotest.test_case "rounds advance" `Quick test_step_advances_round;
+          Alcotest.test_case "replica application" `Quick test_events_apply_to_replica;
+          Alcotest.test_case "projectile lifecycle" `Quick test_projectiles_live_and_die;
+          Alcotest.test_case "hits reduce health" `Quick test_hits_reduce_health;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "restore round-trip" `Quick test_restore_round_trip;
+          Alcotest.test_case "restore fresh ids" `Quick test_restore_fresh_ids;
+          Alcotest.test_case "simulate trace" `Quick test_simulate_produces_trace;
+          q simulate_trace_consistency;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the simulated network: FIFO reliability, latency, crash,
+   backpressure, partitions. *)
+
+module Engine = Svs_sim.Engine
+module Network = Svs_net.Network
+module Latency = Svs_net.Latency
+module Rng = Svs_sim.Rng
+
+let make ?(nodes = 3) ?(latency = Latency.Zero) () =
+  let e = Engine.create ~seed:99 () in
+  let net = Network.create e ~nodes ~latency () in
+  (e, net)
+
+let collect net ~node =
+  let log = ref [] in
+  Network.set_handler net ~node (fun ~src msg -> log := (src, msg) :: !log);
+  fun () -> List.rev !log
+
+let test_basic_delivery () =
+  let e, net = make () in
+  let got = collect net ~node:1 in
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run e;
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hello") ] (got ())
+
+let test_fifo_per_link () =
+  let e, net = make ~latency:(Latency.Uniform { lo = 0.001; hi = 0.1 }) () in
+  let got = collect net ~node:1 in
+  for i = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO despite random latency" (List.init 50 (fun i -> i + 1))
+    (List.map snd (got ()))
+
+let test_latency_constant () =
+  let e, net = make ~latency:(Latency.Constant 0.5) () in
+  let arrival = ref 0.0 in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> arrival := Engine.now e);
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "constant latency" 0.5 !arrival
+
+let test_self_send () =
+  let e, net = make () in
+  let got = collect net ~node:0 in
+  Network.send net ~src:0 ~dst:0 "self";
+  Engine.run e;
+  Alcotest.(check int) "self delivery" 1 (List.length (got ()))
+
+let test_broadcast () =
+  let e, net = make ~nodes:4 () in
+  let logs = List.init 4 (fun node -> collect net ~node) in
+  Network.broadcast net ~src:2 "all";
+  Engine.run e;
+  List.iteri
+    (fun i got -> Alcotest.(check int) (Printf.sprintf "node %d got it" i) 1 (List.length (got ())))
+    logs;
+  let e2, net2 = make ~nodes:4 () in
+  let logs2 = List.init 4 (fun node -> collect net2 ~node) in
+  Network.broadcast net2 ~src:2 ~include_self:false "others";
+  Engine.run e2;
+  Alcotest.(check int) "self excluded" 0 (List.length ((List.nth logs2 2) ()));
+  Alcotest.(check int) "others included" 1 (List.length ((List.nth logs2 0) ()))
+
+let test_crash_drops_traffic () =
+  let e, net = make () in
+  let got1 = collect net ~node:1 in
+  Network.crash net ~node:2;
+  Network.send net ~src:0 ~dst:2 "to-crashed";
+  Network.send net ~src:2 ~dst:1 "from-crashed";
+  Network.send net ~src:0 ~dst:1 "ok";
+  Engine.run e;
+  Alcotest.(check (list (pair int string))) "only live traffic" [ (0, "ok") ] (got1 ());
+  Alcotest.(check bool) "alive query" false (Network.alive net ~node:2)
+
+let test_pause_and_resume () =
+  let e, net = make () in
+  let got = collect net ~node:1 in
+  Network.pause_receive net ~node:1;
+  Network.send net ~src:0 ~dst:1 1;
+  Network.send net ~src:0 ~dst:1 2;
+  Engine.run e;
+  Alcotest.(check int) "nothing while paused" 0 (List.length (got ()));
+  Alcotest.(check int) "held in inbox" 2 (Network.inbox_length net ~node:1);
+  Network.resume_receive net ~node:1;
+  Alcotest.(check (list int)) "drained in order" [ 1; 2 ] (List.map snd (got ()));
+  Alcotest.(check int) "inbox empty" 0 (Network.inbox_length net ~node:1)
+
+let test_pause_mid_drain () =
+  let e, net = make () in
+  let seen = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ msg ->
+      seen := msg :: !seen;
+      (* Re-pause after the first drained message. *)
+      if List.length !seen = 1 then Network.pause_receive net ~node:1);
+  Network.pause_receive net ~node:1;
+  List.iter (fun i -> Network.send net ~src:0 ~dst:1 i) [ 1; 2; 3 ];
+  Engine.run e;
+  Network.resume_receive net ~node:1;
+  Alcotest.(check (list int)) "drain stops on re-pause" [ 1 ] (List.rev !seen);
+  Alcotest.(check int) "rest still held" 2 (Network.inbox_length net ~node:1)
+
+let test_partition_holds_and_releases_in_order () =
+  let e, net = make ~latency:(Latency.Constant 0.01) () in
+  let got = collect net ~node:1 in
+  Network.send net ~src:0 ~dst:1 1;
+  Engine.run e;
+  Network.disconnect net 0 1;
+  Network.send net ~src:0 ~dst:1 2;
+  Network.send net ~src:0 ~dst:1 3;
+  Engine.run e;
+  Alcotest.(check (list int)) "partitioned messages held" [ 1 ] (List.map snd (got ()));
+  Network.reconnect net 0 1;
+  Engine.run e;
+  Alcotest.(check (list int)) "released in order" [ 1; 2; 3 ] (List.map snd (got ()))
+
+let test_counters () =
+  let e, net = make () in
+  ignore (collect net ~node:1 : unit -> (int * unit) list);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.(check int) "sent" 2 (Network.messages_sent net);
+  Alcotest.(check int) "delivered" 2 (Network.messages_delivered net)
+
+let test_latency_models () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Latency.sample Latency.Zero rng);
+  Alcotest.(check (float 1e-9)) "constant" 0.25 (Latency.sample (Latency.Constant 0.25) rng);
+  for _ = 1 to 200 do
+    let u = Latency.sample (Latency.Uniform { lo = 0.1; hi = 0.2 }) rng in
+    Alcotest.(check bool) "uniform in range" true (u >= 0.1 && u < 0.2);
+    let s = Latency.sample (Latency.Shifted_exponential { base = 0.05; mean = 0.01 }) rng in
+    Alcotest.(check bool) "shifted above base" true (s >= 0.05)
+  done;
+  Alcotest.(check (float 1e-9)) "uniform mean" 0.15
+    (Latency.mean (Latency.Uniform { lo = 0.1; hi = 0.2 }));
+  Alcotest.(check (float 1e-9)) "shifted mean" 0.06
+    (Latency.mean (Latency.Shifted_exponential { base = 0.05; mean = 0.01 }))
+
+let test_bandwidth_serialisation () =
+  (* With 1000 B/s and 100-byte messages, back-to-back sends arrive
+     100 ms apart: the link serialises store-and-forward. *)
+  let e = Engine.create ~seed:3 () in
+  let net = Network.create e ~nodes:2 ~bandwidth:1000.0 ~sizer:(fun _ -> 100) () in
+  let arrivals = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> arrivals := Engine.now e :: !arrivals);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run e;
+  (match List.rev !arrivals with
+  | [ a; b; c ] ->
+      Alcotest.(check (float 1e-9)) "first after 100ms" 0.1 a;
+      Alcotest.(check (float 1e-9)) "second serialised" 0.2 b;
+      Alcotest.(check (float 1e-9)) "third serialised" 0.3 c
+  | l -> Alcotest.failf "expected 3 arrivals, got %d" (List.length l));
+  Alcotest.(check int) "bytes accounted" 300 (Network.bytes_sent net)
+
+let fifo_property =
+  QCheck.Test.make ~name:"random traffic is FIFO per (src,dst) link" ~count:50
+    QCheck.(pair small_int (list (pair (int_bound 2) (int_bound 2))))
+    (fun (seed, sends) ->
+      let e = Engine.create ~seed () in
+      let net = Network.create e ~nodes:3 ~latency:(Latency.Exponential { mean = 0.05 }) () in
+      let logs = Array.make 3 [] in
+      for node = 0 to 2 do
+        Network.set_handler net ~node (fun ~src msg -> logs.(node) <- (src, msg) :: logs.(node))
+      done;
+      List.iteri (fun i (src, dst) -> Network.send net ~src ~dst (src, i)) sends;
+      Engine.run e;
+      (* Per (src,dst): sequence of i values must be increasing. *)
+      let ok = ref true in
+      for dst = 0 to 2 do
+        let per_src = Hashtbl.create 3 in
+        List.iter
+          (fun (src, (_, i)) ->
+            let prev = Option.value ~default:(-1) (Hashtbl.find_opt per_src src) in
+            if i <= prev then ok := false;
+            Hashtbl.replace per_src src i)
+          (List.rev logs.(dst))
+      done;
+      !ok)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_net"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+          Alcotest.test_case "FIFO per link" `Quick test_fifo_per_link;
+          Alcotest.test_case "constant latency" `Quick test_latency_constant;
+          Alcotest.test_case "self send" `Quick test_self_send;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "crash" `Quick test_crash_drops_traffic;
+          Alcotest.test_case "pause/resume" `Quick test_pause_and_resume;
+          Alcotest.test_case "pause mid-drain" `Quick test_pause_mid_drain;
+          Alcotest.test_case "partition" `Quick test_partition_holds_and_releases_in_order;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "latency models" `Quick test_latency_models;
+          Alcotest.test_case "bandwidth serialisation" `Quick test_bandwidth_serialisation;
+          q fifo_property;
+        ] );
+    ]

@@ -1,0 +1,372 @@
+(* Tests for the obsolescence machinery: ids, bitvectors, annotations,
+   encoders (item tagging, enumeration, k-enumeration, batches). *)
+
+module Msg_id = Svs_obs.Msg_id
+module Bitvec = Svs_obs.Bitvec
+module Annotation = Svs_obs.Annotation
+module Kenum_stream = Svs_obs.Kenum_stream
+module Enum_builder = Svs_obs.Enum_builder
+module Batch_encoder = Svs_obs.Batch_encoder
+
+let mid sender sn = Msg_id.make ~sender ~sn
+
+(* --- Msg_id --- *)
+
+let test_msg_id_order () =
+  Alcotest.(check bool) "precedes same sender" true (Msg_id.precedes (mid 1 2) (mid 1 5));
+  Alcotest.(check bool) "no precedes across senders" false (Msg_id.precedes (mid 1 2) (mid 2 5));
+  Alcotest.(check bool) "no precedes self" false (Msg_id.precedes (mid 1 2) (mid 1 2));
+  Alcotest.(check bool) "compare lexicographic" true (Msg_id.compare (mid 1 9) (mid 2 0) < 0)
+
+(* --- Bitvec --- *)
+
+let test_bitvec_set_get () =
+  let b = Bitvec.create ~k:100 in
+  Alcotest.(check bool) "empty" true (Bitvec.is_empty b);
+  Bitvec.set b 1;
+  Bitvec.set b 62;
+  Bitvec.set b 63;
+  Bitvec.set b 100;
+  Alcotest.(check bool) "bit 1" true (Bitvec.get b 1);
+  Alcotest.(check bool) "word boundary 62" true (Bitvec.get b 62);
+  Alcotest.(check bool) "word boundary 63" true (Bitvec.get b 63);
+  Alcotest.(check bool) "bit 100" true (Bitvec.get b 100);
+  Alcotest.(check bool) "unset" false (Bitvec.get b 50);
+  Alcotest.(check (list int)) "distances" [ 1; 62; 63; 100 ] (Bitvec.distances b)
+
+let test_bitvec_overflow_dropped () =
+  let b = Bitvec.create ~k:10 in
+  Bitvec.set b 11;
+  Alcotest.(check bool) "beyond k silently dropped" true (Bitvec.is_empty b);
+  Alcotest.(check bool) "get out of range" false (Bitvec.get b 11);
+  Alcotest.check_raises "distance 0 invalid" (Invalid_argument "Bitvec.set: distance must be >= 1")
+    (fun () -> Bitvec.set b 0)
+
+let test_bitvec_or_shifted () =
+  let src = Bitvec.create ~k:100 in
+  Bitvec.set src 2;
+  Bitvec.set src 61;
+  let into = Bitvec.create ~k:100 in
+  Bitvec.or_shifted ~into src ~shift:5;
+  Alcotest.(check (list int)) "shifted" [ 7; 66 ] (Bitvec.distances into);
+  (* shifting past k drops *)
+  let into2 = Bitvec.create ~k:100 in
+  Bitvec.or_shifted ~into:into2 src ~shift:50;
+  Alcotest.(check (list int)) "partial overflow" [ 52 ] (Bitvec.distances into2)
+
+let test_bitvec_union_equal_copy () =
+  let a = Bitvec.create ~k:20 in
+  Bitvec.set a 3;
+  let b = Bitvec.create ~k:20 in
+  Bitvec.set b 15;
+  Bitvec.union ~into:a b;
+  Alcotest.(check (list int)) "union" [ 3; 15 ] (Bitvec.distances a);
+  let c = Bitvec.copy a in
+  Alcotest.(check bool) "copy equal" true (Bitvec.equal a c);
+  Bitvec.set c 1;
+  Alcotest.(check bool) "copy independent" false (Bitvec.equal a c);
+  Alcotest.(check int) "cardinal" 3 (Bitvec.cardinal c)
+
+let bitvec_shift_matches_naive =
+  QCheck.Test.make ~name:"or_shifted matches naive per-bit shift" ~count:300
+    QCheck.(triple (list_of_size Gen.(int_range 0 20) (int_range 1 150)) (int_range 0 80) (int_range 1 150))
+    (fun (bits, shift, k) ->
+      let src = Bitvec.create ~k in
+      List.iter (fun d -> if d <= k then Bitvec.set src d) bits;
+      let into = Bitvec.create ~k in
+      Bitvec.or_shifted ~into src ~shift;
+      let expected = Bitvec.create ~k in
+      List.iter (fun d -> if d <= k && d + shift <= k then Bitvec.set expected (d + shift)) bits;
+      Bitvec.equal into expected)
+
+(* --- Annotation semantics --- *)
+
+let test_tag_relation () =
+  let older = (mid 0 1, Annotation.Tag 7) in
+  let newer = (mid 0 5, Annotation.Tag 7) in
+  Alcotest.(check bool) "same tag obsoletes" true (Annotation.obsoletes ~older ~newer);
+  Alcotest.(check bool) "reverse does not" false (Annotation.obsoletes ~older:newer ~newer:older);
+  Alcotest.(check bool) "different tags unrelated" false
+    (Annotation.obsoletes ~older ~newer:(mid 0 5, Annotation.Tag 8));
+  Alcotest.(check bool) "different senders unrelated" false
+    (Annotation.obsoletes ~older ~newer:(mid 1 5, Annotation.Tag 7))
+
+let test_enum_relation () =
+  let older = (mid 0 1, Annotation.Unrelated) in
+  let newer = (mid 2 9, Annotation.Enum [ mid 0 1; mid 1 4 ]) in
+  Alcotest.(check bool) "enumerated" true (Annotation.obsoletes ~older ~newer);
+  Alcotest.(check bool) "not enumerated" false
+    (Annotation.obsoletes ~older:(mid 0 2, Annotation.Unrelated) ~newer);
+  (* Same-sender enumeration must respect sequence order. *)
+  let bogus = (mid 2 10, Annotation.Unrelated) in
+  Alcotest.(check bool) "cannot obsolete own future" false
+    (Annotation.obsoletes ~older:bogus ~newer:(mid 2 9, Annotation.Enum [ mid 2 10 ]))
+
+let test_kenum_relation () =
+  let bm = Bitvec.create ~k:10 in
+  Bitvec.set bm 3;
+  let newer = (mid 1 20, Annotation.Kenum bm) in
+  Alcotest.(check bool) "distance 3" true
+    (Annotation.obsoletes ~older:(mid 1 17, Annotation.Unrelated) ~newer);
+  Alcotest.(check bool) "distance 2 unset" false
+    (Annotation.obsoletes ~older:(mid 1 18, Annotation.Unrelated) ~newer);
+  Alcotest.(check bool) "other sender" false
+    (Annotation.obsoletes ~older:(mid 2 17, Annotation.Unrelated) ~newer)
+
+let test_covers_reflexive () =
+  let m = (mid 3 3, Annotation.Tag 1) in
+  Alcotest.(check bool) "covers self" true (Annotation.covers ~older:m ~newer:m);
+  Alcotest.(check bool) "does not obsolete self" false (Annotation.obsoletes ~older:m ~newer:m)
+
+let annotation_antisymmetric =
+  QCheck.Test.make ~name:"encoded relation is antisymmetric" ~count:500
+    QCheck.(quad (int_bound 3) (int_bound 30) (int_bound 3) (int_bound 30))
+    (fun (s1, n1, s2, n2) ->
+      let bm = Bitvec.create ~k:10 in
+      Bitvec.set bm ((n1 mod 10) + 1);
+      let a = (mid s1 n1, Annotation.Kenum bm) in
+      let bm2 = Bitvec.create ~k:10 in
+      Bitvec.set bm2 ((n2 mod 10) + 1);
+      let b = (mid s2 n2, Annotation.Kenum bm2) in
+      not (Annotation.obsoletes ~older:a ~newer:b && Annotation.obsoletes ~older:b ~newer:a))
+
+(* --- Kenum_stream --- *)
+
+let test_kenum_stream_transitive_composition () =
+  let s = Kenum_stream.create ~k:10 () in
+  (* m0, m1 obsoletes m0 (distance 1), m2 obsoletes m1 (distance 1). *)
+  let _bm0 = Kenum_stream.push s ~direct:[] in
+  let _bm1 = Kenum_stream.push s ~direct:[ 1 ] in
+  let bm2 = Kenum_stream.push s ~direct:[ 1 ] in
+  (* bm2 must cover both m1 (distance 1) and m0 (distance 2). *)
+  Alcotest.(check (list int)) "transitive bits" [ 1; 2 ] (Bitvec.distances bm2);
+  let newer = (mid 0 2, Annotation.Kenum bm2) in
+  Alcotest.(check bool) "covers m0 transitively" true
+    (Annotation.obsoletes ~older:(mid 0 0, Annotation.Unrelated) ~newer)
+
+let test_kenum_stream_window_truncation () =
+  let s = Kenum_stream.create ~k:3 () in
+  for _ = 1 to 5 do
+    ignore (Kenum_stream.push s ~direct:[])
+  done;
+  (* Distance 4 exceeds k=3: silently dropped. *)
+  let bm = Kenum_stream.push s ~direct:[ 4 ] in
+  Alcotest.(check bool) "dropped" true (Bitvec.is_empty bm)
+
+let test_kenum_stream_push_preds () =
+  let s = Kenum_stream.create ~k:10 () in
+  ignore (Kenum_stream.push s ~direct:[]);
+  ignore (Kenum_stream.push s ~direct:[]);
+  let bm = Kenum_stream.push_preds s ~preds:[ 0 ] in
+  Alcotest.(check (list int)) "pred 0 at distance 2" [ 2 ] (Bitvec.distances bm)
+
+let test_kenum_stream_long_chain_stays_transitive () =
+  (* A hot item updated every step: message n obsoletes n-1; bitmap of
+     message n must cover all of the last k predecessors. *)
+  let k = 16 in
+  let s = Kenum_stream.create ~k () in
+  ignore (Kenum_stream.push s ~direct:[]);
+  let last = ref (Bitvec.create ~k) in
+  for _ = 1 to 40 do
+    last := Kenum_stream.push s ~direct:[ 1 ]
+  done;
+  Alcotest.(check (list int)) "all window distances covered" (List.init k (fun i -> i + 1))
+    (Bitvec.distances !last)
+
+(* --- Enum_builder --- *)
+
+let test_enum_builder_transitive () =
+  let b = Enum_builder.create ~window:10 () in
+  let m0 = mid 0 0 and m1 = mid 0 1 and m2 = mid 0 2 in
+  let e0 = Enum_builder.next b ~id:m0 ~direct:[] in
+  Alcotest.(check int) "first has no preds" 0 (List.length e0);
+  let _e1 = Enum_builder.next b ~id:m1 ~direct:[ m0 ] in
+  let e2 = Enum_builder.next b ~id:m2 ~direct:[ m1 ] in
+  Alcotest.(check bool) "m2 covers m0 transitively" true (List.exists (Msg_id.equal m0) e2);
+  Alcotest.(check bool) "m2 covers m1" true (List.exists (Msg_id.equal m1) e2)
+
+let test_enum_builder_cross_sender () =
+  let b = Enum_builder.create ~window:10 () in
+  let a = mid 1 0 and c = mid 2 0 in
+  ignore (Enum_builder.next b ~id:a ~direct:[]);
+  let e = Enum_builder.next b ~id:c ~direct:[ a ] in
+  Alcotest.(check bool) "cross-sender enumeration" true (List.exists (Msg_id.equal a) e)
+
+let test_enum_builder_window_eviction () =
+  let b = Enum_builder.create ~window:2 () in
+  let ids = List.init 5 (mid 0) in
+  let rec chain prev = function
+    | [] -> []
+    | id :: rest ->
+        let e = Enum_builder.next b ~id ~direct:(match prev with None -> [] | Some p -> [ p ]) in
+        e :: chain (Some id) rest
+  in
+  let enums = chain None ids in
+  let last = List.nth enums 4 in
+  Alcotest.(check bool) "window bounds enumeration size" true (List.length last <= 2)
+
+let test_enum_builder_rejects_self () =
+  let b = Enum_builder.create ~window:4 () in
+  Alcotest.check_raises "self-obsolescence rejected"
+    (Invalid_argument "Enum_builder.next: a message cannot obsolete itself") (fun () ->
+      ignore (Enum_builder.next b ~id:(mid 0 0) ~direct:[ mid 0 0 ]))
+
+(* --- Batch_encoder (Figure 2 semantics) --- *)
+
+let ann_of e = Batch_encoder.annotation e
+
+let covers_msg ~(older : Batch_encoder.emitted) ~(newer : Batch_encoder.emitted) =
+  Annotation.obsoletes
+    ~older:(mid 9 older.Batch_encoder.sn, ann_of older)
+    ~newer:(mid 9 newer.Batch_encoder.sn, ann_of newer)
+
+let test_batch_figure2_scenario () =
+  (* Figure 2: batch {a,b} then batch {b,c}. C(2) — not U(b,2) — makes
+     U(b,1) obsolete. *)
+  let enc = Batch_encoder.create ~k:16 () in
+  let batch1 = Batch_encoder.encode enc ~items:[ 1; 2 ] in
+  let batch2 = Batch_encoder.encode enc ~items:[ 2; 3 ] in
+  let u_a1 = List.nth batch1 0 in
+  let c1 = List.nth batch1 1 in
+  let u_b2 = List.nth batch2 0 in
+  let c2 = List.nth batch2 1 in
+  Alcotest.(check bool) "first of batch1 is pure update" false u_a1.Batch_encoder.commit;
+  Alcotest.(check bool) "last of batch1 is commit" true c1.Batch_encoder.commit;
+  (* u_b2 (pure update of item 2 in batch 2) must NOT obsolete anything. *)
+  Alcotest.(check bool) "pure update obsoletes nothing" true
+    (Bitvec.is_empty u_b2.Batch_encoder.bitmap);
+  (* c2 obsoletes u_b1 = the pure update of item 2... but in batch1 item 2
+     rode the commit, so it is only coverable via the subset rule, which
+     does not apply ({1,2} ⊄ {2,3}). Check the documented behaviour. *)
+  Alcotest.(check bool) "c2 does not cover c1 (not a subset)" false
+    (covers_msg ~older:c1 ~newer:c2)
+
+let test_batch_pure_update_covered () =
+  (* batch {a, b} then batch {a, c}: the pure update U(a,1) is covered
+     by C(2) because item a reappears. *)
+  let enc = Batch_encoder.create ~k:16 () in
+  let batch1 = Batch_encoder.encode enc ~items:[ 1; 2 ] in
+  let batch2 = Batch_encoder.encode enc ~items:[ 1; 3 ] in
+  let u_a1 = List.nth batch1 0 in
+  let c2 = List.nth batch2 1 in
+  Alcotest.(check bool) "U(a,1) covered by C(2)" true (covers_msg ~older:u_a1 ~newer:c2)
+
+let test_batch_subset_commit_covered () =
+  (* batch {a} then batch {a, b}: commit C{a} is covered by C{a,b}. *)
+  let enc = Batch_encoder.create ~k:16 () in
+  let b1 = Batch_encoder.encode enc ~items:[ 1 ] in
+  let b2 = Batch_encoder.encode enc ~items:[ 1; 2 ] in
+  let c1 = List.nth b1 0 in
+  let c2 = List.nth b2 1 in
+  Alcotest.(check int) "single-item batch is one message" 1 (List.length b1);
+  Alcotest.(check bool) "subset commit covered" true (covers_msg ~older:c1 ~newer:c2)
+
+let test_batch_single_item_chain () =
+  (* Single-item batches to the same item chain transitively. *)
+  let enc = Batch_encoder.create ~k:16 () in
+  let m1 = List.hd (Batch_encoder.encode enc ~items:[ 5 ]) in
+  let _m2 = List.hd (Batch_encoder.encode enc ~items:[ 5 ]) in
+  let m3 = List.hd (Batch_encoder.encode enc ~items:[ 5 ]) in
+  Alcotest.(check bool) "chain start covered transitively" true
+    (covers_msg ~older:m1 ~newer:m3)
+
+let test_batch_separate_commit () =
+  let enc = Batch_encoder.create ~k:16 ~separate_commit:true () in
+  let b1 = Batch_encoder.encode enc ~items:[ 1; 2 ] in
+  Alcotest.(check int) "n updates + dedicated commit" 3 (List.length b1);
+  let commit = List.nth b1 2 in
+  Alcotest.(check bool) "commit has no item" true (commit.Batch_encoder.item = None);
+  (* With a separate commit every per-item update is coverable. *)
+  let b2 = Batch_encoder.encode enc ~items:[ 2 ] in
+  let u_b1 = List.nth b1 1 in
+  let c2 = List.nth b2 1 in
+  Alcotest.(check bool) "U(b,1) covered by next batch commit" true
+    (covers_msg ~older:u_b1 ~newer:c2)
+
+let test_batch_rejects_bad_input () =
+  let enc = Batch_encoder.create ~k:8 () in
+  Alcotest.check_raises "empty" (Invalid_argument "Batch_encoder.encode: empty batch")
+    (fun () -> ignore (Batch_encoder.encode enc ~items:[]));
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Batch_encoder.encode: duplicate items in batch") (fun () ->
+      ignore (Batch_encoder.encode enc ~items:[ 1; 1 ]))
+
+(* Property: the encoded relation from random batch streams is
+   transitive within the window (chains that fit in k compose). *)
+let batch_encoding_transitive =
+  QCheck.Test.make ~name:"batch k-enum encoding is transitively closed in-window" ~count:60
+    QCheck.(pair small_int (list_of_size Gen.(int_range 1 30) (int_range 1 4)))
+    (fun (seed, sizes) ->
+      let rng = Svs_sim.Rng.create ~seed in
+      let k = 64 in
+      let enc = Batch_encoder.create ~k () in
+      let all = ref [] in
+      List.iter
+        (fun size ->
+          let items =
+            List.sort_uniq compare (List.init size (fun _ -> Svs_sim.Rng.int rng 6))
+          in
+          let msgs = Batch_encoder.encode enc ~items in
+          all := !all @ List.map (fun e -> (mid 0 e.Batch_encoder.sn, ann_of e)) msgs)
+        sizes;
+      let msgs = Array.of_list !all in
+      let n = Array.length msgs in
+      let obsoletes i j = Annotation.obsoletes ~older:msgs.(i) ~newer:msgs.(j) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          for l = j + 1 to n - 1 do
+            let dist_il = (fst msgs.(l)).Msg_id.sn - (fst msgs.(i)).Msg_id.sn in
+            if obsoletes i j && obsoletes j l && dist_il <= k && not (obsoletes i l) then
+              ok := false
+          done
+        done
+      done;
+      !ok)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_obs"
+    [
+      ("msg_id", [ Alcotest.test_case "ordering" `Quick test_msg_id_order ]);
+      ( "bitvec",
+        [
+          Alcotest.test_case "set/get" `Quick test_bitvec_set_get;
+          Alcotest.test_case "overflow dropped" `Quick test_bitvec_overflow_dropped;
+          Alcotest.test_case "or_shifted" `Quick test_bitvec_or_shifted;
+          Alcotest.test_case "union/equal/copy" `Quick test_bitvec_union_equal_copy;
+          q bitvec_shift_matches_naive;
+        ] );
+      ( "annotation",
+        [
+          Alcotest.test_case "item tagging" `Quick test_tag_relation;
+          Alcotest.test_case "enumeration" `Quick test_enum_relation;
+          Alcotest.test_case "k-enumeration" `Quick test_kenum_relation;
+          Alcotest.test_case "covers reflexive" `Quick test_covers_reflexive;
+          q annotation_antisymmetric;
+        ] );
+      ( "kenum-stream",
+        [
+          Alcotest.test_case "transitive composition" `Quick test_kenum_stream_transitive_composition;
+          Alcotest.test_case "window truncation" `Quick test_kenum_stream_window_truncation;
+          Alcotest.test_case "push_preds" `Quick test_kenum_stream_push_preds;
+          Alcotest.test_case "hot-item chain" `Quick test_kenum_stream_long_chain_stays_transitive;
+        ] );
+      ( "enum-builder",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_enum_builder_transitive;
+          Alcotest.test_case "cross-sender" `Quick test_enum_builder_cross_sender;
+          Alcotest.test_case "window eviction" `Quick test_enum_builder_window_eviction;
+          Alcotest.test_case "rejects self" `Quick test_enum_builder_rejects_self;
+        ] );
+      ( "batch-encoder",
+        [
+          Alcotest.test_case "figure 2 scenario" `Quick test_batch_figure2_scenario;
+          Alcotest.test_case "pure update covered" `Quick test_batch_pure_update_covered;
+          Alcotest.test_case "subset commit" `Quick test_batch_subset_commit_covered;
+          Alcotest.test_case "single-item chain" `Quick test_batch_single_item_chain;
+          Alcotest.test_case "separate commit" `Quick test_batch_separate_commit;
+          Alcotest.test_case "input validation" `Quick test_batch_rejects_bad_input;
+          q batch_encoding_transitive;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for primary-backup replication over SVS. *)
+
+module Engine = Svs_sim.Engine
+module Group = Svs_core.Group
+module View = Svs_core.View
+module Checker = Svs_core.Checker
+module Latency = Svs_net.Latency
+module Store = Svs_replication.Replicated_store
+module Rng = Svs_sim.Rng
+
+type rig = {
+  engine : Engine.t;
+  cluster : int Store.payload Group.cluster;
+  stores : (int * int Store.t) list;
+}
+
+let make_rig ?(members = [ 0; 1; 2 ]) ?(config = Group.default_config) () =
+  let engine = Engine.create ~seed:23 () in
+  let cluster =
+    Group.create_cluster engine ~members ~latency:(Latency.Constant 0.001) ~config ()
+  in
+  let stores = List.map (fun m -> (Group.id m, Store.attach ~k:32 m)) (Group.members cluster) in
+  { engine; cluster; stores }
+
+let store rig i = List.assoc i rig.stores
+
+let settle rig =
+  Engine.run rig.engine;
+  List.iter (fun (_, s) -> Store.process s) rig.stores
+
+let check_clean rig =
+  Alcotest.(check (list string)) "checker clean" []
+    (List.map Checker.violation_to_string (Checker.verify (Group.checker rig.cluster)))
+
+let test_roles () =
+  let rig = make_rig () in
+  Alcotest.(check bool) "lowest id is primary" true (Store.role (store rig 0) = `Primary);
+  Alcotest.(check bool) "others are backups" true
+    (Store.role (store rig 1) = `Backup && Store.role (store rig 2) = `Backup)
+
+let test_submit_requires_primary () =
+  let rig = make_rig () in
+  match Store.submit (store rig 1) [ Store.Set (1, 1) ] with
+  | Error `Not_primary -> ()
+  | Ok () | Error _ -> Alcotest.fail "backup accepted a request"
+
+let test_submit_empty () =
+  let rig = make_rig () in
+  match Store.submit (store rig 0) [] with
+  | Error `Empty -> ()
+  | Ok () | Error _ -> Alcotest.fail "empty batch accepted"
+
+let test_basic_replication () =
+  let rig = make_rig () in
+  let primary = store rig 0 in
+  (match Store.submit primary [ Store.Set (1, 10); Store.Set (2, 20) ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "submit failed");
+  settle rig;
+  List.iter
+    (fun (i, s) ->
+      Alcotest.(check (option int)) (Printf.sprintf "replica %d item 1" i) (Some 10)
+        (Store.get s 1);
+      Alcotest.(check (option int)) (Printf.sprintf "replica %d item 2" i) (Some 20)
+        (Store.get s 2);
+      Alcotest.(check int) "one batch applied" 1 (Store.applied_batches s))
+    rig.stores;
+  check_clean rig
+
+let test_batch_atomicity_at_replicas () =
+  (* A batch is applied all-or-nothing: a replica that processes the
+     first message of a batch but has not seen the commit yet must not
+     expose the partial write. *)
+  let rig = make_rig () in
+  let primary = store rig 0 in
+  (match Store.submit primary [ Store.Set (1, 1); Store.Set (2, 2) ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "submit");
+  Engine.run rig.engine;
+  let backup = store rig 1 in
+  (* Process exactly one delivery: the pure update, not yet the commit. *)
+  ignore (Store.process_one backup);
+  Alcotest.(check (option int)) "no partial application" None (Store.get backup 1);
+  ignore (Store.process_one backup);
+  Alcotest.(check (option int)) "applied at commit" (Some 1) (Store.get backup 1);
+  Alcotest.(check (option int)) "whole batch visible" (Some 2) (Store.get backup 2)
+
+let test_remove () =
+  let rig = make_rig () in
+  let primary = store rig 0 in
+  ignore (Store.submit primary [ Store.Set (1, 10) ]);
+  ignore (Store.submit primary [ Store.Remove 1 ]);
+  settle rig;
+  List.iter
+    (fun (i, s) ->
+      Alcotest.(check (option int)) (Printf.sprintf "replica %d removed" i) None (Store.get s 1))
+    rig.stores;
+  check_clean rig
+
+let test_last_write_wins_within_batch () =
+  let rig = make_rig () in
+  ignore (Store.submit (store rig 0) [ Store.Set (1, 1); Store.Set (1, 99) ]);
+  settle rig;
+  Alcotest.(check (option int)) "last write wins" (Some 99) (Store.get (store rig 1) 1)
+
+let test_failover_consistency () =
+  (* Heavy update traffic with a slow backup; the primary crashes; the
+     survivors must end in identical states and the new primary must be
+     the lowest surviving id. *)
+  let config = { Group.default_config with buffer_capacity = Some 12 } in
+  let rig = make_rig ~config () in
+  let rng = Rng.create ~seed:5 in
+  let submitted = ref 0 in
+  ignore
+    (Engine.every rig.engine ~period:0.004 (fun () ->
+         (match
+            List.find_opt
+              (fun (_, s) -> Store.is_member s && Store.role s = `Primary)
+              rig.stores
+          with
+         | Some (_, primary) -> (
+             let item = Rng.int rng 6 in
+             match Store.submit primary [ Store.Set (item, !submitted) ] with
+             | Ok () -> incr submitted
+             | Error _ -> ())
+         | None -> ());
+         Engine.now rig.engine < 2.0));
+  (* Backup 1 is prompt, backup 2 lags. *)
+  ignore
+    (Engine.every rig.engine ~period:0.002 (fun () ->
+         Store.process (store rig 0);
+         Store.process (store rig 1);
+         Engine.now rig.engine < 2.5));
+  ignore
+    (Engine.every rig.engine ~period:0.05 (fun () ->
+         ignore (Store.process_one (store rig 2));
+         Engine.now rig.engine < 2.5));
+  ignore (Engine.schedule rig.engine ~delay:1.0 (fun () -> Group.crash rig.cluster 0));
+  Engine.run ~until:3.0 rig.engine;
+  Engine.run ~until:3.5 rig.engine;
+  List.iter (fun (_, s) -> Store.process s) rig.stores;
+  Alcotest.(check bool) "many updates flowed" true (!submitted > 100);
+  let s1 = store rig 1 and s2 = store rig 2 in
+  Alcotest.(check bool) "new primary is lowest survivor" true (Store.role s1 = `Primary);
+  Alcotest.(check bool) "survivor views agree" true
+    (View.equal (Store.view s1) (Store.view s2));
+  Alcotest.(check bool) "survivor stores identical" true (Store.store_equal s1 s2);
+  Alcotest.(check bool) "slow backup purged something" true
+    (Group.purged (Store.member s2) > 0);
+  check_clean rig
+
+let failover_property =
+  QCheck.Test.make ~name:"random traffic + crash keeps survivors identical" ~count:15
+    QCheck.(pair small_int (int_range 3 5))
+    (fun (seed, n) ->
+      let engine = Engine.create ~seed () in
+      let config = { Group.default_config with buffer_capacity = Some 10 } in
+      let cluster =
+        Group.create_cluster engine
+          ~members:(List.init n Fun.id)
+          ~latency:(Latency.Exponential { mean = 0.002 })
+          ~config ()
+      in
+      let stores =
+        List.map (fun m -> (Group.id m, Store.attach ~k:24 m)) (Group.members cluster)
+      in
+      let rng = Rng.create ~seed:(seed + 77) in
+      ignore
+        (Engine.every engine ~period:0.005 (fun () ->
+             (match
+                List.find_opt
+                  (fun (_, s) -> Store.is_member s && Store.role s = `Primary)
+                  stores
+              with
+             | Some (_, primary) ->
+                 let size = 1 + Rng.int rng 3 in
+                 let ops =
+                   List.init size (fun j -> Store.Set (Rng.int rng 5, (j * 1000) + Rng.int rng 100))
+                 in
+                 ignore (Store.submit primary ops)
+             | None -> ());
+             Engine.now engine < 1.5));
+      List.iter
+        (fun (_, s) ->
+          let period = 0.002 +. Rng.float rng 0.04 in
+          ignore
+            (Engine.every engine ~period (fun () ->
+                 ignore (Store.process_one s);
+                 ignore (Store.process_one s);
+                 Engine.now engine < 2.0)))
+        stores;
+      let victim = Rng.int rng n in
+      ignore
+        (Engine.schedule engine ~delay:(0.3 +. Rng.float rng 1.0) (fun () ->
+             Group.crash cluster victim));
+      Engine.run ~until:3.0 engine;
+      Engine.run ~until:4.0 engine;
+      List.iter (fun (_, s) -> Store.process s) stores;
+      let survivors = List.filter (fun (i, _) -> i <> victim) stores in
+      let states = List.map (fun (_, s) -> Store.items s) survivors in
+      let all_equal =
+        match states with [] -> true | first :: rest -> List.for_all (( = ) first) rest
+      in
+      let clean = Checker.verify (Group.checker cluster) = [] in
+      if not (all_equal && clean) then
+        QCheck.Test.fail_reportf "equal=%b clean=%b" all_equal clean
+      else true)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_replication"
+    [
+      ( "replicated-store",
+        [
+          Alcotest.test_case "roles" `Quick test_roles;
+          Alcotest.test_case "submit requires primary" `Quick test_submit_requires_primary;
+          Alcotest.test_case "empty batch" `Quick test_submit_empty;
+          Alcotest.test_case "basic replication" `Quick test_basic_replication;
+          Alcotest.test_case "batch atomicity" `Quick test_batch_atomicity_at_replicas;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "last write wins" `Quick test_last_write_wins_within_batch;
+          Alcotest.test_case "fail-over consistency" `Quick test_failover_consistency;
+          q failover_property;
+        ] );
+    ]

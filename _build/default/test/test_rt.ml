@@ -1,0 +1,436 @@
+(* Tests for the real-time runtime: event loop, TCP mesh, and a live
+   three-node SVS group over loopback TCP. These run in real time, so
+   they use short heartbeat settings and generous wall-clock guards. *)
+
+module Loop = Svs_rt.Loop
+module Tcp_mesh = Svs_rt.Tcp_mesh
+module Node = Svs_rt.Node
+module Types = Svs_core.Types
+module View = Svs_core.View
+module Wire_codec = Svs_core.Wire_codec
+module Annotation = Svs_obs.Annotation
+
+(* --- Loop --- *)
+
+let test_loop_after_ordering () =
+  let loop = Loop.create () in
+  let log = ref [] in
+  ignore (Loop.after loop ~delay:0.03 (fun () -> log := 2 :: !log));
+  ignore (Loop.after loop ~delay:0.01 (fun () -> log := 1 :: !log));
+  Loop.run ~timeout:0.2 loop;
+  Alcotest.(check (list int)) "timers in order" [ 1; 2 ] (List.rev !log)
+
+let test_loop_every_and_cancel () =
+  let loop = Loop.create () in
+  let count = ref 0 in
+  let timer =
+    Loop.every loop ~period:0.005 (fun () ->
+        incr count;
+        true)
+  in
+  ignore (Loop.after loop ~delay:0.05 (fun () -> Loop.cancel timer));
+  Loop.run ~timeout:0.3 loop;
+  Alcotest.(check bool) (Printf.sprintf "ran a few times (%d)" !count) true
+    (!count >= 3 && !count <= 20)
+
+let test_loop_every_stops_on_false () =
+  let loop = Loop.create () in
+  let count = ref 0 in
+  ignore
+    (Loop.every loop ~period:0.005 (fun () ->
+         incr count;
+         !count < 3));
+  Loop.run ~timeout:0.3 loop;
+  Alcotest.(check int) "stopped at 3" 3 !count
+
+let test_loop_readable_fd () =
+  let loop = Loop.create () in
+  let r, w = Unix.pipe () in
+  let got = ref "" in
+  Loop.on_readable loop r (fun () ->
+      let buf = Bytes.create 16 in
+      let n = Unix.read r buf 0 16 in
+      got := Bytes.sub_string buf 0 n;
+      Loop.stop loop);
+  ignore
+    (Loop.after loop ~delay:0.01 (fun () ->
+         ignore (Unix.write_substring w "ping" 0 4)));
+  Loop.run ~timeout:0.5 loop;
+  Unix.close r;
+  Unix.close w;
+  Alcotest.(check string) "read the bytes" "ping" !got
+
+let test_loop_until_predicate () =
+  let loop = Loop.create () in
+  let count = ref 0 in
+  ignore
+    (Loop.every loop ~period:0.002 (fun () ->
+         incr count;
+         true));
+  Loop.run ~until:(fun () -> !count >= 5) ~timeout:0.5 loop;
+  Alcotest.(check bool) "stopped at predicate" true (!count >= 5 && !count < 20)
+
+(* --- Tcp_mesh --- *)
+
+let loopback = Unix.inet_addr_loopback
+
+let test_mesh_exchange () =
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got0 = ref [] and got1 = ref [] in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers
+      ~on_frame:(fun ~src frame -> got0 := (src, frame) :: !got0)
+      ()
+  in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
+      ~on_frame:(fun ~src frame -> got1 := (src, frame) :: !got1)
+      ()
+  in
+  Tcp_mesh.send mesh0 ~dst:1 "hello";
+  Tcp_mesh.send mesh0 ~dst:1 "world";
+  Tcp_mesh.send mesh1 ~dst:0 "back";
+  Loop.run ~until:(fun () -> List.length !got1 >= 2 && List.length !got0 >= 1) ~timeout:5.0 loop;
+  Alcotest.(check (list (pair int string))) "mesh1 got both in order" [ (0, "hello"); (0, "world") ]
+    (List.rev !got1);
+  Alcotest.(check (list (pair int string))) "mesh0 got reply" [ (1, "back") ] (List.rev !got0);
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
+let test_mesh_large_frame () =
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got = ref None in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+  in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
+      ~on_frame:(fun ~src:_ frame -> got := Some frame)
+      ()
+  in
+  let big = String.init 300_000 (fun i -> Char.chr (i mod 251)) in
+  Tcp_mesh.send mesh0 ~dst:1 big;
+  Loop.run ~until:(fun () -> !got <> None) ~timeout:5.0 loop;
+  (match !got with
+  | Some frame ->
+      Alcotest.(check int) "length survives" (String.length big) (String.length frame);
+      Alcotest.(check bool) "content survives" true (String.equal big frame)
+  | None -> Alcotest.fail "large frame not delivered");
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
+let test_mesh_queues_until_connected () =
+  (* Send before the peer's listener even exists: frames are buffered
+     and flushed once the dial-retry loop connects. *)
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  (* Reserve an address for peer 1 without accepting yet. *)
+  let fd1_tmp, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  Unix.close fd1_tmp;
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got = ref [] in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+  in
+  Tcp_mesh.send mesh0 ~dst:1 "early";
+  Alcotest.(check bool) "buffered while disconnected" true
+    (Tcp_mesh.pending_bytes mesh0 ~dst:1 > 0);
+  (* Bring peer 1 up at the promised address. *)
+  let fd1, _ = Tcp_mesh.listener addr1 in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
+      ~on_frame:(fun ~src frame -> got := (src, frame) :: !got)
+      ()
+  in
+  Loop.run ~until:(fun () -> !got <> []) ~timeout:5.0 loop;
+  Alcotest.(check (list (pair int string))) "early frame arrived" [ (0, "early") ] !got;
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
+(* --- Node: a live three-member group over loopback --- *)
+
+let fast_heartbeats =
+  {
+    Svs_detector.Heartbeat.period = 0.04;
+    initial_timeout = 0.3;
+    timeout_increment = 0.2;
+  }
+
+let node_config = { Node.default_config with heartbeat = fast_heartbeats }
+
+(* A group of [n] nodes in one loop; each consumes at its own period
+   (pull-based, so unconsumed messages stay purgeable), appending every
+   delivery to its log. *)
+let make_group ?consume_periods loop n =
+  let listeners =
+    List.init n (fun i ->
+        let fd, addr = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+        (i, fd, addr))
+  in
+  let peers = List.map (fun (i, _, addr) -> (i, addr)) listeners in
+  let deliveries = Array.make n [] in
+  let nodes =
+    List.map
+      (fun (i, fd, _) ->
+        Node.create loop ~me:i ~listen_fd:fd ~peers ~payload_codec:Wire_codec.int_codec
+          ~config:node_config ())
+      listeners
+  in
+  let nodes = Array.of_list nodes in
+  Array.iteri
+    (fun i node ->
+      let period =
+        match consume_periods with
+        | Some periods -> List.nth periods i
+        | None -> 0.005
+      in
+      let batch = if period <= 0.005 then 64 else 1 in
+      ignore
+        (Loop.every loop ~period (fun () ->
+             let rec go k =
+               if k > 0 then
+                 match Node.deliver node with
+                 | None -> ()
+                 | Some d ->
+                     deliveries.(i) <- d :: deliveries.(i);
+                     go (k - 1)
+             in
+             go batch;
+             true)
+          : Loop.timer))
+    nodes;
+  (nodes, deliveries)
+
+let data_payloads ds =
+  List.filter_map
+    (function Types.Data d -> Some d.Types.payload | Types.View_change _ -> None)
+    (List.rev ds)
+
+let test_node_group_multicast () =
+  let loop = Loop.create () in
+  let nodes, deliveries = make_group loop 3 in
+  (* Give the mesh a moment to connect, then publish. *)
+  ignore
+    (Loop.after loop ~delay:0.3 (fun () ->
+         for i = 1 to 10 do
+           ignore (Node.multicast nodes.(0) i)
+         done));
+  let all_in () =
+    Array.for_all (fun ds -> List.length (data_payloads ds) >= 10) deliveries
+  in
+  Loop.run ~until:all_in ~timeout:10.0 loop;
+  Array.iteri
+    (fun i ds ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d delivered all in FIFO order" i)
+        (List.init 10 (fun k -> k + 1))
+        (data_payloads ds))
+    deliveries;
+  Array.iter Node.shutdown nodes
+
+let test_node_group_view_change_on_crash () =
+  let loop = Loop.create () in
+  let nodes, deliveries = make_group loop 3 in
+  ignore
+    (Loop.after loop ~delay:0.3 (fun () -> ignore (Node.multicast nodes.(0) 1)));
+  (* Crash node 2 once traffic has flowed. *)
+  ignore (Loop.after loop ~delay:0.6 (fun () -> Node.shutdown nodes.(2)));
+  let reconfigured () =
+    (View.mem 2 (Node.view nodes.(0)) = false)
+    && (View.mem 2 (Node.view nodes.(1)) = false)
+  in
+  Loop.run ~until:reconfigured ~timeout:15.0 loop;
+  (* Consume whatever is still queued so the markers reach the app. *)
+  Array.iteri
+    (fun i node ->
+      List.iter (fun d -> deliveries.(i) <- d :: deliveries.(i)) (Node.deliver_all node))
+    nodes;
+  Alcotest.(check bool) "node 0 left view 0" true ((Node.view nodes.(0)).View.id >= 1);
+  Alcotest.(check bool) "membership agrees" true
+    (View.equal (Node.view nodes.(0)) (Node.view nodes.(1)));
+  Alcotest.(check (list int)) "survivors" [ 0; 1 ] (Node.view nodes.(0)).View.members;
+  (* The view-change marker reached the applications. *)
+  let saw_view i =
+    List.exists
+      (function Types.View_change v -> v.View.id >= 1 | Types.Data _ -> false)
+      deliveries.(i)
+  in
+  Alcotest.(check bool) "marker at node 0" true (saw_view 0);
+  Alcotest.(check bool) "marker at node 1" true (saw_view 1);
+  Array.iter Node.shutdown nodes
+
+let test_node_purging_over_tcp () =
+  (* Node 2 consumes slowly while 50 updates of one hot item arrive:
+     its protocol queue purges stale values, so it reaches the final
+     value having delivered far fewer than 50 messages. *)
+  let loop = Loop.create () in
+  let nodes, deliveries =
+    make_group ~consume_periods:[ 0.002; 0.002; 0.08 ] loop 3
+  in
+  ignore
+    (Loop.after loop ~delay:0.3 (fun () ->
+         for i = 1 to 50 do
+           ignore (Node.multicast nodes.(0) ~ann:(Annotation.Tag 7) i)
+         done));
+  let got_final () =
+    Array.for_all
+      (fun ds -> match data_payloads ds with [] -> false | l -> List.mem 50 l)
+      deliveries
+  in
+  Loop.run ~until:got_final ~timeout:15.0 loop;
+  Array.iteri
+    (fun i ds ->
+      let got = data_payloads ds in
+      Alcotest.(check bool) (Printf.sprintf "node %d got the final value" i) true
+        (List.mem 50 got);
+      Alcotest.(check bool) "in order" true (List.sort compare got = got))
+    deliveries;
+  let slow_got = List.length (data_payloads deliveries.(2)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "slow node skipped stale values (delivered %d, purged %d)" slow_got
+       (Node.purged nodes.(2)))
+    true
+    (Node.purged nodes.(2) > 0 && slow_got < 50);
+  Array.iter Node.shutdown nodes
+
+let test_mesh_no_silent_reconnect () =
+  (* A peer that restarts on the same address must NOT silently receive
+     a resumed stream (bytes in flight were lost; the reliable-FIFO
+     contract is gone). The broken peer is written off. *)
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got = ref [] in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+  in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
+      ~on_frame:(fun ~src frame -> got := (src, frame) :: !got)
+      ()
+  in
+  Tcp_mesh.send mesh0 ~dst:1 "before";
+  Loop.run ~until:(fun () -> !got <> []) ~timeout:5.0 loop;
+  Alcotest.(check int) "first frame arrived" 1 (List.length !got);
+  (* Peer 1 "crashes" and restarts at the same address. *)
+  Tcp_mesh.close mesh1;
+  let fd1b, _ = Tcp_mesh.listener addr1 in
+  let mesh1b =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1b ~peers
+      ~on_frame:(fun ~src frame -> got := (src, frame) :: !got)
+      ()
+  in
+  (* Sender keeps trying to talk to peer 1; the first write surfaces the
+     broken stream, after which the peer is written off for good. *)
+  ignore
+    (Loop.every loop ~period:0.02 (fun () ->
+         Tcp_mesh.send mesh0 ~dst:1 "after";
+         true));
+  Loop.run ~timeout:1.0 loop;
+  Alcotest.(check int) "no frames after the restart" 1 (List.length !got);
+  Alcotest.(check (list int)) "peer written off" [] (Tcp_mesh.connected mesh0);
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1b
+
+(* --- Ordered multicast over the real mesh --- *)
+
+module Total = Svs_order.Total
+module Codec = Svs_codec.Codec
+
+let test_total_order_over_tcp () =
+  (* The §7 toolkit is wire-capable too: a totally ordered stream over
+     real sockets, with obsolete entries skipped identically at every
+     terminal. *)
+  let loop = Loop.create () in
+  let n = 3 in
+  let listeners =
+    List.init n (fun i ->
+        let fd, addr = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+        (i, fd, addr))
+  in
+  let peers = List.map (fun (i, _, addr) -> (i, addr)) listeners in
+  let members = List.map fst peers in
+  let nodes = Array.make n None in
+  let meshes =
+    List.map
+      (fun (i, fd, _) ->
+        Tcp_mesh.create loop ~me:i ~listen_fd:fd ~peers
+          ~on_frame:(fun ~src frame ->
+            match nodes.(i) with
+            | Some node ->
+                Total.on_message node ~src
+                  (Total.read_msg Codec.Reader.zigzag (Codec.Reader.of_string frame))
+            | None -> ())
+          ())
+      listeners
+  in
+  let meshes = Array.of_list meshes in
+  List.iter
+    (fun i ->
+      nodes.(i) <-
+        Some
+          (Total.create ~me:i ~members
+             ~send:(fun ~dst msg ->
+               let w = Codec.Writer.create () in
+               Total.write_msg Codec.Writer.zigzag w msg;
+               Tcp_mesh.send meshes.(i) ~dst (Codec.Writer.contents w))
+             ()))
+    members;
+  let feed = Option.get nodes.(0) in
+  ignore
+    (Loop.after loop ~delay:0.3 (fun () ->
+         for i = 1 to 12 do
+           ignore (Total.multicast feed ~ann:(Annotation.Tag (i mod 2)) i)
+         done));
+  Loop.run
+    ~until:(fun () ->
+      Array.for_all
+        (function Some node -> Total.pending node >= 12 | None -> false)
+        nodes)
+    ~timeout:10.0 loop;
+  let tapes =
+    Array.map
+      (function
+        | Some node -> List.map (fun (seq, d) -> (seq, d.Total.payload)) (Total.deliver_all node)
+        | None -> [])
+      nodes
+  in
+  Alcotest.(check bool) "every terminal has a tape" true
+    (Array.for_all (fun t -> t <> []) tapes);
+  Alcotest.(check bool) "tapes agree" true
+    (Array.for_all (fun t -> t = tapes.(0)) tapes);
+  Array.iter Tcp_mesh.close meshes
+
+let () =
+  Alcotest.run "svs_rt"
+    [
+      ( "loop",
+        [
+          Alcotest.test_case "after ordering" `Quick test_loop_after_ordering;
+          Alcotest.test_case "every + cancel" `Quick test_loop_every_and_cancel;
+          Alcotest.test_case "every stops on false" `Quick test_loop_every_stops_on_false;
+          Alcotest.test_case "readable fd" `Quick test_loop_readable_fd;
+          Alcotest.test_case "until predicate" `Quick test_loop_until_predicate;
+        ] );
+      ( "tcp-mesh",
+        [
+          Alcotest.test_case "exchange" `Quick test_mesh_exchange;
+          Alcotest.test_case "large frame" `Quick test_mesh_large_frame;
+          Alcotest.test_case "queue until connected" `Quick test_mesh_queues_until_connected;
+          Alcotest.test_case "no silent reconnect" `Quick test_mesh_no_silent_reconnect;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "group multicast" `Slow test_node_group_multicast;
+          Alcotest.test_case "view change on crash" `Slow test_node_group_view_change_on_crash;
+          Alcotest.test_case "purging over TCP" `Slow test_node_purging_over_tcp;
+          Alcotest.test_case "total order over TCP" `Slow test_total_order_over_tcp;
+        ] );
+    ]

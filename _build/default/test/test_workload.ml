@@ -1,0 +1,248 @@
+(* Tests for svs_workload: traces, stream encoding, statistics,
+   generator calibration. *)
+
+module Trace = Svs_workload.Trace
+module Stream = Svs_workload.Stream
+module Synthetic = Svs_workload.Synthetic
+module Trace_stats = Svs_workload.Trace_stats
+module Annotation = Svs_obs.Annotation
+module Bitvec = Svs_obs.Bitvec
+module Histogram = Svs_stats.Histogram
+
+let mk_trace ?(round_rate = 30.0) rounds_ops =
+  {
+    Trace.rounds =
+      Array.of_list
+        (List.map
+           (fun ops ->
+             { Trace.ops = List.map (fun (item, kind) -> { Trace.item; kind }) ops; active = 10 })
+           rounds_ops);
+    round_rate;
+  }
+
+(* --- Trace basics --- *)
+
+let test_trace_accessors () =
+  let t = mk_trace [ [ (1, Trace.Update) ]; []; [ (2, Trace.Create); (2, Trace.Update) ] ] in
+  Alcotest.(check int) "rounds" 3 (Trace.round_count t);
+  Alcotest.(check int) "ops" 3 (Trace.total_ops t);
+  Alcotest.(check (float 1e-9)) "duration" 0.1 (Trace.duration t)
+
+(* --- Stream encoding --- *)
+
+let test_stream_single_update_rounds () =
+  let t = mk_trace [ [ (1, Trace.Update) ]; [ (1, Trace.Update) ] ] in
+  let messages = Stream.of_trace ~k:8 t in
+  Alcotest.(check int) "one message per single-op round" 2 (Array.length messages);
+  (* Both are commits (single-item batches) and the second covers the
+     first. *)
+  Alcotest.(check bool) "kinds are commit" true
+    (Array.for_all (fun m -> m.Stream.kind = Stream.Commit) messages);
+  let older = (Stream.id_of ~sender:0 messages.(0), messages.(0).Stream.ann) in
+  let newer = (Stream.id_of ~sender:0 messages.(1), messages.(1).Stream.ann) in
+  Alcotest.(check bool) "second obsoletes first" true (Annotation.obsoletes ~older ~newer)
+
+let test_stream_sns_sequential () =
+  let t =
+    mk_trace
+      [
+        [ (1, Trace.Update); (2, Trace.Update) ];
+        [ (3, Trace.Create) ];
+        [ (1, Trace.Update); (3, Trace.Update); (3, Trace.Destroy) ];
+      ]
+  in
+  let messages = Stream.of_trace ~k:8 t in
+  Array.iteri
+    (fun i m -> Alcotest.(check int) (Printf.sprintf "sn %d" i) i m.Stream.sn)
+    messages;
+  (* Times must be non-decreasing. *)
+  let ok = ref true in
+  Array.iteri
+    (fun i m -> if i > 0 && m.Stream.time < messages.(i - 1).Stream.time then ok := false)
+    messages;
+  Alcotest.(check bool) "times monotone" true !ok
+
+let test_stream_creates_never_covered () =
+  (* Creations/destructions must never become obsolete, even when the
+     same item is updated later. *)
+  let t =
+    mk_trace
+      [ [ (5, Trace.Create) ]; [ (5, Trace.Update) ]; [ (5, Trace.Update) ];
+        [ (5, Trace.Destroy) ] ]
+  in
+  let messages = Stream.of_trace ~k:8 t in
+  let covers = Trace_stats.obsolescence_distances messages in
+  let share = Trace_stats.never_obsolete_share messages in
+  (* 4 messages: create, update, update, destroy. Only the first update
+     is covered (by the second). *)
+  Alcotest.(check int) "one covered message" 1 (Histogram.count covers);
+  Alcotest.(check (float 1e-9)) "never-obsolete share" 0.75 share;
+  let kinds = Array.map (fun m -> m.Stream.kind) messages in
+  Alcotest.(check bool) "create kind preserved" true (kinds.(0) = Stream.Create);
+  Alcotest.(check bool) "destroy kind preserved" true (kinds.(3) = Stream.Destroy)
+
+let test_stream_multi_item_round_is_batch () =
+  let t = mk_trace [ [ (1, Trace.Update); (2, Trace.Update); (3, Trace.Update) ] ] in
+  let messages = Stream.of_trace ~k:8 t in
+  Alcotest.(check int) "3 messages" 3 (Array.length messages);
+  Alcotest.(check (list bool)) "last is the commit" [ false; false; true ]
+    (Array.to_list (Array.map (fun m -> m.Stream.kind = Stream.Commit) messages))
+
+let test_stream_empty_rounds_skipped () =
+  let t = mk_trace [ []; []; [] ] in
+  Alcotest.(check int) "no messages" 0 (Array.length (Stream.of_trace t))
+
+(* --- Statistics --- *)
+
+let test_rank_frequencies () =
+  let t =
+    mk_trace
+      [
+        [ (7, Trace.Update) ];
+        [ (7, Trace.Update); (3, Trace.Update) ];
+        [ (7, Trace.Update) ];
+        [ (3, Trace.Update) ];
+      ]
+  in
+  match Trace_stats.rank_frequencies t with
+  | [ (1, top); (2, snd) ] ->
+      Alcotest.(check (float 1e-9)) "top item in 75% of rounds" 75.0 top;
+      Alcotest.(check (float 1e-9)) "second in 50%" 50.0 snd
+  | other -> Alcotest.failf "unexpected ranks: %d entries" (List.length other)
+
+let test_rank_frequencies_ignore_creates () =
+  let t = mk_trace [ [ (1, Trace.Create) ]; [ (1, Trace.Update) ] ] in
+  Alcotest.(check int) "creates don't count as modifications" 1
+    (List.length (Trace_stats.rank_frequencies t))
+
+let test_summary_fields () =
+  let t = mk_trace [ [ (1, Trace.Update) ]; [] ] in
+  let messages = Stream.of_trace ~k:8 t in
+  let s = Trace_stats.summarise t messages in
+  Alcotest.(check int) "rounds" 2 s.Trace_stats.rounds;
+  Alcotest.(check int) "messages" 1 s.Trace_stats.messages;
+  Alcotest.(check (float 1e-9)) "avg modified" 0.5 s.Trace_stats.avg_modified_per_round;
+  Alcotest.(check (float 1e-9)) "avg active" 10.0 s.Trace_stats.avg_active_items
+
+(* --- Generator calibration (the paper's §5.2 numbers) --- *)
+
+let calibration_trace = lazy (Synthetic.paper_session ())
+
+let calibration_stream = lazy (Stream.of_trace ~k:30 (Lazy.force calibration_trace))
+
+let test_generator_calibration_rounds () =
+  let t = Lazy.force calibration_trace in
+  Alcotest.(check int) "paper round count" 11696 (Trace.round_count t)
+
+let test_generator_calibration_activity () =
+  let s = Trace_stats.summarise (Lazy.force calibration_trace) (Lazy.force calibration_stream) in
+  Alcotest.(check bool)
+    (Printf.sprintf "active items ~42.33 (got %.2f)" s.Trace_stats.avg_active_items)
+    true
+    (Float.abs (s.Trace_stats.avg_active_items -. 42.33) < 2.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "modified ~1.39 (got %.2f)" s.Trace_stats.avg_modified_per_round)
+    true
+    (Float.abs (s.Trace_stats.avg_modified_per_round -. 1.39) < 0.25)
+
+let test_generator_calibration_obsolescence () =
+  let s = Trace_stats.summarise (Lazy.force calibration_trace) (Lazy.force calibration_stream) in
+  Alcotest.(check bool)
+    (Printf.sprintf "never-obsolete ~41.88%% (got %.1f%%)"
+       (100.0 *. s.Trace_stats.never_obsolete_share))
+    true
+    (Float.abs (s.Trace_stats.never_obsolete_share -. 0.4188) < 0.08)
+
+let test_generator_calibration_skew () =
+  match Trace_stats.rank_frequencies (Lazy.force calibration_trace) with
+  | (_, top) :: _ ->
+      Alcotest.(check bool) (Printf.sprintf "top item 15-35%% (got %.1f%%)" top) true
+        (top > 15.0 && top < 35.0)
+  | [] -> Alcotest.fail "no ranks"
+
+let test_generator_calibration_distances () =
+  let h = Trace_stats.obsolescence_distances (Lazy.force calibration_stream) in
+  let within10 = Histogram.fraction_le h 10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "majority of related pairs within 10 msgs (got %.0f%%)" (100.0 *. within10))
+    true (within10 > 0.5)
+
+let test_generator_determinism () =
+  let a = Synthetic.generate { Synthetic.default with rounds = 200 } in
+  let b = Synthetic.generate { Synthetic.default with rounds = 200 } in
+  Alcotest.(check bool) "same seed, same trace" true (a.Trace.rounds = b.Trace.rounds);
+  let c = Synthetic.generate { Synthetic.default with rounds = 200; seed = 1 } in
+  Alcotest.(check bool) "different seed differs" false (a.Trace.rounds = c.Trace.rounds)
+
+let generator_traces_well_formed =
+  QCheck.Test.make ~name:"generated traces are well-formed" ~count:20
+    QCheck.(pair small_int (int_range 50 300))
+    (fun (seed, rounds) ->
+      let t = Synthetic.generate { Synthetic.default with seed; rounds } in
+      let alive = Hashtbl.create 64 in
+      for i = 0 to Synthetic.default.Synthetic.persistent_items - 1 do
+        Hashtbl.replace alive i ()
+      done;
+      let ok = ref (Trace.round_count t = rounds) in
+      Trace.iter_rounds
+        (fun _ { Trace.ops; active } ->
+          if active < 0 then ok := false;
+          List.iter
+            (fun op ->
+              match op.Trace.kind with
+              | Trace.Create ->
+                  if Hashtbl.mem alive op.Trace.item then ok := false
+                  else Hashtbl.replace alive op.Trace.item ()
+              | Trace.Update -> if not (Hashtbl.mem alive op.Trace.item) then ok := false
+              | Trace.Destroy ->
+                  if not (Hashtbl.mem alive op.Trace.item) then ok := false
+                  else Hashtbl.remove alive op.Trace.item)
+            ops)
+        t;
+      !ok)
+
+let stream_annotations_never_forward =
+  QCheck.Test.make ~name:"stream annotations reference only the past" ~count:20
+    QCheck.(pair small_int (int_range 50 200))
+    (fun (seed, rounds) ->
+      let t = Synthetic.generate { Synthetic.default with seed; rounds } in
+      let messages = Stream.of_trace ~k:16 t in
+      Array.for_all
+        (fun (m : Stream.message) ->
+          match m.Stream.ann with
+          | Annotation.Kenum bm ->
+              List.for_all (fun d -> m.Stream.sn - d >= 0) (Bitvec.distances bm)
+          | Annotation.Unrelated | Annotation.Tag _ | Annotation.Enum _ -> true)
+        messages)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_workload"
+    [
+      ("trace", [ Alcotest.test_case "accessors" `Quick test_trace_accessors ]);
+      ( "stream",
+        [
+          Alcotest.test_case "single-update rounds" `Quick test_stream_single_update_rounds;
+          Alcotest.test_case "sequential sns" `Quick test_stream_sns_sequential;
+          Alcotest.test_case "creates stay reliable" `Quick test_stream_creates_never_covered;
+          Alcotest.test_case "multi-item batches" `Quick test_stream_multi_item_round_is_batch;
+          Alcotest.test_case "empty rounds" `Quick test_stream_empty_rounds_skipped;
+          q stream_annotations_never_forward;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "rank frequencies" `Quick test_rank_frequencies;
+          Alcotest.test_case "ranks ignore creates" `Quick test_rank_frequencies_ignore_creates;
+          Alcotest.test_case "summary fields" `Quick test_summary_fields;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "round count" `Quick test_generator_calibration_rounds;
+          Alcotest.test_case "activity calibration" `Slow test_generator_calibration_activity;
+          Alcotest.test_case "obsolescence calibration" `Slow test_generator_calibration_obsolescence;
+          Alcotest.test_case "popularity skew" `Slow test_generator_calibration_skew;
+          Alcotest.test_case "distance concentration" `Slow test_generator_calibration_distances;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+          q generator_traces_well_formed;
+        ] );
+    ]
