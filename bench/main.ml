@@ -20,6 +20,8 @@
      MICRO — Bechamel micro-benchmarks *)
 
 module E = Svs_experiments
+module Metrics = Svs_telemetry.Metrics
+module Trace = Svs_telemetry.Trace
 
 let ppf = Format.std_formatter
 
@@ -85,17 +87,69 @@ let test_heap_churn =
            ignore (Svs_sim.Heap.pop h)
          done))
 
+(* The pipeline replay tallies into a shared registry; its accumulated
+   counters are reported after the benchmarks as a registry read-out. *)
+let micro_registry = Metrics.create ()
+
 let test_pipeline_insert =
   let messages = E.Spec.messages ~buffer:15 spec in
   Test.make ~name:"pipeline: full semantic replay (16k msgs)"
     (Staged.stage (fun () ->
          ignore
-           (E.Pipeline.run ~messages
+           (E.Pipeline.run ~metrics:micro_registry ~messages
               { E.Pipeline.buffer = 15; consumer_rate = 50.0; mode = E.Pipeline.Semantic })))
+
+(* Nop-vs-instrumented protocol hot path: the telemetry design goal is
+   that the default [Trace.nop] tracer adds nothing measurable to
+   multicast + receive + deliver (one load and a branch per guard, no
+   event allocation), and that registry instruments cost the same as
+   the detached ones. Compare the two lines below. *)
+let proto_hot_path ~tracer ~metrics =
+  let create me =
+    Svs_core.Protocol.create ~me
+      ~initial_view:(Svs_core.View.initial ~members:[ 0; 1 ])
+      ~tracer ?metrics
+      ~suspects:(fun _ -> false)
+      ()
+  in
+  let a = create 0 and b = create 1 in
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    (match Svs_core.Protocol.multicast a ~ann:(Svs_obs.Annotation.Tag (!i land 15)) !i with
+    | Ok _ -> ()
+    | Error _ -> assert false);
+    List.iter
+      (function
+        | Svs_core.Types.Send { dst; wire } when dst = 1 ->
+            Svs_core.Protocol.receive b ~src:0 wire
+        | _ -> ())
+      (Svs_core.Protocol.take_outputs a);
+    ignore (Svs_core.Protocol.deliver a);
+    ignore (Svs_core.Protocol.deliver b);
+    if Trace.enabled tracer && !i land 1023 = 0 then Trace.clear tracer
+
+let test_proto_nop =
+  Test.make ~name:"protocol: multicast+receive+deliver (telemetry off)"
+    (Staged.stage (proto_hot_path ~tracer:Trace.nop ~metrics:None))
+
+let test_proto_traced =
+  Test.make ~name:"protocol: multicast+receive+deliver (traced+metered)"
+    (Staged.stage
+       (proto_hot_path ~tracer:(Trace.memory ()) ~metrics:(Some (Metrics.create ()))))
 
 let run_micro () =
   section "MICRO: Bechamel micro-benchmarks";
-  let tests = [ test_bitvec_compose; test_kenum_push; test_heap_churn; test_pipeline_insert ] in
+  let tests =
+    [
+      test_bitvec_compose;
+      test_kenum_push;
+      test_heap_churn;
+      test_pipeline_insert;
+      test_proto_nop;
+      test_proto_traced;
+    ]
+  in
   let benchmark test =
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -116,7 +170,9 @@ let run_micro () =
         | Some _ | None -> Format.fprintf ppf "%-45s (no estimate)@." name)
       results
   in
-  List.iter (fun t -> benchmark (Test.make_grouped ~name:"svs" [ t ])) tests
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"svs" [ t ])) tests;
+  Format.fprintf ppf "pipeline registry read-out (accumulated over the runs above):@.";
+  Format.fprintf ppf "  %a@." Metrics.pp_line micro_registry
 
 let () =
   Format.fprintf ppf "Semantic View Synchrony (DSN 2002) — reproduction harness@.";

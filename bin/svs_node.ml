@@ -23,6 +23,8 @@ module Types = Svs_core.Types
 module View = Svs_core.View
 module Wire_codec = Svs_core.Wire_codec
 module Annotation = Svs_obs.Annotation
+module Metrics = Svs_telemetry.Metrics
+module Trace = Svs_telemetry.Trace
 
 let payload_codec = Wire_codec.pair_codec Wire_codec.int_codec Wire_codec.int_codec
 
@@ -47,7 +49,7 @@ let peer_conv =
             Format.fprintf ppf "%d:%s:%d" id (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX path -> Format.fprintf ppf "%d:unix:%s" id path )
 
-let run me peers publish rate consume_rate duration reliable verbose =
+let run me peers publish rate consume_rate duration reliable trace_file stats_period verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -55,11 +57,20 @@ let run me peers publish rate consume_rate duration reliable verbose =
   if peers = [] then `Error (false, "at least one --peer required")
   else if not (List.mem_assoc me peers) then
     `Error (false, Printf.sprintf "--me %d has no --peer entry" me)
-  else begin
+  else
+    match Option.map open_out trace_file with
+    | exception Sys_error e -> `Error (false, "cannot open trace file: " ^ e)
+    | trace_oc ->
     let loop = Loop.create () in
     let listen_addr = List.assoc me peers in
     let listen_fd, _ = Tcp_mesh.listener listen_addr in
-    let config = { Node.default_config with semantic = not reliable } in
+    let metrics = Metrics.create () in
+    let tracer =
+      match trace_oc with None -> Trace.nop | Some oc -> Trace.jsonl oc
+    in
+    let config =
+      { Node.default_config with semantic = not reliable; tracer; metrics = Some metrics }
+    in
     let delivered = ref 0 in
     let node = Node.create loop ~me ~listen_fd ~peers ~payload_codec ~config () in
     (* Deliveries are pulled at the consumption rate (a slow consumer
@@ -103,6 +114,28 @@ let run me peers publish rate consume_rate duration reliable verbose =
                | Error `Not_member -> Format.printf "[%d] no longer a member@." me);
                true)
             : Loop.timer));
+    (* Periodic one-line stats: the handful of numbers that matter,
+       straight from the node's accessors, then every registered
+       instrument when --verbose. *)
+    let site s = Node.purged_at node s in
+    let stats_line () =
+      Format.printf
+        "[%d] stats: delivered=%d pending=%d purged=%d(m:%d/r:%d/i:%d) bytes_out=%d bytes_in=%d suspicions=%d@."
+        me !delivered (Node.pending node) (Node.purged node) (site Trace.At_multicast)
+        (site Trace.At_receive) (site Trace.At_install) (Node.bytes_out node)
+        (Node.bytes_in node) (Node.suspicions node);
+      if verbose then Format.printf "[%d] metrics: %a@." me Metrics.pp_line metrics
+    in
+    (match stats_period with
+    | None -> ()
+    | Some period when period <= 0.0 -> ()
+    | Some period ->
+        ignore
+          (Loop.every loop ~period (fun () ->
+               stats_line ();
+               Trace.flush tracer;
+               true)
+            : Loop.timer));
     (match duration with
     | None -> ()
     | Some seconds -> ignore (Loop.after loop ~delay:seconds (fun () -> Loop.stop loop)));
@@ -110,9 +143,11 @@ let run me peers publish rate consume_rate duration reliable verbose =
     Loop.run loop;
     Format.printf "[%d] done: delivered=%d purged=%d final view %a@." me !delivered
       (Node.purged node) View.pp (Node.view node);
+    Format.printf "[%d] final metrics: %a@." me Metrics.pp_line metrics;
     Node.shutdown node;
+    Trace.flush tracer;
+    Option.iter close_out trace_oc;
     `Ok ()
-  end
 
 let cmd =
   let me =
@@ -145,12 +180,28 @@ let cmd =
   let reliable =
     Arg.(value & flag & info [ "reliable" ] ~doc:"Disable purging (plain view synchrony).")
   in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured trace (one JSON object per protocol event: multicasts, \
+             purges, blocks, view installs, suspicions, reconnects) to $(docv).")
+  in
+  let stats_period =
+    Arg.(
+      value & opt (some float) (Some 5.0)
+      & info [ "stats-period" ] ~docv:"SECONDS"
+          ~doc:"Period of the one-line stats report (0 disables).")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Protocol debug logging.")
   in
   Cmd.v
     (Cmd.info "svs_node" ~version:"1.0.0" ~doc:"Run a live SVS group member over TCP")
     Term.(
-      ret (const run $ me $ peers $ publish $ rate $ consume_rate $ duration $ reliable $ verbose))
+      ret
+        (const run $ me $ peers $ publish $ rate $ consume_rate $ duration $ reliable
+       $ trace_file $ stats_period $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,8 @@ module Oracle = Svs_detector.Oracle
 module Heartbeat = Svs_detector.Heartbeat
 module Arbiter = Svs_consensus.Arbiter
 module Ct = Svs_consensus.Chandra_toueg
+module Metrics = Svs_telemetry.Metrics
+module Trace = Svs_telemetry.Trace
 open Types
 
 type detector_mode =
@@ -29,6 +31,8 @@ type config = {
   auto_view_change : bool;
   stability_period : float option;
   overflow_exclusion : overflow option;
+  tracer : Trace.t;
+  metrics : Metrics.t option;
 }
 
 let default_config =
@@ -40,6 +44,8 @@ let default_config =
     auto_view_change = true;
     stability_period = None;
     overflow_exclusion = None;
+    tracer = Trace.nop;
+    metrics = None;
   }
 
 type 'p packet =
@@ -97,6 +103,12 @@ let inflight_from m ~src =
   Queue.fold (fun n (s, _) -> if s = src then n + 1 else n) 0 m.inbox
 
 let purged m = Protocol.purged_count m.proto
+
+let purged_at m site = Protocol.purged_at m.proto site
+
+let tracer c = c.config.tracer
+
+let metrics c = c.config.metrics
 
 let stable_trimmed m = Protocol.stable_trimmed m.proto
 
@@ -292,6 +304,14 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
   let n_nodes = List.fold_left Stdlib.max 0 ids + 1 in
   let sizer = Option.map (fun pc packet -> packet_size pc packet) payload_codec in
   let net = Network.create eng ~nodes:n_nodes ~latency ?bandwidth ?sizer () in
+  (* Telemetry: stamp trace events with virtual time and hook the
+     substrate instruments into the registry. *)
+  Trace.set_clock config.tracer (Engine.clock eng);
+  (match config.metrics with
+  | None -> ()
+  | Some reg ->
+      Engine.attach_metrics eng reg;
+      Network.attach_metrics net reg);
   let initial_view = View.initial ~members:ids in
   let oracle =
     match config.detector with
@@ -335,8 +355,8 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
         me;
         cluster;
         proto =
-          Protocol.create ~me ~initial_view ~semantic:config.semantic ~suspects:suspects_fn
-            ();
+          Protocol.create ~me ~initial_view ~semantic:config.semantic ~tracer:config.tracer
+            ?metrics:config.metrics ~clock:(Engine.clock eng) ~suspects:suspects_fn ();
         inbox = Queue.create ();
         hb = None;
         instances = Hashtbl.create 7;
@@ -401,17 +421,26 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
     (fun m ->
       Checker.record_install cluster.check ~p:m.me initial_view;
       Network.set_handler net ~node:m.me (fun ~src packet -> on_packet m ~src packet);
+      let note_suspect p =
+        if Trace.enabled config.tracer then
+          Trace.emit config.tracer (Trace.Suspect { node = m.me; suspect = p })
+      in
       (match config.detector with
       | Oracle -> (
           match oracle with
-          | Some o -> Svs_detector.Oracle.on_suspect o (fun _ -> on_suspicion m)
+          | Some o ->
+              Svs_detector.Oracle.on_suspect o (fun p ->
+                  note_suspect p;
+                  on_suspicion m)
           | None -> assert false)
       | Heartbeats hb_config ->
           let hb =
             Heartbeat.create eng hb_config ~me:m.me ~peers:ids
               ~send_heartbeat:(fun ~dst -> Network.send net ~src:m.me ~dst Beat)
           in
-          Heartbeat.on_suspect hb (fun _ -> on_suspicion m);
+          Heartbeat.on_suspect hb (fun p ->
+              note_suspect p;
+              on_suspicion m);
           Heartbeat.on_rescind hb (fun _ -> on_suspicion m);
           m.hb <- Some hb))
     ms;

@@ -54,11 +54,18 @@ type config = {
           absorb the perturbation — the paper's "if purging is not
           enough ... reconfiguration can still happen". (Periodic
           checker: run the engine with a horizon.) *)
+  tracer : Svs_telemetry.Trace.t;
+      (** Receives every member's trace events, stamped with virtual
+          time (the cluster re-points the tracer's clock at the
+          engine). Default {!Svs_telemetry.Trace.nop}. *)
+  metrics : Svs_telemetry.Metrics.t option;
+      (** When set, every member registers its per-node instruments
+          here and the engine/network register theirs. *)
 }
 
 val default_config : config
 (** semantic, unbounded buffer, oracle detector, arbiter consensus,
-    auto view change. *)
+    auto view change, telemetry off. *)
 
 val create_cluster :
   Svs_sim.Engine.t ->
@@ -80,6 +87,12 @@ val members : 'p cluster -> 'p t list
 val member : 'p cluster -> int -> 'p t
 
 val checker : 'p cluster -> Checker.t
+
+val tracer : 'p cluster -> Svs_telemetry.Trace.t
+(** The tracer from the cluster's config. *)
+
+val metrics : 'p cluster -> Svs_telemetry.Metrics.t option
+(** The metrics registry from the cluster's config. *)
 
 val bytes_sent : 'p cluster -> int
 (** Total wire bytes (0 unless a payload codec was supplied). *)
@@ -128,6 +141,9 @@ val inflight_from : 'p t -> src:int -> int
 
 val purged : 'p t -> int
 (** Messages purged as obsolete at this member so far. *)
+
+val purged_at : 'p t -> Svs_telemetry.Trace.site -> int
+(** {!purged}, split by purge site (multicast / receive / install). *)
 
 val stable_trimmed : 'p t -> int
 (** Messages garbage-collected as stable at this member so far. *)

@@ -1,5 +1,7 @@
 module Msg_id = Svs_obs.Msg_id
 module Annotation = Svs_obs.Annotation
+module Metrics = Svs_telemetry.Metrics
+module Trace = Svs_telemetry.Trace
 open Types
 
 let log_src = Logs.Src.create "svs.protocol" ~doc:"SVS protocol (Figure 1)"
@@ -34,15 +36,34 @@ type 'p t = {
   mutable vc : 'p vc_state option;
   stash : (int * 'p wire) Queue.t; (* future-view messages *)
   mutable outputs : 'p output list; (* reversed *)
-  mutable purged : int;
   (* Stability tracking: the latest gossiped receive floors of every
      peer; messages at or below every member's floor are stable and can
      be dropped from the PRED bookkeeping. *)
   peer_floors : (int, (int, int) Hashtbl.t) Hashtbl.t;
   mutable trimmed : int;
+  (* Telemetry. The purge counters split the old single total by the
+     site of the purge (Figure 1's three shaded steps). [queued_data]
+     mirrors the number of Edata entries in [to_deliver] so occupancy
+     reads are O(1). *)
+  tracer : Trace.t;
+  clock : unit -> float;
+  purged_multicast : Metrics.Counter.t;
+  purged_receive : Metrics.Counter.t;
+  purged_install : Metrics.Counter.t;
+  occupancy : Metrics.Gauge.t;
+  blocked_spans : Metrics.Histogram.t;
+  mutable blocked_since : float;
+  mutable queued_data : int;
 }
 
-let create ~me ~initial_view ?(semantic = true) ~suspects () =
+let create ~me ~initial_view ?(semantic = true) ?(tracer = Trace.nop) ?metrics
+    ?(clock = fun () -> 0.0) ~suspects () =
+  let node_label = [ ("node", string_of_int me) ] in
+  let counter site =
+    match metrics with
+    | None -> Metrics.Counter.detached ()
+    | Some reg -> Metrics.counter reg ~labels:(("site", site) :: node_label) "svs_purged_total"
+  in
   {
     me;
     semantic;
@@ -57,9 +78,23 @@ let create ~me ~initial_view ?(semantic = true) ~suspects () =
     vc = None;
     stash = Queue.create ();
     outputs = [];
-    purged = 0;
     peer_floors = Hashtbl.create 16;
     trimmed = 0;
+    tracer;
+    clock;
+    purged_multicast = counter "multicast";
+    purged_receive = counter "receive";
+    purged_install = counter "install";
+    occupancy =
+      (match metrics with
+      | None -> Metrics.Gauge.detached ()
+      | Some reg -> Metrics.gauge reg ~labels:node_label "svs_buffer_occupancy");
+    blocked_spans =
+      (match metrics with
+      | None -> Metrics.Histogram.detached ()
+      | Some reg -> Metrics.histogram reg ~labels:node_label "svs_blocked_seconds");
+    blocked_since = 0.0;
+    queued_data = 0;
   }
 
 let me t = t.me
@@ -70,12 +105,37 @@ let blocked t = t.blocked
 
 let alive t = not t.dead
 
-let purged_count t = t.purged
+let purge_counter t = function
+  | Trace.At_multicast -> t.purged_multicast
+  | Trace.At_receive -> t.purged_receive
+  | Trace.At_install -> t.purged_install
 
-let to_deliver_length t =
-  let n = ref 0 in
-  Dq.iter (function Edata _ -> incr n | Eview _ -> ()) t.to_deliver;
-  !n
+let purged_at t site = Metrics.Counter.value (purge_counter t site)
+
+let purged_count t =
+  purged_at t Trace.At_multicast + purged_at t Trace.At_receive + purged_at t Trace.At_install
+
+let blocked_spans t = t.blocked_spans
+
+let to_deliver_length t = t.queued_data
+
+let set_queued t n =
+  t.queued_data <- n;
+  Metrics.Gauge.set t.occupancy (float_of_int n)
+
+(* Account one message dropped as obsolete at [site]. *)
+let note_purged t ~site (m : 'p data) =
+  Metrics.Counter.incr (purge_counter t site);
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer
+      (Purge
+         {
+           node = t.me;
+           view_id = m.view_id;
+           at_step = site;
+           sender = m.id.Msg_id.sender;
+           sn = m.id.Msg_id.sn;
+         })
 
 let emit t o = t.outputs <- o :: t.outputs
 
@@ -94,7 +154,7 @@ let raise_floor t (id : Msg_id.t) =
    already purged, only pairs involving [fresh] can newly match. Both
    directions are checked because enumeration annotations can relate
    messages across senders in either queue order. *)
-let purge_around t (fresh : 'p data) =
+let purge_around t ~site (fresh : 'p data) =
   if t.semantic then begin
     let drop_fresh = ref false in
     Dq.iter
@@ -110,18 +170,24 @@ let purge_around t (fresh : 'p data) =
     let keep = function
       | Eview _ -> true
       | Edata m ->
-          if Msg_id.equal m.id fresh.id then not !drop_fresh
-          else not (m.view_id = fresh.view_id && obsoletes m fresh)
+          let kept =
+            if Msg_id.equal m.id fresh.id then not !drop_fresh
+            else not (m.view_id = fresh.view_id && obsoletes m fresh)
+          in
+          if not kept then note_purged t ~site m;
+          kept
     in
-    t.purged <- t.purged + Dq.filter_in_place keep t.to_deliver
+    let removed = Dq.filter_in_place keep t.to_deliver in
+    if removed > 0 then set_queued t (t.queued_data - removed)
   end
 
 (* Insert an accepted data message (t2 self-copy, t3 reception, or t7
    injection) and purge. *)
-let accept t (d : 'p data) =
+let accept t ~site (d : 'p data) =
   raise_floor t d.id;
   Dq.push_back t.to_deliver (Edata d);
-  purge_around t d
+  set_queued t (t.queued_data + 1);
+  purge_around t ~site d
 
 let stable_floor t sender =
   List.fold_left
@@ -210,8 +276,10 @@ let multicast t ?(ann = Annotation.Unrelated) payload =
     let id = Msg_id.make ~sender:t.me ~sn:t.next_sn in
     t.next_sn <- t.next_sn + 1;
     let d = { id; view_id = t.cv.View.id; payload; ann } in
+    if Trace.enabled t.tracer then
+      Trace.emit t.tracer (Multicast { node = t.me; view_id = d.view_id; sn = id.Msg_id.sn });
     send_to_others t (Wdata d);
-    accept t d;
+    accept t ~site:Trace.At_multicast d;
     Ok d
   end
 
@@ -223,6 +291,9 @@ let handle_init t ~src ~leave =
           (List.length leave));
     if src <> t.me then send_to_others t (Winit { view_id = t.cv.View.id; leave });
     t.blocked <- true;
+    t.blocked_since <- t.clock ();
+    if Trace.enabled t.tracer then
+      Trace.emit t.tracer (Block { node = t.me; view_id = t.cv.View.id });
     let vc = vc_state t in
     vc.leave <- List.filter (fun p -> View.mem p t.cv) leave;
     let pred = local_pred t in
@@ -287,9 +358,9 @@ let handle_data t (d : 'p data) =
         (* Already obsolete on arrival: account it as accepted (for
            FIFO floors) but never enqueue it. *)
         raise_floor t d.id;
-        t.purged <- t.purged + 1
+        note_purged t ~site:Trace.At_receive d
       end
-      else accept t d
+      else accept t ~site:Trace.At_receive d
     end
 
 let rec receive t ~src wire =
@@ -319,6 +390,8 @@ and replay_stash t =
 
 and decided t ~view_id (p : 'p proposal) =
   if (not t.dead) && view_id = t.cv.View.id then begin
+    if Trace.enabled t.tracer then
+      Trace.emit t.tracer (ConsensusDecide { node = t.me; view_id });
     if View.mem t.me p.next_view then begin
       (* Inject agreed predecessors this process never accepted. The
          floor check both deduplicates and preserves per-sender FIFO:
@@ -327,16 +400,29 @@ and decided t ~view_id (p : 'p proposal) =
       List.iter
         (fun (d : 'p data) ->
           if d.view_id = t.cv.View.id && d.id.Msg_id.sn > floor_of t d.id.Msg_id.sender
-          then accept t d)
+          then accept t ~site:Trace.At_install d)
         p.pred;
       Log.info (fun m ->
           m "p%d: installing %a (injected pred, %d purged so far)" t.me View.pp p.next_view
-            t.purged);
+            (purged_count t));
       Dq.push_back t.to_deliver (Eview p.next_view);
       t.cv <- p.next_view;
+      if t.blocked then begin
+        Metrics.Histogram.observe t.blocked_spans (t.clock () -. t.blocked_since);
+        if Trace.enabled t.tracer then
+          Trace.emit t.tracer (Unblock { node = t.me; view_id = p.next_view.View.id })
+      end;
       t.blocked <- false;
       t.vc <- None;
       t.delivered_this_view <- [];
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer
+          (ViewInstall
+             {
+               node = t.me;
+               view_id = p.next_view.View.id;
+               members = p.next_view.View.members;
+             });
       emit t (Installed p.next_view);
       replay_stash t
     end
@@ -360,5 +446,6 @@ let deliver t =
   | None -> None
   | Some (Eview v) -> Some (View_change v)
   | Some (Edata d) ->
+      set_queued t (t.queued_data - 1);
       if d.view_id = t.cv.View.id then t.delivered_this_view <- d :: t.delivered_this_view;
       Some (Data d)

@@ -29,11 +29,25 @@ val create :
   me:int ->
   initial_view:View.t ->
   ?semantic:bool ->
+  ?tracer:Svs_telemetry.Trace.t ->
+  ?metrics:Svs_telemetry.Metrics.t ->
+  ?clock:(unit -> float) ->
   suspects:(int -> bool) ->
   unit ->
   'p t
 (** [semantic] defaults to [true]. [suspects] is the failure-detector
-    query used by the t7 guard. *)
+    query used by the t7 guard.
+
+    Telemetry: [tracer] (default {!Svs_telemetry.Trace.nop}) receives
+    the protocol's trace events — [Multicast], one [Purge] per purged
+    message, [Block]/[Unblock], [ConsensusDecide], [ViewInstall]. When
+    [metrics] is given, the process registers [svs_purged_total]
+    (labelled [node] and [site] = [multicast]/[receive]/[install]), the
+    [svs_buffer_occupancy] gauge, and the [svs_blocked_seconds] span
+    histogram, all with O(1) hot-path updates; without it the same
+    instruments exist detached, so instrumentation costs the same
+    either way. [clock] (default constant [0.]) stamps blocked spans —
+    pass virtual or wall time to match the embedding. *)
 
 val me : 'p t -> int
 
@@ -50,7 +64,16 @@ val to_deliver_length : 'p t -> int
 (** Data messages queued for the application (excludes view markers). *)
 
 val purged_count : 'p t -> int
-(** Total messages purged as obsolete since creation. *)
+(** Total messages purged as obsolete since creation (the sum of
+    {!purged_at} over the three sites). *)
+
+val purged_at : 'p t -> Svs_telemetry.Trace.site -> int
+(** Messages purged at one of Figure 1's three purge sites: on local
+    multicast, on reception, or on view installation. *)
+
+val blocked_spans : 'p t -> Svs_telemetry.Metrics.Histogram.t
+(** Durations (per {!create}'s [clock]) of completed blocked periods,
+    from the first [INIT] to the next installation. *)
 
 val multicast :
   'p t -> ?ann:Svs_obs.Annotation.t -> 'p -> ('p Types.data, [ `Blocked | `Not_member ]) result

@@ -2,6 +2,7 @@ module Dq = Svs_core.Dq
 module Stream = Svs_workload.Stream
 module Annotation = Svs_obs.Annotation
 module Timeline = Svs_stats.Timeline
+module Metrics = Svs_telemetry.Metrics
 
 type mode = Reliable | Semantic
 
@@ -44,7 +45,7 @@ let insert ~mode buffer (m : Stream.message) =
   Dq.push_back buffer m;
   purged
 
-let run ~messages config =
+let run ?metrics ~messages config =
   if config.buffer <= 0 then invalid_arg "Pipeline.run: buffer must be positive";
   if config.consumer_rate <= 0.0 then invalid_arg "Pipeline.run: consumer rate must be positive";
   let n = Array.length messages in
@@ -53,14 +54,31 @@ let run ~messages config =
   let occupancy = Timeline.create () in
   let lag = ref 0.0 in
   let blocked_time = ref 0.0 in
-  let purged = ref 0 in
-  let delivered = ref 0 in
+  (* The run's tallies are registry instruments; with no registry they
+     are detached cells — same O(1) updates either way. Counters only
+     grow, so the result record reports deltas from the baselines. *)
+  let labels = [ ("mode", mode_label config.mode) ] in
+  let c_purged, c_delivered, g_occupancy =
+    match metrics with
+    | None ->
+        (Metrics.Counter.detached (), Metrics.Counter.detached (), Metrics.Gauge.detached ())
+    | Some reg ->
+        ( Metrics.counter reg ~labels "pipeline_purged_total",
+          Metrics.counter reg ~labels "pipeline_delivered_total",
+          Metrics.gauge reg ~labels "pipeline_buffer_occupancy" )
+  in
+  let purged0 = Metrics.Counter.value c_purged in
+  let delivered0 = Metrics.Counter.value c_delivered in
   let consumer_free = ref 0.0 in
   let last_time = ref 0.0 in
-  let note_occupancy time = Timeline.set occupancy ~time (float_of_int (Dq.length buffer)) in
+  let note_occupancy time =
+    let depth = float_of_int (Dq.length buffer) in
+    Metrics.Gauge.set g_occupancy depth;
+    Timeline.set occupancy ~time depth
+  in
   let consume time =
     ignore (Dq.pop_front buffer);
-    incr delivered;
+    Metrics.Counter.incr c_delivered;
     consumer_free := time +. service;
     note_occupancy time;
     last_time := time
@@ -83,12 +101,12 @@ let run ~messages config =
         blocked_time := !blocked_time +. (resume -. next_emit);
         lag := !lag +. (resume -. next_emit);
         consume resume;
-        purged := !purged + insert ~mode:config.mode buffer m;
+        Metrics.Counter.add c_purged (insert ~mode:config.mode buffer m);
         note_occupancy resume;
         incr i
       end
       else begin
-        purged := !purged + insert ~mode:config.mode buffer m;
+        Metrics.Counter.add c_purged (insert ~mode:config.mode buffer m);
         (* An idle consumer starts on the new head immediately. *)
         if !consumer_free < next_emit then consumer_free := next_emit +. service;
         note_occupancy next_emit;
@@ -102,8 +120,8 @@ let run ~messages config =
   {
     duration;
     produced = n;
-    delivered = !delivered;
-    purged = !purged;
+    delivered = Metrics.Counter.value c_delivered - delivered0;
+    purged = Metrics.Counter.value c_purged - purged0;
     blocked_time = !blocked_time;
     blocked_fraction = (if duration > 0.0 then !blocked_time /. duration else 0.0);
     mean_occupancy = Timeline.mean occupancy;

@@ -31,9 +31,18 @@ type result = {
   max_occupancy : int;
 }
 
-val run : messages:Svs_workload.Stream.message array -> config -> result
+val run :
+  ?metrics:Svs_telemetry.Metrics.t ->
+  messages:Svs_workload.Stream.message array ->
+  config ->
+  result
 (** Replay the whole stream (its embedded timestamps give the offered
-    load and burstiness). *)
+    load and burstiness). When [metrics] is given, the run's tallies
+    are registered instruments — [pipeline_purged_total],
+    [pipeline_delivered_total] (counters, accumulated across runs on
+    the same registry; the returned {!result} still reports this run
+    alone) and [pipeline_buffer_occupancy] (gauge) — labelled by
+    mode. *)
 
 val threshold :
   messages:Svs_workload.Stream.message array ->

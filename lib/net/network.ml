@@ -1,4 +1,11 @@
 module Engine = Svs_sim.Engine
+module Metrics = Svs_telemetry.Metrics
+
+type probe = {
+  m_sent : Metrics.Counter.t;
+  m_delivered : Metrics.Counter.t;
+  m_bytes : Metrics.Counter.t;
+}
 
 type 'msg link = {
   mutable last_arrival : float;
@@ -27,6 +34,7 @@ type 'msg t = {
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
+  mutable probe : probe option;
 }
 
 let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?sizer () =
@@ -46,9 +54,23 @@ let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?size
     sent = 0;
     delivered = 0;
     bytes = 0;
+    probe = None;
   }
 
 let engine t = t.engine
+
+let attach_metrics t reg =
+  t.probe <-
+    Some
+      {
+        m_sent = Metrics.counter reg "net_messages_sent_total";
+        m_delivered = Metrics.counter reg "net_messages_delivered_total";
+        m_bytes = Metrics.counter reg "net_bytes_sent_total";
+      }
+
+let note_delivered t =
+  t.delivered <- t.delivered + 1;
+  match t.probe with None -> () | Some p -> Metrics.Counter.incr p.m_delivered
 
 let size t = Array.length t.nodes
 
@@ -65,7 +87,7 @@ let handle t ~dst ~src msg =
   if n.alive then
     if n.paused then Queue.add (src, msg) n.inbox
     else begin
-      t.delivered <- t.delivered + 1;
+      note_delivered t;
       match n.handler with
       | Some f -> f ~src msg
       | None -> ()
@@ -76,16 +98,20 @@ let schedule_arrival t ~src ~dst msg =
   let now = Engine.now t.engine in
   (* Serialise onto the link first (when bandwidth is modelled), then
      propagate. *)
+  let count_bytes bytes =
+    t.bytes <- t.bytes + bytes;
+    match t.probe with None -> () | Some p -> Metrics.Counter.add p.m_bytes bytes
+  in
   let departure =
     match t.sizer with
     | Some size when t.bandwidth < infinity ->
         let bytes = size msg in
-        t.bytes <- t.bytes + bytes;
+        count_bytes bytes;
         let d = Float.max now link.busy_until +. (float_of_int bytes /. t.bandwidth) in
         link.busy_until <- d;
         d
     | Some size ->
-        t.bytes <- t.bytes + size msg;
+        count_bytes (size msg);
         now
     | None -> now
   in
@@ -102,6 +128,7 @@ let send t ~src ~dst msg =
   check_node t dst;
   if t.nodes.(src).alive && t.nodes.(dst).alive then begin
     t.sent <- t.sent + 1;
+    (match t.probe with None -> () | Some p -> Metrics.Counter.incr p.m_sent);
     let link = t.links.(src).(dst) in
     if link.partitioned then Queue.add msg link.held
     else schedule_arrival t ~src ~dst msg
@@ -135,7 +162,7 @@ let resume_receive t ~node =
   let rec drain () =
     if (not n.paused) && n.alive && not (Queue.is_empty n.inbox) then begin
       let src, msg = Queue.pop n.inbox in
-      t.delivered <- t.delivered + 1;
+      note_delivered t;
       (match n.handler with Some f -> f ~src msg | None -> ());
       drain ()
     end

@@ -33,6 +33,11 @@ val create :
 
 val engine : 'msg t -> Svs_sim.Engine.t
 
+val attach_metrics : 'msg t -> Svs_telemetry.Metrics.t -> unit
+(** Register the network's instruments: [net_messages_sent_total],
+    [net_messages_delivered_total], [net_bytes_sent_total] (the last
+    counts sized bytes, like {!bytes_sent}). *)
+
 val size : 'msg t -> int
 
 val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit

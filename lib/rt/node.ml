@@ -6,6 +6,9 @@ module Types = Svs_core.Types
 module View = Svs_core.View
 module Wire_codec = Svs_core.Wire_codec
 module Codec = Svs_codec.Codec
+module Metrics = Svs_telemetry.Metrics
+module Trace = Svs_telemetry.Trace
+module Msg_id = Svs_obs.Msg_id
 
 let src = Logs.Src.create "svs.rt" ~doc:"SVS real-time node"
 
@@ -15,10 +18,18 @@ type config = {
   semantic : bool;
   heartbeat : Heartbeat.config;
   stability_period : float option;
+  tracer : Trace.t;
+  metrics : Metrics.t option;
 }
 
 let default_config =
-  { semantic = true; heartbeat = Heartbeat.default_config; stability_period = Some 1.0 }
+  {
+    semantic = true;
+    heartbeat = Heartbeat.default_config;
+    stability_period = Some 1.0;
+    tracer = Trace.nop;
+    metrics = None;
+  }
 
 (* Packets on the mesh: protocol wire messages, consensus messages for
    a view-change instance, heartbeats. *)
@@ -60,6 +71,14 @@ type 'p t = {
   cons_stash : (int, (int * 'p Types.proposal Ct.msg) list ref) Hashtbl.t;
   on_deliverable : unit -> unit;
   mutable stopped : bool;
+  tracer : Trace.t;
+  suspicions : Metrics.Counter.t;
+  delivery_latency : Metrics.Histogram.t;
+  (* Wall-clock arrival time of each message accepted but not yet
+     delivered, keyed by id; entries of view [v] are swept when the
+     View_change for a later view is delivered (by then every view-[v]
+     message that will ever be delivered has been). *)
+  arrivals : (Msg_id.t, int * float) Hashtbl.t;
 }
 
 let id t = t.me
@@ -71,7 +90,21 @@ let is_member t =
 
 let purged t = Protocol.purged_count t.proto
 
+let purged_at t site = Protocol.purged_at t.proto site
+
+let bytes_out t = Tcp_mesh.bytes_out t.mesh
+
+let bytes_in t = Tcp_mesh.bytes_in t.mesh
+
+let suspicions t = Metrics.Counter.value t.suspicions
+
+let delivery_latency t = t.delivery_latency
+
 let pending_to t ~dst = Tcp_mesh.pending_bytes t.mesh ~dst
+
+let note_arrival t (d : 'p Types.data) =
+  if not (Hashtbl.mem t.arrivals d.Types.id) then
+    Hashtbl.replace t.arrivals d.Types.id (d.Types.view_id, Loop.now t.loop)
 
 let send_packet t ~dst packet =
   let w = Codec.Writer.create () in
@@ -126,6 +159,7 @@ let on_packet t ~src packet =
     match packet with
     | Beat -> Heartbeat.on_heartbeat t.hb ~src
     | Proto wire ->
+        (match wire with Types.Wdata d -> note_arrival t d | _ -> ());
         Protocol.receive t.proto ~src wire;
         drain t
     | Cons { view_id; msg } -> (
@@ -150,11 +184,31 @@ let multicast t ?ann payload =
   if t.stopped then Error `Not_member
   else begin
     let result = Protocol.multicast t.proto ?ann payload in
+    (match result with Ok d -> note_arrival t d | Error _ -> ());
     drain t;
     result
   end
 
-let deliver t = if t.stopped then None else Protocol.deliver t.proto
+let deliver t =
+  if t.stopped then None
+  else
+    match Protocol.deliver t.proto with
+    | None -> None
+    | Some (Types.Data d) as r ->
+        (match Hashtbl.find_opt t.arrivals d.Types.id with
+        | Some (_, at) ->
+            Metrics.Histogram.observe t.delivery_latency (Loop.now t.loop -. at);
+            Hashtbl.remove t.arrivals d.Types.id
+        | None -> ());
+        r
+    | Some (Types.View_change v) as r ->
+        (* Sweep timestamps of messages that can no longer be
+           delivered (purged or stale entries of finished views). *)
+        Hashtbl.filter_map_inplace
+          (fun _ ((view_id, _) as entry) ->
+            if view_id < v.View.id then None else Some entry)
+          t.arrivals;
+        r
 
 let deliver_all t =
   let rec go acc = match deliver t with None -> List.rev acc | Some d -> go (d :: acc) in
@@ -168,6 +222,12 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
   if not (List.mem me members) then invalid_arg "Node.create: me must be a peer";
   let engine = Engine.create ~seed:me () in
   let started_at = Loop.now loop in
+  (* Trace events carry wall-clock timestamps in the runtime. *)
+  Trace.set_clock config.tracer (fun () -> Loop.now loop);
+  (match config.metrics with
+  | None -> ()
+  | Some reg -> Engine.attach_metrics engine reg);
+  let node_label = [ ("node", string_of_int me) ] in
   let t_ref = ref None in
   let mesh =
     Tcp_mesh.create loop ~me ~listen_fd ~peers
@@ -179,13 +239,14 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
             | packet -> on_packet t ~src packet
             | exception (Codec.Truncated | Codec.Malformed _) ->
                 Log.warn (fun m -> m "node %d: malformed frame from %d" me src)))
-      ()
+      ~tracer:config.tracer ?metrics:config.metrics ()
   in
   let hb_ref = ref None in
   let proto =
     Protocol.create ~me
       ~initial_view:(View.initial ~members)
-      ~semantic:config.semantic
+      ~semantic:config.semantic ~tracer:config.tracer ?metrics:config.metrics
+      ~clock:(fun () -> Loop.now loop)
       ~suspects:(fun p -> match !hb_ref with Some hb -> Heartbeat.suspects hb p | None -> false)
       ()
   in
@@ -209,10 +270,24 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
       cons_stash = Hashtbl.create 7;
       on_deliverable;
       stopped = false;
+      tracer = config.tracer;
+      suspicions =
+        (match config.metrics with
+        | None -> Metrics.Counter.detached ()
+        | Some reg -> Metrics.counter reg ~labels:node_label "rt_suspicions_total");
+      delivery_latency =
+        (match config.metrics with
+        | None -> Metrics.Histogram.detached ()
+        | Some reg -> Metrics.histogram reg ~labels:node_label "rt_delivery_latency_seconds");
+      arrivals = Hashtbl.create 64;
     }
   in
   t_ref := Some t;
-  Heartbeat.on_suspect hb (fun _ -> on_suspicion t);
+  Heartbeat.on_suspect hb (fun p ->
+      Metrics.Counter.incr t.suspicions;
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer (Trace.Suspect { node = t.me; suspect = p });
+      on_suspicion t);
   Heartbeat.on_rescind hb (fun _ -> on_suspicion t);
   (* Advance the automata's virtual clock to wall time. *)
   ignore

@@ -18,11 +18,20 @@ type config = {
   semantic : bool;
   heartbeat : Svs_detector.Heartbeat.config;
   stability_period : float option;
+  tracer : Svs_telemetry.Trace.t;
+      (** Receives the node's trace events stamped with wall-clock
+          time (the node re-points the tracer's clock at the loop). *)
+  metrics : Svs_telemetry.Metrics.t option;
+      (** When set, registers the node's instruments: the protocol's
+          purge/occupancy/blocked set, the mesh byte counters,
+          [rt_suspicions_total] and [rt_delivery_latency_seconds]
+          (wall-clock seconds from acceptance to application
+          delivery), labelled by node. *)
 }
 
 val default_config : config
 (** Semantic purging on, 100 ms heartbeats (350 ms initial timeout),
-    stability gossip every second. *)
+    stability gossip every second, telemetry off. *)
 
 val create :
   Loop.t ->
@@ -60,6 +69,22 @@ val multicast :
   ('p Svs_core.Types.data, [ `Blocked | `Not_member ]) result
 
 val purged : 'p t -> int
+
+val purged_at : 'p t -> Svs_telemetry.Trace.site -> int
+(** {!purged}, split by purge site. *)
+
+val bytes_out : 'p t -> int
+(** Bytes written to the TCP mesh so far. *)
+
+val bytes_in : 'p t -> int
+(** Bytes read from the TCP mesh so far. *)
+
+val suspicions : 'p t -> int
+(** Heartbeat-timeout suspicions raised so far. *)
+
+val delivery_latency : 'p t -> Svs_telemetry.Metrics.Histogram.t
+(** Wall-clock seconds from message acceptance to application
+    delivery at this node. *)
 
 val pending_to : 'p t -> dst:int -> int
 (** Outbound bytes buffered towards a peer (sender-side buffer). *)

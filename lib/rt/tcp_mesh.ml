@@ -1,3 +1,6 @@
+module Metrics = Svs_telemetry.Metrics
+module Trace = Svs_telemetry.Trace
+
 let frame_header_bytes = 4
 
 type outgoing = {
@@ -12,6 +15,7 @@ type outgoing = {
          reliability. Crash-stop semantics apply instead: the peer is
          written off (heartbeats stop, suspicion and the view change
          machinery take over). *)
+  mutable dial_failed : bool; (* at least one failed dial so far *)
   out : Buffer.t; (* bytes not yet written to the kernel *)
 }
 
@@ -29,6 +33,10 @@ type t = {
   mutable incoming : incoming list;
   on_frame : src:int -> string -> unit;
   mutable closed : bool;
+  tracer : Trace.t;
+  c_bytes_out : Metrics.Counter.t;
+  c_bytes_in : Metrics.Counter.t;
+  c_reconnects : Metrics.Counter.t;
 }
 
 let listener addr =
@@ -49,7 +57,7 @@ let encode_frame payload =
   Bytes.to_string header ^ payload
 
 (* Push as much of the pending output as the kernel will take. *)
-let flush_outgoing (out : outgoing) =
+let flush_outgoing t (out : outgoing) =
   match out.fd with
   | None -> ()
   | Some fd ->
@@ -58,6 +66,7 @@ let flush_outgoing (out : outgoing) =
       if len > 0 then begin
         match Unix.write_substring fd data 0 len with
         | written ->
+            Metrics.Counter.add t.c_bytes_out written;
             Buffer.clear out.out;
             if written < len then Buffer.add_substring out.out data written (len - written)
         | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
@@ -77,15 +86,24 @@ let try_dial t (out : outgoing) =
     | () ->
         Unix.set_nonblock fd;
         out.fd <- Some fd;
+        (* A link that comes up after failed attempts: the peer was
+           unreachable at first and is now connected. *)
+        if out.dial_failed then begin
+          out.dial_failed <- false;
+          Metrics.Counter.incr t.c_reconnects;
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer (Trace.TcpReconnect { node = t.me; peer = out.dst })
+        end;
         (* Hello frame first, then any queued traffic. *)
         let hello = encode_frame (string_of_int t.me) in
         let pending = Buffer.contents out.out in
         Buffer.clear out.out;
         Buffer.add_string out.out hello;
         Buffer.add_string out.out pending;
-        flush_outgoing out
-    | exception Unix.Unix_error (_, _, _) -> (
-        try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        flush_outgoing t out
+    | exception Unix.Unix_error (_, _, _) ->
+        out.dial_failed <- true;
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
   end
 
 (* Split complete frames out of an incoming byte buffer. *)
@@ -121,6 +139,7 @@ let on_readable_incoming t inc () =
   match Unix.read inc.fd chunk 0 (Bytes.length chunk) with
   | 0 -> drop_incoming t inc
   | read ->
+      Metrics.Counter.add t.c_bytes_in read;
       Buffer.add_subbytes inc.buf chunk 0 read;
       drain_frames t inc
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
@@ -136,16 +155,40 @@ let on_accept t () =
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
   | exception Unix.Unix_error (_, _, _) -> ()
 
-let create loop ~me ~listen_fd ~peers ~on_frame () =
+let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics () =
   Unix.set_nonblock listen_fd;
   let outgoing =
     List.filter_map
       (fun (dst, addr) ->
         if dst = me then None
-        else Some (dst, { dst; addr; fd = None; broken = false; out = Buffer.create 4096 }))
+        else
+          Some
+            ( dst,
+              { dst; addr; fd = None; broken = false; dial_failed = false; out = Buffer.create 4096 }
+            ))
       peers
   in
-  let t = { loop; me; listen_fd; outgoing; incoming = []; on_frame; closed = false } in
+  let labels = [ ("node", string_of_int me) ] in
+  let counter name =
+    match metrics with
+    | None -> Metrics.Counter.detached ()
+    | Some reg -> Metrics.counter reg ~labels name
+  in
+  let t =
+    {
+      loop;
+      me;
+      listen_fd;
+      outgoing;
+      incoming = [];
+      on_frame;
+      closed = false;
+      tracer;
+      c_bytes_out = counter "tcp_bytes_out_total";
+      c_bytes_in = counter "tcp_bytes_in_total";
+      c_reconnects = counter "tcp_reconnects_total";
+    }
+  in
   Loop.on_readable loop listen_fd (on_accept t);
   List.iter (fun (_, out) -> try_dial t out) outgoing;
   ignore
@@ -153,7 +196,7 @@ let create loop ~me ~listen_fd ~peers ~on_frame () =
          if not t.closed then
            List.iter
              (fun (_, (out : outgoing)) ->
-               if out.fd = None then try_dial t out else flush_outgoing out)
+               if out.fd = None then try_dial t out else flush_outgoing t out)
              t.outgoing;
          not t.closed)
       : Loop.timer);
@@ -166,7 +209,13 @@ let send t ~dst payload =
     | Some (out : outgoing) ->
         Buffer.add_string out.out (encode_frame payload);
         if out.fd = None then try_dial t out;
-        flush_outgoing out
+        flush_outgoing t out
+
+let bytes_out t = Metrics.Counter.value t.c_bytes_out
+
+let bytes_in t = Metrics.Counter.value t.c_bytes_in
+
+let reconnects t = Metrics.Counter.value t.c_reconnects
 
 let connected t =
   List.filter_map

@@ -23,10 +23,16 @@ val create :
   listen_fd:Unix.file_descr ->
   peers:(int * Unix.sockaddr) list ->
   on_frame:(src:int -> string -> unit) ->
+  ?tracer:Svs_telemetry.Trace.t ->
+  ?metrics:Svs_telemetry.Metrics.t ->
   unit ->
   t
 (** Starts accepting and dialing immediately; dials are retried in the
-    background until they succeed. *)
+    background until they succeed. [tracer] receives a [TcpReconnect]
+    event whenever an outgoing link comes up after at least one failed
+    dial; [metrics] registers [tcp_bytes_out_total],
+    [tcp_bytes_in_total] and [tcp_reconnects_total], labelled by
+    node. *)
 
 val send : t -> dst:int -> string -> unit
 (** Queue a frame for [dst]; buffered until the connection is up.
@@ -44,6 +50,15 @@ val connected : t -> int list
 val pending_bytes : t -> dst:int -> int
 (** Outbound bytes not yet handed to the kernel (the sender-side
     buffer of the paper's model). *)
+
+val bytes_out : t -> int
+(** Bytes actually written to the kernel so far (all peers). *)
+
+val bytes_in : t -> int
+(** Bytes read from all incoming connections so far. *)
+
+val reconnects : t -> int
+(** Outgoing links that came up after at least one failed dial. *)
 
 val close : t -> unit
 (** Close every socket (the process "crashes" from the peers' point of

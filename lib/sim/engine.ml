@@ -7,12 +7,20 @@ type event = {
 
 type handle = event
 
+module Metrics = Svs_telemetry.Metrics
+
+type probe = {
+  events : Metrics.Counter.t;
+  depth : Metrics.Gauge.t;
+}
+
 type t = {
   queue : event Heap.t;
   root_rng : Rng.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
+  mutable probe : probe option;
 }
 
 let event_leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq)
@@ -24,9 +32,16 @@ let create ?(seed = 42) () =
     clock = 0.0;
     next_seq = 0;
     executed = 0;
+    probe = None;
   }
 
 let now t = t.clock
+
+let clock t () = t.clock
+
+let attach_metrics t reg =
+  t.probe <-
+    Some { events = Metrics.counter reg "sim_events_total"; depth = Metrics.gauge reg "sim_queue_depth" }
 
 let rng t = t.root_rng
 
@@ -61,6 +76,11 @@ let step t =
         else begin
           t.clock <- ev.time;
           t.executed <- t.executed + 1;
+          (match t.probe with
+          | None -> ()
+          | Some p ->
+              Metrics.Counter.incr p.events;
+              Metrics.Gauge.set p.depth (float_of_int (Heap.length t.queue)));
           ev.action ();
           true
         end

@@ -17,6 +17,16 @@ val create : ?seed:int -> unit -> t
 val now : t -> float
 (** Current virtual time, in seconds. *)
 
+val clock : t -> unit -> float
+(** [clock t] is a closure reading {!now} — the virtual-time hook to
+    plug into telemetry ({!Svs_telemetry.Trace.set_clock}) so simulated
+    runs stamp trace events with virtual time. *)
+
+val attach_metrics : t -> Svs_telemetry.Metrics.t -> unit
+(** Register the engine's instruments in [reg]: [sim_events_total]
+    (events executed) and the [sim_queue_depth] gauge, both updated per
+    executed event. *)
+
 val rng : t -> Rng.t
 (** The engine's root random stream. *)
 

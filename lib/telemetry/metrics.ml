@@ -1,0 +1,183 @@
+type labels = (string * string) list
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let detached () = { v = 0 }
+
+  let incr t = t.v <- t.v + 1
+
+  let add t n =
+    if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
+    t.v <- t.v + n
+
+  let value t = t.v
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let detached () = { v = 0.0 }
+
+  let set t v = t.v <- v
+
+  let add t d = t.v <- t.v +. d
+
+  let value t = t.v
+end
+
+module Histogram = struct
+  (* Four sub-buckets per power of two: a value m * 2^e (m in [0.5, 1))
+     lands in bucket (e + exp_offset) * 4 + floor((2m - 1) * 4). The
+     exponent is clamped to [-32, 31]; bucket 0 doubles as the
+     underflow bucket for non-positive values. *)
+  let exp_offset = 32
+
+  let n_buckets = 4 * 2 * exp_offset
+
+  type t = {
+    buckets : int array;
+    mutable total : int;
+    mutable sum : float;
+    mutable max : float;
+  }
+
+  let detached () =
+    { buckets = Array.make n_buckets 0; total = 0; sum = 0.0; max = neg_infinity }
+
+  let bucket_index v =
+    if v <= 0.0 then 0
+    else begin
+      let m, e = Float.frexp v in
+      if e < -exp_offset then 0 (* underflow *)
+      else if e > exp_offset - 1 then n_buckets - 1 (* overflow *)
+      else begin
+        let sub = int_of_float ((m *. 2.0 -. 1.0) *. 4.0) in
+        let sub = if sub < 0 then 0 else if sub > 3 then 3 else sub in
+        ((e + exp_offset) * 4) + sub
+      end
+    end
+
+  (* Upper edge of bucket [i]: 2^(e-1) * (1 + (sub+1)/4). *)
+  let bucket_upper i =
+    let e = (i / 4) - exp_offset in
+    let sub = i mod 4 in
+    Float.ldexp (1.0 +. (float_of_int (sub + 1) /. 4.0)) (e - 1)
+
+  let observe t v =
+    let i = bucket_index v in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v;
+    if v > t.max then t.max <- v
+
+  let count t = t.total
+
+  let sum t = t.sum
+
+  let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
+
+  let max_value t = t.max
+
+  let quantile t q =
+    if t.total = 0 then invalid_arg "Metrics.Histogram.quantile: empty histogram";
+    if q < 0.0 || q > 1.0 then invalid_arg "Metrics.Histogram.quantile: q out of range";
+    let target = q *. float_of_int t.total in
+    let rec scan i acc =
+      if i >= n_buckets - 1 then t.max (* overflow bucket: edge is meaningless *)
+      else
+        let acc = acc + t.buckets.(i) in
+        if float_of_int acc >= target && acc > 0 then Float.min (bucket_upper i) t.max
+        else scan (i + 1) acc
+    in
+    scan 0 0
+end
+
+type value =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type instrument = { name : string; labels : labels; value : value }
+
+type t = {
+  index : (string * labels, instrument) Hashtbl.t;
+  mutable order : instrument list; (* reversed *)
+}
+
+let create () = { index = Hashtbl.create 32; order = [] }
+
+let normalise labels = List.sort compare labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t ?(labels = []) name fresh =
+  let labels = normalise labels in
+  match Hashtbl.find_opt t.index (name, labels) with
+  | Some inst -> inst
+  | None ->
+      let inst = { name; labels; value = fresh () } in
+      Hashtbl.replace t.index (name, labels) inst;
+      t.order <- inst :: t.order;
+      inst
+
+let mismatch name inst want =
+  invalid_arg
+    (Printf.sprintf "Metrics.%s: %s already registered as a %s" want name
+       (kind_name inst.value))
+
+let counter t ?labels name =
+  match register t ?labels name (fun () -> Counter (Counter.detached ())) with
+  | { value = Counter c; _ } -> c
+  | inst -> mismatch name inst "counter"
+
+let gauge t ?labels name =
+  match register t ?labels name (fun () -> Gauge (Gauge.detached ())) with
+  | { value = Gauge g; _ } -> g
+  | inst -> mismatch name inst "gauge"
+
+let histogram t ?labels name =
+  match register t ?labels name (fun () -> Histogram (Histogram.detached ())) with
+  | { value = Histogram h; _ } -> h
+  | inst -> mismatch name inst "histogram"
+
+let instruments t = List.rev t.order
+
+let counter_value t ?(labels = []) name =
+  match Hashtbl.find_opt t.index (name, normalise labels) with
+  | Some { value = Counter c; _ } -> Counter.value c
+  | Some _ | None -> 0
+
+let sum_counters t name =
+  Hashtbl.fold
+    (fun (n, _) inst acc ->
+      match inst.value with Counter c when n = name -> acc + Counter.value c | _ -> acc)
+    t.index 0
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           (fun ppf (k, v) -> Format.fprintf ppf "%s=%s" k v))
+        labels
+
+let pp_line ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    (fun ppf inst ->
+      match inst.value with
+      | Counter c -> Format.fprintf ppf "%s%a=%d" inst.name pp_labels inst.labels (Counter.value c)
+      | Gauge g -> Format.fprintf ppf "%s%a=%g" inst.name pp_labels inst.labels (Gauge.value g)
+      | Histogram h ->
+          if Histogram.count h = 0 then
+            Format.fprintf ppf "%s%a=0/-/-" inst.name pp_labels inst.labels
+          else
+            Format.fprintf ppf "%s%a=%d/%.3g/%.3g" inst.name pp_labels inst.labels
+              (Histogram.count h) (Histogram.mean h)
+              (Histogram.quantile h 0.99))
+    ppf (instruments t)

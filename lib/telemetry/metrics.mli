@@ -1,0 +1,114 @@
+(** Metrics registry: named counters, gauges, and log-scale histograms
+    with labelled instances.
+
+    Instruments are cheap mutable cells: the hot path holds the
+    instance directly and updates are O(1) stores (no hashing, no
+    allocation). The registry is only consulted at creation time — the
+    same (name, labels) pair always yields the same instance — and at
+    reporting time, when {!instruments} or {!pp_line} walk everything
+    registered.
+
+    Code that is instrumented unconditionally but not always monitored
+    uses {e detached} instruments: same type, same O(1) updates, not
+    listed by any registry. *)
+
+type labels = (string * string) list
+(** Label pairs, e.g. [[("node", "3"); ("site", "receive")]]. Order is
+    irrelevant: labels are sorted on registration. *)
+
+(** Monotonically increasing integer counter. *)
+module Counter : sig
+  type t
+
+  val detached : unit -> t
+  (** A counter not attached to any registry. *)
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** @raise Invalid_argument on a negative increment. *)
+
+  val value : t -> int
+end
+
+(** Instantaneous float value (buffer occupancy, queue depth, ...). *)
+module Gauge : sig
+  type t
+
+  val detached : unit -> t
+
+  val set : t -> float -> unit
+
+  val add : t -> float -> unit
+  (** [add g d] is [set g (value g +. d)]; [d] may be negative. *)
+
+  val value : t -> float
+end
+
+(** Log-scale histogram of non-negative float observations.
+
+    Buckets cover each power of two in four sub-buckets (at most 25%
+    relative resolution), so {!observe} is O(1) and quantile estimates
+    are within one sub-bucket of the truth. Values below 2{^-33} (or
+    non-positive) land in an underflow bucket; values of 2{^31} and
+    above land in an overflow bucket, for which {!quantile} reports
+    {!max_value}. *)
+module Histogram : sig
+  type t
+
+  val detached : unit -> t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val max_value : t -> float
+  (** Largest value observed ([neg_infinity] when empty). *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [0..1]: an upper bound on the [q]-th
+      quantile (the upper edge of the bucket holding it, clamped to
+      {!max_value}). @raise Invalid_argument when empty or [q] is out
+      of range. *)
+end
+
+type value =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type instrument = { name : string; labels : labels; value : value }
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> Counter.t
+(** Find-or-create: the first call registers the instrument, later
+    calls with the same name and labels return the same instance.
+    @raise Invalid_argument if the name+labels is already registered
+    with a different instrument kind. *)
+
+val gauge : t -> ?labels:labels -> string -> Gauge.t
+
+val histogram : t -> ?labels:labels -> string -> Histogram.t
+
+val instruments : t -> instrument list
+(** Everything registered, in registration order. *)
+
+val counter_value : t -> ?labels:labels -> string -> int
+(** Convenience read; 0 when the instrument does not exist. *)
+
+val sum_counters : t -> string -> int
+(** Sum of every registered counter with this name, across all label
+    sets (e.g. a per-site total). *)
+
+val pp_line : Format.formatter -> t -> unit
+(** One-line report: [name{k=v,...}=value] for every instrument, space
+    separated; histograms print [count/mean/p99]. *)

@@ -1,0 +1,270 @@
+type site = At_multicast | At_receive | At_install
+
+type event =
+  | Multicast of { node : int; view_id : int; sn : int }
+  | Purge of { node : int; view_id : int; at_step : site; sender : int; sn : int }
+  | ViewInstall of { node : int; view_id : int; members : int list }
+  | ConsensusDecide of { node : int; view_id : int }
+  | Suspect of { node : int; suspect : int }
+  | Block of { node : int; view_id : int }
+  | Unblock of { node : int; view_id : int }
+  | TcpReconnect of { node : int; peer : int }
+
+type record = { time : float; seq : int; event : event }
+
+type sink =
+  | Nop
+  | Memory of record Queue.t
+  | Jsonl of out_channel
+
+type t = {
+  sink : sink;
+  mutable clock : unit -> float;
+  mutable seq : int;
+}
+
+let zero_clock () = 0.0
+
+let nop = { sink = Nop; clock = zero_clock; seq = 0 }
+
+let memory ?(clock = zero_clock) () = { sink = Memory (Queue.create ()); clock; seq = 0 }
+
+let jsonl ?(clock = zero_clock) oc = { sink = Jsonl oc; clock; seq = 0 }
+
+let enabled t = match t.sink with Nop -> false | Memory _ | Jsonl _ -> true
+
+let now t = t.clock ()
+
+let set_clock t clock = match t.sink with Nop -> () | Memory _ | Jsonl _ -> t.clock <- clock
+
+let records t =
+  match t.sink with
+  | Memory q -> List.of_seq (Queue.to_seq q)
+  | Nop | Jsonl _ -> []
+
+let clear t = match t.sink with Memory q -> Queue.clear q | Nop | Jsonl _ -> ()
+
+let flush t = match t.sink with Jsonl oc -> Stdlib.flush oc | Nop | Memory _ -> ()
+
+let site_name = function
+  | At_multicast -> "multicast"
+  | At_receive -> "receive"
+  | At_install -> "install"
+
+let site_of_name = function
+  | "multicast" -> Some At_multicast
+  | "receive" -> Some At_receive
+  | "install" -> Some At_install
+  | _ -> None
+
+(* Shortest representation that still round-trips. *)
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let record_to_json { time; seq; event } =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "{\"t\":%s,\"seq\":%d,\"ev\":" (float_str time) seq);
+  let field name v = Buffer.add_string b (Printf.sprintf ",\"%s\":%d" name v) in
+  (match event with
+  | Multicast { node; view_id; sn } ->
+      Buffer.add_string b "\"multicast\"";
+      field "node" node;
+      field "view" view_id;
+      field "sn" sn
+  | Purge { node; view_id; at_step; sender; sn } ->
+      Buffer.add_string b "\"purge\"";
+      field "node" node;
+      field "view" view_id;
+      Buffer.add_string b (Printf.sprintf ",\"site\":\"%s\"" (site_name at_step));
+      field "sender" sender;
+      field "sn" sn
+  | ViewInstall { node; view_id; members } ->
+      Buffer.add_string b "\"view_install\"";
+      field "node" node;
+      field "view" view_id;
+      Buffer.add_string b ",\"members\":[";
+      List.iteri
+        (fun i p ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int p))
+        members;
+      Buffer.add_char b ']'
+  | ConsensusDecide { node; view_id } ->
+      Buffer.add_string b "\"consensus_decide\"";
+      field "node" node;
+      field "view" view_id
+  | Suspect { node; suspect } ->
+      Buffer.add_string b "\"suspect\"";
+      field "node" node;
+      field "suspect" suspect
+  | Block { node; view_id } ->
+      Buffer.add_string b "\"block\"";
+      field "node" node;
+      field "view" view_id
+  | Unblock { node; view_id } ->
+      Buffer.add_string b "\"unblock\"";
+      field "node" node;
+      field "view" view_id
+  | TcpReconnect { node; peer } ->
+      Buffer.add_string b "\"tcp_reconnect\"";
+      field "node" node;
+      field "peer" peer);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let emit t event =
+  match t.sink with
+  | Nop -> ()
+  | Memory q ->
+      let r = { time = t.clock (); seq = t.seq; event } in
+      t.seq <- t.seq + 1;
+      Queue.add r q
+  | Jsonl oc ->
+      let r = { time = t.clock (); seq = t.seq; event } in
+      t.seq <- t.seq + 1;
+      output_string oc (record_to_json r);
+      output_char oc '\n'
+
+(* --- Minimal JSON parser for the flat objects emitted above --- *)
+
+exception Bad
+
+type jv = Num of float | Str of string | Arr of int list
+
+let record_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise Bad else line.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise Bad;
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let start = !pos in
+    while peek () <> '"' do
+      if peek () = '\\' then raise Bad (* never emitted *);
+      advance ()
+    done;
+    let s = String.sub line start (!pos - start) in
+    advance ();
+    s
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && match line.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then raise Bad;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None -> raise Bad
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let continue = ref true in
+          while !continue do
+            items := int_of_float (parse_number ()) :: !items;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance ()
+            | ']' ->
+                advance ();
+                continue := false
+            | _ -> raise Bad
+          done;
+          Arr (List.rev !items)
+        end
+    | _ -> Num (parse_number ())
+  in
+  let parse_object () =
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else begin
+      let continue = ref true in
+      while !continue do
+        skip_ws ();
+        let key = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | ',' -> advance ()
+        | '}' ->
+            advance ();
+            continue := false
+        | _ -> raise Bad
+      done
+    end;
+    List.rev !fields
+  in
+  let build fields =
+    let num k = match List.assoc_opt k fields with Some (Num f) -> f | _ -> raise Bad in
+    let int k = int_of_float (num k) in
+    let str k = match List.assoc_opt k fields with Some (Str s) -> s | _ -> raise Bad in
+    let arr k = match List.assoc_opt k fields with Some (Arr l) -> l | _ -> raise Bad in
+    let event =
+      match str "ev" with
+      | "multicast" -> Multicast { node = int "node"; view_id = int "view"; sn = int "sn" }
+      | "purge" ->
+          let at_step = match site_of_name (str "site") with Some s -> s | None -> raise Bad in
+          Purge
+            { node = int "node"; view_id = int "view"; at_step; sender = int "sender"; sn = int "sn" }
+      | "view_install" ->
+          ViewInstall { node = int "node"; view_id = int "view"; members = arr "members" }
+      | "consensus_decide" -> ConsensusDecide { node = int "node"; view_id = int "view" }
+      | "suspect" -> Suspect { node = int "node"; suspect = int "suspect" }
+      | "block" -> Block { node = int "node"; view_id = int "view" }
+      | "unblock" -> Unblock { node = int "node"; view_id = int "view" }
+      | "tcp_reconnect" -> TcpReconnect { node = int "node"; peer = int "peer" }
+      | _ -> raise Bad
+    in
+    { time = num "t"; seq = int "seq"; event }
+  in
+  match build (parse_object ()) with r -> Some r | exception Bad -> None
+
+let pp_event ppf = function
+  | Multicast { node; view_id; sn } ->
+      Format.fprintf ppf "multicast(node=%d view=%d sn=%d)" node view_id sn
+  | Purge { node; view_id; at_step; sender; sn } ->
+      Format.fprintf ppf "purge(node=%d view=%d site=%s msg=%d:%d)" node view_id
+        (site_name at_step) sender sn
+  | ViewInstall { node; view_id; members } ->
+      Format.fprintf ppf "view_install(node=%d view=%d members={%a})" node view_id
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        members
+  | ConsensusDecide { node; view_id } ->
+      Format.fprintf ppf "consensus_decide(node=%d view=%d)" node view_id
+  | Suspect { node; suspect } -> Format.fprintf ppf "suspect(node=%d suspect=%d)" node suspect
+  | Block { node; view_id } -> Format.fprintf ppf "block(node=%d view=%d)" node view_id
+  | Unblock { node; view_id } -> Format.fprintf ppf "unblock(node=%d view=%d)" node view_id
+  | TcpReconnect { node; peer } ->
+      Format.fprintf ppf "tcp_reconnect(node=%d peer=%d)" node peer

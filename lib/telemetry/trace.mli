@@ -1,0 +1,77 @@
+(** Structured trace-event stream.
+
+    A tracer stamps typed protocol events with a timestamp (from a
+    pluggable clock: virtual time under the simulator, wall clock in
+    the runtime) and a sequence number, and fans them out to a sink:
+
+    - {!nop} — disabled; the shared default everywhere.
+    - {!memory} — captured in order, for tests and the experiments
+      pipeline ({!records}).
+    - {!jsonl} — line-delimited JSON on an [out_channel], for offline
+      analysis; {!record_of_json} parses it back.
+
+    The hot-path discipline is the {!Logs} one: guard every emission
+    with {!enabled} so that a disabled tracer costs one load and a
+    branch and never allocates the event:
+
+    {[ if Trace.enabled tr then Trace.emit tr (Purge { ... }) ]} *)
+
+type site = At_multicast | At_receive | At_install
+(** Where a purge happened: on local multicast (t2), on reception
+    (t3), or on view installation (injection of the agreed pred, t8). *)
+
+type event =
+  | Multicast of { node : int; view_id : int; sn : int }
+  | Purge of { node : int; view_id : int; at_step : site; sender : int; sn : int }
+      (** One event per purged message: [sender]/[sn] identify the
+          message dropped as obsolete. *)
+  | ViewInstall of { node : int; view_id : int; members : int list }
+  | ConsensusDecide of { node : int; view_id : int }
+  | Suspect of { node : int; suspect : int }
+  | Block of { node : int; view_id : int }
+  | Unblock of { node : int; view_id : int }
+  | TcpReconnect of { node : int; peer : int }
+      (** An outgoing link came up after at least one failed dial. *)
+
+type record = { time : float; seq : int; event : event }
+
+type t
+
+val nop : t
+(** The shared disabled tracer; {!enabled} is [false], {!emit} is a
+    no-op, {!set_clock} is ignored. *)
+
+val memory : ?clock:(unit -> float) -> unit -> t
+(** Clock defaults to a constant [0.]. *)
+
+val jsonl : ?clock:(unit -> float) -> out_channel -> t
+(** Writes one JSON object per event, newline-terminated. The channel
+    is flushed by {!flush}, not per event. *)
+
+val enabled : t -> bool
+
+val emit : t -> event -> unit
+
+val now : t -> float
+(** The tracer's current clock reading (0. for {!nop}). *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Re-point the clock, e.g. at {!Svs_sim.Engine.now} so simulated
+    runs stamp events with virtual time. *)
+
+val records : t -> record list
+(** Captured records, oldest first. Empty unless the sink is
+    {!memory}. *)
+
+val clear : t -> unit
+(** Drop captured records (memory sink only). *)
+
+val flush : t -> unit
+
+val record_to_json : record -> string
+(** One-line JSON, no trailing newline. *)
+
+val record_of_json : string -> record option
+(** Parses exactly the objects {!record_to_json} produces. *)
+
+val pp_event : Format.formatter -> event -> unit

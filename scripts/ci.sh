@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 CI entry point: build + full test suite, plus repo hygiene
+# guards. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Guard: build artifacts must never be committed (they were, once).
+if git ls-files | grep -q '^_build/'; then
+  echo "ci: _build/ is tracked by git — run 'git rm -r --cached _build'" >&2
+  exit 1
+fi
+
+dune build
+dune runtest
+
+echo "ci: OK"
