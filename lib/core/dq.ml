@@ -1,87 +1,195 @@
-type 'a t = {
-  mutable data : 'a option array;
-  mutable head : int; (* index of front element *)
-  mutable size : int;
+(* Ring buffer of boxed nodes. Boxing buys stable handles: an index
+   (Purge_index) can retain a node and tombstone it in O(1) without
+   shifting the ring, and compactions move node pointers, never nodes,
+   so handles survive growth and rebuilds. *)
+
+type 'a node = {
+  mutable v : 'a option; (* None once removed (tombstone) *)
+  seq : int;
 }
 
-let create () = { data = Array.make 16 None; head = 0; size = 0 }
+type 'a handle = 'a node
 
-let length t = t.size
+type 'a t = {
+  mutable data : 'a node option array;
+  mutable head : int; (* index of front slot *)
+  mutable slots : int; (* occupied slots: live nodes + tombstones *)
+  mutable live : int;
+  (* Queue order is ascending [seq]: front pushes count down from -1,
+     back pushes count up from 0, so a front seq is always below every
+     back seq and both sections stay sorted. *)
+  mutable front_seq : int;
+  mutable back_seq : int;
+}
 
-let is_empty t = t.size = 0
+let create () =
+  { data = Array.make 16 None; head = 0; slots = 0; live = 0; front_seq = -1; back_seq = 0 }
+
+let length t = t.live
+
+let is_empty t = t.live = 0
 
 let capacity t = Array.length t.data
 
 let index t i = (t.head + i) mod capacity t
 
+let handle_seq (n : 'a handle) = n.seq
+
+let handle_get (n : 'a handle) = n.v
+
+(* Rebuild the ring into a fresh array of [ncap] slots, dropping every
+   tombstone. Node records are reused, so handles stay valid. *)
+let rebuild t ncap =
+  let ndata = Array.make ncap None in
+  let j = ref 0 in
+  for i = 0 to t.slots - 1 do
+    match t.data.(index t i) with
+    | Some n when n.v <> None ->
+        ndata.(!j) <- Some n;
+        incr j
+    | Some _ | None -> ()
+  done;
+  t.data <- ndata;
+  t.head <- 0;
+  t.slots <- !j
+
 let grow t =
-  if t.size = capacity t then begin
-    let ncap = 2 * capacity t in
-    let ndata = Array.make ncap None in
-    for i = 0 to t.size - 1 do
-      ndata.(i) <- t.data.(index t i)
-    done;
-    t.data <- ndata;
-    t.head <- 0
-  end
+  if t.slots = capacity t then
+    (* Full of live nodes: double. Half-dead: compacting in place frees
+       enough slots, and the >= slots/2 tombstones paid for the pass. *)
+    if 2 * t.live > capacity t then rebuild t (2 * capacity t) else rebuild t (capacity t)
 
-let push_back t x =
+let push_back_h t x =
   grow t;
-  t.data.(index t t.size) <- Some x;
-  t.size <- t.size + 1
+  let n = { v = Some x; seq = t.back_seq } in
+  t.back_seq <- t.back_seq + 1;
+  t.data.(index t t.slots) <- Some n;
+  t.slots <- t.slots + 1;
+  t.live <- t.live + 1;
+  n
 
-let push_front t x =
+let push_back t x = ignore (push_back_h t x : 'a handle)
+
+let push_front_h t x =
   grow t;
+  let n = { v = Some x; seq = t.front_seq } in
+  t.front_seq <- t.front_seq - 1;
   t.head <- (t.head - 1 + capacity t) mod capacity t;
-  t.data.(t.head) <- Some x;
-  t.size <- t.size + 1
+  t.data.(t.head) <- Some n;
+  t.slots <- t.slots + 1;
+  t.live <- t.live + 1;
+  n
 
-let pop_front t =
-  if t.size = 0 then None
+let push_front t x = ignore (push_front_h t x : 'a handle)
+
+let remove t (n : 'a handle) =
+  match n.v with
+  | None -> false
+  | Some _ ->
+      n.v <- None;
+      t.live <- t.live - 1;
+      (* Keep tombstones a minority so traversals stay O(live). *)
+      if t.slots >= 32 && t.slots > 2 * t.live then rebuild t (capacity t);
+      true
+
+let rec pop_front t =
+  if t.slots = 0 then None
   else begin
-    let x = t.data.(t.head) in
+    let slot = t.data.(t.head) in
     t.data.(t.head) <- None;
     t.head <- index t 1;
-    t.size <- t.size - 1;
-    x
+    t.slots <- t.slots - 1;
+    match slot with
+    | Some n -> (
+        match n.v with
+        | Some x ->
+            n.v <- None;
+            t.live <- t.live - 1;
+            Some x
+        | None -> pop_front t)
+    | None -> assert false
   end
 
-let peek_front t = if t.size = 0 then None else t.data.(t.head)
+let rec peek_front t =
+  if t.slots = 0 then None
+  else
+    match t.data.(t.head) with
+    | Some n -> (
+        match n.v with
+        | Some _ as x -> x
+        | None ->
+            (* Shed the dead front slot; observably a no-op. *)
+            t.data.(t.head) <- None;
+            t.head <- index t 1;
+            t.slots <- t.slots - 1;
+            peek_front t)
+    | None -> assert false
 
 let get t i =
-  if i < 0 || i >= t.size then invalid_arg "Dq.get: index out of bounds";
-  match t.data.(index t i) with Some x -> x | None -> assert false
+  if i < 0 || i >= t.live then invalid_arg "Dq.get: index out of bounds";
+  let rec scan slot remaining =
+    match t.data.(index t slot) with
+    | Some n -> (
+        match n.v with
+        | Some x -> if remaining = 0 then x else scan (slot + 1) (remaining - 1)
+        | None -> scan (slot + 1) remaining)
+    | None -> assert false
+  in
+  scan 0 i
 
 let iter f t =
-  for i = 0 to t.size - 1 do
-    match t.data.(index t i) with Some x -> f x | None -> assert false
+  for i = 0 to t.slots - 1 do
+    match t.data.(index t i) with
+    | Some n -> ( match n.v with Some x -> f x | None -> ())
+    | None -> assert false
   done
 
 let exists p t =
-  let rec scan i = i < t.size && (p (get t i) || scan (i + 1)) in
+  let rec scan i =
+    i < t.slots
+    &&
+    match t.data.(index t i) with
+    | Some n -> ( match n.v with Some x -> p x || scan (i + 1) | None -> scan (i + 1))
+    | None -> assert false
+  in
   scan 0
 
 let filter_in_place p t =
-  let kept = ref 0 in
-  let old_size = t.size in
-  for i = 0 to old_size - 1 do
-    let x = get t i in
-    if p x then begin
-      if !kept <> i then t.data.(index t !kept) <- Some x;
-      incr kept
-    end
+  let removed = ref 0 in
+  for i = 0 to t.slots - 1 do
+    match t.data.(index t i) with
+    | Some n -> (
+        match n.v with
+        | Some x ->
+            if not (p x) then begin
+              n.v <- None;
+              incr removed
+            end
+        | None -> ())
+    | None -> assert false
   done;
-  for i = !kept to old_size - 1 do
-    t.data.(index t i) <- None
-  done;
-  t.size <- !kept;
-  old_size - !kept
+  t.live <- t.live - !removed;
+  (* The pass was O(slots) anyway: compact all tombstones now. *)
+  rebuild t (capacity t);
+  !removed
 
 let to_list t =
-  let rec build i acc = if i < 0 then acc else build (i - 1) (get t i :: acc) in
-  build (t.size - 1) []
+  let acc = ref [] in
+  for i = t.slots - 1 downto 0 do
+    match t.data.(index t i) with
+    | Some n -> ( match n.v with Some x -> acc := x :: !acc | None -> ())
+    | None -> assert false
+  done;
+  !acc
 
 let clear t =
-  t.data <- Array.make 16 None;
+  (* Detach every node first so stale handles read as removed, then
+     reuse the backing array — view changes must not throw away warmed
+     capacity. *)
+  for i = 0 to t.slots - 1 do
+    match t.data.(index t i) with Some n -> n.v <- None | None -> ()
+  done;
+  Array.fill t.data 0 (Array.length t.data) None;
   t.head <- 0;
-  t.size <- 0
+  t.slots <- 0;
+  t.live <- 0

@@ -1,9 +1,20 @@
-(** Resizable ring-buffer deque.
+(** Resizable ring-buffer deque with stable entry handles.
 
     Backs the protocol's [to-deliver] queue: O(1) amortised push/pop at
-    both ends plus in-place filtering, which is what [purge] needs. *)
+    both ends, plus O(1) removal by handle, which is what the indexed
+    purge needs. Removal tombstones the entry in place (no shifting);
+    traversals skip tombstones and compactions reclaim them lazily, so
+    every operation stays O(1) amortised and handles stay valid across
+    growth and compaction. *)
 
 type 'a t
+
+type 'a handle
+(** A stable reference to one pushed entry of one queue. Valid for
+    {!remove} until the entry leaves the queue (by {!remove},
+    {!pop_front}, {!filter_in_place} or {!clear}); after that the
+    handle reads as removed. Never pass a handle to a queue other than
+    the one that issued it. *)
 
 val create : unit -> 'a t
 
@@ -15,12 +26,29 @@ val push_back : 'a t -> 'a -> unit
 
 val push_front : 'a t -> 'a -> unit
 
+val push_back_h : 'a t -> 'a -> 'a handle
+
+val push_front_h : 'a t -> 'a -> 'a handle
+
+val remove : 'a t -> 'a handle -> bool
+(** O(1) amortised removal of the entry behind the handle, preserving
+    the order of the others. Returns [false] (and does nothing) if the
+    entry already left the queue. *)
+
+val handle_seq : 'a handle -> int
+(** Queue order is ascending [handle_seq] among entries alive at the
+    same time, so callers can sort removal batches front-to-back. *)
+
+val handle_get : 'a handle -> 'a option
+(** The entry's value, or [None] once it left the queue. *)
+
 val pop_front : 'a t -> 'a option
 
 val peek_front : 'a t -> 'a option
 
 val get : 'a t -> int -> 'a
-(** [get t i] is the i-th element from the front (0-based). *)
+(** [get t i] is the i-th element from the front (0-based). O(n): for
+    tests and debugging, not the hot path. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 (** Front to back. *)
@@ -34,3 +62,6 @@ val filter_in_place : ('a -> bool) -> 'a t -> int
 val to_list : 'a t -> 'a list
 
 val clear : 'a t -> unit
+(** Empties the queue, detaching outstanding handles. Reuses the
+    backing array: capacity warmed by past traffic survives view
+    changes. *)

@@ -200,13 +200,15 @@ let on_packet m ~src packet =
     match packet with
     | Beat -> ( match m.hb with Some hb -> Heartbeat.on_heartbeat hb ~src | None -> ())
     | Proto (Wdata d) ->
-        (* Note: the held-back backlog is deliberately NOT purged. A
+        (* Note: the held-back backlog is deliberately NOT purged (and
+           hence not covered by the protocol's purge indexes). A
            message purged here could lose its cover before either is
            accepted (the cover may be dropped as stale at the next view
            installation without ever entering any member's PRED set),
            violating FIFO semantic reliability. Purging is only safe in
-           the accepted sets — the delivery queue and the agreed pred —
-           where every cover is itself accounted for. *)
+           the accepted sets — the delivery queue, where Purge_index
+           tracks every queued message, and the agreed pred — where
+           every cover is itself accounted for. *)
         Queue.add (src, d) m.inbox;
         pump m
     | Proto wire ->

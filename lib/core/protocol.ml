@@ -1,5 +1,6 @@
 module Msg_id = Svs_obs.Msg_id
 module Annotation = Svs_obs.Annotation
+module Purge_index = Svs_obs.Purge_index
 module Metrics = Svs_telemetry.Metrics
 module Trace = Svs_telemetry.Trace
 open Types
@@ -31,6 +32,10 @@ type 'p t = {
   mutable dead : bool; (* excluded from the group *)
   mutable next_sn : int;
   to_deliver : 'p entry Dq.t;
+  (* Purge indexes over the queued Edata entries (semantic mode only):
+     inserting a message touches exactly the entries it can obsolete
+     instead of sweeping the queue. *)
+  pidx : 'p entry Dq.handle Purge_index.t;
   mutable delivered_this_view : 'p data list; (* reversed *)
   floors : (int, int) Hashtbl.t; (* sender -> highest accepted sn *)
   mutable vc : 'p vc_state option;
@@ -73,6 +78,7 @@ let create ~me ~initial_view ?(semantic = true) ?(tracer = Trace.nop) ?metrics
     dead = not (View.mem me initial_view);
     next_sn = 0;
     to_deliver = Dq.create ();
+    pidx = Purge_index.create ();
     delivered_this_view = [];
     floors = Hashtbl.create 16;
     vc = None;
@@ -124,18 +130,11 @@ let set_queued t n =
   Metrics.Gauge.set t.occupancy (float_of_int n)
 
 (* Account one message dropped as obsolete at [site]. *)
-let note_purged t ~site (m : 'p data) =
+let note_purged t ~site ~view_id (id : Msg_id.t) =
   Metrics.Counter.incr (purge_counter t site);
   if Trace.enabled t.tracer then
     Trace.emit t.tracer
-      (Purge
-         {
-           node = t.me;
-           view_id = m.view_id;
-           at_step = site;
-           sender = m.id.Msg_id.sender;
-           sn = m.id.Msg_id.sn;
-         })
+      (Purge { node = t.me; view_id; at_step = site; sender = id.Msg_id.sender; sn = id.Msg_id.sn })
 
 let emit t o = t.outputs <- o :: t.outputs
 
@@ -151,43 +150,44 @@ let raise_floor t (id : Msg_id.t) =
   if id.sn > floor_of t id.sender then Hashtbl.replace t.floors id.sender id.sn
 
 (* Incremental purge around a newly inserted message: with the queue
-   already purged, only pairs involving [fresh] can newly match. Both
-   directions are checked because enumeration annotations can relate
-   messages across senders in either queue order. *)
-let purge_around t ~site (fresh : 'p data) =
+   already purged, only pairs involving [fresh] can newly match, and
+   the indexes enumerate them directly — O(|predecessors|) probes
+   instead of two queue sweeps. Both directions are checked because
+   enumeration annotations can relate messages across senders in
+   either queue order. *)
+let purge_around t ~site (fresh : 'p data) fresh_handle =
   if t.semantic then begin
-    let drop_fresh = ref false in
-    Dq.iter
-      (function
-        | Eview _ -> ()
-        | Edata m ->
-            if
-              (not (Msg_id.equal m.id fresh.id))
-              && m.view_id = fresh.view_id
-              && obsoletes fresh m
-            then drop_fresh := true)
-      t.to_deliver;
-    let keep = function
-      | Eview _ -> true
-      | Edata m ->
-          let kept =
-            if Msg_id.equal m.id fresh.id then not !drop_fresh
-            else not (m.view_id = fresh.view_id && obsoletes m fresh)
-          in
-          if not kept then note_purged t ~site m;
-          kept
+    let victims, drop_fresh =
+      Purge_index.plan t.pidx ~view:fresh.view_id ~id:fresh.id ~ann:fresh.ann
     in
-    let removed = Dq.filter_in_place keep t.to_deliver in
-    if removed > 0 then set_queued t (t.queued_data - removed)
+    let removed = ref 0 in
+    List.iter
+      (fun (v : _ Purge_index.victim) ->
+        if Dq.remove t.to_deliver v.Purge_index.victim_handle then begin
+          Purge_index.remove t.pidx ~view:fresh.view_id ~id:v.Purge_index.victim_id
+            ~ann:v.Purge_index.victim_ann;
+          incr removed;
+          note_purged t ~site ~view_id:fresh.view_id v.Purge_index.victim_id
+        end)
+      victims;
+    if drop_fresh then begin
+      ignore (Dq.remove t.to_deliver fresh_handle : bool);
+      incr removed;
+      note_purged t ~site ~view_id:fresh.view_id fresh.id
+    end
+    else
+      Purge_index.add t.pidx ~view:fresh.view_id ~id:fresh.id ~ann:fresh.ann fresh_handle
+        ~seq:(Dq.handle_seq fresh_handle);
+    if !removed > 0 then set_queued t (t.queued_data - !removed)
   end
 
 (* Insert an accepted data message (t2 self-copy, t3 reception, or t7
    injection) and purge. *)
 let accept t ~site (d : 'p data) =
   raise_floor t d.id;
-  Dq.push_back t.to_deliver (Edata d);
+  let h = Dq.push_back_h t.to_deliver (Edata d) in
   set_queued t (t.queued_data + 1);
-  purge_around t ~site d
+  purge_around t ~site d h
 
 let stable_floor t sender =
   List.fold_left
@@ -202,11 +202,28 @@ let stable_floor t sender =
       Stdlib.min acc f)
     max_int t.cv.View.members
 
+(* Single pass: count removals while filtering, and resolve each
+   sender's stable floor (a fold over the membership) once instead of
+   per message. *)
 let trim_stable t =
-  let keep (d : 'p data) = d.id.Msg_id.sn > stable_floor t d.id.Msg_id.sender in
-  let before = List.length t.delivered_this_view in
-  t.delivered_this_view <- List.filter keep t.delivered_this_view;
-  t.trimmed <- t.trimmed + (before - List.length t.delivered_this_view)
+  let floors : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let floor_for sender =
+    match Hashtbl.find_opt floors sender with
+    | Some f -> f
+    | None ->
+        let f = stable_floor t sender in
+        Hashtbl.replace floors sender f;
+        f
+  in
+  let removed = ref 0 in
+  t.delivered_this_view <-
+    List.filter
+      (fun (d : 'p data) ->
+        let keep = d.id.Msg_id.sn > floor_for d.id.Msg_id.sender in
+        if not keep then incr removed;
+        keep)
+      t.delivered_this_view;
+  t.trimmed <- t.trimmed + !removed
 
 let stable_trimmed t = t.trimmed
 
@@ -347,18 +364,16 @@ let handle_data t (d : 'p data) =
     if d.id.Msg_id.sn <= floor_of t d.id.Msg_id.sender then ()
       (* duplicate (already accepted once) *)
     else begin
+      (* The reverse index answers the cover test without scanning the
+         queue: is some queued entry of this view newer than [d]? *)
       let covered =
-        Dq.exists
-          (function
-            | Eview _ -> false
-            | Edata m -> m.view_id = d.view_id && covers d m && not (Msg_id.equal m.id d.id))
-          t.to_deliver
+        t.semantic && Purge_index.obsoleted t.pidx ~view:d.view_id ~id:d.id ~ann:d.ann
       in
-      if covered && t.semantic then begin
+      if covered then begin
         (* Already obsolete on arrival: account it as accepted (for
            FIFO floors) but never enqueue it. *)
         raise_floor t d.id;
-        note_purged t ~site:Trace.At_receive d
+        note_purged t ~site:Trace.At_receive ~view_id:d.view_id d.id
       end
       else accept t ~site:Trace.At_receive d
     end
@@ -447,5 +462,6 @@ let deliver t =
   | Some (Eview v) -> Some (View_change v)
   | Some (Edata d) ->
       set_queued t (t.queued_data - 1);
+      if t.semantic then Purge_index.remove t.pidx ~view:d.view_id ~id:d.id ~ann:d.ann;
       if d.view_id = t.cv.View.id then t.delivered_this_view <- d :: t.delivered_this_view;
       Some (Data d)

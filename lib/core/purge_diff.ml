@@ -1,0 +1,135 @@
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+module Purge_index = Svs_obs.Purge_index
+
+type item = { view : int; id : Msg_id.t; ann : Annotation.t }
+
+type op = Insert of item | Pop
+
+let obsoletes a b = Annotation.obsoletes ~older:(a.id, a.ann) ~newer:(b.id, b.ann)
+
+let pp_item ppf i = Format.fprintf ppf "%a@v%d:%a" Msg_id.pp i.id i.view Annotation.pp i.ann
+
+module type ENGINE = sig
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> item -> Msg_id.t list
+  (** Ids purged by this insert, in queue order, the dropped fresh
+      message last if a queued entry obsoleted it. *)
+
+  val pop : t -> item option
+
+  val contents : t -> item list
+end
+
+(* The pre-index purge: push, then two full sweeps of the queue — the
+   exact pairwise logic the protocol used, kept as the executable
+   specification the indexed engine is checked against. *)
+module Reference : ENGINE = struct
+  type t = item Dq.t
+
+  let create () : t = Dq.create ()
+
+  let insert t fresh =
+    Dq.push_back t fresh;
+    let drop_fresh = ref false in
+    Dq.iter
+      (fun m ->
+        if (not (Msg_id.equal m.id fresh.id)) && m.view = fresh.view && obsoletes fresh m then
+          drop_fresh := true)
+      t;
+    let purged = ref [] in
+    let keep m =
+      let kept =
+        if Msg_id.equal m.id fresh.id then not !drop_fresh
+        else not (m.view = fresh.view && obsoletes m fresh)
+      in
+      if not kept then purged := m.id :: !purged;
+      kept
+    in
+    ignore (Dq.filter_in_place keep t : int);
+    List.rev !purged
+
+  let pop t = Dq.pop_front t
+
+  let contents t = Dq.to_list t
+end
+
+module Indexed : ENGINE = struct
+  type t = { q : item Dq.t; idx : item Dq.handle Purge_index.t }
+
+  let create () = { q = Dq.create (); idx = Purge_index.create () }
+
+  let insert t fresh =
+    let h = Dq.push_back_h t.q fresh in
+    let victims, drop_fresh = Purge_index.plan t.idx ~view:fresh.view ~id:fresh.id ~ann:fresh.ann in
+    let purged =
+      List.map
+        (fun (v : _ Purge_index.victim) ->
+          ignore (Dq.remove t.q v.Purge_index.victim_handle : bool);
+          Purge_index.remove t.idx ~view:fresh.view ~id:v.Purge_index.victim_id
+            ~ann:v.Purge_index.victim_ann;
+          v.Purge_index.victim_id)
+        victims
+    in
+    if drop_fresh then begin
+      ignore (Dq.remove t.q h : bool);
+      purged @ [ fresh.id ]
+    end
+    else begin
+      Purge_index.add t.idx ~view:fresh.view ~id:fresh.id ~ann:fresh.ann h
+        ~seq:(Dq.handle_seq h);
+      purged
+    end
+
+  let pop t =
+    match Dq.pop_front t.q with
+    | None -> None
+    | Some m ->
+        Purge_index.remove t.idx ~view:m.view ~id:m.id ~ann:m.ann;
+        Some m
+
+  let contents t = Dq.to_list t.q
+end
+
+type divergence = {
+  at_op : int;
+  reason : string;
+}
+
+let pp_ids ppf ids =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Msg_id.pp)
+    ids
+
+let pp_items ppf items =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_item)
+    items
+
+let agree ops =
+  let r = Reference.create () and x = Indexed.create () in
+  let fail at_op fmt = Format.kasprintf (fun reason -> Some { at_op; reason }) fmt in
+  let rec step i = function
+    | [] ->
+        let rc = Reference.contents r and xc = Indexed.contents x in
+        if rc <> xc then
+          fail i "final queues differ: reference %a, indexed %a" pp_items rc pp_items xc
+        else None
+    | Insert it :: rest ->
+        let rp = Reference.insert r it and xp = Indexed.insert x it in
+        if rp <> xp then
+          fail i "insert %a purged %a (reference) vs %a (indexed)" pp_item it pp_ids rp pp_ids
+            xp
+        else step (i + 1) rest
+    | Pop :: rest ->
+        let rv = Reference.pop r and xv = Indexed.pop x in
+        if rv <> xv then
+          fail i "pop returned %a (reference) vs %a (indexed)"
+            (Format.pp_print_option pp_item) rv
+            (Format.pp_print_option pp_item) xv
+        else step (i + 1) rest
+  in
+  step 0 ops

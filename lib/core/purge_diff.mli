@@ -1,0 +1,45 @@
+(** Differential harness for the indexed purge.
+
+    Two engines insert/pop the same stream of annotated messages into a
+    purging buffer: {!Reference} replays the pre-index pairwise purge
+    (push, then two O(queue) sweeps — the executable specification) and
+    {!Indexed} runs {!Dq} handles + {!Svs_obs.Purge_index} point
+    probes. {!agree} drives both in lockstep and reports the first
+    divergence in per-insert purge sets (including order, which fixes
+    counter and trace-event equality), pop results, or final queue
+    contents.
+
+    Also the substrate for the old-vs-new purge benchmarks in
+    [bench/main.ml]. *)
+
+type item = { view : int; id : Svs_obs.Msg_id.t; ann : Svs_obs.Annotation.t }
+
+type op = Insert of item | Pop
+
+val pp_item : Format.formatter -> item -> unit
+
+module type ENGINE = sig
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> item -> Svs_obs.Msg_id.t list
+  (** Ids purged by this insert, in queue order, the dropped fresh
+      message last if a queued entry obsoleted it. *)
+
+  val pop : t -> item option
+
+  val contents : t -> item list
+end
+
+module Reference : ENGINE
+
+module Indexed : ENGINE
+
+type divergence = { at_op : int; reason : string }
+
+val agree : op list -> divergence option
+(** [None] iff both engines purged the same ids in the same order at
+    every insert, popped identically, and finished with identical
+    queues. Streams must use unique message ids (the protocol's FIFO
+    floors guarantee this; the index requires it). *)

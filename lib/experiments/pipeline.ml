@@ -1,6 +1,7 @@
 module Dq = Svs_core.Dq
 module Stream = Svs_workload.Stream
 module Annotation = Svs_obs.Annotation
+module Purge_index = Svs_obs.Purge_index
 module Timeline = Svs_stats.Timeline
 module Metrics = Svs_telemetry.Metrics
 
@@ -27,30 +28,54 @@ type result = {
 
 let msg_id (m : Stream.message) = Stream.id_of ~sender:0 m
 
+(* The purging buffer of the model: the queue plus the purge indexes
+   over it (single producer, one pseudo-view). *)
+type buf = {
+  q : Stream.message Dq.t;
+  idx : Stream.message Dq.handle Purge_index.t;
+  mode : mode;
+}
+
+let buf_create mode = { q = Dq.create (); idx = Purge_index.create (); mode }
+
 (* Insert with purge: the incoming message removes the queued messages
    it obsoletes (Figure 1's purge, restricted to the single producer
-   stream of this model). Returns how many were purged. *)
-let insert ~mode buffer (m : Stream.message) =
-  let purged =
-    match mode with
-    | Reliable -> 0
-    | Semantic ->
-        Dq.filter_in_place
-          (fun (q : Stream.message) ->
-            not
-              (Annotation.obsoletes ~older:(msg_id q, q.Stream.ann)
-                 ~newer:(msg_id m, m.Stream.ann)))
-          buffer
-  in
-  Dq.push_back buffer m;
-  purged
+   stream of this model — sequence numbers ascend, so the reverse
+   direction never fires and the plan's drop flag is always false).
+   The index turns the old full-buffer sweep into O(|predecessors|)
+   probes. Returns how many were purged. *)
+let insert b (m : Stream.message) =
+  match b.mode with
+  | Reliable ->
+      Dq.push_back b.q m;
+      0
+  | Semantic ->
+      let id = msg_id m in
+      let h = Dq.push_back_h b.q m in
+      let victims, _drop = Purge_index.plan b.idx ~view:0 ~id ~ann:m.Stream.ann in
+      List.iter
+        (fun (v : _ Purge_index.victim) ->
+          ignore (Dq.remove b.q v.Purge_index.victim_handle : bool);
+          Purge_index.remove b.idx ~view:0 ~id:v.Purge_index.victim_id
+            ~ann:v.Purge_index.victim_ann)
+        victims;
+      Purge_index.add b.idx ~view:0 ~id ~ann:m.Stream.ann h ~seq:(Dq.handle_seq h);
+      List.length victims
+
+let pop b =
+  match Dq.pop_front b.q with
+  | None -> None
+  | Some m ->
+      if b.mode = Semantic then
+        Purge_index.remove b.idx ~view:0 ~id:(msg_id m) ~ann:m.Stream.ann;
+      Some m
 
 let run ?metrics ~messages config =
   if config.buffer <= 0 then invalid_arg "Pipeline.run: buffer must be positive";
   if config.consumer_rate <= 0.0 then invalid_arg "Pipeline.run: consumer rate must be positive";
   let n = Array.length messages in
   let service = 1.0 /. config.consumer_rate in
-  let buffer : Stream.message Dq.t = Dq.create () in
+  let buffer = buf_create config.mode in
   let occupancy = Timeline.create () in
   let lag = ref 0.0 in
   let blocked_time = ref 0.0 in
@@ -72,12 +97,12 @@ let run ?metrics ~messages config =
   let consumer_free = ref 0.0 in
   let last_time = ref 0.0 in
   let note_occupancy time =
-    let depth = float_of_int (Dq.length buffer) in
+    let depth = float_of_int (Dq.length buffer.q) in
     Metrics.Gauge.set g_occupancy depth;
     Timeline.set occupancy ~time depth
   in
   let consume time =
-    ignore (Dq.pop_front buffer);
+    ignore (pop buffer : Stream.message option);
     Metrics.Counter.incr c_delivered;
     consumer_free := time +. service;
     note_occupancy time;
@@ -87,12 +112,12 @@ let run ?metrics ~messages config =
   let running = ref true in
   while !running do
     let next_emit = if !i < n then messages.(!i).Stream.time +. !lag else infinity in
-    let next_consume = if Dq.is_empty buffer then infinity else !consumer_free in
+    let next_consume = if Dq.is_empty buffer.q then infinity else !consumer_free in
     if next_emit = infinity && next_consume = infinity then running := false
     else if next_consume <= next_emit then consume next_consume
     else begin
       let m = messages.(!i) in
-      if Dq.length buffer >= config.buffer then begin
+      if Dq.length buffer.q >= config.buffer then begin
         (* Producer blocked by flow control until the consumer frees a
            slot. The consumer cannot be idle here (the buffer is
            non-empty), so it next pops at [consumer_free]. *)
@@ -101,12 +126,12 @@ let run ?metrics ~messages config =
         blocked_time := !blocked_time +. (resume -. next_emit);
         lag := !lag +. (resume -. next_emit);
         consume resume;
-        Metrics.Counter.add c_purged (insert ~mode:config.mode buffer m);
+        Metrics.Counter.add c_purged (insert buffer m);
         note_occupancy resume;
         incr i
       end
       else begin
-        Metrics.Counter.add c_purged (insert ~mode:config.mode buffer m);
+        Metrics.Counter.add c_purged (insert buffer m);
         (* An idle consumer starts on the new head immediately. *)
         if !consumer_free < next_emit then consumer_free := next_emit +. service;
         note_occupancy next_emit;
@@ -152,15 +177,15 @@ let perturbation_tolerance ~messages ~buffer ~mode ?(samples = 200) () =
     let start = ref 0 in
     while !start < n do
       let s = !start in
-      let buffer_q : Stream.message Dq.t = Dq.create () in
+      let buffer_q = buf_create mode in
       let t0 = messages.(s).Stream.time in
       let elapsed = ref None in
       let j = ref s in
       while !elapsed = None && !j < n do
         let m = messages.(!j) in
-        if Dq.length buffer_q >= buffer then elapsed := Some (m.Stream.time -. t0)
+        if Dq.length buffer_q.q >= buffer then elapsed := Some (m.Stream.time -. t0)
         else begin
-          ignore (insert ~mode buffer_q m);
+          ignore (insert buffer_q m : int);
           incr j
         end
       done;

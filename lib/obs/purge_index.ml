@@ -1,0 +1,201 @@
+(* Per-relation indexes over the queued messages of each view. The
+   queue is purge-closed between inserts (every incremental purge ran
+   to completion), which is what makes the per-key structures small:
+   two queued messages of one view can never obsolete one another, so
+   e.g. at most one entry per (sender, tag) key can be queued. *)
+
+type 'h entry = {
+  id : Msg_id.t;
+  ann : Annotation.t;
+  seq : int;
+  handle : 'h;
+}
+
+type 'h victim = { victim_id : Msg_id.t; victim_ann : Annotation.t; victim_handle : 'h }
+
+(* One view's indexes. Dropped wholesale when its last entry leaves, so
+   the conservative high-water marks reset on queue drain and nothing
+   leaks across the view's lifetime. *)
+type 'h vstate = {
+  by_tag : (int * int, 'h entry) Hashtbl.t; (* (sender, tag) -> queued entry *)
+  by_id : (int * int, 'h entry) Hashtbl.t; (* (sender, sn) -> queued entry *)
+  by_pred : (int * int, 'h entry list ref) Hashtbl.t; (* named pred -> Enum entries *)
+  hwm : (int, int) Hashtbl.t; (* sender -> highest sn ever queued *)
+  kwin : (int, int) Hashtbl.t; (* sender -> widest Kenum window queued *)
+  mutable live : int;
+}
+
+type 'h t = (int, 'h vstate) Hashtbl.t
+
+let create () : 'h t = Hashtbl.create 4
+
+let vstate (t : 'h t) view =
+  match Hashtbl.find_opt t view with
+  | Some vs -> vs
+  | None ->
+      let vs =
+        {
+          by_tag = Hashtbl.create 32;
+          by_id = Hashtbl.create 64;
+          by_pred = Hashtbl.create 16;
+          hwm = Hashtbl.create 8;
+          kwin = Hashtbl.create 8;
+          live = 0;
+        }
+      in
+      Hashtbl.replace t view vs;
+      vs
+
+let cardinal (t : 'h t) ~view =
+  match Hashtbl.find_opt t view with None -> 0 | Some vs -> vs.live
+
+let raise_to tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some old when old >= v -> ()
+  | Some _ | None -> Hashtbl.replace tbl key v
+
+let add (t : 'h t) ~view ~(id : Msg_id.t) ~ann handle ~seq =
+  let vs = vstate t view in
+  let e = { id; ann; seq; handle } in
+  Hashtbl.replace vs.by_id (id.Msg_id.sender, id.Msg_id.sn) e;
+  (match ann with
+  | Annotation.Unrelated -> ()
+  | Annotation.Tag g -> Hashtbl.replace vs.by_tag (id.Msg_id.sender, g) e
+  | Annotation.Enum preds ->
+      List.iter
+        (fun (p : Msg_id.t) ->
+          let key = (p.Msg_id.sender, p.Msg_id.sn) in
+          match Hashtbl.find_opt vs.by_pred key with
+          | Some bucket ->
+              if not (List.exists (fun e' -> Msg_id.equal e'.id id) !bucket) then
+                bucket := e :: !bucket
+          | None -> Hashtbl.replace vs.by_pred key (ref [ e ]))
+        preds
+  | Annotation.Kenum bm -> raise_to vs.kwin id.Msg_id.sender (Bitvec.k bm));
+  raise_to vs.hwm id.Msg_id.sender id.Msg_id.sn;
+  vs.live <- vs.live + 1
+
+let remove (t : 'h t) ~view ~(id : Msg_id.t) ~ann =
+  match Hashtbl.find_opt t view with
+  | None -> ()
+  | Some vs -> (
+      let key = (id.Msg_id.sender, id.Msg_id.sn) in
+      match Hashtbl.find_opt vs.by_id key with
+      | None -> () (* never indexed (e.g. semantic purging off) *)
+      | Some _ ->
+          Hashtbl.remove vs.by_id key;
+          (match ann with
+          | Annotation.Unrelated | Annotation.Kenum _ -> ()
+          | Annotation.Tag g -> (
+              match Hashtbl.find_opt vs.by_tag (id.Msg_id.sender, g) with
+              | Some e when Msg_id.equal e.id id ->
+                  Hashtbl.remove vs.by_tag (id.Msg_id.sender, g)
+              | Some _ | None -> ())
+          | Annotation.Enum preds ->
+              List.iter
+                (fun (p : Msg_id.t) ->
+                  let pkey = (p.Msg_id.sender, p.Msg_id.sn) in
+                  match Hashtbl.find_opt vs.by_pred pkey with
+                  | None -> ()
+                  | Some bucket -> (
+                      match List.filter (fun e -> not (Msg_id.equal e.id id)) !bucket with
+                      | [] -> Hashtbl.remove vs.by_pred pkey
+                      | rest -> bucket := rest))
+                preds);
+          vs.live <- vs.live - 1;
+          if vs.live = 0 then Hashtbl.remove t view)
+
+(* Reverse-direction probes: would some queued entry of the view
+   obsolete a fresh (id, ann)? Only bounded-fan-in lookups.
+   - Tag: the (sender, tag) slot, if held by a higher sn.
+   - Enum: the entries that enumerate [id] as a predecessor.
+   - Kenum: same-sender entries within the widest queued window above
+     [id.sn] — skipped entirely when the high-water mark shows nothing
+     queued above [id.sn]. The Enum and Kenum checks do not depend on
+     the fresh message's own annotation. *)
+
+let obsoleted_by_enum vs ~(id : Msg_id.t) =
+  match Hashtbl.find_opt vs.by_pred (id.Msg_id.sender, id.Msg_id.sn) with
+  | Some bucket ->
+      List.exists
+        (fun e ->
+          (not (Msg_id.equal e.id id))
+          && (e.id.Msg_id.sender <> id.Msg_id.sender || id.Msg_id.sn < e.id.Msg_id.sn))
+        !bucket
+  | None -> false
+
+let obsoleted_by_kenum vs ~(id : Msg_id.t) =
+  match Hashtbl.find_opt vs.hwm id.Msg_id.sender with
+  | Some hw when hw > id.Msg_id.sn ->
+      let kw =
+        match Hashtbl.find_opt vs.kwin id.Msg_id.sender with Some k -> k | None -> 0
+      in
+      let lim = Stdlib.min kw (hw - id.Msg_id.sn) in
+      let rec probe d =
+        d <= lim
+        && ((match Hashtbl.find_opt vs.by_id (id.Msg_id.sender, id.Msg_id.sn + d) with
+            | Some { ann = Annotation.Kenum bm; _ } -> Bitvec.get bm d
+            | Some _ | None -> false)
+           || probe (d + 1))
+      in
+      probe 1
+  | Some _ | None -> false
+
+let obsoleted (t : 'h t) ~view ~(id : Msg_id.t) ~ann =
+  match Hashtbl.find_opt t view with
+  | None -> false
+  | Some vs ->
+      (match ann with
+      | Annotation.Tag g -> (
+          match Hashtbl.find_opt vs.by_tag (id.Msg_id.sender, g) with
+          | Some e -> e.id.Msg_id.sn > id.Msg_id.sn
+          | None -> false)
+      | Annotation.Unrelated | Annotation.Enum _ | Annotation.Kenum _ -> false)
+      || obsoleted_by_enum vs ~id || obsoleted_by_kenum vs ~id
+
+let plan (t : 'h t) ~view ~(id : Msg_id.t) ~ann =
+  match Hashtbl.find_opt t view with
+  | None -> ([], false)
+  | Some vs ->
+      let victims = ref [] in
+      let drop = ref false in
+      let take (e : 'h entry) =
+        victims := e :: !victims
+      in
+      (* Forward: queued entries the fresh message obsoletes. Probes
+         mirror Annotation.obsoletes with the fresh message as newer.
+         The Tag probe doubles as the reverse Tag check: one lookup
+         decides victim (lower sn) or drop (higher sn). *)
+      (match ann with
+      | Annotation.Unrelated -> ()
+      | Annotation.Tag g -> (
+          match Hashtbl.find_opt vs.by_tag (id.Msg_id.sender, g) with
+          | Some e ->
+              if e.id.Msg_id.sn < id.Msg_id.sn then take e
+              else if e.id.Msg_id.sn > id.Msg_id.sn then drop := true
+          | None -> ())
+      | Annotation.Enum preds ->
+          List.iter
+            (fun (p : Msg_id.t) ->
+              if not (Msg_id.equal p id) then
+                match Hashtbl.find_opt vs.by_id (p.Msg_id.sender, p.Msg_id.sn) with
+                | Some e
+                  when e.id.Msg_id.sender <> id.Msg_id.sender
+                       || e.id.Msg_id.sn < id.Msg_id.sn ->
+                    take e
+                | Some _ | None -> ())
+            (List.sort_uniq Msg_id.compare preds)
+      | Annotation.Kenum bm ->
+          List.iter
+            (fun d ->
+              match Hashtbl.find_opt vs.by_id (id.Msg_id.sender, id.Msg_id.sn - d) with
+              | Some e -> take e
+              | None -> ())
+            (Bitvec.distances bm));
+      let victims =
+        List.sort (fun a b -> Int.compare a.seq b.seq) !victims
+        |> List.map (fun e ->
+               { victim_id = e.id; victim_ann = e.ann; victim_handle = e.handle })
+      in
+      let drop = !drop || obsoleted_by_enum vs ~id || obsoleted_by_kenum vs ~id in
+      (victims, drop)

@@ -1,6 +1,11 @@
 #!/bin/sh
 # Tier-1 CI entry point: build + full test suite, plus repo hygiene
 # guards. Run from the repository root.
+#
+#   scripts/ci.sh        build + tests
+#   scripts/ci.sh smoke  also exercise the micro-benchmarks once
+#                        (liveness only — no timing gates) and emit
+#                        BENCH_purge.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,5 +18,9 @@ fi
 
 dune build
 dune runtest
+
+if [ "${1:-}" = "smoke" ]; then
+  dune exec bench/main.exe -- --smoke
+fi
 
 echo "ci: OK"

@@ -85,6 +85,52 @@ let dq_matches_list_model =
         ops
       && Dq.to_list d = !model)
 
+let test_dq_handle_remove () =
+  let d = Dq.create () in
+  let hs = List.init 5 (fun i -> Dq.push_back_h d (i + 1)) in
+  let h3 = List.nth hs 2 in
+  Alcotest.(check bool) "removed" true (Dq.remove d h3);
+  Alcotest.(check (list int)) "order kept" [ 1; 2; 4; 5 ] (Dq.to_list d);
+  Alcotest.(check bool) "second remove is a no-op" false (Dq.remove d h3);
+  Alcotest.(check int) "length" 4 (Dq.length d);
+  Alcotest.(check (option int)) "removed handle reads None" None (Dq.handle_get h3);
+  Alcotest.(check (option int)) "live handle reads value" (Some 4)
+    (Dq.handle_get (List.nth hs 3));
+  ignore (Dq.remove d (List.nth hs 0) : bool);
+  Alcotest.(check (option int)) "pop skips tombstones" (Some 2) (Dq.pop_front d)
+
+let test_dq_handle_survives_churn () =
+  (* Handles must stay valid across growth, wraparound and the lazy
+     compactions triggered by accumulated tombstones. *)
+  let d = Dq.create () in
+  let handles = Hashtbl.create 64 in
+  for i = 0 to 199 do
+    Hashtbl.replace handles i (Dq.push_back_h d i);
+    if i mod 3 = 2 then ignore (Dq.pop_front d : int option)
+  done;
+  let survivors = Dq.to_list d in
+  let evens, odds = List.partition (fun x -> x mod 2 = 0) survivors in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "live remove succeeds" true
+        (Dq.remove d (Hashtbl.find handles x)))
+    evens;
+  Alcotest.(check (list int)) "odd survivors in order" odds (Dq.to_list d);
+  Alcotest.(check int) "length tracks removals" (List.length odds) (Dq.length d);
+  Alcotest.(check bool) "popped entry's handle is inert" false
+    (Dq.remove d (Hashtbl.find handles 0))
+
+let test_dq_clear_detaches_handles () =
+  let d = Dq.create () in
+  let h = Dq.push_back_h d 1 in
+  Dq.push_back d 2;
+  Dq.clear d;
+  Alcotest.(check int) "empty" 0 (Dq.length d);
+  Alcotest.(check bool) "stale handle inert" false (Dq.remove d h);
+  Alcotest.(check (option int)) "stale handle reads None" None (Dq.handle_get h);
+  Dq.push_back d 3;
+  Alcotest.(check (list int)) "queue reusable after clear" [ 3 ] (Dq.to_list d)
+
 (* ------------------------------------------------------------------ *)
 (* Protocol unit tests (manual synchronous router)                      *)
 (* ------------------------------------------------------------------ *)
@@ -956,6 +1002,129 @@ let group_random_scenarios ~semantic ~name =
           (String.concat "\n" (List.map Checker.violation_to_string violations))
       else true)
 
+(* ------------------------------------------------------------------ *)
+(* Purge_diff: indexed purge vs the pairwise reference                  *)
+(* ------------------------------------------------------------------ *)
+
+module Purge_diff = Svs_core.Purge_diff
+
+type diff_kind = Dtag | Denum | Dkenum | Dmixed
+
+(* Random op streams with globally unique ids: each sender hands out
+   its sequence numbers from a shuffled pool, so ids never repeat but
+   arrive out of order — which is what makes the reverse (drop-fresh)
+   direction of every relation fire. Enum predecessors mix queued,
+   departed, future, cross-sender and self ids. *)
+let gen_diff_ops ~kind ~seed ~n =
+  let st = Random.State.make [| 0x9e3779b9; seed |] in
+  let nsenders = 3 in
+  let pools =
+    Array.init nsenders (fun _ ->
+        let a = Array.init n (fun i -> i) in
+        for i = n - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t
+        done;
+        (a, ref 0))
+  in
+  let emitted = ref [] in
+  let pick_pred id =
+    let r = Random.State.int st 100 in
+    if r < 55 && !emitted <> [] then
+      List.nth !emitted (Random.State.int st (min 8 (List.length !emitted)))
+    else if r < 70 then begin
+      (* future: an sn its sender has not handed out yet *)
+      let s = Random.State.int st nsenders in
+      let a, k = pools.(s) in
+      if !k < n then Msg_id.make ~sender:s ~sn:a.(!k + Random.State.int st (n - !k))
+      else id
+    end
+    else if r < 80 then id (* self-reference: must never purge *)
+    else Msg_id.make ~sender:(Random.State.int st nsenders) ~sn:(Random.State.int st n)
+  in
+  let ann_for id =
+    let tag () = Annotation.Tag (Random.State.int st 4) in
+    let enum () =
+      Annotation.Enum (List.init (Random.State.int st 4) (fun _ -> pick_pred id))
+    in
+    let kenum () =
+      let bm = Bitvec.create ~k:8 in
+      for _ = 1 to 1 + Random.State.int st 3 do
+        Bitvec.set bm (1 + Random.State.int st 8)
+      done;
+      Annotation.Kenum bm
+    in
+    match kind with
+    | Dtag -> tag ()
+    | Denum -> enum ()
+    | Dkenum -> kenum ()
+    | Dmixed -> (
+        match Random.State.int st 4 with
+        | 0 -> tag ()
+        | 1 -> enum ()
+        | 2 -> kenum ()
+        | _ -> Annotation.Unrelated)
+  in
+  List.init n (fun _ ->
+      if Random.State.int st 100 < 18 then Purge_diff.Pop
+      else begin
+        let sender = Random.State.int st nsenders in
+        let a, k = pools.(sender) in
+        let sn = a.(!k) in
+        incr k;
+        let id = Msg_id.make ~sender ~sn in
+        let view = if Random.State.int st 100 < 10 then 1 else 0 in
+        let it = { Purge_diff.view; id; ann = ann_for id } in
+        emitted := id :: !emitted;
+        Purge_diff.Insert it
+      end)
+
+(* 250 cases x ~410 inserts each: > 1e5 randomized inserts per kind. *)
+let purge_diff_agrees ~name ~kind =
+  QCheck.Test.make ~name ~count:250 QCheck.small_nat (fun seed ->
+      let ops = gen_diff_ops ~kind ~seed ~n:500 in
+      match Purge_diff.agree ops with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "op %d: %s" d.Purge_diff.at_op d.Purge_diff.reason)
+
+(* Regression: an Enum naming a not-yet-queued predecessor must not
+   purge it retroactively once the enum itself has left the queue —
+   stale reverse-index state would do exactly that. *)
+let test_purge_enum_no_retroactive () =
+  let open Purge_diff in
+  let e_id = Msg_id.make ~sender:0 ~sn:1 in
+  let p_id = Msg_id.make ~sender:1 ~sn:0 in
+  let x = Indexed.create () in
+  Alcotest.(check int) "enum insert purges nothing" 0
+    (List.length (Indexed.insert x { view = 0; id = e_id; ann = Annotation.Enum [ p_id ] }));
+  (match Indexed.pop x with
+  | Some it -> Alcotest.(check bool) "popped the enum" true (Msg_id.equal it.id e_id)
+  | None -> Alcotest.fail "expected the enum at the front");
+  Alcotest.(check int) "late predecessor is not retro-purged" 0
+    (List.length (Indexed.insert x { view = 0; id = p_id; ann = Annotation.Unrelated }));
+  match Indexed.contents x with
+  | [ it ] -> Alcotest.(check bool) "predecessor queued" true (Msg_id.equal it.id p_id)
+  | l -> Alcotest.failf "queue holds %d items, expected 1" (List.length l)
+
+(* While the enum IS still queued, the late predecessor is dropped on
+   arrival — in both engines. *)
+let test_purge_enum_drops_late_predecessor () =
+  let check_engine name (module En : Purge_diff.ENGINE) =
+    let e_id = Msg_id.make ~sender:0 ~sn:1 in
+    let p_id = Msg_id.make ~sender:1 ~sn:0 in
+    let t = En.create () in
+    ignore
+      (En.insert t { Purge_diff.view = 0; id = e_id; ann = Annotation.Enum [ p_id ] }
+        : Msg_id.t list);
+    let purged = En.insert t { Purge_diff.view = 0; id = p_id; ann = Annotation.Unrelated } in
+    Alcotest.(check bool) (name ^ ": fresh predecessor dropped") true (purged = [ p_id ]);
+    Alcotest.(check int) (name ^ ": only the enum remains") 1 (List.length (En.contents t))
+  in
+  check_engine "reference" (module Purge_diff.Reference);
+  check_engine "indexed" (module Purge_diff.Indexed)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "svs_core"
@@ -966,6 +1135,9 @@ let () =
           Alcotest.test_case "push_front" `Quick test_dq_push_front;
           Alcotest.test_case "filter_in_place" `Quick test_dq_filter_in_place;
           Alcotest.test_case "wraparound" `Quick test_dq_wraparound;
+          Alcotest.test_case "handle remove" `Quick test_dq_handle_remove;
+          Alcotest.test_case "handles survive churn" `Quick test_dq_handle_survives_churn;
+          Alcotest.test_case "clear detaches handles" `Quick test_dq_clear_detaches_handles;
           q dq_matches_list_model;
         ] );
       ( "protocol",
@@ -1018,5 +1190,16 @@ let () =
           Alcotest.test_case "bandwidth + codec" `Quick test_group_bandwidth_codec;
           q (group_random_scenarios ~semantic:true ~name:"random scenarios (semantic)");
           q (group_random_scenarios ~semantic:false ~name:"random scenarios (strict VS)");
+        ] );
+      ( "purge-diff",
+        [
+          Alcotest.test_case "enum: no retroactive purge" `Quick
+            test_purge_enum_no_retroactive;
+          Alcotest.test_case "enum: late predecessor dropped" `Quick
+            test_purge_enum_drops_late_predecessor;
+          q (purge_diff_agrees ~name:"indexed = pairwise (tag)" ~kind:Dtag);
+          q (purge_diff_agrees ~name:"indexed = pairwise (enum)" ~kind:Denum);
+          q (purge_diff_agrees ~name:"indexed = pairwise (kenum)" ~kind:Dkenum);
+          q (purge_diff_agrees ~name:"indexed = pairwise (mixed)" ~kind:Dmixed);
         ] );
     ]
