@@ -1,0 +1,187 @@
+(* Chaos sweep driver: N seeds x M fault scenarios through the full
+   simulated stack, every run machine-checked by the SVS safety oracle.
+   Exits non-zero if any run violates the paper's §4 contracts. *)
+
+open Cmdliner
+module C = Svs_chaos
+module Trace = Svs_telemetry.Trace
+
+let ppf = Format.std_formatter
+
+let scenario_conv =
+  let parse s =
+    match C.Scenario.find s with
+    | Some sc -> Ok sc
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown scenario %S (%s)" s
+               (String.concat "|" (List.map (fun sc -> sc.C.Scenario.name) C.Scenario.all))))
+  in
+  Arg.conv (parse, fun ppf sc -> Format.pp_print_string ppf sc.C.Scenario.name)
+
+let mode_conv =
+  let parse s =
+    match C.Oracle.mode_of_label s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown mode %S (vs|svs)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (C.Oracle.mode_label m))
+
+let default_scenarios =
+  List.filter (fun sc -> sc.C.Scenario.name <> "calm") C.Scenario.all
+
+let scenarios_term =
+  Arg.(
+    value
+    & opt (list scenario_conv) default_scenarios
+    & info [ "scenarios" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated scenarios to sweep (default: every built-in except \
+           $(b,calm)).")
+
+let modes_term =
+  Arg.(
+    value
+    & opt (list mode_conv) [ C.Oracle.Vs; C.Oracle.Svs ]
+    & info [ "modes" ] ~docv:"MODES"
+        ~doc:
+          "Comma-separated oracle modes: $(b,vs) (empty relation, strict view synchrony) \
+           and/or $(b,svs) (k-enumeration annotations).")
+
+let seeds_term =
+  Arg.(
+    value & opt int 20
+    & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per scenario and mode.")
+
+let seed_base_term =
+  Arg.(
+    value & opt int 1
+    & info [ "seed-base" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+
+let nodes_term =
+  Arg.(value & opt int C.Runner.default_config.nodes & info [ "nodes" ] ~docv:"N" ~doc:"Group size.")
+
+let horizon_term =
+  Arg.(
+    value
+    & opt float C.Runner.default_config.horizon
+    & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Fault and workload window (virtual time).")
+
+let settle_term =
+  Arg.(
+    value
+    & opt float C.Runner.default_config.settle
+    & info [ "settle" ] ~docv:"SECONDS" ~doc:"Drain period after the horizon.")
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a JSONL telemetry trace of every run (faults interleaved) to $(docv).")
+
+let mutate_term =
+  Arg.(
+    value & flag
+    & info [ "mutate" ]
+        ~doc:
+          "Self-test: drop one safety-relevant delivery from each recorded run before \
+           checking. Every run must then FAIL; the sweep exits zero only if the oracle \
+           catches all mutants.")
+
+let verbose_term =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run, not just the table.")
+
+let plan_term =
+  Arg.(
+    value
+    & opt (some scenario_conv) None
+    & info [ "plan" ] ~docv:"NAME"
+        ~doc:"Just print the concrete fault plan a scenario draws for $(b,--seed-base).")
+
+let print_plan scenario ~seed ~nodes ~horizon =
+  let rng = Svs_sim.Rng.split (Svs_sim.Rng.create ~seed) in
+  let plan = scenario.C.Scenario.plan ~rng ~n:nodes ~horizon in
+  Format.fprintf ppf "@[<v>%s (seed %d, %d nodes, horizon %gs):@," scenario.C.Scenario.name
+    seed nodes horizon;
+  if plan = [] then Format.fprintf ppf "  (no faults)@,"
+  else List.iter (fun t -> Format.fprintf ppf "  %a@," C.Scenario.pp_timed t) plan;
+  Format.fprintf ppf "@]"
+
+let run scenarios modes seeds seed_base nodes horizon settle trace mutate verbose plan =
+  match plan with
+  | Some scenario ->
+      print_plan scenario ~seed:seed_base ~nodes ~horizon;
+      0
+  | None ->
+      let config = { C.Runner.default_config with nodes; horizon; settle } in
+      let seed_list = List.init seeds (fun i -> seed_base + i) in
+      let mutation = if mutate then Some C.Oracle.Drop_cover else None in
+      let oc = Option.map open_out trace in
+      let tracer =
+        match oc with
+        | None -> Trace.nop
+        | Some oc -> Trace.jsonl oc
+      in
+      let outcomes =
+        List.concat_map
+          (fun scenario ->
+            List.concat_map
+              (fun mode ->
+                List.map
+                  (fun seed ->
+                    let o =
+                      try C.Runner.run_one ?mutation ~tracer ~config ~mode ~scenario ~seed ()
+                      with Failure msg ->
+                        Format.fprintf ppf "seed=%d scenario=%s mode=%s: %s@." seed
+                          scenario.C.Scenario.name (C.Oracle.mode_label mode) msg;
+                        exit 2
+                    in
+                    if verbose then
+                      Format.fprintf ppf "%a  (faults=%d sent=%d purged=%d)@."
+                        C.Oracle.pp_report o.C.Runner.report o.C.Runner.faults
+                        o.C.Runner.sent o.C.Runner.purged;
+                    o)
+                  seed_list)
+              modes)
+          scenarios
+      in
+      Option.iter close_out oc;
+      let failed = C.Runner.failures outcomes in
+      C.Runner.pp_table ppf outcomes;
+      Format.fprintf ppf "@.";
+      if mutate then begin
+        (* Inverted acceptance: every mutated run must be caught. *)
+        let missed = List.length outcomes - List.length failed in
+        if missed = 0 then begin
+          Format.fprintf ppf
+            "mutation self-test passed: oracle caught all %d mutated runs@."
+            (List.length outcomes);
+          0
+        end
+        else begin
+          Format.fprintf ppf
+            "MUTATION SELF-TEST FAILED: %d mutated run(s) slipped past the oracle@." missed;
+          1
+        end
+      end
+      else if failed = [] then begin
+        Format.fprintf ppf "all %d runs satisfied the SVS safety contracts@."
+          (List.length outcomes);
+        0
+      end
+      else begin
+        C.Runner.pp_failures ppf outcomes;
+        1
+      end
+
+let main =
+  let doc = "Deterministic chaos sweeps checked by the SVS safety oracle" in
+  let info = Cmd.info "svs_chaos" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ scenarios_term $ modes_term $ seeds_term $ seed_base_term $ nodes_term
+      $ horizon_term $ settle_term $ trace_term $ mutate_term $ verbose_term $ plan_term)
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,157 @@
+module Engine = Svs_sim.Engine
+module Rng = Svs_sim.Rng
+module Group = Svs_core.Group
+module Trace = Svs_telemetry.Trace
+
+type applier = {
+  apply : Scenario.action -> bool;
+      (* [true] if the action was applied (vs skipped). *)
+  quiesce : unit -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  plan : Scenario.timed list;
+  applier : applier;
+  tracer : Trace.t;
+  horizon : float;
+  mutable applied : int;
+}
+
+let plan t = t.plan
+
+let faults_injected t = t.applied
+
+let emit_fault t action =
+  if Trace.enabled t.tracer then begin
+    let node, peer =
+      match (action : Scenario.action) with
+      | Crash p | Pause p | Resume p -> (p, -1)
+      | Partition (a, b) | Heal (a, b) -> (a, b)
+      | Leave { initiator; node } -> (node, initiator)
+      | Set_latency _ | Restore_latency -> (-1, -1)
+    in
+    Trace.emit t.tracer (Trace.Fault { kind = Scenario.action_kind action; node; peer })
+  end
+
+exception Retry
+
+let rec fire t action =
+  match t.applier.apply action with
+  | true ->
+      t.applied <- t.applied + 1;
+      emit_fault t action
+  | false -> ()
+  | exception Retry ->
+      (* The group cannot take this action yet (e.g. every member
+         blocked mid view change); retry shortly, within the window. *)
+      if Engine.now t.engine < t.horizon then
+        ignore (Engine.schedule t.engine ~delay:0.05 (fun () -> fire t action) : Engine.handle)
+
+(* --- Group-backed applier --- *)
+
+let group_applier (cluster : 'p Group.cluster) =
+  (* Track what needs undoing at settle time. *)
+  let partitions : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let paused : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let base_latency = Group.latency cluster in
+  let latency_dirty = ref false in
+  let norm a b = if a <= b then (a, b) else (b, a) in
+  let is_member p =
+    match List.find_opt (fun m -> Group.id m = p) (Group.members cluster) with
+    | Some m -> Group.is_member m
+    | None -> false
+  in
+  let apply (action : Scenario.action) =
+    match action with
+    | Crash p ->
+        if is_member p then begin
+          Group.crash cluster p;
+          Hashtbl.remove paused p;
+          true
+        end
+        else false
+    | Pause p ->
+        Group.pause_receive cluster p;
+        Hashtbl.replace paused p ();
+        true
+    | Resume p ->
+        Group.resume_receive cluster p;
+        Hashtbl.remove paused p;
+        true
+    | Partition (a, b) ->
+        Group.partition cluster a b;
+        Hashtbl.replace partitions (norm a b) ();
+        true
+    | Heal (a, b) ->
+        Group.heal cluster a b;
+        Hashtbl.remove partitions (norm a b);
+        true
+    | Leave { initiator; node } ->
+        if not (is_member node) then false
+        else begin
+          (* Prefer the planned initiator; fall back to any unblocked
+             member; defer if the whole group is blocked. *)
+          let can_initiate m =
+            Group.is_member m && (not (Group.is_blocked m)) && Group.id m <> node
+          in
+          let chosen =
+            match List.find_opt (fun m -> Group.id m = initiator) (Group.members cluster) with
+            | Some m when can_initiate m -> Some m
+            | _ -> List.find_opt can_initiate (Group.members cluster)
+          in
+          match chosen with
+          | Some m ->
+              Group.trigger_view_change m ~leave:[ node ];
+              true
+          | None -> raise Retry
+        end
+    | Set_latency l ->
+        Group.set_latency cluster l;
+        latency_dirty := true;
+        true
+    | Restore_latency ->
+        if !latency_dirty then begin
+          Group.set_latency cluster base_latency;
+          latency_dirty := false;
+          true
+        end
+        else false
+  in
+  let quiesce () =
+    Hashtbl.iter (fun (a, b) () -> Group.heal cluster a b) partitions;
+    Hashtbl.reset partitions;
+    Hashtbl.iter (fun p () -> Group.resume_receive cluster p) paused;
+    Hashtbl.reset paused;
+    if !latency_dirty then begin
+      Group.set_latency cluster base_latency;
+      latency_dirty := false
+    end
+  in
+  { apply; quiesce }
+
+let inject cluster ~scenario ~horizon =
+  let engine = Group.engine cluster in
+  let rng = Rng.split (Engine.rng engine) in
+  let n =
+    1 + List.fold_left (fun acc m -> Stdlib.max acc (Group.id m)) 0 (Group.members cluster)
+  in
+  let plan = scenario.Scenario.plan ~rng ~n ~horizon in
+  let t =
+    {
+      engine;
+      plan;
+      applier = group_applier cluster;
+      tracer = Group.tracer cluster;
+      horizon;
+      applied = 0;
+    }
+  in
+  List.iter
+    (fun { Scenario.at; action } ->
+      let at = Float.max at (Engine.now engine) in
+      ignore (Engine.schedule_at engine ~time:at (fun () -> fire t action) : Engine.handle))
+    plan;
+  t
+
+let settle t = t.applier.quiesce ()

@@ -1,0 +1,33 @@
+(** Applies a {!Scenario} plan to a live {!Svs_core.Group.cluster}.
+
+    Actions are scheduled on the cluster's engine at their planned
+    virtual times and applied through the Group fault surface; each
+    applied action is emitted as a [Fault] trace event on the cluster's
+    tracer, so a JSONL trace of a chaos run contains the faults
+    interleaved with the protocol events they provoked.
+
+    The plan's random choices are drawn from a stream split off the
+    engine's root RNG at {!inject} time, so the whole run remains a
+    pure function of the engine seed. *)
+
+type t
+
+val inject :
+  'p Svs_core.Group.cluster -> scenario:Scenario.t -> horizon:float -> t
+(** Compute the plan and schedule it. [horizon] is the fault window:
+    deferred actions (e.g. a [Leave] whose initiator is blocked) are
+    retried only up to it. *)
+
+val plan : t -> Scenario.timed list
+(** The concrete plan this injection drew, in time order. *)
+
+val faults_injected : t -> int
+(** Actions actually applied so far (a [Leave] whose target already
+    left is skipped, not counted). *)
+
+val settle : t -> unit
+(** Defensively restore a quiescent network: heal partitions still
+    open, resume receivers still paused, restore the latency model.
+    Call at the horizon before draining — the built-in scenarios
+    schedule their own heals/resumes, so this is normally a no-op, but
+    a custom plan (or a [mayhem] overlap) may leave state behind. *)

@@ -1,0 +1,221 @@
+module Checker = Svs_core.Checker
+module View = Svs_core.View
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+
+type mode = Vs | Svs
+
+let mode_label = function Vs -> "vs" | Svs -> "svs"
+
+let mode_of_label = function "vs" -> Some Vs | "svs" -> Some Svs | _ -> None
+
+type mutation = Drop_cover
+
+type report = {
+  mode : mode;
+  seed : int;
+  scenario : string;
+  violations : Checker.violation list;
+  deliveries : int;
+  installs : int;
+  mutated : (int * Msg_id.t) option;
+}
+
+let ok r = r.violations = []
+
+let view_pair = function
+  | Checker.Svs_hole { view_id; _ }
+  | Checker.Fifo_sr_hole { view_id; _ }
+  | Checker.Vs_mismatch { view_id; _ } ->
+      Some (view_id, view_id + 1)
+  | Checker.View_disagreement { view_id; _ } -> Some (view_id, view_id)
+  | Checker.Created _ | Checker.Duplicated _ | Checker.Fifo_order _ -> None
+
+(* --- Mutation: pick a delivery whose removal must break safety. --- *)
+
+(* Per-process view segments, mirroring the checker's segmentation. *)
+let segments log =
+  let rec go cur acc = function
+    | [] -> List.rev (match cur with None -> acc | Some s -> s :: acc)
+    | Checker.Installed v :: rest ->
+        go (Some (v, [])) (match cur with None -> acc | Some s -> s :: acc) rest
+    | Checker.Delivered m :: rest -> (
+        match cur with
+        | None -> go None acc rest (* ignore pre-install noise; checker would reject *)
+        | Some (v, ds) -> go (Some (v, m :: ds)) acc rest)
+  in
+  List.map (fun (v, ds) -> (v, List.rev ds)) (go None [] log)
+
+(* Reachability in the transitive closure of the encoded relation:
+   does some delivered message other than [m] itself cover [m]? *)
+let covered_excluding ~successors ~except (id : Msg_id.t) targets =
+  let visited = Hashtbl.create 16 in
+  let rec bfs = function
+    | [] -> false
+    | x :: rest ->
+        if Hashtbl.mem visited x then bfs rest
+        else begin
+          Hashtbl.replace visited x ();
+          if (not (Msg_id.equal x except)) && Msg_id.Set.mem x targets then true
+          else bfs (successors x @ rest)
+        end
+  in
+  bfs [ id ]
+
+let build_successors multicasts =
+  let succ : (Msg_id.t, Msg_id.t list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (older : Checker.meta) ->
+      List.iter
+        (fun (newer : Checker.meta) ->
+          if
+            (not (Msg_id.equal older.id newer.id))
+            && Annotation.obsoletes ~older:(older.id, older.ann) ~newer:(newer.id, newer.ann)
+          then
+            Hashtbl.replace succ older.id
+              (newer.id :: Option.value ~default:[] (Hashtbl.find_opt succ older.id)))
+        multicasts)
+    multicasts;
+  fun id -> Option.value ~default:[] (Hashtbl.find_opt succ id)
+
+(* A candidate is (q, m): q delivered m in a segment followed by
+   another install, some other process p delivered m and installed the
+   same view pair, and nothing else q delivered before that next
+   install covers m. Removing m from q's log then necessarily opens an
+   SVS hole (and, with an empty relation, a strict-VS mismatch). *)
+let find_droppable check =
+  let successors = build_successors (Checker.multicast_log check) in
+  let procs = Checker.processes check in
+  let segs = List.map (fun p -> (p, segments (Checker.process_log check ~p))) procs in
+  let installed_pair q vi vj =
+    match List.assoc_opt q segs with
+    | None -> false
+    | Some ss ->
+        List.exists (fun (v, _) -> v.View.id = vi) ss
+        && List.exists (fun (v, _) -> v.View.id = vj) ss
+  in
+  let delivered_pair p vi vj (m : Checker.meta) =
+    match List.assoc_opt p segs with
+    | None -> false
+    | Some ss ->
+        installed_pair p vi vj
+        && List.exists
+             (fun (v, ds) ->
+               v.View.id = vi
+               && List.exists (fun (d : Checker.meta) -> Msg_id.equal d.id m.id) ds)
+             ss
+  in
+  let candidate =
+    List.find_map
+      (fun (q, qsegs) ->
+        let rec pairs = function
+          | (vi, ds) :: ((vj, _) :: _ as rest) -> (
+              let before_next =
+                List.fold_left
+                  (fun acc (v, ds) ->
+                    if v.View.id < vj.View.id then
+                      List.fold_left
+                        (fun acc (d : Checker.meta) -> Msg_id.Set.add d.id acc)
+                        acc ds
+                    else acc)
+                  Msg_id.Set.empty qsegs
+              in
+              let found =
+                List.find_map
+                  (fun (m : Checker.meta) ->
+                    let witnessed =
+                      List.exists
+                        (fun p -> p <> q && delivered_pair p vi.View.id vj.View.id m)
+                        procs
+                    in
+                    if
+                      witnessed
+                      && not
+                           (covered_excluding ~successors ~except:m.id m.id before_next)
+                    then Some (q, m.id)
+                    else None)
+                  ds
+              in
+              match found with Some _ as r -> r | None -> pairs rest)
+          | [ _ ] | [] -> None
+        in
+        pairs qsegs)
+      segs
+  in
+  candidate
+
+(* Replay the recorded run into a fresh checker, skipping [q]'s first
+   delivery of [id]. *)
+let replay_without check ~q ~id =
+  let mutated = Checker.create () in
+  List.iter (Checker.record_multicast mutated) (Checker.multicast_log check);
+  List.iter
+    (fun p ->
+      let skipped = ref false in
+      List.iter
+        (function
+          | Checker.Installed v -> Checker.record_install mutated ~p v
+          | Checker.Delivered (m : Checker.meta) ->
+              if p = q && (not !skipped) && Msg_id.equal m.id id then skipped := true
+              else Checker.record_delivery mutated ~p m)
+        (Checker.process_log check ~p))
+    (Checker.processes check);
+  mutated
+
+let counts check =
+  List.fold_left
+    (fun (d, i) p ->
+      List.fold_left
+        (fun (d, i) -> function
+          | Checker.Delivered _ -> (d + 1, i)
+          | Checker.Installed _ -> (d, i + 1))
+        (d, i)
+        (Checker.process_log check ~p))
+    (0, 0) (Checker.processes check)
+
+let check ?mutation ~mode ~seed ~scenario check_t =
+  let check_t, mutated =
+    match mutation with
+    | None -> (check_t, None)
+    | Some Drop_cover -> (
+        match find_droppable check_t with
+        | Some (q, id) -> (replay_without check_t ~q ~id, Some (q, id))
+        | None ->
+            failwith
+              "Oracle.check: run too short to self-test (no safety-relevant delivery to \
+               drop)")
+  in
+  let violations =
+    match mode with
+    | Vs -> Checker.verify_strict_vs check_t
+    | Svs -> Checker.verify check_t
+  in
+  let deliveries, installs = counts check_t in
+  { mode; seed; scenario; violations; deliveries; installs; mutated }
+
+let pp_report ppf r =
+  if ok r then
+    Format.fprintf ppf "ok: seed=%d scenario=%s mode=%s (%d deliveries, %d installs)" r.seed
+      r.scenario (mode_label r.mode) r.deliveries r.installs
+  else begin
+    Format.fprintf ppf
+      "@[<v>CHAOS SAFETY VIOLATION seed=%d scenario=%s mode=%s (%d violation%s)%s@,\
+       replay: svs_chaos --scenarios %s --modes %s --seeds 1 --seed-base %d" r.seed
+      r.scenario (mode_label r.mode)
+      (List.length r.violations)
+      (if List.length r.violations = 1 then "" else "s")
+      (match r.mutated with
+      | Some (q, id) ->
+          Format.asprintf " [mutated: dropped %a at process %d]" Msg_id.pp id q
+      | None -> "")
+      r.scenario (mode_label r.mode) r.seed;
+    List.iter
+      (fun v ->
+        match view_pair v with
+        | Some (vi, vj) when vi <> vj ->
+            Format.fprintf ppf "@,  view pair (%d -> %d): %a" vi vj Checker.pp_violation v
+        | Some (vi, _) -> Format.fprintf ppf "@,  view %d: %a" vi Checker.pp_violation v
+        | None -> Format.fprintf ppf "@,  %a" Checker.pp_violation v)
+      r.violations;
+    Format.fprintf ppf "@]"
+  end

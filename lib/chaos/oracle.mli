@@ -1,0 +1,76 @@
+(** The SVS safety oracle: machine-checks the paper's §4 contracts over
+    a recorded chaos run and reports failures replayably.
+
+    The three contracts (checked via {!Svs_core.Checker} against the
+    transitive closure of the annotation-encoded relation):
+
+    - {b Semantic View Synchrony} (§4.1): if [p] installs consecutive
+      views [v_i], [v_{i+1}] and delivers [m] in [v_i], every process
+      [q] installing both views delivers some [m'] with [m ⊑ m']
+      before installing [v_{i+1}] — surviving installers end each view
+      with obsolescence-equivalent delivery sets.
+    - {b FIFO Semantic Reliability} (§4.1): per-sender FIFO order, and
+      omissions only of obsolete messages — if [p] delivers [m'] in
+      [v_i], then for every [m] multicast earlier by the same sender,
+      [p] delivers some [m''] with [m ⊑ m''] before installing
+      [v_{i+1}].
+    - {b Integrity}: no creation, no duplication (per process).
+
+    In {!Vs} mode (empty relation — every annotation [Unrelated]) the
+    oracle additionally demands classical View Synchrony: identical
+    per-view delivery sets, demonstrating the paper's claim that SVS
+    with an empty relation {e is} VS.
+
+    A failing report carries the seed, the scenario name, the violating
+    view pair(s) and the offending message ids — everything needed to
+    replay the exact run. *)
+
+type mode =
+  | Vs  (** Empty relation: strict View Synchrony must hold. *)
+  | Svs  (** Annotated run: the three SVS contracts must hold. *)
+
+val mode_label : mode -> string
+(** ["vs"] / ["svs"]. *)
+
+val mode_of_label : string -> mode option
+
+(** Self-test mutations: corrupt the recorded run the way a broken
+    implementation would, to prove the oracle actually bites. *)
+type mutation =
+  | Drop_cover
+      (** Simulate an over-eager purge: remove one delivery whose
+          absence provably breaks the view-pair equivalence (a message
+          another surviving installer delivered, with no other cover in
+          the mutated log). *)
+
+type report = {
+  mode : mode;
+  seed : int;
+  scenario : string;
+  violations : Svs_core.Checker.violation list;
+  deliveries : int;  (** Data deliveries checked. *)
+  installs : int;  (** View installations checked. *)
+  mutated : (int * Svs_obs.Msg_id.t) option;
+      (** The (process, message id) removed by a {!mutation}. *)
+}
+
+val check :
+  ?mutation:mutation ->
+  mode:mode ->
+  seed:int ->
+  scenario:string ->
+  Svs_core.Checker.t ->
+  report
+(** Verify the recorded run. Raises [Failure] if a [mutation] was
+    requested but the run contains no safety-relevant delivery to
+    corrupt (too short a run to self-test against). *)
+
+val ok : report -> bool
+
+val view_pair : Svs_core.Checker.violation -> (int * int) option
+(** The violated view transition [(v_i, v_{i+1})], when the clause is
+    about one. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line for a pass; seed + scenario + every violation with its
+    view pair for a failure. *)

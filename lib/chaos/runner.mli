@@ -1,0 +1,69 @@
+(** Drives seeded chaos runs end to end: build a simulated cluster,
+    run a multicast workload under a {!Scenario}'s fault plan, then
+    hand the recorded trace to the {!Oracle}.
+
+    Every run is a pure function of [(config, mode, scenario, seed)]:
+    the engine seed feeds the workload stream, the fault plan and the
+    network, so a failing seed printed by the oracle replays the exact
+    execution. *)
+
+type config = {
+  nodes : int;  (** Group size (members [0 .. nodes-1]). *)
+  horizon : float;  (** Fault + workload window (virtual seconds). *)
+  settle : float;  (** Quiet drain period after the horizon. *)
+  send_period : float;  (** Per-producer multicast period. *)
+  k : int;  (** k-enumeration window for SVS-mode annotations. *)
+  obsolete_bias : float;
+      (** Probability an SVS-mode message directly obsoletes its
+          sender's previous message. *)
+  reconfigure : float option;
+      (** When set, trigger one benign (no-leave) view change at this
+          fraction of the horizon, so scenarios whose faults never
+          force a membership change still exercise the view-pair
+          contracts (with one everlasting view they hold vacuously). *)
+}
+
+val default_config : config
+(** 5 nodes, 12 s horizon, 6 s settle, 50 ms sends, k = 8, bias 0.7,
+    benign reconfiguration at 45% of the horizon. *)
+
+type outcome = {
+  report : Oracle.report;
+  faults : int;  (** Fault actions actually applied. *)
+  sent : int;  (** Messages multicast by the workload. *)
+  purged : int;  (** Deliveries saved by obsolescence (sum over nodes). *)
+  events : int;  (** Engine events executed. *)
+}
+
+val run_one :
+  ?mutation:Oracle.mutation ->
+  ?tracer:Svs_telemetry.Trace.t ->
+  ?config:config ->
+  mode:Oracle.mode ->
+  scenario:Scenario.t ->
+  seed:int ->
+  unit ->
+  outcome
+(** One seeded chaos run. In {!Oracle.Vs} mode the workload sends
+    [Unrelated] annotations and the oracle demands classical View
+    Synchrony; in {!Oracle.Svs} mode senders build k-enumeration
+    annotations with a {!Svs_obs.Kenum_stream}. *)
+
+val sweep :
+  ?mutation:Oracle.mutation ->
+  ?config:config ->
+  modes:Oracle.mode list ->
+  scenarios:Scenario.t list ->
+  seeds:int list ->
+  unit ->
+  outcome list
+(** The full grid, in [scenario * mode * seed] order. *)
+
+val failures : outcome list -> outcome list
+
+val pp_table : Format.formatter -> outcome list -> unit
+(** One row per [scenario * mode]: seeds run, pass/fail, faults,
+    messages, deliveries, purged. *)
+
+val pp_failures : Format.formatter -> outcome list -> unit
+(** Every failing {!Oracle.report} in full, one block per seed. *)

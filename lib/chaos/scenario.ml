@@ -1,0 +1,188 @@
+module Rng = Svs_sim.Rng
+module Latency = Svs_net.Latency
+
+type action =
+  | Crash of int
+  | Pause of int
+  | Resume of int
+  | Partition of int * int
+  | Heal of int * int
+  | Leave of { initiator : int; node : int }
+  | Set_latency of Latency.t
+  | Restore_latency
+
+type timed = { at : float; action : action }
+
+type t = {
+  name : string;
+  doc : string;
+  plan : rng:Rng.t -> n:int -> horizon:float -> timed list;
+}
+
+let action_kind = function
+  | Crash _ -> "crash"
+  | Pause _ -> "pause"
+  | Resume _ -> "resume"
+  | Partition _ -> "partition"
+  | Heal _ -> "heal"
+  | Leave _ -> "leave"
+  | Set_latency _ -> "latency"
+  | Restore_latency -> "latency-restore"
+
+let pp_action ppf = function
+  | Crash p -> Format.fprintf ppf "crash(%d)" p
+  | Pause p -> Format.fprintf ppf "pause(%d)" p
+  | Resume p -> Format.fprintf ppf "resume(%d)" p
+  | Partition (a, b) -> Format.fprintf ppf "partition(%d,%d)" a b
+  | Heal (a, b) -> Format.fprintf ppf "heal(%d,%d)" a b
+  | Leave { initiator; node } -> Format.fprintf ppf "leave(%d by %d)" node initiator
+  | Set_latency l -> Format.fprintf ppf "latency(%a)" Latency.pp l
+  | Restore_latency -> Format.fprintf ppf "latency(restore)"
+
+let pp_timed ppf { at; action } = Format.fprintf ppf "@%.3fs %a" at pp_action action
+
+let by_time plan = List.stable_sort (fun a b -> Float.compare a.at b.at) plan
+
+(* Random distinct victims among 1..n-1 (node 0 is the anchor). *)
+let victims rng ~n ~k =
+  let pool = Array.init (n - 1) (fun i -> i + 1) in
+  Rng.shuffle rng pool;
+  Array.to_list (Array.sub pool 0 (min k (Array.length pool)))
+
+let scenario name doc plan = { name; doc; plan }
+
+let calm =
+  scenario "calm" "no faults (baseline)" (fun ~rng:_ ~n:_ ~horizon:_ -> [])
+
+(* Crash-stop: between 1 and n-2 victims, so at least two members
+   (including the anchor) survive. *)
+let crash_plan ~rng ~n ~horizon =
+  if n < 3 then []
+  else begin
+    let k = 1 + Rng.int rng (n - 2) in
+    by_time
+      (List.map
+         (fun v -> { at = Rng.uniform rng ~lo:(0.1 *. horizon) ~hi:(0.7 *. horizon); action = Crash v })
+         (victims rng ~n ~k))
+  end
+
+let crash = scenario "crash" "crash-stop a random subset" crash_plan
+
+let partition_heal_plan ~rng ~n ~horizon =
+  if n < 2 then []
+  else begin
+    let windows = 1 + Rng.int rng 3 in
+    let rec mk acc i =
+      if i = 0 then acc
+      else begin
+        let a = Rng.int rng n in
+        let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+        let start = Rng.uniform rng ~lo:(0.05 *. horizon) ~hi:(0.6 *. horizon) in
+        let stop =
+          Float.min (0.9 *. horizon)
+            (start +. Rng.uniform rng ~lo:(0.05 *. horizon) ~hi:(0.3 *. horizon))
+        in
+        mk
+          ({ at = start; action = Partition (a, b) }
+          :: { at = stop; action = Heal (a, b) }
+          :: acc)
+          (i - 1)
+      end
+    in
+    by_time (mk [] windows)
+  end
+
+let partition_heal =
+  scenario "partition-heal" "link partitions, healed before the horizon" partition_heal_plan
+
+let slow_receiver_plan ~rng ~n ~horizon =
+  if n < 2 then []
+  else begin
+    let k = if n > 3 && Rng.bool rng then 2 else 1 in
+    let mk v =
+      let start = Rng.uniform rng ~lo:(0.05 *. horizon) ~hi:(0.3 *. horizon) in
+      let stop =
+        Float.min (0.9 *. horizon)
+          (start +. Rng.uniform rng ~lo:(0.2 *. horizon) ~hi:(0.5 *. horizon))
+      in
+      [ { at = start; action = Pause v }; { at = stop; action = Resume v } ]
+    in
+    by_time (List.concat_map mk (victims rng ~n ~k))
+  end
+
+let slow_receiver =
+  scenario "slow-receiver" "long receive pauses on one or two nodes" slow_receiver_plan
+
+let churn_plan ~rng ~n ~horizon =
+  if n < 3 then []
+  else begin
+    let k = 1 + Rng.int rng (n - 2) in
+    by_time
+      (List.map
+         (fun v ->
+           {
+             at = Rng.uniform rng ~lo:(0.1 *. horizon) ~hi:(0.7 *. horizon);
+             action = Leave { initiator = 0; node = v };
+           })
+         (victims rng ~n ~k))
+  end
+
+let churn = scenario "churn" "voluntary membership removals spread over the run" churn_plan
+
+let spike_models =
+  [|
+    Latency.Uniform { lo = 0.02; hi = 0.08 };
+    Latency.Constant 0.05;
+    Latency.Shifted_exponential { base = 0.02; mean = 0.03 };
+  |]
+
+let latency_spikes_plan ~rng ~n:_ ~horizon =
+  let windows = 1 + Rng.int rng 3 in
+  let rec mk acc last i =
+    if i = 0 then acc
+    else begin
+      let start = Rng.uniform rng ~lo:last ~hi:(Float.min (0.8 *. horizon) (last +. 0.3 *. horizon)) in
+      let stop =
+        Float.min (0.9 *. horizon)
+          (start +. Rng.uniform rng ~lo:(0.05 *. horizon) ~hi:(0.2 *. horizon))
+      in
+      mk
+        ({ at = start; action = Set_latency (Rng.pick rng spike_models) }
+        :: { at = stop; action = Restore_latency }
+        :: acc)
+        stop (i - 1)
+    end
+  in
+  by_time (mk [] (0.05 *. horizon) windows)
+
+let latency_spikes =
+  scenario "latency-spikes" "windows of much slower network, then restored" latency_spikes_plan
+
+(* Everything at once, each sub-plan on its own split stream. Crashes
+   and churn share one removal budget of n-2 victims so the anchor
+   plus at least one peer always stay in the group; partitions and
+   pauses may hit removed nodes — the injector tolerates that. *)
+let mayhem_plan ~rng ~n ~horizon =
+  let sub plan = plan ~rng:(Rng.split rng) ~n ~horizon in
+  let removals =
+    if n < 3 then []
+    else begin
+      let r = Rng.split rng in
+      let k = 1 + Rng.int r (n - 2) in
+      List.map
+        (fun v ->
+          let at = Rng.uniform r ~lo:(0.1 *. horizon) ~hi:(0.7 *. horizon) in
+          if Rng.bool r then { at; action = Crash v }
+          else { at; action = Leave { initiator = 0; node = v } })
+        (victims r ~n ~k)
+    end
+  in
+  by_time
+    (List.concat
+       [ removals; sub partition_heal_plan; sub slow_receiver_plan; sub latency_spikes_plan ])
+
+let mayhem = scenario "mayhem" "crashes + partitions + pauses + churn + spikes" mayhem_plan
+
+let all = [ calm; crash; partition_heal; slow_receiver; churn; latency_spikes; mayhem ]
+
+let find name = List.find_opt (fun s -> s.name = name) all

@@ -1,0 +1,85 @@
+(** Declarative, seeded fault schedules.
+
+    A scenario is a named generator: given a random stream, a node
+    count and a virtual-time horizon, it produces a timed list of fault
+    actions. All randomness comes from the supplied {!Svs_sim.Rng.t},
+    so a plan — and hence a whole chaos run — is a pure function of the
+    seed: any failure the oracle reports is replayable bit-for-bit from
+    the printed seed.
+
+    Plans obey the liveness discipline the safety oracle needs to make
+    progress through the run:
+    - node 0 (the anchor producer) is never crashed, paused, isolated
+      or removed;
+    - at least two members survive every plan;
+    - every [Pause] has a matching [Resume], every [Partition] a
+      matching [Heal], and every latency spike a restore, all strictly
+      before the horizon (the injector's settle pass re-enforces this
+      defensively). *)
+
+type action =
+  | Crash of int  (** Crash-stop: silenced for the rest of the run. *)
+  | Pause of int
+      (** Freeze the node's receive side (a stalled-but-running
+          process); inbound traffic queues at the network. *)
+  | Resume of int
+  | Partition of int * int  (** Symmetric link partition; messages held. *)
+  | Heal of int * int
+  | Leave of { initiator : int; node : int }
+      (** Membership churn: [initiator] asks the group to reconfigure
+          [node] out. *)
+  | Set_latency of Svs_net.Latency.t
+      (** Network-wide latency change (a spike). *)
+  | Restore_latency
+      (** Put back the latency model the network had when injection
+          started. *)
+
+type timed = { at : float; action : action }
+
+type t = {
+  name : string;
+  doc : string;
+  plan : rng:Svs_sim.Rng.t -> n:int -> horizon:float -> timed list;
+}
+
+val action_kind : action -> string
+(** Short identifier ([crash], [pause], [partition], ...) used for the
+    [Fault] trace event and reports. *)
+
+val pp_action : Format.formatter -> action -> unit
+
+val pp_timed : Format.formatter -> timed -> unit
+
+(** {1 Built-in scenarios} *)
+
+val calm : t
+(** No faults — the baseline the others are measured against. *)
+
+val crash : t
+(** Crash-stop a random subset (≥ 1, always leaving ≥ 2 survivors) at
+    random times. *)
+
+val partition_heal : t
+(** One to three link partitions, each healed before the horizon;
+    windows may overlap. *)
+
+val slow_receiver : t
+(** Long receive pauses (comparable to the horizon) on one or two
+    nodes — the paper's perturbed-receiver story. *)
+
+val churn : t
+(** A sequence of voluntary membership removals spread over the run. *)
+
+val latency_spikes : t
+(** Repeated windows in which the base latency is replaced by a much
+    slower distribution, then restored. *)
+
+val mayhem : t
+(** The union of all of the above drawn from one stream: crashes,
+    partitions, pauses, churn and spikes in a single run. *)
+
+val all : t list
+(** Every built-in scenario, [calm] first. *)
+
+val find : string -> t option
+(** Look up a built-in by name ([crash], [partition-heal], ...). *)

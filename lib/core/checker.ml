@@ -130,6 +130,19 @@ let segments_of events =
   in
   split None [] events
 
+type recorded = Delivered of meta | Installed of View.t
+
+let multicast_log t = List.rev t.multicast_order
+
+let processes t =
+  List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.processes [])
+
+let process_log t ~p =
+  match Hashtbl.find_opt t.processes p with
+  | None -> []
+  | Some log ->
+      List.rev_map (function Deliver m -> Delivered m | Install v -> Installed v) !log
+
 let deliveries_in_view t ~p ~view_id =
   match Hashtbl.find_opt t.processes p with
   | None -> []

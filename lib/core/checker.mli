@@ -37,7 +37,22 @@ type meta = {
   view_id : int;
 }
 
-type violation
+(** One broken safety clause. [view_id] always names the view [v_i] of
+    the violated view pair [(v_i, v_{i+1})]; a chaos report can thus
+    point at the exact transition that lost a message. *)
+type violation =
+  | Created of { p : int; id : Svs_obs.Msg_id.t }
+  | Duplicated of { p : int; id : Svs_obs.Msg_id.t }
+  | Fifo_order of { p : int; first : Svs_obs.Msg_id.t; second : Svs_obs.Msg_id.t }
+  | Svs_hole of { p : int; q : int; view_id : int; missing : Svs_obs.Msg_id.t }
+  | Fifo_sr_hole of {
+      p : int;
+      view_id : int;
+      missing : Svs_obs.Msg_id.t;
+      because : Svs_obs.Msg_id.t;
+    }
+  | View_disagreement of { p : int; q : int; view_id : int }
+  | Vs_mismatch of { p : int; q : int; view_id : int; missing : Svs_obs.Msg_id.t }
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -62,3 +77,22 @@ val verify_strict_vs : t -> violation list
 
 val deliveries_in_view : t -> p:int -> view_id:int -> meta list
 (** For tests: what [p] delivered while in the given view. *)
+
+(** {1 Trace export}
+
+    Read access to the recorded execution, in recording order — enough
+    to replay a (possibly mutated) copy of the trace into a fresh
+    checker. The chaos oracle uses this to prove its own sensitivity:
+    re-recording the run minus one safety-relevant delivery must flip
+    the verdict. *)
+
+type recorded = Delivered of meta | Installed of View.t
+
+val multicast_log : t -> meta list
+(** Every recorded multicast, oldest first. *)
+
+val processes : t -> int list
+(** Processes with at least one recorded event, ascending. *)
+
+val process_log : t -> p:int -> recorded list
+(** [p]'s deliveries and installs, oldest first. *)

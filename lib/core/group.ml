@@ -286,6 +286,16 @@ let partition c a b = Network.disconnect c.net a b
 
 let heal c a b = Network.reconnect c.net a b
 
+let pause_receive c p = Network.pause_receive c.net ~node:p
+
+let resume_receive c p = Network.resume_receive c.net ~node:p
+
+let receive_paused c p = Network.receive_paused c.net ~node:p
+
+let set_latency c latency = Network.set_latency c.net latency
+
+let latency c = Network.latency c.net
+
 let crash c p =
   let m = member c p in
   retire m;

@@ -107,6 +107,21 @@ val partition : 'p cluster -> int -> int -> unit
 
 val heal : 'p cluster -> int -> int -> unit
 
+val pause_receive : 'p cluster -> int -> unit
+(** Freeze a member's receive side: inbound packets (data, control,
+    heartbeats, consensus) queue at the network instead of being
+    handled — the chaos model of a stalled process that is still
+    running. {!resume_receive} drains the queue in order. *)
+
+val resume_receive : 'p cluster -> int -> unit
+
+val receive_paused : 'p cluster -> int -> bool
+
+val set_latency : 'p cluster -> Svs_net.Latency.t -> unit
+(** Swap the network's latency model (chaos latency spikes). *)
+
+val latency : 'p cluster -> Svs_net.Latency.t
+
 (** {1 Member operations} *)
 
 val id : 'p t -> int

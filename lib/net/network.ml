@@ -26,7 +26,7 @@ type 'msg node = {
 
 type 'msg t = {
   engine : Engine.t;
-  latency : Latency.t;
+  mutable latency : Latency.t;
   bandwidth : float; (* bytes per second; infinity = unmodelled *)
   sizer : ('msg -> int) option;
   nodes : 'msg node array;
@@ -58,6 +58,10 @@ let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?size
   }
 
 let engine t = t.engine
+
+let set_latency t latency = t.latency <- latency
+
+let latency t = t.latency
 
 let attach_metrics t reg =
   t.probe <-

@@ -33,6 +33,15 @@ val create :
 
 val engine : 'msg t -> Svs_sim.Engine.t
 
+val set_latency : 'msg t -> Latency.t -> unit
+(** Swap the latency model for subsequently sent messages (latency
+    spikes under chaos testing). Already-scheduled arrivals keep their
+    times; per-link FIFO still holds because arrivals are clamped to
+    the link's previous arrival time. *)
+
+val latency : 'msg t -> Latency.t
+(** The current latency model. *)
+
 val attach_metrics : 'msg t -> Svs_telemetry.Metrics.t -> unit
 (** Register the network's instruments: [net_messages_sent_total],
     [net_messages_delivered_total], [net_bytes_sent_total] (the last

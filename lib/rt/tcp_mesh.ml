@@ -3,19 +3,33 @@ module Trace = Svs_telemetry.Trace
 
 let frame_header_bytes = 4
 
+type dial_policy = {
+  base_delay : float;
+  max_delay : float;
+  multiplier : float;
+  jitter : float;
+  max_attempts : int option;
+}
+
+let default_dial_policy =
+  { base_delay = 0.05; max_delay = 2.0; multiplier = 2.0; jitter = 0.2; max_attempts = None }
+
 type outgoing = {
   dst : int;
   addr : Unix.sockaddr;
   mutable fd : Unix.file_descr option;
   mutable broken : bool;
-      (* An established connection that failed. The paper's system
-         model gives reliable FIFO channels between correct processes;
-         once a stream breaks, bytes already handed to the kernel may
-         be lost, so silently reconnecting would violate FIFO
-         reliability. Crash-stop semantics apply instead: the peer is
-         written off (heartbeats stop, suspicion and the view change
-         machinery take over). *)
+      (* An established connection that failed, or a peer past the dial
+         cap. The paper's system model gives reliable FIFO channels
+         between correct processes; once a stream breaks, bytes already
+         handed to the kernel may be lost, so silently reconnecting
+         would violate FIFO reliability. Crash-stop semantics apply
+         instead: the peer is written off (heartbeats stop, suspicion
+         and the view change machinery take over). *)
   mutable dial_failed : bool; (* at least one failed dial so far *)
+  mutable attempts : int; (* consecutive failed dials *)
+  mutable delay : float; (* current backoff delay *)
+  mutable next_dial : float; (* wall-clock time before which we hold off *)
   out : Buffer.t; (* bytes not yet written to the kernel *)
 }
 
@@ -34,9 +48,14 @@ type t = {
   on_frame : src:int -> string -> unit;
   mutable closed : bool;
   tracer : Trace.t;
+  dial : dial_policy;
+  max_frame : int;
+  mutable jitter_state : int64;
   c_bytes_out : Metrics.Counter.t;
   c_bytes_in : Metrics.Counter.t;
   c_reconnects : Metrics.Counter.t;
+  c_frames_dropped : Metrics.Counter.t;
+  c_frames_oversize : Metrics.Counter.t;
 }
 
 let listener addr =
@@ -55,6 +74,53 @@ let encode_frame payload =
   Bytes.set_uint8 header 2 ((n lsr 8) land 0xFF);
   Bytes.set_uint8 header 3 (n land 0xFF);
   Bytes.to_string header ^ payload
+
+(* Deterministic jitter (xorshift64), seeded from the node id: dial
+   retries across a mesh restart don't synchronise into thundering
+   herds, yet a run is still reproducible. *)
+let jitter_factor t =
+  let s = t.jitter_state in
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  let s = Int64.logxor s (Int64.shift_left s 17) in
+  t.jitter_state <- s;
+  let unit =
+    Int64.to_float (Int64.shift_right_logical s 11) /. 9007199254740992.0 (* 2^53 *)
+  in
+  1.0 +. (t.dial.jitter *. ((2.0 *. unit) -. 1.0))
+
+let emit_drop t ~peer ~reason =
+  Metrics.Counter.incr t.c_frames_dropped;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer (Trace.TcpDrop { node = t.me; peer; reason })
+
+(* Frames in a buffer of whole encoded frames (an unconnected peer's
+   queue — nothing has been partially written yet). *)
+let count_whole_frames data =
+  let len = String.length data in
+  let rec go off acc =
+    if off + frame_header_bytes > len then acc
+    else begin
+      let n =
+        (Char.code data.[off] lsl 24)
+        lor (Char.code data.[off + 1] lsl 16)
+        lor (Char.code data.[off + 2] lsl 8)
+        lor Char.code data.[off + 3]
+      in
+      go (off + frame_header_bytes + n) (acc + 1)
+    end
+  in
+  go 0 0
+
+(* Give up on an unreachable peer: crash-stop semantics, queued frames
+   are dropped (and counted — they were promised to no one). *)
+let write_off_unreachable t (out : outgoing) =
+  out.broken <- true;
+  let dropped = count_whole_frames (Buffer.contents out.out) in
+  Buffer.clear out.out;
+  Metrics.Counter.add t.c_frames_dropped dropped;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer (Trace.TcpDrop { node = t.me; peer = out.dst; reason = "dial-cap" })
 
 (* Push as much of the pending output as the kernel will take. *)
 let flush_outgoing t (out : outgoing) =
@@ -75,17 +141,26 @@ let flush_outgoing t (out : outgoing) =
             (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
             out.fd <- None;
             out.broken <- true;
-            Buffer.clear out.out
+            Buffer.clear out.out;
+            if Trace.enabled t.tracer then
+              Trace.emit t.tracer
+                (Trace.TcpDrop { node = t.me; peer = out.dst; reason = "stream-broken" })
       end
 
 let try_dial t (out : outgoing) =
-  if (not t.closed) && out.fd = None && not out.broken then begin
+  if
+    (not t.closed) && out.fd = None && (not out.broken)
+    && Loop.now t.loop >= out.next_dial
+  then begin
     let domain = Unix.domain_of_sockaddr out.addr in
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd out.addr with
     | () ->
         Unix.set_nonblock fd;
         out.fd <- Some fd;
+        out.attempts <- 0;
+        out.delay <- t.dial.base_delay;
+        out.next_dial <- 0.0;
         (* A link that comes up after failed attempts: the peer was
            unreachable at first and is now connected. *)
         if out.dial_failed then begin
@@ -102,11 +177,24 @@ let try_dial t (out : outgoing) =
         Buffer.add_string out.out pending;
         flush_outgoing t out
     | exception Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
         out.dial_failed <- true;
-        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        out.attempts <- out.attempts + 1;
+        (match t.dial.max_attempts with
+        | Some cap when out.attempts >= cap -> write_off_unreachable t out
+        | _ ->
+            (* Exponential backoff with jitter before the next dial. *)
+            out.next_dial <- Loop.now t.loop +. (out.delay *. jitter_factor t);
+            out.delay <- Float.min t.dial.max_delay (out.delay *. t.dial.multiplier))
   end
 
-(* Split complete frames out of an incoming byte buffer. *)
+let drop_incoming t inc =
+  Loop.remove_fd t.loop inc.fd;
+  (try Unix.close inc.fd with Unix.Unix_error (_, _, _) -> ());
+  t.incoming <- List.filter (fun other -> other != inc) t.incoming
+
+(* Split complete frames out of an incoming byte buffer; resets the
+   link (and stops) on an oversize frame or a malformed hello. *)
 let rec drain_frames t inc =
   let data = Buffer.contents inc.buf in
   let available = String.length data in
@@ -117,22 +205,35 @@ let rec drain_frames t inc =
       lor (Char.code data.[2] lsl 8)
       lor Char.code data.[3]
     in
-    if available >= frame_header_bytes + n then begin
+    if n > t.max_frame then begin
+      (* A frame we refuse to buffer: either a hostile/corrupt peer or
+         a foreign protocol. Reset the link gracefully — the peer can
+         reconnect with a fresh stream — rather than OOM on it. *)
+      Metrics.Counter.incr t.c_frames_oversize;
+      emit_drop t ~peer:(Option.value inc.peer ~default:(-1)) ~reason:"oversize";
+      drop_incoming t inc
+    end
+    else if available >= frame_header_bytes + n then begin
       let payload = String.sub data frame_header_bytes n in
       Buffer.clear inc.buf;
       Buffer.add_substring inc.buf data (frame_header_bytes + n)
         (available - frame_header_bytes - n);
-      (match inc.peer with
-      | None -> inc.peer <- int_of_string_opt payload
-      | Some src -> if not t.closed then t.on_frame ~src payload);
-      drain_frames t inc
+      match inc.peer with
+      | None -> (
+          match int_of_string_opt payload with
+          | Some peer ->
+              inc.peer <- Some peer;
+              drain_frames t inc
+          | None ->
+              (* First frame must be the dialer's id; anything else is
+                 not this protocol. *)
+              emit_drop t ~peer:(-1) ~reason:"bad-hello";
+              drop_incoming t inc)
+      | Some src ->
+          if not t.closed then t.on_frame ~src payload;
+          drain_frames t inc
     end
   end
-
-let drop_incoming t inc =
-  Loop.remove_fd t.loop inc.fd;
-  (try Unix.close inc.fd with Unix.Unix_error (_, _, _) -> ());
-  t.incoming <- List.filter (fun other -> other != inc) t.incoming
 
 let on_readable_incoming t inc () =
   let chunk = Bytes.create 65536 in
@@ -155,7 +256,8 @@ let on_accept t () =
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
   | exception Unix.Unix_error (_, _, _) -> ()
 
-let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics () =
+let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
+    ?(dial = default_dial_policy) ?(max_frame = 8 * 1024 * 1024) () =
   Unix.set_nonblock listen_fd;
   let outgoing =
     List.filter_map
@@ -164,8 +266,17 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics (
         else
           Some
             ( dst,
-              { dst; addr; fd = None; broken = false; dial_failed = false; out = Buffer.create 4096 }
-            ))
+              {
+                dst;
+                addr;
+                fd = None;
+                broken = false;
+                dial_failed = false;
+                attempts = 0;
+                delay = dial.base_delay;
+                next_dial = 0.0;
+                out = Buffer.create 4096;
+              } ))
       peers
   in
   let labels = [ ("node", string_of_int me) ] in
@@ -184,9 +295,14 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics (
       on_frame;
       closed = false;
       tracer;
+      dial;
+      max_frame;
+      jitter_state = Int64.of_int ((me * 2654435761) lor 1);
       c_bytes_out = counter "tcp_bytes_out_total";
       c_bytes_in = counter "tcp_bytes_in_total";
       c_reconnects = counter "tcp_reconnects_total";
+      c_frames_dropped = counter "tcp_frames_dropped_total";
+      c_frames_oversize = counter "tcp_frames_oversize_total";
     }
   in
   Loop.on_readable loop listen_fd (on_accept t);
@@ -205,7 +321,11 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics (
 let send t ~dst payload =
   if not t.closed then
     match List.assoc_opt dst t.outgoing with
-    | None -> ()
+    | None -> emit_drop t ~peer:dst ~reason:"unknown-dst"
+    | Some (out : outgoing) when out.broken ->
+        (* Buffering towards a written-off peer would grow without
+           bound; the frame can never be delivered on this stream. *)
+        emit_drop t ~peer:dst ~reason:"written-off"
     | Some (out : outgoing) ->
         Buffer.add_string out.out (encode_frame payload);
         if out.fd = None then try_dial t out;
@@ -216,6 +336,16 @@ let bytes_out t = Metrics.Counter.value t.c_bytes_out
 let bytes_in t = Metrics.Counter.value t.c_bytes_in
 
 let reconnects t = Metrics.Counter.value t.c_reconnects
+
+let frames_dropped t = Metrics.Counter.value t.c_frames_dropped
+
+let frames_oversize t = Metrics.Counter.value t.c_frames_oversize
+
+let dial_attempts t ~dst =
+  match List.assoc_opt dst t.outgoing with None -> 0 | Some out -> out.attempts
+
+let written_off t ~dst =
+  match List.assoc_opt dst t.outgoing with None -> false | Some out -> out.broken
 
 let connected t =
   List.filter_map

@@ -13,6 +13,24 @@
 
 type t
 
+(** How dial retries back off. Delays grow geometrically from
+    [base_delay] by [multiplier] up to [max_delay], each scaled by a
+    deterministic jitter in [1 ± jitter] (seeded from the node id) so a
+    mesh restarting together does not dial in lockstep. With
+    [max_attempts = Some n], a peer that fails [n] consecutive dials is
+    written off — crash-stop semantics — and its queued frames are
+    dropped (and counted) instead of accumulating forever. *)
+type dial_policy = {
+  base_delay : float;
+  max_delay : float;
+  multiplier : float;
+  jitter : float;
+  max_attempts : int option;  (** [None]: retry forever. *)
+}
+
+val default_dial_policy : dial_policy
+(** 50 ms base, 2 s cap, doubling, 20% jitter, no attempt cap. *)
+
 val listener : Unix.sockaddr -> Unix.file_descr * Unix.sockaddr
 (** Bind + listen; returns the socket and its actual address (useful
     with port 0). *)
@@ -25,18 +43,30 @@ val create :
   on_frame:(src:int -> string -> unit) ->
   ?tracer:Svs_telemetry.Trace.t ->
   ?metrics:Svs_telemetry.Metrics.t ->
+  ?dial:dial_policy ->
+  ?max_frame:int ->
   unit ->
   t
-(** Starts accepting and dialing immediately; dials are retried in the
-    background until they succeed. [tracer] receives a [TcpReconnect]
-    event whenever an outgoing link comes up after at least one failed
-    dial; [metrics] registers [tcp_bytes_out_total],
-    [tcp_bytes_in_total] and [tcp_reconnects_total], labelled by
-    node. *)
+(** Starts accepting and dialing immediately; dials are retried per
+    [dial] (default {!default_dial_policy}). [max_frame] (default
+    8 MiB) bounds the payload size this node will buffer for a single
+    inbound frame: a larger header — a hostile peer, corruption, or a
+    foreign protocol — resets that link gracefully instead of
+    exhausting memory. A first frame that is not a well-formed hello
+    resets the link too.
+
+    [tracer] receives [TcpReconnect] whenever an outgoing link comes up
+    after at least one failed dial, and [TcpDrop] (with a reason:
+    ["unknown-dst"], ["written-off"], ["dial-cap"], ["stream-broken"],
+    ["oversize"], ["bad-hello"]) whenever traffic is discarded.
+    [metrics] registers [tcp_bytes_out_total], [tcp_bytes_in_total],
+    [tcp_reconnects_total], [tcp_frames_dropped_total] and
+    [tcp_frames_oversize_total], labelled by node. *)
 
 val send : t -> dst:int -> string -> unit
 (** Queue a frame for [dst]; buffered until the connection is up.
-    Frames to unknown destinations are dropped.
+    Frames to unknown or written-off destinations are dropped — loudly:
+    counted in [tcp_frames_dropped_total] and traced as [TcpDrop].
 
     Once an {e established} connection to a peer fails, the peer is
     written off and never redialed: bytes already in flight may have
@@ -59,6 +89,19 @@ val bytes_in : t -> int
 
 val reconnects : t -> int
 (** Outgoing links that came up after at least one failed dial. *)
+
+val frames_dropped : t -> int
+(** Frames discarded so far (unknown destination, written-off peer,
+    dial cap, oversize, bad hello). *)
+
+val frames_oversize : t -> int
+(** Inbound frames refused for exceeding [max_frame]. *)
+
+val dial_attempts : t -> dst:int -> int
+(** Consecutive failed dials towards [dst] (0 once connected). *)
+
+val written_off : t -> dst:int -> bool
+(** True once [dst] has been given up on (broken stream or dial cap). *)
 
 val close : t -> unit
 (** Close every socket (the process "crashes" from the peers' point of

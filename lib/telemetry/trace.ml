@@ -9,6 +9,8 @@ type event =
   | Block of { node : int; view_id : int }
   | Unblock of { node : int; view_id : int }
   | TcpReconnect of { node : int; peer : int }
+  | TcpDrop of { node : int; peer : int; reason : string }
+  | Fault of { kind : string; node : int; peer : int }
 
 type record = { time : float; seq : int; event : event }
 
@@ -108,6 +110,16 @@ let record_to_json { time; seq; event } =
       field "view" view_id
   | TcpReconnect { node; peer } ->
       Buffer.add_string b "\"tcp_reconnect\"";
+      field "node" node;
+      field "peer" peer
+  | TcpDrop { node; peer; reason } ->
+      Buffer.add_string b "\"tcp_drop\"";
+      field "node" node;
+      field "peer" peer;
+      Buffer.add_string b (Printf.sprintf ",\"reason\":\"%s\"" reason)
+  | Fault { kind; node; peer } ->
+      Buffer.add_string b "\"fault\"";
+      Buffer.add_string b (Printf.sprintf ",\"kind\":\"%s\"" kind);
       field "node" node;
       field "peer" peer);
   Buffer.add_char b '}';
@@ -243,6 +255,8 @@ let record_of_json line =
       | "block" -> Block { node = int "node"; view_id = int "view" }
       | "unblock" -> Unblock { node = int "node"; view_id = int "view" }
       | "tcp_reconnect" -> TcpReconnect { node = int "node"; peer = int "peer" }
+      | "tcp_drop" -> TcpDrop { node = int "node"; peer = int "peer"; reason = str "reason" }
+      | "fault" -> Fault { kind = str "kind"; node = int "node"; peer = int "peer" }
       | _ -> raise Bad
     in
     { time = num "t"; seq = int "seq"; event }
@@ -268,3 +282,6 @@ let pp_event ppf = function
   | Unblock { node; view_id } -> Format.fprintf ppf "unblock(node=%d view=%d)" node view_id
   | TcpReconnect { node; peer } ->
       Format.fprintf ppf "tcp_reconnect(node=%d peer=%d)" node peer
+  | TcpDrop { node; peer; reason } ->
+      Format.fprintf ppf "tcp_drop(node=%d peer=%d reason=%s)" node peer reason
+  | Fault { kind; node; peer } -> Format.fprintf ppf "fault(kind=%s node=%d peer=%d)" kind node peer

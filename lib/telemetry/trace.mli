@@ -32,6 +32,15 @@ type event =
   | Unblock of { node : int; view_id : int }
   | TcpReconnect of { node : int; peer : int }
       (** An outgoing link came up after at least one failed dial. *)
+  | TcpDrop of { node : int; peer : int; reason : string }
+      (** The transport dropped traffic or reset a link: a frame to an
+          unknown or written-off destination, an oversize inbound
+          frame, a malformed hello, a broken stream, or a peer written
+          off after exhausting its dial budget. *)
+  | Fault of { kind : string; node : int; peer : int }
+      (** A chaos-injected fault ([kind] names the action: [crash],
+          [pause], [partition], ...). [peer] is the second endpoint for
+          link faults and [-1] when not applicable. *)
 
 type record = { time : float; seq : int; event : event }
 

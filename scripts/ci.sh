@@ -1,11 +1,14 @@
 #!/bin/sh
-# Tier-1 CI entry point: build + full test suite, plus repo hygiene
-# guards. Run from the repository root.
+# Tier-1 CI entry point: build + full test suite + chaos smoke sweep,
+# plus repo hygiene guards. Run from the repository root.
 #
-#   scripts/ci.sh        build + tests
+#   scripts/ci.sh        build + tests + chaos smoke
 #   scripts/ci.sh smoke  also exercise the micro-benchmarks once
 #                        (liveness only — no timing gates) and emit
 #                        BENCH_purge.json
+#   scripts/ci.sh chaos  the full chaos sweep (20 seeds x every
+#                        scenario x both oracle modes) plus the
+#                        oracle mutation self-test
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,8 +22,18 @@ fi
 dune build
 dune runtest
 
+# Chaos smoke: a small deterministic seed sweep through the fault
+# scenarios, machine-checked by the SVS safety oracle (see CHAOS.md).
+dune exec bin/svs_chaos.exe -- --seeds 3 \
+  --scenarios crash,partition-heal,slow-receiver,churn
+
 if [ "${1:-}" = "smoke" ]; then
   dune exec bench/main.exe -- --smoke
+fi
+
+if [ "${1:-}" = "chaos" ]; then
+  dune exec bin/svs_chaos.exe -- --seeds 20
+  dune exec bin/svs_chaos.exe -- --seeds 5 --mutate
 fi
 
 echo "ci: OK"

@@ -1,0 +1,206 @@
+(* Tests for the chaos harness: scenario plans (determinism and
+   well-formedness), seeded end-to-end runs under the safety oracle,
+   replayability, and the oracle's mutation self-test. *)
+
+module Rng = Svs_sim.Rng
+module Scenario = Svs_chaos.Scenario
+module Oracle = Svs_chaos.Oracle
+module Runner = Svs_chaos.Runner
+module Trace = Svs_telemetry.Trace
+
+(* A quick config so the whole suite stays fast: the CI chaos sweep
+   (scripts/ci.sh) exercises the default scale. *)
+let quick =
+  { Runner.default_config with nodes = 4; horizon = 5.0; settle = 3.0; send_period = 0.05 }
+
+(* --- Scenario plans --- *)
+
+let plan_of scenario ~seed ~n ~horizon =
+  scenario.Scenario.plan ~rng:(Rng.create ~seed) ~n ~horizon
+
+let test_plans_deterministic () =
+  List.iter
+    (fun sc ->
+      let p1 = plan_of sc ~seed:7 ~n:5 ~horizon:10.0 in
+      let p2 = plan_of sc ~seed:7 ~n:5 ~horizon:10.0 in
+      Alcotest.(check bool)
+        (sc.Scenario.name ^ ": same seed, same plan")
+        true (p1 = p2))
+    Scenario.all;
+  (* And the seed actually matters for the fault-injecting scenarios. *)
+  let differs sc =
+    plan_of sc ~seed:1 ~n:5 ~horizon:10.0 <> plan_of sc ~seed:2 ~n:5 ~horizon:10.0
+  in
+  Alcotest.(check bool) "some seed-sensitivity" true
+    (List.exists differs (List.filter (fun s -> s.Scenario.name <> "calm") Scenario.all))
+
+(* Replay a plan's effect on abstract state and check the documented
+   invariants: the anchor (node 0) is never crashed/paused/removed, at
+   least two members survive, and every disturbance is undone before
+   the horizon. *)
+let check_plan_invariants sc ~seed ~n ~horizon =
+  let plan = plan_of sc ~seed ~n ~horizon in
+  let name fmt = Printf.ksprintf (fun s -> sc.Scenario.name ^ ": " ^ s) fmt in
+  let removed = ref [] in
+  let paused = ref [] in
+  let partitions = ref [] in
+  let spiked = ref false in
+  List.iter
+    (fun { Scenario.at; action } ->
+      Alcotest.(check bool) (name "time in window") true (at >= 0.0 && at <= horizon);
+      match action with
+      | Scenario.Crash p ->
+          Alcotest.(check bool) (name "anchor never crashed") true (p <> 0);
+          removed := p :: !removed
+      | Scenario.Leave { node; _ } ->
+          Alcotest.(check bool) (name "anchor never removed") true (node <> 0);
+          removed := node :: !removed
+      | Scenario.Pause p ->
+          Alcotest.(check bool) (name "anchor never paused") true (p <> 0);
+          paused := p :: !paused
+      | Scenario.Resume p -> paused := List.filter (fun q -> q <> p) !paused
+      | Scenario.Partition (a, b) -> partitions := (min a b, max a b) :: !partitions
+      | Scenario.Heal (a, b) ->
+          partitions := List.filter (fun w -> w <> (min a b, max a b)) !partitions
+      | Scenario.Set_latency _ -> spiked := true
+      | Scenario.Restore_latency -> spiked := false)
+    plan;
+  Alcotest.(check bool) (name "two survivors") true
+    (n - List.length (List.sort_uniq compare !removed) >= 2);
+  Alcotest.(check (list int)) (name "every pause resumed") [] !paused;
+  Alcotest.(check (list (pair int int))) (name "every partition healed") [] !partitions;
+  Alcotest.(check bool) (name "latency restored") false !spiked
+
+let test_plan_invariants () =
+  List.iter
+    (fun sc ->
+      for seed = 1 to 25 do
+        check_plan_invariants sc ~seed ~n:5 ~horizon:10.0;
+        check_plan_invariants sc ~seed ~n:3 ~horizon:8.0
+      done)
+    Scenario.all
+
+let test_plans_sorted () =
+  List.iter
+    (fun sc ->
+      let plan = plan_of sc ~seed:11 ~n:6 ~horizon:10.0 in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a.Scenario.at <= b.Scenario.at && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (sc.Scenario.name ^ ": time-ordered") true (sorted plan))
+    Scenario.all
+
+(* --- End-to-end runs under the oracle --- *)
+
+let core_scenarios =
+  List.filter_map Scenario.find [ "crash"; "partition-heal"; "slow-receiver"; "churn" ]
+
+let test_sweep_passes_both_modes () =
+  Alcotest.(check int) "4 scenarios found" 4 (List.length core_scenarios);
+  let outcomes =
+    Runner.sweep ~config:quick ~modes:[ Oracle.Vs; Oracle.Svs ] ~scenarios:core_scenarios
+      ~seeds:[ 1; 2; 3 ] ()
+  in
+  Alcotest.(check int) "grid size" (4 * 2 * 3) (List.length outcomes);
+  List.iter
+    (fun (o : Runner.outcome) ->
+      if not (Oracle.ok o.report) then
+        Alcotest.fail (Format.asprintf "chaos violation: %a" Oracle.pp_report o.report))
+    outcomes;
+  (* The runs actually did something. *)
+  List.iter
+    (fun (o : Runner.outcome) ->
+      Alcotest.(check bool) "messages flowed" true (o.sent > 0);
+      Alcotest.(check bool) "views installed" true (o.report.Oracle.installs > 0))
+    outcomes
+
+let test_calm_run_has_no_faults () =
+  let calm = Option.get (Scenario.find "calm") in
+  let o = Runner.run_one ~config:quick ~mode:Oracle.Svs ~scenario:calm ~seed:5 () in
+  Alcotest.(check int) "no faults injected" 0 o.Runner.faults;
+  Alcotest.(check bool) "passes" true (Oracle.ok o.Runner.report)
+
+let test_replayable () =
+  let scenario = Option.get (Scenario.find "mayhem") in
+  let a = Runner.run_one ~config:quick ~mode:Oracle.Svs ~scenario ~seed:9 () in
+  let b = Runner.run_one ~config:quick ~mode:Oracle.Svs ~scenario ~seed:9 () in
+  Alcotest.(check int) "same deliveries" a.Runner.report.Oracle.deliveries
+    b.Runner.report.Oracle.deliveries;
+  Alcotest.(check int) "same installs" a.Runner.report.Oracle.installs
+    b.Runner.report.Oracle.installs;
+  Alcotest.(check int) "same faults" a.Runner.faults b.Runner.faults;
+  Alcotest.(check int) "same sends" a.Runner.sent b.Runner.sent;
+  Alcotest.(check int) "same engine schedule" a.Runner.events b.Runner.events
+
+let test_fault_events_traced () =
+  let scenario = Option.get (Scenario.find "partition-heal") in
+  let tracer = Trace.memory () in
+  let o = Runner.run_one ~tracer ~config:quick ~mode:Oracle.Vs ~scenario ~seed:3 () in
+  let traced =
+    List.length
+      (List.filter
+         (function { Trace.event = Trace.Fault _; _ } -> true | _ -> false)
+         (Trace.records tracer))
+  in
+  Alcotest.(check bool) "faults happened" true (o.Runner.faults > 0);
+  Alcotest.(check int) "every applied fault traced" o.Runner.faults traced
+
+(* --- The oracle bites: mutation self-test --- *)
+
+let test_mutation_caught () =
+  (* A deliberately broken purge (one safety-relevant delivery dropped
+     from the record) must be caught and reported with the seed and the
+     violating view pair. *)
+  List.iter
+    (fun (mode, scenario_name) ->
+      let scenario = Option.get (Scenario.find scenario_name) in
+      let o =
+        Runner.run_one ~mutation:Oracle.Drop_cover ~config:quick ~mode ~scenario ~seed:4 ()
+      in
+      let r = o.Runner.report in
+      Alcotest.(check bool) (scenario_name ^ ": caught") false (Oracle.ok r);
+      Alcotest.(check bool) (scenario_name ^ ": mutation recorded") true (r.Oracle.mutated <> None);
+      Alcotest.(check int) (scenario_name ^ ": seed reported") 4 r.Oracle.seed;
+      Alcotest.(check string) (scenario_name ^ ": scenario reported") scenario_name
+        r.Oracle.scenario;
+      Alcotest.(check bool) (scenario_name ^ ": violating view pair named") true
+        (List.exists (fun v -> Oracle.view_pair v <> None) r.Oracle.violations))
+    [ (Oracle.Vs, "crash"); (Oracle.Svs, "crash"); (Oracle.Svs, "slow-receiver") ]
+
+let test_unmutated_is_clean () =
+  (* Control for the mutation test: the same runs pass untouched. *)
+  let scenario = Option.get (Scenario.find "crash") in
+  let o = Runner.run_one ~config:quick ~mode:Oracle.Svs ~scenario ~seed:4 () in
+  Alcotest.(check bool) "clean without mutation" true (Oracle.ok o.Runner.report)
+
+let test_mode_labels () =
+  Alcotest.(check string) "vs" "vs" (Oracle.mode_label Oracle.Vs);
+  Alcotest.(check string) "svs" "svs" (Oracle.mode_label Oracle.Svs);
+  Alcotest.(check bool) "roundtrip vs" true (Oracle.mode_of_label "vs" = Some Oracle.Vs);
+  Alcotest.(check bool) "roundtrip svs" true (Oracle.mode_of_label "svs" = Some Oracle.Svs);
+  Alcotest.(check bool) "unknown" true (Oracle.mode_of_label "nope" = None)
+
+let () =
+  Alcotest.run "svs_chaos"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "plans deterministic" `Quick test_plans_deterministic;
+          Alcotest.test_case "plan invariants" `Quick test_plan_invariants;
+          Alcotest.test_case "plans time-ordered" `Quick test_plans_sorted;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "sweep passes, both modes" `Slow test_sweep_passes_both_modes;
+          Alcotest.test_case "calm baseline" `Quick test_calm_run_has_no_faults;
+          Alcotest.test_case "replayable from seed" `Slow test_replayable;
+          Alcotest.test_case "fault events traced" `Quick test_fault_events_traced;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "mutation caught" `Slow test_mutation_caught;
+          Alcotest.test_case "unmutated control" `Quick test_unmutated_is_clean;
+          Alcotest.test_case "mode labels" `Quick test_mode_labels;
+        ] );
+    ]

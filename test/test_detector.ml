@@ -104,6 +104,34 @@ let test_heartbeat_eventual_accuracy_with_slow_links () =
   Alcotest.(check bool) "timeout grew past the latency" true
     (Heartbeat.timeout_of rig.monitor 0 > 0.2)
 
+let test_heartbeat_injected_silence () =
+  (* Chaos receive-pause: the monitored peer keeps beating, but the
+     monitor's receive side is frozen — beats queue at the network.
+     Silence longer than the timeout must be suspected; resuming drains
+     the queued beats, rescinds the suspicion, and adapts the timeout
+     upward by exactly one increment (one false suspicion). *)
+  let rig = make_rig () in
+  let before = Heartbeat.timeout_of rig.monitor 0 in
+  let suspected = ref false in
+  let rescinded = ref false in
+  Heartbeat.on_suspect rig.monitor (fun p -> if p = 0 then suspected := true);
+  Heartbeat.on_rescind rig.monitor (fun p -> if p = 0 then rescinded := true);
+  Engine.run ~until:1.0 rig.engine;
+  Network.pause_receive rig.net ~node:1;
+  (* Pause well past the initial timeout (0.35s by default). *)
+  Engine.run ~until:2.5 rig.engine;
+  Alcotest.(check bool) "suspected under injected silence" true
+    (!suspected && Heartbeat.suspects rig.monitor 0);
+  Network.resume_receive rig.net ~node:1;
+  Alcotest.(check bool) "rescinded by drained beats" true !rescinded;
+  Alcotest.(check bool) "no longer suspected" false (Heartbeat.suspects rig.monitor 0);
+  Alcotest.(check (float 1e-9)) "timeout grew by one increment"
+    (before +. Heartbeat.default_config.timeout_increment)
+    (Heartbeat.timeout_of rig.monitor 0);
+  (* And the group stays quiet afterwards: no further false suspicion. *)
+  Engine.run ~until:5.0 rig.engine;
+  Alcotest.(check bool) "stable after resume" false (Heartbeat.suspects rig.monitor 0)
+
 let test_heartbeat_stop () =
   let rig = make_rig () in
   Engine.run ~until:1.0 rig.engine;
@@ -129,6 +157,7 @@ let () =
           Alcotest.test_case "suspect callback" `Quick test_heartbeat_suspect_callback;
           Alcotest.test_case "rescind and adapt" `Quick test_heartbeat_rescind_and_adapt;
           Alcotest.test_case "eventual accuracy" `Quick test_heartbeat_eventual_accuracy_with_slow_links;
+          Alcotest.test_case "injected silence" `Quick test_heartbeat_injected_silence;
           Alcotest.test_case "stop" `Quick test_heartbeat_stop;
         ] );
     ]

@@ -158,6 +158,57 @@ let test_bandwidth_serialisation () =
   | l -> Alcotest.failf "expected 3 arrivals, got %d" (List.length l));
   Alcotest.(check int) "bytes accounted" 300 (Network.bytes_sent net)
 
+let test_set_latency_preserves_fifo () =
+  let e, net = make ~latency:(Latency.Constant 0.5) () in
+  let arrivals = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ msg -> arrivals := (msg, Engine.now e) :: !arrivals);
+  Alcotest.(check bool) "latency readable" true (Network.latency net = Latency.Constant 0.5);
+  Network.send net ~src:0 ~dst:1 "slow";
+  (* Chaos latency spike ends: the model gets much faster, but the
+     later message must not overtake the one already in flight. *)
+  Network.set_latency net (Latency.Constant 0.01);
+  Network.send net ~src:0 ~dst:1 "fast";
+  Engine.run e;
+  Alcotest.(check (list string)) "FIFO across latency change" [ "slow"; "fast" ]
+    (List.rev_map fst !arrivals);
+  (match List.assoc_opt "fast" !arrivals with
+  | Some at -> Alcotest.(check (float 1e-9)) "clamped to link arrival floor" 0.5 at
+  | None -> Alcotest.fail "fast message lost")
+
+let hold_release_property =
+  QCheck.Test.make
+    ~name:"pause+partition holds release exactly once, FIFO per link" ~count:40
+    QCheck.(pair small_int (small_list (pair (int_bound 2) (int_bound 2))))
+    (fun (seed, sends) ->
+      let e = Engine.create ~seed () in
+      let net = Network.create e ~nodes:3 ~latency:(Latency.Exponential { mean = 0.02 }) () in
+      let logs = Array.make 3 [] in
+      for node = 0 to 2 do
+        Network.set_handler net ~node (fun ~src msg -> logs.(node) <- (src, msg) :: logs.(node))
+      done;
+      (* Everything is sent into a held network (node 1 paused, the 0-2
+         link cut), then released: each message must come out exactly
+         once, in per-link order. *)
+      Network.pause_receive net ~node:1;
+      Network.disconnect net 0 2;
+      List.iteri (fun i (src, dst) -> Network.send net ~src ~dst (src, i)) sends;
+      Engine.run e;
+      Network.resume_receive net ~node:1;
+      Network.reconnect net 0 2;
+      Engine.run e;
+      let delivered = Array.fold_left (fun acc l -> acc + List.length l) 0 logs in
+      let fifo = ref true in
+      for dst = 0 to 2 do
+        let per_src = Hashtbl.create 3 in
+        List.iter
+          (fun (src, (_, i)) ->
+            let prev = Option.value ~default:(-1) (Hashtbl.find_opt per_src src) in
+            if i <= prev then fifo := false;
+            Hashtbl.replace per_src src i)
+          (List.rev logs.(dst))
+      done;
+      delivered = List.length sends && !fifo)
+
 let fifo_property =
   QCheck.Test.make ~name:"random traffic is FIFO per (src,dst) link" ~count:50
     QCheck.(pair small_int (list (pair (int_bound 2) (int_bound 2))))
@@ -201,6 +252,8 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "latency models" `Quick test_latency_models;
           Alcotest.test_case "bandwidth serialisation" `Quick test_bandwidth_serialisation;
+          Alcotest.test_case "set_latency preserves FIFO" `Quick test_set_latency_preserves_fifo;
+          q hold_release_property;
           q fifo_property;
         ] );
     ]

@@ -153,6 +153,116 @@ let test_mesh_queues_until_connected () =
   Tcp_mesh.close mesh0;
   Tcp_mesh.close mesh1
 
+module Trace = Svs_telemetry.Trace
+
+let drop_reasons tracer =
+  List.filter_map
+    (function
+      | { Trace.event = Trace.TcpDrop { reason; _ }; _ } -> Some reason | _ -> None)
+    (Trace.records tracer)
+
+let test_mesh_unknown_dst_drop () =
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let tracer = Trace.memory () in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers:[ (0, addr0) ]
+      ~on_frame:(fun ~src:_ _ -> ())
+      ~tracer ()
+  in
+  Tcp_mesh.send mesh0 ~dst:99 "lost";
+  Alcotest.(check int) "counted" 1 (Tcp_mesh.frames_dropped mesh0);
+  Alcotest.(check (list string)) "traced with reason" [ "unknown-dst" ] (drop_reasons tracer);
+  Tcp_mesh.close mesh0
+
+let test_mesh_oversize_resets_link () =
+  (* A frame above the receiver's limit must reset that link instead of
+     being buffered; frames that arrived before it are unaffected. *)
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got = ref [] in
+  let tracer = Trace.memory () in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+  in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
+      ~on_frame:(fun ~src:_ frame -> got := frame :: !got)
+      ~tracer ~max_frame:1024 ()
+  in
+  Tcp_mesh.send mesh0 ~dst:1 "small";
+  Loop.run ~until:(fun () -> !got <> []) ~timeout:5.0 loop;
+  Tcp_mesh.send mesh0 ~dst:1 (String.make 4096 'x');
+  Tcp_mesh.send mesh0 ~dst:1 "small-after";
+  Loop.run ~timeout:0.5 loop;
+  Alcotest.(check (list string)) "only the pre-oversize frame" [ "small" ] (List.rev !got);
+  Alcotest.(check int) "oversize counted" 1 (Tcp_mesh.frames_oversize mesh1);
+  Alcotest.(check bool) "traced as oversize" true
+    (List.mem "oversize" (drop_reasons tracer));
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
+let test_mesh_dial_backoff () =
+  (* An unreachable peer: retries must back off exponentially, not
+     hammer once per poll tick. *)
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1_tmp, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  Unix.close fd1_tmp;
+  let dial =
+    { Tcp_mesh.default_dial_policy with base_delay = 0.1; max_delay = 1.0 }
+  in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers:[ (0, addr0); (1, addr1) ]
+      ~on_frame:(fun ~src:_ _ -> ())
+      ~dial ()
+  in
+  Loop.run ~timeout:0.6 loop;
+  let attempts = Tcp_mesh.dial_attempts mesh0 ~dst:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "backed off (%d attempts in 0.6s)" attempts)
+    true
+    (attempts >= 2 && attempts <= 5);
+  Alcotest.(check bool) "still willing to dial" false (Tcp_mesh.written_off mesh0 ~dst:1);
+  Tcp_mesh.close mesh0
+
+let test_mesh_dial_cap_writes_off () =
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1_tmp, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  Unix.close fd1_tmp;
+  let tracer = Trace.memory () in
+  let dial =
+    {
+      Tcp_mesh.base_delay = 0.01;
+      max_delay = 0.05;
+      multiplier = 2.0;
+      jitter = 0.2;
+      max_attempts = Some 3;
+    }
+  in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers:[ (0, addr0); (1, addr1) ]
+      ~on_frame:(fun ~src:_ _ -> ())
+      ~tracer ~dial ()
+  in
+  Tcp_mesh.send mesh0 ~dst:1 "doomed";
+  Loop.run ~timeout:0.5 loop;
+  Alcotest.(check bool) "written off after the cap" true (Tcp_mesh.written_off mesh0 ~dst:1);
+  Alcotest.(check int) "queue flushed, nothing pending" 0 (Tcp_mesh.pending_bytes mesh0 ~dst:1);
+  Alcotest.(check bool) "queued frame counted as dropped" true
+    (Tcp_mesh.frames_dropped mesh0 >= 1);
+  Alcotest.(check bool) "traced as dial-cap" true (List.mem "dial-cap" (drop_reasons tracer));
+  (* Further sends are refused loudly, not buffered forever. *)
+  let before = Tcp_mesh.frames_dropped mesh0 in
+  Tcp_mesh.send mesh0 ~dst:1 "late";
+  Alcotest.(check int) "late frame dropped" (before + 1) (Tcp_mesh.frames_dropped mesh0);
+  Alcotest.(check bool) "traced as written-off" true
+    (List.mem "written-off" (drop_reasons tracer));
+  Tcp_mesh.close mesh0
+
 (* --- Node: a live three-member group over loopback --- *)
 
 let fast_heartbeats =
@@ -425,6 +535,10 @@ let () =
           Alcotest.test_case "large frame" `Quick test_mesh_large_frame;
           Alcotest.test_case "queue until connected" `Quick test_mesh_queues_until_connected;
           Alcotest.test_case "no silent reconnect" `Quick test_mesh_no_silent_reconnect;
+          Alcotest.test_case "unknown destination drop" `Quick test_mesh_unknown_dst_drop;
+          Alcotest.test_case "oversize frame resets link" `Quick test_mesh_oversize_resets_link;
+          Alcotest.test_case "dial backoff" `Quick test_mesh_dial_backoff;
+          Alcotest.test_case "dial cap writes off" `Quick test_mesh_dial_cap_writes_off;
         ] );
       ( "node",
         [

@@ -146,6 +146,10 @@ let all_event_shapes =
     Trace.Block { node = 1; view_id = 3 };
     Trace.Unblock { node = 1; view_id = 4 };
     Trace.TcpReconnect { node = 2; peer = 0 };
+    Trace.TcpDrop { node = 2; peer = 4; reason = "oversize" };
+    Trace.TcpDrop { node = 0; peer = -1; reason = "unknown-dst" };
+    Trace.Fault { kind = "partition"; node = 1; peer = 3 };
+    Trace.Fault { kind = "crash"; node = 2; peer = -1 };
   ]
 
 let test_json_round_trip () =
