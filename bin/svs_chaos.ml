@@ -90,6 +90,24 @@ let mutate_term =
            checking. Every run must then FAIL; the sweep exits zero only if the oracle \
            catches all mutants.")
 
+let no_recovery_term =
+  Arg.(
+    value & flag
+    & info [ "no-recovery" ]
+        ~doc:
+          "Restart crashed members amnesiac (without their durable state). Rejoin \
+           scenarios must then FAIL: the sweep exits zero only if the oracle flags every \
+           run that actually restarted someone — the inverted self-check proving the \
+           recovery path is what keeps Integrity true.")
+
+let json_term =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit a machine-readable JSON summary (one object: totals plus one entry per \
+           run) instead of the human table.")
+
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run, not just the table.")
 
@@ -109,13 +127,47 @@ let print_plan scenario ~seed ~nodes ~horizon =
   else List.iter (fun t -> Format.fprintf ppf "  %a@," C.Scenario.pp_timed t) plan;
   Format.fprintf ppf "@]"
 
-let run scenarios modes seeds seed_base nodes horizon settle trace mutate verbose plan =
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_json ~mutate ~recover ~exit_code outcomes =
+  let run_json (o : C.Runner.outcome) =
+    let r = o.C.Runner.report in
+    Printf.sprintf
+      "{\"scenario\":\"%s\",\"mode\":\"%s\",\"seed\":%d,\"ok\":%b,\"violations\":%d,\
+       \"deliveries\":%d,\"installs\":%d,\"faults\":%d,\"restarts\":%d,\"sent\":%d,\
+       \"purged\":%d}"
+      (json_escape r.C.Oracle.scenario)
+      (C.Oracle.mode_label r.C.Oracle.mode)
+      r.C.Oracle.seed (C.Oracle.ok r)
+      (List.length r.C.Oracle.violations)
+      r.C.Oracle.deliveries r.C.Oracle.installs o.C.Runner.faults o.C.Runner.restarts
+      o.C.Runner.sent o.C.Runner.purged
+  in
+  let failed = List.length (C.Runner.failures outcomes) in
+  Printf.printf
+    "{\"runs\":%d,\"failed\":%d,\"mutate\":%b,\"recover\":%b,\"ok\":%b,\"results\":[%s]}\n"
+    (List.length outcomes) failed mutate recover (exit_code = 0)
+    (String.concat "," (List.map run_json outcomes))
+
+let run scenarios modes seeds seed_base nodes horizon settle trace mutate no_recovery json
+    verbose plan =
   match plan with
   | Some scenario ->
       print_plan scenario ~seed:seed_base ~nodes ~horizon;
       0
   | None ->
-      let config = { C.Runner.default_config with nodes; horizon; settle } in
+      let config =
+        { C.Runner.default_config with nodes; horizon; settle; recover = not no_recovery }
+      in
       let seed_list = List.init seeds (fun i -> seed_base + i) in
       let mutation = if mutate then Some C.Oracle.Drop_cover else None in
       let oc = Option.map open_out trace in
@@ -138,10 +190,10 @@ let run scenarios modes seeds seed_base nodes horizon settle trace mutate verbos
                           scenario.C.Scenario.name (C.Oracle.mode_label mode) msg;
                         exit 2
                     in
-                    if verbose then
-                      Format.fprintf ppf "%a  (faults=%d sent=%d purged=%d)@."
+                    if verbose && not json then
+                      Format.fprintf ppf "%a  (faults=%d restarts=%d sent=%d purged=%d)@."
                         C.Oracle.pp_report o.C.Runner.report o.C.Runner.faults
-                        o.C.Runner.sent o.C.Runner.purged;
+                        o.C.Runner.restarts o.C.Runner.sent o.C.Runner.purged;
                     o)
                   seed_list)
               modes)
@@ -149,32 +201,64 @@ let run scenarios modes seeds seed_base nodes horizon settle trace mutate verbos
       in
       Option.iter close_out oc;
       let failed = C.Runner.failures outcomes in
-      C.Runner.pp_table ppf outcomes;
-      Format.fprintf ppf "@.";
-      if mutate then begin
-        (* Inverted acceptance: every mutated run must be caught. *)
-        let missed = List.length outcomes - List.length failed in
-        if missed = 0 then begin
-          Format.fprintf ppf
-            "mutation self-test passed: oracle caught all %d mutated runs@."
-            (List.length outcomes);
+      let say fmt =
+        Format.(if json then ifprintf ppf fmt else fprintf ppf fmt)
+      in
+      say "%a@." (fun ppf () -> C.Runner.pp_table ppf outcomes) ();
+      let exit_code =
+        if mutate then begin
+          (* Inverted acceptance: every mutated run must be caught. *)
+          let missed = List.length outcomes - List.length failed in
+          if missed = 0 then begin
+            say "mutation self-test passed: oracle caught all %d mutated runs@."
+              (List.length outcomes);
+            0
+          end
+          else begin
+            say "MUTATION SELF-TEST FAILED: %d mutated run(s) slipped past the oracle@."
+              missed;
+            1
+          end
+        end
+        else if no_recovery then begin
+          (* Inverted acceptance: every run that really restarted a
+             member amnesiac must be flagged, and runs without a
+             restart must still be clean. *)
+          let restarted = List.filter (fun o -> o.C.Runner.restarts > 0) outcomes in
+          let uncaught = List.filter (fun o -> C.Oracle.ok o.C.Runner.report) restarted in
+          let broken_clean =
+            List.filter (fun o -> o.C.Runner.restarts = 0) failed
+          in
+          if restarted = [] then begin
+            say "NO-RECOVERY SELF-TEST FAILED: no run actually restarted a member@.";
+            1
+          end
+          else if uncaught = [] && broken_clean = [] then begin
+            say
+              "no-recovery self-test passed: oracle flagged all %d amnesiac restarts@."
+              (List.length restarted);
+            0
+          end
+          else begin
+            say
+              "NO-RECOVERY SELF-TEST FAILED: %d amnesiac restart(s) slipped past the \
+               oracle, %d restart-free run(s) failed@."
+              (List.length uncaught) (List.length broken_clean);
+            1
+          end
+        end
+        else if failed = [] then begin
+          say "all %d runs satisfied the SVS safety contracts@." (List.length outcomes);
           0
         end
         else begin
-          Format.fprintf ppf
-            "MUTATION SELF-TEST FAILED: %d mutated run(s) slipped past the oracle@." missed;
+          say "%a" (fun ppf () -> C.Runner.pp_failures ppf outcomes) ();
           1
         end
-      end
-      else if failed = [] then begin
-        Format.fprintf ppf "all %d runs satisfied the SVS safety contracts@."
-          (List.length outcomes);
-        0
-      end
-      else begin
-        C.Runner.pp_failures ppf outcomes;
-        1
-      end
+      in
+      if json then
+        print_json ~mutate ~recover:(not no_recovery) ~exit_code outcomes;
+      exit_code
 
 let main =
   let doc = "Deterministic chaos sweeps checked by the SVS safety oracle" in
@@ -182,6 +266,7 @@ let main =
   Cmd.v info
     Term.(
       const run $ scenarios_term $ modes_term $ seeds_term $ seed_base_term $ nodes_term
-      $ horizon_term $ settle_term $ trace_term $ mutate_term $ verbose_term $ plan_term)
+      $ horizon_term $ settle_term $ trace_term $ mutate_term $ no_recovery_term
+      $ json_term $ verbose_term $ plan_term)
 
 let () = exit (Cmd.eval' main)

@@ -49,7 +49,8 @@ let peer_conv =
             Format.fprintf ppf "%d:%s:%d" id (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX path -> Format.fprintf ppf "%d:unix:%s" id path )
 
-let run me peers publish rate consume_rate duration reliable trace_file stats_period verbose =
+let run me peers publish rate consume_rate duration reliable data_dir trace_file stats_period
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -72,7 +73,14 @@ let run me peers publish rate consume_rate duration reliable trace_file stats_pe
       { Node.default_config with semantic = not reliable; tracer; metrics = Some metrics }
     in
     let delivered = ref 0 in
-    let node = Node.create loop ~me ~listen_fd ~peers ~payload_codec ~config () in
+    let node =
+      Node.create loop ~me ~listen_fd ~peers ~payload_codec ~config ?data_dir
+        ~on_synced:(fun v _app -> Format.printf "[%d] *** rejoined in %a ***@." me View.pp v)
+        ()
+    in
+    if Node.is_joining node then
+      Format.printf "[%d] restarting from %s; asking the group to readmit me@." me
+        (Option.value ~default:"?" data_dir);
     (* Deliveries are pulled at the consumption rate (a slow consumer
        is simulated by a low --consume-rate); unconsumed messages stay
        in the protocol buffers where they remain purgeable. *)
@@ -180,6 +188,15 @@ let cmd =
   let reliable =
     Arg.(value & flag & info [ "reliable" ] ~doc:"Disable purging (plain view synchrony).")
   in
+  let data_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable state (write-ahead log) in $(docv). A restart over an existing \
+             $(docv) recovers identity, last view, delivery floors and the sequence \
+             lease, then rejoins the group through the JOIN/SYNC handshake.")
+  in
   let trace_file =
     Arg.(
       value & opt (some string) None
@@ -202,6 +219,6 @@ let cmd =
     Term.(
       ret
         (const run $ me $ peers $ publish $ rate $ consume_rate $ duration $ reliable
-       $ trace_file $ stats_period $ verbose))
+       $ data_dir $ trace_file $ stats_period $ verbose))
 
 let () = exit (Cmd.eval cmd)

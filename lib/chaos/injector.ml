@@ -16,11 +16,14 @@ type t = {
   tracer : Trace.t;
   horizon : float;
   mutable applied : int;
+  mutable restarts : int;
 }
 
 let plan t = t.plan
 
 let faults_injected t = t.applied
+
+let restarts_applied t = t.restarts
 
 let emit_fault t action =
   if Trace.enabled t.tracer then begin
@@ -29,6 +32,7 @@ let emit_fault t action =
       | Crash p | Pause p | Resume p -> (p, -1)
       | Partition (a, b) | Heal (a, b) -> (a, b)
       | Leave { initiator; node } -> (node, initiator)
+      | Rejoin p -> (p, -1)
       | Set_latency _ | Restore_latency -> (-1, -1)
     in
     Trace.emit t.tracer (Trace.Fault { kind = Scenario.action_kind action; node; peer })
@@ -40,6 +44,7 @@ let rec fire t action =
   match t.applier.apply action with
   | true ->
       t.applied <- t.applied + 1;
+      (match action with Rejoin _ -> t.restarts <- t.restarts + 1 | _ -> ());
       emit_fault t action
   | false -> ()
   | exception Retry ->
@@ -50,7 +55,8 @@ let rec fire t action =
 
 (* --- Group-backed applier --- *)
 
-let group_applier (cluster : 'p Group.cluster) =
+let group_applier (cluster : 'p Group.cluster) ~horizon ~recover =
+  let engine = Group.engine cluster in
   (* Track what needs undoing at settle time. *)
   let partitions : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
   let paused : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -61,6 +67,29 @@ let group_applier (cluster : 'p Group.cluster) =
     match List.find_opt (fun m -> Group.id m = p) (Group.members cluster) with
     | Some m -> Group.is_member m
     | None -> false
+  in
+  let is_joining p =
+    match List.find_opt (fun m -> Group.id m = p) (Group.members cluster) with
+    | Some m -> Group.is_joining m
+    | None -> false
+  in
+  (* Drive JOIN requests for a restarted node until some member admits
+     it: the request is dropped whenever the contact is blocked mid
+     view change, so keep asking (any unblocked member will do) until
+     the handshake lands or the fault window closes. *)
+  let rec nag p () =
+    let m = Group.member cluster p in
+    if Group.is_joining m then begin
+      (match
+         List.find_opt
+           (fun q -> Group.id q <> p && Group.is_member q && not (Group.is_blocked q))
+           (Group.members cluster)
+       with
+      | Some contact -> Group.request_join m ~contact:(Group.id contact)
+      | None -> ());
+      if Engine.now engine < horizon then
+        ignore (Engine.schedule engine ~delay:0.1 (nag p) : Engine.handle)
+    end
   in
   let apply (action : Scenario.action) =
     match action with
@@ -102,9 +131,22 @@ let group_applier (cluster : 'p Group.cluster) =
           in
           match chosen with
           | Some m ->
-              Group.trigger_view_change m ~leave:[ node ];
+              Group.trigger_view_change m ~leave:[ node ] ();
               true
           | None -> raise Retry
+        end
+    | Rejoin p ->
+        if is_member p then
+          (* Still listed: its exclusion (a planned Leave or the
+             suspicion-triggered view change after a crash) has not
+             completed yet — come back shortly. *)
+          raise Retry
+        else if is_joining p then false
+        else begin
+          Group.restart cluster p ~recover;
+          Hashtbl.remove paused p;
+          nag p ();
+          true
         end
     | Set_latency l ->
         Group.set_latency cluster l;
@@ -130,7 +172,7 @@ let group_applier (cluster : 'p Group.cluster) =
   in
   { apply; quiesce }
 
-let inject cluster ~scenario ~horizon =
+let inject ?(recover = true) cluster ~scenario ~horizon =
   let engine = Group.engine cluster in
   let rng = Rng.split (Engine.rng engine) in
   let n =
@@ -141,10 +183,11 @@ let inject cluster ~scenario ~horizon =
     {
       engine;
       plan;
-      applier = group_applier cluster;
+      applier = group_applier cluster ~horizon ~recover;
       tracer = Group.tracer cluster;
       horizon;
       applied = 0;
+      restarts = 0;
     }
   in
   List.iter

@@ -13,10 +13,17 @@
 type t
 
 val inject :
-  'p Svs_core.Group.cluster -> scenario:Scenario.t -> horizon:float -> t
+  ?recover:bool ->
+  'p Svs_core.Group.cluster ->
+  scenario:Scenario.t ->
+  horizon:float ->
+  t
 (** Compute the plan and schedule it. [horizon] is the fault window:
-    deferred actions (e.g. a [Leave] whose initiator is blocked) are
-    retried only up to it. *)
+    deferred actions (e.g. a [Leave] whose initiator is blocked, or a
+    [Rejoin] whose exclusion is still in progress) are retried only up
+    to it. [recover] (default [true]) is passed to
+    {!Svs_core.Group.restart} for every [Rejoin]: [false] restarts
+    victims amnesiac, which the safety oracle must then catch. *)
 
 val plan : t -> Scenario.timed list
 (** The concrete plan this injection drew, in time order. *)
@@ -24,6 +31,11 @@ val plan : t -> Scenario.timed list
 val faults_injected : t -> int
 (** Actions actually applied so far (a [Leave] whose target already
     left is skipped, not counted). *)
+
+val restarts_applied : t -> int
+(** [Rejoin] actions actually applied — how many crash–restart
+    incarnation boundaries this run really contains (a planned rejoin
+    whose exclusion never completed in time does not count). *)
 
 val settle : t -> unit
 (** Defensively restore a quiescent network: heal partitions still

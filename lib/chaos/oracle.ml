@@ -9,7 +9,7 @@ let mode_label = function Vs -> "vs" | Svs -> "svs"
 
 let mode_of_label = function "vs" -> Some Vs | "svs" -> Some Svs | _ -> None
 
-type mutation = Drop_cover
+type mutation = Drop_cover | Duplicate_after_restart
 
 type report = {
   mode : mode;
@@ -109,6 +109,12 @@ let find_droppable check =
     List.find_map
       (fun (q, qsegs) ->
         let rec pairs = function
+          (* Only genuinely consecutive view ids form a checked pair —
+             mirror the checker, which skips the view-id gap a
+             crash–rejoin leaves in a process's log. *)
+          | (vi, _) :: ((vj, _) :: _ as rest)
+            when vj.View.id <> vi.View.id + 1 ->
+              pairs rest
           | (vi, ds) :: ((vj, _) :: _ as rest) -> (
               let before_next =
                 List.fold_left
@@ -143,6 +149,46 @@ let find_droppable check =
       segs
   in
   candidate
+
+(* A candidate for the recovery mutation: a process whose log has an
+   incarnation boundary (view-id gap between consecutive installs) and
+   at least one delivery before it. Returns the last such pre-crash
+   delivery plus the readmitting view's id. *)
+let find_restart_dup check =
+  List.find_map
+    (fun q ->
+      let segs = segments (Checker.process_log check ~p:q) in
+      let rec scan last_delivered = function
+        | (vi, ds) :: (((vj, _) :: _) as rest) -> (
+            let last_delivered =
+              match List.rev ds with d :: _ -> Some d | [] -> last_delivered
+            in
+            match last_delivered with
+            | Some (m : Checker.meta) when vj.View.id > vi.View.id + 1 ->
+                Some (q, m, vj.View.id)
+            | _ -> scan last_delivered rest)
+        | [ _ ] | [] -> None
+      in
+      scan None segs)
+    (Checker.processes check)
+
+(* Replay the recorded run with [m] re-delivered by [q] right after it
+   installs the view [after_view] — an amnesiac restart re-delivering
+   a message its lost log had already delivered. *)
+let replay_with_duplicate check ~q ~(m : Checker.meta) ~after_view =
+  let mutated = Checker.create () in
+  List.iter (Checker.record_multicast mutated) (Checker.multicast_log check);
+  List.iter
+    (fun p ->
+      List.iter
+        (function
+          | Checker.Installed v ->
+              Checker.record_install mutated ~p v;
+              if p = q && v.View.id = after_view then Checker.record_delivery mutated ~p m
+          | Checker.Delivered d -> Checker.record_delivery mutated ~p d)
+        (Checker.process_log check ~p))
+    (Checker.processes check);
+  mutated
 
 (* Replay the recorded run into a fresh checker, skipping [q]'s first
    delivery of [id]. *)
@@ -184,6 +230,13 @@ let check ?mutation ~mode ~seed ~scenario check_t =
             failwith
               "Oracle.check: run too short to self-test (no safety-relevant delivery to \
                drop)")
+    | Some Duplicate_after_restart -> (
+        match find_restart_dup check_t with
+        | Some (q, m, after_view) ->
+            (replay_with_duplicate check_t ~q ~m ~after_view, Some (q, m.Checker.id))
+        | None ->
+            failwith
+              "Oracle.check: no crash-rejoin incarnation boundary to duplicate across")
   in
   let violations =
     match mode with
@@ -205,8 +258,7 @@ let pp_report ppf r =
       (List.length r.violations)
       (if List.length r.violations = 1 then "" else "s")
       (match r.mutated with
-      | Some (q, id) ->
-          Format.asprintf " [mutated: dropped %a at process %d]" Msg_id.pp id q
+      | Some (q, id) -> Format.asprintf " [mutated: %a at process %d]" Msg_id.pp id q
       | None -> "")
       r.scenario (mode_label r.mode) r.seed;
     List.iter

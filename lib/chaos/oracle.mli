@@ -42,6 +42,12 @@ type mutation =
           absence provably breaks the view-pair equivalence (a message
           another surviving installer delivered, with no other cover in
           the mutated log). *)
+  | Duplicate_after_restart
+      (** Simulate a lost write-ahead log: re-deliver, right after a
+          process's crash–rejoin readmission, a message its previous
+          incarnation had already delivered. Integrity (no duplication)
+          must flag it. Requires a run with an actual rejoin (e.g. the
+          [crash-restart] scenario). *)
 
 type report = {
   mode : mode;
@@ -62,8 +68,9 @@ val check :
   Svs_core.Checker.t ->
   report
 (** Verify the recorded run. Raises [Failure] if a [mutation] was
-    requested but the run contains no safety-relevant delivery to
-    corrupt (too short a run to self-test against). *)
+    requested but the run contains nothing to corrupt (no
+    safety-relevant delivery for [Drop_cover]; no incarnation boundary
+    for [Duplicate_after_restart]). *)
 
 val ok : report -> bool
 

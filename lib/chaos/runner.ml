@@ -14,6 +14,7 @@ type config = {
   k : int;
   obsolete_bias : float;
   reconfigure : float option;
+  recover : bool;
 }
 
 let default_config =
@@ -25,11 +26,13 @@ let default_config =
     k = 8;
     obsolete_bias = 0.7;
     reconfigure = Some 0.45;
+    recover = true;
   }
 
 type outcome = {
   report : Oracle.report;
   faults : int;
+  restarts : int;
   sent : int;
   purged : int;
   events : int;
@@ -101,14 +104,16 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
       let rec attempt () =
         let anchor = Group.member cluster 0 in
         if Group.is_member anchor && not (Group.is_blocked anchor) then
-          Group.trigger_view_change anchor ~leave:[]
+          Group.trigger_view_change anchor ~leave:[] ()
         else if Engine.now engine < config.horizon then
           ignore (Engine.schedule engine ~delay:0.05 attempt : Engine.handle)
       in
       ignore
         (Engine.schedule_at engine ~time:(frac *. config.horizon) attempt : Engine.handle))
     config.reconfigure;
-  let injection = Injector.inject cluster ~scenario ~horizon:config.horizon in
+  let injection =
+    Injector.inject ~recover:config.recover cluster ~scenario ~horizon:config.horizon
+  in
   Engine.run ~until:config.horizon engine;
   Injector.settle injection;
   Engine.run ~until:drain_until engine;
@@ -122,6 +127,7 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
   {
     report;
     faults = Injector.faults_injected injection;
+    restarts = Injector.restarts_applied injection;
     sent = !sent;
     purged = List.fold_left (fun acc m -> acc + Group.purged m) 0 (Group.members cluster);
     events = Engine.events_executed engine;

@@ -21,15 +21,21 @@ type config = {
           fraction of the horizon, so scenarios whose faults never
           force a membership change still exercise the view-pair
           contracts (with one everlasting view they hold vacuously). *)
+  recover : bool;
+      (** Whether a [Rejoin] restarts its victim from durable state
+          (default) or amnesiac — [false] models a node that lost its
+          write-ahead log, whose duplicate deliveries the oracle must
+          flag. *)
 }
 
 val default_config : config
 (** 5 nodes, 12 s horizon, 6 s settle, 50 ms sends, k = 8, bias 0.7,
-    benign reconfiguration at 45% of the horizon. *)
+    benign reconfiguration at 45% of the horizon, recovery on. *)
 
 type outcome = {
   report : Oracle.report;
   faults : int;  (** Fault actions actually applied. *)
+  restarts : int;  (** Crash–restart rejoins actually applied. *)
   sent : int;  (** Messages multicast by the workload. *)
   purged : int;  (** Deliveries saved by obsolescence (sum over nodes). *)
   events : int;  (** Engine events executed. *)

@@ -8,6 +8,7 @@ type action =
   | Partition of int * int
   | Heal of int * int
   | Leave of { initiator : int; node : int }
+  | Rejoin of int
   | Set_latency of Latency.t
   | Restore_latency
 
@@ -26,6 +27,7 @@ let action_kind = function
   | Partition _ -> "partition"
   | Heal _ -> "heal"
   | Leave _ -> "leave"
+  | Rejoin _ -> "rejoin"
   | Set_latency _ -> "latency"
   | Restore_latency -> "latency-restore"
 
@@ -36,6 +38,7 @@ let pp_action ppf = function
   | Partition (a, b) -> Format.fprintf ppf "partition(%d,%d)" a b
   | Heal (a, b) -> Format.fprintf ppf "heal(%d,%d)" a b
   | Leave { initiator; node } -> Format.fprintf ppf "leave(%d by %d)" node initiator
+  | Rejoin p -> Format.fprintf ppf "rejoin(%d)" p
   | Set_latency l -> Format.fprintf ppf "latency(%a)" Latency.pp l
   | Restore_latency -> Format.fprintf ppf "latency(restore)"
 
@@ -129,6 +132,59 @@ let churn_plan ~rng ~n ~horizon =
 
 let churn = scenario "churn" "voluntary membership removals spread over the run" churn_plan
 
+(* Crash a subset, then bring each victim back through the JOIN/SYNC
+   path: the rejoin is scheduled well after the crash (so the group
+   completes the exclusion first) and well before the horizon (so the
+   handshake and the rejoined member's post-sync traffic are part of
+   the checked run). *)
+let crash_restart_plan ~rng ~n ~horizon =
+  if n < 3 then []
+  else begin
+    let k = 1 + Rng.int rng (n - 2) in
+    by_time
+      (List.concat_map
+         (fun v ->
+           let crash_at = Rng.uniform rng ~lo:(0.1 *. horizon) ~hi:(0.45 *. horizon) in
+           let rejoin_at =
+             Float.min (0.75 *. horizon)
+               (crash_at +. Rng.uniform rng ~lo:(0.15 *. horizon) ~hi:(0.3 *. horizon))
+           in
+           [
+             { at = crash_at; action = Crash v };
+             { at = rejoin_at; action = Rejoin v };
+           ])
+         (victims rng ~n ~k))
+  end
+
+let crash_restart =
+  scenario "crash-restart" "crash a subset, restart each from its log and rejoin"
+    crash_restart_plan
+
+(* Voluntary exclusion followed by readmission of the same process —
+   the pure membership round trip, with no crash involved. *)
+let exclude_rejoin_plan ~rng ~n ~horizon =
+  if n < 3 then []
+  else begin
+    let k = 1 + Rng.int rng (n - 2) in
+    by_time
+      (List.concat_map
+         (fun v ->
+           let leave_at = Rng.uniform rng ~lo:(0.1 *. horizon) ~hi:(0.4 *. horizon) in
+           let rejoin_at =
+             Float.min (0.75 *. horizon)
+               (leave_at +. Rng.uniform rng ~lo:(0.15 *. horizon) ~hi:(0.3 *. horizon))
+           in
+           [
+             { at = leave_at; action = Leave { initiator = 0; node = v } };
+             { at = rejoin_at; action = Rejoin v };
+           ])
+         (victims rng ~n ~k))
+  end
+
+let exclude_rejoin =
+  scenario "exclude-rejoin" "exclude a subset via view changes, then readmit each"
+    exclude_rejoin_plan
+
 let spike_models =
   [|
     Latency.Uniform { lo = 0.02; hi = 0.08 };
@@ -183,6 +239,17 @@ let mayhem_plan ~rng ~n ~horizon =
 
 let mayhem = scenario "mayhem" "crashes + partitions + pauses + churn + spikes" mayhem_plan
 
-let all = [ calm; crash; partition_heal; slow_receiver; churn; latency_spikes; mayhem ]
+let all =
+  [
+    calm;
+    crash;
+    partition_heal;
+    slow_receiver;
+    churn;
+    crash_restart;
+    exclude_rejoin;
+    latency_spikes;
+    mayhem;
+  ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

@@ -28,6 +28,11 @@ type action =
   | Leave of { initiator : int; node : int }
       (** Membership churn: [initiator] asks the group to reconfigure
           [node] out. *)
+  | Rejoin of int
+      (** Restart a crashed or excluded node as a new incarnation and
+          drive JOIN requests until the group readmits it. Skipped if
+          the node is still a member; deferred (retried) while its
+          exclusion is still in progress. *)
   | Set_latency of Svs_net.Latency.t
       (** Network-wide latency change (a spike). *)
   | Restore_latency
@@ -69,6 +74,16 @@ val slow_receiver : t
 
 val churn : t
 (** A sequence of voluntary membership removals spread over the run. *)
+
+val crash_restart : t
+(** Crash a random subset, then restart each victim from its durable
+    state and readmit it via the JOIN/SYNC path, all before the
+    horizon. The checked run therefore contains crash, exclusion,
+    rejoin and post-rejoin traffic for every victim. *)
+
+val exclude_rejoin : t
+(** Voluntarily exclude a random subset via view changes, then readmit
+    each — the membership round trip without any crash. *)
 
 val latency_spikes : t
 (** Repeated windows in which the base latency is replaced by a much

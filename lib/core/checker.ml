@@ -191,12 +191,36 @@ let delivered_before segs ~view_id =
       else acc)
     Msg_id.Set.empty segs
 
+(* Only installs with consecutive view {e ids} form a pair: a
+   rejoining process's log has a view-id gap at the crash (the
+   readmitting view is at least two past the last one it installed),
+   and the §4 contracts quantify over consecutive views of one
+   incarnation, not across a crash. *)
 let consecutive_pairs segs =
   let rec pairs = function
-    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | a :: (b :: _ as rest) ->
+        if b.view.View.id = a.view.View.id + 1 then (a, b) :: pairs rest
+        else pairs rest
     | [ _ ] | [] -> []
   in
   pairs segs
+
+(* Tag each segment with the view id at which its incarnation started:
+   a view-id jump between consecutive installs marks a crash–rejoin
+   boundary. *)
+let incarnation_starts segs =
+  let _, tagged =
+    List.fold_left
+      (fun (prev, acc) s ->
+        let start =
+          match prev with
+          | Some (prev_id, start) when s.view.View.id = prev_id + 1 -> start
+          | _ -> s.view.View.id
+        in
+        (Some (s.view.View.id, start), (s, start) :: acc))
+      (None, []) segs
+  in
+  List.rev tagged
 
 let check_view_agreement all violations =
   let by_id = Hashtbl.create 16 in
@@ -242,26 +266,38 @@ let check_svs successors all violations =
 
 let check_fifo_sr t successors all violations =
   (* Clause (ii): p installing v_i, v_{i+1} and delivering m' in v_i
-     owes a cover for every same-sender predecessor m of m'. *)
+     owes a cover for every same-sender predecessor m of m' — except
+     predecessors multicast before p's current incarnation was
+     readmitted: the sponsor's state transfer settles those (its
+     delivery floors certify they were delivered or obsoleted on the
+     group's behalf while p was down). *)
   let multicast_sns = Hashtbl.create 16 in
   Hashtbl.iter
-    (fun (id : Msg_id.t) _ ->
+    (fun _ (m : meta) ->
       let l =
-        match Hashtbl.find_opt multicast_sns id.Msg_id.sender with
+        match Hashtbl.find_opt multicast_sns m.id.Msg_id.sender with
         | Some l -> l
         | None ->
             let l = ref [] in
-            Hashtbl.replace multicast_sns id.Msg_id.sender l;
+            Hashtbl.replace multicast_sns m.id.Msg_id.sender l;
             l
       in
-      l := id :: !l)
+      l := m :: !l)
     t.multicasts;
   List.iter
-    (fun (_p, psegs) ->
+    (fun (p, psegs) ->
+      let starts = Hashtbl.create 8 in
+      List.iter
+        (fun (s, start) -> Hashtbl.replace starts s.view.View.id start)
+        (incarnation_starts psegs);
       List.iter
         (fun (si, sj) ->
-          let p = _p in
-          let owed = delivered_before psegs ~view_id:(sj.view.View.id + 0) in
+          let incarnation_start =
+            match Hashtbl.find_opt starts si.view.View.id with
+            | Some s -> s
+            | None -> assert false
+          in
+          let owed = delivered_before psegs ~view_id:sj.view.View.id in
           let owed =
             List.fold_left (fun acc m -> Msg_id.Set.add m.id acc) owed si.deliveries
           in
@@ -280,20 +316,24 @@ let check_fifo_sr t successors all violations =
             (fun sender max ->
               match Hashtbl.find_opt multicast_sns sender with
               | None -> ()
-              | Some ids ->
+              | Some metas ->
                   List.iter
-                    (fun (id : Msg_id.t) ->
-                      if id.Msg_id.sn < max && not (covered successors id owed) then
+                    (fun (m : meta) ->
+                      if
+                        m.view_id >= incarnation_start
+                        && m.id.Msg_id.sn < max
+                        && not (covered successors m.id owed)
+                      then
                         violations :=
                           Fifo_sr_hole
                             {
                               p;
                               view_id = si.view.View.id;
-                              missing = id;
+                              missing = m.id;
                               because = Msg_id.make ~sender ~sn:max;
                             }
                           :: !violations)
-                    !ids)
+                    !metas)
             max_sn)
         (consecutive_pairs psegs))
     all

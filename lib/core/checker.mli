@@ -27,7 +27,20 @@
     {!verify_strict_vs} additionally demands classical View Synchrony
     (identical delivery sets between views) — it must pass whenever
     purging is disabled or the relation is empty, demonstrating the
-    paper's claim that SVS with an empty relation {e is} VS. *)
+    paper's claim that SVS with an empty relation {e is} VS.
+
+    {b Crash recovery.} A process's log may span several incarnations:
+    a crash followed by JOIN/SYNC readmission shows up as a view-id
+    {e gap} between consecutive installs (the readmitting view is at
+    least two past the last one installed before the crash). The
+    pairwise checks (SVS, FIFO-SR clause ii, strict VS) quantify only
+    over genuinely consecutive view ids — never across a crash — and
+    FIFO-SR does not owe a rejoined incarnation predecessors multicast
+    before its readmission view (the sponsor's state transfer settles
+    those). Integrity and per-sender FIFO order remain global across
+    incarnations, so a process restarted {e without} its durable state
+    that re-delivers or re-numbers messages is still flagged
+    ([Duplicated] / [Fifo_order]). *)
 
 type t
 

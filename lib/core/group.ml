@@ -56,13 +56,15 @@ type 'p packet =
 type 'p t = {
   me : int;
   cluster : 'p cluster;
-  proto : 'p Protocol.t;
+  mutable proto : 'p Protocol.t; (* swapped for a fresh joiner on restart *)
   inbox : (int * 'p data) Queue.t;
   mutable hb : Heartbeat.t option;
   instances : (int, 'p proposal Ct.t) Hashtbl.t;
   cons_stash : (int, (int * 'p proposal Ct.msg) list ref) Hashtbl.t;
   mutable installed_cbs : (View.t -> unit) list;
   mutable excluded_cbs : (View.t -> unit) list;
+  mutable synced_cbs : (View.t -> string option -> unit) list;
+  mutable state_transfer : (unit -> string option) option;
   mutable crashed : bool;
 }
 
@@ -114,9 +116,17 @@ let stable_trimmed m = Protocol.stable_trimmed m.proto
 
 let pred_size m = List.length (Protocol.accepted_in_view m.proto)
 
+let is_joining m = (not m.crashed) && Protocol.joining m.proto
+
 let on_installed m f = m.installed_cbs <- f :: m.installed_cbs
 
 let on_excluded m f = m.excluded_cbs <- f :: m.excluded_cbs
+
+let on_synced m f = m.synced_cbs <- f :: m.synced_cbs
+
+let set_state_transfer m f =
+  m.state_transfer <- Some f;
+  Protocol.set_state_transfer m.proto f
 
 let suspects m p =
   match (m.cluster.oracle, m.hb) with
@@ -156,6 +166,7 @@ and handle_output m out =
   match out with
   | Send { dst; wire } -> Network.send m.cluster.net ~src:m.me ~dst (Proto wire)
   | Installed v -> List.iter (fun f -> f v) m.installed_cbs
+  | Synced { view; app } -> List.iter (fun f -> f view app) m.synced_cbs
   | Excluded v ->
       retire m;
       List.iter (fun f -> f v) m.excluded_cbs
@@ -237,7 +248,7 @@ let on_suspicion m =
     Protocol.notify_suspicion_change m.proto;
     if m.cluster.config.auto_view_change then begin
       let leave = suspected_set m in
-      if leave <> [] then Protocol.trigger_view_change m.proto ~leave
+      if leave <> [] then Protocol.trigger_view_change m.proto ~leave ()
     end;
     drain m
   end
@@ -274,9 +285,15 @@ let deliver_all m =
   in
   go []
 
-let trigger_view_change m ~leave =
+let trigger_view_change m ?join ~leave () =
   if not m.crashed then begin
-    Protocol.trigger_view_change m.proto ~leave;
+    Protocol.trigger_view_change m.proto ?join ~leave ();
+    drain m
+  end
+
+let request_join m ~contact =
+  if not m.crashed then begin
+    Protocol.join_request m.proto ~contact;
     drain m
   end
 
@@ -301,6 +318,89 @@ let crash c p =
   retire m;
   Network.crash c.net ~node:p;
   match c.oracle with Some o -> Svs_detector.Oracle.mark_crashed o p | None -> ()
+
+(* With the perfect detector, a restarted node must stop being
+   suspected — but only once every surviving member has moved past the
+   view that still lists it, otherwise an in-flight exclusion change
+   would wait forever for a PRED the new (joining, hence silent)
+   incarnation will never send. *)
+let unsuspect_when_excluded c p =
+  match c.oracle with
+  | None -> ()
+  | Some o ->
+      let still_listed () =
+        List.exists
+          (fun q -> q.me <> p && (not q.crashed) && View.mem p (view q))
+          c.member_list
+      in
+      if not (still_listed ()) then Svs_detector.Oracle.mark_recovered o p
+      else begin
+        let done_ = ref false in
+        List.iter
+          (fun q ->
+            if q.me <> p then
+              on_installed q (fun _ ->
+                  if (not !done_) && not (still_listed ()) then begin
+                    done_ := true;
+                    Svs_detector.Oracle.mark_recovered o p
+                  end))
+          c.member_list
+      end
+
+(* Restart a crashed (or excluded) process as a new incarnation that
+   must be readmitted through the JOIN/SYNC path. With [recover], the
+   durable slice of the dead incarnation's state — last installed view
+   id, delivery floors, next sequence number — seeds the new protocol,
+   standing in for what {!Svs_rt.Wal} provides on the real stack;
+   without it the process comes back amnesiac (which the safety oracle
+   duly flags once it reuses a sequence number). *)
+let restart c p ~recover =
+  let m = member c p in
+  if is_member m || is_joining m then
+    invalid_arg (Printf.sprintf "Group.restart: %d is still active" p);
+  let config = c.config in
+  let recovery =
+    if recover then
+      Some
+        {
+          Protocol.view_id = (Protocol.current_view m.proto).View.id;
+          floors = Protocol.floors m.proto;
+          next_sn = Protocol.next_sn m.proto;
+        }
+    else None
+  in
+  let proto =
+    Protocol.create_joiner ~me:p ?recovery ~semantic:config.semantic ~tracer:config.tracer
+      ?metrics:config.metrics ~clock:(Engine.clock c.engine)
+      ~suspects:(fun q -> suspects m q)
+      ()
+  in
+  (match m.state_transfer with
+  | Some f -> Protocol.set_state_transfer proto f
+  | None -> ());
+  m.proto <- proto;
+  Queue.clear m.inbox;
+  Hashtbl.reset m.instances;
+  Hashtbl.reset m.cons_stash;
+  m.crashed <- false;
+  Network.revive c.net ~node:p;
+  (match config.detector with
+  | Oracle -> unsuspect_when_excluded c p
+  | Heartbeats hb_config ->
+      let ids = List.map (fun q -> q.me) c.member_list in
+      let hb =
+        Heartbeat.create c.engine hb_config ~me:p ~peers:ids
+          ~send_heartbeat:(fun ~dst -> Network.send c.net ~src:p ~dst Beat)
+      in
+      let note_suspect q =
+        if Trace.enabled config.tracer then
+          Trace.emit config.tracer (Trace.Suspect { node = p; suspect = q })
+      in
+      Heartbeat.on_suspect hb (fun q ->
+          note_suspect q;
+          on_suspicion m);
+      Heartbeat.on_rescind hb (fun _ -> on_suspicion m);
+      m.hb <- Some hb)
 
 let packet_size pc packet =
   match packet with
@@ -375,6 +475,8 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
         cons_stash = Hashtbl.create 7;
         installed_cbs = [];
         excluded_cbs = [];
+        synced_cbs = [];
+        state_transfer = None;
         crashed = false;
       }
     in
@@ -407,7 +509,7 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
                      with
                      | Some initiator ->
                          Hashtbl.remove over_since m.me;
-                         trigger_view_change initiator ~leave:[ m.me ]
+                         trigger_view_change initiator ~leave:[ m.me ] ()
                      | None -> ()
                    end
                  end

@@ -101,6 +101,31 @@ val crash : 'p cluster -> int -> unit
 (** Crash-stop a member: silenced on the network, marked at the oracle
     detector (if any). *)
 
+val restart : 'p cluster -> int -> recover:bool -> unit
+(** Bring a crashed or excluded member back as a new incarnation in
+    the joining state: it takes part in the group again only after the
+    JOIN/SYNC handshake readmits it (drive it with {!request_join}).
+    With [recover:true] the durable slice of the old incarnation's
+    protocol state (last installed view id, delivery floors, next
+    sequence number) seeds the new one — the simulator's stand-in for
+    the real stack's write-ahead log; with [recover:false] the process
+    returns amnesiac, modelling a node that lost its log (the safety
+    checker flags the resulting duplicate deliveries). Any
+    {!set_state_transfer} callback is re-installed on the new
+    incarnation. With the oracle detector, the restarted node stops
+    being suspected once no surviving member's view lists it (never
+    mid-exclusion, which would stall that view change). Raises
+    [Invalid_argument] if the member is still active. *)
+
+val request_join : 'p t -> contact:int -> unit
+(** Ask [contact] to admit this (joining) member into the next view.
+    Safe to call repeatedly — requests are dropped until a member can
+    act on them — so callers should retry until {!is_joining} turns
+    false. No-op unless joining. *)
+
+val is_joining : 'p t -> bool
+(** True between {!restart} and the SYNC that readmits the member. *)
+
 val partition : 'p cluster -> int -> int -> unit
 (** Disconnect the pair of members; messages between them are held (not
     lost — the system model's channels are reliable) until {!heal}. *)
@@ -167,10 +192,20 @@ val pred_size : 'p t -> int
 (** Size of the PRED set this member would currently send (unstable
     accepted messages of the view) — the view-change flush cost. *)
 
-val trigger_view_change : 'p t -> leave:int list -> unit
+val trigger_view_change : 'p t -> ?join:int list -> leave:int list -> unit -> unit
+(** The next view drops [leave] and admits [join] (default [[]]); see
+    {!Protocol.trigger_view_change}. *)
+
+val set_state_transfer : 'p t -> (unit -> string option) -> unit
+(** Application-state snapshot callback, sent in the SYNC when this
+    member sponsors a joiner; survives {!restart}. *)
 
 val on_installed : 'p t -> (View.t -> unit) -> unit
 (** Protocol-level installation (before the marker reaches the
     application); used to measure view-change latency. *)
 
 val on_excluded : 'p t -> (View.t -> unit) -> unit
+
+val on_synced : 'p t -> (View.t -> string option -> unit) -> unit
+(** Fired when this member is readmitted by a sponsor's SYNC, with the
+    installed view and the transferred application state (if any). *)

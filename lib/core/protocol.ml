@@ -17,11 +17,19 @@ type 'p entry = Edata of 'p data | Eview of View.t
    past views are discarded). *)
 type 'p vc_state = {
   mutable leave : int list;
+  mutable join : int list;
   mutable global_pred : 'p data Msg_id.Map.t;
   mutable pred_received : int list;
   mutable pred_sent : bool;
   mutable proposed : bool;
 }
+
+(* A process is a [Member] of its current view, [Joining] (waiting for
+   a sponsor's SYNC after requesting admission), or [Dead] (excluded,
+   or created outside the initial view). *)
+type status = Member | Joining | Dead
+
+type recovery = { view_id : int; floors : (int * int) list; next_sn : int }
 
 type 'p t = {
   me : int;
@@ -29,7 +37,8 @@ type 'p t = {
   suspects : int -> bool;
   mutable cv : View.t;
   mutable blocked : bool;
-  mutable dead : bool; (* excluded from the group *)
+  mutable status : status;
+  mutable state_transfer : unit -> string option;
   mutable next_sn : int;
   to_deliver : 'p entry Dq.t;
   (* Purge indexes over the queued Edata entries (semantic mode only):
@@ -75,7 +84,8 @@ let create ~me ~initial_view ?(semantic = true) ?(tracer = Trace.nop) ?metrics
     suspects;
     cv = initial_view;
     blocked = false;
-    dead = not (View.mem me initial_view);
+    status = (if View.mem me initial_view then Member else Dead);
+    state_transfer = (fun () -> None);
     next_sn = 0;
     to_deliver = Dq.create ();
     pidx = Purge_index.create ();
@@ -103,13 +113,42 @@ let create ~me ~initial_view ?(semantic = true) ?(tracer = Trace.nop) ?metrics
     queued_data = 0;
   }
 
+(* A joiner has no view yet: its placeholder current view holds only
+   itself, with the last view it installed before crashing (so the
+   stale-message guard still applies across restart) or [-1] for a
+   fresh process. [recovery] restores the durable part of the state —
+   delivery floors (dedup + FIFO across restart) and the next send
+   sequence number (so no Msg_id is ever reused). *)
+let create_joiner ~me ?recovery ?semantic ?tracer ?metrics ?clock ~suspects () =
+  let view_id = match recovery with Some r -> r.view_id | None -> -1 in
+  let t =
+    create ~me
+      ~initial_view:(View.make ~id:view_id ~members:[ me ])
+      ?semantic ?tracer ?metrics ?clock ~suspects ()
+  in
+  t.status <- Joining;
+  (match recovery with
+  | None -> ()
+  | Some r ->
+      List.iter (fun (sender, sn) -> Hashtbl.replace t.floors sender sn) r.floors;
+      t.next_sn <- r.next_sn);
+  t
+
 let me t = t.me
 
 let current_view t = t.cv
 
 let blocked t = t.blocked
 
-let alive t = not t.dead
+let alive t = t.status = Member
+
+let joining t = t.status = Joining
+
+let set_state_transfer t f = t.state_transfer <- f
+
+let floors t = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) t.floors []
+
+let next_sn t = t.next_sn
 
 let purge_counter t = function
   | Trace.At_multicast -> t.purged_multicast
@@ -241,7 +280,7 @@ let send_to_others t wire =
   List.iter (fun dst -> if dst <> t.me then emit t (Send { dst; wire })) t.cv.View.members
 
 (* t7: once every unsuspected member's PRED arrived and they form a
-   majority, propose (pred-received \ leave, global-pred). *)
+   majority, propose ((pred-received \ leave) U join, global-pred). *)
 let try_propose t =
   match t.vc with
   | None -> ()
@@ -260,7 +299,16 @@ let try_propose t =
               (List.length vc.pred_received)
               (Msg_id.Map.cardinal vc.global_pred));
         let members = List.filter (fun p -> not (List.mem p vc.leave)) vc.pred_received in
-        let next_view = View.make ~id:(t.cv.View.id + 1) ~members in
+        (* Joiners are admitted only if they are not current members:
+           a member can never be excluded and readmitted in the same
+           transition, so a rejoining process always shows a view-id
+           gap in its install history (the checker keys on this). *)
+        let joins =
+          List.filter
+            (fun p -> (not (View.mem p t.cv)) && not (List.mem p members))
+            vc.join
+        in
+        let next_view = View.make ~id:(t.cv.View.id + 1) ~members:(members @ joins) in
         let pred =
           List.map snd (Msg_id.Map.bindings vc.global_pred)
           |> List.sort (fun a b -> Msg_id.compare a.id b.id)
@@ -268,7 +316,7 @@ let try_propose t =
         emit t (Propose { view_id = t.cv.View.id; proposal = { next_view; pred } })
       end
 
-let notify_suspicion_change t = if not t.dead then try_propose t
+let notify_suspicion_change t = if t.status = Member then try_propose t
 
 let vc_state t =
   match t.vc with
@@ -277,6 +325,7 @@ let vc_state t =
       let vc =
         {
           leave = [];
+          join = [];
           global_pred = Msg_id.Map.empty;
           pred_received = [];
           pred_sent = false;
@@ -287,7 +336,7 @@ let vc_state t =
       vc
 
 let multicast t ?(ann = Annotation.Unrelated) payload =
-  if t.dead || not (View.mem t.me t.cv) then Error `Not_member
+  if t.status <> Member || not (View.mem t.me t.cv) then Error `Not_member
   else if t.blocked then Error `Blocked
   else begin
     let id = Msg_id.make ~sender:t.me ~sn:t.next_sn in
@@ -301,18 +350,19 @@ let multicast t ?(ann = Annotation.Unrelated) payload =
   end
 
 (* t5: first INIT for the current view. *)
-let handle_init t ~src ~leave =
+let handle_init t ~src ~leave ~join =
   if not t.blocked then begin
     Log.debug (fun m ->
-        m "p%d: view change for %a started by %d (leave: %d)" t.me View.pp t.cv src
-          (List.length leave));
-    if src <> t.me then send_to_others t (Winit { view_id = t.cv.View.id; leave });
+        m "p%d: view change for %a started by %d (leave: %d, join: %d)" t.me View.pp t.cv src
+          (List.length leave) (List.length join));
+    if src <> t.me then send_to_others t (Winit { view_id = t.cv.View.id; leave; join });
     t.blocked <- true;
     t.blocked_since <- t.clock ();
     if Trace.enabled t.tracer then
       Trace.emit t.tracer (Block { node = t.me; view_id = t.cv.View.id });
     let vc = vc_state t in
     vc.leave <- List.filter (fun p -> View.mem p t.cv) leave;
+    vc.join <- List.sort_uniq compare (List.filter (fun p -> not (View.mem p t.cv)) join);
     let pred = local_pred t in
     send_to_others t (Wpred { view_id = t.cv.View.id; msgs = pred });
     (* Self-delivery of our own PRED (the paper sends it to all,
@@ -345,7 +395,7 @@ let handle_stable t ~src ~floors =
   end
 
 let gossip_stability t =
-  if (not t.dead) && not t.blocked then begin
+  if t.status = Member && not t.blocked then begin
     let floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) t.floors [] in
     if floors <> [] then send_to_others t (Wstable { floors })
   end
@@ -378,25 +428,93 @@ let handle_data t (d : 'p data) =
       else accept t ~site:Trace.At_receive d
     end
 
+let trigger_view_change t ?(join = []) ~leave () =
+  if t.status = Member && not t.blocked then begin
+    let join = List.filter (fun p -> not (View.mem p t.cv)) join in
+    send_to_others t (Winit { view_id = t.cv.View.id; leave; join });
+    handle_init t ~src:t.me ~leave ~join
+  end
+
+(* A JOIN request reaches a member: start a view change admitting the
+   joiner. Dropped while blocked or if the joiner is (still) a current
+   member — the joiner keeps retrying, and a crashed incarnation that
+   is still in the view gets excluded by suspicion first, so the
+   readmitting transition is never the excluding one. *)
+let handle_join t ~joiner =
+  if t.status = Member && (not t.blocked) && not (View.mem joiner t.cv) then
+    trigger_view_change t ~join:[ joiner ] ~leave:[] ()
+
+let join_request t ~contact =
+  if t.status = Joining then begin
+    emit t (Send { dst = contact; wire = Wjoin { joiner = t.me } });
+    if Trace.enabled t.tracer then Trace.emit t.tracer (Join { node = t.me; contact })
+  end
+
+let wire_view_id = function
+  | Wdata d -> d.view_id
+  | Winit { view_id; _ } | Wpred { view_id; _ } -> view_id
+  | Wstable _ | Wjoin _ | Wsync _ -> assert false
+
 let rec receive t ~src wire =
-  if not t.dead then
-    match wire with
-    | Wstable { floors } -> handle_stable t ~src ~floors
-    | Wdata _ | Winit _ | Wpred _ ->
-        let view_id =
-          match wire with
-          | Wdata d -> d.view_id
-          | Winit { view_id; _ } | Wpred { view_id; _ } -> view_id
-          | Wstable _ -> assert false
-        in
-        if view_id < t.cv.View.id then () (* stale: superseded by the agreed pred set *)
-        else if view_id > t.cv.View.id then Queue.add (src, wire) t.stash
-        else (
-          match wire with
-          | Wdata d -> handle_data t d
-          | Winit { leave; _ } -> handle_init t ~src ~leave
-          | Wpred { msgs; _ } -> handle_pred t ~src ~msgs
-          | Wstable _ -> assert false)
+  match t.status with
+  | Dead -> ()
+  | Joining -> (
+      match wire with
+      | Wsync { view; floors; app } -> handle_sync t ~src ~view ~floors ~app
+      | Wdata _ | Winit _ | Wpred _ ->
+          (* INIT/PRED/DATA of the admitting view can arrive from other
+             members before the sponsor's SYNC: stash and replay them
+             once synced. Anything older than the last view installed
+             before the crash is stale. *)
+          if wire_view_id wire > t.cv.View.id then Queue.add (src, wire) t.stash
+      | Wstable _ | Wjoin _ -> ())
+  | Member -> (
+      match wire with
+      | Wstable { floors } -> handle_stable t ~src ~floors
+      | Wjoin { joiner } -> handle_join t ~joiner
+      | Wsync _ -> () (* only meaningful while joining *)
+      | Wdata _ | Winit _ | Wpred _ ->
+          let view_id = wire_view_id wire in
+          if view_id < t.cv.View.id then () (* stale: superseded by the agreed pred set *)
+          else if view_id > t.cv.View.id then Queue.add (src, wire) t.stash
+          else (
+            match wire with
+            | Wdata d -> handle_data t d
+            | Winit { leave; join; _ } -> handle_init t ~src ~leave ~join
+            | Wpred { msgs; _ } -> handle_pred t ~src ~msgs
+            | Wstable _ | Wjoin _ | Wsync _ -> assert false))
+
+(* The sponsor's SYNC: adopt the new view and the sponsor's delivery
+   floors (sequence numbers are never reused, so a floor can only
+   suppress pre-view duplicates, never a message of the new view), and
+   surface the transferred application state. *)
+and handle_sync t ~src ~view ~floors ~app =
+  if t.status = Joining && View.mem t.me view && view.View.id > t.cv.View.id then begin
+    Log.info (fun m -> m "p%d: synced into %a by %d" t.me View.pp view src);
+    List.iter
+      (fun (sender, sn) -> if sn > floor_of t sender then Hashtbl.replace t.floors sender sn)
+      floors;
+    Dq.push_back t.to_deliver (Eview view);
+    t.cv <- view;
+    t.status <- Member;
+    t.blocked <- false;
+    t.vc <- None;
+    t.delivered_this_view <- [];
+    if Trace.enabled t.tracer then begin
+      Trace.emit t.tracer
+        (StateTransfer
+           {
+             node = t.me;
+             peer = src;
+             bytes = (match app with None -> 0 | Some s -> String.length s);
+           });
+      Trace.emit t.tracer
+        (ViewInstall { node = t.me; view_id = view.View.id; members = view.View.members })
+    end;
+    emit t (Installed view);
+    emit t (Synced { view; app });
+    replay_stash t
+  end
 
 and replay_stash t =
   let pending = Queue.create () in
@@ -404,7 +522,7 @@ and replay_stash t =
   Queue.iter (fun (src, wire) -> receive t ~src wire) pending
 
 and decided t ~view_id (p : 'p proposal) =
-  if (not t.dead) && view_id = t.cv.View.id then begin
+  if t.status = Member && view_id = t.cv.View.id then begin
     if Trace.enabled t.tracer then
       Trace.emit t.tracer (ConsensusDecide { node = t.me; view_id });
     if View.mem t.me p.next_view then begin
@@ -420,6 +538,19 @@ and decided t ~view_id (p : 'p proposal) =
       Log.info (fun m ->
           m "p%d: installing %a (injected pred, %d purged so far)" t.me View.pp p.next_view
             (purged_count t));
+      (* Sponsor election for newcomers: the least-id member common to
+         both views syncs each joiner. Computed before the install so
+         the floors snapshot predates any message of the new view
+         (stashed new-view traffic replays only below). *)
+      let newcomers =
+        List.filter (fun q -> not (View.mem q t.cv)) p.next_view.View.members
+      in
+      let is_sponsor =
+        newcomers <> []
+        && (match List.find_opt (fun q -> View.mem q t.cv) p.next_view.View.members with
+           | Some q -> q = t.me
+           | None -> false)
+      in
       Dq.push_back t.to_deliver (Eview p.next_view);
       t.cv <- p.next_view;
       if t.blocked then begin
@@ -439,21 +570,26 @@ and decided t ~view_id (p : 'p proposal) =
                members = p.next_view.View.members;
              });
       emit t (Installed p.next_view);
+      if is_sponsor then begin
+        let floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) t.floors [] in
+        let app = t.state_transfer () in
+        let bytes = match app with None -> 0 | Some s -> String.length s in
+        List.iter
+          (fun joiner ->
+            Log.info (fun m -> m "p%d: syncing joiner %d into %a" t.me joiner View.pp t.cv);
+            emit t (Send { dst = joiner; wire = Wsync { view = p.next_view; floors; app } });
+            if Trace.enabled t.tracer then
+              Trace.emit t.tracer (StateTransfer { node = t.me; peer = joiner; bytes }))
+          newcomers
+      end;
       replay_stash t
     end
     else begin
       Log.info (fun m -> m "p%d: excluded from %a" t.me View.pp p.next_view);
-      t.dead <- true;
+      t.status <- Dead;
       t.vc <- None;
       emit t (Excluded p.next_view)
     end
-  end
-
-let trigger_view_change t ~leave =
-  if (not t.dead) && not t.blocked then begin
-    let wire = Winit { view_id = t.cv.View.id; leave } in
-    send_to_others t wire;
-    handle_init t ~src:t.me ~leave
   end
 
 let deliver t =

@@ -25,6 +25,14 @@
 
 type 'p t
 
+type recovery = { view_id : int; floors : (int * int) list; next_sn : int }
+(** The durable slice of a process's state, as recovered from a
+    write-ahead log (or snapshotted by the simulator): the id of the
+    last installed view, the per-sender delivery floors, and the next
+    multicast sequence number. Restoring it across a restart is what
+    keeps Integrity (no duplicate delivery, no Msg_id reuse) true
+    under crash–recovery. *)
+
 val create :
   me:int ->
   initial_view:View.t ->
@@ -49,6 +57,45 @@ val create :
     either way. [clock] (default constant [0.]) stamps blocked spans —
     pass virtual or wall time to match the embedding. *)
 
+val create_joiner :
+  me:int ->
+  ?recovery:recovery ->
+  ?semantic:bool ->
+  ?tracer:Svs_telemetry.Trace.t ->
+  ?metrics:Svs_telemetry.Metrics.t ->
+  ?clock:(unit -> float) ->
+  suspects:(int -> bool) ->
+  unit ->
+  'p t
+(** A process outside the group that wants in: it starts {!joining}
+    and becomes a member only when a sponsor's SYNC arrives (after some
+    member admitted it via {!trigger_view_change}[ ~join] in response
+    to its {!join_request}). Until then it holds a placeholder
+    single-member view whose id is [recovery.view_id] (so pre-crash
+    traffic is recognised as stale) or [-1] for a fresh process. *)
+
+val joining : 'p t -> bool
+(** True while waiting for a sponsor's SYNC. *)
+
+val join_request : 'p t -> contact:int -> unit
+(** Ask [contact] (a presumed group member) to admit this process into
+    the next view. Idempotent and retryable: requests that reach a
+    blocked member, a non-member, or a view that still lists this
+    process are dropped, so callers should retry (possibly cycling
+    contacts) until no longer {!joining}. No-op unless {!joining}. *)
+
+val set_state_transfer : 'p t -> (unit -> string option) -> unit
+(** Install the application-state snapshot callback. When this process
+    sponsors a joiner, the callback's result rides the SYNC message
+    and surfaces at the joiner as {!Types.Synced}. Default: [None]. *)
+
+val floors : 'p t -> (int * int) list
+(** Per-sender delivery floors (highest accepted sequence number), the
+    durable dedup state. Unordered. *)
+
+val next_sn : 'p t -> int
+(** The sequence number the next {!multicast} will use. *)
+
 val me : 'p t -> int
 
 val current_view : 'p t -> View.t
@@ -58,7 +105,8 @@ val blocked : 'p t -> bool
     and the installation of the next view). *)
 
 val alive : 'p t -> bool
-(** False once the process has been excluded from the group. *)
+(** False once the process has been excluded from the group, and while
+    it is still {!joining}. *)
 
 val to_deliver_length : 'p t -> int
 (** Data messages queued for the application (excludes view markers). *)
@@ -89,8 +137,14 @@ val receive : 'p t -> src:int -> 'p Types.wire -> unit
 val deliver : 'p t -> 'p Types.delivery option
 (** t1. [None] when the queue is empty. *)
 
-val trigger_view_change : 'p t -> leave:int list -> unit
-(** t4. Ignored while already {!blocked}. *)
+val trigger_view_change : 'p t -> ?join:int list -> leave:int list -> unit -> unit
+(** t4, extended with admissions: the next view drops [leave] and adds
+    [join] (default [[]]). Joiners that are already current members are
+    ignored — exclusion and readmission can never share a transition,
+    so a rejoining process always re-enters with a view-id gap. The
+    least-id surviving member sponsors each admitted joiner with a
+    SYNC (view, floors, application state) once the change decides.
+    Ignored while already {!blocked}. *)
 
 val notify_suspicion_change : 'p t -> unit
 (** Re-evaluate the t7 guard after the failure detector changed. *)

@@ -20,9 +20,11 @@ type 'p delivery =
 
 type 'p wire =
   | Wdata of 'p data
-  | Winit of { view_id : int; leave : int list }
+  | Winit of { view_id : int; leave : int list; join : int list }
   | Wpred of { view_id : int; msgs : 'p data list }
   | Wstable of { floors : (int * int) list }
+  | Wjoin of { joiner : int }
+  | Wsync of { view : View.t; floors : (int * int) list; app : string option }
 
 type 'p proposal = {
   next_view : View.t;
@@ -34,6 +36,7 @@ type 'p output =
   | Propose of { view_id : int; proposal : 'p proposal }
   | Installed of View.t
   | Excluded of View.t
+  | Synced of { view : View.t; app : string option }
 
 let pp_data pp_payload ppf d =
   Format.fprintf ppf "[DATA %a v%d %a %a]" Msg_id.pp d.id d.view_id pp_payload d.payload
@@ -41,11 +44,16 @@ let pp_data pp_payload ppf d =
 
 let pp_wire pp_payload ppf = function
   | Wdata d -> pp_data pp_payload ppf d
-  | Winit { view_id; leave } ->
-      Format.fprintf ppf "[INIT v%d leave={%a}]" view_id
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
-           Format.pp_print_int)
-        leave
+  | Winit { view_id; leave; join } ->
+      let pp_ids =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+          Format.pp_print_int
+      in
+      Format.fprintf ppf "[INIT v%d leave={%a} join={%a}]" view_id pp_ids leave pp_ids join
   | Wpred { view_id; msgs } -> Format.fprintf ppf "[PRED v%d |%d msgs|]" view_id (List.length msgs)
   | Wstable { floors } -> Format.fprintf ppf "[STABLE |%d senders|]" (List.length floors)
+  | Wjoin { joiner } -> Format.fprintf ppf "[JOIN %d]" joiner
+  | Wsync { view; floors; app } ->
+      Format.fprintf ppf "[SYNC %a |%d floors| app=%s]" View.pp view (List.length floors)
+        (match app with None -> "-" | Some s -> string_of_int (String.length s) ^ "B")

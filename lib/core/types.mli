@@ -25,14 +25,21 @@ type 'p delivery =
     [STABLE] gossip used for stability tracking (§2.1 notes that a
     message is kept "until it is known to be stable, i.e. received by
     all processes"; gossiping per-sender receive floors lets members
-    garbage-collect stable messages from the PRED bookkeeping). *)
+    garbage-collect stable messages from the PRED bookkeeping) and the
+    [JOIN]/[SYNC] pair of the crash-recovery extension. *)
 type 'p wire =
   | Wdata of 'p data
-  | Winit of { view_id : int; leave : int list }
+  | Winit of { view_id : int; leave : int list; join : int list }
   | Wpred of { view_id : int; msgs : 'p data list }
       (** The sender's accepted-to-deliver sequence for the view. *)
   | Wstable of { floors : (int * int) list }
       (** Per-sender highest contiguously received sequence number. *)
+  | Wjoin of { joiner : int }
+      (** A non-member asks the receiver to admit it to the next view. *)
+  | Wsync of { view : View.t; floors : (int * int) list; app : string option }
+      (** Sponsor-to-joiner state transfer: the newly installed view,
+          the sponsor's per-sender delivery floors, and an opaque
+          application-state snapshot. *)
 
 type 'p proposal = {
   next_view : View.t;
@@ -49,6 +56,10 @@ type 'p output =
   | Installed of View.t
   | Excluded of View.t
       (** Consensus removed this process from the group. *)
+  | Synced of { view : View.t; app : string option }
+      (** This (joining) process was readmitted by a sponsor's [SYNC];
+          [app] is the transferred application state. Emitted right
+          after the corresponding [Installed]. *)
 
 val pp_data :
   (Format.formatter -> 'p -> unit) -> Format.formatter -> 'p data -> unit

@@ -64,10 +64,11 @@ let write_wire pc w = function
   | Wdata d ->
       W.uint8 w 0;
       write_data pc w d
-  | Winit { view_id; leave } ->
+  | Winit { view_id; leave; join } ->
       W.uint8 w 1;
       W.varint w view_id;
-      W.list w (fun w p -> W.varint w p) leave
+      W.list w (fun w p -> W.varint w p) leave;
+      W.list w (fun w p -> W.varint w p) join
   | Wpred { view_id; msgs } ->
       W.uint8 w 2;
       W.varint w view_id;
@@ -79,6 +80,22 @@ let write_wire pc w = function
           W.varint w sender;
           W.varint w sn)
         floors
+  | Wjoin { joiner } ->
+      W.uint8 w 4;
+      W.varint w joiner
+  | Wsync { view; floors; app } ->
+      W.uint8 w 5;
+      write_view w view;
+      W.list w
+        (fun w (sender, sn) ->
+          W.varint w sender;
+          W.varint w sn)
+        floors;
+      (match app with
+      | None -> W.uint8 w 0
+      | Some s ->
+          W.uint8 w 1;
+          W.bytes w s)
 
 let read_wire pc r =
   match R.uint8 r with
@@ -86,7 +103,8 @@ let read_wire pc r =
   | 1 ->
       let view_id = R.varint r in
       let leave = R.list r R.varint in
-      Winit { view_id; leave }
+      let join = R.list r R.varint in
+      Winit { view_id; leave; join }
   | 2 ->
       let view_id = R.varint r in
       let msgs = R.list r (read_data pc) in
@@ -99,6 +117,24 @@ let read_wire pc r =
             (sender, sn))
       in
       Wstable { floors }
+  | 4 ->
+      let joiner = R.varint r in
+      Wjoin { joiner }
+  | 5 ->
+      let view = read_view r in
+      let floors =
+        R.list r (fun r ->
+            let sender = R.varint r in
+            let sn = R.varint r in
+            (sender, sn))
+      in
+      let app =
+        match R.uint8 r with
+        | 0 -> None
+        | 1 -> Some (R.bytes r)
+        | n -> raise (Codec.Malformed (Printf.sprintf "sync app tag %d" n))
+      in
+      Wsync { view; floors; app }
   | n -> raise (Codec.Malformed (Printf.sprintf "wire tag %d" n))
 
 let wire_to_string pc wire =

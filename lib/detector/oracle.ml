@@ -14,6 +14,10 @@ let mark_crashed t p =
     List.iter (fun f -> f p) t.callbacks
   end
 
+let mark_recovered t p =
+  if p < 0 || p >= Array.length t.crashed then invalid_arg "Oracle.mark_recovered: bad node";
+  t.crashed.(p) <- false
+
 let suspects t p = p >= 0 && p < Array.length t.crashed && t.crashed.(p)
 
 let suspected_set t =

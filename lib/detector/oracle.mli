@@ -11,6 +11,10 @@ val create : nodes:int -> t
 
 val mark_crashed : t -> int -> unit
 
+val mark_recovered : t -> int -> unit
+(** Clear a node's crashed mark (the harness restarted it). No
+    callbacks fire; a later {!mark_crashed} fires them again. *)
+
 val suspects : t -> int -> bool
 (** [suspects t p] is true iff [p] has been marked crashed. *)
 

@@ -3,6 +3,10 @@ module Stream = Svs_workload.Stream
 module Trace_stats = Svs_workload.Trace_stats
 module Annotation = Svs_obs.Annotation
 module Series = Svs_stats.Series
+module Codec = Svs_codec.Codec
+module Types = Svs_core.Types
+module View = Svs_core.View
+module Wire_codec = Svs_core.Wire_codec
 
 type policy = Exclude | Big_buffers | Deadline | Svs
 
@@ -15,6 +19,8 @@ let policy_label = function
 type row = {
   policy : policy;
   reconfigurations : int;
+  rejoins : int;
+  state_transfer_bytes : int;
   peak_buffer : int;
   blocked_fraction : float;
   lost_live : int;
@@ -54,6 +60,40 @@ let run ?(spec = Spec.default) ?(config = default_config) policy =
   let consumer_free = ref 0.0 in
   let excluded = ref false in
   let reconfigurations = ref 0 in
+  let rejoins = ref 0 in
+  let state_transfer_bytes = ref 0 in
+  (* Current application state (latest write per live item), as a
+     sponsor would snapshot it: the readmission SYNC ships exactly
+     this, so the transfer is costed with the real wire encoding. *)
+  let state : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let track (m : Stream.message) =
+    match (m.Stream.kind, m.Stream.item) with
+    | (Stream.Update | Stream.Commit | Stream.Create), Some item ->
+        Hashtbl.replace state item m.Stream.sn
+    | Stream.Destroy, Some item -> Hashtbl.remove state item
+    | _, None -> ()
+  in
+  let sync_bytes ~floor =
+    let app =
+      let w = Codec.Writer.create () in
+      Codec.Writer.list w
+        (fun w (item, sn) ->
+          Codec.Writer.varint w item;
+          Codec.Writer.varint w sn)
+        (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) state []));
+      Some (Codec.Writer.contents w)
+    in
+    (* The SYNC of the join path: re-entry view (expulsion + rejoin are
+       two view changes each), sponsor floors, application snapshot. *)
+    Codec.encoded_size
+      ~write:(Wire_codec.write_wire Wire_codec.int_codec)
+      (Types.Wsync
+         {
+           view = View.make ~id:(2 * !reconfigurations) ~members:[ 0; 1 ];
+           floors = [ (0, floor) ];
+           app;
+         })
+  in
   let peak = ref 0 in
   let lost_live = ref 0 in
   let purged_obsolete = ref 0 in
@@ -118,8 +158,16 @@ let run ?(spec = Spec.default) ?(config = default_config) policy =
     else begin
       let m = messages.(!i) in
       let te = next_emit in
-      (* Rejoin a previously excluded member once it is healthy. *)
-      if !excluded && not (frozen te) then excluded := false;
+      track m;
+      (* Readmit a previously excluded member once it is healthy: the
+         join path costs another view change plus the sponsor's SYNC
+         carrying the whole current application state. *)
+      if !excluded && not (frozen te) then begin
+        excluded := false;
+        incr rejoins;
+        state_transfer_bytes :=
+          !state_transfer_bytes + sync_bytes ~floor:(Stdlib.max 0 (!i - 1))
+      end;
       if !excluded then begin
         (* The slow member is out of the group: nothing is buffered for
            it; the producer proceeds unimpeded. *)
@@ -143,8 +191,9 @@ let run ?(spec = Spec.default) ?(config = default_config) policy =
         let resume = next_healthy (Float.max !consumer_free te) in
         if policy = Exclude && resume -. te > config.grace then begin
           (* Flow control exceeded the grace period: expel the member.
-             Its buffered messages are dropped here (a real system
-             would state-transfer on re-join). *)
+             Its buffered messages are dropped — the dead incarnation's
+             loss — and the readmission SYNC above pays to rebuild its
+             state when it rejoins. *)
           incr reconfigurations;
           excluded := true;
           blocked_time := !blocked_time +. config.grace;
@@ -167,6 +216,8 @@ let run ?(spec = Spec.default) ?(config = default_config) policy =
   {
     policy;
     reconfigurations = !reconfigurations;
+    rejoins = !rejoins;
+    state_transfer_bytes = !state_transfer_bytes;
     peak_buffer = !peak;
     blocked_fraction = (if duration > 0.0 then !blocked_time /. duration else 0.0);
     lost_live = !lost_live;
@@ -181,13 +232,24 @@ let print ?(spec = Spec.default) ?(config = default_config) ppf () =
   let rows = List.map (fun p -> run ~spec ~config p) [ Exclude; Big_buffers; Deadline; Svs ] in
   Series.render_table ppf
     ~header:
-      [ "policy"; "reconfigs"; "peak buffer"; "producer blocked"; "lost live msgs"; "skipped obsolete" ]
+      [
+        "policy";
+        "reconfigs";
+        "rejoins";
+        "state xfer";
+        "peak buffer";
+        "producer blocked";
+        "lost live msgs";
+        "skipped obsolete";
+      ]
     ~rows:
       (List.map
          (fun r ->
            [
              policy_label r.policy;
              string_of_int r.reconfigurations;
+             string_of_int r.rejoins;
+             Printf.sprintf "%dB" r.state_transfer_bytes;
              (if r.peak_buffer = max_int then "unbounded" else string_of_int r.peak_buffer);
              Printf.sprintf "%.2f%%" (100.0 *. r.blocked_fraction);
              string_of_int r.lost_live;

@@ -25,6 +25,11 @@ val policy_label : policy -> string
 type row = {
   policy : policy;
   reconfigurations : int;  (** Times the slow member was expelled. *)
+  rejoins : int;  (** Times it was readmitted (another view change). *)
+  state_transfer_bytes : int;
+      (** Total bytes of the readmission SYNCs — each rejoin ships the
+          sponsor's whole application snapshot, measured with the real
+          join path's wire encoding. 0 for every other policy. *)
   peak_buffer : int;  (** Maximum messages buffered. *)
   blocked_fraction : float;  (** Producer flow-control stall. *)
   lost_live : int;

@@ -93,7 +93,7 @@ let run ?(spec = Spec.default) ?(buffer = 15) ?(consumer_rate = 30.0) ?(trigger_
            List.fold_left (fun acc m -> Stdlib.max acc (Group.pred_size m)) 0
              (Group.members cluster);
          slow_backlog := Group.inbox slow + Group.pending slow;
-         Group.trigger_view_change producer ~leave:[])
+         Group.trigger_view_change producer ~leave:[] ())
       : Engine.handle);
   Engine.run ~until:horizon engine;
   List.iter (fun m -> ignore (Group.deliver_all m)) (Group.members cluster);

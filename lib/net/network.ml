@@ -150,6 +150,17 @@ let crash t ~node =
   n.alive <- false;
   Queue.clear n.inbox
 
+let revive t ~node =
+  check_node t node;
+  let n = t.nodes.(node) in
+  n.alive <- true;
+  n.paused <- false;
+  (* A restarted process is a new incarnation: in-flight traffic to the
+     old one stays lost (it was cleared at crash time), and per-link
+     FIFO clocks are untouched, so the reliable-channel contract holds
+     for everything sent from now on. *)
+  Queue.clear n.inbox
+
 let alive t ~node =
   check_node t node;
   t.nodes.(node).alive

@@ -61,6 +61,11 @@ val broadcast : 'msg t -> src:int -> ?include_self:bool -> 'msg -> unit
 
 val crash : 'msg t -> node:int -> unit
 
+val revive : 'msg t -> node:int -> unit
+(** Bring a crashed node back (a restarted incarnation). Messages sent
+    to it while it was down remain lost; traffic sent from now on is
+    delivered normally. Also clears any receive-pause. *)
+
 val alive : 'msg t -> node:int -> bool
 
 val pause_receive : 'msg t -> node:int -> unit

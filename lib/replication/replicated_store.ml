@@ -2,6 +2,7 @@ module Group = Svs_core.Group
 module Types = Svs_core.Types
 module View = Svs_core.View
 module Batch_encoder = Svs_obs.Batch_encoder
+module Codec = Svs_codec.Codec
 
 type 'v op =
   | Set of int * 'v
@@ -18,15 +19,48 @@ type 'v t = {
   mutable applied : int;
 }
 
-let attach ?(k = 64) member =
-  {
-    member;
-    encoder = Batch_encoder.create ~k ();
-    store = Hashtbl.create 64;
-    pending = [];
-    next_pseudo = -1;
-    applied = 0;
-  }
+let attach ?(k = 64) ?snapshot member =
+  let t =
+    {
+      member;
+      encoder = Batch_encoder.create ~k ();
+      store = Hashtbl.create 64;
+      pending = [];
+      next_pseudo = -1;
+      applied = 0;
+    }
+  in
+  (* State transfer: when this replica sponsors a joiner, ship the
+     whole item store; when this replica is the joiner, replace the
+     store with the sponsor's snapshot — the joiner then converges by
+     applying post-sync batches like any backup. *)
+  (match snapshot with
+  | None -> ()
+  | Some (write_v, read_v) ->
+      Group.set_state_transfer member (fun () ->
+          let w = Codec.Writer.create () in
+          Codec.Writer.list w
+            (fun w (item, v) ->
+              Codec.Writer.varint w item;
+              write_v w v)
+            (List.sort (fun (a, _) (b, _) -> compare a b)
+               (Hashtbl.fold (fun id v acc -> (id, v) :: acc) t.store []));
+          Some (Codec.Writer.contents w));
+      Group.on_synced member (fun _view app ->
+          match app with
+          | None -> ()
+          | Some s ->
+              let r = Codec.Reader.of_string s in
+              let items =
+                Codec.Reader.list r (fun r ->
+                    let item = Codec.Reader.varint r in
+                    let v = read_v r in
+                    (item, v))
+              in
+              Hashtbl.reset t.store;
+              List.iter (fun (item, v) -> Hashtbl.replace t.store item v) items;
+              t.pending <- []));
+  t
 
 let member t = t.member
 

@@ -24,9 +24,22 @@ type 'v payload
 
 type 'v t
 
-val attach : ?k:int -> 'v payload Svs_core.Group.t -> 'v t
+val attach :
+  ?k:int ->
+  ?snapshot:
+    (Svs_codec.Codec.Writer.t -> 'v -> unit) * (Svs_codec.Codec.Reader.t -> 'v) ->
+  'v payload Svs_core.Group.t ->
+  'v t
 (** Wrap a group member into a replica. [k] (default 64) is the
-    k-enumeration window; the paper recommends twice the buffer size. *)
+    k-enumeration window; the paper recommends twice the buffer size.
+
+    [snapshot] — a value writer/reader pair — enables state transfer:
+    when this replica sponsors a joiner (a new member, or a crashed one
+    readmitted after {!Svs_core.Group.restart}), the serialised item
+    store rides the SYNC message, and when this replica {e is} the
+    joiner, its store is replaced by the sponsor's snapshot on re-entry
+    before any new-view batches apply. Without it a rejoining replica
+    starts from an empty store and only sees post-rejoin writes. *)
 
 val submit : 'v t -> 'v op list -> (unit, [ `Not_primary | `Blocked | `Empty ]) result
 (** Execute a client request (an atomic batch). Only the primary

@@ -58,12 +58,19 @@ let read_packet pc r =
   | 2 -> Beat
   | n -> raise (Codec.Malformed (Printf.sprintf "packet tag %d" n))
 
+(* How many sequence numbers one durable Lease record covers: the
+   multicast hot path fsyncs once per chunk, not once per message. *)
+let lease_chunk = 64
+
 type 'p t = {
   loop : Loop.t;
   me : int;
   engine : Engine.t; (* timer wheel for the reused automata *)
   started_at : float;
   proto : 'p Protocol.t;
+  wal : Wal.t option;
+  mutable leased : int; (* sns below this are covered by a durable Lease *)
+  on_synced : View.t -> string option -> unit;
   mesh : Tcp_mesh.t;
   payload_codec : 'p Wire_codec.payload_codec;
   hb : Heartbeat.t;
@@ -87,6 +94,8 @@ let view t = Protocol.current_view t.proto
 
 let is_member t =
   (not t.stopped) && Protocol.alive t.proto && View.mem t.me (view t)
+
+let is_joining t = (not t.stopped) && Protocol.joining t.proto
 
 let purged t = Protocol.purged_count t.proto
 
@@ -118,10 +127,25 @@ let rec drain t =
 
 and handle_output t = function
   | Types.Send { dst; wire } -> send_packet t ~dst (Proto wire)
-  | Types.Installed v -> Log.info (fun m -> m "node %d installed %a" t.me View.pp v)
+  | Types.Installed v ->
+      Log.info (fun m -> m "node %d installed %a" t.me View.pp v);
+      (* The installed view is the recovery anchor: make it durable
+         before acting in it. *)
+      (match t.wal with Some w -> Wal.append_durable w (Wal.Install v) | None -> ());
+      (* A member listed in the new view is alive by agreement, so a
+         written-off stream towards it belongs to a dead incarnation:
+         forgive it and open a fresh FIFO stream. *)
+      List.iter
+        (fun p ->
+          if p <> t.me && Tcp_mesh.written_off t.mesh ~dst:p then
+            Tcp_mesh.forget_peer t.mesh ~dst:p)
+        v.View.members
   | Types.Excluded v ->
       Log.warn (fun m -> m "node %d excluded from %a" t.me View.pp v);
       t.stopped <- true
+  | Types.Synced { view; app } ->
+      Log.info (fun m -> m "node %d synced into %a" t.me View.pp view);
+      t.on_synced view app
   | Types.Propose { view_id; proposal } -> start_instance t ~view_id proposal
 
 and start_instance t ~view_id proposal =
@@ -150,7 +174,7 @@ let on_suspicion t =
   if is_member t then begin
     Protocol.notify_suspicion_change t.proto;
     let suspected = Heartbeat.suspected_set t.hb in
-    if suspected <> [] then Protocol.trigger_view_change t.proto ~leave:suspected;
+    if suspected <> [] then Protocol.trigger_view_change t.proto ~leave:suspected ();
     drain t
   end
 
@@ -183,6 +207,16 @@ let on_packet t ~src packet =
 let multicast t ?ann payload =
   if t.stopped then Error `Not_member
   else begin
+    (* A sequence number must be covered by a durable lease before it
+       goes on the wire, or a restarted incarnation could reuse it. *)
+    (match t.wal with
+    | Some w ->
+        let sn = Protocol.next_sn t.proto in
+        if sn >= t.leased then begin
+          t.leased <- sn + lease_chunk;
+          Wal.append_durable w (Wal.Lease { next_sn = t.leased })
+        end
+    | None -> ());
     let result = Protocol.multicast t.proto ?ann payload in
     (match result with Ok d -> note_arrival t d | Error _ -> ());
     drain t;
@@ -195,6 +229,14 @@ let deliver t =
     match Protocol.deliver t.proto with
     | None -> None
     | Some (Types.Data d) as r ->
+        (* Delivery-floor updates ride the periodic sync: losing the
+           tail only re-widens the floor, never narrows it below a
+           delivery that was made durable. *)
+        (match t.wal with
+        | Some w ->
+            Wal.append w
+              (Wal.Floor { sender = d.Types.id.Msg_id.sender; sn = d.Types.id.Msg_id.sn })
+        | None -> ());
         (match Hashtbl.find_opt t.arrivals d.Types.id with
         | Some (_, at) ->
             Metrics.Histogram.observe t.delivery_latency (Loop.now t.loop -. at);
@@ -217,7 +259,8 @@ let deliver_all t =
 let pending t = Protocol.to_deliver_length t.proto
 
 let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
-    ?(on_deliverable = fun () -> ()) () =
+    ?(on_deliverable = fun () -> ()) ?data_dir ?state_transfer
+    ?(on_synced = fun _ _ -> ()) () =
   let members = List.sort_uniq compare (List.map fst peers) in
   if not (List.mem me members) then invalid_arg "Node.create: me must be a peer";
   let engine = Engine.create ~seed:me () in
@@ -227,6 +270,21 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
   (match config.metrics with
   | None -> ()
   | Some reg -> Engine.attach_metrics engine reg);
+  let wal, recovered =
+    match data_dir with
+    | None -> (None, None)
+    | Some dir ->
+        let w, r = Wal.open_ ~dir ~me ?metrics:config.metrics () in
+        if Trace.enabled config.tracer then
+          Trace.emit config.tracer
+            (Trace.WalRecovery
+               { node = me; records = r.Wal.records; truncated = r.Wal.truncated });
+        Log.info (fun m ->
+            m "node %d: wal in %s replayed %d records (%d bytes truncated)%s" me dir
+              r.Wal.records r.Wal.truncated
+              (if r.Wal.fresh then ", fresh" else ""));
+        (Some w, Some r)
+  in
   let node_label = [ ("node", string_of_int me) ] in
   let t_ref = ref None in
   let mesh =
@@ -242,14 +300,40 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
       ~tracer:config.tracer ?metrics:config.metrics ()
   in
   let hb_ref = ref None in
-  let proto =
-    Protocol.create ~me
-      ~initial_view:(View.initial ~members)
-      ~semantic:config.semantic ~tracer:config.tracer ?metrics:config.metrics
-      ~clock:(fun () -> Loop.now loop)
-      ~suspects:(fun p -> match !hb_ref with Some hb -> Heartbeat.suspects hb p | None -> false)
-      ()
+  let suspects p =
+    match !hb_ref with Some hb -> Heartbeat.suspects hb p | None -> false
   in
+  let clock () = Loop.now loop in
+  let proto =
+    match recovered with
+    | Some r when not r.Wal.fresh ->
+        (* The previous incarnation's streams died with it, so it
+           cannot silently resume membership: it restarts as a joiner
+           carrying its durable floors and sequence lease, and re-enters
+           through the JOIN/SYNC handshake. *)
+        let recovery =
+          {
+            Protocol.view_id =
+              (match r.Wal.view with Some v -> v.View.id | None -> -1);
+            floors = r.Wal.floors;
+            next_sn = r.Wal.next_sn;
+          }
+        in
+        Protocol.create_joiner ~me ~recovery ~semantic:config.semantic
+          ~tracer:config.tracer ?metrics:config.metrics ~clock ~suspects ()
+    | _ ->
+        let initial_view = View.initial ~members in
+        (* Anchor a brand-new log so even a crash before the first view
+           change recovers a view. *)
+        (match wal with
+        | Some w -> Wal.append_durable w (Wal.Install initial_view)
+        | None -> ());
+        Protocol.create ~me ~initial_view ~semantic:config.semantic ~tracer:config.tracer
+          ?metrics:config.metrics ~clock ~suspects ()
+  in
+  (match state_transfer with
+  | Some f -> Protocol.set_state_transfer proto f
+  | None -> ());
   let hb =
     Heartbeat.create engine config.heartbeat ~me ~peers:members
       ~send_heartbeat:(fun ~dst ->
@@ -263,6 +347,9 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
       engine;
       started_at;
       proto;
+      wal;
+      leased = (match recovered with Some r -> r.Wal.next_sn | None -> 0);
+      on_synced;
       mesh;
       payload_codec;
       hb;
@@ -309,6 +396,34 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
              end;
              not t.stopped)
           : Loop.timer));
+  (* A joiner nags the group — cycling contacts, since any single one
+     may be blocked, excluded, or dead — until a sponsor's SYNC lands. *)
+  if Protocol.joining proto then begin
+    let contacts = List.filter (fun p -> p <> me) members in
+    let next = ref 0 in
+    ignore
+      (Loop.every loop ~period:0.25 (fun () ->
+           if t.stopped || not (Protocol.joining t.proto) then false
+           else begin
+             (match contacts with
+             | [] -> ()
+             | _ ->
+                 let contact = List.nth contacts (!next mod List.length contacts) in
+                 incr next;
+                 Protocol.join_request t.proto ~contact;
+                 drain t);
+             true
+           end)
+        : Loop.timer)
+  end;
+  (match wal with
+  | None -> ()
+  | Some w ->
+      ignore
+        (Loop.every loop ~period:0.05 (fun () ->
+             Wal.sync w;
+             not t.stopped)
+          : Loop.timer));
   t
 
 let shutdown t =
@@ -316,5 +431,6 @@ let shutdown t =
     t.stopped <- true;
     Heartbeat.stop t.hb;
     Hashtbl.iter (fun _ inst -> Ct.stop inst) t.instances;
-    Tcp_mesh.close t.mesh
+    Tcp_mesh.close t.mesh;
+    match t.wal with Some w -> Wal.close w | None -> ()
   end

@@ -41,12 +41,29 @@ val create :
   payload_codec:'p Svs_core.Wire_codec.payload_codec ->
   ?config:config ->
   ?on_deliverable:(unit -> unit) ->
+  ?data_dir:string ->
+  ?state_transfer:(unit -> string option) ->
+  ?on_synced:(Svs_core.View.t -> string option -> unit) ->
   unit ->
   'p t
 (** [peers] must list every initial member (including [me], whose
     address entry is ignored for dialing). The initial view is the set
     of peer ids. [on_deliverable] is a hint fired when new messages
-    became deliverable. *)
+    became deliverable.
+
+    [data_dir] makes the node durable: a {!Wal} in that directory
+    records installed views, per-sender delivery floors, and a
+    sequence-number lease. A node created over a directory that
+    already holds a log is a {e restarted incarnation}: it comes up as
+    a joiner (not a member — its previous streams died with it), nags
+    the peers with JOIN requests until some member admits it into the
+    next view, and resumes from its durable floors so nothing is
+    delivered twice across the crash ({!Svs_core.Checker}'s Integrity
+    contract under recovery). The recovery is traced as [WalRecovery].
+
+    [state_transfer] is this node's application-snapshot callback,
+    shipped when it sponsors a joiner; [on_synced] fires with the
+    re-entry view and the sponsor's snapshot when {e this} node joins. *)
 
 val deliver : 'p t -> 'p Svs_core.Types.delivery option
 (** Pull the next delivery (down-call interface). *)
@@ -61,6 +78,10 @@ val id : 'p t -> int
 val view : 'p t -> Svs_core.View.t
 
 val is_member : 'p t -> bool
+
+val is_joining : 'p t -> bool
+(** True while this (restarted or fresh-joining) node is still waiting
+    for a sponsor's SYNC. *)
 
 val multicast :
   'p t ->

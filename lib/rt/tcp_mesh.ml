@@ -56,6 +56,7 @@ type t = {
   c_reconnects : Metrics.Counter.t;
   c_frames_dropped : Metrics.Counter.t;
   c_frames_oversize : Metrics.Counter.t;
+  c_writeoff_resets : Metrics.Counter.t;
 }
 
 let listener addr =
@@ -188,6 +189,29 @@ let try_dial t (out : outgoing) =
             out.delay <- Float.min t.dial.max_delay (out.delay *. t.dial.multiplier))
   end
 
+(* Forgive a written-off peer and restore its full dial budget. The
+   old stream's lost bytes belong to the previous incarnation of the
+   link — by the time this is called the peer has either been excluded
+   (and the view machinery accounted for the loss) or demonstrably
+   restarted — so a fresh stream is sound again. *)
+let forget_peer t ~dst =
+  if not t.closed then
+    match List.assoc_opt dst t.outgoing with
+    | None -> ()
+    | Some (out : outgoing) ->
+        if out.broken then begin
+          out.broken <- false;
+          (* Queued frames were already dropped (and counted) at
+             write-off time; the new stream starts clean. *)
+          Buffer.clear out.out;
+          Metrics.Counter.incr t.c_writeoff_resets
+        end;
+        out.dial_failed <- false;
+        out.attempts <- 0;
+        out.delay <- t.dial.base_delay;
+        out.next_dial <- 0.0;
+        if out.fd = None then try_dial t out
+
 let drop_incoming t inc =
   Loop.remove_fd t.loop inc.fd;
   (try Unix.close inc.fd with Unix.Unix_error (_, _, _) -> ());
@@ -223,6 +247,12 @@ let rec drain_frames t inc =
           match int_of_string_opt payload with
           | Some peer ->
               inc.peer <- Some peer;
+              (* A fresh hello from a peer we had written off: it
+                 demonstrably restarted, so dial its new incarnation
+                 back instead of staying deaf forever. *)
+              (match List.assoc_opt peer t.outgoing with
+              | Some (out : outgoing) when out.broken -> forget_peer t ~dst:peer
+              | _ -> ());
               drain_frames t inc
           | None ->
               (* First frame must be the dialer's id; anything else is
@@ -303,6 +333,7 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
       c_reconnects = counter "tcp_reconnects_total";
       c_frames_dropped = counter "tcp_frames_dropped_total";
       c_frames_oversize = counter "tcp_frames_oversize_total";
+      c_writeoff_resets = counter "tcp_writeoff_resets_total";
     }
   in
   Loop.on_readable loop listen_fd (on_accept t);
@@ -340,6 +371,8 @@ let reconnects t = Metrics.Counter.value t.c_reconnects
 let frames_dropped t = Metrics.Counter.value t.c_frames_dropped
 
 let frames_oversize t = Metrics.Counter.value t.c_frames_oversize
+
+let writeoff_resets t = Metrics.Counter.value t.c_writeoff_resets
 
 let dial_attempts t ~dst =
   match List.assoc_opt dst t.outgoing with None -> 0 | Some out -> out.attempts

@@ -60,8 +60,9 @@ val create :
     ["unknown-dst"], ["written-off"], ["dial-cap"], ["stream-broken"],
     ["oversize"], ["bad-hello"]) whenever traffic is discarded.
     [metrics] registers [tcp_bytes_out_total], [tcp_bytes_in_total],
-    [tcp_reconnects_total], [tcp_frames_dropped_total] and
-    [tcp_frames_oversize_total], labelled by node. *)
+    [tcp_reconnects_total], [tcp_frames_dropped_total],
+    [tcp_frames_oversize_total] and [tcp_writeoff_resets_total],
+    labelled by node. *)
 
 val send : t -> dst:int -> string -> unit
 (** Queue a frame for [dst]; buffered until the connection is up.
@@ -69,10 +70,21 @@ val send : t -> dst:int -> string -> unit
     counted in [tcp_frames_dropped_total] and traced as [TcpDrop].
 
     Once an {e established} connection to a peer fails, the peer is
-    written off and never redialed: bytes already in flight may have
-    been lost, so resuming the stream would silently violate the
+    written off and not redialed: bytes already in flight may have
+    been lost, so silently resuming the stream would violate the
     reliable-FIFO channel assumption of the system model. The peer is
-    handled as crashed (suspicion, view change) instead. *)
+    handled as crashed (suspicion, view change) instead — until
+    {!forget_peer} forgives it, or its restarted incarnation dials us
+    with a fresh hello (which forgives it automatically). *)
+
+val forget_peer : t -> dst:int -> unit
+(** Restore [dst]'s full dial budget and, if it was written off, allow
+    a fresh stream to it (counted in [tcp_writeoff_resets_total]).
+    Call when the membership layer readmits a previously excluded or
+    crashed peer: the lost bytes of the old stream belong to the dead
+    incarnation, which the intervening view change accounted for, so a
+    new FIFO stream to the new incarnation is sound. Also invoked
+    internally when a written-off peer's new incarnation dials us. *)
 
 val connected : t -> int list
 (** Peers whose outbound connection is currently established. *)
@@ -96,6 +108,10 @@ val frames_dropped : t -> int
 
 val frames_oversize : t -> int
 (** Inbound frames refused for exceeding [max_frame]. *)
+
+val writeoff_resets : t -> int
+(** Written-off peers forgiven so far (via {!forget_peer} or an
+    inbound hello from a restarted incarnation). *)
 
 val dial_attempts : t -> dst:int -> int
 (** Consecutive failed dials towards [dst] (0 once connected). *)

@@ -1,0 +1,370 @@
+module Codec = Svs_codec.Codec
+module W = Codec.Writer
+module R = Codec.Reader
+module View = Svs_core.View
+module Wire_codec = Svs_core.Wire_codec
+module Metrics = Svs_telemetry.Metrics
+
+type record =
+  | Snapshot of { view : View.t option; floors : (int * int) list; next_sn : int }
+  | Install of View.t
+  | Floor of { sender : int; sn : int }
+  | Lease of { next_sn : int }
+
+type recovery = {
+  view : View.t option;
+  floors : (int * int) list;
+  next_sn : int;
+  records : int;
+  truncated : int;
+  fresh : bool;
+}
+
+(* In-memory mirror of what a full replay of the log would yield; kept
+   current on every append so a rotation can open the next segment
+   with one Snapshot instead of re-reading the old one. *)
+type state = {
+  mutable view : View.t option;
+  floors : (int, int) Hashtbl.t;
+  mutable next_sn : int;
+}
+
+type t = {
+  dir : string;
+  me : int;
+  segment_limit : int;
+  state : state;
+  mutable fd : Unix.file_descr;
+  mutable seg_index : int;
+  mutable seg_bytes : int;
+  mutable dirty : bool;
+  mutable closed : bool;
+  c_appends : Metrics.Counter.t;
+  c_syncs : Metrics.Counter.t;
+  c_rotations : Metrics.Counter.t;
+}
+
+(* --- CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+(* --- Framing: [u32 length][u32 crc32(payload)][payload], big endian --- *)
+
+let frame_header_bytes = 8
+
+let get_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let put_be32 b off v =
+  Bytes.set_uint8 b off ((v lsr 24) land 0xFF);
+  Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b (off + 3) (v land 0xFF)
+
+let frame payload =
+  let header = Bytes.create frame_header_bytes in
+  put_be32 header 0 (String.length payload);
+  put_be32 header 4 (crc32 payload);
+  Bytes.to_string header ^ payload
+
+(* --- Record encoding --- *)
+
+(* Tag 0 is the per-segment identity stamp (written on every segment
+   open, checked on recovery), not part of the public record type. *)
+let encode_meta me =
+  let w = W.create () in
+  W.uint8 w 0;
+  W.varint w me;
+  W.contents w
+
+let encode_record r =
+  let w = W.create () in
+  (match r with
+  | Snapshot { view; floors; next_sn } ->
+      W.uint8 w 1;
+      W.option w Wire_codec.write_view view;
+      W.list w
+        (fun w (sender, sn) ->
+          W.varint w sender;
+          W.varint w sn)
+        floors;
+      W.varint w next_sn
+  | Install v ->
+      W.uint8 w 2;
+      Wire_codec.write_view w v
+  | Floor { sender; sn } ->
+      W.uint8 w 3;
+      W.varint w sender;
+      W.varint w sn
+  | Lease { next_sn } ->
+      W.uint8 w 4;
+      W.varint w next_sn);
+  W.contents w
+
+let apply state = function
+  | Snapshot { view; floors; next_sn } ->
+      state.view <- view;
+      Hashtbl.reset state.floors;
+      List.iter (fun (sender, sn) -> Hashtbl.replace state.floors sender sn) floors;
+      state.next_sn <- next_sn
+  | Install v -> state.view <- Some v
+  | Floor { sender; sn } ->
+      let cur = Option.value ~default:(-1) (Hashtbl.find_opt state.floors sender) in
+      if sn > cur then Hashtbl.replace state.floors sender sn
+  | Lease { next_sn } -> if next_sn > state.next_sn then state.next_sn <- next_sn
+
+let decode_and_apply ~dir ~me state payload =
+  let r = R.of_string payload in
+  match R.uint8 r with
+  | 0 ->
+      let me' = R.varint r in
+      if me' <> me then
+        failwith (Printf.sprintf "Wal: log in %s belongs to node %d, not node %d" dir me' me)
+  | 1 ->
+      let view = R.option r Wire_codec.read_view in
+      let floors =
+        R.list r (fun r ->
+            let sender = R.varint r in
+            let sn = R.varint r in
+            (sender, sn))
+      in
+      let next_sn = R.varint r in
+      apply state (Snapshot { view; floors; next_sn })
+  | 2 -> apply state (Install (Wire_codec.read_view r))
+  | 3 ->
+      let sender = R.varint r in
+      let sn = R.varint r in
+      apply state (Floor { sender; sn })
+  | 4 -> apply state (Lease { next_sn = R.varint r })
+  | n -> raise (Codec.Malformed (Printf.sprintf "wal record tag %d" n))
+
+(* --- Segment files --- *)
+
+let seg_name i = Printf.sprintf "wal-%06d.log" i
+
+let seg_path dir i = Filename.concat dir (seg_name i)
+
+let list_segments dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter_map (fun name ->
+         if
+           String.length name = 14
+           && String.sub name 0 4 = "wal-"
+           && Filename.check_suffix name ".log"
+         then int_of_string_opt (String.sub name 4 6)
+         else None)
+  |> List.sort compare
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+(* Replay one segment's bytes: apply every frame whose length fits and
+   whose CRC matches, stop at the first that does not. Returns the
+   number of frames applied and the byte offset of the valid prefix —
+   everything past it is a torn write or corruption to chop off. *)
+let replay content ~on_frame =
+  let len = String.length content in
+  let rec go off count =
+    if off + frame_header_bytes > len then (count, off)
+    else begin
+      let n = get_be32 content off in
+      let crc = get_be32 content (off + 4) in
+      if off + frame_header_bytes + n > len then (count, off)
+      else begin
+        let payload = String.sub content (off + frame_header_bytes) n in
+        if crc32 payload <> crc then (count, off)
+        else
+          match on_frame payload with
+          | () -> go (off + frame_header_bytes + n) (count + 1)
+          | exception (Codec.Truncated | Codec.Malformed _) -> (count, off)
+      end
+    end
+  in
+  go 0 0
+
+(* --- Lifecycle --- *)
+
+let write_frame t payload =
+  let fr = frame payload in
+  write_all t.fd fr;
+  t.seg_bytes <- t.seg_bytes + String.length fr;
+  t.dirty <- true
+
+let sync t =
+  if t.dirty && not t.closed then begin
+    Unix.fsync t.fd;
+    t.dirty <- false;
+    Metrics.Counter.incr t.c_syncs
+  end
+
+let open_ ~dir ~me ?(segment_limit = 4 * 1024 * 1024) ?metrics () =
+  mkdir_p dir;
+  let state = { view = None; floors = Hashtbl.create 16; next_sn = 0 } in
+  let segs = list_segments dir in
+  let fresh = segs = [] in
+  let records = ref 0 in
+  let truncated = ref 0 in
+  let corrupt = ref false in
+  let survivors = ref [] in
+  List.iter
+    (fun i ->
+      let path = seg_path dir i in
+      if !corrupt then begin
+        (* Segments past a corrupt point are unreachable garbage: a
+           replay can never trust anything ordered after bytes it had
+           to throw away. *)
+        truncated := !truncated + (Unix.stat path).Unix.st_size;
+        Sys.remove path
+      end
+      else begin
+        let content = read_file path in
+        let count, valid =
+          replay content ~on_frame:(decode_and_apply ~dir ~me state)
+        in
+        records := !records + count;
+        if valid < String.length content then begin
+          truncated := !truncated + (String.length content - valid);
+          corrupt := true;
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+            (fun () -> Unix.ftruncate fd valid)
+        end;
+        survivors := i :: !survivors
+      end)
+    segs;
+  let seg_index, seg_bytes, fd =
+    match !survivors with
+    | last :: _ ->
+        let path = seg_path dir last in
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+        (last, (Unix.fstat fd).Unix.st_size, fd)
+    | [] ->
+        let path = seg_path dir 0 in
+        let fd =
+          Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        (0, 0, fd)
+  in
+  let labels = [ ("node", string_of_int me) ] in
+  let counter name =
+    match metrics with
+    | None -> Metrics.Counter.detached ()
+    | Some reg -> Metrics.counter reg ~labels name
+  in
+  let t =
+    {
+      dir;
+      me;
+      segment_limit;
+      state;
+      fd;
+      seg_index;
+      seg_bytes;
+      dirty = false;
+      closed = false;
+      c_appends = counter "wal_appends_total";
+      c_syncs = counter "wal_syncs_total";
+      c_rotations = counter "wal_rotations_total";
+    }
+  in
+  (* Stamp identity on a brand-new segment (an existing one already
+     carries its stamp). *)
+  if seg_bytes = 0 then begin
+    write_frame t (encode_meta me);
+    sync t
+  end;
+  let recovery =
+    {
+      view = state.view;
+      floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) state.floors [];
+      next_sn = state.next_sn;
+      records = !records;
+      truncated = !truncated;
+      fresh;
+    }
+  in
+  (t, recovery)
+
+let snapshot_of_state state =
+  Snapshot
+    {
+      view = state.view;
+      floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) state.floors [];
+      next_sn = state.next_sn;
+    }
+
+(* Open the next segment, seeded with the identity stamp and a
+   snapshot of the current state; once the new segment is durable, the
+   older ones are redundant and removed. *)
+let rotate t =
+  sync t;
+  (try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ());
+  let old = t.seg_index in
+  t.seg_index <- t.seg_index + 1;
+  t.fd <-
+    Unix.openfile (seg_path t.dir t.seg_index)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644;
+  t.seg_bytes <- 0;
+  write_frame t (encode_meta t.me);
+  write_frame t (encode_record (snapshot_of_state t.state));
+  sync t;
+  for i = 0 to old do
+    let path = seg_path t.dir i in
+    if Sys.file_exists path then Sys.remove path
+  done;
+  Metrics.Counter.incr t.c_rotations
+
+let append t record =
+  if t.closed then invalid_arg "Wal.append: closed";
+  apply t.state record;
+  write_frame t (encode_record record);
+  Metrics.Counter.incr t.c_appends;
+  if t.seg_bytes >= t.segment_limit then rotate t
+
+let append_durable t record =
+  append t record;
+  sync t
+
+let current_segment t = t.seg_index
+
+let close t =
+  if not t.closed then begin
+    sync t;
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end

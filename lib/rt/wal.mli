@@ -1,0 +1,81 @@
+(** Durable write-ahead log for a runtime node's recoverable protocol
+    state: identity, last installed view, per-sender delivery floors
+    and a sequence-number lease.
+
+    The log is a directory of append-only segment files. Every record
+    is framed as [[u32 length][u32 crc32][payload]] (CRC32/IEEE,
+    hand-rolled — no external dependency), so recovery can tell a torn
+    tail from valid data: {!open_} replays each segment until the
+    first frame whose length overruns the file or whose checksum
+    fails, truncates the garbage tail, and discards any later
+    segments (they are unreachable once bytes before them are
+    untrusted).
+
+    Appends are buffered in the kernel and made durable in batches:
+    {!append} only writes, {!sync} fsyncs everything written since the
+    last sync, {!append_durable} does both — the caller picks the
+    point on the latency/durability curve per record (a sequence-number
+    {!record.Lease} must be durable {e before} any leased number is
+    used, while delivery-floor updates can ride the periodic sync).
+
+    When a segment outgrows its limit the log rotates: the next
+    segment opens with an identity stamp and a [Snapshot] of the
+    replayed state, is fsynced, and the older segments are deleted —
+    the log's size stays proportional to live state, not history. *)
+
+type t
+
+type record =
+  | Snapshot of {
+      view : Svs_core.View.t option;
+      floors : (int * int) list;
+      next_sn : int;
+    }
+      (** Full recoverable state; written at rotation, replaces
+          everything replayed before it. *)
+  | Install of Svs_core.View.t  (** A view was installed. *)
+  | Floor of { sender : int; sn : int }
+      (** Delivery floor advanced: everything from [sender] up to and
+          including [sn] has been delivered (or covered). *)
+  | Lease of { next_sn : int }
+      (** Sequence numbers below [next_sn] may have been used; a
+          restarted incarnation must not reuse them. Make it durable
+          before using any leased number. *)
+
+type recovery = {
+  view : Svs_core.View.t option;  (** Last installed view, if any. *)
+  floors : (int * int) list;
+  next_sn : int;  (** First safe sequence number (the lease ceiling). *)
+  records : int;  (** Valid frames replayed. *)
+  truncated : int;  (** Garbage bytes chopped off (torn tail, bad CRC). *)
+  fresh : bool;  (** True when the directory held no log at all. *)
+}
+
+val open_ :
+  dir:string ->
+  me:int ->
+  ?segment_limit:int ->
+  ?metrics:Svs_telemetry.Metrics.t ->
+  unit ->
+  t * recovery
+(** Open (creating the directory if needed) and replay the log.
+    [segment_limit] (default 4 MiB) triggers rotation. [metrics]
+    registers [wal_appends_total], [wal_syncs_total] and
+    [wal_rotations_total], labelled by node. Raises [Failure] if the
+    directory's log was written by a different node id — two nodes
+    sharing a data dir is always a deployment error. *)
+
+val append : t -> record -> unit
+(** Write a record; durable only after the next {!sync}. *)
+
+val sync : t -> unit
+(** Fsync outstanding appends (no-op when clean). *)
+
+val append_durable : t -> record -> unit
+(** {!append} then {!sync}. *)
+
+val current_segment : t -> int
+(** Index of the segment currently appended to. *)
+
+val close : t -> unit
+(** Sync and close. Further appends raise [Invalid_argument]. *)

@@ -11,6 +11,9 @@ type event =
   | TcpReconnect of { node : int; peer : int }
   | TcpDrop of { node : int; peer : int; reason : string }
   | Fault of { kind : string; node : int; peer : int }
+  | Join of { node : int; contact : int }
+  | StateTransfer of { node : int; peer : int; bytes : int }
+  | WalRecovery of { node : int; records : int; truncated : int }
 
 type record = { time : float; seq : int; event : event }
 
@@ -121,7 +124,21 @@ let record_to_json { time; seq; event } =
       Buffer.add_string b "\"fault\"";
       Buffer.add_string b (Printf.sprintf ",\"kind\":\"%s\"" kind);
       field "node" node;
-      field "peer" peer);
+      field "peer" peer
+  | Join { node; contact } ->
+      Buffer.add_string b "\"join\"";
+      field "node" node;
+      field "contact" contact
+  | StateTransfer { node; peer; bytes } ->
+      Buffer.add_string b "\"state_transfer\"";
+      field "node" node;
+      field "peer" peer;
+      field "bytes" bytes
+  | WalRecovery { node; records; truncated } ->
+      Buffer.add_string b "\"wal_recovery\"";
+      field "node" node;
+      field "records" records;
+      field "truncated" truncated);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -257,6 +274,11 @@ let record_of_json line =
       | "tcp_reconnect" -> TcpReconnect { node = int "node"; peer = int "peer" }
       | "tcp_drop" -> TcpDrop { node = int "node"; peer = int "peer"; reason = str "reason" }
       | "fault" -> Fault { kind = str "kind"; node = int "node"; peer = int "peer" }
+      | "join" -> Join { node = int "node"; contact = int "contact" }
+      | "state_transfer" ->
+          StateTransfer { node = int "node"; peer = int "peer"; bytes = int "bytes" }
+      | "wal_recovery" ->
+          WalRecovery { node = int "node"; records = int "records"; truncated = int "truncated" }
       | _ -> raise Bad
     in
     { time = num "t"; seq = int "seq"; event }
@@ -285,3 +307,8 @@ let pp_event ppf = function
   | TcpDrop { node; peer; reason } ->
       Format.fprintf ppf "tcp_drop(node=%d peer=%d reason=%s)" node peer reason
   | Fault { kind; node; peer } -> Format.fprintf ppf "fault(kind=%s node=%d peer=%d)" kind node peer
+  | Join { node; contact } -> Format.fprintf ppf "join(node=%d contact=%d)" node contact
+  | StateTransfer { node; peer; bytes } ->
+      Format.fprintf ppf "state_transfer(node=%d peer=%d bytes=%d)" node peer bytes
+  | WalRecovery { node; records; truncated } ->
+      Format.fprintf ppf "wal_recovery(node=%d records=%d truncated=%d)" node records truncated

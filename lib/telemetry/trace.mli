@@ -41,6 +41,16 @@ type event =
       (** A chaos-injected fault ([kind] names the action: [crash],
           [pause], [partition], ...). [peer] is the second endpoint for
           link faults and [-1] when not applicable. *)
+  | Join of { node : int; contact : int }
+      (** A joining member sent a JOIN request to [contact]. *)
+  | StateTransfer of { node : int; peer : int; bytes : int }
+      (** A SYNC state transfer: at the sponsor, [peer] is the joiner
+          it synced; at the joiner, [peer] is the sponsor. [bytes] is
+          the application-state payload size (0 when none). *)
+  | WalRecovery of { node : int; records : int; truncated : int }
+      (** A node recovered durable state from its write-ahead log:
+          [records] valid records replayed, [truncated] bytes of torn
+          tail discarded. *)
 
 type record = { time : float; seq : int; event : event }
 

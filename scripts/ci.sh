@@ -25,7 +25,13 @@ dune runtest
 # Chaos smoke: a small deterministic seed sweep through the fault
 # scenarios, machine-checked by the SVS safety oracle (see CHAOS.md).
 dune exec bin/svs_chaos.exe -- --seeds 3 \
-  --scenarios crash,partition-heal,slow-receiver,churn
+  --scenarios crash,partition-heal,slow-receiver,churn,crash-restart,exclude-rejoin
+
+# Recovery inverted self-check: restarting members amnesiac (no WAL)
+# must be caught by the oracle — proves the recovery path is what
+# keeps Integrity true across crash-rejoin, not oracle blindness.
+dune exec bin/svs_chaos.exe -- --seeds 2 \
+  --scenarios crash-restart --modes svs --no-recovery > /dev/null
 
 if [ "${1:-}" = "smoke" ]; then
   dune exec bench/main.exe -- --smoke

@@ -55,6 +55,9 @@ let check_plan_invariants sc ~seed ~n ~horizon =
       | Scenario.Leave { node; _ } ->
           Alcotest.(check bool) (name "anchor never removed") true (node <> 0);
           removed := node :: !removed
+      | Scenario.Rejoin p ->
+          Alcotest.(check bool) (name "rejoin follows a removal") true (List.mem p !removed);
+          removed := List.filter (fun q -> q <> p) !removed
       | Scenario.Pause p ->
           Alcotest.(check bool) (name "anchor never paused") true (p <> 0);
           paused := p :: !paused
@@ -94,15 +97,16 @@ let test_plans_sorted () =
 (* --- End-to-end runs under the oracle --- *)
 
 let core_scenarios =
-  List.filter_map Scenario.find [ "crash"; "partition-heal"; "slow-receiver"; "churn" ]
+  List.filter_map Scenario.find
+    [ "crash"; "partition-heal"; "slow-receiver"; "churn"; "crash-restart"; "exclude-rejoin" ]
 
 let test_sweep_passes_both_modes () =
-  Alcotest.(check int) "4 scenarios found" 4 (List.length core_scenarios);
+  Alcotest.(check int) "6 scenarios found" 6 (List.length core_scenarios);
   let outcomes =
     Runner.sweep ~config:quick ~modes:[ Oracle.Vs; Oracle.Svs ] ~scenarios:core_scenarios
       ~seeds:[ 1; 2; 3 ] ()
   in
-  Alcotest.(check int) "grid size" (4 * 2 * 3) (List.length outcomes);
+  Alcotest.(check int) "grid size" (6 * 2 * 3) (List.length outcomes);
   List.iter
     (fun (o : Runner.outcome) ->
       if not (Oracle.ok o.report) then
@@ -174,6 +178,70 @@ let test_unmutated_is_clean () =
   let o = Runner.run_one ~config:quick ~mode:Oracle.Svs ~scenario ~seed:4 () in
   Alcotest.(check bool) "clean without mutation" true (Oracle.ok o.Runner.report)
 
+(* --- Crash recovery under the oracle --- *)
+
+(* Find a seed whose crash-restart plan actually completes a rejoin in
+   the quick config (the planned rejoin can land while the group is
+   still excluding the victim, in which case the retry may run out of
+   window). *)
+let rejoining_seed ~recover =
+  let scenario = Option.get (Scenario.find "crash-restart") in
+  let config = { quick with recover } in
+  let rec hunt seed =
+    if seed > 30 then Alcotest.fail "no seed produced a completed rejoin"
+    else begin
+      let tracer = Trace.memory () in
+      let o = Runner.run_one ~tracer ~config ~mode:Oracle.Svs ~scenario ~seed () in
+      let synced =
+        List.exists
+          (function { Trace.event = Trace.StateTransfer _; _ } -> true | _ -> false)
+          (Trace.records tracer)
+      in
+      if synced then (seed, o) else hunt (seed + 1)
+    end
+  in
+  hunt 1
+
+let test_recovered_rejoin_is_safe () =
+  (* A member crashes, restarts from its durable state and rejoins via
+     JOIN/SYNC: the full §4 oracle must stay green. *)
+  let _seed, o = rejoining_seed ~recover:true in
+  if not (Oracle.ok o.Runner.report) then
+    Alcotest.fail (Format.asprintf "recovered rejoin violated: %a" Oracle.pp_report o.Runner.report)
+
+let test_amnesiac_rejoin_is_caught () =
+  (* The same path with recovery disabled: the restarted member reuses
+     sequence numbers and re-delivers its own messages, which must show
+     up as Integrity/FIFO violations. *)
+  let seed, o = rejoining_seed ~recover:false in
+  Alcotest.(check bool)
+    (Printf.sprintf "amnesiac restart caught (seed %d)" seed)
+    false
+    (Oracle.ok o.Runner.report);
+  Alcotest.(check bool) "flagged as duplication or FIFO breakage" true
+    (List.exists
+       (function
+         | Svs_core.Checker.Duplicated _ | Svs_core.Checker.Fifo_order _ -> true
+         | _ -> false)
+       o.Runner.report.Oracle.violations)
+
+let test_restart_duplicate_mutation_caught () =
+  (* Self-test for the recovery clause of the oracle: duplicating a
+     pre-crash delivery after the rejoin must flip the verdict. *)
+  let scenario = Option.get (Scenario.find "crash-restart") in
+  let seed, _ = rejoining_seed ~recover:true in
+  let o =
+    Runner.run_one ~mutation:Oracle.Duplicate_after_restart ~config:quick ~mode:Oracle.Svs
+      ~scenario ~seed ()
+  in
+  let r = o.Runner.report in
+  Alcotest.(check bool) "caught" false (Oracle.ok r);
+  Alcotest.(check bool) "mutation recorded" true (r.Oracle.mutated <> None);
+  Alcotest.(check bool) "flagged as duplication" true
+    (List.exists
+       (function Svs_core.Checker.Duplicated _ -> true | _ -> false)
+       r.Oracle.violations)
+
 let test_mode_labels () =
   Alcotest.(check string) "vs" "vs" (Oracle.mode_label Oracle.Vs);
   Alcotest.(check string) "svs" "svs" (Oracle.mode_label Oracle.Svs);
@@ -202,5 +270,12 @@ let () =
           Alcotest.test_case "mutation caught" `Slow test_mutation_caught;
           Alcotest.test_case "unmutated control" `Quick test_unmutated_is_clean;
           Alcotest.test_case "mode labels" `Quick test_mode_labels;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recovered rejoin safe" `Slow test_recovered_rejoin_is_safe;
+          Alcotest.test_case "amnesiac rejoin caught" `Slow test_amnesiac_rejoin_is_caught;
+          Alcotest.test_case "restart-dup mutation caught" `Slow
+            test_restart_duplicate_mutation_caught;
         ] );
     ]

@@ -135,8 +135,21 @@ let test_wire_data_round_trip () =
   Alcotest.(check wire_testable) "data round-trip" w (rt_wire w)
 
 let test_wire_init_round_trip () =
-  let w = Types.Winit { view_id = 9; leave = [ 1; 4 ] } in
-  Alcotest.(check wire_testable) "init round-trip" w (rt_wire w)
+  let w = Types.Winit { view_id = 9; leave = [ 1; 4 ]; join = [] } in
+  Alcotest.(check wire_testable) "init round-trip" w (rt_wire w);
+  let w = Types.Winit { view_id = 2; leave = []; join = [ 3; 6 ] } in
+  Alcotest.(check wire_testable) "init with joins" w (rt_wire w)
+
+let test_wire_join_sync_round_trip () =
+  let w = Types.Wjoin { joiner = 5 } in
+  Alcotest.(check wire_testable) "join round-trip" w (rt_wire w);
+  let view = View.make ~id:4 ~members:[ 0; 2; 5 ] in
+  let w =
+    Types.Wsync { view; floors = [ (0, 12); (2, 7) ]; app = Some "snapshot" }
+  in
+  Alcotest.(check wire_testable) "sync round-trip" w (rt_wire w);
+  let w = Types.Wsync { view; floors = []; app = None } in
+  Alcotest.(check wire_testable) "sync without app state" w (rt_wire w)
 
 let test_wire_pred_round_trip () =
   let w =
@@ -243,6 +256,7 @@ let () =
         [
           Alcotest.test_case "data" `Quick test_wire_data_round_trip;
           Alcotest.test_case "init" `Quick test_wire_init_round_trip;
+          Alcotest.test_case "join/sync" `Quick test_wire_join_sync_round_trip;
           Alcotest.test_case "pred" `Quick test_wire_pred_round_trip;
           Alcotest.test_case "stable" `Quick test_wire_stable_round_trip;
           Alcotest.test_case "annotations" `Quick test_annotation_round_trips;

@@ -242,7 +242,7 @@ let test_proto_view_change_basic () =
   let p0 = (List.hd procs).p in
   ignore (Protocol.multicast p0 10);
   ignore (route procs);
-  Protocol.trigger_view_change p0 ~leave:[ 2 ];
+  Protocol.trigger_view_change p0 ~leave:[ 2 ] ();
   let outs = route procs in
   (* All three (unsuspected) must have sent PREDs, then proposals. *)
   let installs = decide_first procs outs in
@@ -269,7 +269,7 @@ let test_proto_view_change_basic () =
 let test_proto_multicast_blocked_during_view_change () =
   let procs = make_procs 3 in
   let p0 = (List.hd procs).p in
-  Protocol.trigger_view_change p0 ~leave:[];
+  Protocol.trigger_view_change p0 ~leave:[] ();
   (* Do not route: p0 is blocked now. *)
   (match Protocol.multicast p0 99 with
   | Error `Blocked -> ()
@@ -284,7 +284,7 @@ let test_proto_view_change_flushes_unconsumed () =
   and p1 = (List.nth procs 1).p in
   List.iter (fun v -> ignore (Protocol.multicast p0 v)) [ 1; 2; 3 ];
   ignore (route procs);
-  Protocol.trigger_view_change p0 ~leave:[];
+  Protocol.trigger_view_change p0 ~leave:[] ();
   let outs = route procs in
   ignore (decide_first procs outs);
   Alcotest.(check (list int)) "all flushed before marker" [ 1; 2; 3 ] (drain_data p1)
@@ -301,7 +301,7 @@ let test_proto_svs_pred_injection () =
   Alcotest.(check int) "one send" 1
     (List.length (List.filter (function Types.Send _ -> true | _ -> false) outs0));
   (* Now run a view change; p0's PRED contains 77. *)
-  Protocol.trigger_view_change p0 ~leave:[];
+  Protocol.trigger_view_change p0 ~leave:[] ();
   let outs = route procs in
   ignore (decide_first procs outs);
   Alcotest.(check (list int)) "injected from pred set" [ 77 ] (drain_data p1)
@@ -313,7 +313,7 @@ let test_proto_stale_data_dropped_after_view () =
   (* Craft a data message tagged with view 0 and deliver it after the
      group moved to view 1: it must be ignored (its fate was settled by
      the agreed pred set). *)
-  Protocol.trigger_view_change p0 ~leave:[];
+  Protocol.trigger_view_change p0 ~leave:[] ();
   let outs = route procs in
   ignore (decide_first procs outs);
   Alcotest.(check int) "now in view 1" 1 (Protocol.current_view p1).View.id;
@@ -348,7 +348,7 @@ let test_proto_future_view_data_stashed () =
   Protocol.receive p1 ~src:0 future;
   Alcotest.(check (list int)) "not delivered yet" [] (drain_data p1);
   let p0 = (List.hd procs).p in
-  Protocol.trigger_view_change p0 ~leave:[];
+  Protocol.trigger_view_change p0 ~leave:[] ();
   let outs = route procs in
   ignore (decide_first procs outs);
   Alcotest.(check (list int)) "stash replayed after install" [ 123 ] (drain_data p1)
@@ -373,7 +373,7 @@ let test_proto_suspected_member_skipped_in_t7 () =
   let p0 = (List.hd procs).p in
   ignore (Protocol.multicast p0 5);
   ignore (route alive);
-  Protocol.trigger_view_change p0 ~leave:[ 2 ];
+  Protocol.trigger_view_change p0 ~leave:[ 2 ] ();
   let outs = route alive in
   let installs = decide_first alive outs in
   let installed = List.filter (function _, Types.Installed _ -> true | _ -> false) installs in
@@ -399,7 +399,7 @@ let test_proto_voluntary_leave () =
      to leave"): it initiates a view change naming itself. *)
   let procs = make_procs 3 in
   let p2 = (List.nth procs 2).p in
-  Protocol.trigger_view_change p2 ~leave:[ 2 ];
+  Protocol.trigger_view_change p2 ~leave:[ 2 ] ();
   let outs = route procs in
   let installs = decide_first procs outs in
   Alcotest.(check (list int)) "self excluded"
@@ -415,7 +415,7 @@ let test_proto_deterministic () =
     let p0 = (List.hd procs).p in
     List.iter (fun v -> ignore (Protocol.multicast p0 ~ann:(tag_ann (v mod 2)) v)) [ 1; 2; 3; 4 ];
     ignore (route procs);
-    Protocol.trigger_view_change p0 ~leave:[ 2 ];
+    Protocol.trigger_view_change p0 ~leave:[ 2 ] ();
     let outs = route procs in
     ignore (decide_first procs outs);
     List.map (fun { p; _ } -> drain_data p) procs
@@ -475,7 +475,7 @@ let test_proto_cross_sender_enum () =
 let test_proto_duplicate_decision_ignored () =
   let procs = make_procs 2 in
   let p0 = (List.hd procs).p in
-  Protocol.trigger_view_change p0 ~leave:[];
+  Protocol.trigger_view_change p0 ~leave:[] ();
   let outs = route procs in
   ignore (decide_first procs outs);
   let view_after = Protocol.current_view p0 in
@@ -493,7 +493,7 @@ let test_proto_duplicate_decision_ignored () =
 let test_proto_receive_when_dead () =
   let procs = make_procs 2 in
   let p0 = (List.hd procs).p in
-  Protocol.trigger_view_change p0 ~leave:[ 1 ];
+  Protocol.trigger_view_change p0 ~leave:[ 1 ] ();
   let outs = route procs in
   (match
      List.find_map
@@ -516,9 +516,9 @@ let test_proto_receive_when_dead () =
 let test_proto_trigger_while_blocked_ignored () =
   let procs = make_procs 3 in
   let p0 = (List.hd procs).p in
-  Protocol.trigger_view_change p0 ~leave:[ 2 ];
+  Protocol.trigger_view_change p0 ~leave:[ 2 ] ();
   (* A second trigger while blocked must not restart the exchange. *)
-  Protocol.trigger_view_change p0 ~leave:[ 1 ];
+  Protocol.trigger_view_change p0 ~leave:[ 1 ] ();
   let outs = route procs in
   ignore (decide_first procs outs);
   (* The first leave list won: member 1 is still in. *)
@@ -946,6 +946,91 @@ let test_group_bandwidth_codec () =
     (Group.members cluster);
   check_no_violations ~strict:true cluster
 
+let test_group_rejoin_with_state_transfer () =
+  (* A member crashes, is excluded, restarts from its durable slice and
+     walks the JOIN/SYNC handshake back in: the view grows again, the
+     sponsor's application snapshot arrives, its pre-crash delivery
+     floors survive, and the checker stays green across the growing
+     views (Integrity under recovery). *)
+  let e = Engine.create ~seed:11 () in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2 ]
+      ~latency:(Latency.Uniform { lo = 0.001; hi = 0.01 })
+      ()
+  in
+  let m0 = Group.member cluster 0 in
+  let m2 = Group.member cluster 2 in
+  List.iter
+    (fun m ->
+      let id = Group.id m in
+      Group.set_state_transfer m (fun () -> Some (Printf.sprintf "snapshot-from-%d" id)))
+    (Group.members cluster);
+  let synced_app = ref None in
+  Group.on_synced m2 (fun _view app -> synced_app := Some app);
+  for i = 1 to 20 do
+    ignore (Group.multicast m0 i)
+  done;
+  (* Record the first incarnation's deliveries, then crash it. *)
+  let pre = ref [] in
+  ignore
+    (Engine.schedule e ~delay:0.4 (fun () ->
+         pre :=
+           List.filter_map
+             (function Types.Data d -> Some d.Types.payload | Types.View_change _ -> None)
+             (Group.deliver_all m2)));
+  ignore (Engine.schedule e ~delay:0.5 (fun () -> Group.crash cluster 2));
+  ignore (Engine.schedule e ~delay:1.5 (fun () -> Group.restart cluster 2 ~recover:true));
+  let rec nag tries () =
+    if Group.is_joining m2 && tries < 200 then begin
+      (match
+         List.find_opt
+           (fun q -> Group.id q <> 2 && Group.is_member q && not (Group.is_blocked q))
+           (Group.members cluster)
+       with
+      | Some contact -> Group.request_join m2 ~contact:(Group.id contact)
+      | None -> ());
+      ignore (Engine.schedule e ~delay:0.1 (nag (tries + 1)) : Engine.handle)
+    end
+  in
+  ignore (Engine.schedule e ~delay:1.6 (nag 0));
+  Engine.run e;
+  Alcotest.(check bool) "member again" true (Group.is_member m2);
+  List.iter
+    (fun m ->
+      if Group.is_member m then
+        Alcotest.(check (list int))
+          (Printf.sprintf "member %d sees the re-grown view" (Group.id m))
+          [ 0; 1; 2 ] (Group.view m).View.members)
+    (Group.members cluster);
+  (match !synced_app with
+  | Some (Some s) ->
+      Alcotest.(check string) "sponsor's snapshot arrived" "snapshot-from-0" s
+  | Some None -> Alcotest.fail "SYNC carried no application state"
+  | None -> Alcotest.fail "on_synced never fired");
+  (* New traffic flows to the rejoined incarnation, and nothing the
+     first incarnation delivered comes back. *)
+  for i = 21 to 30 do
+    ignore (Group.multicast m0 i)
+  done;
+  Engine.run e;
+  let post =
+    List.filter_map
+      (function Types.Data d -> Some d.Types.payload | Types.View_change _ -> None)
+      (Group.deliver_all m2)
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (Printf.sprintf "rejoined member got %d" i) true
+        (List.mem i post))
+    [ 21; 22; 23; 24; 25; 26; 27; 28; 29; 30 ];
+  List.iter
+    (fun p ->
+      if List.mem p !pre then
+        Alcotest.fail (Printf.sprintf "payload %d delivered twice across the restart" p))
+    post;
+  drain_everyone cluster;
+  check_no_violations cluster
+
 (* Random end-to-end scenarios, verified by the checker. *)
 let group_random_scenarios ~semantic ~name =
   QCheck.Test.make ~name ~count:25
@@ -1188,6 +1273,8 @@ let () =
           Alcotest.test_case "partition during view change" `Quick
             test_group_partition_during_view_change;
           Alcotest.test_case "bandwidth + codec" `Quick test_group_bandwidth_codec;
+          Alcotest.test_case "rejoin + state transfer" `Quick
+            test_group_rejoin_with_state_transfer;
           q (group_random_scenarios ~semantic:true ~name:"random scenarios (semantic)");
           q (group_random_scenarios ~semantic:false ~name:"random scenarios (strict VS)");
         ] );

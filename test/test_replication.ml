@@ -7,6 +7,7 @@ module Checker = Svs_core.Checker
 module Latency = Svs_net.Latency
 module Store = Svs_replication.Replicated_store
 module Rng = Svs_sim.Rng
+module Codec = Svs_codec.Codec
 
 type rig = {
   engine : Engine.t;
@@ -206,6 +207,70 @@ let failover_property =
         QCheck.Test.fail_reportf "equal=%b clean=%b" all_equal clean
       else true)
 
+let test_rejoin_seeds_store () =
+  (* A replica crashes and is excluded; while it is gone the primary
+     keeps writing. When it restarts and rejoins, the sponsor's SYNC
+     snapshot must seed its store with everything it missed — including
+     items it can never receive as messages (they were sent in views it
+     was not part of). *)
+  let engine = Engine.create ~seed:29 () in
+  let cluster =
+    Group.create_cluster engine ~members:[ 0; 1; 2 ] ~latency:(Latency.Constant 0.001) ()
+  in
+  let snapshot = ((fun w v -> Codec.Writer.zigzag w v), fun r -> Codec.Reader.zigzag r) in
+  let stores =
+    List.map
+      (fun m -> (Group.id m, Store.attach ~k:32 ~snapshot m))
+      (Group.members cluster)
+  in
+  let store i = List.assoc i stores in
+  let settle () =
+    Engine.run engine;
+    List.iter (fun (_, s) -> Store.process s) stores
+  in
+  (match Store.submit (store 0) [ Store.Set (1, 10); Store.Set (2, 20) ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "first submit failed");
+  settle ();
+  Group.crash cluster 2;
+  settle ();
+  Alcotest.(check bool) "replica 2 excluded" false (Store.is_member (store 2));
+  (* Written while replica 2 is down: only the snapshot can carry it. *)
+  (match Store.submit (store 0) [ Store.Set (3, 30); Store.Set (1, 11) ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "submit while 2 down failed");
+  settle ();
+  let m2 = Group.member cluster 2 in
+  Group.restart cluster 2 ~recover:true;
+  let rec nag tries () =
+    if Group.is_joining m2 && tries < 200 then begin
+      (match
+         List.find_opt
+           (fun q -> Group.id q <> 2 && Group.is_member q && not (Group.is_blocked q))
+           (Group.members cluster)
+       with
+      | Some contact -> Group.request_join m2 ~contact:(Group.id contact)
+      | None -> ());
+      ignore (Engine.schedule engine ~delay:0.1 (nag (tries + 1)) : Engine.handle)
+    end
+  in
+  nag 0 ();
+  settle ();
+  Alcotest.(check bool) "replica 2 readmitted" true (Store.is_member (store 2));
+  Alcotest.(check (option int)) "missed write arrived via the snapshot" (Some 30)
+    (Store.get (store 2) 3);
+  Alcotest.(check (option int)) "overwrite arrived via the snapshot" (Some 11)
+    (Store.get (store 2) 1);
+  (* And it keeps converging as an ordinary backup afterwards. *)
+  (match Store.submit (store 0) [ Store.Set (4, 40) ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "post-rejoin submit failed");
+  settle ();
+  Alcotest.(check bool) "stores equal after rejoin" true
+    (Store.store_equal (store 0) (store 2));
+  Alcotest.(check (list string)) "checker clean" []
+    (List.map Checker.violation_to_string (Checker.verify (Group.checker cluster)))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "svs_replication"
@@ -220,6 +285,7 @@ let () =
           Alcotest.test_case "remove" `Quick test_remove;
           Alcotest.test_case "last write wins" `Quick test_last_write_wins_within_batch;
           Alcotest.test_case "fail-over consistency" `Quick test_failover_consistency;
+          Alcotest.test_case "rejoin seeds store" `Quick test_rejoin_seeds_store;
           q failover_property;
         ] );
     ]

@@ -263,6 +263,143 @@ let test_mesh_dial_cap_writes_off () =
     (List.mem "written-off" (drop_reasons tracer));
   Tcp_mesh.close mesh0
 
+(* --- Wal: durable node state --- *)
+
+module Wal = Svs_rt.Wal
+
+let temp_dir () =
+  let path = Filename.temp_file "svs-wal" "" in
+  Sys.remove path;
+  path
+
+let last_segment dir =
+  match
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".log")
+    |> List.sort compare |> List.rev
+  with
+  | [] -> Alcotest.fail "no WAL segment on disk"
+  | f :: _ -> Filename.concat dir f
+
+let segment_count dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".log")
+  |> List.length
+
+let test_wal_round_trip () =
+  let dir = temp_dir () in
+  let w, r0 = Wal.open_ ~dir ~me:7 () in
+  Alcotest.(check bool) "fresh on first open" true r0.Wal.fresh;
+  Wal.append w (Wal.Install (View.make ~id:3 ~members:[ 0; 1; 7 ]));
+  Wal.append w (Wal.Floor { sender = 0; sn = 4 });
+  Wal.append w (Wal.Floor { sender = 0; sn = 9 });
+  Wal.append w (Wal.Floor { sender = 1; sn = 2 });
+  Wal.append_durable w (Wal.Lease { next_sn = 64 });
+  Wal.close w;
+  let w2, r = Wal.open_ ~dir ~me:7 () in
+  Wal.close w2;
+  Alcotest.(check bool) "not fresh on reopen" false r.Wal.fresh;
+  (match r.Wal.view with
+  | Some v ->
+      Alcotest.(check int) "view id survives" 3 v.View.id;
+      Alcotest.(check (list int)) "view members survive" [ 0; 1; 7 ] v.View.members
+  | None -> Alcotest.fail "installed view lost");
+  Alcotest.(check (list (pair int int)))
+    "floors keep the max per sender"
+    [ (0, 9); (1, 2) ]
+    (List.sort compare r.Wal.floors);
+  Alcotest.(check int) "lease ceiling survives" 64 r.Wal.next_sn;
+  Alcotest.(check int) "nothing truncated" 0 r.Wal.truncated
+
+let test_wal_torn_tail () =
+  (* A crash mid-write leaves a partial frame at the tail: recovery
+     must keep the valid prefix, chop the garbage, and leave the log
+     appendable. *)
+  let dir = temp_dir () in
+  let w, _ = Wal.open_ ~dir ~me:2 () in
+  Wal.append_durable w (Wal.Floor { sender = 1; sn = 7 });
+  Wal.close w;
+  (* A torn write: a header promising 100 bytes, followed by 3. *)
+  let fd = Unix.openfile (last_segment dir) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  let garbage = Bytes.of_string "\x00\x00\x00\x64abc" in
+  ignore (Unix.write fd garbage 0 (Bytes.length garbage));
+  Unix.close fd;
+  let w2, r = Wal.open_ ~dir ~me:2 () in
+  Alcotest.(check int) "torn tail chopped" (Bytes.length garbage) r.Wal.truncated;
+  Alcotest.(check (list (pair int int))) "valid prefix kept" [ (1, 7) ] r.Wal.floors;
+  Wal.append_durable w2 (Wal.Floor { sender = 1; sn = 9 });
+  Wal.close w2;
+  let w3, r3 = Wal.open_ ~dir ~me:2 () in
+  Wal.close w3;
+  Alcotest.(check int) "clean after the chop" 0 r3.Wal.truncated;
+  Alcotest.(check (list (pair int int))) "appends after recovery stick" [ (1, 9) ]
+    r3.Wal.floors
+
+let test_wal_bad_crc () =
+  (* Bit rot inside the last record: the checksum must reject it and
+     replay must stop there, keeping everything before it. *)
+  let dir = temp_dir () in
+  let w, _ = Wal.open_ ~dir ~me:5 () in
+  Wal.append w (Wal.Install (View.make ~id:1 ~members:[ 0; 5 ]));
+  Wal.append_durable w (Wal.Lease { next_sn = 10 });
+  Wal.append_durable w (Wal.Floor { sender = 0; sn = 5 });
+  Wal.close w;
+  let path = last_segment dir in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set_uint8 b 0 (Bytes.get_uint8 b 0 lxor 0xFF);
+  ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let w2, r = Wal.open_ ~dir ~me:5 () in
+  Wal.close w2;
+  Alcotest.(check bool) "corrupt record chopped" true (r.Wal.truncated > 0);
+  Alcotest.(check (list (pair int int))) "corrupt floor rejected" [] r.Wal.floors;
+  Alcotest.(check int) "records before it survive" 10 r.Wal.next_sn;
+  match r.Wal.view with
+  | Some v -> Alcotest.(check int) "view survives" 1 v.View.id
+  | None -> Alcotest.fail "view lost to an unrelated corruption"
+
+let test_wal_rotation () =
+  (* A tiny segment limit: the log must rotate (snapshot into the next
+     segment, delete the old ones) and still recover the full state. *)
+  let dir = temp_dir () in
+  let w, _ = Wal.open_ ~dir ~me:3 ~segment_limit:256 () in
+  Wal.append w (Wal.Install (View.make ~id:2 ~members:[ 0; 3 ]));
+  for sn = 1 to 200 do
+    Wal.append w (Wal.Floor { sender = 0; sn })
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "rotated (segment %d)" (Wal.current_segment w))
+    true
+    (Wal.current_segment w > 0);
+  Wal.close w;
+  Alcotest.(check int) "old segments deleted" 1 (segment_count dir);
+  let w2, r = Wal.open_ ~dir ~me:3 () in
+  Wal.close w2;
+  Alcotest.(check (list (pair int int))) "floors survive rotation" [ (0, 200) ] r.Wal.floors;
+  (match r.Wal.view with
+  | Some v -> Alcotest.(check int) "view survives rotation" 2 v.View.id
+  | None -> Alcotest.fail "view lost in rotation");
+  Alcotest.(check bool) "log stays small" true
+    ((Unix.stat (last_segment dir)).Unix.st_size < 1024)
+
+let test_wal_identity_mismatch () =
+  (* Two nodes sharing a data dir is a deployment error, never a
+     silent state mixup. *)
+  let dir = temp_dir () in
+  let w, _ = Wal.open_ ~dir ~me:1 () in
+  Wal.append_durable w (Wal.Lease { next_sn = 5 });
+  Wal.close w;
+  match Wal.open_ ~dir ~me:2 () with
+  | exception Failure _ -> ()
+  | w2, _ ->
+      Wal.close w2;
+      Alcotest.fail "opened another node's log without complaint"
+
 (* --- Node: a live three-member group over loopback --- *)
 
 let fast_heartbeats =
@@ -410,9 +547,11 @@ let test_node_purging_over_tcp () =
   Array.iter Node.shutdown nodes
 
 let test_mesh_no_silent_reconnect () =
-  (* A peer that restarts on the same address must NOT silently receive
-     a resumed stream (bytes in flight were lost; the reliable-FIFO
-     contract is gone). The broken peer is written off. *)
+  (* A peer that crashes must NOT silently get a resumed stream (bytes
+     in flight were lost; the reliable-FIFO contract is gone): once the
+     break surfaces, the peer is written off. A *new incarnation*
+     dialing in with a fresh hello is forgiven — it gets a brand-new
+     stream, never a replay of the dropped frames. *)
   let loop = Loop.create () in
   let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
   let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
@@ -429,25 +568,183 @@ let test_mesh_no_silent_reconnect () =
   Tcp_mesh.send mesh0 ~dst:1 "before";
   Loop.run ~until:(fun () -> !got <> []) ~timeout:5.0 loop;
   Alcotest.(check int) "first frame arrived" 1 (List.length !got);
-  (* Peer 1 "crashes" and restarts at the same address. *)
+  (* Peer 1 crashes. The sender keeps talking; the first failed write
+     surfaces the broken stream and writes the peer off. *)
   Tcp_mesh.close mesh1;
+  ignore
+    (Loop.every loop ~period:0.02 (fun () ->
+         Tcp_mesh.send mesh0 ~dst:1 "during";
+         true));
+  Loop.run ~until:(fun () -> Tcp_mesh.written_off mesh0 ~dst:1) ~timeout:5.0 loop;
+  Alcotest.(check bool) "written off after the break" true
+    (Tcp_mesh.written_off mesh0 ~dst:1);
+  Alcotest.(check int) "nothing silently resumed" 1 (List.length !got);
+  Alcotest.(check (list int)) "not connected" [] (Tcp_mesh.connected mesh0);
+  Alcotest.(check int) "nothing buffered for the dead incarnation" 0
+    (Tcp_mesh.pending_bytes mesh0 ~dst:1);
+  (* A new incarnation restarts on the same address and dials us: its
+     hello forgives the write-off and opens a fresh stream. *)
+  let got_b = ref [] in
   let fd1b, _ = Tcp_mesh.listener addr1 in
   let mesh1b =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1b ~peers
+      ~on_frame:(fun ~src frame -> got_b := (src, frame) :: !got_b)
+      ()
+  in
+  Loop.run ~until:(fun () -> !got_b <> []) ~timeout:5.0 loop;
+  Alcotest.(check int) "forgiveness counted" 1 (Tcp_mesh.writeoff_resets mesh0);
+  Alcotest.(check bool) "fresh stream carries only new traffic" true
+    (List.for_all (fun (src, f) -> src = 0 && f = "during") !got_b);
+  Alcotest.(check bool) "dropped frames were not replayed" false
+    (List.exists (fun (_, f) -> f = "before") !got_b);
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1b
+
+let test_mesh_forget_peer_redials () =
+  (* Written off by the dial cap; the membership layer later readmits
+     the peer: forget_peer restores the budget and a fresh stream comes
+     up. *)
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1_tmp, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  Unix.close fd1_tmp;
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let dial =
+    {
+      Tcp_mesh.base_delay = 0.01;
+      max_delay = 0.05;
+      multiplier = 2.0;
+      jitter = 0.2;
+      max_attempts = Some 2;
+    }
+  in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers ~on_frame:(fun ~src:_ _ -> ())
+      ~dial ()
+  in
+  Tcp_mesh.send mesh0 ~dst:1 "doomed";
+  Loop.run ~until:(fun () -> Tcp_mesh.written_off mesh0 ~dst:1) ~timeout:5.0 loop;
+  Alcotest.(check bool) "written off" true (Tcp_mesh.written_off mesh0 ~dst:1);
+  (* Peer 1 comes up at the promised address; nothing happens until the
+     membership layer forgives it. *)
+  let fd1, _ = Tcp_mesh.listener addr1 in
+  Tcp_mesh.forget_peer mesh0 ~dst:1;
+  Tcp_mesh.send mesh0 ~dst:1 "fresh";
+  let got = ref [] in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
       ~on_frame:(fun ~src frame -> got := (src, frame) :: !got)
       ()
   in
-  (* Sender keeps trying to talk to peer 1; the first write surfaces the
-     broken stream, after which the peer is written off for good. *)
+  Loop.run ~until:(fun () -> !got <> []) ~timeout:5.0 loop;
+  Alcotest.(check (list (pair int string))) "fresh frame arrived" [ (0, "fresh") ] !got;
+  Alcotest.(check int) "reset counted" 1 (Tcp_mesh.writeoff_resets mesh0);
+  Alcotest.(check bool) "no longer written off" false (Tcp_mesh.written_off mesh0 ~dst:1);
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
+let test_node_restart_rejoins () =
+  (* The full recovery loop, live over TCP: a durable node crashes, the
+     survivors exclude it, it restarts from its WAL at the same address,
+     rejoins via JOIN/SYNC with a sponsor snapshot, and delivers only
+     post-crash traffic (Integrity across the restart). *)
+  let loop = Loop.create () in
+  let dir = temp_dir () in
+  let n = 3 in
+  let listeners =
+    List.init n (fun i ->
+        let fd, addr = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+        (i, fd, addr))
+  in
+  let peers = List.map (fun (i, _, addr) -> (i, addr)) listeners in
+  let deliveries = Array.make n [] in
+  let consume i node =
+    ignore
+      (Loop.every loop ~period:0.005 (fun () ->
+           List.iter (fun d -> deliveries.(i) <- d :: deliveries.(i)) (Node.deliver_all node);
+           true)
+        : Loop.timer)
+  in
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun (i, fd, _) ->
+           let data_dir = if i = 2 then Some dir else None in
+           let node =
+             Node.create loop ~me:i ~listen_fd:fd ~peers
+               ~payload_codec:Wire_codec.int_codec ~config:node_config
+               ~state_transfer:(fun () -> Some "app-snapshot")
+               ?data_dir ()
+           in
+           consume i node;
+           node)
+         listeners)
+  in
+  ignore
+    (Loop.after loop ~delay:0.3 (fun () ->
+         for i = 1 to 10 do
+           ignore (Node.multicast nodes.(0) i)
+         done));
+  let all_in () =
+    Array.for_all (fun ds -> List.length (data_payloads ds) >= 10) deliveries
+  in
+  Loop.run ~until:all_in ~timeout:10.0 loop;
+  Alcotest.(check (list int)) "first incarnation delivered 1..10"
+    (List.init 10 (fun k -> k + 1))
+    (data_payloads deliveries.(2));
+  (* Crash node 2; the survivors reconfigure it away. *)
+  Node.shutdown nodes.(2);
+  let excluded () =
+    (not (View.mem 2 (Node.view nodes.(0)))) && not (View.mem 2 (Node.view nodes.(1)))
+  in
+  Loop.run ~until:excluded ~timeout:15.0 loop;
+  (* Restart from the same data dir at the same address: the node comes
+     back as a joiner, recovers its delivery floors from the WAL, and
+     nags the survivors until it is readmitted. *)
+  let _, _, addr2 = List.nth listeners 2 in
+  let fd2b, _ = Tcp_mesh.listener addr2 in
+  let synced = ref None in
+  let node2b =
+    Node.create loop ~me:2 ~listen_fd:fd2b ~peers ~payload_codec:Wire_codec.int_codec
+      ~config:node_config ~data_dir:dir
+      ~on_synced:(fun v app -> synced := Some (v, app))
+      ()
+  in
+  Alcotest.(check bool) "restarted incarnation is a joiner" true (Node.is_joining node2b);
+  deliveries.(2) <- [];
+  consume 2 node2b;
+  let readmitted () =
+    Node.is_member node2b
+    && View.mem 2 (Node.view nodes.(0))
+    && View.mem 2 (Node.view nodes.(1))
+  in
+  Loop.run ~until:readmitted ~timeout:20.0 loop;
+  (match !synced with
+  | Some (v, app) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "re-entered in a later view (%d)" v.View.id)
+        true (v.View.id >= 2);
+      Alcotest.(check (option string)) "sponsor snapshot arrived" (Some "app-snapshot") app
+  | None -> Alcotest.fail "on_synced never fired");
+  (* New traffic reaches the rejoined member — and nothing from before
+     the crash is delivered twice. *)
+  let published = ref 0 in
   ignore
     (Loop.every loop ~period:0.02 (fun () ->
-         Tcp_mesh.send mesh0 ~dst:1 "after";
-         true));
-  Loop.run ~timeout:1.0 loop;
-  Alcotest.(check int) "no frames after the restart" 1 (List.length !got);
-  Alcotest.(check (list int)) "peer written off" [] (Tcp_mesh.connected mesh0);
-  Tcp_mesh.close mesh0;
-  Tcp_mesh.close mesh1b
+         (if !published < 5 then
+            match Node.multicast nodes.(0) (11 + !published) with
+            | Ok _ -> incr published
+            | Error _ -> ());
+         !published < 5));
+  Loop.run
+    ~until:(fun () -> List.length (data_payloads deliveries.(2)) >= 5)
+    ~timeout:10.0 loop;
+  Alcotest.(check (list int)) "second incarnation delivers only post-crash traffic"
+    [ 11; 12; 13; 14; 15 ]
+    (data_payloads deliveries.(2));
+  Node.shutdown node2b;
+  Node.shutdown nodes.(0);
+  Node.shutdown nodes.(1)
 
 (* --- Ordered multicast over the real mesh --- *)
 
@@ -539,12 +836,22 @@ let () =
           Alcotest.test_case "oversize frame resets link" `Quick test_mesh_oversize_resets_link;
           Alcotest.test_case "dial backoff" `Quick test_mesh_dial_backoff;
           Alcotest.test_case "dial cap writes off" `Quick test_mesh_dial_cap_writes_off;
+          Alcotest.test_case "forget peer redials" `Quick test_mesh_forget_peer_redials;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "round trip" `Quick test_wal_round_trip;
+          Alcotest.test_case "torn tail truncated" `Quick test_wal_torn_tail;
+          Alcotest.test_case "bad CRC stops replay" `Quick test_wal_bad_crc;
+          Alcotest.test_case "rotation" `Quick test_wal_rotation;
+          Alcotest.test_case "identity mismatch" `Quick test_wal_identity_mismatch;
         ] );
       ( "node",
         [
           Alcotest.test_case "group multicast" `Slow test_node_group_multicast;
           Alcotest.test_case "view change on crash" `Slow test_node_group_view_change_on_crash;
           Alcotest.test_case "purging over TCP" `Slow test_node_purging_over_tcp;
+          Alcotest.test_case "restart rejoins from WAL" `Slow test_node_restart_rejoins;
           Alcotest.test_case "total order over TCP" `Slow test_total_order_over_tcp;
         ] );
     ]
