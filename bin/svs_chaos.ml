@@ -90,6 +90,27 @@ let mutate_term =
            checking. Every run must then FAIL; the sweep exits zero only if the oracle \
            catches all mutants.")
 
+let mutate_split_brain_term =
+  Arg.(
+    value & flag
+    & info [ "mutate-split-brain" ]
+        ~doc:
+          "Self-test: forge a divergent minority view onto each recorded run before \
+           checking — a process that missed the final view (or whose log is truncated at \
+           a crash boundary) pretends it installed its own singleton view. Every run must \
+           then FAIL; the sweep exits zero only if the oracle's primary-chain check \
+           catches all mutants.")
+
+let no_merge_term =
+  Arg.(
+    value & flag
+    & info [ "no-merge" ]
+        ~doc:
+          "Leave parked members parked forever instead of probing back in. Scenarios that \
+           expect re-convergence (e.g. $(b,split-heal-merge)) must then FAIL with a \
+           convergence violation, and all other runs must stay clean: the inverted \
+           self-check proving the merge path is what re-forms the group after a heal.")
+
 let no_recovery_term =
   Arg.(
     value & flag
@@ -143,14 +164,14 @@ let print_json ~mutate ~recover ~exit_code outcomes =
     let r = o.C.Runner.report in
     Printf.sprintf
       "{\"scenario\":\"%s\",\"mode\":\"%s\",\"seed\":%d,\"ok\":%b,\"violations\":%d,\
-       \"deliveries\":%d,\"installs\":%d,\"faults\":%d,\"restarts\":%d,\"sent\":%d,\
-       \"purged\":%d}"
+       \"deliveries\":%d,\"installs\":%d,\"faults\":%d,\"restarts\":%d,\"parked\":%d,\
+       \"sent\":%d,\"purged\":%d}"
       (json_escape r.C.Oracle.scenario)
       (C.Oracle.mode_label r.C.Oracle.mode)
       r.C.Oracle.seed (C.Oracle.ok r)
       (List.length r.C.Oracle.violations)
       r.C.Oracle.deliveries r.C.Oracle.installs o.C.Runner.faults o.C.Runner.restarts
-      o.C.Runner.sent o.C.Runner.purged
+      o.C.Runner.parked o.C.Runner.sent o.C.Runner.purged
   in
   let failed = List.length (C.Runner.failures outcomes) in
   Printf.printf
@@ -158,18 +179,29 @@ let print_json ~mutate ~recover ~exit_code outcomes =
     (List.length outcomes) failed mutate recover (exit_code = 0)
     (String.concat "," (List.map run_json outcomes))
 
-let run scenarios modes seeds seed_base nodes horizon settle trace mutate no_recovery json
-    verbose plan =
+let run scenarios modes seeds seed_base nodes horizon settle trace mutate mutate_split_brain
+    no_merge no_recovery json verbose plan =
   match plan with
   | Some scenario ->
       print_plan scenario ~seed:seed_base ~nodes ~horizon;
       0
   | None ->
       let config =
-        { C.Runner.default_config with nodes; horizon; settle; recover = not no_recovery }
+        {
+          C.Runner.default_config with
+          nodes;
+          horizon;
+          settle;
+          recover = not no_recovery;
+          merge = not no_merge;
+        }
       in
       let seed_list = List.init seeds (fun i -> seed_base + i) in
-      let mutation = if mutate then Some C.Oracle.Drop_cover else None in
+      let mutation =
+        if mutate then Some C.Oracle.Drop_cover
+        else if mutate_split_brain then Some C.Oracle.Split_brain
+        else None
+      in
       let oc = Option.map open_out trace in
       let tracer =
         match oc with
@@ -206,7 +238,7 @@ let run scenarios modes seeds seed_base nodes horizon settle trace mutate no_rec
       in
       say "%a@." (fun ppf () -> C.Runner.pp_table ppf outcomes) ();
       let exit_code =
-        if mutate then begin
+        if mutation <> None then begin
           (* Inverted acceptance: every mutated run must be caught. *)
           let missed = List.length outcomes - List.length failed in
           if missed = 0 then begin
@@ -217,6 +249,36 @@ let run scenarios modes seeds seed_base nodes horizon settle trace mutate no_rec
           else begin
             say "MUTATION SELF-TEST FAILED: %d mutated run(s) slipped past the oracle@."
               missed;
+            1
+          end
+        end
+        else if no_merge then begin
+          (* Inverted acceptance: every scenario that expects
+             re-convergence must fail once parked members never merge,
+             and merge-free runs must still be clean. *)
+          let reconverge o =
+            match C.Scenario.find o.C.Runner.report.C.Oracle.scenario with
+            | Some sc -> sc.C.Scenario.expect_reconverge
+            | None -> false
+          in
+          let eligible = List.filter reconverge outcomes in
+          let uncaught = List.filter (fun o -> C.Oracle.ok o.C.Runner.report) eligible in
+          let broken_clean = List.filter (fun o -> not (reconverge o)) failed in
+          if eligible = [] then begin
+            say "NO-MERGE SELF-TEST FAILED: no run expected re-convergence@.";
+            1
+          end
+          else if uncaught = [] && broken_clean = [] then begin
+            say
+              "no-merge self-test passed: oracle flagged all %d merge-less heals@."
+              (List.length eligible);
+            0
+          end
+          else begin
+            say
+              "NO-MERGE SELF-TEST FAILED: %d merge-less heal(s) slipped past the oracle, \
+               %d merge-free run(s) failed@."
+              (List.length uncaught) (List.length broken_clean);
             1
           end
         end
@@ -257,7 +319,7 @@ let run scenarios modes seeds seed_base nodes horizon settle trace mutate no_rec
         end
       in
       if json then
-        print_json ~mutate ~recover:(not no_recovery) ~exit_code outcomes;
+        print_json ~mutate:(mutation <> None) ~recover:(not no_recovery) ~exit_code outcomes;
       exit_code
 
 let main =
@@ -266,7 +328,7 @@ let main =
   Cmd.v info
     Term.(
       const run $ scenarios_term $ modes_term $ seeds_term $ seed_base_term $ nodes_term
-      $ horizon_term $ settle_term $ trace_term $ mutate_term $ no_recovery_term
-      $ json_term $ verbose_term $ plan_term)
+      $ horizon_term $ settle_term $ trace_term $ mutate_term $ mutate_split_brain_term
+      $ no_merge_term $ no_recovery_term $ json_term $ verbose_term $ plan_term)
 
 let () = exit (Cmd.eval' main)

@@ -49,8 +49,8 @@ let peer_conv =
             Format.fprintf ppf "%d:%s:%d" id (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX path -> Format.fprintf ppf "%d:unix:%s" id path )
 
-let run me peers publish rate consume_rate duration reliable data_dir trace_file stats_period
-    verbose =
+let run me peers publish rate consume_rate duration reliable park_timeout data_dir trace_file
+    stats_period verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -70,7 +70,13 @@ let run me peers publish rate consume_rate duration reliable data_dir trace_file
       match trace_oc with None -> Trace.nop | Some oc -> Trace.jsonl oc
     in
     let config =
-      { Node.default_config with semantic = not reliable; tracer; metrics = Some metrics }
+      {
+        Node.default_config with
+        semantic = not reliable;
+        park_timeout;
+        tracer;
+        metrics = Some metrics;
+      }
     in
     let delivered = ref 0 in
     let node =
@@ -128,10 +134,11 @@ let run me peers publish rate consume_rate duration reliable data_dir trace_file
     let site s = Node.purged_at node s in
     let stats_line () =
       Format.printf
-        "[%d] stats: delivered=%d pending=%d purged=%d(m:%d/r:%d/i:%d) bytes_out=%d bytes_in=%d suspicions=%d@."
+        "[%d] stats: delivered=%d pending=%d purged=%d(m:%d/r:%d/i:%d) bytes_out=%d bytes_in=%d suspicions=%d%s@."
         me !delivered (Node.pending node) (Node.purged node) (site Trace.At_multicast)
         (site Trace.At_receive) (site Trace.At_install) (Node.bytes_out node)
-        (Node.bytes_in node) (Node.suspicions node);
+        (Node.bytes_in node) (Node.suspicions node)
+        (if Node.parked node then " PARKED" else "");
       if verbose then Format.printf "[%d] metrics: %a@." me Metrics.pp_line metrics
     in
     (match stats_period with
@@ -188,6 +195,17 @@ let cmd =
   let reliable =
     Arg.(value & flag & info [ "reliable" ] ~doc:"Disable purging (plain view synchrony).")
   in
+  let park_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "park-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Primary-component survival: a member still blocked in the same view change \
+             after $(docv) seconds parks (stops multicasting and delivering) and probes \
+             its way back in, merging automatically when the partition heals. Best \
+             combined with $(b,--data-dir) so the merge resumes from durable floors.")
+  in
   let data_dir =
     Arg.(
       value & opt (some string) None
@@ -219,6 +237,6 @@ let cmd =
     Term.(
       ret
         (const run $ me $ peers $ publish $ rate $ consume_rate $ duration $ reliable
-       $ data_dir $ trace_file $ stats_period $ verbose))
+       $ park_timeout $ data_dir $ trace_file $ stats_period $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -33,7 +33,7 @@ let emit_fault t action =
       | Partition (a, b) | Heal (a, b) -> (a, b)
       | Leave { initiator; node } -> (node, initiator)
       | Rejoin p -> (p, -1)
-      | Set_latency _ | Restore_latency -> (-1, -1)
+      | Split _ | Heal_split | Set_latency _ | Restore_latency -> (-1, -1)
     in
     Trace.emit t.tracer (Trace.Fault { kind = Scenario.action_kind action; node; peer })
   end
@@ -55,10 +55,11 @@ let rec fire t action =
 
 (* --- Group-backed applier --- *)
 
-let group_applier (cluster : 'p Group.cluster) ~horizon ~recover =
+let group_applier (cluster : 'p Group.cluster) ~horizon ~recover ~heal_at_settle =
   let engine = Group.engine cluster in
   (* Track what needs undoing at settle time. *)
   let partitions : (int * int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let split : int list list ref = ref [] in
   let paused : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let base_latency = Group.latency cluster in
   let latency_dirty = ref false in
@@ -116,6 +117,25 @@ let group_applier (cluster : 'p Group.cluster) ~horizon ~recover =
         Group.heal cluster a b;
         Hashtbl.remove partitions (norm a b);
         true
+    | Split sets ->
+        (* A new split while one stands heals the old one first, so
+           flapping plans never stack stale cross-set partitions. *)
+        if !split <> [] then Group.heal_sets cluster !split;
+        Group.partition_sets cluster sets;
+        split := sets;
+        (* The oracle detector cannot see the partition: write the
+           non-primary sets (those without node 0) off, as a majority-
+           side detector would. *)
+        Group.write_off cluster
+          (List.concat (List.filter (fun s -> not (List.mem 0 s)) sets));
+        true
+    | Heal_split ->
+        if !split = [] then false
+        else begin
+          Group.heal_sets cluster !split;
+          split := [];
+          true
+        end
     | Leave { initiator; node } ->
         if not (is_member node) then false
         else begin
@@ -161,8 +181,17 @@ let group_applier (cluster : 'p Group.cluster) ~horizon ~recover =
         else false
   in
   let quiesce () =
-    Hashtbl.iter (fun (a, b) () -> Group.heal cluster a b) partitions;
-    Hashtbl.reset partitions;
+    (* Scenarios that must prove a partition outlives the run opt out
+       of the heal sweep; pauses and latency are settled regardless
+       (a paused receiver would starve the post-horizon drain). *)
+    if heal_at_settle then begin
+      Hashtbl.iter (fun (a, b) () -> Group.heal cluster a b) partitions;
+      Hashtbl.reset partitions;
+      if !split <> [] then begin
+        Group.heal_sets cluster !split;
+        split := []
+      end
+    end;
     Hashtbl.iter (fun p () -> Group.resume_receive cluster p) paused;
     Hashtbl.reset paused;
     if !latency_dirty then begin
@@ -183,7 +212,9 @@ let inject ?(recover = true) cluster ~scenario ~horizon =
     {
       engine;
       plan;
-      applier = group_applier cluster ~horizon ~recover;
+      applier =
+        group_applier cluster ~horizon ~recover
+          ~heal_at_settle:scenario.Scenario.heal_at_settle;
       tracer = Group.tracer cluster;
       horizon;
       applied = 0;

@@ -42,4 +42,8 @@ val settle : t -> unit
     open, resume receivers still paused, restore the latency model.
     Call at the horizon before draining — the built-in scenarios
     schedule their own heals/resumes, so this is normally a no-op, but
-    a custom plan (or a [mayhem] overlap) may leave state behind. *)
+    a custom plan (or a [mayhem] overlap) may leave state behind.
+    Scenarios with [heal_at_settle = false] (e.g. [group-split]) keep
+    their partitions and splits standing through the drain, proving
+    the minority stays parked; paused receivers and the latency model
+    are restored regardless. *)

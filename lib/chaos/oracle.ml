@@ -9,7 +9,7 @@ let mode_label = function Vs -> "vs" | Svs -> "svs"
 
 let mode_of_label = function "vs" -> Some Vs | "svs" -> Some Svs | _ -> None
 
-type mutation = Drop_cover | Duplicate_after_restart
+type mutation = Drop_cover | Duplicate_after_restart | Split_brain
 
 type report = {
   mode : mode;
@@ -29,7 +29,10 @@ let view_pair = function
   | Checker.Vs_mismatch { view_id; _ } ->
       Some (view_id, view_id + 1)
   | Checker.View_disagreement { view_id; _ } -> Some (view_id, view_id)
-  | Checker.Created _ | Checker.Duplicated _ | Checker.Fifo_order _ -> None
+  | Checker.Split_brain { prev_view_id; view_id; _ } -> Some (prev_view_id, view_id)
+  | Checker.Created _ | Checker.Duplicated _ | Checker.Fifo_order _
+  | Checker.Not_converged _ ->
+      None
 
 (* --- Mutation: pick a delivery whose removal must break safety. --- *)
 
@@ -208,6 +211,92 @@ let replay_without check ~q ~id =
     (Checker.processes check);
   mutated
 
+(* Forge a secondary primary component: replay the run with one
+   process recording the install of a view (id one past the global
+   maximum, membership just itself) that no member of the real primary
+   chain ever installed — exactly the log a minority that elected
+   itself would leave behind. Prefer a process that missed the final
+   view (the minority side of an unhealed split); when every process
+   installed it, cut a log at a crash–rejoin incarnation boundary
+   first so the forged view has no co-installer. *)
+let find_split_brain_target check =
+  let procs = Checker.processes check in
+  let max_id =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc -> function
+            | Checker.Installed v -> max acc v.View.id
+            | Checker.Delivered _ -> acc)
+          acc (Checker.process_log check ~p))
+      (-1) procs
+  in
+  match
+    List.find_opt
+      (fun p ->
+        not
+          (List.exists
+             (function
+               | Checker.Installed v -> v.View.id = max_id
+               | Checker.Delivered _ -> false)
+             (Checker.process_log check ~p)))
+      procs
+  with
+  | Some p -> Some (p, max_id, `Append)
+  | None -> (
+      match
+        List.find_map
+          (fun p ->
+            let rec scan idx last = function
+              | Checker.Installed v :: rest -> (
+                  match last with
+                  | Some last_id when v.View.id > last_id + 1 ->
+                      Some (p, max_id, `Truncate idx)
+                  | Some _ | None -> scan (idx + 1) (Some v.View.id) rest)
+              | Checker.Delivered _ :: rest -> scan (idx + 1) last rest
+              | [] -> None
+            in
+            scan 0 None (Checker.process_log check ~p))
+          procs
+      with
+      | Some t -> Some t
+      | None -> (
+          (* Every process installed the final view and no log has a
+             crash boundary: erase one victim's record of the final
+             view (everyone else still anchors it in the chain) and
+             let it claim its own singleton successor instead. *)
+          match procs with
+          | p :: _ :: _ ->
+              let rec find_idx idx = function
+                | Checker.Installed v :: _ when v.View.id = max_id ->
+                    Some (p, max_id, `Truncate idx)
+                | _ :: rest -> find_idx (idx + 1) rest
+                | [] -> None
+              in
+              find_idx 0 (Checker.process_log check ~p)
+          | _ -> None))
+
+let replay_with_split_brain check ~target ~max_id ~cut =
+  let mutated = Checker.create () in
+  List.iter (Checker.record_multicast mutated) (Checker.multicast_log check);
+  List.iter
+    (fun p ->
+      let log = Checker.process_log check ~p in
+      let log =
+        match cut with
+        | `Truncate idx when p = target -> List.filteri (fun i _ -> i < idx) log
+        | _ -> log
+      in
+      List.iter
+        (function
+          | Checker.Installed v -> Checker.record_install mutated ~p v
+          | Checker.Delivered m -> Checker.record_delivery mutated ~p m)
+        log;
+      if p = target then
+        Checker.record_install mutated ~p (View.make ~id:(max_id + 1) ~members:[ p ]))
+    (Checker.processes check);
+  mutated
+
 let counts check =
   List.fold_left
     (fun (d, i) p ->
@@ -219,7 +308,7 @@ let counts check =
         (Checker.process_log check ~p))
     (0, 0) (Checker.processes check)
 
-let check ?mutation ~mode ~seed ~scenario check_t =
+let check ?mutation ?expect_converged ~mode ~seed ~scenario check_t =
   let check_t, mutated =
     match mutation with
     | None -> (check_t, None)
@@ -237,11 +326,22 @@ let check ?mutation ~mode ~seed ~scenario check_t =
         | None ->
             failwith
               "Oracle.check: no crash-rejoin incarnation boundary to duplicate across")
+    | Some Split_brain -> (
+        match find_split_brain_target check_t with
+        | Some (target, max_id, cut) ->
+            ( replay_with_split_brain check_t ~target ~max_id ~cut,
+              Some (target, Msg_id.make ~sender:target ~sn:(max_id + 1)) )
+        | None -> failwith "Oracle.check: no process log to forge a minority view into")
   in
   let violations =
     match mode with
     | Vs -> Checker.verify_strict_vs check_t
     | Svs -> Checker.verify check_t
+  in
+  let violations =
+    match expect_converged with
+    | None -> violations
+    | Some survivors -> violations @ Checker.check_converged check_t ~survivors
   in
   let deliveries, installs = counts check_t in
   { mode; seed; scenario; violations; deliveries; installs; mutated }

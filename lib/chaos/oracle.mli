@@ -48,6 +48,17 @@ type mutation =
           incarnation had already delivered. Integrity (no duplication)
           must flag it. Requires a run with an actual rejoin (e.g. the
           [crash-restart] scenario). *)
+  | Split_brain
+      (** Simulate a minority that elects itself: append to one
+          process's log the install of a forged view — id one past the
+          global maximum, membership just that process — that shares no
+          installer with the real primary chain. Prefers a process that
+          never installed the final view (the parked minority of an
+          unhealed split); if all processes converged, a log is first
+          truncated at a crash–rejoin incarnation boundary. The no-
+          split-brain check must flag it. In the report's [mutated]
+          field the message id stands in for [(process, forged view
+          id)]. *)
 
 type report = {
   mode : mode;
@@ -62,15 +73,19 @@ type report = {
 
 val check :
   ?mutation:mutation ->
+  ?expect_converged:int list ->
   mode:mode ->
   seed:int ->
   scenario:string ->
   Svs_core.Checker.t ->
   report
-(** Verify the recorded run. Raises [Failure] if a [mutation] was
-    requested but the run contains nothing to corrupt (no
-    safety-relevant delivery for [Drop_cover]; no incarnation boundary
-    for [Duplicate_after_restart]). *)
+(** Verify the recorded run. With [expect_converged] the liveness-
+    after-heal check runs too: every listed process must have ended the
+    run in the final primary view ({!Svs_core.Checker.check_converged}).
+    Raises [Failure] if a [mutation] was requested but the run contains
+    nothing to corrupt (no safety-relevant delivery for [Drop_cover];
+    no incarnation boundary for [Duplicate_after_restart]; no process
+    log at all for [Split_brain]). *)
 
 val ok : report -> bool
 

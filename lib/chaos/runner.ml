@@ -15,6 +15,7 @@ type config = {
   obsolete_bias : float;
   reconfigure : float option;
   recover : bool;
+  merge : bool;
 }
 
 let default_config =
@@ -27,12 +28,14 @@ let default_config =
     obsolete_bias = 0.7;
     reconfigure = Some 0.45;
     recover = true;
+    merge = true;
   }
 
 type outcome = {
   report : Oracle.report;
   faults : int;
   restarts : int;
+  parked : int;
   sent : int;
   purged : int;
   events : int;
@@ -42,7 +45,22 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
     () =
   let engine = Engine.create ~seed () in
   let members = List.init config.nodes Fun.id in
-  let gconfig = { Group.default_config with tracer } in
+  let gconfig =
+    {
+      Group.default_config with
+      tracer;
+      park_timeout = scenario.Scenario.park_timeout;
+      merge = config.merge;
+      (* Park semantics only exist under partition-sensitive consensus:
+         the centralised arbiter decides out-of-band, so a split
+         minority would learn the majority's decision and exclude
+         itself instead of blocking. Scenarios that park therefore run
+         the real ◇S consensus over the same (splittable) network. *)
+      consensus =
+        (if scenario.Scenario.park_timeout <> None then Group.Chandra_toueg
+         else Group.default_config.consensus);
+    }
+  in
   let cluster =
     Group.create_cluster engine ~members ~latency:(Latency.Constant 0.002) ~config:gconfig ()
   in
@@ -120,14 +138,18 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
   (* Whatever the periodic drains missed (e.g. a flush completing at the
      very end): pull synchronously before judging. *)
   List.iter (fun m -> ignore (Group.deliver_all m)) (Group.members cluster);
+  (* Split scenarios never remove anyone for good, so the convergence
+     contract quantifies over the whole group. *)
+  let expect_converged = if scenario.Scenario.expect_reconverge then Some members else None in
   let report =
-    Oracle.check ?mutation ~mode ~seed ~scenario:scenario.Scenario.name
+    Oracle.check ?mutation ?expect_converged ~mode ~seed ~scenario:scenario.Scenario.name
       (Group.checker cluster)
   in
   {
     report;
     faults = Injector.faults_injected injection;
     restarts = Injector.restarts_applied injection;
+    parked = Group.parked_events cluster;
     sent = !sent;
     purged = List.fold_left (fun acc m -> acc + Group.purged m) 0 (Group.members cluster);
     events = Engine.events_executed engine;
@@ -159,7 +181,10 @@ let pp_table ppf outcomes =
       Hashtbl.replace groups key (o :: Hashtbl.find groups key))
     outcomes;
   let header =
-    [ "scenario"; "mode"; "seeds"; "pass"; "fail"; "faults"; "sent"; "delivered"; "purged" ]
+    [
+      "scenario"; "mode"; "seeds"; "pass"; "fail"; "faults"; "parked"; "sent"; "delivered";
+      "purged";
+    ]
   in
   let rows =
     List.rev_map
@@ -175,6 +200,7 @@ let pp_table ppf outcomes =
           string_of_int (n - fails);
           string_of_int fails;
           string_of_int (sum (fun o -> o.faults));
+          string_of_int (sum (fun o -> o.parked));
           string_of_int (sum (fun o -> o.sent));
           string_of_int (sum (fun o -> o.report.Oracle.deliveries));
           string_of_int (sum (fun o -> o.purged));

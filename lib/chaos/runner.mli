@@ -26,16 +26,24 @@ type config = {
           (default) or amnesiac — [false] models a node that lost its
           write-ahead log, whose duplicate deliveries the oracle must
           flag. *)
+  merge : bool;
+      (** Whether a parked member turns into a probing joiner and
+          merges back at the heal (default). [false] leaves parked
+          members parked forever — the no-merge self-check: every
+          scenario that expects re-convergence must then fail with
+          [Not_converged]. *)
 }
 
 val default_config : config
 (** 5 nodes, 12 s horizon, 6 s settle, 50 ms sends, k = 8, bias 0.7,
-    benign reconfiguration at 45% of the horizon, recovery on. *)
+    benign reconfiguration at 45% of the horizon, recovery and merge
+    on. *)
 
 type outcome = {
   report : Oracle.report;
   faults : int;  (** Fault actions actually applied. *)
   restarts : int;  (** Crash–restart rejoins actually applied. *)
+  parked : int;  (** Quorum-loss park transitions during the run. *)
   sent : int;  (** Messages multicast by the workload. *)
   purged : int;  (** Deliveries saved by obsolescence (sum over nodes). *)
   events : int;  (** Engine events executed. *)

@@ -7,6 +7,8 @@ type action =
   | Resume of int
   | Partition of int * int
   | Heal of int * int
+  | Split of int list list
+  | Heal_split
   | Leave of { initiator : int; node : int }
   | Rejoin of int
   | Set_latency of Latency.t
@@ -18,6 +20,9 @@ type t = {
   name : string;
   doc : string;
   plan : rng:Rng.t -> n:int -> horizon:float -> timed list;
+  heal_at_settle : bool;
+  park_timeout : float option;
+  expect_reconverge : bool;
 }
 
 let action_kind = function
@@ -26,10 +31,17 @@ let action_kind = function
   | Resume _ -> "resume"
   | Partition _ -> "partition"
   | Heal _ -> "heal"
+  | Split _ -> "split"
+  | Heal_split -> "split-heal"
   | Leave _ -> "leave"
   | Rejoin _ -> "rejoin"
   | Set_latency _ -> "latency"
   | Restore_latency -> "latency-restore"
+
+let pp_sets ppf sets =
+  Format.fprintf ppf "%s"
+    (String.concat "|"
+       (List.map (fun s -> String.concat "," (List.map string_of_int s)) sets))
 
 let pp_action ppf = function
   | Crash p -> Format.fprintf ppf "crash(%d)" p
@@ -37,6 +49,8 @@ let pp_action ppf = function
   | Resume p -> Format.fprintf ppf "resume(%d)" p
   | Partition (a, b) -> Format.fprintf ppf "partition(%d,%d)" a b
   | Heal (a, b) -> Format.fprintf ppf "heal(%d,%d)" a b
+  | Split sets -> Format.fprintf ppf "split(%a)" pp_sets sets
+  | Heal_split -> Format.fprintf ppf "split-heal"
   | Leave { initiator; node } -> Format.fprintf ppf "leave(%d by %d)" node initiator
   | Rejoin p -> Format.fprintf ppf "rejoin(%d)" p
   | Set_latency l -> Format.fprintf ppf "latency(%a)" Latency.pp l
@@ -52,7 +66,9 @@ let victims rng ~n ~k =
   Rng.shuffle rng pool;
   Array.to_list (Array.sub pool 0 (min k (Array.length pool)))
 
-let scenario name doc plan = { name; doc; plan }
+let scenario ?(heal_at_settle = true) ?park_timeout ?(expect_reconverge = false) name doc
+    plan =
+  { name; doc; plan; heal_at_settle; park_timeout; expect_reconverge }
 
 let calm =
   scenario "calm" "no faults (baseline)" (fun ~rng:_ ~n:_ ~horizon:_ -> [])
@@ -185,6 +201,90 @@ let exclude_rejoin =
   scenario "exclude-rejoin" "exclude a subset via view changes, then readmit each"
     exclude_rejoin_plan
 
+(* A majority/minority split: the minority is a random strict minority
+   of the group drawn from 1..n-1, so node 0 — the anchor producer —
+   is always on the primary side and keeps the run observable. *)
+let split_sets rng ~n =
+  let cap = (n - 1) / 2 in
+  let k = 1 + Rng.int rng cap in
+  let minority = List.sort compare (victims rng ~n ~k) in
+  let majority = List.filter (fun p -> not (List.mem p minority)) (List.init n Fun.id) in
+  [ majority; minority ]
+
+(* The split scenarios run with a park deadline of 1 s: a member still
+   blocked in the same view change after 1 (virtual) second has lost
+   the primary component and parks. Small against the 12 s default
+   horizon, large against the ~2 ms simulated link latency. *)
+let split_park_timeout = 1.0
+
+(* One majority/minority split that is never healed: the majority must
+   keep delivering, the minority must park — and stay parked, its JOIN
+   probes held on the dead links. Opts out of the injector's settle
+   heal so the partition outlives the run. *)
+let group_split_plan ~rng ~n ~horizon =
+  if n < 3 then []
+  else
+    [
+      {
+        at = Rng.uniform rng ~lo:(0.2 *. horizon) ~hi:(0.4 *. horizon);
+        action = Split (split_sets rng ~n);
+      };
+    ]
+
+let group_split =
+  scenario ~heal_at_settle:false ~park_timeout:split_park_timeout "group-split"
+    "majority/minority split, never healed: majority keeps going, minority parks"
+    group_split_plan
+
+(* Split, give the minority time to park and turn into probing
+   joiners, then heal: the held JOIN probes deliver and the group must
+   re-converge to a single view before the end of the run. *)
+let split_heal_merge_plan ~rng ~n ~horizon =
+  if n < 3 then []
+  else
+    [
+      {
+        at = Rng.uniform rng ~lo:(0.15 *. horizon) ~hi:(0.3 *. horizon);
+        action = Split (split_sets rng ~n);
+      };
+      { at = Rng.uniform rng ~lo:(0.55 *. horizon) ~hi:(0.65 *. horizon); action = Heal_split };
+    ]
+
+let split_heal_merge =
+  scenario ~park_timeout:split_park_timeout ~expect_reconverge:true "split-heal-merge"
+    "split long enough to park the minority, heal, then demand re-convergence"
+    split_heal_merge_plan
+
+(* Repeated split/heal cycles with fresh random sets each time. Cycles
+   are short enough that a heal sometimes lands before the park
+   deadline, so both the parked-then-merged and the healed-in-place
+   paths get exercised; after the last heal the group must still
+   re-converge. *)
+let flapping_split_plan ~rng ~n ~horizon =
+  if n < 3 then []
+  else begin
+    let cycles = 2 + Rng.int rng 2 in
+    let slot = 0.7 *. horizon /. float_of_int cycles in
+    List.concat
+      (List.init cycles (fun i ->
+           let base = (0.05 *. horizon) +. (float_of_int i *. slot) in
+           [
+             {
+               at = base +. Rng.uniform rng ~lo:0.0 ~hi:(0.3 *. slot);
+               action = Split (split_sets rng ~n);
+             };
+             {
+               at = base +. Rng.uniform rng ~lo:(0.6 *. slot) ~hi:(0.9 *. slot);
+               action = Heal_split;
+             };
+           ]))
+  end
+
+let flapping_split =
+  scenario ~park_timeout:split_park_timeout ~expect_reconverge:true "flapping-split"
+    "repeated split/heal cycles with fresh random sets, converged at the end"
+    flapping_split_plan
+
 let spike_models =
   [|
     Latency.Uniform { lo = 0.02; hi = 0.08 };
@@ -248,6 +348,9 @@ let all =
     churn;
     crash_restart;
     exclude_rejoin;
+    group_split;
+    split_heal_merge;
+    flapping_split;
     latency_spikes;
     mayhem;
   ]

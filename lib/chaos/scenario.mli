@@ -10,12 +10,14 @@
     Plans obey the liveness discipline the safety oracle needs to make
     progress through the run:
     - node 0 (the anchor producer) is never crashed, paused, isolated
-      or removed;
+      or removed — in a [Split] it is always in the majority set;
     - at least two members survive every plan;
     - every [Pause] has a matching [Resume], every [Partition] a
       matching [Heal], and every latency spike a restore, all strictly
       before the horizon (the injector's settle pass re-enforces this
-      defensively). *)
+      defensively) — {e except} in scenarios that opt out with
+      [heal_at_settle = false], whose group splits deliberately outlive
+      the run to prove the minority stays parked. *)
 
 type action =
   | Crash of int  (** Crash-stop: silenced for the rest of the run. *)
@@ -25,6 +27,19 @@ type action =
   | Resume of int
   | Partition of int * int  (** Symmetric link partition; messages held. *)
   | Heal of int * int
+  | Split of int list list
+      (** Set-based group split: every cross-set link partitions, and
+          (because the runner's oracle detector is otherwise oblivious
+          to partitions) all nodes outside the primary set — the one
+          containing node 0 — are marked crashed at it, the way a real
+          detector on the majority side would write off an unreachable
+          minority. A [Split] while one is standing heals the previous
+          one first. *)
+  | Heal_split
+      (** Reconnect every pair the standing [Split] disconnected. The
+          detector is {e not} touched: readmission of parked members
+          goes through the JOIN/SYNC path, which clears suspicion once
+          the minority member is excluded from every surviving view. *)
   | Leave of { initiator : int; node : int }
       (** Membership churn: [initiator] asks the group to reconfigure
           [node] out. *)
@@ -45,6 +60,20 @@ type t = {
   name : string;
   doc : string;
   plan : rng:Svs_sim.Rng.t -> n:int -> horizon:float -> timed list;
+  heal_at_settle : bool;
+      (** Whether the injector's settle pass may heal partitions left
+          standing at the horizon (the default, [true]). Split
+          scenarios that must prove a minority {e stays} parked opt
+          out. Pauses, latency spikes and the paused-receive drain are
+          always settled regardless. *)
+  park_timeout : float option;
+      (** Park deadline handed to {!Svs_core.Group}'s config for runs
+          of this scenario ([None] = parking off, the default). *)
+  expect_reconverge : bool;
+      (** When [true], the oracle additionally demands that every node
+          alive at the end of the run ends it in the final primary
+          view ({!Svs_core.Checker.check_converged}) — the
+          liveness-after-heal contract of the merge path. *)
 }
 
 val action_kind : action -> string
@@ -84,6 +113,24 @@ val crash_restart : t
 val exclude_rejoin : t
 (** Voluntarily exclude a random subset via view changes, then readmit
     each — the membership round trip without any crash. *)
+
+val group_split : t
+(** One majority/minority split (node 0 on the majority side), never
+    healed: the majority must keep delivering while the minority parks
+    and stays parked, its JOIN probes held on the dead links. Runs
+    with a 1 s park deadline and [heal_at_settle = false]. *)
+
+val split_heal_merge : t
+(** Split long enough for the minority to park and turn into probing
+    joiners, then heal well before the horizon: the held JOIN probes
+    deliver at the heal and the whole group must re-converge to a
+    single primary view ([expect_reconverge]). *)
+
+val flapping_split : t
+(** Two to three split/heal cycles with fresh random sets each time,
+    short enough that heals sometimes land before the park deadline —
+    exercising both the parked-then-merged and healed-in-place paths —
+    with re-convergence demanded after the final heal. *)
 
 val latency_spikes : t
 (** Repeated windows in which the base latency is replaced by a much

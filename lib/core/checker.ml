@@ -23,6 +23,8 @@ type violation =
   | Fifo_sr_hole of { p : int; view_id : int; missing : Msg_id.t; because : Msg_id.t }
   | View_disagreement of { p : int; q : int; view_id : int }
   | Vs_mismatch of { p : int; q : int; view_id : int; missing : Msg_id.t }
+  | Split_brain of { p : int; view_id : int; prev_view_id : int }
+  | Not_converged of { p : int; last_view_id : int; final_view_id : int }
 
 let pp_violation ppf = function
   | Created { p; id } -> Format.fprintf ppf "process %d delivered never-multicast %a" p Msg_id.pp id
@@ -46,6 +48,15 @@ let pp_violation ppf = function
       Format.fprintf ppf
         "strict VS: %a delivered by %d in view %d but not by %d" Msg_id.pp missing p view_id
         q
+  | Split_brain { p; view_id; prev_view_id } ->
+      Format.fprintf ppf
+        "split brain: view %d (installed by %d) shares no installer with the previous \
+         primary view %d"
+        view_id p prev_view_id
+  | Not_converged { p; last_view_id; final_view_id } ->
+      Format.fprintf ppf
+        "not converged: process %d ended in view %d, not the final primary view %d" p
+        last_view_id final_view_id
 
 let violation_to_string v = Format.asprintf "%a" pp_violation v
 
@@ -236,6 +247,40 @@ let check_view_agreement all violations =
         segs)
     all
 
+(* No split brain: every installed view of an execution belongs to one
+   totally-ordered primary chain. With view agreement already enforced
+   (one membership per id), the checkable residue is continuity:
+   ordering the distinct installed views by id, every view must share
+   at least one installer with its predecessor in the chain. A real
+   transition always has such a witness — the surviving members install
+   both views, and a SYNC-admitted joiner's view is also installed by
+   its sponsor — whereas a minority that declares its own view after a
+   partition has, by construction, installed none of the primary's
+   views since the split. *)
+let check_primary_chain all violations =
+  let installers : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p, segs) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt installers s.view.View.id with
+          | Some l -> if not (List.mem p !l) then l := p :: !l
+          | None -> Hashtbl.replace installers s.view.View.id (ref [ p ]))
+        segs)
+    all;
+  let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) installers []) in
+  let rec walk = function
+    | u :: (v :: _ as rest) ->
+        let iu = !(Hashtbl.find installers u) in
+        let iv = !(Hashtbl.find installers v) in
+        if not (List.exists (fun p -> List.mem p iu) iv) then
+          violations :=
+            Split_brain { p = List.hd iv; view_id = v; prev_view_id = u } :: !violations;
+        walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk ids
+
 let check_svs successors all violations =
   (* For p installing v_i and v_{i+1}: every m delivered by p in v_i
      must be covered at every q that installed both. *)
@@ -268,9 +313,15 @@ let check_fifo_sr t successors all violations =
   (* Clause (ii): p installing v_i, v_{i+1} and delivering m' in v_i
      owes a cover for every same-sender predecessor m of m' — except
      predecessors multicast before p's current incarnation was
-     readmitted: the sponsor's state transfer settles those (its
+     readmitted (the sponsor's state transfer settles those: its
      delivery floors certify they were delivered or obsoleted on the
-     group's behalf while p was down). *)
+     group's behalf while p was down), and except predecessors
+     multicast by an {e earlier incarnation of the sender} than m'.
+     The clause quantifies over one sender incarnation: a message that
+     died in flight when its sender was cut off — never delivered in
+     any primary view before the sender rejoined as a fresh
+     incarnation — carries no obligation (per-view agreement on
+     anything actually delivered is enforced by {!check_svs}). *)
   let multicast_sns = Hashtbl.create 16 in
   Hashtbl.iter
     (fun _ (m : meta) ->
@@ -284,6 +335,20 @@ let check_fifo_sr t successors all violations =
       in
       l := m :: !l)
     t.multicasts;
+  (* Greatest incarnation-start view id of [sender] at or below
+     [view_id] — which incarnation of the sender a message multicast
+     in [view_id] belongs to. *)
+  let sender_starts = Hashtbl.create 16 in
+  List.iter
+    (fun (p, segs) ->
+      Hashtbl.replace sender_starts p
+        (List.sort_uniq compare (List.map snd (incarnation_starts segs))))
+    all;
+  let sender_incarnation sender view_id =
+    match Hashtbl.find_opt sender_starts sender with
+    | None -> 0
+    | Some starts -> List.fold_left (fun acc s -> if s <= view_id then s else acc) 0 starts
+  in
   List.iter
     (fun (p, psegs) ->
       let starts = Hashtbl.create 8 in
@@ -317,10 +382,24 @@ let check_fifo_sr t successors all violations =
               match Hashtbl.find_opt multicast_sns sender with
               | None -> ()
               | Some metas ->
+                  (* The incarnation of the witness (max-sn) message:
+                     obligations reach back only within it. A delivered
+                     message with no multicast record (a forged id from
+                     a log mutation) pins the witness to the sender's
+                     latest incarnation. *)
+                  let witness_incarnation =
+                    List.fold_left
+                      (fun acc (m : meta) ->
+                        if m.id.Msg_id.sn = max then sender_incarnation sender m.view_id
+                        else acc)
+                      (sender_incarnation sender max_int)
+                      !metas
+                  in
                   List.iter
                     (fun (m : meta) ->
                       if
                         m.view_id >= incarnation_start
+                        && sender_incarnation sender m.view_id = witness_incarnation
                         && m.id.Msg_id.sn < max
                         && not (covered successors m.id owed)
                       then
@@ -343,10 +422,43 @@ let verify t =
   check_integrity_and_fifo t violations;
   let all = all_segments t in
   check_view_agreement all violations;
+  check_primary_chain all violations;
   let successors = build_successors t in
   check_svs successors all violations;
   check_fifo_sr t successors all violations;
   List.rev !violations
+
+(* Liveness after heal: every given process must have ended the run in
+   the final primary view. Which processes to demand this of is the
+   caller's knowledge (everyone that was not crashed at the end), not
+   the log's, so it is a separate check from {!verify}. *)
+let check_converged t ~survivors =
+  let all = all_segments t in
+  let final =
+    List.fold_left
+      (fun acc (_, segs) ->
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Some (v : View.t) when v.View.id >= s.view.View.id -> acc
+            | Some _ | None -> Some s.view)
+          acc segs)
+      None all
+  in
+  match final with
+  | None -> []
+  | Some fv ->
+      List.filter_map
+        (fun p ->
+          let last =
+            match List.assoc_opt p all with
+            | None | Some [] -> -1
+            | Some segs -> (List.nth segs (List.length segs - 1)).view.View.id
+          in
+          if last <> fv.View.id || not (View.mem p fv) then
+            Some (Not_converged { p; last_view_id = last; final_view_id = fv.View.id })
+          else None)
+        (List.sort compare survivors)
 
 let check_strict_vs all violations =
   List.iter

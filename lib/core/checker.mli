@@ -18,6 +18,15 @@
       [m''] with [m ⊑ m''] before installing [v_{i+1}].
     - {b View agreement}: processes installing the same view number
       agree on its membership.
+    - {b No split brain}: the installed views form a single
+      totally-ordered primary chain — every installed view shares at
+      least one installer with the installed view of the next lower id.
+      A minority side that installed its own view after a partition has
+      no such witness (none of its members installed the primary's
+      views since the split), so two concurrent primary components are
+      flagged. A parked member (see {!Group.is_parked}) never installs
+      a view nor delivers fresh messages, which is what keeps this
+      property checkable from installation logs alone.
 
     Coverage [⊑] is checked against the {e transitive closure} of the
     relation encoded by the annotations: the encodings are
@@ -66,6 +75,13 @@ type violation =
     }
   | View_disagreement of { p : int; q : int; view_id : int }
   | Vs_mismatch of { p : int; q : int; view_id : int; missing : Svs_obs.Msg_id.t }
+  | Split_brain of { p : int; view_id : int; prev_view_id : int }
+      (** [p] installed [view_id], but no process installed both it and
+          [prev_view_id] (the next lower installed id): the execution
+          has two concurrent primary components. *)
+  | Not_converged of { p : int; last_view_id : int; final_view_id : int }
+      (** From {!check_converged}: survivor [p] did not end the run in
+          the final primary view. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -87,6 +103,14 @@ val verify : t -> violation list
 val verify_strict_vs : t -> violation list
 (** {!verify} plus classical view synchrony (equal per-view delivery
     sets among processes installing the next view). *)
+
+val check_converged : t -> survivors:int list -> violation list
+(** Liveness after heal (opt-in, not part of {!verify} because only
+    the scenario knows who should have made it back): every process in
+    [survivors] must have ended the run in the final primary view —
+    its last recorded install is the globally maximal view id and that
+    view lists it as a member. Returns one [Not_converged] per
+    straggler. *)
 
 val deliveries_in_view : t -> p:int -> view_id:int -> meta list
 (** For tests: what [p] delivered while in the given view. *)

@@ -31,6 +31,8 @@ type config = {
   auto_view_change : bool;
   stability_period : float option;
   overflow_exclusion : overflow option;
+  park_timeout : float option;
+  merge : bool;
   tracer : Trace.t;
   metrics : Metrics.t option;
 }
@@ -44,6 +46,8 @@ let default_config =
     auto_view_change = true;
     stability_period = None;
     overflow_exclusion = None;
+    park_timeout = None;
+    merge = true;
     tracer = Trace.nop;
     metrics = None;
   }
@@ -66,6 +70,12 @@ type 'p t = {
   mutable synced_cbs : (View.t -> string option -> unit) list;
   mutable state_transfer : (unit -> string option) option;
   mutable crashed : bool;
+  (* Park bookkeeping: when the member first became blocked in its
+     current view (the park deadline measures from here), and when it
+     parked (the merge-duration histogram measures from here). *)
+  mutable blocked_obs : (int * float) option;
+  mutable park_epoch : float option;
+  merge_spans : Metrics.Histogram.t;
 }
 
 and 'p cluster = {
@@ -76,6 +86,7 @@ and 'p cluster = {
   oracle : Oracle.t option;
   mutable arbiter : 'p proposal Arbiter.t option;
   mutable member_list : 'p t list;
+  mutable parked_events : int;
 }
 
 let engine c = c.engine
@@ -117,6 +128,10 @@ let stable_trimmed m = Protocol.stable_trimmed m.proto
 let pred_size m = List.length (Protocol.accepted_in_view m.proto)
 
 let is_joining m = (not m.crashed) && Protocol.joining m.proto
+
+let is_parked m = (not m.crashed) && (Protocol.parked m.proto || m.park_epoch <> None)
+
+let parked_events c = c.parked_events
 
 let on_installed m f = m.installed_cbs <- f :: m.installed_cbs
 
@@ -166,7 +181,34 @@ and handle_output m out =
   match out with
   | Send { dst; wire } -> Network.send m.cluster.net ~src:m.me ~dst (Proto wire)
   | Installed v -> List.iter (fun f -> f v) m.installed_cbs
-  | Synced { view; app } -> List.iter (fun f -> f view app) m.synced_cbs
+  | Synced { view; app } ->
+      (* The group just readmitted this incarnation, so every exclusion
+         of the old one has long completed: any stale oracle suspicion
+         (e.g. a written-off minority member whose deferred
+         [unsuspect_when_excluded] check was raced by another member of
+         the same parked set) must be lifted now, or the next suspicion
+         event would spuriously exclude a node the group just voted
+         back in. *)
+      (match m.cluster.oracle with
+      | Some o -> Svs_detector.Oracle.mark_recovered o m.me
+      | None -> ());
+      (match m.park_epoch with
+      | None -> ()
+      | Some t0 ->
+          (* Merge-on-heal completed: the parked member is back in the
+             primary component as a new incarnation. *)
+          let dt = Engine.now m.cluster.engine -. t0 in
+          m.park_epoch <- None;
+          Metrics.Histogram.observe m.merge_spans dt;
+          if Trace.enabled m.cluster.config.tracer then
+            Trace.emit m.cluster.config.tracer
+              (Trace.Merge
+                 {
+                   node = m.me;
+                   view_id = view.View.id;
+                   parked_ms = int_of_float (dt *. 1000.0);
+                 }));
+      List.iter (fun f -> f view app) m.synced_cbs
   | Excluded v ->
       retire m;
       List.iter (fun f -> f v) m.excluded_cbs
@@ -303,6 +345,28 @@ let partition c a b = Network.disconnect c.net a b
 
 let heal c a b = Network.reconnect c.net a b
 
+(* Cross-product of pairwise disconnects between distinct sets: a group
+   split. Links inside each set stay up. *)
+let partition_sets c sets =
+  let rec cross = function
+    | [] -> ()
+    | s :: rest ->
+        let others = List.concat rest in
+        List.iter (fun a -> List.iter (fun b -> partition c a b) others) s;
+        cross rest
+  in
+  cross sets
+
+let heal_sets c sets =
+  let rec cross = function
+    | [] -> ()
+    | s :: rest ->
+        let others = List.concat rest in
+        List.iter (fun a -> List.iter (fun b -> heal c a b) others) s;
+        cross rest
+  in
+  cross sets
+
 let pause_receive c p = Network.pause_receive c.net ~node:p
 
 let resume_receive c p = Network.resume_receive c.net ~node:p
@@ -318,6 +382,21 @@ let crash c p =
   retire m;
   Network.crash c.net ~node:p;
   match c.oracle with Some o -> Svs_detector.Oracle.mark_crashed o p | None -> ()
+
+(* A partition is invisible to the shared oracle detector (it has no
+   vantage point), so set-based splits write the unreachable side off
+   explicitly: suspicion only, network state untouched. Nodes that are
+   not current members are skipped — a still-joining node from an
+   earlier split is already cut off by the partition itself, and
+   re-suspecting it would wedge its eventual readmission. Suspicion is
+   cleared on the usual path: the parked member restarts as a joiner
+   and [unsuspect_when_excluded] lifts the mark once no surviving view
+   lists it. *)
+let write_off c ps =
+  match c.oracle with
+  | None -> ()
+  | Some o ->
+      List.iter (fun p -> if is_member (member c p) then Oracle.mark_crashed o p) ps
 
 (* With the perfect detector, a restarted node must stop being
    suspected — but only once every surviving member has moved past the
@@ -402,6 +481,52 @@ let restart c p ~recover =
       Heartbeat.on_rescind hb (fun _ -> on_suspicion m);
       m.hb <- Some hb)
 
+(* Turn a member that has fallen out of the primary component back into
+   a recovering joiner that probes every peer in turn: JOIN requests
+   towards unreachable peers are held by partitioned links and
+   delivered at the heal, so the merge (through the ordinary JOIN/SYNC
+   path, with state transfer) is automatic. *)
+let rejoin_via_probe c p =
+  let m = member c p in
+  restart c p ~recover:true;
+  let contacts =
+    List.filter_map (fun q -> if q.me <> p then Some q.me else None) c.member_list
+  in
+  let k = ref 0 in
+  ignore
+    (Engine.every c.engine ~period:0.25 (fun () ->
+         if is_joining m then begin
+           let contact = List.nth contacts (!k mod List.length contacts) in
+           incr k;
+           request_join m ~contact;
+           true
+         end
+         else false)
+      : Engine.handle)
+
+(* Quorum loss: the park deadline expired with [p] still blocked in the
+   same view change. The member leaves the group — no multicasts, no
+   fresh deliveries, no installs — and, when merging is enabled, turns
+   into a recovering joiner that probes for the primary component. *)
+let park_member c p =
+  let m = member c p in
+  if is_member m then begin
+    (match m.hb with
+    | Some hb ->
+        Heartbeat.stop hb;
+        m.hb <- None
+    | None -> ());
+    Protocol.park m.proto;
+    Hashtbl.iter (fun _ inst -> Ct.stop inst) m.instances;
+    Hashtbl.reset m.instances;
+    Hashtbl.reset m.cons_stash;
+    Queue.clear m.inbox;
+    m.blocked_obs <- None;
+    m.park_epoch <- Some (Engine.now c.engine);
+    c.parked_events <- c.parked_events + 1;
+    if c.config.merge then rejoin_via_probe c p
+  end
+
 let packet_size pc packet =
   match packet with
   | Beat -> 4
@@ -439,6 +564,7 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
       oracle;
       arbiter = None;
       member_list = [];
+      parked_events = 0;
     }
   in
   (match config.consensus with
@@ -478,6 +604,15 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
         synced_cbs = [];
         state_transfer = None;
         crashed = false;
+        blocked_obs = None;
+        park_epoch = None;
+        merge_spans =
+          (match config.metrics with
+          | None -> Metrics.Histogram.detached ()
+          | Some reg ->
+              Metrics.histogram reg
+                ~labels:[ ("node", string_of_int me) ]
+                "svs_merge_seconds");
       }
     in
     m_ref := Some m;
@@ -514,6 +649,33 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
                    end
                  end
                  else Hashtbl.remove over_since m.me)
+               cluster.member_list;
+             true)
+          : Engine.handle));
+  (* Primary-component survival: a member still blocked in the same
+     view change when the deadline expires has lost the majority — it
+     parks (and, with [merge] on, starts probing to rejoin). The
+     deadline is detector-driven: it only starts once a view change is
+     actually underway, which under [auto_view_change] means the
+     detector suspected someone. (Periodic checker: run the engine
+     with a horizon.) *)
+  (match config.park_timeout with
+  | None -> ()
+  | Some deadline ->
+      let period = Float.max 0.01 (deadline /. 4.0) in
+      ignore
+        (Engine.every eng ~period (fun () ->
+             let now = Engine.now eng in
+             List.iter
+               (fun m ->
+                 if is_member m && is_blocked m then begin
+                   let vid = (view m).View.id in
+                   match m.blocked_obs with
+                   | Some (v, t0) when v = vid ->
+                       if now -. t0 >= deadline then park_member cluster m.me
+                   | Some _ | None -> m.blocked_obs <- Some (vid, now)
+                 end
+                 else m.blocked_obs <- None)
                cluster.member_list;
              true)
           : Engine.handle));
@@ -556,6 +718,19 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
               note_suspect p;
               on_suspicion m);
           Heartbeat.on_rescind hb (fun _ -> on_suspicion m);
-          m.hb <- Some hb))
+          m.hb <- Some hb);
+      (* Primary-component mode: the park deadline can lose the race
+         against the heal — the held consensus traffic then tells the
+         cut-off member it was {e excluded} before the watchdog parks
+         it. Either way it has fallen out of the primary component, so
+         with merging on it comes back through the same probing-joiner
+         path. (Deferred: [Excluded] fires mid-drain, and [restart]
+         must not swap the protocol out under it.) *)
+      if config.park_timeout <> None && config.merge then
+        on_excluded m (fun _ ->
+            ignore
+              (Engine.schedule eng ~delay:0.0 (fun () ->
+                   if not (is_member m || is_joining m) then rejoin_via_probe cluster m.me)
+                : Engine.handle)))
     ms;
   cluster

@@ -54,6 +54,21 @@ type config = {
           absorb the perturbation — the paper's "if purging is not
           enough ... reconfiguration can still happen". (Periodic
           checker: run the engine with a horizon.) *)
+  park_timeout : float option;
+      (** Primary-component survival: a member still blocked in the
+          same view change after this many (virtual) seconds has lost
+          the majority of its view — it parks: stops multicasting,
+          delivering and installing, keeping its floors intact. See
+          {!is_parked}. Default [None] (a minority member blocks
+          forever, the pre-partition-survival behaviour). (Periodic
+          checker: run the engine with a horizon.) *)
+  merge : bool;
+      (** When [true] (default) a parked member immediately re-enters
+          as a recovering joiner and probes for the primary component
+          with JOIN requests at cycling contacts; partitioned links
+          hold the probes, so the merge happens automatically at the
+          heal. [false] leaves parked members parked — used by the
+          chaos no-merge self-check. *)
   tracer : Svs_telemetry.Trace.t;
       (** Receives every member's trace events, stamped with virtual
           time (the cluster re-points the tracer's clock at the
@@ -131,6 +146,39 @@ val partition : 'p cluster -> int -> int -> unit
     lost — the system model's channels are reliable) until {!heal}. *)
 
 val heal : 'p cluster -> int -> int -> unit
+
+val partition_sets : 'p cluster -> int list list -> unit
+(** Split the group: disconnect every pair of nodes that lie in two
+    different sets (links within a set stay up). A set-based wrapper
+    over {!partition}, so {!heal}/{!heal_sets} undo it pair by pair. *)
+
+val heal_sets : 'p cluster -> int list list -> unit
+(** Reconnect every cross-set pair of the given split. *)
+
+val write_off : 'p cluster -> int list -> unit
+(** Mark the given nodes crashed at the oracle detector {e without}
+    touching the network — what a real detector on the other side of a
+    partition would conclude about an unreachable set. Skips nodes
+    that are not current members (re-suspecting a joiner would wedge
+    its readmission) and is a no-op under heartbeat detection, where
+    the partition starves heartbeats for real. Suspicion is lifted by
+    the ordinary restart path once the node is excluded from every
+    surviving view. *)
+
+val park_member : 'p cluster -> int -> unit
+(** Force the quorum-loss transition on a member (the park watchdog
+    calls this when [park_timeout] expires; exposed for tests): the
+    member {!Protocol.park}s, and if the config's [merge] is on it
+    restarts as a recovering joiner probing for the primary component.
+    No-op unless the member is currently active. *)
+
+val is_parked : 'p t -> bool
+(** True from the quorum-loss transition until the member is merged
+    back into the primary component (immediately false again after the
+    sponsor's SYNC readmits it). *)
+
+val parked_events : 'p cluster -> int
+(** How many quorum-loss transitions happened in this cluster. *)
 
 val pause_receive : 'p cluster -> int -> unit
 (** Freeze a member's receive side: inbound packets (data, control,

@@ -25,9 +25,12 @@ type 'p vc_state = {
 }
 
 (* A process is a [Member] of its current view, [Joining] (waiting for
-   a sponsor's SYNC after requesting admission), or [Dead] (excluded,
-   or created outside the initial view). *)
-type status = Member | Joining | Dead
+   a sponsor's SYNC after requesting admission), [Parked] (cut off from
+   the primary component: it keeps its floors and durable state but
+   neither multicasts, delivers, nor installs until the embedding
+   rejoins it through JOIN/SYNC), or [Dead] (excluded, or created
+   outside the initial view). *)
+type status = Member | Joining | Parked | Dead
 
 type recovery = { view_id : int; floors : (int * int) list; next_sn : int }
 
@@ -66,6 +69,7 @@ type 'p t = {
   purged_install : Metrics.Counter.t;
   occupancy : Metrics.Gauge.t;
   blocked_spans : Metrics.Histogram.t;
+  parked_total : Metrics.Counter.t;
   mutable blocked_since : float;
   mutable queued_data : int;
 }
@@ -109,6 +113,10 @@ let create ~me ~initial_view ?(semantic = true) ?(tracer = Trace.nop) ?metrics
       (match metrics with
       | None -> Metrics.Histogram.detached ()
       | Some reg -> Metrics.histogram reg ~labels:node_label "svs_blocked_seconds");
+    parked_total =
+      (match metrics with
+      | None -> Metrics.Counter.detached ()
+      | Some reg -> Metrics.counter reg ~labels:node_label "svs_parked_total");
     blocked_since = 0.0;
     queued_data = 0;
   }
@@ -143,6 +151,25 @@ let blocked t = t.blocked
 let alive t = t.status = Member
 
 let joining t = t.status = Joining
+
+let parked t = t.status = Parked
+
+(* Quorum loss: a view change could not assemble a majority of the
+   previous view. The process freezes — no multicasts, no fresh
+   deliveries, no installs — but keeps its floors, queue, and next_sn
+   intact so the embedding can rejoin it through JOIN/SYNC as a new
+   incarnation (the floors make re-entry duplicate-free). *)
+let park t =
+  if t.status = Member then begin
+    if t.blocked then
+      Metrics.Histogram.observe t.blocked_spans (t.clock () -. t.blocked_since);
+    t.status <- Parked;
+    t.vc <- None;
+    Metrics.Counter.incr t.parked_total;
+    Log.info (fun m -> m "p%d: parked (lost the primary component of %a)" t.me View.pp t.cv);
+    if Trace.enabled t.tracer then
+      Trace.emit t.tracer (Parked { node = t.me; view_id = t.cv.View.id })
+  end
 
 let set_state_transfer t f = t.state_transfer <- f
 
@@ -457,7 +484,7 @@ let wire_view_id = function
 
 let rec receive t ~src wire =
   match t.status with
-  | Dead -> ()
+  | Dead | Parked -> ()
   | Joining -> (
       match wire with
       | Wsync { view; floors; app } -> handle_sync t ~src ~view ~floors ~app
@@ -593,6 +620,8 @@ and decided t ~view_id (p : 'p proposal) =
   end
 
 let deliver t =
+  if t.status = Parked then None
+  else
   match Dq.pop_front t.to_deliver with
   | None -> None
   | Some (Eview v) -> Some (View_change v)

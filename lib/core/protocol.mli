@@ -77,6 +77,22 @@ val create_joiner :
 val joining : 'p t -> bool
 (** True while waiting for a sponsor's SYNC. *)
 
+val parked : 'p t -> bool
+(** True after {!park}: the process lost the primary component. *)
+
+val park : 'p t -> unit
+(** Quorum loss: the embedding decided (on its detector-driven
+    deadline) that the current view change cannot assemble a majority
+    of the previous view. The process leaves the [Member] state and
+    freezes — {!multicast} fails with [`Not_member], {!deliver} returns
+    [None], {!receive} drops everything, and no view is ever installed
+    — while its delivery floors, queue, and next sequence number stay
+    intact. Re-entry goes through {!create_joiner} with a [recovery]
+    built from this state (see {!floors}/{!next_sn}): the merge is a
+    new incarnation over the JOIN/SYNC path, so Integrity holds across
+    the partition. No-op unless currently a member. Traced as [Parked]
+    and counted in [svs_parked_total]. *)
+
 val join_request : 'p t -> contact:int -> unit
 (** Ask [contact] (a presumed group member) to admit this process into
     the next view. Idempotent and retryable: requests that reach a
@@ -106,7 +122,7 @@ val blocked : 'p t -> bool
 
 val alive : 'p t -> bool
 (** False once the process has been excluded from the group, and while
-    it is still {!joining}. *)
+    it is still {!joining} or {!parked}. *)
 
 val to_deliver_length : 'p t -> int
 (** Data messages queued for the application (excludes view markers). *)

@@ -4,9 +4,11 @@ type config = {
   period : float;
   initial_timeout : float;
   timeout_increment : float;
+  max_timeout : float;
 }
 
-let default_config = { period = 0.1; initial_timeout = 0.35; timeout_increment = 0.2 }
+let default_config =
+  { period = 0.1; initial_timeout = 0.35; timeout_increment = 0.2; max_timeout = 2.0 }
 
 type peer_state = {
   peer : int;
@@ -44,6 +46,8 @@ let beat t =
 
 let create engine config ~me ~peers ~send_heartbeat =
   if config.period <= 0.0 then invalid_arg "Heartbeat.create: period must be positive";
+  if config.max_timeout < config.initial_timeout then
+    invalid_arg "Heartbeat.create: max_timeout below initial_timeout";
   let now = Engine.now engine in
   let mk peer =
     { peer; last_heard = now; timeout = config.initial_timeout; suspected = false }
@@ -85,7 +89,8 @@ let on_heartbeat t ~src =
       if st.suspected then begin
         (* False suspicion: rescind and adapt the timeout upward. *)
         st.suspected <- false;
-        st.timeout <- st.timeout +. t.config.timeout_increment;
+        st.timeout <-
+          Float.min t.config.max_timeout (st.timeout +. t.config.timeout_increment);
         List.iter (fun f -> f st.peer) t.rescind_callbacks
       end
 

@@ -15,6 +15,11 @@ type config = {
   initial_timeout : float;
   timeout_increment : float;
       (** Added to a peer's timeout on each false suspicion. *)
+  max_timeout : float;
+      (** Ceiling for the adaptive timeout: without it a single long
+          latency spike (many false suspicions in a row) would
+          desensitize the detector permanently. Must be at least
+          [initial_timeout]. *)
 }
 
 val default_config : config

@@ -18,6 +18,7 @@ type config = {
   semantic : bool;
   heartbeat : Heartbeat.config;
   stability_period : float option;
+  park_timeout : float option;
   tracer : Trace.t;
   metrics : Metrics.t option;
 }
@@ -27,6 +28,7 @@ let default_config =
     semantic = true;
     heartbeat = Heartbeat.default_config;
     stability_period = Some 1.0;
+    park_timeout = None;
     tracer = Trace.nop;
     metrics = None;
   }
@@ -67,7 +69,7 @@ type 'p t = {
   me : int;
   engine : Engine.t; (* timer wheel for the reused automata *)
   started_at : float;
-  proto : 'p Protocol.t;
+  mutable proto : 'p Protocol.t;
   wal : Wal.t option;
   mutable leased : int; (* sns below this are covered by a durable Lease *)
   on_synced : View.t -> string option -> unit;
@@ -79,8 +81,20 @@ type 'p t = {
   on_deliverable : unit -> unit;
   mutable stopped : bool;
   tracer : Trace.t;
+  semantic : bool;
+  metrics : Metrics.t option;
+  state_transfer_fn : (unit -> string option) option;
+  peers_ids : int list;
+  park_timeout : float option;
+  (* (view id, first seen blocked at) for the park watchdog. *)
+  mutable blocked_obs : (int * float) option;
+  mutable park_epoch : float option;
+  (* Exclusion (or quorum loss) fires mid-drain; the protocol swap is
+     deferred to the next engine tick. *)
+  mutable want_rejoin : bool;
   suspicions : Metrics.Counter.t;
   delivery_latency : Metrics.Histogram.t;
+  merge_spans : Metrics.Histogram.t;
   (* Wall-clock arrival time of each message accepted but not yet
      delivered, keyed by id; entries of view [v] are swept when the
      View_change for a later view is delivered (by then every view-[v]
@@ -142,9 +156,24 @@ and handle_output t = function
         v.View.members
   | Types.Excluded v ->
       Log.warn (fun m -> m "node %d excluded from %a" t.me View.pp v);
-      t.stopped <- true
+      (* Primary-component mode: exclusion learned after a cut (the
+         majority moved on without us) is the same fate as parking —
+         come back through the probing-joiner path instead of dying. *)
+      if t.park_timeout <> None then t.want_rejoin <- true else t.stopped <- true
   | Types.Synced { view; app } ->
       Log.info (fun m -> m "node %d synced into %a" t.me View.pp view);
+      (match t.park_epoch with
+      | Some t0 ->
+          (* Merge-on-heal completed: back in the primary component as
+             a new incarnation. *)
+          let dt = Loop.now t.loop -. t0 in
+          t.park_epoch <- None;
+          Metrics.Histogram.observe t.merge_spans dt;
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer
+              (Trace.Merge
+                 { node = t.me; view_id = view.View.id; parked_ms = int_of_float (dt *. 1000.0) })
+      | None -> ());
       t.on_synced view app
   | Types.Propose { view_id; proposal } -> start_instance t ~view_id proposal
 
@@ -203,6 +232,71 @@ let on_packet t ~src packet =
               in
               stash := (src, msg) :: !stash
             end)
+
+(* A joiner nags the group — cycling contacts, since any single one may
+   be blocked, excluded, or dead — until a sponsor's SYNC lands. *)
+let start_join_nag t =
+  let contacts = List.filter (fun p -> p <> t.me) t.peers_ids in
+  let next = ref 0 in
+  ignore
+    (Loop.every t.loop ~period:0.25 (fun () ->
+         if t.stopped || not (Protocol.joining t.proto) then false
+         else begin
+           (match contacts with
+           | [] -> ()
+           | _ ->
+               let contact = List.nth contacts (!next mod List.length contacts) in
+               incr next;
+               Protocol.join_request t.proto ~contact;
+               drain t);
+           true
+         end)
+      : Loop.timer)
+
+(* Fallen out of the primary component (parked on quorum loss, or
+   excluded while cut off): swap the protocol for a recovering joiner
+   of the same identity and probe every peer until a sponsor answers.
+   The durable floors make re-entry duplicate-free; the sequence lease
+   keeps the new incarnation's sns fresh. *)
+let rejoin_via_probe t =
+  let recovery =
+    {
+      Protocol.view_id = (Protocol.current_view t.proto).View.id;
+      floors = Protocol.floors t.proto;
+      next_sn = Stdlib.max t.leased (Protocol.next_sn t.proto);
+    }
+  in
+  Hashtbl.iter (fun _ inst -> Ct.stop inst) t.instances;
+  Hashtbl.reset t.instances;
+  Hashtbl.reset t.cons_stash;
+  t.blocked_obs <- None;
+  t.leased <- recovery.Protocol.next_sn;
+  let proto =
+    Protocol.create_joiner ~me:t.me ~recovery ~semantic:t.semantic ~tracer:t.tracer
+      ?metrics:t.metrics
+      ~clock:(fun () -> Loop.now t.loop)
+      ~suspects:(fun p -> Heartbeat.suspects t.hb p)
+      ()
+  in
+  (match t.state_transfer_fn with Some f -> Protocol.set_state_transfer proto f | None -> ());
+  t.proto <- proto;
+  (* Written-off peers are alive on the far side of the cut: forgive
+     them so the mesh keeps dialing across the partition. *)
+  List.iter
+    (fun p -> if p <> t.me && Tcp_mesh.written_off t.mesh ~dst:p then Tcp_mesh.forget_peer t.mesh ~dst:p)
+    t.peers_ids;
+  start_join_nag t
+
+(* Quorum loss: the park deadline expired with this node still blocked
+   in the same view change — it has lost the majority of its view. *)
+let park t =
+  if is_member t then begin
+    Protocol.park t.proto;
+    t.park_epoch <- Some (Loop.now t.loop);
+    rejoin_via_probe t
+  end
+
+let parked t = t.park_epoch <> None
 
 let multicast t ?ann payload =
   if t.stopped then Error `Not_member
@@ -358,6 +452,14 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
       on_deliverable;
       stopped = false;
       tracer = config.tracer;
+      semantic = config.semantic;
+      metrics = config.metrics;
+      state_transfer_fn = state_transfer;
+      peers_ids = members;
+      park_timeout = config.park_timeout;
+      blocked_obs = None;
+      park_epoch = None;
+      want_rejoin = false;
       suspicions =
         (match config.metrics with
         | None -> Metrics.Counter.detached ()
@@ -366,6 +468,10 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
         (match config.metrics with
         | None -> Metrics.Histogram.detached ()
         | Some reg -> Metrics.histogram reg ~labels:node_label "rt_delivery_latency_seconds");
+      merge_spans =
+        (match config.metrics with
+        | None -> Metrics.Histogram.detached ()
+        | Some reg -> Metrics.histogram reg ~labels:node_label "rt_merge_seconds");
       arrivals = Hashtbl.create 64;
     }
   in
@@ -380,11 +486,36 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
   ignore
     (Loop.every loop ~period:0.01 (fun () ->
          if not t.stopped then begin
+           if t.want_rejoin then begin
+             t.want_rejoin <- false;
+             rejoin_via_probe t
+           end;
            Engine.run ~until:(Loop.now loop -. t.started_at) t.engine;
            drain t
          end;
          not t.stopped)
       : Loop.timer);
+  (* Primary-component survival: a member still blocked in the same
+     view change when the deadline expires has lost the majority — it
+     parks and probes its way back in. *)
+  (match config.park_timeout with
+  | None -> ()
+  | Some deadline ->
+      ignore
+        (Loop.every loop ~period:(Float.max 0.05 (deadline /. 4.0)) (fun () ->
+             if t.stopped then false
+             else begin
+               (if is_member t && Protocol.blocked t.proto then begin
+                  let vid = (view t).View.id in
+                  match t.blocked_obs with
+                  | Some (v, t0) when v = vid ->
+                      if Loop.now loop -. t0 >= deadline then park t
+                  | Some _ | None -> t.blocked_obs <- Some (vid, Loop.now loop)
+                end
+                else t.blocked_obs <- None);
+               true
+             end)
+          : Loop.timer));
   (match config.stability_period with
   | None -> ()
   | Some period ->
@@ -396,26 +527,7 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
              end;
              not t.stopped)
           : Loop.timer));
-  (* A joiner nags the group — cycling contacts, since any single one
-     may be blocked, excluded, or dead — until a sponsor's SYNC lands. *)
-  if Protocol.joining proto then begin
-    let contacts = List.filter (fun p -> p <> me) members in
-    let next = ref 0 in
-    ignore
-      (Loop.every loop ~period:0.25 (fun () ->
-           if t.stopped || not (Protocol.joining t.proto) then false
-           else begin
-             (match contacts with
-             | [] -> ()
-             | _ ->
-                 let contact = List.nth contacts (!next mod List.length contacts) in
-                 incr next;
-                 Protocol.join_request t.proto ~contact;
-                 drain t);
-             true
-           end)
-        : Loop.timer)
-  end;
+  if Protocol.joining proto then start_join_nag t;
   (match wal with
   | None -> ()
   | Some w ->

@@ -18,6 +18,18 @@ type config = {
   semantic : bool;
   heartbeat : Svs_detector.Heartbeat.config;
   stability_period : float option;
+  park_timeout : float option;
+      (** Primary-component survival. When set, a member still blocked
+          in the same view change after this many wall-clock seconds
+          has lost the majority of its view: it {e parks} (stops
+          multicasting and delivering fresh messages, keeps its floors
+          and WAL) and turns into a recovering joiner that probes
+          every peer until the partition heals, then merges back
+          through the ordinary JOIN/SYNC path with state transfer. A
+          member that instead learns it was {e excluded} while cut off
+          takes the same rejoin path rather than stopping. [None]
+          (default) keeps the pre-partition behaviour: exclusion stops
+          the node. *)
   tracer : Svs_telemetry.Trace.t;
       (** Receives the node's trace events stamped with wall-clock
           time (the node re-points the tracer's clock at the loop). *)
@@ -31,7 +43,7 @@ type config = {
 
 val default_config : config
 (** Semantic purging on, 100 ms heartbeats (350 ms initial timeout),
-    stability gossip every second, telemetry off. *)
+    stability gossip every second, no park timeout, telemetry off. *)
 
 val create :
   Loop.t ->
@@ -82,6 +94,12 @@ val is_member : 'p t -> bool
 val is_joining : 'p t -> bool
 (** True while this (restarted or fresh-joining) node is still waiting
     for a sponsor's SYNC. *)
+
+val parked : 'p t -> bool
+(** True from the moment this node parked on quorum loss until its
+    merge back into the primary component completes (the [Merge] trace
+    event / [rt_merge_seconds] observation). Always false without
+    [park_timeout]. *)
 
 val multicast :
   'p t ->

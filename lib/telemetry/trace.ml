@@ -14,6 +14,8 @@ type event =
   | Join of { node : int; contact : int }
   | StateTransfer of { node : int; peer : int; bytes : int }
   | WalRecovery of { node : int; records : int; truncated : int }
+  | Parked of { node : int; view_id : int }
+  | Merge of { node : int; view_id : int; parked_ms : int }
 
 type record = { time : float; seq : int; event : event }
 
@@ -138,7 +140,16 @@ let record_to_json { time; seq; event } =
       Buffer.add_string b "\"wal_recovery\"";
       field "node" node;
       field "records" records;
-      field "truncated" truncated);
+      field "truncated" truncated
+  | Parked { node; view_id } ->
+      Buffer.add_string b "\"parked\"";
+      field "node" node;
+      field "view" view_id
+  | Merge { node; view_id; parked_ms } ->
+      Buffer.add_string b "\"merge\"";
+      field "node" node;
+      field "view" view_id;
+      field "parked_ms" parked_ms);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -279,6 +290,9 @@ let record_of_json line =
           StateTransfer { node = int "node"; peer = int "peer"; bytes = int "bytes" }
       | "wal_recovery" ->
           WalRecovery { node = int "node"; records = int "records"; truncated = int "truncated" }
+      | "parked" -> Parked { node = int "node"; view_id = int "view" }
+      | "merge" ->
+          Merge { node = int "node"; view_id = int "view"; parked_ms = int "parked_ms" }
       | _ -> raise Bad
     in
     { time = num "t"; seq = int "seq"; event }
@@ -312,3 +326,6 @@ let pp_event ppf = function
       Format.fprintf ppf "state_transfer(node=%d peer=%d bytes=%d)" node peer bytes
   | WalRecovery { node; records; truncated } ->
       Format.fprintf ppf "wal_recovery(node=%d records=%d truncated=%d)" node records truncated
+  | Parked { node; view_id } -> Format.fprintf ppf "parked(node=%d view=%d)" node view_id
+  | Merge { node; view_id; parked_ms } ->
+      Format.fprintf ppf "merge(node=%d view=%d parked_ms=%d)" node view_id parked_ms

@@ -51,6 +51,15 @@ type event =
       (** A node recovered durable state from its write-ahead log:
           [records] valid records replayed, [truncated] bytes of torn
           tail discarded. *)
+  | Parked of { node : int; view_id : int }
+      (** A member lost the primary component: a view change could not
+          assemble a majority of view [view_id] within the park
+          deadline, so the member stopped delivering and multicasting
+          and started probing for the primary. *)
+  | Merge of { node : int; view_id : int; parked_ms : int }
+      (** A parked member rejoined the primary component via JOIN/SYNC,
+          installing view [view_id] after [parked_ms] milliseconds out
+          of the group. *)
 
 type record = { time : float; seq : int; event : event }
 

@@ -22,10 +22,28 @@ fi
 dune build
 dune runtest
 
+# Run a chaos sweep through its machine-readable gate: --json makes
+# the verdict scriptable, and a violation fails loudly here with the
+# exact replay line (seed + scenario + mode) for each failing run.
+chaos_json() {
+  if out=$(dune exec bin/svs_chaos.exe -- --json "$@"); then
+    printf '%s\n' "$out"
+  else
+    printf '%s\n' "$out"
+    echo "ci: chaos sweep FAILED; replay each failing run with:" >&2
+    printf '%s' "$out" | tr '{' '\n' | grep '"ok":false' | sed -n \
+      's/.*"scenario":"\([^"]*\)","mode":"\([^"]*\)","seed":\([0-9]*\).*/  dune exec bin\/svs_chaos.exe -- --scenarios \1 --modes \2 --seeds 1 --seed-base \3/p' >&2
+    exit 1
+  fi
+}
+
 # Chaos smoke: a small deterministic seed sweep through the fault
-# scenarios, machine-checked by the SVS safety oracle (see CHAOS.md).
-dune exec bin/svs_chaos.exe -- --seeds 3 \
+# scenarios — including the partition-survival splits, which must
+# park the minority and merge it back — machine-checked by the SVS
+# safety oracle (see CHAOS.md).
+chaos_json --seeds 3 \
   --scenarios crash,partition-heal,slow-receiver,churn,crash-restart,exclude-rejoin
+chaos_json --seeds 3 --scenarios group-split,split-heal-merge,flapping-split
 
 # Recovery inverted self-check: restarting members amnesiac (no WAL)
 # must be caught by the oracle — proves the recovery path is what
@@ -33,13 +51,20 @@ dune exec bin/svs_chaos.exe -- --seeds 3 \
 dune exec bin/svs_chaos.exe -- --seeds 2 \
   --scenarios crash-restart --modes svs --no-recovery > /dev/null
 
+# Merge inverted self-check: with merge-on-heal disabled, parked
+# members stay parked and every split scenario must fail the
+# re-convergence contract — proves the probe/merge path is load-bearing.
+dune exec bin/svs_chaos.exe -- --seeds 2 \
+  --scenarios split-heal-merge --modes svs --no-merge > /dev/null
+
 if [ "${1:-}" = "smoke" ]; then
   dune exec bench/main.exe -- --smoke
 fi
 
 if [ "${1:-}" = "chaos" ]; then
-  dune exec bin/svs_chaos.exe -- --seeds 20
+  chaos_json --seeds 20
   dune exec bin/svs_chaos.exe -- --seeds 5 --mutate
+  dune exec bin/svs_chaos.exe -- --seeds 5 --mutate-split-brain
 fi
 
 echo "ci: OK"

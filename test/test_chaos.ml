@@ -44,6 +44,7 @@ let check_plan_invariants sc ~seed ~n ~horizon =
   let removed = ref [] in
   let paused = ref [] in
   let partitions = ref [] in
+  let split = ref [] in
   let spiked = ref false in
   List.iter
     (fun { Scenario.at; action } ->
@@ -65,6 +66,18 @@ let check_plan_invariants sc ~seed ~n ~horizon =
       | Scenario.Partition (a, b) -> partitions := (min a b, max a b) :: !partitions
       | Scenario.Heal (a, b) ->
           partitions := List.filter (fun w -> w <> (min a b, max a b)) !partitions
+      | Scenario.Split sets ->
+          (match List.find_opt (List.mem 0) sets with
+          | None -> Alcotest.fail (name "anchor in some split set")
+          | Some anchor_set ->
+              Alcotest.(check bool)
+                (name "anchor side is a strict majority")
+                true
+                (2 * List.length anchor_set > n));
+          Alcotest.(check (list int)) (name "split covers the group") (List.init n Fun.id)
+            (List.sort compare (List.concat sets));
+          split := sets
+      | Scenario.Heal_split -> split := []
       | Scenario.Set_latency _ -> spiked := true
       | Scenario.Restore_latency -> spiked := false)
     plan;
@@ -72,6 +85,10 @@ let check_plan_invariants sc ~seed ~n ~horizon =
     (n - List.length (List.sort_uniq compare !removed) >= 2);
   Alcotest.(check (list int)) (name "every pause resumed") [] !paused;
   Alcotest.(check (list (pair int int))) (name "every partition healed") [] !partitions;
+  (* Split scenarios with [heal_at_settle = false] deliberately leave
+     the group split at the horizon; everyone else must heal. *)
+  if sc.Scenario.heal_at_settle then
+    Alcotest.(check bool) (name "every split healed") true (!split = []);
   Alcotest.(check bool) (name "latency restored") false !spiked
 
 let test_plan_invariants () =
@@ -242,6 +259,86 @@ let test_restart_duplicate_mutation_caught () =
        (function Svs_core.Checker.Duplicated _ -> true | _ -> false)
        r.Oracle.violations)
 
+(* --- Partition survival: park, merge, and the primary chain --- *)
+
+let split_scenarios =
+  List.filter_map Scenario.find [ "group-split"; "split-heal-merge"; "flapping-split" ]
+
+let test_split_sweep_passes () =
+  Alcotest.(check int) "3 split scenarios" 3 (List.length split_scenarios);
+  let outcomes =
+    Runner.sweep ~config:quick ~modes:[ Oracle.Vs; Oracle.Svs ] ~scenarios:split_scenarios
+      ~seeds:[ 1; 2; 3 ] ()
+  in
+  List.iter
+    (fun (o : Runner.outcome) ->
+      if not (Oracle.ok o.report) then
+        Alcotest.fail (Format.asprintf "split violation: %a" Oracle.pp_report o.report))
+    outcomes;
+  Alcotest.(check bool) "someone parked across the sweep" true
+    (List.exists (fun (o : Runner.outcome) -> o.parked > 0) outcomes)
+
+let test_split_heal_merges_back () =
+  (* A split-heal-merge run that actually parked someone must re-admit
+     the parked member: a Merge trace event closes the Parked one, and
+     the runner's re-convergence contract holds. *)
+  let scenario = Option.get (Scenario.find "split-heal-merge") in
+  let rec hunt seed =
+    if seed > 30 then Alcotest.fail "no seed parked anyone"
+    else begin
+      let tracer = Trace.memory () in
+      let o = Runner.run_one ~tracer ~config:quick ~mode:Oracle.Svs ~scenario ~seed () in
+      if o.Runner.parked = 0 then hunt (seed + 1) else (seed, o, Trace.records tracer)
+    end
+  in
+  let seed, o, records = hunt 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "run safe (seed %d)" seed)
+    true
+    (Oracle.ok o.Runner.report);
+  Alcotest.(check bool) "Parked traced" true
+    (List.exists (function { Trace.event = Trace.Parked _; _ } -> true | _ -> false) records);
+  Alcotest.(check bool) "Merge traced" true
+    (List.exists (function { Trace.event = Trace.Merge _; _ } -> true | _ -> false) records)
+
+let test_no_merge_caught () =
+  (* The inverted self-check behind svs_chaos --no-merge: members that
+     fall out of the primary component and never probe back in must
+     break the re-convergence contract. *)
+  let scenario = Option.get (Scenario.find "split-heal-merge") in
+  let config = { quick with Runner.merge = false } in
+  let o = Runner.run_one ~config ~mode:Oracle.Svs ~scenario ~seed:1 () in
+  Alcotest.(check bool) "flagged" false (Oracle.ok o.Runner.report);
+  Alcotest.(check bool) "as a convergence violation" true
+    (List.exists
+       (function Svs_core.Checker.Not_converged _ -> true | _ -> false)
+       o.Runner.report.Oracle.violations)
+
+let test_split_brain_mutation_caught () =
+  (* Self-test for the primary-chain contract: forging a divergent
+     minority view into the record must flip the verdict, whether the
+     run had a real partition or not. *)
+  List.iter
+    (fun scenario_name ->
+      let scenario = Option.get (Scenario.find scenario_name) in
+      let o =
+        Runner.run_one ~mutation:Oracle.Split_brain ~config:quick ~mode:Oracle.Svs ~scenario
+          ~seed:2 ()
+      in
+      let r = o.Runner.report in
+      Alcotest.(check bool) (scenario_name ^ ": caught") false (Oracle.ok r);
+      Alcotest.(check bool)
+        (scenario_name ^ ": mutation recorded")
+        true
+        (r.Oracle.mutated <> None);
+      Alcotest.(check bool)
+        (scenario_name ^ ": flagged as split brain")
+        true
+        (List.exists
+           (function Svs_core.Checker.Split_brain _ -> true | _ -> false)
+           r.Oracle.violations))
+    [ "group-split"; "calm" ]
+
 let test_mode_labels () =
   Alcotest.(check string) "vs" "vs" (Oracle.mode_label Oracle.Vs);
   Alcotest.(check string) "svs" "svs" (Oracle.mode_label Oracle.Svs);
@@ -277,5 +374,13 @@ let () =
           Alcotest.test_case "amnesiac rejoin caught" `Slow test_amnesiac_rejoin_is_caught;
           Alcotest.test_case "restart-dup mutation caught" `Slow
             test_restart_duplicate_mutation_caught;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "split sweep passes" `Slow test_split_sweep_passes;
+          Alcotest.test_case "split heals and merges" `Slow test_split_heal_merges_back;
+          Alcotest.test_case "no-merge caught" `Slow test_no_merge_caught;
+          Alcotest.test_case "split-brain mutation caught" `Slow
+            test_split_brain_mutation_caught;
         ] );
     ]

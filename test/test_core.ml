@@ -923,6 +923,83 @@ let test_group_partition_during_view_change () =
     (Group.members cluster);
   check_no_violations cluster
 
+let test_view_majority_edges () =
+  (* A strict majority must be unattainable by two disjoint subgroups:
+     in a singleton view one vote decides, and in a two-member view
+     BOTH are needed — 1 of 2 is not a majority, or two halves could
+     each believe they are the primary component. *)
+  let maj members = View.majority (View.initial ~members) in
+  Alcotest.(check int) "singleton" 1 (maj [ 7 ]);
+  Alcotest.(check int) "two members" 2 (maj [ 0; 1 ]);
+  Alcotest.(check int) "three members" 2 (maj [ 0; 1; 2 ]);
+  Alcotest.(check int) "four members" 3 (maj [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "five members" 3 (maj [ 0; 1; 2; 3; 4 ])
+
+let test_group_minority_never_installs () =
+  (* Primary-component contract: after a 3/2 split the minority side
+     parks — it never installs a view of its own and delivers nothing
+     fresh — while the majority moves on without it. [merge] is off so
+     the parked state is observable at the end of the run. *)
+  let e = Engine.create ~seed:13 () in
+  let config =
+    {
+      Group.default_config with
+      consensus = Group.Chandra_toueg;
+      park_timeout = Some 0.5;
+      merge = false;
+    }
+  in
+  let cluster =
+    Group.create_cluster e ~members:[ 0; 1; 2; 3; 4 ] ~latency:(Latency.Constant 0.002)
+      ~config ()
+  in
+  let m0 = Group.member cluster 0 in
+  for i = 1 to 5 do
+    ignore (Group.multicast m0 i)
+  done;
+  ignore
+    (Engine.schedule e ~delay:0.1 (fun () ->
+         Group.partition_sets cluster [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+         Group.write_off cluster [ 3; 4 ]));
+  (* Fresh traffic well after the split: it must never reach the
+     parked side. *)
+  ignore
+    (Engine.schedule e ~delay:1.5 (fun () ->
+         for i = 6 to 10 do
+           ignore (Group.multicast m0 i)
+         done));
+  Engine.run ~until:3.0 e;
+  let v0 = Group.view m0 in
+  Alcotest.(check (list int)) "majority view excludes minority" [ 0; 1; 2 ] v0.View.members;
+  Alcotest.(check bool) "majority moved on" true (v0.View.id >= 1);
+  List.iter
+    (fun m ->
+      if List.mem (Group.id m) [ 0; 1; 2 ] then
+        Alcotest.(check (list int))
+          (Printf.sprintf "member %d delivered everything" (Group.id m))
+          (List.init 10 (fun i -> i + 1))
+          (List.filter_map
+             (function Types.Data d -> Some d.Types.payload | Types.View_change _ -> None)
+             (Group.deliver_all m)))
+    (Group.members cluster);
+  List.iter
+    (fun p ->
+      let m = Group.member cluster p in
+      Alcotest.(check bool) (Printf.sprintf "member %d parked" p) true (Group.is_parked m);
+      Alcotest.(check int)
+        (Printf.sprintf "member %d never installed a view while partitioned" p)
+        0
+        (Group.view m).View.id;
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d delivers nothing fresh" p)
+        []
+        (List.filter_map
+           (function Types.Data d -> Some d.Types.payload | Types.View_change _ -> None)
+           (Group.deliver_all m)))
+    [ 3; 4 ];
+  Alcotest.(check int) "two park transitions" 2 (Group.parked_events cluster);
+  check_no_violations ~strict:true cluster
+
 let test_group_bandwidth_codec () =
   (* With a payload codec and finite bandwidth, the cluster still
      behaves identically (just slower) and accounts real wire bytes. *)
@@ -1272,6 +1349,9 @@ let () =
           Alcotest.test_case "partition heals" `Quick test_group_partition_heals;
           Alcotest.test_case "partition during view change" `Quick
             test_group_partition_during_view_change;
+          Alcotest.test_case "majority edge sizes" `Quick test_view_majority_edges;
+          Alcotest.test_case "minority parks, never installs" `Quick
+            test_group_minority_never_installs;
           Alcotest.test_case "bandwidth + codec" `Quick test_group_bandwidth_codec;
           Alcotest.test_case "rejoin + state transfer" `Quick
             test_group_rejoin_with_state_transfer;

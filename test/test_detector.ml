@@ -132,6 +132,31 @@ let test_heartbeat_injected_silence () =
   Engine.run ~until:5.0 rig.engine;
   Alcotest.(check bool) "stable after resume" false (Heartbeat.suspects rig.monitor 0)
 
+let test_heartbeat_timeout_cap () =
+  (* A long outage produces a stream of false suspicions as queued
+     beats trickle in after the heal; the adaptive timeout must stop
+     at [max_timeout] rather than grow without bound. *)
+  let config =
+    { Heartbeat.default_config with timeout_increment = 0.3; max_timeout = 0.8 }
+  in
+  let rig = make_rig ~config () in
+  Engine.run ~until:1.0 rig.engine;
+  for _ = 1 to 5 do
+    (* Each spike is longer than any reachable timeout, so each causes
+       a false suspicion and one adaptation step. *)
+    let t0 = Engine.now rig.engine in
+    Network.disconnect rig.net 0 1;
+    Engine.run ~until:(t0 +. 2.0) rig.engine;
+    Alcotest.(check bool) "suspected during spike" true (Heartbeat.suspects rig.monitor 0);
+    Network.reconnect rig.net 0 1;
+    Engine.run ~until:(t0 +. 3.0) rig.engine
+  done;
+  Alcotest.(check bool) "timeout capped" true
+    (Heartbeat.timeout_of rig.monitor 0 <= config.Heartbeat.max_timeout +. 1e-9);
+  Alcotest.(check (float 1e-9)) "timeout is exactly the cap"
+    config.Heartbeat.max_timeout
+    (Heartbeat.timeout_of rig.monitor 0)
+
 let test_heartbeat_stop () =
   let rig = make_rig () in
   Engine.run ~until:1.0 rig.engine;
@@ -158,6 +183,7 @@ let () =
           Alcotest.test_case "rescind and adapt" `Quick test_heartbeat_rescind_and_adapt;
           Alcotest.test_case "eventual accuracy" `Quick test_heartbeat_eventual_accuracy_with_slow_links;
           Alcotest.test_case "injected silence" `Quick test_heartbeat_injected_silence;
+          Alcotest.test_case "timeout cap" `Quick test_heartbeat_timeout_cap;
           Alcotest.test_case "stop" `Quick test_heartbeat_stop;
         ] );
     ]

@@ -407,6 +407,7 @@ let fast_heartbeats =
     Svs_detector.Heartbeat.period = 0.04;
     initial_timeout = 0.3;
     timeout_increment = 0.2;
+    max_timeout = 2.0;
   }
 
 let node_config = { Node.default_config with heartbeat = fast_heartbeats }

@@ -150,6 +150,8 @@ let all_event_shapes =
     Trace.TcpDrop { node = 0; peer = -1; reason = "unknown-dst" };
     Trace.Fault { kind = "partition"; node = 1; peer = 3 };
     Trace.Fault { kind = "crash"; node = 2; peer = -1 };
+    Trace.Parked { node = 3; view_id = 6 };
+    Trace.Merge { node = 3; view_id = 9; parked_ms = 420 };
   ]
 
 let test_json_round_trip () =
