@@ -81,6 +81,17 @@ let trace_term =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Write a JSONL telemetry trace of every run (faults interleaved) to $(docv).")
 
+let flight_term =
+  Arg.(
+    value
+    & opt string "chaos-flight"
+    & info [ "flight" ] ~docv:"DIR"
+        ~doc:
+          "Directory for flight-recorder dumps. Each failing run writes its last \
+           protocol events (virtual-time JSONL) to \
+           $(docv)/flight-<scenario>-<mode>-<seed>.jsonl next to the replay line, so a \
+           red sweep ships a postmortem, not just a seed.")
+
 let mutate_term =
   Arg.(
     value & flag
@@ -179,8 +190,37 @@ let print_json ~mutate ~recover ~exit_code outcomes =
     (List.length outcomes) failed mutate recover (exit_code = 0)
     (String.concat "," (List.map run_json outcomes))
 
-let run scenarios modes seeds seed_base nodes horizon settle trace mutate mutate_split_brain
-    no_merge no_recovery json verbose plan =
+(* Write each failing run's flight-recorder ring as one JSONL file; the
+   name replays the run: scenario, mode, seed. *)
+let dump_flights ~dir outcomes =
+  let failing =
+    List.filter (fun (o : C.Runner.outcome) -> o.C.Runner.flight <> []) outcomes
+  in
+  if failing <> [] then begin
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    List.iter
+      (fun (o : C.Runner.outcome) ->
+        let r = o.C.Runner.report in
+        let file =
+          Filename.concat dir
+            (Printf.sprintf "flight-%s-%s-%d.jsonl" r.C.Oracle.scenario
+               (C.Oracle.mode_label r.C.Oracle.mode)
+               r.C.Oracle.seed)
+        in
+        let oc = open_out file in
+        List.iter
+          (fun rec_ ->
+            output_string oc (Trace.record_to_json rec_);
+            output_char oc '\n')
+          o.C.Runner.flight;
+        close_out oc;
+        Format.fprintf ppf "flight recorder: %d event(s) -> %s@."
+          (List.length o.C.Runner.flight) file)
+      failing
+  end
+
+let run scenarios modes seeds seed_base nodes horizon settle trace flight_dir mutate
+    mutate_split_brain no_merge no_recovery json verbose plan =
   match plan with
   | Some scenario ->
       print_plan scenario ~seed:seed_base ~nodes ~horizon;
@@ -232,6 +272,7 @@ let run scenarios modes seeds seed_base nodes horizon settle trace mutate mutate
           scenarios
       in
       Option.iter close_out oc;
+      dump_flights ~dir:flight_dir outcomes;
       let failed = C.Runner.failures outcomes in
       let say fmt =
         Format.(if json then ifprintf ppf fmt else fprintf ppf fmt)
@@ -328,7 +369,8 @@ let main =
   Cmd.v info
     Term.(
       const run $ scenarios_term $ modes_term $ seeds_term $ seed_base_term $ nodes_term
-      $ horizon_term $ settle_term $ trace_term $ mutate_term $ mutate_split_brain_term
-      $ no_merge_term $ no_recovery_term $ json_term $ verbose_term $ plan_term)
+      $ horizon_term $ settle_term $ trace_term $ flight_term $ mutate_term
+      $ mutate_split_brain_term $ no_merge_term $ no_recovery_term $ json_term
+      $ verbose_term $ plan_term)
 
 let () = exit (Cmd.eval' main)

@@ -19,6 +19,7 @@ open Cmdliner
 module Loop = Svs_rt.Loop
 module Node = Svs_rt.Node
 module Tcp_mesh = Svs_rt.Tcp_mesh
+module Admin = Svs_rt.Admin
 module Types = Svs_core.Types
 module View = Svs_core.View
 module Wire_codec = Svs_core.Wire_codec
@@ -50,7 +51,7 @@ let peer_conv =
         | Unix.ADDR_UNIX path -> Format.fprintf ppf "%d:unix:%s" id path )
 
 let run me peers publish rate consume_rate duration reliable park_timeout data_dir trace_file
-    stats_period verbose =
+    admin_port flight_file stats_period verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -66,8 +67,34 @@ let run me peers publish rate consume_rate duration reliable park_timeout data_d
     let listen_addr = List.assoc me peers in
     let listen_fd, _ = Tcp_mesh.listener listen_addr in
     let metrics = Metrics.create () in
+    (* Flight recorder: a bounded ring of the last protocol events,
+       always on. Dumped as JSONL on park, crash, or GET /dump — the
+       postmortem for "what was this node doing just before". *)
+    let flight = Trace.ring ~capacity:4096 () in
     let tracer =
-      match trace_oc with None -> Trace.nop | Some oc -> Trace.jsonl oc
+      match trace_oc with None -> flight | Some oc -> Trace.tee (Trace.jsonl oc) flight
+    in
+    let flight_path =
+      match flight_file with Some f -> f | None -> Printf.sprintf "svs-flight-%d.jsonl" me
+    in
+    let flight_jsonl () =
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun r ->
+          Buffer.add_string b (Trace.record_to_json r);
+          Buffer.add_char b '\n')
+        (Trace.records flight);
+      Buffer.contents b
+    in
+    let dump_flight reason =
+      match open_out flight_path with
+      | oc ->
+          let events = List.length (Trace.records flight) in
+          output_string oc (flight_jsonl ());
+          close_out oc;
+          Format.printf "[%d] flight recorder: %d event(s) -> %s (%s)@." me events flight_path
+            reason
+      | exception Sys_error e -> Format.printf "[%d] flight recorder: cannot write: %s@." me e
     in
     let config =
       {
@@ -87,6 +114,44 @@ let run me peers publish rate consume_rate duration reliable park_timeout data_d
     if Node.is_joining node then
       Format.printf "[%d] restarting from %s; asking the group to readmit me@." me
         (Option.value ~default:"?" data_dir);
+    let admin =
+      match admin_port with
+      | None -> None
+      | Some port ->
+          let addr = Unix.ADDR_INET (Unix.inet_addr_any, port) in
+          let a =
+            Admin.create loop ~addr
+              [
+                ("/metrics", fun () -> Admin.prometheus (Metrics.prometheus_string metrics));
+                ("/status", fun () -> Admin.json (Node.status_json node));
+                ( "/health",
+                  fun () ->
+                    match Node.status_label node with
+                    | ("member" | "blocked") as s -> Admin.text ("ok " ^ s ^ "\n")
+                    | s -> Admin.text ~status:503 (s ^ "\n") );
+                ("/dump", fun () -> Admin.text (flight_jsonl ()));
+              ]
+          in
+          Format.printf "[%d] admin endpoint on port %d@." me (Admin.port a);
+          Some a
+    in
+    (* One idempotent teardown shared by the normal exit path, the
+       SIGINT/SIGTERM path (the signal stops the loop; at_exit covers a
+       handler racing straight into exit), and the crash path. *)
+    let cleaned = ref false in
+    let cleanup () =
+      if not !cleaned then begin
+        cleaned := true;
+        Option.iter Admin.close admin;
+        Node.shutdown node;
+        Trace.flush tracer;
+        Option.iter close_out trace_oc
+      end
+    in
+    at_exit cleanup;
+    let on_signal _ = Loop.stop loop in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     (* Deliveries are pulled at the consumption rate (a slow consumer
        is simulated by a low --consume-rate); unconsumed messages stay
        in the protocol buffers where they remain purgeable. *)
@@ -134,13 +199,29 @@ let run me peers publish rate consume_rate duration reliable park_timeout data_d
     let site s = Node.purged_at node s in
     let stats_line () =
       Format.printf
-        "[%d] stats: delivered=%d pending=%d purged=%d(m:%d/r:%d/i:%d) bytes_out=%d bytes_in=%d suspicions=%d%s@."
-        me !delivered (Node.pending node) (Node.purged node) (site Trace.At_multicast)
-        (site Trace.At_receive) (site Trace.At_install) (Node.bytes_out node)
-        (Node.bytes_in node) (Node.suspicions node)
+        "[%d] stats: status=%s view=%d delivered=%d pending=%d purged=%d(m:%d/r:%d/i:%d) \
+         bytes_out=%d bytes_in=%d suspicions=%d%s%s@."
+        me (Node.status_label node) (Node.view node).View.id !delivered (Node.pending node)
+        (Node.purged node) (site Trace.At_multicast) (site Trace.At_receive)
+        (site Trace.At_install) (Node.bytes_out node) (Node.bytes_in node)
+        (Node.suspicions node)
+        (match Node.wal_segment node with
+        | Some seg -> Printf.sprintf " wal_seg=%d" seg
+        | None -> "")
         (if Node.parked node then " PARKED" else "");
       if verbose then Format.printf "[%d] metrics: %a@." me Metrics.pp_line metrics
     in
+    (* Parking is the "what just happened?" moment: snapshot the flight
+       recorder the first time we observe it. *)
+    let park_dumped = ref false in
+    ignore
+      (Loop.every loop ~period:0.25 (fun () ->
+           if Node.parked node && not !park_dumped then begin
+             park_dumped := true;
+             dump_flight "parked"
+           end;
+           true)
+        : Loop.timer);
     (match stats_period with
     | None -> ()
     | Some period when period <= 0.0 -> ()
@@ -155,13 +236,15 @@ let run me peers publish rate consume_rate duration reliable park_timeout data_d
     | None -> ()
     | Some seconds -> ignore (Loop.after loop ~delay:seconds (fun () -> Loop.stop loop)));
     Format.printf "[%d] up; initial view %a@." me View.pp (Node.view node);
-    Loop.run loop;
+    (try Loop.run loop
+     with exn ->
+       dump_flight (Printf.sprintf "crash: %s" (Printexc.to_string exn));
+       cleanup ();
+       raise exn);
     Format.printf "[%d] done: delivered=%d purged=%d final view %a@." me !delivered
       (Node.purged node) View.pp (Node.view node);
     Format.printf "[%d] final metrics: %a@." me Metrics.pp_line metrics;
-    Node.shutdown node;
-    Trace.flush tracer;
-    Option.iter close_out trace_oc;
+    cleanup ();
     `Ok ()
 
 let cmd =
@@ -223,6 +306,25 @@ let cmd =
             "Write a structured trace (one JSON object per protocol event: multicasts, \
              purges, blocks, view installs, suspicions, reconnects) to $(docv).")
   in
+  let admin_port =
+    Arg.(
+      value & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve a live admin endpoint on $(docv): $(b,/metrics) (Prometheus text \
+             exposition), $(b,/status) (JSON node snapshot), $(b,/health), and \
+             $(b,/dump) (flight-recorder contents as JSONL). Port 0 picks an ephemeral \
+             port (printed at startup).")
+  in
+  let flight_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Where the flight recorder (a ring of the last 4096 protocol events, always \
+             on) dumps JSONL when the node parks or crashes. Default \
+             $(b,svs-flight-<id>.jsonl).")
+  in
   let stats_period =
     Arg.(
       value & opt (some float) (Some 5.0)
@@ -237,6 +339,7 @@ let cmd =
     Term.(
       ret
         (const run $ me $ peers $ publish $ rate $ consume_rate $ duration $ reliable
-       $ park_timeout $ data_dir $ trace_file $ stats_period $ verbose))
+       $ park_timeout $ data_dir $ trace_file $ admin_port $ flight_file $ stats_period
+       $ verbose))
 
 let () = exit (Cmd.eval cmd)

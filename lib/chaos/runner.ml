@@ -39,11 +39,18 @@ type outcome = {
   sent : int;
   purged : int;
   events : int;
+  flight : Trace.record list;
 }
+
+(* Last-N protocol events of the run, kept by a ring teed behind the
+   caller's tracer. Only a failing run pays to materialise them. *)
+let flight_capacity = 2048
 
 let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~scenario ~seed
     () =
   let engine = Engine.create ~seed () in
+  let flight_ring = Trace.ring ~capacity:flight_capacity () in
+  let tracer = Trace.tee tracer flight_ring in
   let members = List.init config.nodes Fun.id in
   let gconfig =
     {
@@ -153,6 +160,7 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
     sent = !sent;
     purged = List.fold_left (fun acc m -> acc + Group.purged m) 0 (Group.members cluster);
     events = Engine.events_executed engine;
+    flight = (if Oracle.ok report then [] else Trace.records flight_ring);
   }
 
 let sweep ?mutation ?config ~modes ~scenarios ~seeds () =

@@ -47,6 +47,13 @@ type outcome = {
   sent : int;  (** Messages multicast by the workload. *)
   purged : int;  (** Deliveries saved by obsolescence (sum over nodes). *)
   events : int;  (** Engine events executed. *)
+  flight : Svs_telemetry.Trace.record list;
+      (** Flight recorder: the run's last protocol events (up to 2048,
+          virtual-time stamps), kept by a ring behind the caller's
+          tracer. Populated only when the oracle flagged the run — a
+          passing run's postmortem is nobody's business — so failures
+          ship a replayable seed {e and} what the cluster was doing
+          just before the violation. *)
 }
 
 val run_one :

@@ -286,7 +286,12 @@ let trim_stable t =
     List.filter
       (fun (d : 'p data) ->
         let keep = d.id.Msg_id.sn > floor_for d.id.Msg_id.sender in
-        if not keep then incr removed;
+        if not keep then begin
+          incr removed;
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer
+              (StableMsg { node = t.me; sender = d.id.Msg_id.sender; sn = d.id.Msg_id.sn })
+        end;
         keep)
       t.delivered_this_view;
   t.trimmed <- t.trimmed + !removed
@@ -629,4 +634,13 @@ let deliver t =
       set_queued t (t.queued_data - 1);
       if t.semantic then Purge_index.remove t.pidx ~view:d.view_id ~id:d.id ~ann:d.ann;
       if d.view_id = t.cv.View.id then t.delivered_this_view <- d :: t.delivered_this_view;
+      if Trace.enabled t.tracer then
+        Trace.emit t.tracer
+          (Deliver
+             {
+               node = t.me;
+               view_id = d.view_id;
+               sender = d.id.Msg_id.sender;
+               sn = d.id.Msg_id.sn;
+             });
       Some (Data d)

@@ -1,0 +1,137 @@
+let src = Logs.Src.create "svs.admin" ~doc:"SVS admin endpoint"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body = { status; content_type = "text/plain; charset=utf-8"; body }
+
+let json ?(status = 200) body = { status; content_type = "application/json"; body }
+
+let prometheus body =
+  { status = 200; content_type = "text/plain; version=0.0.4; charset=utf-8"; body }
+
+type t = {
+  loop : Loop.t;
+  fd : Unix.file_descr;
+  port : int;
+  routes : (string * (unit -> response)) list;
+  mutable conns : Unix.file_descr list;
+  mutable closed : bool;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let render { status; content_type; body } =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (reason status) content_type (String.length body) body
+
+(* One request per connection (HTTP/1.0, Connection: close): read until
+   the blank line that ends the headers, answer, close. The response
+   write blocks at most [SO_SNDTIMEO]; an admin scrape is tiny and
+   local, so this never stalls the loop in practice. *)
+let handle_request t fd buf =
+  let line = Buffer.contents buf in
+  let request_line =
+    match String.index_opt line '\r' with
+    | Some i -> String.sub line 0 i
+    | None -> ( match String.index_opt line '\n' with Some i -> String.sub line 0 i | None -> line)
+  in
+  let response =
+    match String.split_on_char ' ' request_line with
+    | meth :: target :: _ when meth = "GET" || meth = "HEAD" -> (
+        let path =
+          match String.index_opt target '?' with
+          | Some i -> String.sub target 0 i
+          | None -> target
+        in
+        match List.assoc_opt path t.routes with
+        | Some handler -> (
+            match handler () with
+            | resp -> resp
+            | exception exn ->
+                Log.warn (fun m -> m "admin handler %s raised: %s" path (Printexc.to_string exn));
+                text ~status:503 (Printexc.to_string exn ^ "\n"))
+        | None ->
+            let known = String.concat " " (List.map fst t.routes) in
+            text ~status:404 (Printf.sprintf "unknown path (try: %s)\n" known))
+    | _ -> text ~status:405 "admin endpoint speaks GET only\n"
+  in
+  (try
+     let payload = render response in
+     let n = String.length payload in
+     let rec write_all off =
+       if off < n then
+         let w = Unix.write_substring fd payload off (n - off) in
+         if w > 0 then write_all (off + w)
+     in
+     write_all 0
+   with Unix.Unix_error (_, _, _) -> ());
+  Loop.remove_fd t.loop fd;
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  t.conns <- List.filter (fun c -> c <> fd) t.conns
+
+let on_conn_readable t fd buf () =
+  let chunk = Bytes.create 2048 in
+  match Unix.read fd chunk 0 (Bytes.length chunk) with
+  | 0 -> handle_request t fd buf
+  | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      if Buffer.length buf > 16 * 1024 then handle_request t fd buf (* header bomb: answer what we have *)
+      else
+        let s = Buffer.contents buf in
+        let done_ =
+          let rec find i =
+            if i + 1 >= String.length s then false
+            else if s.[i] = '\n' && (s.[i + 1] = '\n' || (s.[i + 1] = '\r' && i + 2 < String.length s && s.[i + 2] = '\n'))
+            then true
+            else find (i + 1)
+          in
+          find 0
+        in
+        if done_ then handle_request t fd buf
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) ->
+      Loop.remove_fd t.loop fd;
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      t.conns <- List.filter (fun c -> c <> fd) t.conns
+
+let on_accept t () =
+  match Unix.accept t.fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0 with Unix.Unix_error (_, _, _) -> ());
+      t.conns <- fd :: t.conns;
+      Loop.on_readable t.loop fd (on_conn_readable t fd (Buffer.create 256))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let create loop ~addr routes =
+  let fd, bound = Tcp_mesh.listener addr in
+  Unix.set_nonblock fd;
+  let port = match bound with Unix.ADDR_INET (_, p) -> p | _ -> 0 in
+  let t = { loop; fd; port; routes; conns = []; closed = false } in
+  Loop.on_readable loop fd (fun () -> on_accept t ());
+  Log.info (fun m -> m "admin endpoint on port %d (%s)" port (String.concat " " (List.map fst routes)));
+  t
+
+let port t = t.port
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Loop.remove_fd t.loop t.fd;
+    (try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ());
+    List.iter
+      (fun fd ->
+        Loop.remove_fd t.loop fd;
+        try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      t.conns;
+    t.conns <- []
+  end

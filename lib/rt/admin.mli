@@ -1,0 +1,39 @@
+(** Dependency-free admin endpoint: a tiny HTTP/1.0 listener on the
+    {!Loop} serving operator probes — conventionally [/metrics]
+    (Prometheus text exposition via
+    {!Svs_telemetry.Metrics.prometheus_string}), [/status] (a JSON
+    snapshot, {!Node.status_json}), [/health], and [/dump] (flight
+    recorder).
+
+    One request per connection ([Connection: close]); GET and HEAD
+    only. Handlers run inline on the loop thread, so they must be
+    cheap reads of in-process state — which is all an SVS node has to
+    report. A handler that raises answers 503 with the exception text
+    instead of killing the node. *)
+
+type t
+
+(** What a route handler answers. *)
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** [text/plain] response (default status 200). *)
+
+val json : ?status:int -> string -> response
+(** [application/json] response (default status 200). *)
+
+val prometheus : string -> response
+(** [text/plain; version=0.0.4] response, status 200. *)
+
+val create : Loop.t -> addr:Unix.sockaddr -> (string * (unit -> response)) list -> t
+(** [create loop ~addr routes] binds and starts answering immediately.
+    [routes] maps exact paths (["/metrics"]) to handlers, evaluated
+    per request; query strings are stripped before matching. Unknown
+    paths answer 404 listing the known ones. Port 0 binds an ephemeral
+    port — see {!port}. *)
+
+val port : t -> int
+(** The actually bound TCP port. *)
+
+val close : t -> unit
+(** Stop listening and drop open connections. *)

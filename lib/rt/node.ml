@@ -140,7 +140,21 @@ let rec drain t =
   if Protocol.to_deliver_length t.proto > 0 then t.on_deliverable ()
 
 and handle_output t = function
-  | Types.Send { dst; wire } -> send_packet t ~dst (Proto wire)
+  | Types.Send { dst; wire } ->
+      (match wire with
+      | Types.Wdata d ->
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer
+              (Trace.Tx
+                 {
+                   node = t.me;
+                   dst;
+                   sender = d.Types.id.Msg_id.sender;
+                   sn = d.Types.id.Msg_id.sn;
+                   view_id = d.Types.view_id;
+                 })
+      | _ -> ());
+      send_packet t ~dst (Proto wire)
   | Types.Installed v ->
       Log.info (fun m -> m "node %d installed %a" t.me View.pp v);
       (* The installed view is the recovery anchor: make it durable
@@ -212,7 +226,20 @@ let on_packet t ~src packet =
     match packet with
     | Beat -> Heartbeat.on_heartbeat t.hb ~src
     | Proto wire ->
-        (match wire with Types.Wdata d -> note_arrival t d | _ -> ());
+        (match wire with
+        | Types.Wdata d ->
+            note_arrival t d;
+            if Trace.enabled t.tracer then
+              Trace.emit t.tracer
+                (Trace.Rx
+                   {
+                     node = t.me;
+                     src;
+                     sender = d.Types.id.Msg_id.sender;
+                     sn = d.Types.id.Msg_id.sn;
+                     view_id = d.Types.view_id;
+                   })
+        | _ -> ());
         Protocol.receive t.proto ~src wire;
         drain t
     | Cons { view_id; msg } -> (
@@ -351,6 +378,49 @@ let deliver_all t =
   go []
 
 let pending t = Protocol.to_deliver_length t.proto
+
+let status_label t =
+  if t.stopped then "stopped"
+  else if Protocol.parked t.proto then "parked"
+  else if Protocol.joining t.proto then "joining"
+  else if Protocol.blocked t.proto then "blocked"
+  else if Protocol.alive t.proto then "member"
+  else "dead"
+
+let wal_segment t = match t.wal with Some w -> Some (Wal.current_segment w) | None -> None
+
+let status_json t =
+  let b = Buffer.create 512 in
+  let v = view t in
+  Printf.bprintf b
+    "{\"node\":%d,\"status\":\"%s\",\"uptime_s\":%.3f,\"view\":{\"id\":%d,\"members\":[%s]},"
+    t.me (status_label t)
+    (Loop.now t.loop -. t.started_at)
+    v.View.id
+    (String.concat "," (List.map string_of_int v.View.members));
+  Printf.bprintf b "\"pending\":%d,\"purged\":%d,\"suspicions\":%d,\"next_sn\":%d,"
+    (pending t) (purged t) (suspicions t)
+    (Protocol.next_sn t.proto);
+  Printf.bprintf b "\"floors\":{%s},"
+    (String.concat ","
+       (List.map
+          (fun (sender, sn) -> Printf.sprintf "\"%d\":%d" sender sn)
+          (List.sort compare (Protocol.floors t.proto))));
+  (match wal_segment t with
+  | Some seg -> Printf.bprintf b "\"wal\":{\"segment\":%d}," seg
+  | None -> Printf.bprintf b "\"wal\":null,");
+  Printf.bprintf b "\"bytes_out\":%d,\"bytes_in\":%d,\"peers\":[%s]}" (bytes_out t)
+    (bytes_in t)
+    (String.concat ","
+       (List.map
+          (fun (p : Tcp_mesh.peer_stat) ->
+            Printf.sprintf
+              "{\"peer\":%d,\"up\":%b,\"pending\":%d,\"attempts\":%d,\"written_off\":%b}"
+              p.Tcp_mesh.peer p.Tcp_mesh.up p.Tcp_mesh.pending p.Tcp_mesh.attempts
+              p.Tcp_mesh.written_off)
+          (List.filter (fun (p : Tcp_mesh.peer_stat) -> p.Tcp_mesh.peer <> t.me)
+             (Tcp_mesh.peer_stats t.mesh))));
+  Buffer.contents b
 
 let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
     ?(on_deliverable = fun () -> ()) ?data_dir ?state_transfer

@@ -128,6 +128,21 @@ val delivery_latency : 'p t -> Svs_telemetry.Metrics.Histogram.t
 val pending_to : 'p t -> dst:int -> int
 (** Outbound bytes buffered towards a peer (sender-side buffer). *)
 
+val status_label : 'p t -> string
+(** One-word protocol condition: ["member"], ["blocked"], ["joining"],
+    ["parked"], ["dead"] or ["stopped"]. *)
+
+val wal_segment : 'p t -> int option
+(** Index of the WAL segment currently appended to; [None] without
+    [data_dir]. *)
+
+val status_json : 'p t -> string
+(** A JSON object describing this node right now: status label,
+    uptime, current view, queue depth, purge/suspicion totals, next
+    sequence number, per-sender delivery floors, WAL segment, byte
+    totals and per-peer link condition. What an admin [/status]
+    endpoint serves. *)
+
 val shutdown : 'p t -> unit
 (** Close all sockets and stop the node's timers (a crash, from the
     group's point of view). *)

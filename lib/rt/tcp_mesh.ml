@@ -390,6 +390,27 @@ let pending_bytes t ~dst =
   | None -> 0
   | Some out -> Buffer.length out.out
 
+type peer_stat = {
+  peer : int;
+  up : bool;
+  pending : int;
+  attempts : int;
+  written_off : bool;
+}
+
+let peer_stats t =
+  List.map
+    (fun (dst, (out : outgoing)) ->
+      {
+        peer = dst;
+        up = out.fd <> None;
+        pending = Buffer.length out.out;
+        attempts = out.attempts;
+        written_off = out.broken;
+      })
+    t.outgoing
+  |> List.sort (fun a b -> compare a.peer b.peer)
+
 let close t =
   if not t.closed then begin
     t.closed <- true;

@@ -93,6 +93,18 @@ val pending_bytes : t -> dst:int -> int
 (** Outbound bytes not yet handed to the kernel (the sender-side
     buffer of the paper's model). *)
 
+(** One outgoing link's condition, for status reporting. *)
+type peer_stat = {
+  peer : int;
+  up : bool;  (** Outbound connection currently established. *)
+  pending : int;  (** {!pending_bytes} towards this peer. *)
+  attempts : int;  (** Consecutive failed dials (0 once connected). *)
+  written_off : bool;
+}
+
+val peer_stats : t -> peer_stat list
+(** Every configured peer's {!peer_stat}, ordered by peer id. *)
+
 val bytes_out : t -> int
 (** Bytes actually written to the kernel so far (all peers). *)
 

@@ -91,6 +91,15 @@ module Histogram = struct
         else scan (i + 1) acc
     in
     scan 0 0
+
+  let buckets t =
+    let out = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then
+        let upper = if i = n_buckets - 1 then infinity else bucket_upper i in
+        out := (upper, t.buckets.(i)) :: !out
+    done;
+    !out
 end
 
 type value =
@@ -165,6 +174,77 @@ let pp_labels ppf = function
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
            (fun ppf (k, v) -> Format.fprintf ppf "%s=%s" k v))
         labels
+
+(* --- Prometheus text exposition (version 0.0.4) --- *)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* Render one sample's label set; [extra] appends e.g. an [le] pair. *)
+let prom_labels ?extra labels =
+  let pairs =
+    List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels
+    @ (match extra with None -> [] | Some (k, v) -> [ Printf.sprintf "%s=\"%s\"" k v ])
+  in
+  match pairs with [] -> "" | _ -> "{" ^ String.concat "," pairs ^ "}"
+
+let pp_prometheus ppf t =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match String.compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+      (instruments t)
+  in
+  let last_name = ref "" in
+  List.iter
+    (fun inst ->
+      if inst.name <> !last_name then begin
+        last_name := inst.name;
+        Format.fprintf ppf "# TYPE %s %s@\n" inst.name (kind_name inst.value)
+      end;
+      match inst.value with
+      | Counter c ->
+          Format.fprintf ppf "%s%s %d@\n" inst.name (prom_labels inst.labels) (Counter.value c)
+      | Gauge g ->
+          Format.fprintf ppf "%s%s %s@\n" inst.name (prom_labels inst.labels)
+            (prom_float (Gauge.value g))
+      | Histogram h ->
+          let cumulative = ref 0 in
+          List.iter
+            (fun (upper, count) ->
+              if upper <> infinity then begin
+                cumulative := !cumulative + count;
+                Format.fprintf ppf "%s_bucket%s %d@\n" inst.name
+                  (prom_labels inst.labels ~extra:("le", prom_float upper))
+                  !cumulative
+              end)
+            (Histogram.buckets h);
+          Format.fprintf ppf "%s_bucket%s %d@\n" inst.name
+            (prom_labels inst.labels ~extra:("le", "+Inf"))
+            (Histogram.count h);
+          Format.fprintf ppf "%s_sum%s %s@\n" inst.name (prom_labels inst.labels)
+            (prom_float (Histogram.sum h));
+          Format.fprintf ppf "%s_count%s %d@\n" inst.name (prom_labels inst.labels)
+            (Histogram.count h))
+    sorted
+
+let prometheus_string t = Format.asprintf "%a" pp_prometheus t
 
 let pp_line ppf t =
   Format.pp_print_list

@@ -75,6 +75,11 @@ module Histogram : sig
       quantile (the upper edge of the bucket holding it, clamped to
       {!max_value}). @raise Invalid_argument when empty or [q] is out
       of range. *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as [(upper_bound, count)], ascending by upper
+      bound; the overflow bucket reports [infinity]. Empty for an
+      empty histogram. *)
 end
 
 type value =
@@ -112,3 +117,16 @@ val sum_counters : t -> string -> int
 val pp_line : Format.formatter -> t -> unit
 (** One-line report: [name{k=v,...}=value] for every instrument, space
     separated; histograms print [count/mean/p99]. *)
+
+val pp_prometheus : Format.formatter -> t -> unit
+(** Prometheus text exposition (format version 0.0.4) of every
+    registered instrument, sorted by name then labels so the output is
+    stable across registration orders. Counters and gauges render as
+    single samples; histograms render cumulative [_bucket] samples
+    with [le] edges at the registry's non-empty log-scale buckets,
+    plus [_sum] and [_count]. Label values are escaped per the
+    exposition rules (backslash, double quote, newline). *)
+
+val prometheus_string : t -> string
+(** {!pp_prometheus} to a string (what an HTTP [/metrics] endpoint
+    serves). *)

@@ -1,0 +1,87 @@
+(** Offline analysis of {!Trace} streams: merge per-node JSONL traces,
+    reconstruct per-message lifecycle timelines, and summarise the
+    numbers the paper's argument is about — end-to-end delivery
+    latency, stability lag, purge latency and effectiveness, blocked
+    and view-change spans.
+
+    Every multicast already carries a stable identity (sender
+    incarnation × sequence number), so records from different nodes
+    correlate without any extra wire field: a [Multicast] at the
+    sender is the [submit] instant, each [Deliver] elsewhere closes a
+    latency span, [StableMsg] closes the stability span and [Purge]
+    the obsolescence span. Timestamps are whatever clock stamped the
+    traces — wall time in the runtime, so cross-node spans are
+    meaningful on one machine (or NTP-close ones). *)
+
+(** One message's reconstructed lifecycle. Node/time pairs are in
+    trace order; absent phases are empty. *)
+type timeline = {
+  sender : int;
+  sn : int;
+  submit : float option;  (** [Multicast] time at the sender. *)
+  tx : (int * float) list;  (** (destination, handed to transport). *)
+  rx : (int * float) list;  (** (node, arrival). *)
+  deliver : (int * float) list;  (** (node, delivered to app). *)
+  stable : (int * float) list;  (** (node, declared stable). *)
+  purged : (int * float) list;  (** (node, purged as obsolete). *)
+}
+
+(** Exact order statistics over a span population (seconds). [p50] and
+    [p99] use the nearest-rank method, so hand-computed fixtures match
+    bit-for-bit. *)
+type stat = { count : int; mean : float; p50 : float; p99 : float; max : float }
+
+type anomaly =
+  | Never_stable of { messages : int }
+      (** Messages delivered somewhere but never declared stable
+          anywhere, while the trace shows stability tracking was
+          active. A small tail is normal in a finite run; a large
+          count means floor gossip is not converging. *)
+  | Floor_regression of { node : int; sender : int; sn : int; prev : int }
+      (** [node] delivered [sn] from [sender] after already delivering
+          [prev >= sn] — a FIFO/duplicate violation. *)
+  | Long_block of { node : int; view_id : int; span : float }
+      (** A blocked period (first INIT to installation) exceeded the
+          analysis threshold. *)
+
+type report = {
+  nodes : int list;  (** Every node id seen in the traces. *)
+  events : int;  (** Records analysed. *)
+  messages : int;  (** Distinct submitted messages. *)
+  deliveries : int;
+  purges : int;
+  span : float;  (** First submit to last delivery (seconds). *)
+  msgs_per_s : float;  (** [deliveries /. span]. *)
+  delivery_latency : stat option;  (** submit → deliver, every node. *)
+  remote_latency : stat option;  (** submit → deliver, node ≠ sender. *)
+  stability_lag : stat option;  (** submit → first stable. *)
+  purge_latency : stat option;  (** submit → purge. *)
+  purge_effectiveness : float;
+      (** Fraction of accounted message outcomes that were purges:
+          [purges /. (purges + deliveries)]. *)
+  view_changes : int;  (** Distinct views installed. *)
+  view_spans : stat option;  (** Block → next install, per node. *)
+  merge_spans : stat option;  (** Parked durations from [Merge]. *)
+  anomalies : anomaly list;
+}
+
+val load_file : string -> Trace.record list
+(** Parse a JSONL trace file, skipping unparseable lines. Raises
+    [Sys_error] if the file cannot be read. *)
+
+val timelines : Trace.record list list -> timeline list
+(** Merge per-node record streams and reconstruct one timeline per
+    distinct message, ordered by (sender, sn). *)
+
+val analyze : ?block_threshold:float -> Trace.record list list -> report
+(** Analyse the merged streams. [block_threshold] (default 5 s) is the
+    [Long_block] anomaly cutoff. *)
+
+val report_to_json : report -> string
+(** The [BENCH_rt_throughput.json] payload: one flat JSON object. *)
+
+val pp_timeline : Format.formatter -> timeline -> unit
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -2,6 +2,10 @@ type site = At_multicast | At_receive | At_install
 
 type event =
   | Multicast of { node : int; view_id : int; sn : int }
+  | Tx of { node : int; dst : int; sender : int; sn : int; view_id : int }
+  | Rx of { node : int; src : int; sender : int; sn : int; view_id : int }
+  | Deliver of { node : int; view_id : int; sender : int; sn : int }
+  | StableMsg of { node : int; sender : int; sn : int }
   | Purge of { node : int; view_id : int; at_step : site; sender : int; sn : int }
   | ViewInstall of { node : int; view_id : int; members : int list }
   | ConsensusDecide of { node : int; view_id : int }
@@ -23,8 +27,10 @@ type sink =
   | Nop
   | Memory of record Queue.t
   | Jsonl of out_channel
+  | Ring of { q : record Queue.t; capacity : int }
+  | Tee of t * t
 
-type t = {
+and t = {
   sink : sink;
   mutable clock : unit -> float;
   mutable seq : int;
@@ -38,20 +44,52 @@ let memory ?(clock = zero_clock) () = { sink = Memory (Queue.create ()); clock; 
 
 let jsonl ?(clock = zero_clock) oc = { sink = Jsonl oc; clock; seq = 0 }
 
-let enabled t = match t.sink with Nop -> false | Memory _ | Jsonl _ -> true
+let ring ?(clock = zero_clock) ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.ring: capacity must be positive";
+  { sink = Ring { q = Queue.create (); capacity }; clock; seq = 0 }
+
+let tee a b = { sink = Tee (a, b); clock = zero_clock; seq = 0 }
+
+let rec enabled t =
+  match t.sink with
+  | Nop -> false
+  | Memory _ | Jsonl _ | Ring _ -> true
+  | Tee (a, b) -> enabled a || enabled b
 
 let now t = t.clock ()
 
-let set_clock t clock = match t.sink with Nop -> () | Memory _ | Jsonl _ -> t.clock <- clock
-
-let records t =
+let rec set_clock t clock =
   match t.sink with
-  | Memory q -> List.of_seq (Queue.to_seq q)
+  | Nop -> ()
+  | Memory _ | Jsonl _ | Ring _ -> t.clock <- clock
+  | Tee (a, b) ->
+      t.clock <- clock;
+      set_clock a clock;
+      set_clock b clock
+
+let rec records t =
+  match t.sink with
+  | Memory q | Ring { q; _ } -> List.of_seq (Queue.to_seq q)
   | Nop | Jsonl _ -> []
+  (* Both branches saw the same stream; concatenating would duplicate
+     it. Prefer the first branch that actually buffers. *)
+  | Tee (a, b) -> ( match records a with [] -> records b | rs -> rs)
 
-let clear t = match t.sink with Memory q -> Queue.clear q | Nop | Jsonl _ -> ()
+let rec clear t =
+  match t.sink with
+  | Memory q | Ring { q; _ } -> Queue.clear q
+  | Nop | Jsonl _ -> ()
+  | Tee (a, b) ->
+      clear a;
+      clear b
 
-let flush t = match t.sink with Jsonl oc -> Stdlib.flush oc | Nop | Memory _ -> ()
+let rec flush t =
+  match t.sink with
+  | Jsonl oc -> Stdlib.flush oc
+  | Nop | Memory _ | Ring _ -> ()
+  | Tee (a, b) ->
+      flush a;
+      flush b
 
 let site_name = function
   | At_multicast -> "multicast"
@@ -78,6 +116,31 @@ let record_to_json { time; seq; event } =
       Buffer.add_string b "\"multicast\"";
       field "node" node;
       field "view" view_id;
+      field "sn" sn
+  | Tx { node; dst; sender; sn; view_id } ->
+      Buffer.add_string b "\"tx\"";
+      field "node" node;
+      field "dst" dst;
+      field "sender" sender;
+      field "sn" sn;
+      field "view" view_id
+  | Rx { node; src; sender; sn; view_id } ->
+      Buffer.add_string b "\"rx\"";
+      field "node" node;
+      field "src" src;
+      field "sender" sender;
+      field "sn" sn;
+      field "view" view_id
+  | Deliver { node; view_id; sender; sn } ->
+      Buffer.add_string b "\"deliver\"";
+      field "node" node;
+      field "view" view_id;
+      field "sender" sender;
+      field "sn" sn
+  | StableMsg { node; sender; sn } ->
+      Buffer.add_string b "\"stable\"";
+      field "node" node;
+      field "sender" sender;
       field "sn" sn
   | Purge { node; view_id; at_step; sender; sn } ->
       Buffer.add_string b "\"purge\"";
@@ -153,7 +216,7 @@ let record_to_json { time; seq; event } =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let emit t event =
+let rec emit t event =
   match t.sink with
   | Nop -> ()
   | Memory q ->
@@ -165,6 +228,14 @@ let emit t event =
       t.seq <- t.seq + 1;
       output_string oc (record_to_json r);
       output_char oc '\n'
+  | Ring { q; capacity } ->
+      let r = { time = t.clock (); seq = t.seq; event } in
+      t.seq <- t.seq + 1;
+      if Queue.length q >= capacity then ignore (Queue.pop q : record);
+      Queue.add r q
+  | Tee (a, b) ->
+      emit a event;
+      emit b event
 
 (* --- Minimal JSON parser for the flat objects emitted above --- *)
 
@@ -272,6 +343,27 @@ let record_of_json line =
     let event =
       match str "ev" with
       | "multicast" -> Multicast { node = int "node"; view_id = int "view"; sn = int "sn" }
+      | "tx" ->
+          Tx
+            {
+              node = int "node";
+              dst = int "dst";
+              sender = int "sender";
+              sn = int "sn";
+              view_id = int "view";
+            }
+      | "rx" ->
+          Rx
+            {
+              node = int "node";
+              src = int "src";
+              sender = int "sender";
+              sn = int "sn";
+              view_id = int "view";
+            }
+      | "deliver" ->
+          Deliver { node = int "node"; view_id = int "view"; sender = int "sender"; sn = int "sn" }
+      | "stable" -> StableMsg { node = int "node"; sender = int "sender"; sn = int "sn" }
       | "purge" ->
           let at_step = match site_of_name (str "site") with Some s -> s | None -> raise Bad in
           Purge
@@ -302,6 +394,14 @@ let record_of_json line =
 let pp_event ppf = function
   | Multicast { node; view_id; sn } ->
       Format.fprintf ppf "multicast(node=%d view=%d sn=%d)" node view_id sn
+  | Tx { node; dst; sender; sn; view_id } ->
+      Format.fprintf ppf "tx(node=%d dst=%d msg=%d:%d view=%d)" node dst sender sn view_id
+  | Rx { node; src; sender; sn; view_id } ->
+      Format.fprintf ppf "rx(node=%d src=%d msg=%d:%d view=%d)" node src sender sn view_id
+  | Deliver { node; view_id; sender; sn } ->
+      Format.fprintf ppf "deliver(node=%d view=%d msg=%d:%d)" node view_id sender sn
+  | StableMsg { node; sender; sn } ->
+      Format.fprintf ppf "stable(node=%d msg=%d:%d)" node sender sn
   | Purge { node; view_id; at_step; sender; sn } ->
       Format.fprintf ppf "purge(node=%d view=%d site=%s msg=%d:%d)" node view_id
         (site_name at_step) sender sn

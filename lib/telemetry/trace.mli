@@ -9,6 +9,11 @@
       pipeline ({!records}).
     - {!jsonl} — line-delimited JSON on an [out_channel], for offline
       analysis; {!record_of_json} parses it back.
+    - {!ring} — a bounded ring buffer (the flight recorder): always
+      cheap to leave on, holding the last N events for a postmortem
+      dump when something goes wrong.
+    - {!tee} — fan out to two sinks (e.g. a JSONL file {e and} a
+      flight-recorder ring).
 
     The hot-path discipline is the {!Logs} one: guard every emission
     with {!enabled} so that a disabled tracer costs one load and a
@@ -22,6 +27,22 @@ type site = At_multicast | At_receive | At_install
 
 type event =
   | Multicast of { node : int; view_id : int; sn : int }
+      (** The message lifecycle's [submit] span: the application handed
+          message [(node, sn)] to the protocol (t2). *)
+  | Tx of { node : int; dst : int; sender : int; sn : int; view_id : int }
+      (** [node] handed a DATA frame for message [(sender, sn)] to the
+          transport towards [dst]. One event per destination. *)
+  | Rx of { node : int; src : int; sender : int; sn : int; view_id : int }
+      (** A DATA frame for message [(sender, sn)] arrived at [node]
+          from [src] (before the duplicate/cover guards run). *)
+  | Deliver of { node : int; view_id : int; sender : int; sn : int }
+      (** The application pulled message [(sender, sn)] at [node] (t1).
+          [Deliver.time - Multicast.time] is the end-to-end delivery
+          latency when both nodes share a clock. *)
+  | StableMsg of { node : int; sender : int; sn : int }
+      (** Message [(sender, sn)] became stable at [node]: every
+          member's gossiped receive floor covers it, so it was dropped
+          from the PRED bookkeeping. *)
   | Purge of { node : int; view_id : int; at_step : site; sender : int; sn : int }
       (** One event per purged message: [sender]/[sn] identify the
           message dropped as obsolete. *)
@@ -76,6 +97,18 @@ val jsonl : ?clock:(unit -> float) -> out_channel -> t
 (** Writes one JSON object per event, newline-terminated. The channel
     is flushed by {!flush}, not per event. *)
 
+val ring : ?clock:(unit -> float) -> ?capacity:int -> unit -> t
+(** Flight recorder: keeps the last [capacity] (default 4096) records,
+    overwriting the oldest. {!records} returns the retained window
+    oldest-first; {!clear} empties it. Cheap enough to leave always on
+    — an emission is one record allocation and two queue operations. *)
+
+val tee : t -> t -> t
+(** [tee a b] forwards every {!emit} to both tracers (each stamps its
+    own clock and sequence). {!enabled} when either side is;
+    {!set_clock}, {!flush} and {!clear} apply to both; {!records}
+    reads the first buffering branch (see {!records}). *)
+
 val enabled : t -> bool
 
 val emit : t -> event -> unit
@@ -89,10 +122,12 @@ val set_clock : t -> (unit -> float) -> unit
 
 val records : t -> record list
 (** Captured records, oldest first. Empty unless the sink is
-    {!memory}. *)
+    {!memory}, {!ring} (the retained window), or a {!tee} over one —
+    for a tee, the first buffering branch's records (both branches saw
+    the same stream, so reading both would duplicate it). *)
 
 val clear : t -> unit
-(** Drop captured records (memory sink only). *)
+(** Drop captured records (memory and ring sinks only). *)
 
 val flush : t -> unit
 

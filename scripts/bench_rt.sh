@@ -1,0 +1,58 @@
+#!/bin/sh
+# Runtime throughput bench: run a real 3-node SVS cluster over local
+# TCP for DURATION seconds with one publisher, record a per-node JSONL
+# trace, then merge the traces with svs_trace into a single
+# BENCH_rt_throughput.json (throughput, delivery latency percentiles,
+# stability lag, purge effectiveness, anomaly counts).
+#
+#   DURATION=10 RATE=200 scripts/bench_rt.sh
+#
+# Environment knobs:
+#   DURATION    run length in seconds            (default 10)
+#   RATE        publish rate, msg/s              (default 200)
+#   ITEMS       distinct data items published    (default 16)
+#   PORT_BASE   first TCP port; nodes use +0..+2 (default 7200)
+#   ADMIN_BASE  first admin port, 0 = disabled   (default 0)
+#   OUT         output JSON path                 (default BENCH_rt_throughput.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-10}"
+RATE="${RATE:-200}"
+ITEMS="${ITEMS:-16}"
+PORT_BASE="${PORT_BASE:-7200}"
+ADMIN_BASE="${ADMIN_BASE:-0}"
+OUT="${OUT:-BENCH_rt_throughput.json}"
+
+dune build bin/svs_node.exe bin/svs_trace.exe
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+peers="--peer 0:127.0.0.1:$PORT_BASE \
+  --peer 1:127.0.0.1:$((PORT_BASE + 1)) \
+  --peer 2:127.0.0.1:$((PORT_BASE + 2))"
+
+pids=""
+for i in 0 1 2; do
+  workload=""
+  [ "$i" = 0 ] && workload="--publish $ITEMS --rate $RATE"
+  admin=""
+  [ "$ADMIN_BASE" != 0 ] && admin="--admin-port $((ADMIN_BASE + i))"
+  # shellcheck disable=SC2086  # deliberate word splitting of flag lists
+  ./_build/default/bin/svs_node.exe --me "$i" $peers $workload $admin \
+    --duration "$DURATION" --trace "$dir/node$i.jsonl" \
+    --flight-dump "$dir/flight-$i.jsonl" --stats-period 0 \
+    > "$dir/node$i.log" 2>&1 &
+  pids="$pids $!"
+done
+
+for pid in $pids; do
+  wait "$pid" || { echo "bench_rt: a node exited non-zero; logs:" >&2
+                   cat "$dir"/node*.log >&2; exit 1; }
+done
+
+./_build/default/bin/svs_trace.exe "$dir"/node0.jsonl "$dir"/node1.jsonl \
+  "$dir"/node2.jsonl --json "$OUT"
+echo "bench_rt: wrote $OUT"

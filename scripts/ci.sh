@@ -4,8 +4,10 @@
 #
 #   scripts/ci.sh        build + tests + chaos smoke
 #   scripts/ci.sh smoke  also exercise the micro-benchmarks once
-#                        (liveness only — no timing gates) and emit
-#                        BENCH_purge.json
+#                        (liveness only — no timing gates), emit
+#                        BENCH_purge.json, and smoke the live
+#                        observability surface (admin endpoint +
+#                        svs_trace analyzer)
 #   scripts/ci.sh chaos  the full chaos sweep (20 seeds x every
 #                        scenario x both oracle modes) plus the
 #                        oracle mutation self-test
@@ -48,17 +50,50 @@ chaos_json --seeds 3 --scenarios group-split,split-heal-merge,flapping-split
 # Recovery inverted self-check: restarting members amnesiac (no WAL)
 # must be caught by the oracle — proves the recovery path is what
 # keeps Integrity true across crash-rejoin, not oracle blindness.
-dune exec bin/svs_chaos.exe -- --seeds 2 \
+# (Expected-red runs dump flight recordings; keep them out of the tree.)
+dune exec bin/svs_chaos.exe -- --seeds 2 --flight _build/ci-flight \
   --scenarios crash-restart --modes svs --no-recovery > /dev/null
 
 # Merge inverted self-check: with merge-on-heal disabled, parked
 # members stay parked and every split scenario must fail the
 # re-convergence contract — proves the probe/merge path is load-bearing.
-dune exec bin/svs_chaos.exe -- --seeds 2 \
+dune exec bin/svs_chaos.exe -- --seeds 2 --flight _build/ci-flight \
   --scenarios split-heal-merge --modes svs --no-merge > /dev/null
+
+# Flight-recorder acceptance: a failing (mutated) run must leave a
+# postmortem JSONL dump named after its replay line.
+rm -rf _build/ci-flight
+dune exec bin/svs_chaos.exe -- --seeds 1 --scenarios crash --modes svs \
+  --mutate --flight _build/ci-flight > /dev/null
+ls _build/ci-flight/flight-crash-svs-1.jsonl > /dev/null || {
+  echo "ci: mutated chaos run left no flight-recorder dump" >&2; exit 1; }
 
 if [ "${1:-}" = "smoke" ]; then
   dune exec bench/main.exe -- --smoke
+
+  # Observability smoke: boot a real node with the admin endpoint on,
+  # scrape /metrics + /status + /health while it runs, then feed its
+  # trace to the offline analyzer.
+  obs_dir=$(mktemp -d)
+  trap 'rm -rf "$obs_dir"' EXIT
+  aport=7491
+  dune exec bin/svs_node.exe -- --me 0 --peer 0:127.0.0.1:7391 \
+    --publish 8 --rate 50 --duration 4 --admin-port "$aport" \
+    --trace "$obs_dir/node0.jsonl" --flight-dump "$obs_dir/flight0.jsonl" \
+    --stats-period 0 > "$obs_dir/node0.log" 2>&1 &
+  node_pid=$!
+  sleep 2
+  curl -sf "http://127.0.0.1:$aport/health" | grep -q '^ok'
+  curl -sf "http://127.0.0.1:$aport/status" | grep -q '"status":"member"'
+  curl -sf "http://127.0.0.1:$aport/metrics" > "$obs_dir/metrics.txt"
+  grep -q '^# TYPE rt_delivery_latency_seconds histogram' "$obs_dir/metrics.txt"
+  grep -q 'le="+Inf"' "$obs_dir/metrics.txt"
+  curl -sf "http://127.0.0.1:$aport/dump" | grep -q '"ev":'
+  wait "$node_pid"
+  dune exec bin/svs_trace.exe -- "$obs_dir/node0.jsonl" \
+    --json "$obs_dir/BENCH_rt_throughput.json" > /dev/null
+  grep -q '"msgs_per_s":' "$obs_dir/BENCH_rt_throughput.json"
+  echo "ci: observability smoke OK"
 fi
 
 if [ "${1:-}" = "chaos" ]; then

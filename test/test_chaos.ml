@@ -195,6 +195,44 @@ let test_unmutated_is_clean () =
   let o = Runner.run_one ~config:quick ~mode:Oracle.Svs ~scenario ~seed:4 () in
   Alcotest.(check bool) "clean without mutation" true (Oracle.ok o.Runner.report)
 
+let test_flight_recorder_on_failure () =
+  let scenario = Option.get (Scenario.find "crash") in
+  (* A passing run carries no flight records (postmortems are for
+     failures); the same run mutated red must ship them, virtual-time
+     stamped and in order, even when the caller traced nothing. *)
+  let clean = Runner.run_one ~config:quick ~mode:Oracle.Svs ~scenario ~seed:4 () in
+  Alcotest.(check int) "clean run: empty flight" 0 (List.length clean.Runner.flight);
+  let red =
+    Runner.run_one ~mutation:Oracle.Drop_cover ~config:quick ~mode:Oracle.Svs ~scenario
+      ~seed:4 ()
+  in
+  Alcotest.(check bool) "red run" false (Oracle.ok red.Runner.report);
+  let flight = red.Runner.flight in
+  Alcotest.(check bool) "flight recorded" true (flight <> []);
+  Alcotest.(check bool) "bounded" true (List.length flight <= 2048);
+  let rec chronological = function
+    | a :: (b :: _ as rest) -> a.Trace.time <= b.Trace.time && chronological rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chronological" true (chronological flight);
+  (* The ring kept the END of the run: its last record is late in
+     virtual time, and every record is JSONL-serialisable. *)
+  (match List.rev flight with
+  | last :: _ ->
+      Alcotest.(check bool) "kept the tail" true (last.Trace.time > quick.Runner.horizon /. 2.0)
+  | [] -> ());
+  List.iter
+    (fun r ->
+      match Trace.record_of_json (Trace.record_to_json r) with
+      | Some r' -> Alcotest.(check bool) "round-trips" true (r = r')
+      | None -> Alcotest.fail "flight record does not serialise")
+    flight;
+  (* An outer tracer still sees the stream alongside the ring. *)
+  let tracer = Trace.memory () in
+  let o = Runner.run_one ~tracer ~config:quick ~mode:Oracle.Svs ~scenario ~seed:4 () in
+  Alcotest.(check bool) "outer tracer still fed" true (Trace.records tracer <> []);
+  Alcotest.(check bool) "outer run clean" true (Oracle.ok o.Runner.report)
+
 (* --- Crash recovery under the oracle --- *)
 
 (* Find a seed whose crash-restart plan actually completes a rejoin in
@@ -366,6 +404,7 @@ let () =
         [
           Alcotest.test_case "mutation caught" `Slow test_mutation_caught;
           Alcotest.test_case "unmutated control" `Quick test_unmutated_is_clean;
+          Alcotest.test_case "flight recorder on failure" `Slow test_flight_recorder_on_failure;
           Alcotest.test_case "mode labels" `Quick test_mode_labels;
         ] );
       ( "recovery",

@@ -816,6 +816,103 @@ let test_total_order_over_tcp () =
     (Array.for_all (fun t -> t = tapes.(0)) tapes);
   Array.iter Tcp_mesh.close meshes
 
+(* --- Admin endpoint --- *)
+
+module Admin = Svs_rt.Admin
+module Metrics = Svs_telemetry.Metrics
+
+(* A loop-driven HTTP client: the server's accept/handle path runs on
+   the same loop, so the whole request round-trips single-threaded. *)
+let http_get loop port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: test\r\n\r\n" path in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 1024 in
+  let closed = ref false in
+  Loop.on_readable loop fd (fun () ->
+      let chunk = Bytes.create 4096 in
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+          closed := true;
+          Loop.remove_fd loop fd;
+          Unix.close fd
+      | n -> Buffer.add_subbytes buf chunk 0 n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ());
+  Loop.run ~until:(fun () -> !closed) ~timeout:5.0 loop;
+  Buffer.contents buf
+
+let contains haystack needle = Astring.String.is_infix ~affix:needle haystack
+
+let test_admin_routes () =
+  let loop = Loop.create () in
+  let metrics = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter metrics ~labels:[ ("node", "0") ] "requests_total") 2;
+  let admin =
+    Admin.create loop
+      ~addr:(Unix.ADDR_INET (loopback, 0))
+      [
+        ("/metrics", fun () -> Admin.prometheus (Metrics.prometheus_string metrics));
+        ("/status", fun () -> Admin.json {|{"ok":true}|});
+        ("/health", fun () -> Admin.text "ok\n");
+        ("/boom", fun () -> failwith "kaboom");
+      ]
+  in
+  let port = Admin.port admin in
+  Alcotest.(check bool) "ephemeral port bound" true (port > 0);
+  let metrics_resp = http_get loop port "/metrics" in
+  Alcotest.(check bool) "200" true (contains metrics_resp "HTTP/1.0 200 OK");
+  Alcotest.(check bool) "prometheus content type" true
+    (contains metrics_resp "text/plain; version=0.0.4");
+  Alcotest.(check bool) "TYPE line served" true
+    (contains metrics_resp "# TYPE requests_total counter");
+  Alcotest.(check bool) "sample served" true
+    (contains metrics_resp "requests_total{node=\"0\"} 2");
+  let status_resp = http_get loop port "/status?pretty=1" in
+  Alcotest.(check bool) "json content type (query stripped)" true
+    (contains status_resp "application/json");
+  Alcotest.(check bool) "json body" true (contains status_resp {|{"ok":true}|});
+  Alcotest.(check bool) "health ok" true (contains (http_get loop port "/health") "ok");
+  let missing = http_get loop port "/nope" in
+  Alcotest.(check bool) "404 with route list" true
+    (contains missing "404" && contains missing "/metrics");
+  Alcotest.(check bool) "handler exception answers 503" true
+    (contains (http_get loop port "/boom") "HTTP/1.0 503");
+  (* A live registry is re-rendered per request. *)
+  Metrics.Counter.incr (Metrics.counter metrics ~labels:[ ("node", "0") ] "requests_total");
+  Alcotest.(check bool) "fresh render" true
+    (contains (http_get loop port "/metrics") "requests_total{node=\"0\"} 3");
+  Admin.close admin
+
+let test_admin_node_status () =
+  (* A real node's /status payload: well-formed enough to grep the
+     fields an operator keys on. *)
+  let loop = Loop.create () in
+  let nodes, _deliveries = make_group loop 3 in
+  ignore
+    (Loop.after loop ~delay:0.3 (fun () ->
+         for i = 1 to 5 do
+           ignore (Node.multicast nodes.(0) i)
+         done));
+  Loop.run ~until:(fun () -> Array.for_all (fun n -> Node.pending n = 0) nodes
+                             && Node.bytes_in nodes.(1) > 0)
+    ~timeout:5.0 loop;
+  let s = Node.status_json nodes.(0) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "status has %s" needle) true (contains s needle))
+    [
+      {|"node":0|};
+      {|"status":"member"|};
+      {|"view":{"id":0,"members":[0,1,2]}|};
+      {|"floors":|};
+      {|"wal":null|};
+      {|"peers":[{"peer":1,"up":true|};
+    ];
+  Alcotest.(check string) "label" "member" (Node.status_label nodes.(0));
+  Alcotest.(check (option int)) "no wal" None (Node.wal_segment nodes.(0));
+  Array.iter Node.shutdown nodes
+
 let () =
   Alcotest.run "svs_rt"
     [
@@ -846,6 +943,11 @@ let () =
           Alcotest.test_case "bad CRC stops replay" `Quick test_wal_bad_crc;
           Alcotest.test_case "rotation" `Quick test_wal_rotation;
           Alcotest.test_case "identity mismatch" `Quick test_wal_identity_mismatch;
+        ] );
+      ( "admin",
+        [
+          Alcotest.test_case "routes" `Quick test_admin_routes;
+          Alcotest.test_case "node status json" `Slow test_admin_node_status;
         ] );
       ( "node",
         [

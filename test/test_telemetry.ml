@@ -152,6 +152,10 @@ let all_event_shapes =
     Trace.Fault { kind = "crash"; node = 2; peer = -1 };
     Trace.Parked { node = 3; view_id = 6 };
     Trace.Merge { node = 3; view_id = 9; parked_ms = 420 };
+    Trace.Tx { node = 0; dst = 2; sender = 0; sn = 12; view_id = 3 };
+    Trace.Rx { node = 2; src = 0; sender = 0; sn = 12; view_id = 3 };
+    Trace.Deliver { node = 2; view_id = 3; sender = 0; sn = 12 };
+    Trace.StableMsg { node = 2; sender = 0; sn = 12 };
   ]
 
 let test_json_round_trip () =
@@ -201,6 +205,250 @@ let test_jsonl_sink_file () =
           Alcotest.(check bool) "event preserved" true
             (r.Trace.event = List.nth all_event_shapes i))
         records)
+
+let test_ring_sink () =
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Trace.ring: capacity must be positive") (fun () ->
+      ignore (Trace.ring ~capacity:0 ()));
+  let now = ref 0.0 in
+  let tr = Trace.ring ~clock:(fun () -> !now) ~capacity:3 () in
+  Alcotest.(check bool) "enabled" true (Trace.enabled tr);
+  for sn = 0 to 9 do
+    now := float_of_int sn;
+    Trace.emit tr (Trace.Multicast { node = 0; view_id = 0; sn })
+  done;
+  let sns =
+    List.map
+      (fun r -> match r.Trace.event with Trace.Multicast { sn; _ } -> sn | _ -> -1)
+      (Trace.records tr)
+  in
+  Alcotest.(check (list int)) "keeps the newest, in order" [ 7; 8; 9 ] sns;
+  (* Sequence numbers keep counting across evictions. *)
+  Alcotest.(check (list int)) "seq preserved" [ 7; 8; 9 ]
+    (List.map (fun r -> r.Trace.seq) (Trace.records tr));
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.records tr))
+
+let test_tee_sink () =
+  let a = Trace.memory () in
+  let b = Trace.ring ~capacity:2 () in
+  let tr = Trace.tee a b in
+  Alcotest.(check bool) "enabled when a branch is" true (Trace.enabled tr);
+  List.iter (Trace.emit tr) all_event_shapes;
+  Alcotest.(check int) "first branch gets everything" (List.length all_event_shapes)
+    (List.length (Trace.records a));
+  Alcotest.(check int) "second branch keeps its capacity" 2 (List.length (Trace.records b));
+  Alcotest.(check int) "records reads through the tee" (List.length all_event_shapes)
+    (List.length (Trace.records tr));
+  (* The tee is transparent to the clock too. *)
+  Trace.set_clock tr (fun () -> 9.0);
+  Trace.emit tr (Trace.Block { node = 0; view_id = 1 });
+  (match List.rev (Trace.records a) with
+  | last :: _ -> Alcotest.(check (float 1e-9)) "clock forwarded" 9.0 last.Trace.time
+  | [] -> Alcotest.fail "no records");
+  Alcotest.(check bool) "nop tee disabled" false (Trace.enabled (Trace.tee Trace.nop Trace.nop))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Golden output: hand-checked against the text exposition format.
+   Registration order is scrambled on purpose — the exposition must
+   sort by (name, labels). The two histogram observations land in
+   known log-scale buckets: 1.0 in (1, 1.25], 3.0 in (3, 3.5]. *)
+let test_prometheus_golden () =
+  let reg = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter reg ~labels:[ ("node", "0") ] "requests_total") 3;
+  Metrics.Gauge.set (Metrics.gauge reg "queue_depth") 2.5;
+  let h = Metrics.histogram reg ~labels:[ ("node", "a\"b\\c\nd") ] "lat" in
+  Metrics.Histogram.observe h 1.0;
+  Metrics.Histogram.observe h 3.0;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE lat histogram";
+        "lat_bucket{node=\"a\\\"b\\\\c\\nd\",le=\"1.25\"} 1";
+        "lat_bucket{node=\"a\\\"b\\\\c\\nd\",le=\"3.5\"} 2";
+        "lat_bucket{node=\"a\\\"b\\\\c\\nd\",le=\"+Inf\"} 2";
+        "lat_sum{node=\"a\\\"b\\\\c\\nd\"} 4";
+        "lat_count{node=\"a\\\"b\\\\c\\nd\"} 2";
+        "# TYPE queue_depth gauge";
+        "queue_depth 2.5";
+        "# TYPE requests_total counter";
+        "requests_total{node=\"0\"} 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected (Metrics.prometheus_string reg)
+
+let test_prometheus_label_sort () =
+  let reg = Metrics.create () in
+  (* Same name, two label sets, registered in reverse order. *)
+  Metrics.Counter.add (Metrics.counter reg ~labels:[ ("node", "1") ] "c_total") 1;
+  Metrics.Counter.add (Metrics.counter reg ~labels:[ ("node", "0") ] "c_total") 2;
+  let expected =
+    String.concat "\n"
+      [ "# TYPE c_total counter"; "c_total{node=\"0\"} 2"; "c_total{node=\"1\"} 1"; "" ]
+  in
+  Alcotest.(check string) "one TYPE line, labels sorted" expected
+    (Metrics.prometheus_string reg);
+  (* An empty histogram still exposes _sum/_count and the +Inf bucket. *)
+  let reg2 = Metrics.create () in
+  ignore (Metrics.histogram reg2 "empty");
+  let expected2 =
+    String.concat "\n"
+      [
+        "# TYPE empty histogram";
+        "empty_bucket{le=\"+Inf\"} 0";
+        "empty_sum 0";
+        "empty_count 0";
+        "";
+      ]
+  in
+  Alcotest.(check string) "empty histogram" expected2 (Metrics.prometheus_string reg2)
+
+(* ------------------------------------------------------------------ *)
+(* Span analyzer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Span = Svs_telemetry.Span
+
+(* A hand-written two-node run with exact, nearest-rank-checkable
+   numbers. Node 0 multicasts sn 0 and sn 1; both nodes deliver both;
+   delivery latencies are 10/20/30/40 ms, so p50 = 20 ms and
+   p99 = 40 ms by nearest rank. sn 0 goes stable 2 s after submit;
+   sn 1 is purged at node 1 instead (and never stable anywhere). *)
+let fixture_node0 =
+  let ev time seq event = { Trace.time; seq; event } in
+  [
+    ev 1.0 0 (Trace.Multicast { node = 0; view_id = 0; sn = 0 });
+    ev 1.0 1 (Trace.Tx { node = 0; dst = 1; sender = 0; sn = 0; view_id = 0 });
+    ev 1.010 2 (Trace.Deliver { node = 0; view_id = 0; sender = 0; sn = 0 });
+    ev 2.0 3 (Trace.Multicast { node = 0; view_id = 0; sn = 1 });
+    ev 2.0 4 (Trace.Tx { node = 0; dst = 1; sender = 0; sn = 1; view_id = 0 });
+    ev 2.030 5 (Trace.Deliver { node = 0; view_id = 0; sender = 0; sn = 1 });
+    ev 3.0 6 (Trace.StableMsg { node = 0; sender = 0; sn = 0 });
+    ev 4.0 7 (Trace.Block { node = 0; view_id = 0 });
+    ev 4.1 8 (Trace.ViewInstall { node = 0; view_id = 1; members = [ 0; 1 ] });
+  ]
+
+let fixture_node1 =
+  let ev time seq event = { Trace.time; seq; event } in
+  [
+    ev 1.015 0 (Trace.Rx { node = 1; src = 0; sender = 0; sn = 0; view_id = 0 });
+    ev 1.020 1 (Trace.Deliver { node = 1; view_id = 0; sender = 0; sn = 0 });
+    ev 2.015 2 (Trace.Rx { node = 1; src = 0; sender = 0; sn = 1; view_id = 0 });
+    ev 2.040 3 (Trace.Deliver { node = 1; view_id = 0; sender = 0; sn = 1 });
+    ev 2.5 4
+      (Trace.Purge { node = 1; view_id = 0; at_step = Trace.At_receive; sender = 0; sn = 1 });
+    ev 4.05 5 (Trace.Block { node = 1; view_id = 0 });
+    ev 4.1 6 (Trace.ViewInstall { node = 1; view_id = 1; members = [ 0; 1 ] });
+  ]
+
+let test_span_timelines () =
+  match Span.timelines [ fixture_node0; fixture_node1 ] with
+  | [ t0; t1 ] ->
+      Alcotest.(check (pair int int)) "first message id" (0, 0) (t0.Span.sender, t0.Span.sn);
+      Alcotest.(check (option (float 1e-9))) "submit" (Some 1.0) t0.Span.submit;
+      Alcotest.(check (list (pair int (float 1e-9)))) "tx" [ (1, 1.0) ] t0.Span.tx;
+      Alcotest.(check (list (pair int (float 1e-9)))) "rx" [ (1, 1.015) ] t0.Span.rx;
+      Alcotest.(check (list (pair int (float 1e-9))))
+        "deliveries merged chronologically"
+        [ (0, 1.010); (1, 1.020) ]
+        t0.Span.deliver;
+      Alcotest.(check (list (pair int (float 1e-9)))) "stable" [ (0, 3.0) ] t0.Span.stable;
+      Alcotest.(check (list (pair int (float 1e-9)))) "no purge" [] t0.Span.purged;
+      Alcotest.(check (list (pair int (float 1e-9)))) "sn 1 purged" [ (1, 2.5) ] t1.Span.purged
+  | l -> Alcotest.failf "expected 2 timelines, got %d" (List.length l)
+
+let test_span_report () =
+  let r = Span.analyze [ fixture_node0; fixture_node1 ] in
+  Alcotest.(check (list int)) "nodes" [ 0; 1 ] r.Span.nodes;
+  Alcotest.(check int) "messages" 2 r.Span.messages;
+  Alcotest.(check int) "deliveries" 4 r.Span.deliveries;
+  Alcotest.(check int) "purges" 1 r.Span.purges;
+  Alcotest.(check (float 1e-9)) "span: first submit to last delivery" 1.040 r.Span.span;
+  Alcotest.(check (float 1e-6)) "throughput" (4.0 /. 1.040) r.Span.msgs_per_s;
+  Alcotest.(check (float 1e-9)) "purge effectiveness" 0.2 r.Span.purge_effectiveness;
+  (match r.Span.delivery_latency with
+  | None -> Alcotest.fail "no delivery latency"
+  | Some s ->
+      Alcotest.(check int) "lat count" 4 s.Span.count;
+      Alcotest.(check (float 1e-9)) "lat mean" 0.025 s.Span.mean;
+      Alcotest.(check (float 1e-9)) "lat p50 (nearest rank)" 0.020 s.Span.p50;
+      Alcotest.(check (float 1e-9)) "lat p99 (nearest rank)" 0.040 s.Span.p99;
+      Alcotest.(check (float 1e-9)) "lat max" 0.040 s.Span.max);
+  (match r.Span.remote_latency with
+  | None -> Alcotest.fail "no remote latency"
+  | Some s ->
+      Alcotest.(check int) "remote count" 2 s.Span.count;
+      Alcotest.(check (float 1e-9)) "remote p50" 0.020 s.Span.p50);
+  (match r.Span.stability_lag with
+  | None -> Alcotest.fail "no stability lag"
+  | Some s -> Alcotest.(check (float 1e-9)) "stability lag" 2.0 s.Span.p50);
+  (match r.Span.purge_latency with
+  | None -> Alcotest.fail "no purge latency"
+  | Some s -> Alcotest.(check (float 1e-9)) "purge latency" 0.5 s.Span.p50);
+  Alcotest.(check int) "view changes" 1 r.Span.view_changes;
+  (match r.Span.view_spans with
+  | None -> Alcotest.fail "no view spans"
+  | Some s ->
+      Alcotest.(check int) "two blocked spans" 2 s.Span.count;
+      Alcotest.(check (float 1e-9)) "longest block" 0.1 s.Span.max);
+  (* sn 1 was delivered but never went stable anywhere, and stability
+     tracking was demonstrably active (sn 0 did go stable). *)
+  (match r.Span.anomalies with
+  | [ Span.Never_stable { messages } ] ->
+      Alcotest.(check int) "one never-stable message" 1 messages
+  | l -> Alcotest.failf "expected exactly Never_stable, got %d anomalies" (List.length l));
+  (* The same run under a tight block threshold also flags the blocks. *)
+  let tight = Span.analyze ~block_threshold:0.04 [ fixture_node0; fixture_node1 ] in
+  Alcotest.(check int) "tight threshold adds Long_block anomalies" 3
+    (List.length tight.Span.anomalies)
+
+let test_span_floor_regression () =
+  let ev time seq event = { Trace.time; seq; event } in
+  let records =
+    [
+      ev 1.0 0 (Trace.Multicast { node = 0; view_id = 0; sn = 5 });
+      ev 1.1 1 (Trace.Deliver { node = 1; view_id = 0; sender = 0; sn = 5 });
+      ev 1.2 2 (Trace.Deliver { node = 1; view_id = 0; sender = 0; sn = 5 });
+    ]
+  in
+  let r = Span.analyze [ records ] in
+  match r.Span.anomalies with
+  | [ Span.Floor_regression { node = 1; sender = 0; sn = 5; prev = 5 } ] -> ()
+  | l -> Alcotest.failf "expected one Floor_regression, got %d anomalies" (List.length l)
+
+let test_span_json_and_load () =
+  let path = Filename.temp_file "svs_span" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun r ->
+          output_string oc (Trace.record_to_json r);
+          output_char oc '\n')
+        fixture_node0;
+      output_string oc "this line is garbage and must be skipped\n";
+      close_out oc;
+      let loaded = Span.load_file path in
+      Alcotest.(check int) "garbage skipped" (List.length fixture_node0) (List.length loaded);
+      let r = Span.analyze [ loaded; fixture_node1 ] in
+      let json = Span.report_to_json r in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "json has %s" needle) true
+            (Astring.String.is_infix ~affix:needle json))
+        [
+          {|"bench":"rt_throughput"|};
+          {|"nodes":2|};
+          {|"deliveries":4|};
+          {|"msgs_per_s":|};
+          {|"p99":0.04|};
+          {|"never_stable":1|};
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented Group stack                                            *)
@@ -331,6 +579,8 @@ let () =
           Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "one-line report" `Quick test_pp_line;
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "prometheus sorting" `Quick test_prometheus_label_sort;
         ] );
       ( "trace",
         [
@@ -338,6 +588,15 @@ let () =
           Alcotest.test_case "memory ordering" `Quick test_memory_sink_ordering;
           Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
           Alcotest.test_case "jsonl file" `Quick test_jsonl_sink_file;
+          Alcotest.test_case "ring sink" `Quick test_ring_sink;
+          Alcotest.test_case "tee sink" `Quick test_tee_sink;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "timelines" `Quick test_span_timelines;
+          Alcotest.test_case "report stats" `Quick test_span_report;
+          Alcotest.test_case "floor regression" `Quick test_span_floor_regression;
+          Alcotest.test_case "jsonl load + report json" `Quick test_span_json_and_load;
         ] );
       ( "group integration",
         [
