@@ -2,6 +2,37 @@ exception Truncated
 
 exception Malformed of string
 
+module Slice = struct
+  type t = { buf : Bytes.t; off : int; len : int }
+
+  let make buf ~off ~len =
+    if off < 0 || len < 0 || off > Bytes.length buf - len then
+      invalid_arg "Codec.Slice.make: out of bounds";
+    { buf; off; len }
+
+  (* A reader never writes through the slice, so viewing an immutable
+     string as bytes is sound. *)
+  let of_string s = { buf = Bytes.unsafe_of_string s; off = 0; len = String.length s }
+
+  let length t = t.len
+
+  let sub t ~off ~len =
+    if off < 0 || len < 0 || off > t.len - len then
+      invalid_arg "Codec.Slice.sub: out of bounds";
+    { buf = t.buf; off = t.off + off; len }
+
+  let to_string t = Bytes.sub_string t.buf t.off t.len
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Codec.Slice.get: out of bounds";
+    Bytes.get t.buf (t.off + i)
+
+  let blit t dst dst_off =
+    if dst_off < 0 || dst_off > Bytes.length dst - t.len then
+      invalid_arg "Codec.Slice.blit: out of bounds";
+    Bytes.blit t.buf t.off dst dst_off t.len
+end
+
 module Writer = struct
   type t = Buffer.t
 
@@ -10,6 +41,15 @@ module Writer = struct
   let length = Buffer.length
 
   let contents = Buffer.contents
+
+  let clear = Buffer.clear
+
+  let blit_into t dst dst_off =
+    if dst_off < 0 || dst_off > Bytes.length dst - Buffer.length t then
+      invalid_arg "Codec.Writer.blit_into: out of bounds";
+    Buffer.blit t 0 dst dst_off (Buffer.length t)
+
+  let add_to_buffer t dst = Buffer.add_buffer dst t
 
   let uint8 t v =
     if v < 0 || v > 0xFF then invalid_arg "Codec.Writer.uint8: out of range";
@@ -67,23 +107,39 @@ module Writer = struct
 end
 
 module Reader = struct
-  type t = { data : string; mutable pos : int }
+  (* The reader walks [buf] from [pos] (exclusive) to [limit]; the
+     window is a borrowed view of the caller's bytes — nothing is
+     copied until a field accessor ([take], [bytes]) materializes a
+     value, and [slice] does not even then. *)
+  type t = { buf : Bytes.t; mutable pos : int; limit : int }
 
-  let of_string data = { data; pos = 0 }
+  let of_slice (s : Slice.t) = { buf = s.Slice.buf; pos = s.Slice.off; limit = s.Slice.off + s.Slice.len }
 
-  let remaining t = String.length t.data - t.pos
+  let of_string data = of_slice (Slice.of_string data)
+
+  let of_bytes ?(off = 0) ?len data =
+    let len = match len with Some l -> l | None -> Bytes.length data - off in
+    of_slice (Slice.make data ~off ~len)
+
+  let remaining t = t.limit - t.pos
 
   let eof t = remaining t = 0
 
   let take t n =
-    if remaining t < n then raise Truncated;
-    let s = String.sub t.data t.pos n in
+    if n < 0 || remaining t < n then raise Truncated;
+    let s = Bytes.sub_string t.buf t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let slice t n =
+    if n < 0 || remaining t < n then raise Truncated;
+    let s = { Slice.buf = t.buf; off = t.pos; len = n } in
     t.pos <- t.pos + n;
     s
 
   let uint8 t =
     if remaining t < 1 then raise Truncated;
-    let c = Char.code t.data.[t.pos] in
+    let c = Char.code (Bytes.unsafe_get t.buf t.pos) in
     t.pos <- t.pos + 1;
     c
 
@@ -101,11 +157,14 @@ module Reader = struct
     (v lsr 1) lxor (-(v land 1))
 
   let float64 t =
-    let s = take t 8 in
+    if remaining t < 8 then raise Truncated;
     let bits = ref 0L in
     for i = 7 downto 0 do
-      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[i]))
+      bits :=
+        Int64.logor (Int64.shift_left !bits 8)
+          (Int64.of_int (Char.code (Bytes.unsafe_get t.buf (t.pos + i))))
     done;
+    t.pos <- t.pos + 8;
     Int64.float_of_bits !bits
 
   let bool t =

@@ -7,12 +7,50 @@
     bandwidth-aware network model — and usable by applications for
     their payloads.
 
+    The hot path is copy-free: a {!Slice} is a borrowed window into a
+    caller-owned [Bytes.t] (e.g. a transport's reusable inbound
+    buffer), {!Reader.of_slice} decodes straight out of it without
+    materializing a [string] per frame, and {!Writer.blit_into} /
+    {!Writer.add_to_buffer} hand a writer's bytes to an output buffer
+    without the intermediate copy that {!Writer.contents} makes.
+
     Readers raise {!Truncated} on short input and {!Malformed} on
     invalid encodings; writers never fail. *)
 
 exception Truncated
 
 exception Malformed of string
+
+(** A borrowed window [\[off, off+len)] into a [Bytes.t] the caller
+    owns. Creating, narrowing ({!Slice.sub}) and reading a slice never
+    copies; only {!Slice.to_string} does. A slice is valid for exactly
+    as long as the underlying buffer is not mutated or reused — a
+    transport that recycles its inbound buffer must finish decoding
+    (or copy out) before the next read. *)
+module Slice : sig
+  type t = private { buf : Bytes.t; off : int; len : int }
+
+  val make : Bytes.t -> off:int -> len:int -> t
+  (** @raise Invalid_argument when the window overruns the buffer. *)
+
+  val of_string : string -> t
+  (** Zero-copy view of an immutable string. *)
+
+  val length : t -> int
+
+  val sub : t -> off:int -> len:int -> t
+  (** Narrow (relative to the slice). @raise Invalid_argument when out
+      of bounds. *)
+
+  val get : t -> int -> char
+  (** @raise Invalid_argument when out of bounds. *)
+
+  val to_string : t -> string
+  (** The one copying accessor. *)
+
+  val blit : t -> Bytes.t -> int -> unit
+  (** [blit t dst pos] copies the slice into [dst] at [pos]. *)
+end
 
 module Writer : sig
   type t
@@ -22,6 +60,20 @@ module Writer : sig
   val length : t -> int
 
   val contents : t -> string
+  (** Copies; prefer {!blit_into} or {!add_to_buffer} on hot paths. *)
+
+  val clear : t -> unit
+  (** Empty the writer, keeping its storage — reuse one writer per
+      connection/log instead of allocating per frame. *)
+
+  val blit_into : t -> Bytes.t -> int -> unit
+  (** [blit_into w dst pos] copies the written bytes into [dst] at
+      [pos] without building an intermediate string.
+      @raise Invalid_argument when [dst] is too small. *)
+
+  val add_to_buffer : t -> Buffer.t -> unit
+  (** Append the written bytes to a [Buffer.t] (no intermediate
+      string). *)
 
   val uint8 : t -> int -> unit
   (** Must fit a byte. *)
@@ -54,6 +106,13 @@ module Reader : sig
 
   val of_string : string -> t
 
+  val of_slice : Slice.t -> t
+  (** Decode out of a borrowed window — no copy. The reader is valid
+      only while the slice is (see {!Slice}). *)
+
+  val of_bytes : ?off:int -> ?len:int -> Bytes.t -> t
+  (** [of_slice (Slice.make b ~off ~len)]. *)
+
   val remaining : t -> int
 
   val eof : t -> bool
@@ -71,6 +130,10 @@ module Reader : sig
   val bytes : t -> string
 
   val raw : t -> int -> string
+
+  val slice : t -> int -> Slice.t
+  (** Take the next [n] bytes as a sub-window without copying.
+      @raise Truncated like every other accessor. *)
 
   val list : t -> (t -> 'a) -> 'a list
 

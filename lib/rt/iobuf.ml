@@ -1,0 +1,124 @@
+module Slice = Svs_codec.Codec.Slice
+
+type t = { mutable buf : Bytes.t; mutable start : int; mutable fill : int }
+
+let create ?(capacity = 4096) () = { buf = Bytes.create (max 16 capacity); start = 0; fill = 0 }
+
+let length t = t.fill - t.start
+
+let is_empty t = t.fill = t.start
+
+let capacity t = Bytes.length t.buf
+
+let clear t =
+  t.start <- 0;
+  t.fill <- 0
+
+(* Make room for [extra] more bytes at the tail: first slide the live
+   region back to offset 0 (reclaiming consumed space), and only if
+   that is not enough grow geometrically. Amortized O(1) per byte. *)
+let reserve t extra =
+  if t.fill + extra > Bytes.length t.buf then begin
+    let live = length t in
+    if live + extra <= Bytes.length t.buf then begin
+      Bytes.blit t.buf t.start t.buf 0 live;
+      t.start <- 0;
+      t.fill <- live
+    end
+    else begin
+      let target = live + extra in
+      let cap = ref (max 16 (Bytes.length t.buf)) in
+      while !cap < target do
+        cap := !cap * 2
+      done;
+      let fresh = Bytes.create !cap in
+      Bytes.blit t.buf t.start fresh 0 live;
+      t.buf <- fresh;
+      t.start <- 0;
+      t.fill <- live
+    end
+  end
+
+let unsafe_bytes t = t.buf
+
+let start t = t.start
+
+let contents_slice t = Slice.make t.buf ~off:t.start ~len:(length t)
+
+let add_char t c =
+  reserve t 1;
+  Bytes.unsafe_set t.buf t.fill c;
+  t.fill <- t.fill + 1
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf t.fill n;
+  t.fill <- t.fill + n
+
+let add_subbytes t b off len =
+  reserve t len;
+  Bytes.blit b off t.buf t.fill len;
+  t.fill <- t.fill + len
+
+let add_buffer t b =
+  let n = Buffer.length b in
+  reserve t n;
+  Buffer.blit b 0 t.buf t.fill n;
+  t.fill <- t.fill + n
+
+let add_be32 t v =
+  reserve t 4;
+  Bytes.unsafe_set t.buf t.fill (Char.unsafe_chr ((v lsr 24) land 0xFF));
+  Bytes.unsafe_set t.buf (t.fill + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set t.buf (t.fill + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set t.buf (t.fill + 3) (Char.unsafe_chr (v land 0xFF));
+  t.fill <- t.fill + 4
+
+let add_writer t w =
+  let n = Svs_codec.Codec.Writer.length w in
+  reserve t n;
+  Svs_codec.Codec.Writer.blit_into w t.buf t.fill;
+  t.fill <- t.fill + n
+
+let prepend_string t s =
+  let n = String.length s in
+  if t.start >= n then begin
+    (* Room before the live region: write the prefix in place. *)
+    t.start <- t.start - n;
+    Bytes.blit_string s 0 t.buf t.start n
+  end
+  else begin
+    let live = length t in
+    reserve t n;
+    (* reserve may have compacted; shift the live region right. *)
+    Bytes.blit t.buf t.start t.buf (t.start + n) live;
+    Bytes.blit_string s 0 t.buf t.start n;
+    t.fill <- t.fill + n
+  end
+
+let consume t n =
+  if n < 0 || n > length t then invalid_arg "Iobuf.consume: out of bounds";
+  t.start <- t.start + n;
+  if t.start = t.fill then clear t
+
+(* One write syscall straight from the backing bytes (no copy),
+   advancing past whatever the kernel took. *)
+let write_to_fd t fd =
+  let n = length t in
+  if n = 0 then 0
+  else begin
+    let written = Unix.write fd t.buf t.start n in
+    consume t written;
+    written
+  end
+
+(* One read syscall into the free tail, growing so at least
+   [read_chunk] bytes can land. *)
+let read_chunk = 65536
+
+let read_from_fd t fd =
+  reserve t read_chunk;
+  let n = Unix.read fd t.buf t.fill (Bytes.length t.buf - t.fill) in
+  if n > 0 then t.fill <- t.fill + n;
+  n

@@ -1,0 +1,70 @@
+(** Growable byte queue for zero-copy I/O.
+
+    An [Iobuf.t] owns a single backing [Bytes.t] with a consumed
+    prefix, a live region, and free tail space. Producers append at
+    the tail ({!add_string}, {!add_writer}, …); consumers drain from
+    the head ({!consume}, {!write_to_fd}). Space is reclaimed by
+    sliding the live region back to offset zero before growing, so
+    steady-state traffic recycles one allocation.
+
+    Used as the per-peer outbound queue in {!Tcp_mesh} and as the
+    group-commit tail in {!Wal} — both write straight from the backing
+    bytes with one [Unix.write], no [Buffer.contents] copy. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+(** Bytes currently queued (live region size). *)
+
+val is_empty : t -> bool
+
+val capacity : t -> int
+(** Size of the backing buffer (diagnostic). *)
+
+val clear : t -> unit
+
+val reserve : t -> int -> unit
+(** Ensure the free tail can hold [n] more bytes (compacts or grows). *)
+
+val unsafe_bytes : t -> Bytes.t
+(** The backing buffer; valid only until the next mutating call. *)
+
+val start : t -> int
+(** Offset of the live region inside {!unsafe_bytes}. *)
+
+val contents_slice : t -> Svs_codec.Codec.Slice.t
+(** Borrowed view of the live region; valid until the next mutation. *)
+
+val add_char : t -> char -> unit
+
+val add_string : t -> string -> unit
+
+val add_subbytes : t -> Bytes.t -> int -> int -> unit
+(** [add_subbytes t b off len]. *)
+
+val add_buffer : t -> Buffer.t -> unit
+(** Append a [Buffer.t]'s bytes without an intermediate string. *)
+
+val add_be32 : t -> int -> unit
+(** Append a big-endian u32 (frame length prefix). *)
+
+val add_writer : t -> Svs_codec.Codec.Writer.t -> unit
+(** Append a writer's bytes without an intermediate string. *)
+
+val prepend_string : t -> string -> unit
+(** Insert bytes {e before} the live region (e.g. a hello frame ahead
+    of already-queued traffic). *)
+
+val consume : t -> int -> unit
+(** Drop [n] bytes from the head.
+    @raise Invalid_argument when [n] exceeds {!length}. *)
+
+val write_to_fd : t -> Unix.file_descr -> int
+(** One [Unix.write] from the head of the live region; consumes and
+    returns what the kernel accepted. Raises like [Unix.write]. *)
+
+val read_from_fd : t -> Unix.file_descr -> int
+(** One [Unix.read] into the free tail (reserving 64 KiB); returns the
+    count read, 0 at EOF. Raises like [Unix.read]. *)

@@ -21,6 +21,8 @@ type config = {
   park_timeout : float option;
   tracer : Trace.t;
   metrics : Metrics.t option;
+  flush_interval : float;
+      (* Mesh batching horizon (seconds); 0. flushes on every send. *)
 }
 
 let default_config =
@@ -31,6 +33,7 @@ let default_config =
     park_timeout = None;
     tracer = Trace.nop;
     metrics = None;
+    flush_interval = 0.001;
   }
 
 (* Packets on the mesh: protocol wire messages, consensus messages for
@@ -60,9 +63,16 @@ let read_packet pc r =
   | 2 -> Beat
   | n -> raise (Codec.Malformed (Printf.sprintf "packet tag %d" n))
 
-(* How many sequence numbers one durable Lease record covers: the
-   multicast hot path fsyncs once per chunk, not once per message. *)
-let lease_chunk = 64
+(* How many sequence numbers one Lease record covers. Leases are
+   extended ahead of use: when the headroom above the current sn drops
+   to [lease_low_water], the next ceiling is appended to the WAL and
+   rides the periodic group-commit sync — so the multicast hot path
+   almost never waits on an fsync. The blocking fallback (sn caught up
+   with the durable ceiling) only fires when publishing outruns a whole
+   commit interval's worth of headroom. *)
+let lease_chunk = 8192
+
+let lease_low_water = 2048
 
 type 'p t = {
   loop : Loop.t;
@@ -71,7 +81,9 @@ type 'p t = {
   started_at : float;
   mutable proto : 'p Protocol.t;
   wal : Wal.t option;
-  mutable leased : int; (* sns below this are covered by a durable Lease *)
+  mutable leased : int; (* lease ceiling appended to the WAL *)
+  mutable durable_leased : int; (* lease ceiling known fsynced *)
+  pkt_writer : Codec.Writer.t; (* reused for every outbound packet *)
   on_synced : View.t -> string option -> unit;
   mesh : Tcp_mesh.t;
   payload_codec : 'p Wire_codec.payload_codec;
@@ -130,9 +142,12 @@ let note_arrival t (d : 'p Types.data) =
     Hashtbl.replace t.arrivals d.Types.id (d.Types.view_id, Loop.now t.loop)
 
 let send_packet t ~dst packet =
-  let w = Codec.Writer.create () in
+  let w = t.pkt_writer in
+  Codec.Writer.clear w;
   write_packet t.payload_codec w packet;
-  Tcp_mesh.send t.mesh ~dst (Codec.Writer.contents w)
+  (* The writer's bytes move straight into the mesh batch — no
+     per-packet string, no per-packet syscall. *)
+  Tcp_mesh.send_writer t.mesh ~dst w
 
 let rec drain t =
   let outs = Protocol.take_outputs t.proto in
@@ -328,14 +343,25 @@ let parked t = t.park_epoch <> None
 let multicast t ?ann payload =
   if t.stopped then Error `Not_member
   else begin
-    (* A sequence number must be covered by a durable lease before it
-       goes on the wire, or a restarted incarnation could reuse it. *)
+    (* A sequence number must be covered by a {e durable} lease before
+       it goes on the wire, or a restarted incarnation could reuse it.
+       The lease is extended ahead of use so the extension normally
+       rides the periodic group-commit sync; only a publisher that
+       exhausts the durable headroom blocks on fsync here. *)
     (match t.wal with
     | Some w ->
         let sn = Protocol.next_sn t.proto in
-        if sn >= t.leased then begin
+        if sn >= t.durable_leased then begin
+          if sn >= t.leased then begin
+            t.leased <- sn + lease_chunk;
+            Wal.append w (Wal.Lease { next_sn = t.leased })
+          end;
+          Wal.sync w;
+          t.durable_leased <- t.leased
+        end
+        else if t.leased - sn <= lease_low_water then begin
           t.leased <- sn + lease_chunk;
-          Wal.append_durable w (Wal.Lease { next_sn = t.leased })
+          Wal.append w (Wal.Lease { next_sn = t.leased })
         end
     | None -> ());
     let result = Protocol.multicast t.proto ?ann payload in
@@ -457,11 +483,14 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
         match !t_ref with
         | None -> ()
         | Some t -> (
-            match read_packet payload_codec (Codec.Reader.of_string frame) with
+            (* [frame] is a borrowed slice into the mesh's inbound
+               buffer; decoding happens entirely within the callback. *)
+            match read_packet payload_codec (Codec.Reader.of_slice frame) with
             | packet -> on_packet t ~src packet
             | exception (Codec.Truncated | Codec.Malformed _) ->
                 Log.warn (fun m -> m "node %d: malformed frame from %d" me src)))
-      ~tracer:config.tracer ?metrics:config.metrics ()
+      ~tracer:config.tracer ?metrics:config.metrics
+      ~flush_interval:config.flush_interval ()
   in
   let hb_ref = ref None in
   let suspects p =
@@ -513,6 +542,8 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
       proto;
       wal;
       leased = (match recovered with Some r -> r.Wal.next_sn | None -> 0);
+      durable_leased = (match recovered with Some r -> r.Wal.next_sn | None -> 0);
+      pkt_writer = Codec.Writer.create ~initial_capacity:256 ();
       on_synced;
       mesh;
       payload_codec;
@@ -601,9 +632,12 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
   (match wal with
   | None -> ()
   | Some w ->
+      (* Group-commit tick: one fsync covers every append since the
+         last — floors and lease extensions ride it for free. *)
       ignore
         (Loop.every loop ~period:0.05 (fun () ->
              Wal.sync w;
+             t.durable_leased <- t.leased;
              not t.stopped)
           : Loop.timer));
   t

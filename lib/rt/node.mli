@@ -35,15 +35,21 @@ type config = {
           time (the node re-points the tracer's clock at the loop). *)
   metrics : Svs_telemetry.Metrics.t option;
       (** When set, registers the node's instruments: the protocol's
-          purge/occupancy/blocked set, the mesh byte counters,
-          [rt_suspicions_total] and [rt_delivery_latency_seconds]
-          (wall-clock seconds from acceptance to application
-          delivery), labelled by node. *)
+          purge/occupancy/blocked set, the mesh byte counters and
+          batching instruments, [rt_suspicions_total] and
+          [rt_delivery_latency_seconds] (wall-clock seconds from
+          acceptance to application delivery), labelled by node. *)
+  flush_interval : float;
+      (** Mesh batching horizon in seconds (see
+          {!Tcp_mesh.create}): outbound packets coalesce per peer for
+          up to this long before one batched write. [0.] writes on
+          every send. *)
 }
 
 val default_config : config
 (** Semantic purging on, 100 ms heartbeats (350 ms initial timeout),
-    stability gossip every second, no park timeout, telemetry off. *)
+    stability gossip every second, no park timeout, telemetry off,
+    1 ms flush interval. *)
 
 val create :
   Loop.t ->

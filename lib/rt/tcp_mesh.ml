@@ -1,7 +1,60 @@
 module Metrics = Svs_telemetry.Metrics
 module Trace = Svs_telemetry.Trace
+module Codec = Svs_codec.Codec
 
 let frame_header_bytes = 4
+
+(* Inbound reassembly: splits a byte stream into outer frames without
+   materializing a string per frame. Bytes accumulate in a reusable
+   Iobuf; [next] hands out a borrowed slice over the backing buffer,
+   valid until the next [feed]/[read_from_fd]. *)
+module Assembler = struct
+  type t = { buf : Iobuf.t; max_frame : int }
+
+  type result = Frame of Codec.Slice.t | Await | Oversize of int
+
+  let create ?(max_frame = max_int) () = { buf = Iobuf.create ~capacity:16384 (); max_frame }
+
+  let feed t data = Iobuf.add_string t.buf data
+
+  let read_from_fd t fd =
+    let n = Iobuf.read_from_fd t.buf fd in
+    n
+
+  let buffered t = Iobuf.length t.buf
+
+  let next t =
+    let available = Iobuf.length t.buf in
+    if available < frame_header_bytes then Await
+    else begin
+      let b = Iobuf.unsafe_bytes t.buf and s = Iobuf.start t.buf in
+      let n =
+        (Char.code (Bytes.get b s) lsl 24)
+        lor (Char.code (Bytes.get b (s + 1)) lsl 16)
+        lor (Char.code (Bytes.get b (s + 2)) lsl 8)
+        lor Char.code (Bytes.get b (s + 3))
+      in
+      if n > t.max_frame then Oversize n
+      else if available < frame_header_bytes + n then Await
+      else begin
+        let slice = Codec.Slice.make b ~off:(s + frame_header_bytes) ~len:n in
+        (* Consuming only advances the head pointer; the bytes under
+           the slice stay put until the next feed compacts. *)
+        Iobuf.consume t.buf (frame_header_bytes + n);
+        Frame slice
+      end
+    end
+end
+
+(* Inner frames of a batch payload: [varint length][bytes], packed
+   back to back. Raises [Codec.Truncated]/[Codec.Malformed] on a
+   payload that is not a well-formed batch. *)
+let iter_batch slice f =
+  let r = Codec.Reader.of_slice slice in
+  while not (Codec.Reader.eof r) do
+    let len = Codec.Reader.varint r in
+    f (Codec.Reader.slice r len)
+  done
 
 type dial_policy = {
   base_delay : float;
@@ -30,12 +83,19 @@ type outgoing = {
   mutable attempts : int; (* consecutive failed dials *)
   mutable delay : float; (* current backoff delay *)
   mutable next_dial : float; (* wall-clock time before which we hold off *)
-  out : Buffer.t; (* bytes not yet written to the kernel *)
+  out : Iobuf.t; (* sealed outer frames not yet handed to the kernel *)
+  batch : Buffer.t; (* inner frames of the open (unsealed) batch *)
+  mutable batch_frames : int; (* inner frames in [batch] *)
+  mutable queued_frames : int;
+      (* Frames queued since the buffer was last known drained. Exact
+         whenever nothing has been partially written — in particular on
+         the dial-cap write-off path, where no byte ever reached the
+         kernel — which is the only place it is read. *)
 }
 
 type incoming = {
   fd : Unix.file_descr;
-  buf : Buffer.t;
+  asm : Assembler.t;
   mutable peer : int option; (* learned from the hello frame *)
 }
 
@@ -45,11 +105,13 @@ type t = {
   listen_fd : Unix.file_descr;
   outgoing : (int * outgoing) list;
   mutable incoming : incoming list;
-  on_frame : src:int -> string -> unit;
+  on_frame : src:int -> Codec.Slice.t -> unit;
   mutable closed : bool;
   tracer : Trace.t;
   dial : dial_policy;
   max_frame : int;
+  flush_interval : float;
+  watermark : int; (* seal the open batch at this many payload bytes *)
   mutable jitter_state : int64;
   c_bytes_out : Metrics.Counter.t;
   c_bytes_in : Metrics.Counter.t;
@@ -57,6 +119,9 @@ type t = {
   c_frames_dropped : Metrics.Counter.t;
   c_frames_oversize : Metrics.Counter.t;
   c_writeoff_resets : Metrics.Counter.t;
+  c_flushes : Metrics.Counter.t;
+  c_writev_bytes : Metrics.Counter.t;
+  h_batch_frames : Metrics.Histogram.t;
 }
 
 let listener addr =
@@ -67,14 +132,32 @@ let listener addr =
   Unix.listen fd 16;
   (fd, Unix.getsockname fd)
 
-let encode_frame payload =
+(* The hello is the one frame that is not a batch: the first outer
+   frame on a connection carries the dialer's id, raw. *)
+let hello_frame me =
+  let payload = string_of_int me in
   let n = String.length payload in
-  let header = Bytes.create frame_header_bytes in
-  Bytes.set_uint8 header 0 ((n lsr 24) land 0xFF);
-  Bytes.set_uint8 header 1 ((n lsr 16) land 0xFF);
-  Bytes.set_uint8 header 2 ((n lsr 8) land 0xFF);
-  Bytes.set_uint8 header 3 (n land 0xFF);
-  Bytes.to_string header ^ payload
+  let b = Bytes.create (frame_header_bytes + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (n land 0xFF);
+  Bytes.blit_string payload 0 b frame_header_bytes n;
+  Bytes.to_string b
+
+let add_varint buf v =
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let varint_size v =
+  let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in
+  go v 1
 
 (* Deterministic jitter (xorshift64), seeded from the node id: dial
    retries across a mesh restart don't synchronise into thundering
@@ -95,54 +178,54 @@ let emit_drop t ~peer ~reason =
   if Trace.enabled t.tracer then
     Trace.emit t.tracer (Trace.TcpDrop { node = t.me; peer; reason })
 
-(* Frames in a buffer of whole encoded frames (an unconnected peer's
-   queue — nothing has been partially written yet). *)
-let count_whole_frames data =
-  let len = String.length data in
-  let rec go off acc =
-    if off + frame_header_bytes > len then acc
-    else begin
-      let n =
-        (Char.code data.[off] lsl 24)
-        lor (Char.code data.[off + 1] lsl 16)
-        lor (Char.code data.[off + 2] lsl 8)
-        lor Char.code data.[off + 3]
-      in
-      go (off + frame_header_bytes + n) (acc + 1)
-    end
-  in
-  go 0 0
+let clear_queued (out : outgoing) =
+  Iobuf.clear out.out;
+  Buffer.clear out.batch;
+  out.batch_frames <- 0;
+  out.queued_frames <- 0
 
 (* Give up on an unreachable peer: crash-stop semantics, queued frames
    are dropped (and counted — they were promised to no one). *)
 let write_off_unreachable t (out : outgoing) =
   out.broken <- true;
-  let dropped = count_whole_frames (Buffer.contents out.out) in
-  Buffer.clear out.out;
+  let dropped = out.queued_frames in
+  clear_queued out;
   Metrics.Counter.add t.c_frames_dropped dropped;
   if Trace.enabled t.tracer then
     Trace.emit t.tracer (Trace.TcpDrop { node = t.me; peer = out.dst; reason = "dial-cap" })
 
-(* Push as much of the pending output as the kernel will take. *)
+(* Close the open batch: prefix it with the outer length header and
+   move it onto the kernel-bound queue. *)
+let seal t (out : outgoing) =
+  if out.batch_frames > 0 then begin
+    Metrics.Histogram.observe t.h_batch_frames (float_of_int out.batch_frames);
+    Iobuf.add_be32 out.out (Buffer.length out.batch);
+    Iobuf.add_buffer out.out out.batch;
+    Buffer.clear out.batch;
+    out.batch_frames <- 0
+  end
+
+(* Seal, then push as much of the pending output as the kernel will
+   take — one write syscall straight from the queue's backing bytes. *)
 let flush_outgoing t (out : outgoing) =
+  seal t out;
   match out.fd with
   | None -> ()
   | Some fd ->
-      let data = Buffer.contents out.out in
-      let len = String.length data in
-      if len > 0 then begin
-        match Unix.write_substring fd data 0 len with
+      if not (Iobuf.is_empty out.out) then begin
+        match Iobuf.write_to_fd out.out fd with
         | written ->
+            Metrics.Counter.incr t.c_flushes;
             Metrics.Counter.add t.c_bytes_out written;
-            Buffer.clear out.out;
-            if written < len then Buffer.add_substring out.out data written (len - written)
+            Metrics.Counter.add t.c_writev_bytes written;
+            if Iobuf.is_empty out.out then out.queued_frames <- 0
         | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
         | exception Unix.Unix_error (_, _, _) ->
             (* Established connection lost: write the peer off. *)
             (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
             out.fd <- None;
             out.broken <- true;
-            Buffer.clear out.out;
+            clear_queued out;
             if Trace.enabled t.tracer then
               Trace.emit t.tracer
                 (Trace.TcpDrop { node = t.me; peer = out.dst; reason = "stream-broken" })
@@ -171,11 +254,7 @@ let try_dial t (out : outgoing) =
             Trace.emit t.tracer (Trace.TcpReconnect { node = t.me; peer = out.dst })
         end;
         (* Hello frame first, then any queued traffic. *)
-        let hello = encode_frame (string_of_int t.me) in
-        let pending = Buffer.contents out.out in
-        Buffer.clear out.out;
-        Buffer.add_string out.out hello;
-        Buffer.add_string out.out pending;
+        Iobuf.prepend_string out.out (hello_frame t.me);
         flush_outgoing t out
     | exception Unix.Unix_error (_, _, _) ->
         (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
@@ -203,7 +282,7 @@ let forget_peer t ~dst =
           out.broken <- false;
           (* Queued frames were already dropped (and counted) at
              write-off time; the new stream starts clean. *)
-          Buffer.clear out.out;
+          clear_queued out;
           Metrics.Counter.incr t.c_writeoff_resets
         end;
         out.dial_failed <- false;
@@ -217,34 +296,24 @@ let drop_incoming t inc =
   (try Unix.close inc.fd with Unix.Unix_error (_, _, _) -> ());
   t.incoming <- List.filter (fun other -> other != inc) t.incoming
 
-(* Split complete frames out of an incoming byte buffer; resets the
-   link (and stops) on an oversize frame or a malformed hello. *)
+(* Split complete outer frames out of an incoming stream and fan the
+   inner frames to [on_frame]; resets the link (and stops) on an
+   oversize frame, a malformed hello, or a payload that is not a
+   well-formed batch. *)
 let rec drain_frames t inc =
-  let data = Buffer.contents inc.buf in
-  let available = String.length data in
-  if available >= frame_header_bytes then begin
-    let n =
-      (Char.code data.[0] lsl 24)
-      lor (Char.code data.[1] lsl 16)
-      lor (Char.code data.[2] lsl 8)
-      lor Char.code data.[3]
-    in
-    if n > t.max_frame then begin
+  match Assembler.next inc.asm with
+  | Assembler.Await -> ()
+  | Assembler.Oversize _ ->
       (* A frame we refuse to buffer: either a hostile/corrupt peer or
          a foreign protocol. Reset the link gracefully — the peer can
          reconnect with a fresh stream — rather than OOM on it. *)
       Metrics.Counter.incr t.c_frames_oversize;
       emit_drop t ~peer:(Option.value inc.peer ~default:(-1)) ~reason:"oversize";
       drop_incoming t inc
-    end
-    else if available >= frame_header_bytes + n then begin
-      let payload = String.sub data frame_header_bytes n in
-      Buffer.clear inc.buf;
-      Buffer.add_substring inc.buf data (frame_header_bytes + n)
-        (available - frame_header_bytes - n);
+  | Assembler.Frame payload -> (
       match inc.peer with
       | None -> (
-          match int_of_string_opt payload with
+          match int_of_string_opt (Codec.Slice.to_string payload) with
           | Some peer ->
               inc.peer <- Some peer;
               (* A fresh hello from a peer we had written off: it
@@ -259,19 +328,20 @@ let rec drain_frames t inc =
                  not this protocol. *)
               emit_drop t ~peer:(-1) ~reason:"bad-hello";
               drop_incoming t inc)
-      | Some src ->
-          if not t.closed then t.on_frame ~src payload;
-          drain_frames t inc
-    end
-  end
+      | Some src -> (
+          match
+            iter_batch payload (fun inner -> if not t.closed then t.on_frame ~src inner)
+          with
+          | () -> drain_frames t inc
+          | exception (Codec.Truncated | Codec.Malformed _) ->
+              emit_drop t ~peer:src ~reason:"bad-batch";
+              drop_incoming t inc))
 
 let on_readable_incoming t inc () =
-  let chunk = Bytes.create 65536 in
-  match Unix.read inc.fd chunk 0 (Bytes.length chunk) with
+  match Assembler.read_from_fd inc.asm inc.fd with
   | 0 -> drop_incoming t inc
   | read ->
       Metrics.Counter.add t.c_bytes_in read;
-      Buffer.add_subbytes inc.buf chunk 0 read;
       drain_frames t inc
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
   | exception Unix.Unix_error (_, _, _) -> drop_incoming t inc
@@ -280,14 +350,19 @@ let on_accept t () =
   match Unix.accept t.listen_fd with
   | fd, _ ->
       Unix.set_nonblock fd;
-      let inc = { fd; buf = Buffer.create 4096; peer = None } in
+      (* Inner frames add at most a varint to the payload a peer was
+         asked to carry, and sealed batches respect the (symmetric)
+         watermark — so honest traffic stays within max_frame + 16. *)
+      let asm = Assembler.create ~max_frame:(t.max_frame + 16) () in
+      let inc = { fd; asm; peer = None } in
       t.incoming <- inc :: t.incoming;
       Loop.on_readable t.loop fd (on_readable_incoming t inc)
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
   | exception Unix.Unix_error (_, _, _) -> ()
 
 let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
-    ?(dial = default_dial_policy) ?(max_frame = 8 * 1024 * 1024) () =
+    ?(dial = default_dial_policy) ?(max_frame = 8 * 1024 * 1024) ?(flush_interval = 0.001) ()
+    =
   Unix.set_nonblock listen_fd;
   let outgoing =
     List.filter_map
@@ -305,7 +380,10 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
                 attempts = 0;
                 delay = dial.base_delay;
                 next_dial = 0.0;
-                out = Buffer.create 4096;
+                out = Iobuf.create ~capacity:4096 ();
+                batch = Buffer.create 4096;
+                batch_frames = 0;
+                queued_frames = 0;
               } ))
       peers
   in
@@ -314,6 +392,11 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
     match metrics with
     | None -> Metrics.Counter.detached ()
     | Some reg -> Metrics.counter reg ~labels name
+  in
+  let histogram name =
+    match metrics with
+    | None -> Metrics.Histogram.detached ()
+    | Some reg -> Metrics.histogram reg ~labels name
   in
   let t =
     {
@@ -327,6 +410,8 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
       tracer;
       dial;
       max_frame;
+      flush_interval;
+      watermark = min 65536 max_frame;
       jitter_state = Int64.of_int ((me * 2654435761) lor 1);
       c_bytes_out = counter "tcp_bytes_out_total";
       c_bytes_in = counter "tcp_bytes_in_total";
@@ -334,6 +419,9 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
       c_frames_dropped = counter "tcp_frames_dropped_total";
       c_frames_oversize = counter "tcp_frames_oversize_total";
       c_writeoff_resets = counter "tcp_writeoff_resets_total";
+      c_flushes = counter "tcp_flushes_total";
+      c_writev_bytes = counter "tcp_writev_bytes_total";
+      h_batch_frames = histogram "tcp_batch_frames";
     }
   in
   Loop.on_readable loop listen_fd (on_accept t);
@@ -347,9 +435,34 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
              t.outgoing;
          not t.closed)
       : Loop.timer);
+  if flush_interval > 0.0 then
+    ignore
+      (Loop.every loop ~period:flush_interval (fun () ->
+           if not t.closed then
+             List.iter (fun (_, out) -> flush_outgoing t out) t.outgoing;
+           not t.closed)
+        : Loop.timer);
   t
 
-let send t ~dst payload =
+(* Append one inner frame to [dst]'s open batch. [len] is the payload
+   size; [add] writes exactly that many bytes to the batch buffer. *)
+let enqueue t (out : outgoing) ~len add =
+  (* Seal before adding when the frame would push the batch past the
+     watermark: a sealed batch is at most [watermark] bytes unless a
+     single frame alone exceeds it. *)
+  if
+    out.batch_frames > 0
+    && Buffer.length out.batch + varint_size len + len > t.watermark
+  then flush_outgoing t out;
+  add_varint out.batch len;
+  add out.batch;
+  out.batch_frames <- out.batch_frames + 1;
+  out.queued_frames <- out.queued_frames + 1;
+  if out.fd = None then try_dial t out;
+  if t.flush_interval <= 0.0 || Buffer.length out.batch >= t.watermark then
+    flush_outgoing t out
+
+let with_dst t ~dst f =
   if not t.closed then
     match List.assoc_opt dst t.outgoing with
     | None -> emit_drop t ~peer:dst ~reason:"unknown-dst"
@@ -357,10 +470,18 @@ let send t ~dst payload =
         (* Buffering towards a written-off peer would grow without
            bound; the frame can never be delivered on this stream. *)
         emit_drop t ~peer:dst ~reason:"written-off"
-    | Some (out : outgoing) ->
-        Buffer.add_string out.out (encode_frame payload);
-        if out.fd = None then try_dial t out;
-        flush_outgoing t out
+    | Some (out : outgoing) -> f out
+
+let send t ~dst payload =
+  with_dst t ~dst (fun out ->
+      enqueue t out ~len:(String.length payload) (fun batch -> Buffer.add_string batch payload))
+
+let send_writer t ~dst w =
+  with_dst t ~dst (fun out ->
+      enqueue t out ~len:(Codec.Writer.length w) (fun batch ->
+          Codec.Writer.add_to_buffer w batch))
+
+let flush t = if not t.closed then List.iter (fun (_, out) -> flush_outgoing t out) t.outgoing
 
 let bytes_out t = Metrics.Counter.value t.c_bytes_out
 
@@ -374,6 +495,8 @@ let frames_oversize t = Metrics.Counter.value t.c_frames_oversize
 
 let writeoff_resets t = Metrics.Counter.value t.c_writeoff_resets
 
+let flushes t = Metrics.Counter.value t.c_flushes
+
 let dial_attempts t ~dst =
   match List.assoc_opt dst t.outgoing with None -> 0 | Some out -> out.attempts
 
@@ -385,10 +508,12 @@ let connected t =
     (fun (dst, (out : outgoing)) -> if out.fd <> None then Some dst else None)
     t.outgoing
 
+let peer_pending (out : outgoing) =
+  Iobuf.length out.out
+  + if out.batch_frames > 0 then frame_header_bytes + Buffer.length out.batch else 0
+
 let pending_bytes t ~dst =
-  match List.assoc_opt dst t.outgoing with
-  | None -> 0
-  | Some out -> Buffer.length out.out
+  match List.assoc_opt dst t.outgoing with None -> 0 | Some out -> peer_pending out
 
 type peer_stat = {
   peer : int;
@@ -404,7 +529,7 @@ let peer_stats t =
       {
         peer = dst;
         up = out.fd <> None;
-        pending = Buffer.length out.out;
+        pending = peer_pending out;
         attempts = out.attempts;
         written_off = out.broken;
       })
@@ -413,6 +538,8 @@ let peer_stats t =
 
 let close t =
   if not t.closed then begin
+    (* Last chance for queued traffic before the sockets go away. *)
+    List.iter (fun (_, out) -> flush_outgoing t out) t.outgoing;
     t.closed <- true;
     Loop.remove_fd t.loop t.listen_fd;
     (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());

@@ -4,8 +4,25 @@
     connection a node dials carries its outbound traffic, so each
     ordered pair of members has a dedicated FIFO byte stream — the
     reliable FIFO channel of the paper's system model (§3.1), for as
-    long as both endpoints are up. Messages are length-prefixed frames
-    opened by a hello frame carrying the dialer's id.
+    long as both endpoints are up.
+
+    {b Wire framing.} The stream is a sequence of outer frames, each a
+    big-endian u32 length followed by that many payload bytes. The
+    first outer frame on a connection is the hello (the dialer's id in
+    decimal); every later outer frame is a {e batch}: inner frames
+    packed back to back, each a varint length followed by its bytes.
+    Small multicasts sent within one flush interval coalesce into a
+    single batch — one length prefix, one write syscall — instead of
+    one syscall per message per peer. Inner frames are the unit the
+    protocol sees; batching is invisible above this module.
+
+    {b Zero-copy paths.} Outbound frames are built straight into the
+    per-peer batch and flushed from an {!Iobuf} with a single
+    [Unix.write] (no [Buffer.contents] copy); {!send_writer} moves a
+    codec writer's bytes in without an intermediate string. Inbound
+    frames are reassembled in a reusable buffer and handed to
+    [on_frame] as borrowed {!Svs_codec.Codec.Slice} windows — valid
+    only during the callback.
 
     Outbound data is buffered and flushed opportunistically, so a slow
     peer never blocks the caller — exactly the buffering behaviour the
@@ -35,34 +52,74 @@ val listener : Unix.sockaddr -> Unix.file_descr * Unix.sockaddr
 (** Bind + listen; returns the socket and its actual address (useful
     with port 0). *)
 
+(** Outer-frame reassembly over a reusable buffer, exposed for tests
+    (torn frames at arbitrary byte boundaries). [next] returns a
+    borrowed slice valid until the next [feed]. *)
+module Assembler : sig
+  type t
+
+  type result =
+    | Frame of Svs_codec.Codec.Slice.t
+    | Await  (** Need more bytes. *)
+    | Oversize of int  (** Header announces more than [max_frame] bytes. *)
+
+  val create : ?max_frame:int -> unit -> t
+
+  val feed : t -> string -> unit
+
+  val next : t -> result
+
+  val buffered : t -> int
+  (** Bytes held but not yet returned as frames. *)
+end
+
+val iter_batch : Svs_codec.Codec.Slice.t -> (Svs_codec.Codec.Slice.t -> unit) -> unit
+(** Iterate the inner frames of a batch payload, in order, as borrowed
+    sub-slices. @raise Svs_codec.Codec.Truncated (or [Malformed]) when
+    the payload is not a well-formed batch. *)
+
 val create :
   Loop.t ->
   me:int ->
   listen_fd:Unix.file_descr ->
   peers:(int * Unix.sockaddr) list ->
-  on_frame:(src:int -> string -> unit) ->
+  on_frame:(src:int -> Svs_codec.Codec.Slice.t -> unit) ->
   ?tracer:Svs_telemetry.Trace.t ->
   ?metrics:Svs_telemetry.Metrics.t ->
   ?dial:dial_policy ->
   ?max_frame:int ->
+  ?flush_interval:float ->
   unit ->
   t
 (** Starts accepting and dialing immediately; dials are retried per
     [dial] (default {!default_dial_policy}). [max_frame] (default
     8 MiB) bounds the payload size this node will buffer for a single
-    inbound frame: a larger header — a hostile peer, corruption, or a
-    foreign protocol — resets that link gracefully instead of
-    exhausting memory. A first frame that is not a well-formed hello
-    resets the link too.
+    inbound outer frame (plus a small framing allowance): a larger
+    header — a hostile peer, corruption, or a foreign protocol —
+    resets that link gracefully instead of exhausting memory. A first
+    frame that is not a well-formed hello resets the link too, as does
+    a batch payload that does not parse.
+
+    [on_frame] receives each inner frame as a borrowed slice into the
+    connection's inbound buffer: decode (or copy) before returning,
+    never retain the slice.
+
+    [flush_interval] (seconds, default 1 ms) is the batching horizon:
+    sends accumulate in a per-peer batch that is sealed and written on
+    the next flush tick, when it reaches the watermark
+    (min(64 KiB, max_frame)), or immediately when [flush_interval] is
+    [0.] (one write per send — the pre-batching behaviour).
 
     [tracer] receives [TcpReconnect] whenever an outgoing link comes up
     after at least one failed dial, and [TcpDrop] (with a reason:
     ["unknown-dst"], ["written-off"], ["dial-cap"], ["stream-broken"],
-    ["oversize"], ["bad-hello"]) whenever traffic is discarded.
-    [metrics] registers [tcp_bytes_out_total], [tcp_bytes_in_total],
-    [tcp_reconnects_total], [tcp_frames_dropped_total],
-    [tcp_frames_oversize_total] and [tcp_writeoff_resets_total],
-    labelled by node. *)
+    ["oversize"], ["bad-hello"], ["bad-batch"]) whenever traffic is
+    discarded. [metrics] registers [tcp_bytes_out_total],
+    [tcp_bytes_in_total], [tcp_reconnects_total],
+    [tcp_frames_dropped_total], [tcp_frames_oversize_total],
+    [tcp_writeoff_resets_total], [tcp_flushes_total],
+    [tcp_writev_bytes_total] and the [tcp_batch_frames] histogram
+    (inner frames per sealed batch), labelled by node. *)
 
 val send : t -> dst:int -> string -> unit
 (** Queue a frame for [dst]; buffered until the connection is up.
@@ -77,6 +134,14 @@ val send : t -> dst:int -> string -> unit
     {!forget_peer} forgives it, or its restarted incarnation dials us
     with a fresh hello (which forgives it automatically). *)
 
+val send_writer : t -> dst:int -> Svs_codec.Codec.Writer.t -> unit
+(** Like {!send}, but moves the writer's bytes into the batch without
+    materializing a string. The writer is not cleared. *)
+
+val flush : t -> unit
+(** Seal and write every peer's pending output now, without waiting
+    for the flush tick. *)
+
 val forget_peer : t -> dst:int -> unit
 (** Restore [dst]'s full dial budget and, if it was written off, allow
     a fresh stream to it (counted in [tcp_writeoff_resets_total]).
@@ -90,8 +155,8 @@ val connected : t -> int list
 (** Peers whose outbound connection is currently established. *)
 
 val pending_bytes : t -> dst:int -> int
-(** Outbound bytes not yet handed to the kernel (the sender-side
-    buffer of the paper's model). *)
+(** Outbound bytes not yet handed to the kernel — sealed frames plus
+    the open batch (the sender-side buffer of the paper's model). *)
 
 (** One outgoing link's condition, for status reporting. *)
 type peer_stat = {
@@ -116,7 +181,7 @@ val reconnects : t -> int
 
 val frames_dropped : t -> int
 (** Frames discarded so far (unknown destination, written-off peer,
-    dial cap, oversize, bad hello). *)
+    dial cap, oversize, bad hello, bad batch). *)
 
 val frames_oversize : t -> int
 (** Inbound frames refused for exceeding [max_frame]. *)
@@ -125,6 +190,9 @@ val writeoff_resets : t -> int
 (** Written-off peers forgiven so far (via {!forget_peer} or an
     inbound hello from a restarted incarnation). *)
 
+val flushes : t -> int
+(** Write syscalls issued so far (all peers). *)
+
 val dial_attempts : t -> dst:int -> int
 (** Consecutive failed dials towards [dst] (0 once connected). *)
 
@@ -132,5 +200,5 @@ val written_off : t -> dst:int -> bool
 (** True once [dst] has been given up on (broken stream or dial cap). *)
 
 val close : t -> unit
-(** Close every socket (the process "crashes" from the peers' point of
-    view). *)
+(** Flush what the kernel will take, then close every socket (the
+    process "crashes" from the peers' point of view). *)

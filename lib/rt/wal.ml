@@ -39,10 +39,17 @@ type t = {
   mutable seg_bytes : int;
   mutable dirty : bool;
   mutable closed : bool;
+  tail : Iobuf.t; (* group-commit tail: framed records not yet written *)
+  mutable scratch : Bytes.t; (* reusable encode buffer (grows to fit) *)
+  scratch_w : W.t; (* reusable record writer *)
   c_appends : Metrics.Counter.t;
   c_syncs : Metrics.Counter.t;
   c_rotations : Metrics.Counter.t;
 }
+
+(* Once this much is queued in memory, hand it to the kernel (still
+   without fsync) so the tail never grows unboundedly between syncs. *)
+let tail_watermark = 256 * 1024
 
 (* --- CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) --- *)
 
@@ -61,6 +68,14 @@ let crc32 s =
   String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
   !c lxor 0xFFFFFFFF
 
+let crc32_sub b off len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
 (* --- Framing: [u32 length][u32 crc32(payload)][payload], big endian --- *)
 
 let frame_header_bytes = 8
@@ -71,30 +86,17 @@ let get_be32 s off =
   lor (Char.code s.[off + 2] lsl 8)
   lor Char.code s.[off + 3]
 
-let put_be32 b off v =
-  Bytes.set_uint8 b off ((v lsr 24) land 0xFF);
-  Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xFF);
-  Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xFF);
-  Bytes.set_uint8 b (off + 3) (v land 0xFF)
-
-let frame payload =
-  let header = Bytes.create frame_header_bytes in
-  put_be32 header 0 (String.length payload);
-  put_be32 header 4 (crc32 payload);
-  Bytes.to_string header ^ payload
-
 (* --- Record encoding --- *)
 
 (* Tag 0 is the per-segment identity stamp (written on every segment
    open, checked on recovery), not part of the public record type. *)
-let encode_meta me =
-  let w = W.create () in
+let encode_meta w me =
+  W.clear w;
   W.uint8 w 0;
-  W.varint w me;
-  W.contents w
+  W.varint w me
 
-let encode_record r =
-  let w = W.create () in
+let encode_record w r =
+  W.clear w;
   (match r with
   | Snapshot { view; floors; next_sn } ->
       W.uint8 w 1;
@@ -114,8 +116,7 @@ let encode_record r =
       W.varint w sn
   | Lease { next_sn } ->
       W.uint8 w 4;
-      W.varint w next_sn);
-  W.contents w
+      W.varint w next_sn)
 
 let apply state = function
   | Snapshot { view; floors; next_sn } ->
@@ -184,13 +185,6 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_all fd s =
-  let len = String.length s in
-  let rec go off =
-    if off < len then go (off + Unix.write_substring fd s off (len - off))
-  in
-  go 0
-
 (* Replay one segment's bytes: apply every frame whose length fits and
    whose CRC matches, stop at the first that does not. Returns the
    number of frames applied and the byte offset of the valid prefix —
@@ -217,14 +211,38 @@ let replay content ~on_frame =
 
 (* --- Lifecycle --- *)
 
-let write_frame t payload =
-  let fr = frame payload in
-  write_all t.fd fr;
-  t.seg_bytes <- t.seg_bytes + String.length fr;
-  t.dirty <- true
+(* Hand the in-memory tail to the kernel (no fsync). On a regular
+   file a write takes everything in one call; loop for safety. *)
+let flush t =
+  while not (Iobuf.is_empty t.tail) do
+    ignore (Iobuf.write_to_fd t.tail t.fd : int)
+  done
+
+(* Frame whatever is in [t.scratch_w] and append it to the tail:
+   encode once into the reusable scratch bytes (for the CRC pass),
+   then header + payload go straight into the tail queue. *)
+let append_scratch t =
+  let n = W.length t.scratch_w in
+  if Bytes.length t.scratch < n then begin
+    let cap = ref (max 256 (Bytes.length t.scratch)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    t.scratch <- Bytes.create !cap
+  end;
+  W.blit_into t.scratch_w t.scratch 0;
+  Iobuf.add_be32 t.tail n;
+  Iobuf.add_be32 t.tail (crc32_sub t.scratch 0 n);
+  Iobuf.add_subbytes t.tail t.scratch 0 n;
+  t.seg_bytes <- t.seg_bytes + frame_header_bytes + n;
+  t.dirty <- true;
+  if Iobuf.length t.tail >= tail_watermark then flush t
+
+let pending_bytes t = Iobuf.length t.tail
 
 let sync t =
   if t.dirty && not t.closed then begin
+    flush t;
     Unix.fsync t.fd;
     t.dirty <- false;
     Metrics.Counter.incr t.c_syncs
@@ -296,6 +314,9 @@ let open_ ~dir ~me ?(segment_limit = 4 * 1024 * 1024) ?metrics () =
       seg_bytes;
       dirty = false;
       closed = false;
+      tail = Iobuf.create ~capacity:4096 ();
+      scratch = Bytes.create 256;
+      scratch_w = W.create ();
       c_appends = counter "wal_appends_total";
       c_syncs = counter "wal_syncs_total";
       c_rotations = counter "wal_rotations_total";
@@ -304,7 +325,8 @@ let open_ ~dir ~me ?(segment_limit = 4 * 1024 * 1024) ?metrics () =
   (* Stamp identity on a brand-new segment (an existing one already
      carries its stamp). *)
   if seg_bytes = 0 then begin
-    write_frame t (encode_meta me);
+    encode_meta t.scratch_w me;
+    append_scratch t;
     sync t
   end;
   let recovery =
@@ -331,6 +353,8 @@ let snapshot_of_state state =
    snapshot of the current state; once the new segment is durable, the
    older ones are redundant and removed. *)
 let rotate t =
+  (* The tail belongs to the old segment: make it durable there before
+     switching fds. *)
   sync t;
   (try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ());
   let old = t.seg_index in
@@ -340,8 +364,10 @@ let rotate t =
       [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
       0o644;
   t.seg_bytes <- 0;
-  write_frame t (encode_meta t.me);
-  write_frame t (encode_record (snapshot_of_state t.state));
+  encode_meta t.scratch_w t.me;
+  append_scratch t;
+  encode_record t.scratch_w (snapshot_of_state t.state);
+  append_scratch t;
   sync t;
   for i = 0 to old do
     let path = seg_path t.dir i in
@@ -352,7 +378,8 @@ let rotate t =
 let append t record =
   if t.closed then invalid_arg "Wal.append: closed";
   apply t.state record;
-  write_frame t (encode_record record);
+  encode_record t.scratch_w record;
+  append_scratch t;
   Metrics.Counter.incr t.c_appends;
   if t.seg_bytes >= t.segment_limit then rotate t
 
@@ -365,6 +392,16 @@ let current_segment t = t.seg_index
 let close t =
   if not t.closed then begin
     sync t;
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+(* Crash simulation for tests: drop the in-memory tail on the floor
+   and close the fd without flushing or fsyncing — what a process
+   death between an append and the commit tick leaves on disk. *)
+let abandon t =
+  if not t.closed then begin
+    Iobuf.clear t.tail;
     t.closed <- true;
     try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
   end

@@ -11,12 +11,15 @@
     segments (they are unreachable once bytes before them are
     untrusted).
 
-    Appends are buffered in the kernel and made durable in batches:
-    {!append} only writes, {!sync} fsyncs everything written since the
-    last sync, {!append_durable} does both — the caller picks the
+    Appends are group-committed: {!append} frames the record into an
+    in-memory tail (one reusable buffer, no per-record allocation or
+    syscall), the tail reaches the kernel at a watermark (256 KiB) or
+    on {!sync}, and {!sync} flushes plus fsyncs — the caller picks the
     point on the latency/durability curve per record (a sequence-number
     {!record.Lease} must be durable {e before} any leased number is
     used, while delivery-floor updates can ride the periodic sync).
+    A crash between an append and the next sync loses at most the tail,
+    which recovery treats exactly like a torn write.
 
     When a segment outgrows its limit the log rotates: the next
     segment opens with an identity stamp and a [Snapshot] of the
@@ -66,16 +69,26 @@ val open_ :
     sharing a data dir is always a deployment error. *)
 
 val append : t -> record -> unit
-(** Write a record; durable only after the next {!sync}. *)
+(** Queue a record in the group-commit tail; durable only after the
+    next {!sync}. *)
 
 val sync : t -> unit
-(** Fsync outstanding appends (no-op when clean). *)
+(** Flush the tail and fsync outstanding appends (no-op when clean). *)
 
 val append_durable : t -> record -> unit
 (** {!append} then {!sync}. *)
+
+val pending_bytes : t -> int
+(** Bytes queued in the group-commit tail, not yet handed to the
+    kernel. *)
 
 val current_segment : t -> int
 (** Index of the segment currently appended to. *)
 
 val close : t -> unit
 (** Sync and close. Further appends raise [Invalid_argument]. *)
+
+val abandon : t -> unit
+(** Simulate a crash: discard the in-memory tail and close the fd with
+    {e no} flush or fsync — what a process death between an append and
+    the commit tick leaves behind. For crash-recovery tests. *)

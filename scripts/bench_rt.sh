@@ -1,29 +1,58 @@
 #!/bin/sh
-# Runtime throughput bench: run a real 3-node SVS cluster over local
-# TCP for DURATION seconds with one publisher, record a per-node JSONL
-# trace, then merge the traces with svs_trace into a single
-# BENCH_rt_throughput.json (throughput, delivery latency percentiles,
-# stability lag, purge effectiveness, anomaly counts).
+# Runtime performance bench, two modes:
 #
-#   DURATION=10 RATE=200 scripts/bench_rt.sh
+# default (MODE=throughput) — the perf-trajectory bench: run
+#   bench/rt_throughput.exe, a closed-loop 3-node in-process cluster
+#   over loopback TCP, and write the root-level
+#   BENCH_rt_throughput.json with the before/after series
+#   (seed-baseline / flush-per-send / batched: msgs/s, p50/p99
+#   delivery latency, minor words allocated per message).
+#
+#     scripts/bench_rt.sh
+#     DURATION=8 WINDOW=2048 scripts/bench_rt.sh
+#
+# MODE=trace — the observability pipeline: boot a real 3-node cluster
+#   as separate svs_node processes, record per-node JSONL traces, and
+#   merge them with svs_trace into one analysis JSON (throughput,
+#   latency percentiles, stability lag, purge effectiveness, anomaly
+#   counts).
+#
+#     MODE=trace DURATION=10 RATE=200 scripts/bench_rt.sh
 #
 # Environment knobs:
-#   DURATION    run length in seconds            (default 10)
+#   MODE        throughput | trace               (default throughput)
+#   DURATION    run length in seconds            (default: 6 / 10)
+#   OUT         output JSON path                 (default:
+#               BENCH_rt_throughput.json / BENCH_rt_trace.json)
+# throughput mode:
+#   WINDOW      closed-loop publisher window     (default 1024)
+# trace mode:
 #   RATE        publish rate, msg/s              (default 200)
 #   ITEMS       distinct data items published    (default 16)
 #   PORT_BASE   first TCP port; nodes use +0..+2 (default 7200)
 #   ADMIN_BASE  first admin port, 0 = disabled   (default 0)
-#   OUT         output JSON path                 (default BENCH_rt_throughput.json)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+MODE="${MODE:-throughput}"
+
+if [ "$MODE" = "throughput" ]; then
+  DURATION="${DURATION:-6}"
+  WINDOW="${WINDOW:-1024}"
+  OUT="${OUT:-BENCH_rt_throughput.json}"
+  dune build bench/rt_throughput.exe
+  ./_build/default/bench/rt_throughput.exe \
+    --duration "$DURATION" --window "$WINDOW" --json "$OUT"
+  exit 0
+fi
 
 DURATION="${DURATION:-10}"
 RATE="${RATE:-200}"
 ITEMS="${ITEMS:-16}"
 PORT_BASE="${PORT_BASE:-7200}"
 ADMIN_BASE="${ADMIN_BASE:-0}"
-OUT="${OUT:-BENCH_rt_throughput.json}"
+OUT="${OUT:-BENCH_rt_trace.json}"
 
 dune build bin/svs_node.exe bin/svs_trace.exe
 

@@ -8,6 +8,10 @@
 #                        BENCH_purge.json, and smoke the live
 #                        observability surface (admin endpoint +
 #                        svs_trace analyzer)
+#   scripts/ci.sh bench-smoke
+#                        run the runtime throughput bench once in
+#                        --smoke mode (1s series — liveness plus a
+#                        JSON shape check, no timing gates)
 #   scripts/ci.sh chaos  the full chaos sweep (20 seeds x every
 #                        scenario x both oracle modes) plus the
 #                        oracle mutation self-test
@@ -88,12 +92,30 @@ if [ "${1:-}" = "smoke" ]; then
   curl -sf "http://127.0.0.1:$aport/metrics" > "$obs_dir/metrics.txt"
   grep -q '^# TYPE rt_delivery_latency_seconds histogram' "$obs_dir/metrics.txt"
   grep -q 'le="+Inf"' "$obs_dir/metrics.txt"
+  grep -q '^# TYPE tcp_flushes_total counter' "$obs_dir/metrics.txt"
+  grep -q '^# TYPE tcp_writev_bytes_total counter' "$obs_dir/metrics.txt"
+  grep -q '^# TYPE tcp_batch_frames histogram' "$obs_dir/metrics.txt"
   curl -sf "http://127.0.0.1:$aport/dump" | grep -q '"ev":'
   wait "$node_pid"
   dune exec bin/svs_trace.exe -- "$obs_dir/node0.jsonl" \
-    --json "$obs_dir/BENCH_rt_throughput.json" > /dev/null
-  grep -q '"msgs_per_s":' "$obs_dir/BENCH_rt_throughput.json"
+    --json "$obs_dir/trace_summary.json" > /dev/null
+  grep -q '"msgs_per_s":' "$obs_dir/trace_summary.json"
   echo "ci: observability smoke OK"
+fi
+
+if [ "${1:-}" = "bench-smoke" ] || [ "${1:-}" = "smoke" ]; then
+  # Throughput bench liveness: one short closed-loop run, then check
+  # the emitted JSON has the shape the perf trajectory relies on.
+  bench_json=$(mktemp)
+  dune exec bench/rt_throughput.exe -- --smoke --json "$bench_json"
+  for key in '"benchmark": "rt_throughput"' '"seed-baseline"' \
+             '"flush-per-send"' '"batched"' '"msgs_per_s"' '"p50_ms"' \
+             '"p99_ms"' '"minor_words_per_msg"' '"speedup"'; do
+    grep -q "$key" "$bench_json" || {
+      echo "ci: bench JSON missing $key" >&2; rm -f "$bench_json"; exit 1; }
+  done
+  rm -f "$bench_json"
+  echo "ci: bench smoke OK"
 fi
 
 if [ "${1:-}" = "chaos" ]; then

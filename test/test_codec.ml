@@ -92,6 +92,120 @@ let test_payload_codecs () =
     (rt (Wire_codec.pair_codec Wire_codec.int_codec Wire_codec.string_codec) (7, "x"));
   Alcotest.(check unit) "unit payload" () (rt Wire_codec.unit_codec ())
 
+(* --- slice reader (zero-copy hot path) --- *)
+
+(* A tagged value stream exercising every primitive through the
+   slice-backed reader. *)
+type item = I of int | Z of int | F of float | B of bool | S of string
+
+let write_item w = function
+  | I v ->
+      W.uint8 w 0;
+      W.varint w v
+  | Z v ->
+      W.uint8 w 1;
+      W.zigzag w v
+  | F v ->
+      W.uint8 w 2;
+      W.float64 w v
+  | B v ->
+      W.uint8 w 3;
+      W.bool w v
+  | S v ->
+      W.uint8 w 4;
+      W.bytes w v
+
+let read_item r =
+  match R.uint8 r with
+  | 0 -> I (R.varint r)
+  | 1 -> Z (R.zigzag r)
+  | 2 -> F (R.float64 r)
+  | 3 -> B (R.bool r)
+  | 4 -> S (R.bytes r)
+  | n -> raise (Codec.Malformed (Printf.sprintf "item tag %d" n))
+
+let item_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> I (abs v)) int;
+        map (fun v -> Z v) int;
+        map (fun v -> F v) (float_bound_inclusive 1e12);
+        map (fun v -> B v) bool;
+        map (fun s -> S s) (string_size (int_range 0 40));
+      ])
+
+(* A value stream plus junk margins: the encoding will live at offset
+   [pre] of a shared buffer padded with continuation-byte junk (0xff),
+   so any out-of-window read changes the result. *)
+let items_arb =
+  QCheck.make
+    ~print:(fun (items, (pre, post)) ->
+      Printf.sprintf "%d items, pre=%d post=%d" (List.length items) pre post)
+    QCheck.Gen.(
+      pair (list_size (int_range 0 12) item_gen) (pair (int_range 0 64) (int_range 0 64)))
+
+let encode_items items =
+  let w = W.create () in
+  List.iter (write_item w) items;
+  w
+
+let slice_decode_property =
+  QCheck.Test.make ~name:"slice reader decodes at arbitrary offsets amid junk" ~count:500
+    items_arb
+    (fun (items, (pre, post)) ->
+      let w = encode_items items in
+      let n = W.length w in
+      let buf = Bytes.make (pre + n + post) '\xff' in
+      W.blit_into w buf pre;
+      let r = R.of_slice (Codec.Slice.make buf ~off:pre ~len:n) in
+      let items' = List.map (fun _ -> read_item r) items in
+      R.eof r && List.for_all2 (fun a b -> compare a b = 0) items items')
+
+(* The full valid encoding is present in the buffer, but the slice
+   window stops [k] bytes in — every cut point must raise Truncated,
+   never decode by reading past the window. *)
+let slice_truncation_property =
+  QCheck.Test.make ~name:"truncation at every boundary raises Truncated" ~count:100
+    items_arb
+    (fun (items, (pre, _)) ->
+      let w = encode_items items in
+      let n = W.length w in
+      let buf = Bytes.make (pre + n) '\xff' in
+      W.blit_into w buf pre;
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        let r = R.of_slice (Codec.Slice.make buf ~off:pre ~len:k) in
+        match List.map (fun _ -> read_item r) items with
+        | _ -> ok := false
+        | exception Codec.Truncated -> ()
+      done;
+      !ok)
+
+let test_slice_respects_window () =
+  (* Bytes exist past the window; the reader must not see them. *)
+  let buf = Bytes.of_string "aaaaHELLOzzzz" in
+  let s = Codec.Slice.make buf ~off:4 ~len:5 in
+  let r = R.of_slice s in
+  Alcotest.(check string) "raw within window" "HEL" (R.raw r 3);
+  Alcotest.check_raises "sub-slice past window" Codec.Truncated (fun () ->
+      ignore (R.slice r 3 : Codec.Slice.t));
+  Alcotest.(check string) "rest of window" "LO" (Codec.Slice.to_string (R.slice r 2));
+  Alcotest.(check bool) "eof" true (R.eof r)
+
+let test_slice_bounds () =
+  let s = Codec.Slice.of_string "hello world" in
+  let sub = Codec.Slice.sub s ~off:6 ~len:5 in
+  Alcotest.(check string) "sub" "world" (Codec.Slice.to_string sub);
+  Alcotest.(check char) "get" 'w' (Codec.Slice.get sub 0);
+  let oob f = match f () with () -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "sub out of bounds" true
+    (oob (fun () -> ignore (Codec.Slice.sub s ~off:8 ~len:4 : Codec.Slice.t)));
+  Alcotest.(check bool) "get out of bounds" true
+    (oob (fun () -> ignore (Codec.Slice.get sub 5 : char)));
+  Alcotest.(check bool) "make overrun" true
+    (oob (fun () -> ignore (Codec.Slice.make (Bytes.create 4) ~off:2 ~len:3 : Codec.Slice.t)))
+
 (* --- bitvec bytes --- *)
 
 let bitvec_bytes_property =
@@ -246,6 +360,13 @@ let () =
           Alcotest.test_case "payload codecs" `Quick test_payload_codecs;
           q varint_property;
           q zigzag_property;
+        ] );
+      ( "slice",
+        [
+          Alcotest.test_case "window respected" `Quick test_slice_respects_window;
+          Alcotest.test_case "bounds" `Quick test_slice_bounds;
+          q slice_decode_property;
+          q slice_truncation_property;
         ] );
       ( "bitvec-bytes",
         [

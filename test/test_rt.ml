@@ -72,6 +72,10 @@ let test_loop_until_predicate () =
 
 (* --- Tcp_mesh --- *)
 
+(* on_frame hands out borrowed slices; tests that retain frames copy
+   them out. *)
+let str = Svs_codec.Codec.Slice.to_string
+
 let loopback = Unix.inet_addr_loopback
 
 let test_mesh_exchange () =
@@ -82,12 +86,12 @@ let test_mesh_exchange () =
   let got0 = ref [] and got1 = ref [] in
   let mesh0 =
     Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers
-      ~on_frame:(fun ~src frame -> got0 := (src, frame) :: !got0)
+      ~on_frame:(fun ~src frame -> got0 := (src, str frame) :: !got0)
       ()
   in
   let mesh1 =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
-      ~on_frame:(fun ~src frame -> got1 := (src, frame) :: !got1)
+      ~on_frame:(fun ~src frame -> got1 := (src, str frame) :: !got1)
       ()
   in
   Tcp_mesh.send mesh0 ~dst:1 "hello";
@@ -111,7 +115,7 @@ let test_mesh_large_frame () =
   in
   let mesh1 =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
-      ~on_frame:(fun ~src:_ frame -> got := Some frame)
+      ~on_frame:(fun ~src:_ frame -> got := Some (str frame))
       ()
   in
   let big = String.init 300_000 (fun i -> Char.chr (i mod 251)) in
@@ -145,7 +149,7 @@ let test_mesh_queues_until_connected () =
   let fd1, _ = Tcp_mesh.listener addr1 in
   let mesh1 =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
-      ~on_frame:(fun ~src frame -> got := (src, frame) :: !got)
+      ~on_frame:(fun ~src frame -> got := (src, str frame) :: !got)
       ()
   in
   Loop.run ~until:(fun () -> !got <> []) ~timeout:5.0 loop;
@@ -189,7 +193,7 @@ let test_mesh_oversize_resets_link () =
   in
   let mesh1 =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
-      ~on_frame:(fun ~src:_ frame -> got := frame :: !got)
+      ~on_frame:(fun ~src:_ frame -> got := str frame :: !got)
       ~tracer ~max_frame:1024 ()
   in
   Tcp_mesh.send mesh0 ~dst:1 "small";
@@ -262,6 +266,96 @@ let test_mesh_dial_cap_writes_off () =
   Alcotest.(check bool) "traced as written-off" true
     (List.mem "written-off" (drop_reasons tracer));
   Tcp_mesh.close mesh0
+
+(* Torn-batch reassembly: arbitrary inner frames grouped into arbitrary
+   batches, the byte stream delivered in arbitrary chunk splits
+   (including cuts inside the 4-byte header and inside varints) — the
+   assembler plus the batch iterator must yield exactly the original
+   inner frames, in order, with nothing left buffered at the end. *)
+
+let rec take k = function
+  | x :: rest when k > 0 ->
+      let a, b = take (k - 1) rest in
+      (x :: a, b)
+  | rest -> ([], rest)
+
+let add_varint buf v =
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let add_be32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let batch_stream inner batch_sizes =
+  let stream = Buffer.create 256 in
+  let payload = Buffer.create 256 in
+  let rec build inner sizes =
+    match inner with
+    | [] -> ()
+    | _ ->
+        let k, sizes =
+          match sizes with [] -> (3, []) | s :: rest -> (s, rest)
+        in
+        let batch, rest = take k inner in
+        Buffer.clear payload;
+        List.iter
+          (fun s ->
+            add_varint payload (String.length s);
+            Buffer.add_string payload s)
+          batch;
+        add_be32 stream (Buffer.length payload);
+        Buffer.add_buffer stream payload;
+        build rest sizes
+  in
+  build inner batch_sizes;
+  Buffer.contents stream
+
+let torn_batch_property =
+  QCheck.Test.make ~name:"torn-batch reassembly yields the exact inner frames" ~count:300
+    (QCheck.make
+       ~print:(fun (inner, sizes, cuts) ->
+         Printf.sprintf "%d frames, %d batch sizes, %d cuts" (List.length inner)
+           (List.length sizes) (List.length cuts))
+       QCheck.Gen.(
+         triple
+           (list_size (int_range 0 25) (string_size (int_range 0 200)))
+           (list_size (int_range 0 10) (int_range 1 4))
+           (list_size (int_range 0 30) (int_range 1 97))))
+    (fun (inner, batch_sizes, cuts) ->
+      let stream = batch_stream inner batch_sizes in
+      let asm = Tcp_mesh.Assembler.create () in
+      let out = ref [] in
+      let bad = ref false in
+      let rec drain () =
+        match Tcp_mesh.Assembler.next asm with
+        | Tcp_mesh.Assembler.Frame slice ->
+            (* Copy out: the slice dies at the next feed. *)
+            Tcp_mesh.iter_batch slice (fun s ->
+                out := Svs_codec.Codec.Slice.to_string s :: !out);
+            drain ()
+        | Tcp_mesh.Assembler.Await -> ()
+        | Tcp_mesh.Assembler.Oversize _ -> bad := true
+      in
+      let cuts = if cuts = [] then [ 1 ] else cuts in
+      let ncuts = List.length cuts in
+      let pos = ref 0 and i = ref 0 in
+      while !pos < String.length stream do
+        let k = min (List.nth cuts (!i mod ncuts)) (String.length stream - !pos) in
+        Tcp_mesh.Assembler.feed asm (String.sub stream !pos k);
+        pos := !pos + k;
+        incr i;
+        drain ()
+      done;
+      (not !bad) && List.rev !out = inner && Tcp_mesh.Assembler.buffered asm = 0)
 
 (* --- Wal: durable node state --- *)
 
@@ -399,6 +493,42 @@ let test_wal_identity_mismatch () =
   | w2, _ ->
       Wal.close w2;
       Alcotest.fail "opened another node's log without complaint"
+
+let test_wal_group_commit_crash () =
+  (* A crash between an append and the commit tick loses at most the
+     in-memory tail: everything synced stays, the un-synced appends
+     vanish cleanly, and a tail that partially reached the disk is
+     chopped like any torn write. *)
+  let dir = temp_dir () in
+  let w, _ = Wal.open_ ~dir ~me:4 () in
+  Wal.append w (Wal.Install (View.make ~id:2 ~members:[ 0; 4 ]));
+  Wal.append w (Wal.Floor { sender = 0; sn = 3 });
+  Wal.sync w;
+  Wal.append w (Wal.Floor { sender = 0; sn = 8 });
+  Wal.append w (Wal.Lease { next_sn = 100 });
+  Alcotest.(check bool) "appends ride the tail" true (Wal.pending_bytes w > 0);
+  Wal.abandon w;
+  let w2, r = Wal.open_ ~dir ~me:4 () in
+  (match r.Wal.view with
+  | Some v -> Alcotest.(check int) "synced view survives" 2 v.View.id
+  | None -> Alcotest.fail "synced view lost");
+  Alcotest.(check (list (pair int int))) "synced floor survives" [ (0, 3) ] r.Wal.floors;
+  Alcotest.(check int) "un-synced lease lost" 0 r.Wal.next_sn;
+  Alcotest.(check int) "clean cut, nothing to chop" 0 r.Wal.truncated;
+  (* The survivor is a working log. *)
+  Wal.append_durable w2 (Wal.Lease { next_sn = 7 });
+  Wal.abandon w2;
+  (* Crash again, this time with a partial frame on disk (the kernel
+     got half the tail before the power went). *)
+  let fd = Unix.openfile (last_segment dir) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  let torn = Bytes.of_string "\x00\x00\x00\x40ab" in
+  ignore (Unix.write fd torn 0 (Bytes.length torn));
+  Unix.close fd;
+  let w3, r3 = Wal.open_ ~dir ~me:4 () in
+  Wal.close w3;
+  Alcotest.(check int) "torn tail chopped" (Bytes.length torn) r3.Wal.truncated;
+  Alcotest.(check int) "durable lease survives both crashes" 7 r3.Wal.next_sn;
+  Alcotest.(check (list (pair int int))) "floors intact" [ (0, 3) ] r3.Wal.floors
 
 (* --- Node: a live three-member group over loopback --- *)
 
@@ -563,7 +693,7 @@ let test_mesh_no_silent_reconnect () =
   in
   let mesh1 =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
-      ~on_frame:(fun ~src frame -> got := (src, frame) :: !got)
+      ~on_frame:(fun ~src frame -> got := (src, str frame) :: !got)
       ()
   in
   Tcp_mesh.send mesh0 ~dst:1 "before";
@@ -589,7 +719,7 @@ let test_mesh_no_silent_reconnect () =
   let fd1b, _ = Tcp_mesh.listener addr1 in
   let mesh1b =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1b ~peers
-      ~on_frame:(fun ~src frame -> got_b := (src, frame) :: !got_b)
+      ~on_frame:(fun ~src frame -> got_b := (src, str frame) :: !got_b)
       ()
   in
   Loop.run ~until:(fun () -> !got_b <> []) ~timeout:5.0 loop;
@@ -634,7 +764,7 @@ let test_mesh_forget_peer_redials () =
   let got = ref [] in
   let mesh1 =
     Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
-      ~on_frame:(fun ~src frame -> got := (src, frame) :: !got)
+      ~on_frame:(fun ~src frame -> got := (src, str frame) :: !got)
       ()
   in
   Loop.run ~until:(fun () -> !got <> []) ~timeout:5.0 loop;
@@ -774,7 +904,7 @@ let test_total_order_over_tcp () =
             match nodes.(i) with
             | Some node ->
                 Total.on_message node ~src
-                  (Total.read_msg Codec.Reader.zigzag (Codec.Reader.of_string frame))
+                  (Total.read_msg Codec.Reader.zigzag (Codec.Reader.of_slice frame))
             | None -> ())
           ())
       listeners
@@ -935,6 +1065,7 @@ let () =
           Alcotest.test_case "dial backoff" `Quick test_mesh_dial_backoff;
           Alcotest.test_case "dial cap writes off" `Quick test_mesh_dial_cap_writes_off;
           Alcotest.test_case "forget peer redials" `Quick test_mesh_forget_peer_redials;
+          QCheck_alcotest.to_alcotest torn_batch_property;
         ] );
       ( "wal",
         [
@@ -943,6 +1074,7 @@ let () =
           Alcotest.test_case "bad CRC stops replay" `Quick test_wal_bad_crc;
           Alcotest.test_case "rotation" `Quick test_wal_rotation;
           Alcotest.test_case "identity mismatch" `Quick test_wal_identity_mismatch;
+          Alcotest.test_case "group-commit crash" `Quick test_wal_group_commit_crash;
         ] );
       ( "admin",
         [
