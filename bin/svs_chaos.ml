@@ -132,6 +132,44 @@ let no_recovery_term =
            run that actually restarted someone — the inverted self-check proving the \
            recovery path is what keeps Integrity true.")
 
+let hostile_term =
+  Arg.(
+    value & flag
+    & info [ "hostile" ]
+        ~doc:
+          "Run the hostile-input suite instead of the sweep: a garbage-spewing peer over \
+           real TCP ($(b,frame-corruption)), a bit-flipped write-ahead log \
+           ($(b,wal-corruption)) and a scribbled-over replica in the simulator \
+           ($(b,state-divergence)). Exits zero only if every defense (quarantine, \
+           salvage, divergence self-healing) contained the damage.")
+
+let no_quarantine_term =
+  Arg.(
+    value & flag
+    & info [ "no-quarantine" ]
+        ~doc:
+          "Hostile self-test: raise the quarantine threshold out of reach. \
+           $(b,frame-corruption) must then FAIL (the attacker is never quarantined) while \
+           the other hostile scenarios stay clean. Implies $(b,--hostile).")
+
+let no_salvage_term =
+  Arg.(
+    value & flag
+    & info [ "no-salvage" ]
+        ~doc:
+          "Hostile self-test: recover the WAL with the legacy truncate-at-first-bad-frame \
+           scan. $(b,wal-corruption) must then FAIL (records beyond the damage are lost) \
+           while the other hostile scenarios stay clean. Implies $(b,--hostile).")
+
+let no_heal_term =
+  Arg.(
+    value & flag
+    & info [ "no-heal" ]
+        ~doc:
+          "Hostile self-test: detect state divergence but never self-demote. \
+           $(b,state-divergence) must then FAIL (the replicas stay split) while the other \
+           hostile scenarios stay clean. Implies $(b,--hostile).")
+
 let json_term =
   Arg.(
     value & flag
@@ -219,12 +257,59 @@ let dump_flights ~dir outcomes =
       failing
   end
 
+(* The hostile suite with inverted acceptance: with every defense on,
+   all three scenarios must be contained; with a defense disabled via
+   its --no-* flag, that scenario (and only that one) must come back
+   flagged — proving the harness checks actually bite. *)
+let run_hostile ~no_quarantine ~no_salvage ~no_heal =
+  let invert = function
+    | "frame-corruption" -> no_quarantine
+    | "wal-corruption" -> no_salvage
+    | "state-divergence" -> no_heal
+    | _ -> false
+  in
+  let reports =
+    List.map
+      (fun name ->
+        let r = C.Hostile.run ~name ~invert:(invert name) in
+        Format.fprintf ppf "%a@." C.Hostile.pp_report r;
+        (name, invert name, r))
+      C.Hostile.names
+  in
+  let wrong =
+    List.filter
+      (fun (_, inverted, r) -> if inverted then C.Hostile.ok r else not (C.Hostile.ok r))
+      reports
+  in
+  let self_test = List.exists (fun (_, inverted, _) -> inverted) reports in
+  if wrong = [] then begin
+    if self_test then
+      Format.fprintf ppf
+        "hostile self-test passed: disabled defense(s) flagged, the rest contained@."
+    else
+      Format.fprintf ppf "all %d hostile scenarios contained@." (List.length reports);
+    0
+  end
+  else begin
+    List.iter
+      (fun (name, inverted, _) ->
+        if inverted then
+          Format.fprintf ppf
+            "HOSTILE SELF-TEST FAILED: %s passed with its defense disabled@." name
+        else Format.fprintf ppf "hostile scenario %s was NOT contained@." name)
+      wrong;
+    1
+  end
+
 let run scenarios modes seeds seed_base nodes horizon settle trace flight_dir mutate
-    mutate_split_brain no_merge no_recovery json verbose plan =
+    mutate_split_brain no_merge no_recovery hostile no_quarantine no_salvage no_heal json
+    verbose plan =
   match plan with
   | Some scenario ->
       print_plan scenario ~seed:seed_base ~nodes ~horizon;
       0
+  | None when hostile || no_quarantine || no_salvage || no_heal ->
+      run_hostile ~no_quarantine ~no_salvage ~no_heal
   | None ->
       let config =
         {
@@ -370,7 +455,8 @@ let main =
     Term.(
       const run $ scenarios_term $ modes_term $ seeds_term $ seed_base_term $ nodes_term
       $ horizon_term $ settle_term $ trace_term $ flight_term $ mutate_term
-      $ mutate_split_brain_term $ no_merge_term $ no_recovery_term $ json_term
-      $ verbose_term $ plan_term)
+      $ mutate_split_brain_term $ no_merge_term $ no_recovery_term $ hostile_term
+      $ no_quarantine_term $ no_salvage_term $ no_heal_term $ json_term $ verbose_term
+      $ plan_term)
 
 let () = exit (Cmd.eval' main)

@@ -51,7 +51,7 @@ let peer_conv =
         | Unix.ADDR_UNIX path -> Format.fprintf ppf "%d:unix:%s" id path )
 
 let run me peers publish rate consume_rate duration reliable park_timeout flush_interval
-    data_dir trace_file admin_port flight_file stats_period verbose =
+    data_dir divergence_period trace_file admin_port flight_file stats_period verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -104,14 +104,21 @@ let run me peers publish rate consume_rate duration reliable park_timeout flush_
         tracer;
         metrics = Some metrics;
         flush_interval;
+        divergence_period;
       }
     in
     let delivered = ref 0 in
-    let node =
+    match
       Node.create loop ~me ~listen_fd ~peers ~payload_codec ~config ?data_dir
         ~on_synced:(fun v _app -> Format.printf "[%d] *** rejoined in %a ***@." me View.pp v)
         ()
-    in
+    with
+    | exception Svs_rt.Wal.Open_error e ->
+        (* Refuse the data dir rather than scribble over another
+           node's log; non-zero exit so supervisors notice. *)
+        Option.iter close_out trace_oc;
+        `Error (false, Svs_rt.Wal.open_error_message e)
+    | node ->
     if Node.is_joining node then
       Format.printf "[%d] restarting from %s; asking the group to readmit me@." me
         (Option.value ~default:"?" data_dir);
@@ -309,6 +316,18 @@ let cmd =
              $(docv) recovers identity, last view, delivery floors and the sequence \
              lease, then rejoins the group through the JOIN/SYNC handshake.")
   in
+  let divergence_period =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "divergence-period" ] ~docv:"SECONDS"
+          ~doc:
+            "Replicated-state divergence self-healing: compare the state digests that \
+             ride every heartbeat at this period. A quiescent member whose digest \
+             disagrees with a unanimous rest-of-view for several consecutive rounds \
+             self-demotes and re-enters through JOIN/SYNC with state transfer \
+             (counted in $(b,svs_divergence_detected_total)).")
+  in
   let trace_file =
     Arg.(
       value & opt (some string) None
@@ -350,7 +369,7 @@ let cmd =
     Term.(
       ret
         (const run $ me $ peers $ publish $ rate $ consume_rate $ duration $ reliable
-       $ park_timeout $ flush_interval $ data_dir $ trace_file $ admin_port $ flight_file
-       $ stats_period $ verbose))
+       $ park_timeout $ flush_interval $ data_dir $ divergence_period $ trace_file
+       $ admin_port $ flight_file $ stats_period $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -43,7 +43,22 @@ let strict_term =
     & info [ "strict" ] ~doc:"Exit non-zero if the analysis finds any anomaly.")
 
 let run files show_timelines json_out block_threshold strict =
-  let streams = List.map Span.load_file files in
+  (* Trace files from crashed or killed nodes routinely end in a torn
+     line (and bit rot happens): skip what does not parse, loudly, and
+     analyze the rest. *)
+  let streams =
+    List.map
+      (fun file ->
+        let records, bad = Span.load_file_counted file in
+        if bad > 0 then
+          Format.fprintf ppf "svs_trace: warning: %s: skipped %d corrupt line(s)@." file bad;
+        (records, bad))
+      files
+  in
+  let skipped = List.fold_left (fun acc (_, bad) -> acc + bad) 0 streams in
+  let streams = List.map fst streams in
+  if skipped > 0 then
+    Format.fprintf ppf "svs_trace: warning: %d corrupt line(s) skipped in total@." skipped;
   let total = List.fold_left (fun acc s -> acc + List.length s) 0 streams in
   if total = 0 then begin
     Format.fprintf ppf "svs_trace: no trace records in %d file(s)@." (List.length files);

@@ -1,0 +1,51 @@
+(** Hostile-input chaos harnesses: corrupt bytes on the wire, in the
+    write-ahead log, and in a replica's memory, and check that the
+    corresponding defense (peer quarantine, WAL salvage, divergence
+    self-healing) contains the damage.
+
+    Unlike the {!Scenario} catalogue these runs do not go through the
+    {!Runner} (two of them leave the simulator — real sockets, real
+    files), so they carry their own report type. Each harness takes a
+    flag that disables its defense; the inverted run {e must} come back
+    flagged — the chaos self-check proving the checks bite. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+type report = { scenario : string; checks : check list }
+
+val ok : report -> bool
+(** Every check passed. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val names : string list
+(** [["frame-corruption"; "wal-corruption"; "state-divergence"]]. *)
+
+val run_frame_corruption : ?quarantine:bool -> unit -> report
+(** A hostile process completes the mesh hello as a known peer, then
+    streams unparseable batches at a node over real loopback TCP while
+    an honest peer keeps talking. Checks: the attacker is quarantined
+    (counted and traced), the garbage is dropped, and honest traffic
+    keeps flowing. [quarantine:false] raises the quarantine threshold
+    out of reach — the inverted self-check. Wall-clock: ~1 s. *)
+
+val run_wal_corruption : ?salvage:bool -> unit -> report
+(** Builds a healthy log in a fresh temp directory, flips one byte in
+    an interior record, and recovers. Checks: records after the damage
+    survive, the damaged bytes are skipped and quarantined to a
+    [.corrupt] sidecar, recovery reports [tainted], and the rewritten
+    log replays clean. [salvage:false] restores legacy
+    truncate-at-first-bad-frame recovery — the inverted self-check. *)
+
+val run_state_divergence : ?heal:bool -> ?seed:int -> unit -> report
+(** A simulated 3-node group replicates an item store; once traffic
+    quiesces, one backup's store is scribbled over behind the
+    protocol's back. Checks: digest gossip convicts the divergent node
+    (counted and traced), the replicas reconverge after its demote +
+    state-transfer rejoin, and the {!Oracle} finds the run safe.
+    [heal:false] detects and counts but never demotes — the inverted
+    self-check. *)
+
+val run : name:string -> invert:bool -> report
+(** Dispatch by scenario name, [invert] disabling that scenario's
+    defense. @raise Invalid_argument on an unknown name. *)

@@ -23,6 +23,19 @@ type overflow = {
   check_period : float;
 }
 
+(* Replicated-state divergence self-healing: members gossip a cheap
+   digest of their replicated state every [period]; a quiescent member
+   whose digest disagrees with a unanimous rest-of-view for [rounds]
+   consecutive evaluations concludes it is the corrupt one and — with
+   [heal] — self-demotes and rejoins through JOIN/SYNC with state
+   transfer. [heal = false] detects (and counts) without demoting, for
+   the inverted chaos self-check. *)
+type divergence = {
+  div_period : float;
+  div_rounds : int;
+  div_heal : bool;
+}
+
 type config = {
   semantic : bool;
   buffer_capacity : int option;
@@ -33,6 +46,7 @@ type config = {
   overflow_exclusion : overflow option;
   park_timeout : float option;
   merge : bool;
+  divergence : divergence option;
   tracer : Trace.t;
   metrics : Metrics.t option;
 }
@@ -48,6 +62,7 @@ let default_config =
     overflow_exclusion = None;
     park_timeout = None;
     merge = true;
+    divergence = None;
     tracer = Trace.nop;
     metrics = None;
   }
@@ -56,6 +71,7 @@ type 'p packet =
   | Proto of 'p wire
   | Cons of { view_id : int; msg : 'p proposal Ct.msg }
   | Beat
+  | Digest of { view_id : int; digest : int }
 
 type 'p t = {
   me : int;
@@ -76,6 +92,15 @@ type 'p t = {
   mutable blocked_obs : (int * float) option;
   mutable park_epoch : float option;
   merge_spans : Metrics.Histogram.t;
+  (* Divergence bookkeeping: the application-state digest callback,
+     the last digest every peer reported (with the view it reported
+     for), the consecutive-disagreement streak, and whether a
+     self-demotion is in flight. *)
+  mutable digest_fn : (unit -> int) option;
+  peer_digests : (int, int * int) Hashtbl.t;
+  mutable div_streak : int;
+  mutable div_last : (int * int) option;
+  mutable heal_pending : bool;
 }
 
 and 'p cluster = {
@@ -87,6 +112,7 @@ and 'p cluster = {
   mutable arbiter : 'p proposal Arbiter.t option;
   mutable member_list : 'p t list;
   mutable parked_events : int;
+  mutable divergence_events : int;
 }
 
 let engine c = c.engine
@@ -132,6 +158,18 @@ let is_joining m = (not m.crashed) && Protocol.joining m.proto
 let is_parked m = (not m.crashed) && (Protocol.parked m.proto || m.park_epoch <> None)
 
 let parked_events c = c.parked_events
+
+let divergence_events c = c.divergence_events
+
+let set_state_digest m f = m.digest_fn <- Some f
+
+(* The digest compared by divergence gossip: everything a correct
+   member's replicated state is a function of — installed view, merged
+   delivery floors, and the application's own digest. *)
+let member_digest m =
+  let v = view m in
+  let app = match m.digest_fn with Some f -> f () | None -> 0 in
+  Hashtbl.hash (v.View.id, v.View.members, List.sort compare (Protocol.floors m.proto), app)
 
 let on_installed m f = m.installed_cbs <- f :: m.installed_cbs
 
@@ -252,6 +290,7 @@ let on_packet m ~src packet =
   if not m.crashed then
     match packet with
     | Beat -> ( match m.hb with Some hb -> Heartbeat.on_heartbeat hb ~src | None -> ())
+    | Digest { view_id; digest } -> Hashtbl.replace m.peer_digests src (view_id, digest)
     | Proto (Wdata d) ->
         (* Note: the held-back backlog is deliberately NOT purged (and
            hence not covered by the protocol's purge indexes). A
@@ -461,6 +500,9 @@ let restart c p ~recover =
   Queue.clear m.inbox;
   Hashtbl.reset m.instances;
   Hashtbl.reset m.cons_stash;
+  Hashtbl.reset m.peer_digests;
+  m.div_streak <- 0;
+  m.div_last <- None;
   m.crashed <- false;
   Network.revive c.net ~node:p;
   (match config.detector with
@@ -530,6 +572,7 @@ let park_member c p =
 let packet_size pc packet =
   match packet with
   | Beat -> 4
+  | Digest _ -> 12
   | Proto wire -> 8 + Wire_codec.wire_size pc wire
   | Cons { msg; _ } ->
       12 + Ct.msg_size ~value_size:(fun p -> Wire_codec.proposal_size pc p) msg
@@ -565,6 +608,7 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
       arbiter = None;
       member_list = [];
       parked_events = 0;
+      divergence_events = 0;
     }
   in
   (match config.consensus with
@@ -606,6 +650,11 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
         crashed = false;
         blocked_obs = None;
         park_epoch = None;
+        digest_fn = None;
+        peer_digests = Hashtbl.create 7;
+        div_streak = 0;
+        div_last = None;
+        heal_pending = false;
         merge_spans =
           (match config.metrics with
           | None -> Metrics.Histogram.detached ()
@@ -693,6 +742,95 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
                cluster.member_list;
              true)
           : Engine.handle));
+  (* Divergence self-healing: digests gossip on one cadence, and are
+     compared half a period later (so every peer's latest report had
+     time to arrive). Evaluation is deliberately conservative — only a
+     quiescent member (nothing queued or undelivered) whose digest
+     disagrees with a {e unanimous} rest-of-view for [div_rounds]
+     straight evaluations concludes {e it} is the corrupt one. *)
+  (match config.divergence with
+  | None -> ()
+  | Some { div_period; div_rounds; div_heal } ->
+      let quiescent m =
+        is_member m && (not (is_blocked m))
+        && Queue.is_empty m.inbox
+        && Protocol.to_deliver_length m.proto = 0
+      in
+      let evaluate m =
+        if m.heal_pending then begin
+          (* The self-exclusion can race a concurrent view change and
+             be dropped: keep nudging until it lands. *)
+          if is_member m && not (is_blocked m) then
+            trigger_view_change m ~leave:[ m.me ] ()
+        end
+        else if quiescent m then begin
+          let vid = (view m).View.id in
+          let others = List.filter (fun q -> q <> m.me) (view m).View.members in
+          let reports =
+            List.filter_map
+              (fun q ->
+                match Hashtbl.find_opt m.peer_digests q with
+                | Some (v, d) when v = vid -> Some d
+                | _ -> None)
+              others
+          in
+          let mine = member_digest m in
+          match reports with
+          | d0 :: rest
+            when others <> []
+                 && List.length reports = List.length others
+                 && List.for_all (fun d -> d = d0) rest
+                 && d0 <> mine ->
+              (* Only the *same* disagreement counts towards the
+                 streak: in-flight traffic makes floors (and so
+                 digests) drift between evaluations — a healthy member
+                 momentarily behind its peers sees a different
+                 disagreement each round, while a genuinely corrupt
+                 quiescent replica freezes on one. *)
+              (match m.div_last with
+              | Some (pm, pd) when pm = mine && pd = d0 ->
+                  m.div_streak <- m.div_streak + 1
+              | Some _ | None ->
+                  m.div_streak <- 1;
+                  m.div_last <- Some (mine, d0));
+              if m.div_streak >= div_rounds then begin
+                m.div_streak <- 0;
+                m.div_last <- None;
+                cluster.divergence_events <- cluster.divergence_events + 1;
+                if Trace.enabled config.tracer then
+                  Trace.emit config.tracer (Trace.Divergence { node = m.me; view_id = vid });
+                if div_heal then begin
+                  m.heal_pending <- true;
+                  trigger_view_change m ~leave:[ m.me ] ()
+                end
+              end
+          | _ ->
+              m.div_streak <- 0;
+              m.div_last <- None
+        end
+        else begin
+          m.div_streak <- 0;
+          m.div_last <- None
+        end
+      in
+      ignore
+        (Engine.every eng ~period:div_period (fun () ->
+             List.iter
+               (fun m ->
+                 if is_member m && not (is_blocked m) then begin
+                   let d = Digest { view_id = (view m).View.id; digest = member_digest m } in
+                   List.iter
+                     (fun q -> if q <> m.me then Network.send net ~src:m.me ~dst:q d)
+                     (view m).View.members
+                 end)
+               cluster.member_list;
+             true)
+          : Engine.handle);
+      ignore
+        (Engine.every eng ~start:(div_period /. 2.0) ~period:div_period (fun () ->
+             List.iter evaluate cluster.member_list;
+             true)
+          : Engine.handle));
   List.iter
     (fun m ->
       Checker.record_install cluster.check ~p:m.me initial_view;
@@ -731,6 +869,26 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
             ignore
               (Engine.schedule eng ~delay:0.0 (fun () ->
                    if not (is_member m || is_joining m) then rejoin_via_probe cluster m.me)
-                : Engine.handle)))
+                : Engine.handle));
+      (* Divergence healing: the self-demoted member's exclusion turns
+         it straight into a probing joiner, so it re-syncs from a
+         sponsor's state transfer. (Deferred, like the park hook:
+         [Excluded] fires mid-drain.) *)
+      (match config.divergence with
+      | Some { div_heal = true; _ } ->
+          on_excluded m (fun _ ->
+              if m.heal_pending then
+                ignore
+                  (Engine.schedule eng ~delay:0.0 (fun () ->
+                       if not (is_member m || is_joining m) then begin
+                         m.heal_pending <- false;
+                         rejoin_via_probe cluster m.me
+                       end)
+                    : Engine.handle));
+          on_synced m (fun _ _ ->
+              m.div_streak <- 0;
+              m.div_last <- None;
+              Hashtbl.reset m.peer_digests)
+      | Some _ | None -> ()))
     ms;
   cluster

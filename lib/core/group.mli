@@ -31,6 +31,21 @@ type overflow = {
   check_period : float;
 }
 
+(** Replicated-state divergence self-healing; see the [divergence]
+    config field. *)
+type divergence = {
+  div_period : float;  (** Digest gossip (and evaluation) period. *)
+  div_rounds : int;
+      (** Consecutive disagreeing evaluations before self-demotion.
+          Only the {e same} disagreement (both digests unchanged)
+          extends the streak, so floor lag under in-flight traffic
+          never convicts a healthy member. *)
+  div_heal : bool;
+      (** [true]: the divergent member self-demotes and rejoins via
+          JOIN/SYNC with state transfer. [false]: detect and count
+          only — the inverted chaos self-check. *)
+}
+
 type config = {
   semantic : bool;  (** Purge obsolete messages (false = plain VS). *)
   buffer_capacity : int option;
@@ -69,6 +84,15 @@ type config = {
           hold the probes, so the merge happens automatically at the
           heal. [false] leaves parked members parked — used by the
           chaos no-merge self-check. *)
+  divergence : divergence option;
+      (** When set, members gossip a cheap digest of their replicated
+          state (installed view, merged floors, application digest via
+          {!set_state_digest}) every [div_period]; a quiescent member
+          whose digest disagrees with a unanimous rest-of-view for
+          [div_rounds] consecutive evaluations concludes {e it} is the
+          corrupt one, traced as [Divergence] and counted in
+          {!divergence_events}. Default [None]. (Periodic gossip:
+          run the engine with a horizon.) *)
   tracer : Svs_telemetry.Trace.t;
       (** Receives every member's trace events, stamped with virtual
           time (the cluster re-points the tracer's clock at the
@@ -179,6 +203,15 @@ val is_parked : 'p t -> bool
 
 val parked_events : 'p cluster -> int
 (** How many quorum-loss transitions happened in this cluster. *)
+
+val set_state_digest : 'p t -> (unit -> int) -> unit
+(** Application-state digest callback, folded into this member's
+    divergence gossip (see the [divergence] config field). Survives
+    {!restart}. *)
+
+val divergence_events : 'p cluster -> int
+(** How many divergence detections (self-demotions when healing is on)
+    happened in this cluster. *)
 
 val pause_receive : 'p cluster -> int -> unit
 (** Freeze a member's receive side: inbound packets (data, control,

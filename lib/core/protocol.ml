@@ -43,6 +43,11 @@ type 'p t = {
   mutable status : status;
   mutable state_transfer : unit -> string option;
   mutable next_sn : int;
+  (* Recovery could not prove the durable sequence lease intact (a
+     salvaged WAL with damaged regions): on the next SYNC, bump
+     [next_sn] above the group's floor for us as a second line of
+     defence against reusing a number an earlier incarnation sent. *)
+  mutable lease_uncertain : bool;
   to_deliver : 'p entry Dq.t;
   (* Purge indexes over the queued Edata entries (semantic mode only):
      inserting a message touches exactly the entries it can obsolete
@@ -91,6 +96,7 @@ let create ~me ~initial_view ?(semantic = true) ?(tracer = Trace.nop) ?metrics
     status = (if View.mem me initial_view then Member else Dead);
     state_transfer = (fun () -> None);
     next_sn = 0;
+    lease_uncertain = false;
     to_deliver = Dq.create ();
     pidx = Purge_index.create ();
     delivered_this_view = [];
@@ -172,6 +178,8 @@ let park t =
   end
 
 let set_state_transfer t f = t.state_transfer <- f
+
+let mark_lease_uncertain t = t.lease_uncertain <- true
 
 let floors t = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) t.floors []
 
@@ -526,6 +534,19 @@ and handle_sync t ~src ~view ~floors ~app =
     List.iter
       (fun (sender, sn) -> if sn > floor_of t sender then Hashtbl.replace t.floors sender sn)
       floors;
+    (* A joiner recovering from a damaged log may carry a rolled-back
+       sequence counter; the group's floor for us bounds every number
+       an earlier incarnation put on the wire that the group has fully
+       delivered, so starting above it is a second line of defence for
+       "never reuse a sequence number" when the durable lease could not
+       be proven intact. Only applied when the embedding flagged the
+       lease as uncertain — an unconditional bump would silently mask
+       genuine amnesia (a node restarting without its log), which must
+       stay detectable. *)
+    if t.lease_uncertain then begin
+      if floor_of t t.me + 1 > t.next_sn then t.next_sn <- floor_of t t.me + 1;
+      t.lease_uncertain <- false
+    end;
     Dq.push_back t.to_deliver (Eview view);
     t.cv <- view;
     t.status <- Member;

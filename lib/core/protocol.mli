@@ -105,6 +105,14 @@ val set_state_transfer : 'p t -> (unit -> string option) -> unit
     sponsors a joiner, the callback's result rides the SYNC message
     and surfaces at the joiner as {!Types.Synced}. Default: [None]. *)
 
+val mark_lease_uncertain : 'p t -> unit
+(** Tell a recovering joiner its durable sequence lease could not be
+    proven intact (a salvaged WAL with damaged regions). On its next
+    SYNC it additionally raises [next_sn] above the group's delivery
+    floor for it, so no sequence number an earlier incarnation put on
+    the wire — and the group fully delivered — can be reused. One-shot;
+    cleared by the SYNC that consumes it. *)
+
 val floors : 'p t -> (int * int) list
 (** Per-sender delivery floors (highest accepted sequence number), the
     durable dedup state. Unordered. *)

@@ -45,7 +45,12 @@ let write_view w (v : View.t) =
 let read_view r =
   let id = R.varint r in
   let members = R.list r R.varint in
-  View.make ~id ~members
+  (* [View.make] validates (e.g. rejects empty membership) with
+     [Invalid_argument]; on hostile bytes that must surface as the
+     codec's own failure, not an unsanctioned escape. *)
+  match View.make ~id ~members with
+  | v -> v
+  | exception Invalid_argument msg -> raise (Codec.Malformed msg)
 
 let write_data pc w (d : 'p data) =
   write_msg_id w d.id;

@@ -84,6 +84,14 @@ let applied_batches t = t.applied
 
 let store_equal a b = items a = items b
 
+let digest t = Hashtbl.hash (items t)
+
+(* Fault injection for chaos tests: scribble directly over the local
+   replica, bypassing the protocol — the model of bit rot, a buggy
+   apply path, or a partial restore. The group-visible state is
+   untouched; only divergence detection can notice. *)
+let corrupt t ~item v = Hashtbl.replace t.store item v
+
 let apply_op t = function
   | Set (item, v) -> Hashtbl.replace t.store item v
   | Remove item -> Hashtbl.remove t.store item

@@ -68,5 +68,15 @@ val applied_batches : 'v t -> int
 
 val store_equal : 'v t -> 'v t -> bool
 
+val digest : 'v t -> int
+(** A cheap structural hash of {!items} — what a replica should feed
+    into {!Svs_core.Group.set_state_digest} for divergence gossip. *)
+
+val corrupt : 'v t -> item:int -> 'v -> unit
+(** Fault injection for chaos tests: overwrite one item directly in
+    the local replica, bypassing the protocol — the model of bit rot,
+    a buggy apply path, or a partial restore. Only divergence
+    detection can notice. *)
+
 val member : 'v t -> 'v payload Svs_core.Group.t
 (** The underlying group member (for crash/instrumentation). *)

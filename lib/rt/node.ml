@@ -23,6 +23,10 @@ type config = {
   metrics : Metrics.t option;
   flush_interval : float;
       (* Mesh batching horizon (seconds); 0. flushes on every send. *)
+  hostile : Tcp_mesh.hostile_policy;
+  divergence_period : float option;
+      (* Check the digest gossip (piggybacked on heartbeats) at this
+         period; None disables divergence self-healing. *)
 }
 
 let default_config =
@@ -34,14 +38,23 @@ let default_config =
     tracer = Trace.nop;
     metrics = None;
     flush_interval = 0.001;
+    hostile = Tcp_mesh.default_hostile_policy;
+    divergence_period = None;
   }
 
+(* How many consecutive divergence checks must agree before a node
+   self-demotes: one mismatched sample can be a legitimate in-flight
+   difference, a persistent one is corruption. *)
+let divergence_rounds = 3
+
 (* Packets on the mesh: protocol wire messages, consensus messages for
-   a view-change instance, heartbeats. *)
+   a view-change instance, heartbeats. A heartbeat carries the
+   sender's replicated-state digest — the divergence gossip rides the
+   liveness traffic for free. *)
 type 'p packet =
   | Proto of 'p Types.wire
   | Cons of { view_id : int; msg : 'p Types.proposal Ct.msg }
-  | Beat
+  | Beat of { view_id : int; digest : int }
 
 let write_packet pc w = function
   | Proto wire ->
@@ -51,7 +64,11 @@ let write_packet pc w = function
       Codec.Writer.uint8 w 1;
       Codec.Writer.varint w view_id;
       Ct.write_msg (Wire_codec.write_proposal pc) w msg
-  | Beat -> Codec.Writer.uint8 w 2
+  | Beat { view_id; digest } ->
+      Codec.Writer.uint8 w 2;
+      (* Zigzag: a joiner's placeholder view id is negative. *)
+      Codec.Writer.zigzag w view_id;
+      Codec.Writer.zigzag w digest
 
 let read_packet pc r =
   match Codec.Reader.uint8 r with
@@ -60,7 +77,10 @@ let read_packet pc r =
       let view_id = Codec.Reader.varint r in
       let msg = Ct.read_msg (Wire_codec.read_proposal pc) r in
       Cons { view_id; msg }
-  | 2 -> Beat
+  | 2 ->
+      let view_id = Codec.Reader.zigzag r in
+      let digest = Codec.Reader.zigzag r in
+      Beat { view_id; digest }
   | n -> raise (Codec.Malformed (Printf.sprintf "packet tag %d" n))
 
 (* How many sequence numbers one Lease record covers. Leases are
@@ -104,6 +124,15 @@ type 'p t = {
   (* Exclusion (or quorum loss) fires mid-drain; the protocol swap is
      deferred to the next engine tick. *)
   mutable want_rejoin : bool;
+  (* Divergence self-healing: last digest reported by each peer (with
+     the view it was computed in), the consecutive-mismatch streak, and
+     whether a self-demotion is in flight. *)
+  peer_digests : (int, int * int) Hashtbl.t;
+  mutable div_streak : int;
+  mutable div_last : (int * int) option;
+  mutable heal_pending : bool;
+  app_digest : (unit -> int) option;
+  c_divergence : Metrics.Counter.t;
   suspicions : Metrics.Counter.t;
   delivery_latency : Metrics.Histogram.t;
   merge_spans : Metrics.Histogram.t;
@@ -122,6 +151,16 @@ let is_member t =
   (not t.stopped) && Protocol.alive t.proto && View.mem t.me (view t)
 
 let is_joining t = (not t.stopped) && Protocol.joining t.proto
+
+(* The incremental checksum the divergence gossip compares: installed
+   view, merged floors, and the application snapshot digest. Cheap —
+   the floors list is one entry per member. *)
+let current_digest t =
+  let v = view t in
+  let app = match t.app_digest with Some f -> f () | None -> 0 in
+  Hashtbl.hash (v.View.id, v.View.members, List.sort compare (Protocol.floors t.proto), app)
+
+let divergences t = Metrics.Counter.value t.c_divergence
 
 let purged t = Protocol.purged_count t.proto
 
@@ -187,8 +226,11 @@ and handle_output t = function
       Log.warn (fun m -> m "node %d excluded from %a" t.me View.pp v);
       (* Primary-component mode: exclusion learned after a cut (the
          majority moved on without us) is the same fate as parking —
-         come back through the probing-joiner path instead of dying. *)
-      if t.park_timeout <> None then t.want_rejoin <- true else t.stopped <- true
+         come back through the probing-joiner path instead of dying.
+         A divergence self-demotion asked for this exclusion and
+         always rejoins. *)
+      if t.park_timeout <> None || t.heal_pending then t.want_rejoin <- true
+      else t.stopped <- true
   | Types.Synced { view; app } ->
       Log.info (fun m -> m "node %d synced into %a" t.me View.pp view);
       (match t.park_epoch with
@@ -203,6 +245,12 @@ and handle_output t = function
               (Trace.Merge
                  { node = t.me; view_id = view.View.id; parked_ms = int_of_float (dt *. 1000.0) })
       | None -> ());
+      (* Re-synced state is authoritative: restart the divergence
+         bookkeeping from scratch. *)
+      t.heal_pending <- false;
+      t.div_streak <- 0;
+      t.div_last <- None;
+      Hashtbl.reset t.peer_digests;
       t.on_synced view app
   | Types.Propose { view_id; proposal } -> start_instance t ~view_id proposal
 
@@ -239,7 +287,9 @@ let on_suspicion t =
 let on_packet t ~src packet =
   if not t.stopped then
     match packet with
-    | Beat -> Heartbeat.on_heartbeat t.hb ~src
+    | Beat { view_id; digest } ->
+        Hashtbl.replace t.peer_digests src (view_id, digest);
+        Heartbeat.on_heartbeat t.hb ~src
     | Proto wire ->
         (match wire with
         | Types.Wdata d ->
@@ -339,6 +389,83 @@ let park t =
   end
 
 let parked t = t.park_epoch <> None
+
+(* One round of the divergence check. Digests legitimately differ
+   while traffic is in flight (floors advance at different times), so
+   a node only counts a round against itself when it is quiescent and
+   {e every} other member of its view reports one common digest that
+   differs from its own — and only a streak of such rounds demotes.
+   The demotion is self-exclusion (the group installs a view without
+   us) followed by the ordinary probing-joiner re-entry, so the whole
+   JOIN/SYNC + state-transfer machinery heals the divergent replica. *)
+let check_divergence t =
+  if t.heal_pending then begin
+    (* The exclusion we asked for can be ignored while the protocol is
+       blocked: keep nudging until it lands. *)
+    if is_member t && not (Protocol.blocked t.proto) then begin
+      Protocol.trigger_view_change t.proto ~leave:[ t.me ] ();
+      drain t
+    end
+  end
+  else if
+    is_member t
+    && (not (Protocol.blocked t.proto))
+    && Protocol.to_deliver_length t.proto = 0
+  then begin
+    let v = view t in
+    let mine = current_digest t in
+    let others = List.filter (fun p -> p <> t.me) v.View.members in
+    let reports =
+      List.filter_map
+        (fun p ->
+          match Hashtbl.find_opt t.peer_digests p with
+          | Some (vid, d) when vid = v.View.id -> Some d
+          | _ -> None)
+        others
+    in
+    let odd_one_out =
+      others <> []
+      && List.length reports = List.length others
+      &&
+      match reports with
+      | d :: rest when d <> mine -> List.for_all (fun x -> x = d) rest
+      | _ -> false
+    in
+    if odd_one_out then begin
+      (* Only the *same* disagreement counts towards the streak:
+         in-flight traffic makes floors (and so digests) drift between
+         checks — a healthy node momentarily behind its peers sees a
+         different disagreement each round, while a genuinely corrupt
+         quiescent replica freezes on one. *)
+      let theirs = match reports with d :: _ -> d | [] -> assert false in
+      (match t.div_last with
+      | Some (pm, pd) when pm = mine && pd = theirs -> t.div_streak <- t.div_streak + 1
+      | Some _ | None ->
+          t.div_streak <- 1;
+          t.div_last <- Some (mine, theirs));
+      if t.div_streak >= divergence_rounds then begin
+        Log.warn (fun m ->
+            m "node %d: state digest diverged from the rest of view %d — self-demoting" t.me
+              v.View.id);
+        Metrics.Counter.incr t.c_divergence;
+        if Trace.enabled t.tracer then
+          Trace.emit t.tracer (Trace.Divergence { node = t.me; view_id = v.View.id });
+        t.div_streak <- 0;
+        t.div_last <- None;
+        t.heal_pending <- true;
+        Protocol.trigger_view_change t.proto ~leave:[ t.me ] ();
+        drain t
+      end
+    end
+    else begin
+      t.div_streak <- 0;
+      t.div_last <- None
+    end
+  end
+  else begin
+    t.div_streak <- 0;
+    t.div_last <- None
+  end
 
 let multicast t ?ann payload =
   if t.stopped then Error `Not_member
@@ -441,15 +568,15 @@ let status_json t =
        (List.map
           (fun (p : Tcp_mesh.peer_stat) ->
             Printf.sprintf
-              "{\"peer\":%d,\"up\":%b,\"pending\":%d,\"attempts\":%d,\"written_off\":%b}"
+              "{\"peer\":%d,\"up\":%b,\"pending\":%d,\"attempts\":%d,\"written_off\":%b,\"quarantined\":%b}"
               p.Tcp_mesh.peer p.Tcp_mesh.up p.Tcp_mesh.pending p.Tcp_mesh.attempts
-              p.Tcp_mesh.written_off)
+              p.Tcp_mesh.written_off p.Tcp_mesh.quarantined)
           (List.filter (fun (p : Tcp_mesh.peer_stat) -> p.Tcp_mesh.peer <> t.me)
              (Tcp_mesh.peer_stats t.mesh))));
   Buffer.contents b
 
 let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
-    ?(on_deliverable = fun () -> ()) ?data_dir ?state_transfer
+    ?(on_deliverable = fun () -> ()) ?data_dir ?state_transfer ?state_digest
     ?(on_synced = fun _ _ -> ()) () =
   let members = List.sort_uniq compare (List.map fst peers) in
   if not (List.mem me members) then invalid_arg "Node.create: me must be a peer";
@@ -464,17 +591,45 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
     match data_dir with
     | None -> (None, None)
     | Some dir ->
-        let w, r = Wal.open_ ~dir ~me ?metrics:config.metrics () in
+        (* A foreign log is a deployment error the caller must surface
+           (a clean refusal, not a stack trace from deep inside). *)
+        let w, r = Wal.open_exn ~dir ~me ?metrics:config.metrics () in
         if Trace.enabled config.tracer then
           Trace.emit config.tracer
             (Trace.WalRecovery
-               { node = me; records = r.Wal.records; truncated = r.Wal.truncated });
+               {
+                 node = me;
+                 records = r.Wal.records;
+                 truncated = r.Wal.truncated;
+                 skipped = r.Wal.skipped;
+                 tainted = r.Wal.tainted;
+               });
         Log.info (fun m ->
-            m "node %d: wal in %s replayed %d records (%d bytes truncated)%s" me dir
-              r.Wal.records r.Wal.truncated
+            m "node %d: wal in %s replayed %d records (%d bytes discarded, %d regions salvaged)%s%s"
+              me dir r.Wal.records r.Wal.truncated r.Wal.skipped
+              (if r.Wal.tainted then ", TAINTED" else "")
               (if r.Wal.fresh then ", fresh" else ""));
         (Some w, Some r)
   in
+  (* A tainted salvage cannot prove the durable lease survived: some
+     record past the last intact snapshot was destroyed, so an earlier
+     incarnation may have put sequence numbers above the recovered
+     ceiling on the wire. Over-provision by a full lease chunk (made
+     durable immediately) and rely on the sponsor's floors at SYNC to
+     push the counter above anything the group ever saw. *)
+  let recovered_next_sn =
+    match recovered with
+    | Some r when r.Wal.tainted -> r.Wal.next_sn + lease_chunk
+    | Some r -> r.Wal.next_sn
+    | None -> 0
+  in
+  (match (wal, recovered) with
+  | Some w, Some r when r.Wal.tainted ->
+      Log.warn (fun m ->
+          m "node %d: wal salvage could not prove the lease suffix intact; leasing %d..%d" me
+            r.Wal.next_sn recovered_next_sn);
+      Wal.append_durable w (Wal.Lease { next_sn = recovered_next_sn })
+  | _ -> ());
   let node_label = [ ("node", string_of_int me) ] in
   let t_ref = ref None in
   let mesh =
@@ -488,8 +643,11 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
             match read_packet payload_codec (Codec.Reader.of_slice frame) with
             | packet -> on_packet t ~src packet
             | exception (Codec.Truncated | Codec.Malformed _) ->
-                Log.warn (fun m -> m "node %d: malformed frame from %d" me src)))
-      ~tracer:config.tracer ?metrics:config.metrics
+                Log.warn (fun m -> m "node %d: malformed frame from %d" me src);
+                (* Feed the transport's misbehavior score: repeated
+                   garbage escalates to link reset and quarantine. *)
+                Tcp_mesh.note_misbehavior t.mesh ~src ~reason:"bad-frame"))
+      ~tracer:config.tracer ?metrics:config.metrics ~hostile:config.hostile
       ~flush_interval:config.flush_interval ()
   in
   let hb_ref = ref None in
@@ -509,11 +667,15 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
             Protocol.view_id =
               (match r.Wal.view with Some v -> v.View.id | None -> -1);
             floors = r.Wal.floors;
-            next_sn = r.Wal.next_sn;
+            next_sn = recovered_next_sn;
           }
         in
-        Protocol.create_joiner ~me ~recovery ~semantic:config.semantic
-          ~tracer:config.tracer ?metrics:config.metrics ~clock ~suspects ()
+        let p =
+          Protocol.create_joiner ~me ~recovery ~semantic:config.semantic
+            ~tracer:config.tracer ?metrics:config.metrics ~clock ~suspects ()
+        in
+        if r.Wal.tainted then Protocol.mark_lease_uncertain p;
+        p
     | _ ->
         let initial_view = View.initial ~members in
         (* Anchor a brand-new log so even a crash before the first view
@@ -530,7 +692,11 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
   let hb =
     Heartbeat.create engine config.heartbeat ~me ~peers:members
       ~send_heartbeat:(fun ~dst ->
-        match !t_ref with Some t -> send_packet t ~dst Beat | None -> ())
+        match !t_ref with
+        | Some t ->
+            send_packet t ~dst
+              (Beat { view_id = (view t).View.id; digest = current_digest t })
+        | None -> ())
   in
   hb_ref := Some hb;
   let t =
@@ -541,8 +707,8 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
       started_at;
       proto;
       wal;
-      leased = (match recovered with Some r -> r.Wal.next_sn | None -> 0);
-      durable_leased = (match recovered with Some r -> r.Wal.next_sn | None -> 0);
+      leased = recovered_next_sn;
+      durable_leased = recovered_next_sn;
       pkt_writer = Codec.Writer.create ~initial_capacity:256 ();
       on_synced;
       mesh;
@@ -561,6 +727,15 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
       blocked_obs = None;
       park_epoch = None;
       want_rejoin = false;
+      peer_digests = Hashtbl.create 7;
+      div_streak = 0;
+      div_last = None;
+      heal_pending = false;
+      app_digest = state_digest;
+      c_divergence =
+        (match config.metrics with
+        | None -> Metrics.Counter.detached ()
+        | Some reg -> Metrics.counter reg ~labels:node_label "svs_divergence_detected_total");
       suspicions =
         (match config.metrics with
         | None -> Metrics.Counter.detached ()
@@ -626,6 +801,16 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
                Protocol.gossip_stability t.proto;
                drain t
              end;
+             not t.stopped)
+          : Loop.timer));
+  (* Divergence self-healing: digests arrive on heartbeats; this timer
+     only evaluates them (and drives a pending self-demotion home). *)
+  (match config.divergence_period with
+  | None -> ()
+  | Some period ->
+      ignore
+        (Loop.every loop ~period (fun () ->
+             if not t.stopped then check_divergence t;
              not t.stopped)
           : Loop.timer));
   if Protocol.joining proto then start_join_nag t;

@@ -44,12 +44,29 @@ type config = {
           {!Tcp_mesh.create}): outbound packets coalesce per peer for
           up to this long before one batched write. [0.] writes on
           every send. *)
+  hostile : Tcp_mesh.hostile_policy;
+      (** How decode failures (transport framing and packet envelopes
+          alike) escalate to link resets and peer quarantine; see
+          {!Tcp_mesh.hostile_policy}. *)
+  divergence_period : float option;
+      (** Divergence self-healing. Every heartbeat already carries the
+          sender's replicated-state digest (installed view, merged
+          floors, application digest via [state_digest]); when set, a
+          timer at this period compares them. A quiescent member whose
+          digest disagrees with a unanimous rest-of-view for several
+          consecutive rounds concludes {e it} is the corrupt one:
+          it self-demotes (asks the group to exclude it, counted in
+          [svs_divergence_detected_total] and traced as [Divergence])
+          and re-enters through JOIN/SYNC with state transfer. [None]
+          (default) disables the check; the digests still ride the
+          heartbeats. *)
 }
 
 val default_config : config
 (** Semantic purging on, 100 ms heartbeats (350 ms initial timeout),
     stability gossip every second, no park timeout, telemetry off,
-    1 ms flush interval. *)
+    1 ms flush interval, default hostile policy, divergence healing
+    off. *)
 
 val create :
   Loop.t ->
@@ -61,6 +78,7 @@ val create :
   ?on_deliverable:(unit -> unit) ->
   ?data_dir:string ->
   ?state_transfer:(unit -> string option) ->
+  ?state_digest:(unit -> int) ->
   ?on_synced:(Svs_core.View.t -> string option -> unit) ->
   unit ->
   'p t
@@ -77,10 +95,19 @@ val create :
     the peers with JOIN requests until some member admits it into the
     next view, and resumes from its durable floors so nothing is
     delivered twice across the crash ({!Svs_core.Checker}'s Integrity
-    contract under recovery). The recovery is traced as [WalRecovery].
+    contract under recovery). The recovery is traced as [WalRecovery];
+    recovery salvages around corrupt log regions (see {!Wal.open_}),
+    and when the salvage cannot prove the durable lease intact the
+    node over-provisions its sequence lease and relies on the
+    sponsor's floors to stay above anything it ever sent.
+
+    @raise Wal.Open_error when [data_dir] holds another node's log —
+    refuse the data dir rather than corrupt it.
 
     [state_transfer] is this node's application-snapshot callback,
-    shipped when it sponsors a joiner; [on_synced] fires with the
+    shipped when it sponsors a joiner; [state_digest] is a cheap hash
+    of the same application state, folded into the divergence digest
+    gossip (see [divergence_period]); [on_synced] fires with the
     re-entry view and the sponsor's snapshot when {e this} node joins. *)
 
 val deliver : 'p t -> 'p Svs_core.Types.delivery option
@@ -126,6 +153,10 @@ val bytes_in : 'p t -> int
 
 val suspicions : 'p t -> int
 (** Heartbeat-timeout suspicions raised so far. *)
+
+val divergences : 'p t -> int
+(** Divergence self-demotions triggered so far (the
+    [svs_divergence_detected_total] counter). *)
 
 val delivery_latency : 'p t -> Svs_telemetry.Metrics.Histogram.t
 (** Wall-clock seconds from message acceptance to application

@@ -67,6 +67,28 @@ type dial_policy = {
 let default_dial_policy =
   { base_delay = 0.05; max_delay = 2.0; multiplier = 2.0; jitter = 0.2; max_attempts = None }
 
+(* Hostile-input escalation: every decode failure attributed to a peer
+   bumps a leaky-bucket score; crossing [reset_score] tears the peer's
+   inbound links down (a fresh stream clears framing desync), crossing
+   [quarantine_score] writes the peer off entirely until the cooldown
+   expires. Honest peers on a flaky network produce isolated failures
+   that the decay forgives; only a stream of garbage escalates. *)
+type hostile_policy = {
+  reset_score : float;
+  quarantine_score : float;
+  forgive_after : float;
+  decay : float;
+}
+
+let default_hostile_policy =
+  { reset_score = 3.0; quarantine_score = 8.0; forgive_after = 5.0; decay = 1.0 }
+
+type offender = {
+  mutable score : float;
+  mutable last : float; (* when [score] last decayed *)
+  mutable quarantined_until : float; (* 0. = not quarantined *)
+}
+
 type outgoing = {
   dst : int;
   addr : Unix.sockaddr;
@@ -109,6 +131,8 @@ type t = {
   mutable closed : bool;
   tracer : Trace.t;
   dial : dial_policy;
+  hostile : hostile_policy;
+  offenders : (int, offender) Hashtbl.t;
   max_frame : int;
   flush_interval : float;
   watermark : int; (* seal the open batch at this many payload bytes *)
@@ -121,6 +145,7 @@ type t = {
   c_writeoff_resets : Metrics.Counter.t;
   c_flushes : Metrics.Counter.t;
   c_writev_bytes : Metrics.Counter.t;
+  c_quarantined : Metrics.Counter.t;
   h_batch_frames : Metrics.Histogram.t;
 }
 
@@ -296,6 +321,96 @@ let drop_incoming t inc =
   (try Unix.close inc.fd with Unix.Unix_error (_, _, _) -> ());
   t.incoming <- List.filter (fun other -> other != inc) t.incoming
 
+(* --- Hostile-peer scoring --- *)
+
+let offender t ~peer =
+  match Hashtbl.find_opt t.offenders peer with
+  | Some o -> o
+  | None ->
+      let o = { score = 0.0; last = Loop.now t.loop; quarantined_until = 0.0 } in
+      Hashtbl.add t.offenders peer o;
+      o
+
+let decay_score t (o : offender) =
+  let now = Loop.now t.loop in
+  if now > o.last then begin
+    o.score <- Float.max 0.0 (o.score -. ((now -. o.last) *. t.hostile.decay));
+    o.last <- now
+  end
+
+let quarantined t ~peer =
+  match Hashtbl.find_opt t.offenders peer with
+  | Some o -> o.quarantined_until > Loop.now t.loop
+  | None -> false
+
+(* Tear down every inbound link attributed to [peer]: a fresh stream
+   is the only way out of framing desync, and a hostile peer loses its
+   foothold. *)
+let reset_links_from t ~peer =
+  List.iter
+    (fun inc -> if inc.peer = Some peer then drop_incoming t inc)
+    (List.filter (fun inc -> inc.peer = Some peer) t.incoming)
+
+let quarantine_peer t ~peer (o : offender) =
+  o.quarantined_until <- Loop.now t.loop +. t.hostile.forgive_after;
+  Metrics.Counter.incr t.c_quarantined;
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer
+      (Trace.Quarantine { node = t.me; peer; score = int_of_float (Float.round o.score) });
+  reset_links_from t ~peer;
+  (* Write the outgoing side off too (when the peer is in the mesh):
+     frames towards a quarantined peer can only feed it more state to
+     corrupt. *)
+  match List.assoc_opt peer t.outgoing with
+  | Some (out : outgoing) when not out.broken ->
+      (match out.fd with
+      | Some fd ->
+          Loop.remove_fd t.loop fd;
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          out.fd <- None
+      | None -> ());
+      out.broken <- true;
+      let dropped = out.queued_frames in
+      clear_queued out;
+      Metrics.Counter.add t.c_frames_dropped dropped
+  | _ -> ()
+
+let bump_misbehavior t ~peer =
+  if peer >= 0 && peer <> t.me then begin
+    let o = offender t ~peer in
+    decay_score t o;
+    o.score <- o.score +. 1.0;
+    (* Already quarantined: the score keeps climbing but the sentence
+       is already being served. *)
+    if o.quarantined_until <= Loop.now t.loop then
+      if o.score >= t.hostile.quarantine_score then quarantine_peer t ~peer o
+      else if o.score >= t.hostile.reset_score then reset_links_from t ~peer
+  end
+
+let note_misbehavior t ~src ~reason =
+  if not t.closed then begin
+    emit_drop t ~peer:src ~reason;
+    bump_misbehavior t ~peer:src
+  end
+
+(* Auto-forgiveness: a quarantined peer whose cooldown expired gets a
+   clean slate (and, when it is a mesh peer, its link dialed back). *)
+let forgive_expired t =
+  let now = Loop.now t.loop in
+  let expired =
+    Hashtbl.fold
+      (fun peer (o : offender) acc ->
+        if o.quarantined_until > 0.0 && now >= o.quarantined_until then peer :: acc else acc)
+      t.offenders []
+  in
+  List.iter
+    (fun peer ->
+      let o = Hashtbl.find t.offenders peer in
+      o.quarantined_until <- 0.0;
+      o.score <- 0.0;
+      forget_peer t ~dst:peer)
+    expired
+
 (* Split complete outer frames out of an incoming stream and fan the
    inner frames to [on_frame]; resets the link (and stops) on an
    oversize frame, a malformed hello, or a payload that is not a
@@ -308,12 +423,19 @@ let rec drain_frames t inc =
          a foreign protocol. Reset the link gracefully — the peer can
          reconnect with a fresh stream — rather than OOM on it. *)
       Metrics.Counter.incr t.c_frames_oversize;
-      emit_drop t ~peer:(Option.value inc.peer ~default:(-1)) ~reason:"oversize";
-      drop_incoming t inc
+      let peer = Option.value inc.peer ~default:(-1) in
+      emit_drop t ~peer ~reason:"oversize";
+      drop_incoming t inc;
+      bump_misbehavior t ~peer
   | Assembler.Frame payload -> (
       match inc.peer with
       | None -> (
           match int_of_string_opt (Codec.Slice.to_string payload) with
+          | Some peer when quarantined t ~peer ->
+              (* Serving a sentence: reconnects are refused until the
+                 cooldown expires and forgiveness dials back. *)
+              emit_drop t ~peer ~reason:"quarantined";
+              drop_incoming t inc
           | Some peer ->
               inc.peer <- Some peer;
               (* A fresh hello from a peer we had written off: it
@@ -335,7 +457,8 @@ let rec drain_frames t inc =
           | () -> drain_frames t inc
           | exception (Codec.Truncated | Codec.Malformed _) ->
               emit_drop t ~peer:src ~reason:"bad-batch";
-              drop_incoming t inc))
+              drop_incoming t inc;
+              bump_misbehavior t ~peer:src))
 
 let on_readable_incoming t inc () =
   match Assembler.read_from_fd inc.asm inc.fd with
@@ -361,8 +484,8 @@ let on_accept t () =
   | exception Unix.Unix_error (_, _, _) -> ()
 
 let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
-    ?(dial = default_dial_policy) ?(max_frame = 8 * 1024 * 1024) ?(flush_interval = 0.001) ()
-    =
+    ?(dial = default_dial_policy) ?(hostile = default_hostile_policy)
+    ?(max_frame = 8 * 1024 * 1024) ?(flush_interval = 0.001) () =
   Unix.set_nonblock listen_fd;
   let outgoing =
     List.filter_map
@@ -409,6 +532,8 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
       closed = false;
       tracer;
       dial;
+      hostile;
+      offenders = Hashtbl.create 16;
       max_frame;
       flush_interval;
       watermark = min 65536 max_frame;
@@ -421,6 +546,7 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
       c_writeoff_resets = counter "tcp_writeoff_resets_total";
       c_flushes = counter "tcp_flushes_total";
       c_writev_bytes = counter "tcp_writev_bytes_total";
+      c_quarantined = counter "tcp_peer_quarantined_total";
       h_batch_frames = histogram "tcp_batch_frames";
     }
   in
@@ -428,11 +554,13 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
   List.iter (fun (_, out) -> try_dial t out) outgoing;
   ignore
     (Loop.every loop ~period:0.05 (fun () ->
-         if not t.closed then
+         if not t.closed then begin
+           forgive_expired t;
            List.iter
              (fun (_, (out : outgoing)) ->
                if out.fd = None then try_dial t out else flush_outgoing t out)
-             t.outgoing;
+             t.outgoing
+         end;
          not t.closed)
       : Loop.timer);
   if flush_interval > 0.0 then
@@ -521,6 +649,7 @@ type peer_stat = {
   pending : int;
   attempts : int;
   written_off : bool;
+  quarantined : bool;
 }
 
 let peer_stats t =
@@ -532,9 +661,12 @@ let peer_stats t =
         pending = peer_pending out;
         attempts = out.attempts;
         written_off = out.broken;
+        quarantined = quarantined t ~peer:dst;
       })
     t.outgoing
   |> List.sort (fun a b -> compare a.peer b.peer)
+
+let quarantined_total t = Metrics.Counter.value t.c_quarantined
 
 let close t =
   if not t.closed then begin

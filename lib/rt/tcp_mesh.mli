@@ -48,6 +48,25 @@ type dial_policy = {
 val default_dial_policy : dial_policy
 (** 50 ms base, 2 s cap, doubling, 20% jitter, no attempt cap. *)
 
+(** How decode failures escalate. Every failure attributed to a peer
+    bumps its misbehavior score by 1; the score leaks away at [decay]
+    per second. At [reset_score] the peer's inbound links are torn
+    down (a fresh stream clears framing desync); at [quarantine_score]
+    the peer is quarantined — links down both ways, reconnects refused
+    — until [forgive_after] seconds pass, when it is automatically
+    forgiven (score cleared, link dialed back). Honest peers on flaky
+    networks produce isolated failures the decay forgives; only a
+    sustained stream of garbage escalates. *)
+type hostile_policy = {
+  reset_score : float;
+  quarantine_score : float;
+  forgive_after : float;  (** Quarantine duration, seconds. *)
+  decay : float;  (** Score units forgiven per second. *)
+}
+
+val default_hostile_policy : hostile_policy
+(** Reset at 3, quarantine at 8, 5 s cooldown, decay 1/s. *)
+
 val listener : Unix.sockaddr -> Unix.file_descr * Unix.sockaddr
 (** Bind + listen; returns the socket and its actual address (useful
     with port 0). *)
@@ -87,6 +106,7 @@ val create :
   ?tracer:Svs_telemetry.Trace.t ->
   ?metrics:Svs_telemetry.Metrics.t ->
   ?dial:dial_policy ->
+  ?hostile:hostile_policy ->
   ?max_frame:int ->
   ?flush_interval:float ->
   unit ->
@@ -110,16 +130,25 @@ val create :
     (min(64 KiB, max_frame)), or immediately when [flush_interval] is
     [0.] (one write per send — the pre-batching behaviour).
 
+    [hostile] (default {!default_hostile_policy}) governs how decode
+    failures escalate to link resets and quarantine; inbound framing
+    failures (oversize, bad batch) feed it automatically, and the
+    protocol layer reports its own decode failures via
+    {!note_misbehavior}.
+
     [tracer] receives [TcpReconnect] whenever an outgoing link comes up
-    after at least one failed dial, and [TcpDrop] (with a reason:
+    after at least one failed dial, [TcpDrop] (with a reason:
     ["unknown-dst"], ["written-off"], ["dial-cap"], ["stream-broken"],
-    ["oversize"], ["bad-hello"], ["bad-batch"]) whenever traffic is
-    discarded. [metrics] registers [tcp_bytes_out_total],
+    ["oversize"], ["bad-hello"], ["bad-batch"], ["quarantined"], or
+    the reason passed to {!note_misbehavior}) whenever traffic is
+    discarded, and [Quarantine] when a peer crosses the quarantine
+    threshold. [metrics] registers [tcp_bytes_out_total],
     [tcp_bytes_in_total], [tcp_reconnects_total],
     [tcp_frames_dropped_total], [tcp_frames_oversize_total],
     [tcp_writeoff_resets_total], [tcp_flushes_total],
-    [tcp_writev_bytes_total] and the [tcp_batch_frames] histogram
-    (inner frames per sealed batch), labelled by node. *)
+    [tcp_writev_bytes_total], [tcp_peer_quarantined_total] and the
+    [tcp_batch_frames] histogram (inner frames per sealed batch),
+    labelled by node. *)
 
 val send : t -> dst:int -> string -> unit
 (** Queue a frame for [dst]; buffered until the connection is up.
@@ -141,6 +170,21 @@ val send_writer : t -> dst:int -> Svs_codec.Codec.Writer.t -> unit
 val flush : t -> unit
 (** Seal and write every peer's pending output now, without waiting
     for the flush tick. *)
+
+val note_misbehavior : t -> src:int -> reason:string -> unit
+(** Report a decode failure attributed to [src] from a layer above the
+    transport (e.g. a packet envelope or protocol message that did not
+    parse). Counts and traces a [TcpDrop] with [reason], bumps [src]'s
+    misbehavior score, and escalates per the [hostile] policy:
+    repeated garbage tears the peer's links down and eventually
+    quarantines it. *)
+
+val quarantined : t -> peer:int -> bool
+(** True while [peer] is serving a quarantine cooldown. *)
+
+val quarantined_total : t -> int
+(** Peers quarantined so far (the [tcp_peer_quarantined_total]
+    counter). *)
 
 val forget_peer : t -> dst:int -> unit
 (** Restore [dst]'s full dial budget and, if it was written off, allow
@@ -165,6 +209,7 @@ type peer_stat = {
   pending : int;  (** {!pending_bytes} towards this peer. *)
   attempts : int;  (** Consecutive failed dials (0 once connected). *)
   written_off : bool;
+  quarantined : bool;  (** Currently serving a quarantine cooldown. *)
 }
 
 val peer_stats : t -> peer_stat list

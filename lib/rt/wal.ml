@@ -17,8 +17,17 @@ type recovery = {
   next_sn : int;
   records : int;
   truncated : int;
+  skipped : int;
+  tainted : bool;
   fresh : bool;
 }
+
+type open_error = Foreign_log of { dir : string; owner : int; me : int }
+
+exception Open_error of open_error
+
+let open_error_message (Foreign_log { dir; owner; me }) =
+  Printf.sprintf "Wal: log in %s belongs to node %d, not node %d" dir owner me
 
 (* In-memory mirror of what a full replay of the log would yield; kept
    current on every append so a rotation can open the next segment
@@ -45,6 +54,7 @@ type t = {
   c_appends : Metrics.Counter.t;
   c_syncs : Metrics.Counter.t;
   c_rotations : Metrics.Counter.t;
+  c_corrupt : Metrics.Counter.t;
 }
 
 (* Once this much is queued in memory, hand it to the kernel (still
@@ -118,25 +128,45 @@ let encode_record w r =
       W.uint8 w 4;
       W.varint w next_sn)
 
+(* Every constructor is monotonic under [apply], so replaying
+   duplicated or reordered records (a salvage scan can resurrect both)
+   can never roll state backwards: views only move to higher ids,
+   floors and the lease ceiling only ratchet up, and a Snapshot merges
+   rather than resets. For a well-formed log this coincides with the
+   plain replacement semantics, because rotation writes the Snapshot
+   first into an otherwise-empty segment. *)
 let apply state = function
   | Snapshot { view; floors; next_sn } ->
-      state.view <- view;
-      Hashtbl.reset state.floors;
-      List.iter (fun (sender, sn) -> Hashtbl.replace state.floors sender sn) floors;
-      state.next_sn <- next_sn
-  | Install v -> state.view <- Some v
+      (match (view, state.view) with
+      | Some v, Some cur when v.View.id < cur.View.id -> ()
+      | Some v, _ -> state.view <- Some v
+      | None, _ -> ());
+      List.iter
+        (fun (sender, sn) ->
+          let cur = Option.value ~default:(-1) (Hashtbl.find_opt state.floors sender) in
+          if sn > cur then Hashtbl.replace state.floors sender sn)
+        floors;
+      if next_sn > state.next_sn then state.next_sn <- next_sn
+  | Install v -> (
+      match state.view with
+      | Some cur when v.View.id < cur.View.id -> ()
+      | _ -> state.view <- Some v)
   | Floor { sender; sn } ->
       let cur = Option.value ~default:(-1) (Hashtbl.find_opt state.floors sender) in
       if sn > cur then Hashtbl.replace state.floors sender sn
   | Lease { next_sn } -> if next_sn > state.next_sn then state.next_sn <- next_sn
 
-let decode_and_apply ~dir ~me state payload =
+(* Decode one frame payload into [state]. [owner] records the first
+   identity stamp seen (checked against [me] once replay finishes).
+   Returns whether the record was a [Snapshot] — a valid snapshot
+   replayed after a corrupt region proves the state suffix intact. *)
+let decode_and_apply ~owner state payload =
   let r = R.of_string payload in
   match R.uint8 r with
   | 0 ->
       let me' = R.varint r in
-      if me' <> me then
-        failwith (Printf.sprintf "Wal: log in %s belongs to node %d, not node %d" dir me' me)
+      if !owner = None then owner := Some me';
+      false
   | 1 ->
       let view = R.option r Wire_codec.read_view in
       let floors =
@@ -146,13 +176,19 @@ let decode_and_apply ~dir ~me state payload =
             (sender, sn))
       in
       let next_sn = R.varint r in
-      apply state (Snapshot { view; floors; next_sn })
-  | 2 -> apply state (Install (Wire_codec.read_view r))
+      apply state (Snapshot { view; floors; next_sn });
+      true
+  | 2 ->
+      apply state (Install (Wire_codec.read_view r));
+      false
   | 3 ->
       let sender = R.varint r in
       let sn = R.varint r in
-      apply state (Floor { sender; sn })
-  | 4 -> apply state (Lease { next_sn = R.varint r })
+      apply state (Floor { sender; sn });
+      false
+  | 4 ->
+      apply state (Lease { next_sn = R.varint r });
+      false
   | n -> raise (Codec.Malformed (Printf.sprintf "wal record tag %d" n))
 
 (* --- Segment files --- *)
@@ -185,10 +221,29 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Replay one segment's bytes: apply every frame whose length fits and
+let truncate_file path n =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () -> Unix.ftruncate fd n)
+
+(* A frame is valid at [off] iff its header is plausible (length fits
+   the remaining bytes) and the payload checksum matches. *)
+let frame_at content off =
+  let len = String.length content in
+  if off + frame_header_bytes > len then None
+  else
+    let n = get_be32 content off in
+    let crc = get_be32 content (off + 4) in
+    if off + frame_header_bytes + n > len then None
+    else
+      let payload = String.sub content (off + frame_header_bytes) n in
+      if crc32 payload <> crc then None else Some payload
+
+(* Legacy replay (salvage off): apply every frame whose length fits and
    whose CRC matches, stop at the first that does not. Returns the
    number of frames applied and the byte offset of the valid prefix —
-   everything past it is a torn write or corruption to chop off. *)
+   everything past it is chopped off. *)
 let replay content ~on_frame =
   let len = String.length content in
   let rec go off count =
@@ -202,12 +257,27 @@ let replay content ~on_frame =
         if crc32 payload <> crc then (count, off)
         else
           match on_frame payload with
-          | () -> go (off + frame_header_bytes + n) (count + 1)
-          | exception (Codec.Truncated | Codec.Malformed _) -> (count, off)
+          | (_ : bool) -> go (off + frame_header_bytes + n) (count + 1)
+          | exception (Codec.Truncated | Codec.Malformed _ | Invalid_argument _) ->
+              (count, off)
       end
     end
   in
   go 0 0
+
+(* Quarantine damaged byte ranges to the segment's [.corrupt] sidecar:
+   the bytes stay available for postmortem, the log itself is healed. *)
+let quarantine path content regions =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (path ^ ".corrupt") in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun (a, b) ->
+          output_string oc (Printf.sprintf "== corrupt bytes [%d,%d) ==\n" a b);
+          output_string oc (String.sub content a (b - a));
+          output_char oc '\n')
+        regions)
 
 (* --- Lifecycle --- *)
 
@@ -248,99 +318,6 @@ let sync t =
     Metrics.Counter.incr t.c_syncs
   end
 
-let open_ ~dir ~me ?(segment_limit = 4 * 1024 * 1024) ?metrics () =
-  mkdir_p dir;
-  let state = { view = None; floors = Hashtbl.create 16; next_sn = 0 } in
-  let segs = list_segments dir in
-  let fresh = segs = [] in
-  let records = ref 0 in
-  let truncated = ref 0 in
-  let corrupt = ref false in
-  let survivors = ref [] in
-  List.iter
-    (fun i ->
-      let path = seg_path dir i in
-      if !corrupt then begin
-        (* Segments past a corrupt point are unreachable garbage: a
-           replay can never trust anything ordered after bytes it had
-           to throw away. *)
-        truncated := !truncated + (Unix.stat path).Unix.st_size;
-        Sys.remove path
-      end
-      else begin
-        let content = read_file path in
-        let count, valid =
-          replay content ~on_frame:(decode_and_apply ~dir ~me state)
-        in
-        records := !records + count;
-        if valid < String.length content then begin
-          truncated := !truncated + (String.length content - valid);
-          corrupt := true;
-          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
-          Fun.protect
-            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
-            (fun () -> Unix.ftruncate fd valid)
-        end;
-        survivors := i :: !survivors
-      end)
-    segs;
-  let seg_index, seg_bytes, fd =
-    match !survivors with
-    | last :: _ ->
-        let path = seg_path dir last in
-        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
-        (last, (Unix.fstat fd).Unix.st_size, fd)
-    | [] ->
-        let path = seg_path dir 0 in
-        let fd =
-          Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-        in
-        (0, 0, fd)
-  in
-  let labels = [ ("node", string_of_int me) ] in
-  let counter name =
-    match metrics with
-    | None -> Metrics.Counter.detached ()
-    | Some reg -> Metrics.counter reg ~labels name
-  in
-  let t =
-    {
-      dir;
-      me;
-      segment_limit;
-      state;
-      fd;
-      seg_index;
-      seg_bytes;
-      dirty = false;
-      closed = false;
-      tail = Iobuf.create ~capacity:4096 ();
-      scratch = Bytes.create 256;
-      scratch_w = W.create ();
-      c_appends = counter "wal_appends_total";
-      c_syncs = counter "wal_syncs_total";
-      c_rotations = counter "wal_rotations_total";
-    }
-  in
-  (* Stamp identity on a brand-new segment (an existing one already
-     carries its stamp). *)
-  if seg_bytes = 0 then begin
-    encode_meta t.scratch_w me;
-    append_scratch t;
-    sync t
-  end;
-  let recovery =
-    {
-      view = state.view;
-      floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) state.floors [];
-      next_sn = state.next_sn;
-      records = !records;
-      truncated = !truncated;
-      fresh;
-    }
-  in
-  (t, recovery)
-
 let snapshot_of_state state =
   Snapshot
     {
@@ -348,6 +325,213 @@ let snapshot_of_state state =
       floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) state.floors [];
       next_sn = state.next_sn;
     }
+
+let open_ ~dir ~me ?(segment_limit = 4 * 1024 * 1024) ?(salvage = true) ?metrics () =
+  mkdir_p dir;
+  let state = { view = None; floors = Hashtbl.create 16; next_sn = 0 } in
+  let owner = ref None in
+  let segs = list_segments dir in
+  let fresh = segs = [] in
+  let records = ref 0 in
+  let truncated = ref 0 in
+  let skipped = ref 0 in
+  (* Set at every discarded region, cleared by a later valid Snapshot:
+     when still set at the end, a durable Lease (or floor) may have
+     been destroyed with nothing after it to supersede it — the caller
+     must not trust the recovered lease ceiling. A plain torn tail on
+     the last segment does not taint: un-synced bytes were never
+     relied upon (the group-commit contract). *)
+  let unproven = ref false in
+  let rewrite = ref false in
+  let legacy_corrupt = ref false in
+  let on_frame payload =
+    let is_snapshot = decode_and_apply ~owner state payload in
+    if is_snapshot then unproven := false;
+    is_snapshot
+  in
+  let nsegs = List.length segs in
+  List.iteri
+    (fun k i ->
+      let is_last = k = nsegs - 1 in
+      let path = seg_path dir i in
+      if not salvage then begin
+        (* Legacy recovery: truncate at the first bad frame, discard
+           every later segment (they order after untrusted bytes). *)
+        if !legacy_corrupt then begin
+          truncated := !truncated + (Unix.stat path).Unix.st_size;
+          Sys.remove path
+        end
+        else begin
+          let content = read_file path in
+          let count, valid = replay content ~on_frame in
+          records := !records + count;
+          if valid < String.length content then begin
+            truncated := !truncated + (String.length content - valid);
+            legacy_corrupt := true;
+            truncate_file path valid
+          end
+        end
+      end
+      else begin
+        (* Salvage scan: apply every valid frame, resync past corrupt
+           regions by hunting for the next plausible header, quarantine
+           what was skipped. *)
+        let content = read_file path in
+        let len = String.length content in
+        let regions = ref [] in
+        (* First offset >= off holding a valid frame, if any. *)
+        let rec next_valid off =
+          if off + frame_header_bytes > len then None
+          else if frame_at content off <> None then Some off
+          else next_valid (off + 1)
+        in
+        let tail_garbage = ref None in
+        let rec go off =
+          if off < len then
+            match frame_at content off with
+            | Some payload ->
+                let stop = off + frame_header_bytes + String.length payload in
+                (match on_frame payload with
+                | (_ : bool) -> incr records
+                | exception (Codec.Truncated | Codec.Malformed _ | Invalid_argument _) ->
+                    (* CRC-valid bytes that do not decode: skip the
+                       whole frame, keep scanning after it. *)
+                    regions := (off, stop) :: !regions;
+                    unproven := true);
+                go stop
+            | None -> (
+                match next_valid (off + 1) with
+                | Some q ->
+                    regions := (off, q) :: !regions;
+                    unproven := true;
+                    go q
+                | None -> tail_garbage := Some off)
+        in
+        go 0;
+        let regions = List.rev !regions in
+        if regions <> [] then begin
+          skipped := !skipped + List.length regions;
+          truncated :=
+            !truncated + List.fold_left (fun acc (a, b) -> acc + (b - a)) 0 regions;
+          quarantine path content regions;
+          rewrite := true
+        end;
+        match !tail_garbage with
+        | None -> ()
+        | Some a ->
+            truncated := !truncated + (len - a);
+            if is_last then begin
+              (* A torn tail: the ordinary crash leftover. Chop it so
+                 the segment stays appendable. *)
+              if not !rewrite then truncate_file path a
+            end
+            else begin
+              (* Garbage mid-log with later segments after it: discard
+                 it like an interior region. *)
+              incr skipped;
+              unproven := true;
+              quarantine path content [ (a, len) ];
+              if not !rewrite then truncate_file path a
+            end
+      end)
+    segs;
+  match !owner with
+  | Some o when o <> me -> Error (Foreign_log { dir; owner = o; me })
+  | _ ->
+      let labels = [ ("node", string_of_int me) ] in
+      let counter name =
+        match metrics with
+        | None -> Metrics.Counter.detached ()
+        | Some reg -> Metrics.counter reg ~labels name
+      in
+      let seg_index, seg_bytes, fd =
+        if !rewrite then begin
+          (* Interior corruption: the surviving bytes cannot be made
+             replay-clean in place, so rewrite the log — a fresh
+             segment seeded with the salvaged state, then the damaged
+             segments go (their corrupt bytes live on in the
+             sidecars). *)
+          let next = match List.rev segs with last :: _ -> last + 1 | [] -> 0 in
+          let fd =
+            Unix.openfile (seg_path dir next)
+              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+              0o644
+          in
+          (next, 0, fd)
+        end
+        else
+          (* Legacy recovery may have deleted segments past the first
+             corrupt one — re-list to find the last survivor. *)
+          match List.rev (if !legacy_corrupt then list_segments dir else segs) with
+          | last :: _ ->
+              let path = seg_path dir last in
+              let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+              (last, (Unix.fstat fd).Unix.st_size, fd)
+          | [] ->
+              let path = seg_path dir 0 in
+              let fd =
+                Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+              in
+              (0, 0, fd)
+      in
+      let t =
+        {
+          dir;
+          me;
+          segment_limit;
+          state;
+          fd;
+          seg_index;
+          seg_bytes;
+          dirty = false;
+          closed = false;
+          tail = Iobuf.create ~capacity:4096 ();
+          scratch = Bytes.create 256;
+          scratch_w = W.create ();
+          c_appends = counter "wal_appends_total";
+          c_syncs = counter "wal_syncs_total";
+          c_rotations = counter "wal_rotations_total";
+          c_corrupt = counter "wal_corrupt_regions_total";
+        }
+      in
+      if !skipped > 0 then Metrics.Counter.add t.c_corrupt !skipped;
+      (* Stamp identity on a brand-new segment (an existing one already
+         carries its stamp); a rewritten log also gets the salvaged
+         state as its opening snapshot, then the damaged segments are
+         removed. *)
+      if seg_bytes = 0 then begin
+        encode_meta t.scratch_w me;
+        append_scratch t;
+        if !rewrite then begin
+          encode_record t.scratch_w (snapshot_of_state state);
+          append_scratch t
+        end;
+        sync t
+      end;
+      if !rewrite then
+        List.iter
+          (fun i ->
+            let path = seg_path dir i in
+            if Sys.file_exists path then Sys.remove path)
+          segs;
+      let recovery =
+        {
+          view = state.view;
+          floors = Hashtbl.fold (fun sender sn acc -> (sender, sn) :: acc) state.floors [];
+          next_sn = state.next_sn;
+          records = !records;
+          truncated = !truncated;
+          skipped = !skipped;
+          tainted = !unproven;
+          fresh;
+        }
+      in
+      Ok (t, recovery)
+
+let open_exn ~dir ~me ?segment_limit ?salvage ?metrics () =
+  match open_ ~dir ~me ?segment_limit ?salvage ?metrics () with
+  | Ok v -> v
+  | Error e -> raise (Open_error e)
 
 (* Open the next segment, seeded with the identity stamp and a
    snapshot of the current state; once the new segment is durable, the

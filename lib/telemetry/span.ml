@@ -35,20 +35,27 @@ type report = {
   anomalies : anomaly list;
 }
 
-let load_file path =
+(* Flight dumps from crashed nodes routinely end mid-line; corrupt or
+   truncated lines are skipped, and the count is reported so the
+   analyzer can warn instead of silently under-reading. *)
+let load_file_counted path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let out = ref [] in
+      let bad = ref 0 in
       (try
          while true do
-           match Trace.record_of_json (input_line ic) with
+           let line = input_line ic in
+           match Trace.record_of_json line with
            | Some r -> out := r :: !out
-           | None -> ()
+           | None -> if String.trim line <> "" then incr bad
          done
        with End_of_file -> ());
-      List.rev !out)
+      (List.rev !out, !bad))
+
+let load_file path = fst (load_file_counted path)
 
 (* Merge the per-node streams on the (shared) trace clock; a stable
    sort keeps each stream's own emission order for equal stamps. *)
@@ -71,10 +78,12 @@ let event_node : Trace.event -> int = function
   | Unblock { node; _ }
   | TcpReconnect { node; _ }
   | TcpDrop { node; _ }
+  | Quarantine { node; _ }
   | Fault { node; _ }
   | Join { node; _ }
   | StateTransfer { node; _ }
   | WalRecovery { node; _ }
+  | Divergence { node; _ }
   | Parked { node; _ }
   | Merge { node; _ } ->
       node

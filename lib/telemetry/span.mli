@@ -69,6 +69,12 @@ val load_file : string -> Trace.record list
 (** Parse a JSONL trace file, skipping unparseable lines. Raises
     [Sys_error] if the file cannot be read. *)
 
+val load_file_counted : string -> Trace.record list * int
+(** Like {!load_file}, also returning how many non-empty lines failed
+    to parse (truncated or corrupt — flight dumps from crashed nodes
+    routinely end mid-line), so callers can warn instead of silently
+    under-reading. *)
+
 val timelines : Trace.record list list -> timeline list
 (** Merge per-node record streams and reconstruct one timeline per
     distinct message, ordered by (sender, sn). *)

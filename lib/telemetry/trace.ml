@@ -14,10 +14,18 @@ type event =
   | Unblock of { node : int; view_id : int }
   | TcpReconnect of { node : int; peer : int }
   | TcpDrop of { node : int; peer : int; reason : string }
+  | Quarantine of { node : int; peer : int; score : int }
   | Fault of { kind : string; node : int; peer : int }
   | Join of { node : int; contact : int }
   | StateTransfer of { node : int; peer : int; bytes : int }
-  | WalRecovery of { node : int; records : int; truncated : int }
+  | WalRecovery of {
+      node : int;
+      records : int;
+      truncated : int;
+      skipped : int;
+      tainted : bool;
+    }
+  | Divergence of { node : int; view_id : int }
   | Parked of { node : int; view_id : int }
   | Merge of { node : int; view_id : int; parked_ms : int }
 
@@ -185,6 +193,11 @@ let record_to_json { time; seq; event } =
       field "node" node;
       field "peer" peer;
       Buffer.add_string b (Printf.sprintf ",\"reason\":\"%s\"" reason)
+  | Quarantine { node; peer; score } ->
+      Buffer.add_string b "\"quarantine\"";
+      field "node" node;
+      field "peer" peer;
+      field "score" score
   | Fault { kind; node; peer } ->
       Buffer.add_string b "\"fault\"";
       Buffer.add_string b (Printf.sprintf ",\"kind\":\"%s\"" kind);
@@ -199,11 +212,17 @@ let record_to_json { time; seq; event } =
       field "node" node;
       field "peer" peer;
       field "bytes" bytes
-  | WalRecovery { node; records; truncated } ->
+  | WalRecovery { node; records; truncated; skipped; tainted } ->
       Buffer.add_string b "\"wal_recovery\"";
       field "node" node;
       field "records" records;
-      field "truncated" truncated
+      field "truncated" truncated;
+      field "skipped" skipped;
+      field "tainted" (if tainted then 1 else 0)
+  | Divergence { node; view_id } ->
+      Buffer.add_string b "\"divergence\"";
+      field "node" node;
+      field "view" view_id
   | Parked { node; view_id } ->
       Buffer.add_string b "\"parked\"";
       field "node" node;
@@ -338,6 +357,11 @@ let record_of_json line =
   let build fields =
     let num k = match List.assoc_opt k fields with Some (Num f) -> f | _ -> raise Bad in
     let int k = int_of_float (num k) in
+    (* For fields added after records were first written: old lines
+       parse with the default. *)
+    let int_or d k =
+      match List.assoc_opt k fields with Some (Num f) -> int_of_float f | _ -> d
+    in
     let str k = match List.assoc_opt k fields with Some (Str s) -> s | _ -> raise Bad in
     let arr k = match List.assoc_opt k fields with Some (Arr l) -> l | _ -> raise Bad in
     let event =
@@ -376,12 +400,21 @@ let record_of_json line =
       | "unblock" -> Unblock { node = int "node"; view_id = int "view" }
       | "tcp_reconnect" -> TcpReconnect { node = int "node"; peer = int "peer" }
       | "tcp_drop" -> TcpDrop { node = int "node"; peer = int "peer"; reason = str "reason" }
+      | "quarantine" -> Quarantine { node = int "node"; peer = int "peer"; score = int "score" }
       | "fault" -> Fault { kind = str "kind"; node = int "node"; peer = int "peer" }
       | "join" -> Join { node = int "node"; contact = int "contact" }
       | "state_transfer" ->
           StateTransfer { node = int "node"; peer = int "peer"; bytes = int "bytes" }
       | "wal_recovery" ->
-          WalRecovery { node = int "node"; records = int "records"; truncated = int "truncated" }
+          WalRecovery
+            {
+              node = int "node";
+              records = int "records";
+              truncated = int "truncated";
+              skipped = int_or 0 "skipped";
+              tainted = int_or 0 "tainted" <> 0;
+            }
+      | "divergence" -> Divergence { node = int "node"; view_id = int "view" }
       | "parked" -> Parked { node = int "node"; view_id = int "view" }
       | "merge" ->
           Merge { node = int "node"; view_id = int "view"; parked_ms = int "parked_ms" }
@@ -420,12 +453,17 @@ let pp_event ppf = function
       Format.fprintf ppf "tcp_reconnect(node=%d peer=%d)" node peer
   | TcpDrop { node; peer; reason } ->
       Format.fprintf ppf "tcp_drop(node=%d peer=%d reason=%s)" node peer reason
+  | Quarantine { node; peer; score } ->
+      Format.fprintf ppf "quarantine(node=%d peer=%d score=%d)" node peer score
   | Fault { kind; node; peer } -> Format.fprintf ppf "fault(kind=%s node=%d peer=%d)" kind node peer
   | Join { node; contact } -> Format.fprintf ppf "join(node=%d contact=%d)" node contact
   | StateTransfer { node; peer; bytes } ->
       Format.fprintf ppf "state_transfer(node=%d peer=%d bytes=%d)" node peer bytes
-  | WalRecovery { node; records; truncated } ->
-      Format.fprintf ppf "wal_recovery(node=%d records=%d truncated=%d)" node records truncated
+  | WalRecovery { node; records; truncated; skipped; tainted } ->
+      Format.fprintf ppf "wal_recovery(node=%d records=%d truncated=%d skipped=%d tainted=%b)"
+        node records truncated skipped tainted
+  | Divergence { node; view_id } ->
+      Format.fprintf ppf "divergence(node=%d view=%d)" node view_id
   | Parked { node; view_id } -> Format.fprintf ppf "parked(node=%d view=%d)" node view_id
   | Merge { node; view_id; parked_ms } ->
       Format.fprintf ppf "merge(node=%d view=%d parked_ms=%d)" node view_id parked_ms

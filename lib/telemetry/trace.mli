@@ -56,8 +56,14 @@ type event =
   | TcpDrop of { node : int; peer : int; reason : string }
       (** The transport dropped traffic or reset a link: a frame to an
           unknown or written-off destination, an oversize inbound
-          frame, a malformed hello, a broken stream, or a peer written
-          off after exhausting its dial budget. *)
+          frame, a malformed hello, a broken stream, a peer written
+          off after exhausting its dial budget, or a quarantined peer
+          trying to reconnect before its cooldown expired. *)
+  | Quarantine of { node : int; peer : int; score : int }
+      (** [peer]'s misbehavior score (accumulated decode failures)
+          crossed the quarantine threshold at [node]: its links are
+          torn down and its reconnects refused until the cooldown
+          expires. [score] is the rounded score at escalation. *)
   | Fault of { kind : string; node : int; peer : int }
       (** A chaos-injected fault ([kind] names the action: [crash],
           [pause], [partition], ...). [peer] is the second endpoint for
@@ -68,10 +74,24 @@ type event =
       (** A SYNC state transfer: at the sponsor, [peer] is the joiner
           it synced; at the joiner, [peer] is the sponsor. [bytes] is
           the application-state payload size (0 when none). *)
-  | WalRecovery of { node : int; records : int; truncated : int }
+  | WalRecovery of {
+      node : int;
+      records : int;
+      truncated : int;
+      skipped : int;
+      tainted : bool;
+    }
       (** A node recovered durable state from its write-ahead log:
-          [records] valid records replayed, [truncated] bytes of torn
-          tail discarded. *)
+          [records] valid records replayed, [truncated] damaged bytes
+          discarded, [skipped] corrupt interior regions salvaged
+          around (quarantined to a [.corrupt] sidecar). [tainted]
+          means the scan could not prove the durable-lease suffix
+          intact, so the node must not trust the recovered lease
+          ceiling. *)
+  | Divergence of { node : int; view_id : int }
+      (** [node]'s replicated-state digest disagreed with the rest of
+          view [view_id] (see the digest gossip in the node/group
+          layer): it is self-demoting to joiner and re-syncing. *)
   | Parked of { node : int; view_id : int }
       (** A member lost the primary component: a view change could not
           assemble a majority of view [view_id] within the park

@@ -12,6 +12,9 @@
 #                        run the runtime throughput bench once in
 #                        --smoke mode (1s series — liveness plus a
 #                        JSON shape check, no timing gates)
+#   scripts/ci.sh fuzz-smoke
+#                        run the byte-level fuzz suite with a bigger
+#                        iteration budget (FUZZ_ITERS, default 2000)
 #   scripts/ci.sh chaos  the full chaos sweep (20 seeds x every
 #                        scenario x both oracle modes) plus the
 #                        oracle mutation self-test
@@ -63,6 +66,18 @@ dune exec bin/svs_chaos.exe -- --seeds 2 --flight _build/ci-flight \
 # re-convergence contract — proves the probe/merge path is load-bearing.
 dune exec bin/svs_chaos.exe -- --seeds 2 --flight _build/ci-flight \
   --scenarios split-heal-merge --modes svs --no-merge > /dev/null
+
+# Hostile-input containment: the three hostile-input scenarios (wire
+# garbage over real sockets, WAL interior bit rot, replicated-state
+# divergence) must be contained with every defense on ...
+dune exec bin/svs_chaos.exe -- --hostile
+
+# ... and each inverted self-check must flag the run when its defense
+# is disabled — proving quarantine, salvage, and self-healing are what
+# contain the scenario, not harness blindness.
+dune exec bin/svs_chaos.exe -- --no-quarantine
+dune exec bin/svs_chaos.exe -- --no-salvage
+dune exec bin/svs_chaos.exe -- --no-heal
 
 # Flight-recorder acceptance: a failing (mutated) run must leave a
 # postmortem JSONL dump named after its replay line.
@@ -116,6 +131,16 @@ if [ "${1:-}" = "bench-smoke" ] || [ "${1:-}" = "smoke" ]; then
   done
   rm -f "$bench_json"
   echo "ci: bench smoke OK"
+fi
+
+if [ "${1:-}" = "fuzz-smoke" ]; then
+  # Byte-level fuzzing with a bigger budget than the default runtest
+  # pass: codec round-trips, mutated/garbage decodes, mesh reassembly
+  # at arbitrary chunk boundaries, and WAL bit-flip recovery must
+  # never escape the typed error surface (Truncated/Malformed or a
+  # clean salvage — anything else is a crash bug).
+  FUZZ_ITERS="${FUZZ_ITERS:-2000}" dune exec test/test_fuzz.exe
+  echo "ci: fuzz smoke OK"
 fi
 
 if [ "${1:-}" = "chaos" ]; then

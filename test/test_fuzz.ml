@@ -1,0 +1,302 @@
+(* Byte-level fuzz over the decode surfaces that face the network and
+   the disk. The contract under test is uniform: arbitrary garbage is
+   rejected with the codec's typed errors ([Codec.Truncated] /
+   [Codec.Malformed]) or, for the WAL, salvaged into a clean log —
+   never an uncaught exception, never fabricated state.
+
+   FUZZ_ITERS scales every property's budget (default 500): CI's
+   fuzz-smoke tier runs a bounded pass, local runs can turn it up. *)
+
+module Codec = Svs_codec.Codec
+module Wire_codec = Svs_core.Wire_codec
+module Types = Svs_core.Types
+module View = Svs_core.View
+module Msg_id = Svs_obs.Msg_id
+module Annotation = Svs_obs.Annotation
+module Bitvec = Svs_obs.Bitvec
+module Tcp_mesh = Svs_rt.Tcp_mesh
+module Wal = Svs_rt.Wal
+
+let iters =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 500)
+  | None -> 500
+
+let pc = Wire_codec.int_codec
+
+(* ------------------------------------------------------------------ *)
+(* Generators for every wire constructor, Wjoin and Wsync included.   *)
+
+let gen_msg_id =
+  QCheck.Gen.(map2 (fun s sn -> Msg_id.make ~sender:s ~sn) (int_bound 40) (int_bound 5000))
+
+let gen_annotation =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return Annotation.Unrelated);
+        (2, map (fun n -> Annotation.Tag n) (int_bound 1000));
+        (2, map (fun ids -> Annotation.Enum ids) (list_size (int_bound 5) gen_msg_id));
+        ( 3,
+          map2
+            (fun k ds ->
+              let bm = Bitvec.create ~k in
+              List.iter (fun d -> Bitvec.set bm (1 + (d mod k))) ds;
+              Annotation.Kenum bm)
+            (int_range 1 128)
+            (list_size (int_bound 8) (int_bound 1000)) );
+      ])
+
+let gen_view =
+  QCheck.Gen.(
+    map2
+      (fun id members -> View.make ~id ~members:(List.sort_uniq compare members))
+      (int_bound 1000)
+      (list_size (int_range 1 8) (int_bound 40)))
+
+let gen_data =
+  QCheck.Gen.(
+    map2
+      (fun (id, view_id) (payload, ann) -> { Types.id; view_id; payload; ann })
+      (pair gen_msg_id (int_bound 1000))
+      (pair int gen_annotation))
+
+let gen_floors = QCheck.Gen.(list_size (int_bound 6) (pair (int_bound 40) (int_bound 5000)))
+
+let gen_wire =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun d -> Types.Wdata d) gen_data);
+        ( 2,
+          map2
+            (fun view_id (leave, join) -> Types.Winit { view_id; leave; join })
+            (int_bound 1000)
+            (pair (list_size (int_bound 4) (int_bound 40)) (list_size (int_bound 4) (int_bound 40)))
+        );
+        ( 2,
+          map2
+            (fun view_id msgs -> Types.Wpred { view_id; msgs })
+            (int_bound 1000)
+            (list_size (int_bound 5) gen_data) );
+        (2, map (fun floors -> Types.Wstable { floors }) gen_floors);
+        (1, map (fun joiner -> Types.Wjoin { joiner }) (int_bound 40));
+        ( 2,
+          map2
+            (fun (view, floors) app -> Types.Wsync { view; floors; app })
+            (pair gen_view gen_floors)
+            (option (string_size (int_bound 64))) );
+      ])
+
+let arb_wire = QCheck.make ~print:(Format.asprintf "%a" (Types.pp_wire Format.pp_print_int)) gen_wire
+
+(* Decoding must either produce a value or raise one of the two typed
+   codec errors; anything else is a fuzz finding. *)
+let decodes_cleanly decode =
+  match decode () with
+  | _ -> true
+  | exception Codec.Truncated -> true
+  | exception Codec.Malformed _ -> true
+  | exception _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* 1. Round-trip: every well-formed message survives encode/decode.   *)
+
+let wire_round_trip =
+  QCheck.Test.make ~name:"every wire constructor round-trips" ~count:iters arb_wire
+    (fun w -> Wire_codec.wire_of_string pc (Wire_codec.wire_to_string pc w) = w)
+
+(* 2. Mutation fuzz: flip bytes in / truncate a valid encoding; decode
+   must recover a value or raise only the typed errors. *)
+
+let wire_mutation =
+  QCheck.Test.make ~name:"bit-flipped wires raise only Truncated/Malformed" ~count:iters
+    QCheck.(
+      make
+        Gen.(triple gen_wire (list_size (int_range 1 4) (pair small_nat (int_bound 255))) small_nat))
+    (fun (w, flips, cut) ->
+      let s = Wire_codec.wire_to_string pc w in
+      let b = Bytes.of_string s in
+      List.iter
+        (fun (pos, v) ->
+          if Bytes.length b > 0 then
+            let pos = pos mod Bytes.length b in
+            Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) lxor (1 + v)) land 0xff)))
+        flips;
+      let mutated = Bytes.to_string b in
+      let truncated = String.sub mutated 0 (cut mod (String.length mutated + 1)) in
+      decodes_cleanly (fun () -> Wire_codec.wire_of_string pc mutated)
+      && decodes_cleanly (fun () -> Wire_codec.wire_of_string pc truncated))
+
+(* 3. Pure garbage: random byte strings through the whole-message and
+   component decoders. *)
+
+let wire_garbage =
+  QCheck.Test.make ~name:"random bytes raise only Truncated/Malformed" ~count:iters
+    QCheck.(string_gen Gen.(char_range '\x00' '\xff'))
+    (fun s ->
+      decodes_cleanly (fun () -> Wire_codec.wire_of_string pc s)
+      && decodes_cleanly (fun () -> Wire_codec.read_view (Codec.Reader.of_string s))
+      && decodes_cleanly (fun () -> Wire_codec.read_annotation (Codec.Reader.of_string s))
+      && decodes_cleanly (fun () ->
+             Wire_codec.read_proposal pc (Codec.Reader.of_string s)))
+
+(* ------------------------------------------------------------------ *)
+(* 4. The inbound pipeline: outer-frame reassembly -> batch iteration
+   -> wire decode, fed at arbitrary chunk boundaries.                 *)
+
+let outer_frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let batch_of_wires wires =
+  let w = Codec.Writer.create () in
+  List.iter
+    (fun wire ->
+      let inner = Wire_codec.wire_to_string pc wire in
+      Codec.Writer.varint w (String.length inner);
+      Codec.Writer.raw w inner)
+    wires;
+  Codec.Writer.contents w
+
+(* Split [s] into chunks at the given cut points. *)
+let chunks_of s cuts =
+  let n = String.length s in
+  let cuts = List.sort_uniq compare (List.map (fun c -> c mod (n + 1)) cuts) in
+  let cuts = List.filter (fun c -> c > 0 && c < n) cuts @ [ n ] in
+  let rec go start = function
+    | [] -> []
+    | c :: rest -> String.sub s start (c - start) :: go c rest
+  in
+  go 0 cuts
+
+let pipeline_reassembly =
+  QCheck.Test.make
+    ~name:"assembler + iter_batch recover wires across any chunking" ~count:iters
+    QCheck.(
+      make Gen.(pair (list_size (int_range 1 6) gen_wire) (list_size (int_bound 12) small_nat)))
+    (fun (wires, cuts) ->
+      let stream = outer_frame (batch_of_wires wires) in
+      let asm = Tcp_mesh.Assembler.create () in
+      let decoded = ref [] in
+      List.iter
+        (fun chunk ->
+          Tcp_mesh.Assembler.feed asm chunk;
+          let rec drain () =
+            match Tcp_mesh.Assembler.next asm with
+            | Tcp_mesh.Assembler.Frame slice ->
+                Tcp_mesh.iter_batch slice (fun inner ->
+                    decoded :=
+                      Wire_codec.read_wire pc (Codec.Reader.of_slice inner) :: !decoded);
+                drain ()
+            | Tcp_mesh.Assembler.Await -> ()
+            | Tcp_mesh.Assembler.Oversize _ -> ()
+          in
+          drain ())
+        (chunks_of stream cuts);
+      List.rev !decoded = wires)
+
+let pipeline_garbage =
+  QCheck.Test.make ~name:"garbage batches raise only Truncated/Malformed" ~count:iters
+    QCheck.(string_gen Gen.(char_range '\x00' '\xff'))
+    (fun payload ->
+      (* A syntactically valid outer frame around arbitrary batch bytes:
+         exactly what a hostile dialer can make a node's assembler
+         produce. *)
+      let asm = Tcp_mesh.Assembler.create () in
+      Tcp_mesh.Assembler.feed asm (outer_frame payload);
+      match Tcp_mesh.Assembler.next asm with
+      | Tcp_mesh.Assembler.Frame slice ->
+          decodes_cleanly (fun () ->
+              Tcp_mesh.iter_batch slice (fun inner ->
+                  ignore (Wire_codec.read_wire pc (Codec.Reader.of_slice inner))))
+      | Tcp_mesh.Assembler.Await | Tcp_mesh.Assembler.Oversize _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* 5. WAL recovery fuzz: flip random bytes in a real log; recovery
+   must never throw (beyond the typed open error), never fabricate a
+   lease above what was written, and always leave a log whose next
+   recovery is clean.                                                 *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "svs-fuzz-wal" "" in
+  Unix.unlink dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let wal_fuzz =
+  QCheck.Test.make ~name:"WAL recovery survives arbitrary byte flips" ~count:(max 1 (iters / 5))
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 1 30)
+            (list_size (int_range 1 6) (pair small_nat (int_bound 255)))
+            (int_bound 3)))
+    (fun (records, flips, me) ->
+      with_temp_dir (fun dir ->
+          let lease = 1000 * (records + 1) in
+          (let w, _ = Wal.open_exn ~dir ~me () in
+           for i = 1 to records do
+             Wal.append w
+               (if i mod 3 = 0 then Wal.Install (View.make ~id:i ~members:[ 0; me ])
+                else Wal.Floor { sender = i mod 5; sn = i })
+           done;
+           Wal.append_durable w (Wal.Lease { next_sn = lease });
+           Wal.close w);
+          let seg =
+            match
+              List.filter
+                (fun f -> not (Filename.check_suffix f ".corrupt"))
+                (Array.to_list (Sys.readdir dir))
+            with
+            | [ s ] -> Filename.concat dir s
+            | _ -> QCheck.Test.fail_report "expected a single segment"
+          in
+          let ic = open_in_bin seg in
+          let len = in_channel_length ic in
+          let b = Bytes.create len in
+          really_input ic b 0 len;
+          close_in ic;
+          List.iter
+            (fun (pos, v) ->
+              let pos = pos mod len in
+              Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) lxor (1 + v)) land 0xff)))
+            flips;
+          let oc = open_out_bin seg in
+          output_bytes oc b;
+          close_out oc;
+          match Wal.open_ ~dir ~me () with
+          | Error (Wal.Foreign_log _) ->
+              (* A flip can land in the identity stamp; the typed error
+                 is an acceptable rejection, not a crash. *)
+              true
+          | Ok (w, r) ->
+              Wal.close w;
+              (* No fabricated lease, and the salvaged log replays clean. *)
+              r.Wal.next_sn <= lease
+              &&
+              (match Wal.open_ ~dir ~me () with
+              | Error _ -> false
+              | Ok (w2, r2) ->
+                  Wal.close w2;
+                  r2.Wal.skipped = 0 && r2.Wal.truncated = 0
+                  && r2.Wal.next_sn = r.Wal.next_sn)))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "svs_fuzz"
+    [
+      ( "wire",
+        [ q wire_round_trip; q wire_mutation; q wire_garbage ] );
+      ("pipeline", [ q pipeline_reassembly; q pipeline_garbage ]);
+      ("wal", [ q wal_fuzz ]);
+    ]

@@ -380,9 +380,15 @@ let segment_count dir =
   |> List.filter (fun f -> Filename.check_suffix f ".log")
   |> List.length
 
+(* Unwrap [Wal.open_] for the tests that expect it to succeed. *)
+let wal_open ?segment_limit ?salvage ~dir ~me () =
+  match Wal.open_ ~dir ~me ?segment_limit ?salvage () with
+  | Ok wr -> wr
+  | Error e -> Alcotest.fail (Wal.open_error_message e)
+
 let test_wal_round_trip () =
   let dir = temp_dir () in
-  let w, r0 = Wal.open_ ~dir ~me:7 () in
+  let w, r0 = wal_open ~dir ~me:7 () in
   Alcotest.(check bool) "fresh on first open" true r0.Wal.fresh;
   Wal.append w (Wal.Install (View.make ~id:3 ~members:[ 0; 1; 7 ]));
   Wal.append w (Wal.Floor { sender = 0; sn = 4 });
@@ -390,7 +396,7 @@ let test_wal_round_trip () =
   Wal.append w (Wal.Floor { sender = 1; sn = 2 });
   Wal.append_durable w (Wal.Lease { next_sn = 64 });
   Wal.close w;
-  let w2, r = Wal.open_ ~dir ~me:7 () in
+  let w2, r = wal_open ~dir ~me:7 () in
   Wal.close w2;
   Alcotest.(check bool) "not fresh on reopen" false r.Wal.fresh;
   (match r.Wal.view with
@@ -410,7 +416,7 @@ let test_wal_torn_tail () =
      must keep the valid prefix, chop the garbage, and leave the log
      appendable. *)
   let dir = temp_dir () in
-  let w, _ = Wal.open_ ~dir ~me:2 () in
+  let w, _ = wal_open ~dir ~me:2 () in
   Wal.append_durable w (Wal.Floor { sender = 1; sn = 7 });
   Wal.close w;
   (* A torn write: a header promising 100 bytes, followed by 3. *)
@@ -418,12 +424,12 @@ let test_wal_torn_tail () =
   let garbage = Bytes.of_string "\x00\x00\x00\x64abc" in
   ignore (Unix.write fd garbage 0 (Bytes.length garbage));
   Unix.close fd;
-  let w2, r = Wal.open_ ~dir ~me:2 () in
+  let w2, r = wal_open ~dir ~me:2 () in
   Alcotest.(check int) "torn tail chopped" (Bytes.length garbage) r.Wal.truncated;
   Alcotest.(check (list (pair int int))) "valid prefix kept" [ (1, 7) ] r.Wal.floors;
   Wal.append_durable w2 (Wal.Floor { sender = 1; sn = 9 });
   Wal.close w2;
-  let w3, r3 = Wal.open_ ~dir ~me:2 () in
+  let w3, r3 = wal_open ~dir ~me:2 () in
   Wal.close w3;
   Alcotest.(check int) "clean after the chop" 0 r3.Wal.truncated;
   Alcotest.(check (list (pair int int))) "appends after recovery stick" [ (1, 9) ]
@@ -433,7 +439,7 @@ let test_wal_bad_crc () =
   (* Bit rot inside the last record: the checksum must reject it and
      replay must stop there, keeping everything before it. *)
   let dir = temp_dir () in
-  let w, _ = Wal.open_ ~dir ~me:5 () in
+  let w, _ = wal_open ~dir ~me:5 () in
   Wal.append w (Wal.Install (View.make ~id:1 ~members:[ 0; 5 ]));
   Wal.append_durable w (Wal.Lease { next_sn = 10 });
   Wal.append_durable w (Wal.Floor { sender = 0; sn = 5 });
@@ -448,7 +454,7 @@ let test_wal_bad_crc () =
   ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
   ignore (Unix.write fd b 0 1);
   Unix.close fd;
-  let w2, r = Wal.open_ ~dir ~me:5 () in
+  let w2, r = wal_open ~dir ~me:5 () in
   Wal.close w2;
   Alcotest.(check bool) "corrupt record chopped" true (r.Wal.truncated > 0);
   Alcotest.(check (list (pair int int))) "corrupt floor rejected" [] r.Wal.floors;
@@ -461,7 +467,7 @@ let test_wal_rotation () =
   (* A tiny segment limit: the log must rotate (snapshot into the next
      segment, delete the old ones) and still recover the full state. *)
   let dir = temp_dir () in
-  let w, _ = Wal.open_ ~dir ~me:3 ~segment_limit:256 () in
+  let w, _ = wal_open ~dir ~me:3 ~segment_limit:256 () in
   Wal.append w (Wal.Install (View.make ~id:2 ~members:[ 0; 3 ]));
   for sn = 1 to 200 do
     Wal.append w (Wal.Floor { sender = 0; sn })
@@ -472,7 +478,7 @@ let test_wal_rotation () =
     (Wal.current_segment w > 0);
   Wal.close w;
   Alcotest.(check int) "old segments deleted" 1 (segment_count dir);
-  let w2, r = Wal.open_ ~dir ~me:3 () in
+  let w2, r = wal_open ~dir ~me:3 () in
   Wal.close w2;
   Alcotest.(check (list (pair int int))) "floors survive rotation" [ (0, 200) ] r.Wal.floors;
   (match r.Wal.view with
@@ -485,14 +491,28 @@ let test_wal_identity_mismatch () =
   (* Two nodes sharing a data dir is a deployment error, never a
      silent state mixup. *)
   let dir = temp_dir () in
-  let w, _ = Wal.open_ ~dir ~me:1 () in
+  let w, _ = wal_open ~dir ~me:1 () in
   Wal.append_durable w (Wal.Lease { next_sn = 5 });
   Wal.close w;
-  match Wal.open_ ~dir ~me:2 () with
-  | exception Failure _ -> ()
+  (match Wal.open_ ~dir ~me:2 () with
+  | Error (Wal.Foreign_log { owner; me; _ }) ->
+      Alcotest.(check int) "names the owner" 1 owner;
+      Alcotest.(check int) "names the refused node" 2 me;
+      Alcotest.(check bool)
+        "message mentions both ids" true
+        (let msg = Wal.open_error_message (Wal.Foreign_log { dir; owner; me }) in
+         Astring.String.is_infix ~affix:"node 1" msg
+         && Astring.String.is_infix ~affix:"node 2" msg)
+  | Ok (w2, _) ->
+      Wal.close w2;
+      Alcotest.fail "opened another node's log without complaint");
+  (* [open_exn] (what [Node.create] uses) surfaces the same condition
+     as a typed exception, not a bare [Failure]. *)
+  match Wal.open_exn ~dir ~me:2 () with
+  | exception Wal.Open_error (Wal.Foreign_log _) -> ()
   | w2, _ ->
       Wal.close w2;
-      Alcotest.fail "opened another node's log without complaint"
+      Alcotest.fail "open_exn accepted another node's log"
 
 let test_wal_group_commit_crash () =
   (* A crash between an append and the commit tick loses at most the
@@ -500,7 +520,7 @@ let test_wal_group_commit_crash () =
      vanish cleanly, and a tail that partially reached the disk is
      chopped like any torn write. *)
   let dir = temp_dir () in
-  let w, _ = Wal.open_ ~dir ~me:4 () in
+  let w, _ = wal_open ~dir ~me:4 () in
   Wal.append w (Wal.Install (View.make ~id:2 ~members:[ 0; 4 ]));
   Wal.append w (Wal.Floor { sender = 0; sn = 3 });
   Wal.sync w;
@@ -508,7 +528,7 @@ let test_wal_group_commit_crash () =
   Wal.append w (Wal.Lease { next_sn = 100 });
   Alcotest.(check bool) "appends ride the tail" true (Wal.pending_bytes w > 0);
   Wal.abandon w;
-  let w2, r = Wal.open_ ~dir ~me:4 () in
+  let w2, r = wal_open ~dir ~me:4 () in
   (match r.Wal.view with
   | Some v -> Alcotest.(check int) "synced view survives" 2 v.View.id
   | None -> Alcotest.fail "synced view lost");
@@ -524,7 +544,7 @@ let test_wal_group_commit_crash () =
   let torn = Bytes.of_string "\x00\x00\x00\x40ab" in
   ignore (Unix.write fd torn 0 (Bytes.length torn));
   Unix.close fd;
-  let w3, r3 = Wal.open_ ~dir ~me:4 () in
+  let w3, r3 = wal_open ~dir ~me:4 () in
   Wal.close w3;
   Alcotest.(check int) "torn tail chopped" (Bytes.length torn) r3.Wal.truncated;
   Alcotest.(check int) "durable lease survives both crashes" 7 r3.Wal.next_sn;
@@ -1043,6 +1063,227 @@ let test_admin_node_status () =
   Alcotest.(check (option int)) "no wal" None (Node.wal_segment nodes.(0));
   Array.iter Node.shutdown nodes
 
+(* --- Hostile inputs: salvage, quarantine, divergence, rude HTTP --- *)
+
+(* Flip one payload byte of outer frame [index] in a WAL segment
+   (frame 0 is the identity stamp, frame 1 the first record, ...). *)
+let wal_flip_frame path ~index =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  let off = ref 0 and i = ref 0 in
+  while !i < index do
+    let flen = Int32.to_int (Bytes.get_int32_be b !off) in
+    off := !off + 8 + flen;
+    incr i
+  done;
+  let target = !off + 8 in
+  Bytes.set b target (Char.chr (Char.code (Bytes.get b target) lxor 0x55));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_wal_salvage_interior () =
+  (* Bit rot in the middle of the log: the salvage scan must skip the
+     damaged record, keep everything after it, quarantine the bytes in
+     a [.corrupt] sidecar, and leave a clean log behind. *)
+  let dir = temp_dir () in
+  let w, _ = wal_open ~dir ~me:6 () in
+  Wal.append w (Wal.Install (View.make ~id:4 ~members:[ 0; 6 ]));
+  Wal.append w (Wal.Floor { sender = 0; sn = 5 });
+  Wal.append w (Wal.Floor { sender = 6; sn = 9 });
+  Wal.append_durable w (Wal.Lease { next_sn = 50 });
+  Wal.close w;
+  wal_flip_frame (last_segment dir) ~index:2;
+  let w2, r = wal_open ~dir ~me:6 () in
+  Wal.close w2;
+  Alcotest.(check bool) "one region skipped" true (r.Wal.skipped >= 1);
+  Alcotest.(check bool) "recovery tainted" true r.Wal.tainted;
+  (match r.Wal.view with
+  | Some v -> Alcotest.(check int) "view before the damage survives" 4 v.View.id
+  | None -> Alcotest.fail "view lost to an unrelated corruption");
+  Alcotest.(check bool) "damaged floor rejected" true (not (List.mem_assoc 0 r.Wal.floors));
+  Alcotest.(check (list (pair int int)))
+    "records after the damage survive" [ (6, 9) ] r.Wal.floors;
+  Alcotest.(check int) "lease after the damage survives" 50 r.Wal.next_sn;
+  let sidecars =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".corrupt")
+  in
+  Alcotest.(check bool) "corrupt bytes kept in a sidecar" true (sidecars <> []);
+  (* The salvage rewrite leaves a clean log behind: a second recovery
+     skips and chops nothing and agrees on the state. *)
+  let w3, r3 = wal_open ~dir ~me:6 () in
+  Wal.close w3;
+  Alcotest.(check int) "second recovery skips nothing" 0 r3.Wal.skipped;
+  Alcotest.(check int) "second recovery chops nothing" 0 r3.Wal.truncated;
+  Alcotest.(check bool) "second recovery untainted" false r3.Wal.tainted;
+  Alcotest.(check int) "state agrees after the rewrite" 50 r3.Wal.next_sn
+
+let test_mesh_quarantine_and_forgiveness () =
+  (* Misbehavior escalation: enough garbage quarantines the peer, the
+     cooldown forgives it, and traffic flows again afterwards. *)
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got0 = ref 0 in
+  let hostile =
+    { Tcp_mesh.reset_score = 2.0; quarantine_score = 3.0; forgive_after = 0.4; decay = 0.0 }
+  in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers
+      ~on_frame:(fun ~src:_ _ -> incr got0)
+      ~hostile ()
+  in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+  in
+  Tcp_mesh.send mesh1 ~dst:0 "before";
+  Loop.run ~until:(fun () -> !got0 >= 1) ~timeout:5.0 loop;
+  Alcotest.(check int) "honest traffic first" 1 !got0;
+  for _ = 1 to 3 do
+    Tcp_mesh.note_misbehavior mesh0 ~src:1 ~reason:"test-garbage"
+  done;
+  Alcotest.(check bool) "peer quarantined" true (Tcp_mesh.quarantined mesh0 ~peer:1);
+  Alcotest.(check int) "counted once" 1 (Tcp_mesh.quarantined_total mesh0);
+  (* mesh1 keeps sending throughout (real peers have heartbeats): its
+     writes on the torn link fail and write the peer off during the
+     sentence, and mesh0's fresh hello at forgiveness time revives it
+     — after which 1 -> 0 flows again. *)
+  let resend =
+    Loop.every loop ~period:0.02 (fun () ->
+        Tcp_mesh.send mesh1 ~dst:0 "after";
+        true)
+  in
+  Loop.run ~until:(fun () -> not (Tcp_mesh.quarantined mesh0 ~peer:1)) ~timeout:5.0 loop;
+  Alcotest.(check bool) "forgiven after the cooldown" true
+    (not (Tcp_mesh.quarantined mesh0 ~peer:1));
+  Loop.run ~until:(fun () -> !got0 >= 2) ~timeout:10.0 loop;
+  Loop.cancel resend;
+  Alcotest.(check bool) "traffic flows again" true (!got0 >= 2);
+  Alcotest.(check int) "still one quarantine event" 1 (Tcp_mesh.quarantined_total mesh0);
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
+let test_node_divergence_self_heals () =
+  (* A node whose replicated state silently diverges convicts itself
+     via digest gossip, self-demotes to joiner, and rejoins healed by
+     the sponsor's state transfer (modelled by [on_synced] resetting
+     the digest). *)
+  let loop = Loop.create () in
+  let listeners =
+    List.init 3 (fun i ->
+        let fd, addr = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+        (i, fd, addr))
+  in
+  let peers = List.map (fun (i, _, addr) -> (i, addr)) listeners in
+  let digests = Array.make 3 1 in
+  let config = { node_config with Node.divergence_period = Some 0.1 } in
+  let nodes =
+    List.map
+      (fun (i, fd, _) ->
+        Node.create loop ~me:i ~listen_fd:fd ~peers ~payload_codec:Wire_codec.int_codec
+          ~config
+          ~state_digest:(fun () -> digests.(i))
+          ~on_synced:(fun _ _ -> digests.(i) <- 1)
+          ())
+      listeners
+    |> Array.of_list
+  in
+  Array.iter
+    (fun node ->
+      ignore
+        (Loop.every loop ~period:0.005 (fun () ->
+             let rec drain () =
+               match Node.deliver node with None -> () | Some _ -> drain ()
+             in
+             drain ();
+             true)))
+    nodes;
+  let full_view () =
+    Array.for_all (fun nd -> (Node.view nd).View.members = [ 0; 1; 2 ]) nodes
+  in
+  Loop.run ~until:full_view ~timeout:10.0 loop;
+  Alcotest.(check bool) "group formed" true (full_view ());
+  digests.(2) <- 42;
+  Loop.run ~until:(fun () -> Node.divergences nodes.(2) >= 1) ~timeout:20.0 loop;
+  Alcotest.(check bool) "node 2 convicted itself" true (Node.divergences nodes.(2) >= 1);
+  Alcotest.(check int) "the honest majority never convicts" 0
+    (Node.divergences nodes.(0) + Node.divergences nodes.(1));
+  Loop.run
+    ~until:(fun () -> digests.(2) = 1 && Node.is_member nodes.(2) && full_view ())
+    ~timeout:30.0 loop;
+  Alcotest.(check bool) "state healed by the sync" true (digests.(2) = 1);
+  Alcotest.(check bool) "readmitted" true (Node.is_member nodes.(2));
+  Alcotest.(check bool) "full view restored" true (full_view ());
+  Array.iter Node.shutdown nodes
+
+let test_admin_hostile_clients () =
+  (* Malformed HTTP must never wedge the accept loop: an oversized
+     request line is answered from what was buffered and cut, binary
+     garbage gets a 405, and a half-open connection parks harmlessly
+     while other requests keep being served. *)
+  let loop = Loop.create () in
+  let admin =
+    Admin.create loop
+      ~addr:(Unix.ADDR_INET (loopback, 0))
+      [ ("/health", fun () -> Admin.text "ok\n") ]
+  in
+  let port = Admin.port admin in
+  let raw_request payload =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (loopback, port));
+    ignore (Unix.write_substring fd payload 0 (String.length payload));
+    let buf = Buffer.create 256 in
+    let closed = ref false in
+    let finish fd =
+      closed := true;
+      Loop.remove_fd loop fd;
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+    in
+    Loop.on_readable loop fd (fun () ->
+        let chunk = Bytes.create 4096 in
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> finish fd
+        | n -> Buffer.add_subbytes buf chunk 0 n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> finish fd);
+    Loop.run ~until:(fun () -> !closed) ~timeout:5.0 loop;
+    Buffer.contents buf
+  in
+  (* (a) A request line far past the header cap. The server answers
+     from the 16 KiB it buffered and resets; the response can be lost
+     to the reset, so the hard assertion is that the endpoint still
+     works afterwards. *)
+  let huge = "GET /" ^ String.make (24 * 1024) 'a' ^ " HTTP/1.0\r\n\r\n" in
+  let resp = raw_request huge in
+  Alcotest.(check bool) "oversized line: cut or answered" true
+    (resp = "" || contains resp "HTTP/1.0");
+  Alcotest.(check bool) "alive after header bomb" true
+    (contains (http_get loop port "/health") "HTTP/1.0 200 OK");
+  (* (b) Binary garbage that still contains the header-ending blank
+     line: rejected with 405, connection closed cleanly. *)
+  let garbage = "\x00\xff\x01\x02 binary rubbish \x7f\r\n\r\n" in
+  Alcotest.(check bool) "binary garbage answered 405" true
+    (contains (raw_request garbage) "HTTP/1.0 405");
+  (* (c) Half-open connections: clients that send part of a request
+     and stall must not block other requests. *)
+  let half_open =
+    List.init 3 (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (loopback, port));
+        ignore (Unix.write_substring fd "GET /hea" 0 8);
+        fd)
+  in
+  Loop.run ~timeout:0.1 loop;
+  Alcotest.(check bool) "served past half-open clients" true
+    (contains (http_get loop port "/health") "HTTP/1.0 200 OK");
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ()) half_open;
+  Admin.close admin
+
 let () =
   Alcotest.run "svs_rt"
     [
@@ -1065,6 +1306,8 @@ let () =
           Alcotest.test_case "dial backoff" `Quick test_mesh_dial_backoff;
           Alcotest.test_case "dial cap writes off" `Quick test_mesh_dial_cap_writes_off;
           Alcotest.test_case "forget peer redials" `Quick test_mesh_forget_peer_redials;
+          Alcotest.test_case "quarantine and forgiveness" `Quick
+            test_mesh_quarantine_and_forgiveness;
           QCheck_alcotest.to_alcotest torn_batch_property;
         ] );
       ( "wal",
@@ -1075,11 +1318,13 @@ let () =
           Alcotest.test_case "rotation" `Quick test_wal_rotation;
           Alcotest.test_case "identity mismatch" `Quick test_wal_identity_mismatch;
           Alcotest.test_case "group-commit crash" `Quick test_wal_group_commit_crash;
+          Alcotest.test_case "salvage interior corruption" `Quick test_wal_salvage_interior;
         ] );
       ( "admin",
         [
           Alcotest.test_case "routes" `Quick test_admin_routes;
           Alcotest.test_case "node status json" `Slow test_admin_node_status;
+          Alcotest.test_case "hostile clients" `Quick test_admin_hostile_clients;
         ] );
       ( "node",
         [
@@ -1088,5 +1333,6 @@ let () =
           Alcotest.test_case "purging over TCP" `Slow test_node_purging_over_tcp;
           Alcotest.test_case "restart rejoins from WAL" `Slow test_node_restart_rejoins;
           Alcotest.test_case "total order over TCP" `Slow test_total_order_over_tcp;
+          Alcotest.test_case "divergence self-heals" `Slow test_node_divergence_self_heals;
         ] );
     ]
