@@ -3,6 +3,10 @@ module Engine = Svs_sim.Engine
 type 'v instance_state = {
   mutable proposals : (int * 'v) list;
   mutable decision : 'v option;
+  mutable notified : bool;
+      (* The decision upcall ran (the scheduled notify fired) — part of
+         the model checker's state fingerprint: a decided-but-unnotified
+         instance still has an engine event in flight. *)
 }
 
 type 'v t = {
@@ -29,7 +33,7 @@ let state t instance =
   match Hashtbl.find_opt t.instances instance with
   | Some st -> st
   | None ->
-      let st = { proposals = []; decision = None } in
+      let st = { proposals = []; decision = None; notified = false } in
       Hashtbl.replace t.instances instance st;
       st
 
@@ -46,6 +50,7 @@ let propose t ~instance ~from v =
       ignore from_min;
       st.decision <- Some value;
       let notify () =
+        st.notified <- true;
         List.iter (fun dst -> t.deliver ~dst ~instance value) t.members
       in
       ignore (Engine.schedule t.engine ~delay:t.decision_delay notify : Engine.handle)
@@ -58,3 +63,38 @@ let decided t ~instance =
   match Hashtbl.find_opt t.instances instance with
   | None -> false
   | Some st -> st.decision <> None
+
+(* Canonical digest of the arbiter's state for the model checker:
+   per instance the proposals seen (sorted by proposer), the decision,
+   and whether the decision upcall already fired. *)
+let mc_fingerprint value_digest t =
+  let b = Buffer.create 128 in
+  let instances =
+    List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) t.instances [])
+  in
+  List.iter
+    (fun i ->
+      let st = Hashtbl.find t.instances i in
+      Buffer.add_string b (string_of_int i);
+      Buffer.add_char b ':';
+      List.iter
+        (fun (p, v) ->
+          Buffer.add_string b (string_of_int p);
+          Buffer.add_char b '=';
+          Buffer.add_string b (value_digest v);
+          Buffer.add_char b ',')
+        (List.sort (fun (a, _) (b, _) -> compare (a : int) b) st.proposals);
+      (match st.decision with
+      | None -> Buffer.add_char b '-'
+      | Some v ->
+          Buffer.add_char b '!';
+          Buffer.add_string b (value_digest v));
+      Buffer.add_char b (if st.notified then 'n' else 'w');
+      Buffer.add_char b ';')
+    instances;
+  List.iter
+    (fun m ->
+      Buffer.add_string b (string_of_int m);
+      Buffer.add_char b ' ')
+    t.members;
+  Digest.string (Buffer.contents b)

@@ -31,3 +31,9 @@ val remove_member : 'v t -> int -> unit
     proposals remain). *)
 
 val decided : 'v t -> instance:int -> bool
+
+val mc_fingerprint : ('v -> string) -> 'v t -> string
+(** Canonical digest of the arbiter state (per instance: proposals
+    sorted by proposer, the decision, and whether the decision upcall
+    already fired), keyed by the given injective value encoding — the
+    consensus slice of the model checker's state fingerprint. *)

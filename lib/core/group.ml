@@ -578,12 +578,12 @@ let packet_size pc packet =
       12 + Ct.msg_size ~value_size:(fun p -> Wire_codec.proposal_size pc p) msg
 
 let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
-    ?payload_codec ?(config = default_config) () =
+    ?payload_codec ?(manual_net = false) ?(config = default_config) () =
   if member_ids = [] then invalid_arg "Group.create_cluster: empty membership";
   let ids = List.sort_uniq compare member_ids in
   let n_nodes = List.fold_left Stdlib.max 0 ids + 1 in
   let sizer = Option.map (fun pc packet -> packet_size pc packet) payload_codec in
-  let net = Network.create eng ~nodes:n_nodes ~latency ?bandwidth ?sizer () in
+  let net = Network.create eng ~nodes:n_nodes ~latency ?bandwidth ?sizer ~manual:manual_net () in
   (* Telemetry: stamp trace events with virtual time and hook the
      substrate instruments into the registry. *)
   Trace.set_clock config.tracer (Engine.clock eng);
@@ -892,3 +892,93 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
       | Some _ | None -> ()))
     ms;
   cluster
+
+(* --- Model-checker control surface (see MODELCHECK.md) ---
+
+   The cluster's network and packet type are private to this module,
+   so the explorer's hooks live here: explicit link delivery (the
+   network must be created with [manual_net]), in-flight inspection,
+   and the canonical per-node / per-link / global state fingerprints
+   the checker deduplicates visited states with. *)
+
+let is_down m = m.crashed
+
+let mc_inflight c ~src ~dst = Network.inflight c.net ~src ~dst
+
+let mc_partitioned c ~src ~dst = Network.partitioned c.net ~src ~dst
+
+let mc_deliver c ~src ~dst = Network.manual_deliver c.net ~src ~dst
+
+let mc_head_is_data c ~src ~dst =
+  match Network.peek_inflight c.net ~src ~dst with
+  | Some (Proto (Wdata _)) -> true
+  | Some (Proto _ | Cons _ | Beat | Digest _) | None -> false
+
+let packet_digest ~payload = function
+  | Proto wire -> "P" ^ Protocol.mc_wire_digest ~payload wire
+  | Cons { view_id; _ } -> Printf.sprintf "C%d" view_id
+  | Beat -> "B"
+  | Digest { view_id; digest } -> Printf.sprintf "D%d:%d" view_id digest
+
+let proposal_digest ~payload (p : 'p proposal) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int p.next_view.View.id);
+  List.iter (fun q -> Buffer.add_string b (":" ^ string_of_int q)) p.next_view.View.members;
+  List.iter
+    (fun d -> Buffer.add_string b (Protocol.mc_wire_digest ~payload (Wdata d)))
+    p.pred;
+  Digest.string (Buffer.contents b)
+
+type mc_state = {
+  mc_nodes : (int * string) list;
+  mc_links : ((int * int) * string) list;
+  mc_global : string;
+}
+
+let mc_node_fingerprint c ~payload p =
+  let m = member c p in
+  let b = Buffer.create 64 in
+  Buffer.add_char b (if m.crashed then 'x' else 'o');
+  Buffer.add_char b (if m.park_epoch <> None then 'p' else '-');
+  Queue.iter
+    (fun (src, d) ->
+      Buffer.add_string b (string_of_int src);
+      Buffer.add_string b (Protocol.mc_wire_digest ~payload (Wdata d)))
+    m.inbox;
+  Buffer.add_string b (Protocol.mc_fingerprint ~payload m.proto);
+  Digest.string (Buffer.contents b)
+
+let mc_link_fingerprint c ~payload ~src ~dst =
+  let b = Buffer.create 64 in
+  Buffer.add_char b (if Network.partitioned c.net ~src ~dst then 'c' else '-');
+  Network.iter_inflight c.net ~src ~dst (fun pkt ->
+      Buffer.add_string b (packet_digest ~payload pkt));
+  Digest.string (Buffer.contents b)
+
+let mc_global_fingerprint c ~payload =
+  let b = Buffer.create 64 in
+  (match c.oracle with
+  | None -> ()
+  | Some o ->
+      List.iter
+        (fun p -> Buffer.add_string b (string_of_int p ^ ","))
+        (List.sort compare (Svs_detector.Oracle.suspected_set o)));
+  Buffer.add_char b '/';
+  (match c.arbiter with
+  | None -> ()
+  | Some a -> Buffer.add_string b (Arbiter.mc_fingerprint (proposal_digest ~payload) a));
+  Buffer.add_char b '/';
+  Buffer.add_string b (string_of_int (Engine.pending c.engine));
+  Digest.string (Buffer.contents b)
+
+let mc_state c ~payload =
+  let nodes = List.map (fun m -> (m.me, mc_node_fingerprint c ~payload m.me)) c.member_list in
+  let n = Network.size c.net in
+  let links = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if Network.inflight c.net ~src ~dst > 0 || Network.partitioned c.net ~src ~dst then
+        links := ((src, dst), mc_link_fingerprint c ~payload ~src ~dst) :: !links
+    done
+  done;
+  { mc_nodes = nodes; mc_links = !links; mc_global = mc_global_fingerprint c ~payload }

@@ -112,12 +112,16 @@ val create_cluster :
   ?latency:Svs_net.Latency.t ->
   ?bandwidth:float ->
   ?payload_codec:'p Wire_codec.payload_codec ->
+  ?manual_net:bool ->
   ?config:config ->
   unit ->
   'p cluster
 (** With [bandwidth] (bytes/s) and [payload_codec], links serialise
     messages at their real encoded size, so view-change flushes and
-    PRED exchanges take time proportional to what purging saved. *)
+    PRED exchanges take time proportional to what purging saved.
+    [manual_net] (default false) creates the network in manual-delivery
+    mode for the model checker: packets queue on their links until an
+    explicit {!mc_deliver} — see the model-checker section below. *)
 
 val engine : 'p cluster -> Svs_sim.Engine.t
 
@@ -290,3 +294,42 @@ val on_excluded : 'p t -> (View.t -> unit) -> unit
 val on_synced : 'p t -> (View.t -> string option -> unit) -> unit
 (** Fired when this member is readmitted by a sponsor's SYNC, with the
     installed view and the transferred application state (if any). *)
+
+(** {1 Model-checker control surface}
+
+    Used by {!Svs_mc} (see MODELCHECK.md). The cluster must have been
+    created with [manual_net:true]: every packet then waits on its
+    link until the explorer delivers it, so the interleaving is fully
+    enumerable and in-flight traffic is part of the state
+    fingerprint. *)
+
+val is_down : 'p t -> bool
+(** True between {!crash} (or exclusion) and {!restart}. *)
+
+val mc_inflight : 'p cluster -> src:int -> dst:int -> int
+(** Packets queued on the directed link. *)
+
+val mc_partitioned : 'p cluster -> src:int -> dst:int -> bool
+
+val mc_deliver : 'p cluster -> src:int -> dst:int -> bool
+(** Deliver the head packet of the directed link (FIFO). [false] if
+    the link is cut or empty. *)
+
+val mc_head_is_data : 'p cluster -> src:int -> dst:int -> bool
+(** Whether the packet {!mc_deliver} would hand over is an application
+    DATA message — such deliveries to distinct destinations commute,
+    which is what the explorer's partial-order reduction exploits;
+    control traffic (view change, consensus, SYNC) does not. *)
+
+type mc_state = {
+  mc_nodes : (int * string) list;  (** member id, canonical digest *)
+  mc_links : ((int * int) * string) list;
+      (** (src, dst) for links that are cut or carry traffic *)
+  mc_global : string;  (** detector + consensus + engine-queue digest *)
+}
+
+val mc_state : 'p cluster -> payload:('p -> string) -> mc_state
+(** Canonical fingerprint of the whole cluster, split per node and per
+    link so the explorer can diff consecutive states (the footprint of
+    a transition) for its independence relation. [payload] must be an
+    injective encoding of the payload type. *)

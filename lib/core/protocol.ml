@@ -665,3 +665,149 @@ let deliver t =
                sn = d.id.Msg_id.sn;
              });
       Some (Data d)
+
+(* --- Model-checker support: canonical state digest (see MODELCHECK.md) ---
+
+   A fingerprint of the behaviourally relevant protocol state: two
+   processes with equal fingerprints react identically to every future
+   input. Mutable containers are projected onto canonical pure shapes
+   first — hashtables become sorted association lists, the deque
+   becomes a front-to-back list — because their in-memory layout
+   depends on insertion history, which differs between interleavings
+   that reach the same logical state. Telemetry (counters, tracer,
+   blocked spans, [trimmed]) is deliberately excluded: it never feeds
+   back into a transition. *)
+
+let buf_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ';'
+
+let buf_bool b v = Buffer.add_char b (if v then '1' else '0')
+
+let buf_str b s =
+  buf_int b (String.length s);
+  Buffer.add_string b s
+
+let buf_id b (id : Msg_id.t) =
+  buf_int b id.sender;
+  buf_int b id.sn
+
+let buf_ann b = function
+  | Annotation.Unrelated -> Buffer.add_char b 'U'
+  | Annotation.Tag g ->
+      Buffer.add_char b 'T';
+      buf_int b g
+  | Annotation.Enum ids ->
+      Buffer.add_char b 'E';
+      List.iter (buf_id b) ids
+  | Annotation.Kenum bv ->
+      Buffer.add_char b 'K';
+      buf_int b (Svs_obs.Bitvec.k bv);
+      buf_str b (Svs_obs.Bitvec.to_bytes bv)
+
+let buf_view b (v : View.t) =
+  buf_int b v.View.id;
+  List.iter (buf_int b) v.View.members;
+  Buffer.add_char b '|'
+
+let buf_data ~payload b (d : _ data) =
+  buf_id b d.id;
+  buf_int b d.view_id;
+  buf_str b (payload d.payload);
+  buf_ann b d.ann
+
+let buf_floors b floors =
+  List.iter
+    (fun (s, sn) ->
+      buf_int b s;
+      buf_int b sn)
+    (List.sort compare floors)
+
+let buf_wire ~payload b = function
+  | Wdata d ->
+      Buffer.add_char b 'D';
+      buf_data ~payload b d
+  | Winit { view_id; leave; join } ->
+      Buffer.add_char b 'I';
+      buf_int b view_id;
+      List.iter (buf_int b) leave;
+      Buffer.add_char b '|';
+      List.iter (buf_int b) join
+  | Wpred { view_id; msgs } ->
+      Buffer.add_char b 'P';
+      buf_int b view_id;
+      List.iter (buf_data ~payload b) msgs
+  | Wstable { floors } ->
+      Buffer.add_char b 'S';
+      buf_floors b floors
+  | Wjoin { joiner } ->
+      Buffer.add_char b 'J';
+      buf_int b joiner
+  | Wsync { view; floors; app } ->
+      Buffer.add_char b 'Y';
+      buf_view b view;
+      buf_floors b floors;
+      (match app with
+      | None -> Buffer.add_char b '-'
+      | Some s -> buf_str b s)
+
+let mc_wire_digest ~payload wire =
+  let b = Buffer.create 64 in
+  buf_wire ~payload b wire;
+  Digest.string (Buffer.contents b)
+
+let mc_fingerprint ~payload t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b
+    (match t.status with Member -> 'M' | Joining -> 'J' | Parked -> 'P' | Dead -> 'X');
+  buf_view b t.cv;
+  buf_bool b t.blocked;
+  buf_int b t.next_sn;
+  buf_bool b t.lease_uncertain;
+  Dq.iter
+    (function
+      | Edata d ->
+          Buffer.add_char b 'd';
+          buf_data ~payload b d
+      | Eview v ->
+          Buffer.add_char b 'v';
+          buf_view b v)
+    t.to_deliver;
+  Buffer.add_char b '/';
+  List.iter (buf_data ~payload b) t.delivered_this_view;
+  Buffer.add_char b '/';
+  buf_floors b (floors t);
+  (match t.vc with
+  | None -> Buffer.add_char b '-'
+  | Some vc ->
+      Buffer.add_char b 'C';
+      List.iter (buf_int b) (List.sort compare vc.leave);
+      Buffer.add_char b '|';
+      List.iter (buf_int b) (List.sort compare vc.join);
+      Buffer.add_char b '|';
+      Msg_id.Map.iter
+        (fun id d ->
+          buf_id b id;
+          buf_data ~payload b d)
+        vc.global_pred;
+      Buffer.add_char b '|';
+      List.iter (buf_int b) (List.sort compare vc.pred_received);
+      buf_bool b vc.pred_sent;
+      buf_bool b vc.proposed);
+  Buffer.add_char b '/';
+  Queue.iter
+    (fun (src, wire) ->
+      buf_int b src;
+      buf_wire ~payload b wire)
+    t.stash;
+  Buffer.add_char b '/';
+  List.iter
+    (fun (peer, tbl) ->
+      buf_int b peer;
+      buf_floors b (Hashtbl.fold (fun s sn acc -> (s, sn) :: acc) tbl []))
+    (List.sort
+       (fun (a, _) (b, _) -> compare (a : int) b)
+       (Hashtbl.fold (fun p tbl acc -> (p, tbl) :: acc) t.peer_floors []));
+  Buffer.add_char b '/';
+  buf_int b (List.length t.outputs);
+  Digest.string (Buffer.contents b)

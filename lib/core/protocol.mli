@@ -191,3 +191,19 @@ val stable_trimmed : 'p t -> int
 val accepted_in_view : 'p t -> 'p Types.data list
 (** The local-pred sequence (messages of the current view accepted so
     far, in order) — what t5 would send; exposed for tests. *)
+
+(** {1 Model-checker support} *)
+
+val mc_fingerprint : payload:('p -> string) -> 'p t -> string
+(** A canonical digest of the behaviourally relevant protocol state:
+    two processes with equal fingerprints react identically to every
+    future input. Mutable containers are projected onto sorted pure
+    shapes first, so two interleavings reaching the same logical state
+    fingerprint equal regardless of insertion history; telemetry is
+    excluded. [payload] must be an injective encoding of the payload
+    type. Used by {!Svs_mc} for visited-state deduplication (see
+    MODELCHECK.md). *)
+
+val mc_wire_digest : payload:('p -> string) -> 'p Types.wire -> string
+(** Canonical digest of one wire message — the in-flight half of the
+    model checker's state fingerprint. *)

@@ -29,6 +29,12 @@ type 'msg t = {
   mutable latency : Latency.t;
   bandwidth : float; (* bytes per second; infinity = unmodelled *)
   sizer : ('msg -> int) option;
+  manual : bool;
+      (* Model-checking mode: sends queue on the link (reusing [held])
+         and are delivered only by explicit [manual_deliver] calls, so
+         an enumerator controls the interleaving and can inspect
+         in-flight traffic — scheduled-closure arrivals would hide
+         both. *)
   nodes : 'msg node array;
   links : 'msg link array array; (* links.(src).(dst) *)
   mutable sent : int;
@@ -37,7 +43,8 @@ type 'msg t = {
   mutable probe : probe option;
 }
 
-let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?sizer () =
+let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?sizer
+    ?(manual = false) () =
   if nodes <= 0 then invalid_arg "Network.create: need at least one node";
   if bandwidth <= 0.0 then invalid_arg "Network.create: bandwidth must be positive";
   let mk_node () = { alive = true; paused = false; handler = None; inbox = Queue.create () } in
@@ -49,6 +56,7 @@ let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?size
     latency;
     bandwidth;
     sizer;
+    manual;
     nodes = Array.init nodes (fun _ -> mk_node ());
     links = Array.init nodes (fun _ -> Array.init nodes (fun _ -> mk_link ()));
     sent = 0;
@@ -134,7 +142,7 @@ let send t ~src ~dst msg =
     t.sent <- t.sent + 1;
     (match t.probe with None -> () | Some p -> Metrics.Counter.incr p.m_sent);
     let link = t.links.(src).(dst) in
-    if link.partitioned then Queue.add msg link.held
+    if t.manual || link.partitioned then Queue.add msg link.held
     else schedule_arrival t ~src ~dst msg
   end
 
@@ -148,7 +156,13 @@ let crash t ~node =
   check_node t node;
   let n = t.nodes.(node) in
   n.alive <- false;
-  Queue.clear n.inbox
+  Queue.clear n.inbox;
+  (* Manual mode models crash-stop as absorbing in-flight traffic to
+     the node: it arrives while the process is down. (Scheduled-mode
+     arrivals get the same treatment from the [alive] check in
+     [handle].) *)
+  if t.manual then
+    Array.iter (fun row -> Queue.clear row.(node).held) t.links
 
 let revive t ~node =
   check_node t node;
@@ -201,9 +215,11 @@ let disconnect t a b =
 let release t ~src ~dst =
   let link = t.links.(src).(dst) in
   link.partitioned <- false;
-  while not (Queue.is_empty link.held) do
-    schedule_arrival t ~src ~dst (Queue.pop link.held)
-  done
+  (* Manual mode: healed traffic stays queued for explicit delivery. *)
+  if not t.manual then
+    while not (Queue.is_empty link.held) do
+      schedule_arrival t ~src ~dst (Queue.pop link.held)
+    done
 
 let reconnect t a b =
   check_node t a;
@@ -216,3 +232,39 @@ let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 
 let bytes_sent t = t.bytes
+
+(* --- Manual-delivery introspection and control (model checking) --- *)
+
+let manual t = t.manual
+
+let partitioned t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  t.links.(src).(dst).partitioned
+
+let inflight t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  Queue.length t.links.(src).(dst).held
+
+let peek_inflight t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  Queue.peek_opt t.links.(src).(dst).held
+
+let iter_inflight t ~src ~dst f =
+  check_node t src;
+  check_node t dst;
+  Queue.iter f t.links.(src).(dst).held
+
+let manual_deliver t ~src ~dst =
+  if not t.manual then invalid_arg "Network.manual_deliver: not in manual mode";
+  check_node t src;
+  check_node t dst;
+  let link = t.links.(src).(dst) in
+  if link.partitioned || Queue.is_empty link.held then false
+  else begin
+    let msg = Queue.pop link.held in
+    handle t ~dst ~src msg;
+    true
+  end

@@ -22,6 +22,7 @@ val create :
   ?latency:Latency.t ->
   ?bandwidth:float ->
   ?sizer:('msg -> int) ->
+  ?manual:bool ->
   unit ->
   'msg t
 (** Default latency is {!Latency.Zero}. When both [bandwidth] (bytes
@@ -29,7 +30,15 @@ val create :
     link serialises messages store-and-forward: a message occupies its
     link for [size/bandwidth] seconds before the propagation latency,
     so large messages (e.g. PRED flushes) visibly delay what follows
-    them. Without them, transmission is instantaneous. *)
+    them. Without them, transmission is instantaneous.
+
+    [manual] (default false) puts the network in manual-delivery mode
+    for model checking: {!send} queues the message on its link instead
+    of scheduling an arrival, and nothing moves until the driver calls
+    {!manual_deliver} — the enumerator owns the interleaving, and
+    in-flight traffic is inspectable ({!inflight}, {!peek_inflight})
+    instead of being captured in scheduled closures. Latency and
+    bandwidth are ignored in this mode. *)
 
 val engine : 'msg t -> Svs_sim.Engine.t
 
@@ -88,3 +97,28 @@ val messages_delivered : 'msg t -> int
 
 val bytes_sent : 'msg t -> int
 (** Total sized bytes accepted for transmission (0 without a sizer). *)
+
+(** {1 Manual-delivery mode (model checking)} *)
+
+val manual : 'msg t -> bool
+
+val partitioned : 'msg t -> src:int -> dst:int -> bool
+(** Whether the directed link is currently cut. *)
+
+val inflight : 'msg t -> src:int -> dst:int -> int
+(** Messages queued on the directed link: in-flight traffic in manual
+    mode, held-while-partitioned traffic otherwise. *)
+
+val peek_inflight : 'msg t -> src:int -> dst:int -> 'msg option
+(** The message {!manual_deliver} would hand over next. *)
+
+val iter_inflight : 'msg t -> src:int -> dst:int -> ('msg -> unit) -> unit
+(** In delivery (FIFO) order — for state fingerprinting. *)
+
+val manual_deliver : 'msg t -> src:int -> dst:int -> bool
+(** Deliver the head of the directed link's queue to [dst]'s handler.
+    [false] if the link is partitioned or has nothing in flight; a
+    message popped for a crashed [dst] is dropped (it arrived while the
+    process was down) and still counts as [true]. Raises
+    [Invalid_argument] outside manual mode, where arrivals are
+    engine-scheduled. *)

@@ -67,6 +67,16 @@ let cancelled ev = ev.cancelled
 let pending t =
   Heap.fold (fun n ev -> if ev.cancelled then n else n + 1) 0 t.queue
 
+let run_event t ev =
+  t.clock <- ev.time;
+  t.executed <- t.executed + 1;
+  (match t.probe with
+  | None -> ()
+  | Some p ->
+      Metrics.Counter.incr p.events;
+      Metrics.Gauge.set p.depth (float_of_int (Heap.length t.queue)));
+  ev.action ()
+
 let step t =
   let rec next () =
     match Heap.pop t.queue with
@@ -74,18 +84,67 @@ let step t =
     | Some ev ->
         if ev.cancelled then next ()
         else begin
-          t.clock <- ev.time;
-          t.executed <- t.executed + 1;
-          (match t.probe with
-          | None -> ()
-          | Some p ->
-              Metrics.Counter.incr p.events;
-              Metrics.Gauge.set p.depth (float_of_int (Heap.length t.queue)));
-          ev.action ();
+          run_event t ev;
           true
         end
   in
   next ()
+
+(* --- Enumeration support (model checking) ---
+
+   The heap's total order is (time, seq): among equal timestamps,
+   events execute in scheduling order, never insertion/heap order, so
+   a run is a deterministic function of the sequence of choices made
+   by the driver. [ready]/[step_ready] expose the tie group at the
+   head of the queue so an enumerator can explore the other
+   permutations of equal-timestamp events too. *)
+
+let drop_cancelled t =
+  let rec go () =
+    match Heap.peek t.queue with
+    | Some ev when ev.cancelled ->
+        ignore (Heap.pop t.queue : event option);
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let ready t =
+  drop_cancelled t;
+  match Heap.peek t.queue with
+  | None -> []
+  | Some head ->
+      let same =
+        Heap.fold
+          (fun acc ev -> if (not ev.cancelled) && ev.time = head.time then ev :: acc else acc)
+          [] t.queue
+      in
+      List.sort (fun a b -> compare a.seq b.seq) same
+
+let handle_time ev = ev.time
+
+let handle_seq ev = ev.seq
+
+let step_ready t ev =
+  if ev.cancelled then invalid_arg "Engine.step_ready: cancelled event";
+  drop_cancelled t;
+  (match Heap.peek t.queue with
+  | Some head when head.time = ev.time -> ()
+  | Some _ | None -> invalid_arg "Engine.step_ready: event is not ready");
+  (* Pop until we reach [ev]; everything popped first shares its
+     timestamp (checked above), so re-adding preserves the order of
+     the rest of the queue. *)
+  let rec extract acc =
+    match Heap.pop t.queue with
+    | None -> invalid_arg "Engine.step_ready: event is not pending"
+    | Some e when e == ev -> acc
+    | Some e ->
+        if e.time <> ev.time then invalid_arg "Engine.step_ready: event is not ready"
+        else extract (e :: acc)
+  in
+  let ties = extract [] in
+  List.iter (Heap.add t.queue) ties;
+  run_event t ev
 
 let run ?until ?max_events t =
   let horizon = match until with None -> infinity | Some u -> u in

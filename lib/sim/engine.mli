@@ -48,7 +48,34 @@ val pending : t -> int
 (** Number of scheduled (non-cancelled) events. *)
 
 val step : t -> bool
-(** Executes the next event. [false] if the queue was empty. *)
+(** Executes the next event. [false] if the queue was empty.
+
+    Determinism guarantee: the next event is the pending event minimal
+    in (time, scheduling sequence number) — ties between
+    equal-timestamp events always break towards the event scheduled
+    first, never on heap or insertion order. A simulation driven only
+    by [step] (or {!run}) is therefore a pure function of the schedule
+    calls made so far, which is what lets a model checker reproduce a
+    state from a choice trace alone. *)
+
+val ready : t -> handle list
+(** The group of pending events tied at the earliest pending
+    timestamp, in scheduling order ([step] would execute the head).
+    Exposed so an enumerator can explore the other interleavings of
+    equal-timestamp events with {!step_ready}. *)
+
+val step_ready : t -> handle -> unit
+(** Execute one specific event of the current {!ready} group (not
+    necessarily its head), leaving the rest pending. Raises
+    [Invalid_argument] if the handle is cancelled, already executed,
+    or not at the earliest pending timestamp — out-of-order execution
+    across distinct timestamps would move the clock backwards later. *)
+
+val handle_time : handle -> float
+
+val handle_seq : handle -> int
+(** The monotonic sequence number assigned at scheduling time — the
+    tie-breaker among equal timestamps. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** [run t] executes events until the queue drains, virtual time would

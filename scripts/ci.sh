@@ -18,6 +18,12 @@
 #   scripts/ci.sh chaos  the full chaos sweep (20 seeds x every
 #                        scenario x both oracle modes) plus the
 #                        oracle mutation self-test
+#   scripts/ci.sh mc     the full model-checking sweep: every svs_mc
+#                        preset explored exhaustively, the DPOR
+#                        reduction compared against naive DFS for
+#                        soundness, and all three seeded mutations
+#                        caught with replay-verified counterexamples
+#                        (the quick mc smoke below runs on every tier)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -87,6 +93,17 @@ dune exec bin/svs_chaos.exe -- --seeds 1 --scenarios crash --modes svs \
 ls _build/ci-flight/flight-crash-svs-1.jsonl > /dev/null || {
   echo "ci: mutated chaos run left no flight-recorder dump" >&2; exit 1; }
 
+# Model-checker smoke: exhaust the acceptance configuration (3 nodes,
+# 2 multicasts, 1 crash — every interleaving) and gate on the verdict
+# AND a nonzero state count, so an accidentally-empty exploration
+# can't pass as green.  See MODELCHECK.md.
+mc_out=$(dune exec bin/svs_mc.exe -- --preset smoke --json 2>/dev/null | tail -1)
+printf '%s\n' "$mc_out" | grep -q '"outcome": "exhausted"' || {
+  echo "ci: model-checker smoke did not exhaust cleanly: $mc_out" >&2; exit 1; }
+printf '%s\n' "$mc_out" | grep -q '"states": 0' && {
+  echo "ci: model-checker smoke explored zero states" >&2; exit 1; }
+echo "ci: model-check smoke OK ($(printf '%s' "$mc_out" | sed -n 's/.*\("states": [0-9]*\).*\("interleavings": [0-9]*\).*/\1, \2/p'))"
+
 if [ "${1:-}" = "smoke" ]; then
   dune exec bench/main.exe -- --smoke
 
@@ -147,6 +164,43 @@ if [ "${1:-}" = "chaos" ]; then
   chaos_json --seeds 20
   dune exec bin/svs_chaos.exe -- --seeds 5 --mutate
   dune exec bin/svs_chaos.exe -- --seeds 5 --mutate-split-brain
+fi
+
+if [ "${1:-}" = "mc" ]; then
+  # Every preset must exhaust its bounded state space cleanly.
+  for preset in smoke restart partition vs; do
+    dune exec bin/svs_mc.exe -- --preset "$preset" | grep -q '^exhausted' || {
+      echo "ci: mc preset $preset did not exhaust cleanly" >&2; exit 1; }
+  done
+
+  # Reduction soundness: the sleep-set DPOR must reach the same verdict
+  # as the naive DFS while exploring strictly fewer interleavings.
+  naive=$(dune exec bin/svs_mc.exe -- --preset smoke --no-reduce --no-dedup --json | tail -1)
+  dpor=$(dune exec bin/svs_mc.exe -- --preset smoke --no-dedup --json | tail -1)
+  n_il=$(printf '%s' "$naive" | sed -n 's/.*"interleavings": \([0-9]*\).*/\1/p')
+  d_il=$(printf '%s' "$dpor" | sed -n 's/.*"interleavings": \([0-9]*\).*/\1/p')
+  printf '%s\n' "$naive" | grep -q '"outcome": "exhausted"' || {
+    echo "ci: naive DFS did not exhaust" >&2; exit 1; }
+  printf '%s\n' "$dpor" | grep -q '"outcome": "exhausted"' || {
+    echo "ci: DPOR did not exhaust" >&2; exit 1; }
+  [ "$d_il" -lt "$n_il" ] || {
+    echo "ci: DPOR did not reduce interleavings ($d_il vs $n_il)" >&2; exit 1; }
+  echo "ci: mc reduction OK ($n_il interleavings naive -> $d_il with sleep sets)"
+
+  # Mutation self-tests (inverted): the explorer must find a violation
+  # for every seeded log corruption, and the minimized counterexample
+  # must replay deterministically.
+  mc_dir=$(mktemp -d)
+  trap 'rm -rf "$mc_dir"' EXIT
+  for mut in drop-cover:smoke dup-restart:restart split-brain:smoke; do
+    kind=${mut%%:*}; preset=${mut##*:}
+    dune exec bin/svs_mc.exe -- --preset "$preset" --mutate "$kind" \
+      --trace-out "$mc_dir/$kind.trace" > /dev/null || {
+      echo "ci: mc self-test missed mutation $kind" >&2; exit 1; }
+    dune exec bin/svs_mc.exe -- --replay "$mc_dir/$kind.trace" > /dev/null || {
+      echo "ci: mc counterexample for $kind did not replay" >&2; exit 1; }
+  done
+  echo "ci: mc mutation self-tests OK"
 fi
 
 echo "ci: OK"

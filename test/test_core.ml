@@ -637,6 +637,85 @@ let test_checker_strict_vs_flags_purge () =
   Alcotest.(check bool) "SVS ok" true (Checker.verify c = []);
   Alcotest.(check bool) "strict VS flags the omission" true (Checker.verify_strict_vs c <> [])
 
+(* A crash-rejoin shows up as a view-id gap in the rejoiner's log.  The
+   pairwise clauses (SVS, FIFO-SR ii, strict VS) must not quantify
+   across the gap: the survivor's deliveries in the views the rejoiner
+   missed are not owed to the dead incarnation. *)
+let test_checker_incarnation_gap () =
+  let c = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1 ] in
+  let v1 = View.make ~id:1 ~members:[ 0 ] in
+  let v2 = View.make ~id:2 ~members:[ 0; 1 ] in
+  List.iter (fun p -> Checker.record_install c ~p v0) [ 0; 1 ];
+  (* 1 crashes; 0 excludes it and delivers m alone in v1. *)
+  Checker.record_install c ~p:0 v1;
+  let m = meta ~view:1 0 0 in
+  Checker.record_multicast c m;
+  Checker.record_delivery c ~p:0 m;
+  (* 1 rejoins at v2: its log jumps v0 -> v2 (incarnation gap). *)
+  Checker.record_install c ~p:0 v2;
+  Checker.record_install c ~p:1 v2;
+  Alcotest.(check (list string)) "gap not quantified across" []
+    (List.map Checker.violation_to_string (Checker.verify c));
+  (* Same execution in strict-VS terms must also hold: the missed
+     delivery sits between non-consecutive ids of 1's log. *)
+  Alcotest.(check (list string)) "strict VS also skips the gap" []
+    (List.map Checker.violation_to_string (Checker.verify_strict_vs c))
+
+(* Park -> merge convergence: check_converged binds every survivor to
+   the final primary view.  A parked minority member that never caught
+   up is flagged; once it installs the final view the complaint goes
+   away. *)
+let test_checker_park_merge_convergence () =
+  let c = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1; 2 ] in
+  let v1 = View.make ~id:1 ~members:[ 0; 1 ] in
+  List.iter (fun p -> Checker.record_install c ~p v0) [ 0; 1; 2 ];
+  (* Partition: majority {0,1} moves on, 2 parks (installs nothing). *)
+  List.iter (fun p -> Checker.record_install c ~p v1) [ 0; 1 ];
+  Alcotest.(check bool) "no safety violation while parked" true
+    (Checker.verify c = []);
+  (match Checker.check_converged c ~survivors:[ 0; 1; 2 ] with
+  | [ Checker.Not_converged { p = 2; last_view_id = 0; final_view_id = 1 } ] ->
+      ()
+  | other ->
+      Alcotest.failf "expected parked 2 flagged, got [%s]"
+        (String.concat "; " (List.map Checker.violation_to_string other)));
+  (* Heal: 2 merges back by installing the final primary view. *)
+  let v2 = View.make ~id:2 ~members:[ 0; 1; 2 ] in
+  List.iter (fun p -> Checker.record_install c ~p v2) [ 0; 1; 2 ];
+  Alcotest.(check (list string)) "merge converges everyone" []
+    (List.map Checker.violation_to_string
+       (Checker.check_converged c ~survivors:[ 0; 1; 2 ]))
+
+(* With an empty relation (every annotation Unrelated) SVS *is* VS:
+   verify and verify_strict_vs must agree, on clean and broken logs
+   alike (the paper's reduction claim, checked at the oracle level). *)
+let test_checker_strict_vs_equals_verify_on_empty_relation () =
+  let clean = Checker.create () in
+  let v0 = View.initial ~members:[ 0; 1 ] in
+  let v1 = View.make ~id:1 ~members:[ 0; 1 ] in
+  List.iter (fun p -> Checker.record_install clean ~p v0) [ 0; 1 ];
+  let m0 = meta 0 0 in
+  Checker.record_multicast clean m0;
+  Checker.record_delivery clean ~p:0 m0;
+  Checker.record_delivery clean ~p:1 m0;
+  List.iter (fun p -> Checker.record_install clean ~p v1) [ 0; 1 ];
+  Alcotest.(check (list string)) "clean: both empty" []
+    (List.map Checker.violation_to_string (Checker.verify_strict_vs clean));
+  let broken = Checker.create () in
+  List.iter (fun p -> Checker.record_install broken ~p v0) [ 0; 1 ];
+  let m1 = meta 0 1 in
+  Checker.record_multicast broken m1;
+  Checker.record_delivery broken ~p:0 m1;
+  (* 1 never delivers m1 yet installs v1: a hole with no possible
+     cover, so the SVS clause itself must fire — not just strict VS. *)
+  List.iter (fun p -> Checker.record_install broken ~p v1) [ 0; 1 ];
+  Alcotest.(check bool) "broken: SVS clause fires" true
+    (Checker.verify broken <> []);
+  Alcotest.(check bool) "broken: strict VS fires too" true
+    (Checker.verify_strict_vs broken <> [])
+
 (* ------------------------------------------------------------------ *)
 (* Group integration                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -1335,6 +1414,11 @@ let () =
           Alcotest.test_case "cover accepted" `Quick test_checker_accepts_cover_instead;
           Alcotest.test_case "transitive cover" `Quick test_checker_transitive_cover;
           Alcotest.test_case "strict VS flags purge" `Quick test_checker_strict_vs_flags_purge;
+          Alcotest.test_case "incarnation gap" `Quick test_checker_incarnation_gap;
+          Alcotest.test_case "park-merge convergence" `Quick
+            test_checker_park_merge_convergence;
+          Alcotest.test_case "strict VS = verify on empty relation" `Quick
+            test_checker_strict_vs_equals_verify_on_empty_relation;
         ] );
       ( "group",
         [

@@ -256,6 +256,63 @@ let test_engine_pending () =
   Engine.cancel h1;
   Alcotest.(check int) "one pending after cancel" 1 (Engine.pending e)
 
+(* Enumeration API: ready lists the same-time group in scheduling
+   order; step_ready executes an arbitrary member while keeping the
+   rest pending; distinct timestamps are rejected. *)
+
+let test_engine_ready_group () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> ()));
+  let a = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  let b = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  let c = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  Engine.cancel b;
+  let ready = Engine.ready e in
+  Alcotest.(check int) "two ready (cancelled excluded)" 2 (List.length ready);
+  Alcotest.(check bool) "scheduling order" true
+    (List.map Engine.handle_seq ready
+    = List.sort compare (List.map Engine.handle_seq [ a; c ]))
+
+let test_engine_step_ready_out_of_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let tag name () = log := name :: !log in
+  ignore (Engine.schedule e ~delay:1.0 (tag "a"));
+  ignore (Engine.schedule e ~delay:1.0 (tag "b"));
+  ignore (Engine.schedule e ~delay:1.0 (tag "c"));
+  (match Engine.ready e with
+  | [ _; h2; _ ] -> Engine.step_ready e h2
+  | _ -> Alcotest.fail "expected a 3-event ready group");
+  Alcotest.(check (list string)) "picked the middle one" [ "b" ] (List.rev !log);
+  Alcotest.(check int) "others still pending" 2 (Engine.pending e);
+  (* The rest of the group is still enumerable, in order. *)
+  List.iter (Engine.step_ready e) (Engine.ready e);
+  List.iter (Engine.step_ready e) (Engine.ready e);
+  Alcotest.(check (list string)) "rest in order" [ "b"; "a"; "c" ] (List.rev !log)
+
+let test_engine_step_ready_rejects_future () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  let later = Engine.schedule e ~delay:2.0 (fun () -> ()) in
+  Alcotest.check_raises "future event rejected"
+    (Invalid_argument "Engine.step_ready: event is not ready") (fun () ->
+      Engine.step_ready e later)
+
+let test_engine_step_is_ready_head () =
+  (* step must agree with the enumeration API: it always executes the
+     head of [ready], whatever order events were inserted in. *)
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> ()));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  for _ = 1 to 3 do
+    let head = List.hd (Engine.ready e) in
+    let seq = Engine.handle_seq head in
+    ignore (Engine.step e);
+    Alcotest.(check bool) "executed the ready head" true
+      (List.for_all (fun h -> Engine.handle_seq h <> seq) (Engine.ready e))
+  done
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "svs_sim"
@@ -295,5 +352,12 @@ let () =
           Alcotest.test_case "every cancel" `Quick test_engine_every_cancel;
           Alcotest.test_case "max events" `Quick test_engine_max_events;
           Alcotest.test_case "pending" `Quick test_engine_pending;
+          Alcotest.test_case "ready group" `Quick test_engine_ready_group;
+          Alcotest.test_case "step_ready out of order" `Quick
+            test_engine_step_ready_out_of_order;
+          Alcotest.test_case "step_ready rejects future" `Quick
+            test_engine_step_ready_rejects_future;
+          Alcotest.test_case "step is ready head" `Quick
+            test_engine_step_is_ready_head;
         ] );
     ]
