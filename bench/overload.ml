@@ -1,0 +1,375 @@
+(* Overload-survival bench: a 3-node SVS group over real loopback TCP
+   in which one receiver (the victim) stops reading mid-run while the
+   publisher keeps multicasting an obsolescence chain (every message
+   directly obsoletes its predecessor) closed-loop against the healthy
+   receiver.
+
+   Two series, back to back:
+
+     shed     semantic shedding on (the default): while the victim's
+              link is backed up, newly queued frames purge the covered
+              suffix of the queue, so the victim's outbound backlog
+              stays bounded and the publisher never hits the hard
+              watermark — the healthy receiver keeps its full rate
+              through the entire pause.
+
+     no-shed  the same policy with shedding disabled: the victim's
+              queue grows until the hard watermark, would_block turns
+              on, and the admission-controlled publisher stalls — the
+              healthy receiver's sustained rate collapses for the rest
+              of the pause.
+
+   Reported per series: healthy-receiver msgs/s, peak outbound bytes
+   queued towards the victim, frames shed, slow-member reports, and
+   the fraction of publisher ticks spent blocked. The JSON payload
+   (BENCH_overload.json) carries the two acceptance booleans the CI
+   smoke greps for:
+
+     shed_under_budget    peak victim backlog with shedding stayed
+                          under the hard watermark
+     noshed_over_budget   peak victim backlog without shedding reached
+                          the hard watermark (the stall)
+
+   The detector runs with a timeout longer than the run so the paused
+   victim (which still *sends* heartbeats but receives nothing) cannot
+   suspect its healthy peers mid-bench; slow-member escalation is
+   configured to report but not evict. The evict path is covered by
+   the runtime tests.
+
+   Usage: overload [--smoke] [--duration S] [--json FILE] *)
+
+module Loop = Svs_rt.Loop
+module Node = Svs_rt.Node
+module Tcp_mesh = Svs_rt.Tcp_mesh
+module Types = Svs_core.Types
+module Wire_codec = Svs_core.Wire_codec
+module Annotation = Svs_obs.Annotation
+module Kenum_stream = Svs_obs.Kenum_stream
+module Metrics = Svs_telemetry.Metrics
+
+let loopback = Unix.inet_addr_loopback
+
+let n_nodes = 3
+
+let publisher = 0
+
+let healthy = 1
+
+let victim = 2
+
+(* Long enough that the wedged victim never suspects its peers. *)
+let quiet_detector =
+  {
+    Svs_detector.Heartbeat.period = 0.1;
+    initial_timeout = 120.0;
+    timeout_increment = 1.0;
+    max_timeout = 240.0;
+  }
+
+type series = {
+  label : string;
+  healthy_msgs_per_s : float;
+  published : int;
+  peak_victim_pending : int;
+  shed_frames : int;
+  slow_reports : int;
+  blocked_fraction : float;
+  victim_delivered : int;
+}
+
+(* Watermarks sized to the bench's pause, not a production link: tight
+   enough that a wedged receiver crosses them within a smoke run's
+   window. *)
+let bench_backpressure ~shed =
+  {
+    Tcp_mesh.default_backpressure with
+    soft = 32 * 1024;
+    hard = 256 * 1024;
+    resume = 8 * 1024;
+    shed;
+  }
+
+let run_series ~shed ~duration ~pause_for ~rate ~data_root =
+  let loop = Loop.create () in
+  let label = if shed then "shed" else "no-shed" in
+  let listeners =
+    List.init n_nodes (fun i ->
+        let fd, addr = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+        (i, fd, addr))
+  in
+  let peers = List.map (fun (i, _, addr) -> (i, addr)) listeners in
+  let metrics = Metrics.create () in
+  let backpressure = bench_backpressure ~shed in
+  let config =
+    {
+      Node.default_config with
+      heartbeat = quiet_detector;
+      stability_period = Some 0.5;
+      metrics = Some metrics;
+      flush_interval = 0.001;
+      backpressure;
+      slow_member = { Node.report_after = 1.0; evict_after = None };
+    }
+  in
+  let delivered = Array.make n_nodes 0 in
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun (i, fd, _) ->
+           let data_dir = Filename.concat data_root (Printf.sprintf "%s-n%d" label i) in
+           Node.create loop ~me:i ~listen_fd:fd ~peers
+             ~payload_codec:Wire_codec.string_codec ~config ~data_dir ())
+         listeners)
+  in
+  Array.iteri
+    (fun i node ->
+      ignore
+        (Loop.every loop ~period:0.0005 (fun () ->
+             let rec go () =
+               match Node.deliver node with
+               | None -> ()
+               | Some (Types.Data _) ->
+                   delivered.(i) <- delivered.(i) + 1;
+                   go ()
+               | Some (Types.View_change _) -> go ()
+             in
+             go ();
+             true)
+          : Loop.timer))
+    nodes;
+  Loop.run
+    ~until:(fun () ->
+      Array.for_all
+        (fun node -> List.length (Node.view node).Svs_core.View.members = n_nodes)
+        nodes)
+    ~timeout:5.0 loop;
+  let pub = nodes.(publisher) in
+  let published = ref 0 in
+  let blocked_ticks = ref 0 in
+  let pub_ticks = ref 0 in
+  let peak_victim = ref 0 in
+  let stream = Kenum_stream.create ~k:8 () in
+  let annotation () =
+    let direct = if Kenum_stream.next_sn stream > 0 then [ 1 ] else [] in
+    Annotation.Kenum (Kenum_stream.push stream ~direct)
+  in
+  (* ~1 KiB payloads: big enough that the pause backlog dwarfs what
+     the kernel's loopback socket buffers can absorb, so the pressure
+     shows up in the user-space queues the watermarks bound. The
+     sequence number rides in front for debuggability. *)
+  let payload seq = Printf.sprintf "%08d|" seq ^ String.make 1015 'x' in
+  let t_start = ref 0.0 in
+  let deadline = ref infinity in
+  ignore
+    (Loop.after loop ~delay:0.05 (fun () ->
+         t_start := Loop.now loop;
+         deadline := !t_start +. duration));
+  (* Wedge the victim shortly after measurement starts; un-wedge it
+     [pause_for] seconds later, before the deadline, so the drain is
+     part of the measured window. *)
+  ignore
+    (Loop.after loop ~delay:(0.05 +. 0.3) (fun () -> Node.pause_reads nodes.(victim)));
+  ignore
+    (Loop.after loop
+       ~delay:(0.05 +. 0.3 +. pause_for)
+       (fun () -> Node.resume_reads nodes.(victim)));
+  (* Paced, admission-controlled publisher: a fixed offered load below
+     the healthy receiver's capacity but far beyond what the wedged
+     victim's kernel buffers can absorb, gated purely on the
+     transport's admission surface. With shedding on, the victim's
+     link sheds its covered suffix and {!Node.would_block} never
+     trips, so the healthy receiver sees the full offered load; with
+     shedding off, the victim's queue climbs to the hard watermark and
+     the publisher spends the rest of the pause refused. The
+     annotation chain is only advanced for messages that were actually
+     admitted, so Kenum sequence numbers stay aligned. *)
+  let accounted_healthy () = delivered.(healthy) + Node.purged nodes.(healthy) in
+  let refused = ref 0.0 in
+  let quota = ref 0.0 in
+  let last_tick = ref 0.0 in
+  ignore
+    (Loop.every loop ~period:0.0005 (fun () ->
+         (if !t_start > 0.0 && Loop.now loop < !deadline then begin
+            incr pub_ticks;
+            (* This tick's quota of offered messages. A quota the
+               transport refuses is LOST, not deferred — a live
+               producer has nothing to defer to, which is exactly why
+               pushing the loss down to the transport (where the
+               obsolescence relation lives) beats refusing at
+               admission. *)
+            let due =
+              float_of_int rate *. (Loop.now loop -. Float.max !last_tick !t_start)
+            in
+            last_tick := Loop.now loop;
+            if Node.would_block pub then begin
+              incr blocked_ticks;
+              refused := !refused +. due
+            end
+            else begin
+              quota := !quota +. due;
+              let n = ref (int_of_float !quota) in
+              quota := !quota -. Float.of_int !n;
+              let admitting = ref true in
+              while !admitting && !n > 0 do
+                if Node.would_block pub then begin
+                  refused := !refused +. float_of_int !n;
+                  admitting := false
+                end
+                else
+                  match Node.try_multicast pub ~ann:(annotation ()) (payload !published) with
+                  | Ok _ ->
+                      incr published;
+                      decr n
+                  | Error _ ->
+                      refused := !refused +. float_of_int !n;
+                      admitting := false
+              done
+            end
+          end);
+         let p = Node.pending_to pub ~dst:victim in
+         if p > !peak_victim then peak_victim := p;
+         true)
+      : Loop.timer);
+  Loop.run
+    ~until:(fun () ->
+      !t_start > 0.0 && Loop.now loop >= !deadline
+      && (accounted_healthy () >= !published || Loop.now loop >= !deadline +. 3.0))
+    ~timeout:(duration +. 30.0) loop;
+  (* The healthy receiver's in-flight tail at the deadline is a few
+     flush intervals' worth; the rate over the publish window is the
+     honest sustained figure. *)
+  let healthy_msgs_per_s = float_of_int (accounted_healthy ()) /. duration in
+  let shed_frames = Node.shed_frames pub in
+  let slow_reports = Node.slow_reports pub in
+  let blocked_fraction =
+    let offered = float_of_int !published +. !refused in
+    if offered <= 0.0 then 0.0 else !refused /. offered
+  in
+  let victim_delivered = delivered.(victim) in
+  Array.iter Node.shutdown nodes;
+  Loop.run ~timeout:0.1 loop;
+  {
+    label;
+    healthy_msgs_per_s;
+    published = !published;
+    peak_victim_pending = !peak_victim;
+    shed_frames;
+    slow_reports;
+    blocked_fraction;
+    victim_delivered;
+  }
+
+let pp_series s =
+  Printf.printf
+    "  %-8s %10.0f healthy msgs/s  peak victim backlog %8d B  shed %6d  reports %2d  \
+     blocked %5.1f%%  (%d published, victim delivered %d)\n\
+     %!"
+    s.label s.healthy_msgs_per_s s.peak_victim_pending s.shed_frames s.slow_reports
+    (100.0 *. s.blocked_fraction)
+    s.published s.victim_delivered
+
+let series_json s =
+  Printf.sprintf
+    "    { \"name\": \"%s\", \"healthy_msgs_per_s\": %.1f, \"peak_victim_pending_bytes\": \
+     %d, \"shed_frames\": %d, \"slow_reports\": %d, \"blocked_fraction\": %.4f, \
+     \"published\": %d, \"victim_delivered\": %d }"
+    s.label s.healthy_msgs_per_s s.peak_victim_pending s.shed_frames s.slow_reports
+    s.blocked_fraction s.published s.victim_delivered
+
+let write_json ~path ~duration ~pause_for ~hard shed_s noshed_s =
+  let oc = open_out path in
+  let shed_under = shed_s.peak_victim_pending < hard in
+  let noshed_over = noshed_s.peak_victim_pending >= hard in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"overload\",\n\
+    \  \"workload\": \"3-node SVS group over loopback TCP; one receiver stops reading for \
+     %.1fs mid-run while the publisher multicasts an obsolescence chain closed-loop \
+     against the healthy receiver\",\n\
+    \  \"duration_s\": %.1f,\n\
+    \  \"hard_watermark_bytes\": %d,\n\
+    \  \"target\": \"with shedding the victim backlog stays under the hard watermark and \
+     the healthy receiver keeps its rate; without shedding the backlog hits the watermark \
+     and the admission-controlled publisher stalls\",\n\
+    \  \"series\": [\n%s,\n%s\n  ],\n\
+    \  \"shed_under_budget\": %b,\n\
+    \  \"noshed_over_budget\": %b,\n\
+    \  \"healthy_rate_ratio\": %.2f\n\
+     }\n"
+    pause_for duration hard
+    (series_json shed_s)
+    (series_json noshed_s)
+    shed_under noshed_over
+    (if noshed_s.healthy_msgs_per_s > 0.0 then
+       shed_s.healthy_msgs_per_s /. noshed_s.healthy_msgs_per_s
+     else 0.0);
+  close_out oc
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let () =
+  let smoke = ref false in
+  let duration = ref 8.0 in
+  let json = ref None in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--duration" :: v :: rest ->
+        duration := float_of_string v;
+        parse rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl args);
+  if !smoke then duration := Float.min !duration 3.0;
+  (* The victim spends well over half the measured window wedged. *)
+  let pause_for = if !smoke then 1.5 else 5.0 in
+  (* 25k msgs/s of ~1 KiB = ~25 MB/s offered: well under the healthy
+     receiver's loopback capacity, far over what the victim's kernel
+     buffers can absorb across the pause. *)
+  let rate = 25_000 in
+  let data_root = Filename.temp_file "svs-bench-overload" "" in
+  Sys.remove data_root;
+  Unix.mkdir data_root 0o755;
+  Fun.protect
+    ~finally:(fun () -> rm_rf data_root)
+    (fun () ->
+      Printf.printf
+        "overload: %d nodes, %.1fs per series, victim read-pause %.1fs, offered %d msgs/s%s\n%!"
+        n_nodes !duration pause_for rate
+        (if !smoke then " (smoke)" else "");
+      let shed_s =
+        run_series ~shed:true ~duration:!duration ~pause_for ~rate ~data_root
+      in
+      pp_series shed_s;
+      let noshed_s =
+        run_series ~shed:false ~duration:!duration ~pause_for ~rate ~data_root
+      in
+      pp_series noshed_s;
+      let hard = (bench_backpressure ~shed:true).Tcp_mesh.hard in
+      Printf.printf
+        "  shed under hard watermark (%d B): %b   no-shed reached it: %b   healthy-rate \
+         ratio: %.2fx\n\
+         %!"
+        hard
+        (shed_s.peak_victim_pending < hard)
+        (noshed_s.peak_victim_pending >= hard)
+        (if noshed_s.healthy_msgs_per_s > 0.0 then
+           shed_s.healthy_msgs_per_s /. noshed_s.healthy_msgs_per_s
+         else 0.0);
+      match !json with
+      | None -> ()
+      | Some path ->
+          write_json ~path ~duration:!duration ~pause_for ~hard shed_s noshed_s;
+          Printf.printf "  wrote %s\n%!" path)

@@ -132,6 +132,17 @@ let no_recovery_term =
            run that actually restarted someone — the inverted self-check proving the \
            recovery path is what keeps Integrity true.")
 
+let no_shed_term =
+  Arg.(
+    value & flag
+    & info [ "no-shed" ]
+        ~doc:
+          "Disable semantic shedding everywhere. Scenarios with a backlog budget (e.g. \
+           $(b,overload)) must then EXCEED it — the wedged consumer's queue grows without \
+           the obsolete tail being purged — while every run still satisfies the safety \
+           oracle: the inverted self-check proving the budget verdict measures shedding, \
+           not a gentle workload.")
+
 let hostile_term =
   Arg.(
     value & flag
@@ -214,13 +225,17 @@ let print_json ~mutate ~recover ~exit_code outcomes =
     Printf.sprintf
       "{\"scenario\":\"%s\",\"mode\":\"%s\",\"seed\":%d,\"ok\":%b,\"violations\":%d,\
        \"deliveries\":%d,\"installs\":%d,\"faults\":%d,\"restarts\":%d,\"parked\":%d,\
-       \"sent\":%d,\"purged\":%d}"
+       \"sent\":%d,\"purged\":%d,\"shed\":%d,\"peak_backlog\":%d,\"over_budget\":%s}"
       (json_escape r.C.Oracle.scenario)
       (C.Oracle.mode_label r.C.Oracle.mode)
       r.C.Oracle.seed (C.Oracle.ok r)
       (List.length r.C.Oracle.violations)
       r.C.Oracle.deliveries r.C.Oracle.installs o.C.Runner.faults o.C.Runner.restarts
-      o.C.Runner.parked o.C.Runner.sent o.C.Runner.purged
+      o.C.Runner.parked o.C.Runner.sent o.C.Runner.purged o.C.Runner.shed
+      o.C.Runner.peak_backlog
+      (match o.C.Runner.over_budget with
+      | None -> "null"
+      | Some b -> string_of_bool b)
   in
   let failed = List.length (C.Runner.failures outcomes) in
   Printf.printf
@@ -302,8 +317,8 @@ let run_hostile ~no_quarantine ~no_salvage ~no_heal =
   end
 
 let run scenarios modes seeds seed_base nodes horizon settle trace flight_dir mutate
-    mutate_split_brain no_merge no_recovery hostile no_quarantine no_salvage no_heal json
-    verbose plan =
+    mutate_split_brain no_merge no_recovery no_shed hostile no_quarantine no_salvage
+    no_heal json verbose plan =
   match plan with
   | Some scenario ->
       print_plan scenario ~seed:seed_base ~nodes ~horizon;
@@ -319,6 +334,7 @@ let run scenarios modes seeds seed_base nodes horizon settle trace flight_dir mu
           settle;
           recover = not no_recovery;
           merge = not no_merge;
+          shed = not no_shed;
         }
       in
       let seed_list = List.init seeds (fun i -> seed_base + i) in
@@ -348,9 +364,12 @@ let run scenarios modes seeds seed_base nodes horizon settle trace flight_dir mu
                         exit 2
                     in
                     if verbose && not json then
-                      Format.fprintf ppf "%a  (faults=%d restarts=%d sent=%d purged=%d)@."
+                      Format.fprintf ppf
+                        "%a  (faults=%d restarts=%d sent=%d purged=%d shed=%d \
+                         peak_backlog=%d)@."
                         C.Oracle.pp_report o.C.Runner.report o.C.Runner.faults
-                        o.C.Runner.restarts o.C.Runner.sent o.C.Runner.purged;
+                        o.C.Runner.restarts o.C.Runner.sent o.C.Runner.purged
+                        o.C.Runner.shed o.C.Runner.peak_backlog;
                     o)
                   seed_list)
               modes)
@@ -435,13 +454,61 @@ let run scenarios modes seeds seed_base nodes horizon settle trace flight_dir mu
             1
           end
         end
-        else if failed = [] then begin
-          say "all %d runs satisfied the SVS safety contracts@." (List.length outcomes);
-          0
+        else if no_shed then begin
+          (* Inverted acceptance: with shedding disabled, every
+             budgeted run must blow its backlog budget (proving the
+             budget verdict measures shedding) while the safety oracle
+             still passes everywhere — shedding off is just plain
+             VS/SVS. *)
+          let budgeted =
+            List.filter (fun o -> o.C.Runner.over_budget <> None) outcomes
+          in
+          let under =
+            List.filter (fun o -> o.C.Runner.over_budget = Some false) budgeted
+          in
+          if budgeted = [] then begin
+            say "NO-SHED SELF-TEST FAILED: no run carried a backlog budget@.";
+            1
+          end
+          else if under = [] && failed = [] then begin
+            say
+              "no-shed self-test passed: all %d budgeted runs exceeded their backlog \
+               budget, safety intact@."
+              (List.length budgeted);
+            0
+          end
+          else begin
+            say
+              "NO-SHED SELF-TEST FAILED: %d budgeted run(s) stayed under budget without \
+               shedding, %d run(s) violated safety@."
+              (List.length under) (List.length failed);
+            say "%a" (fun ppf () -> C.Runner.pp_failures ppf outcomes) ();
+            1
+          end
         end
         else begin
-          say "%a" (fun ppf () -> C.Runner.pp_failures ppf outcomes) ();
-          1
+          (* Budget verdicts count: a run whose backlog blew its
+             scenario budget fails the sweep even if safety held. *)
+          let blown =
+            List.filter (fun o -> o.C.Runner.over_budget = Some true) outcomes
+          in
+          if failed = [] && blown = [] then begin
+            say "all %d runs satisfied the SVS safety contracts@." (List.length outcomes);
+            0
+          end
+          else begin
+            List.iter
+              (fun (o : C.Runner.outcome) ->
+                let r = o.C.Runner.report in
+                say
+                  "OVER BUDGET: scenario=%s mode=%s seed=%d peak_backlog=%d shed=%d@."
+                  r.C.Oracle.scenario
+                  (C.Oracle.mode_label r.C.Oracle.mode)
+                  r.C.Oracle.seed o.C.Runner.peak_backlog o.C.Runner.shed)
+              blown;
+            say "%a" (fun ppf () -> C.Runner.pp_failures ppf outcomes) ();
+            1
+          end
         end
       in
       if json then
@@ -455,8 +522,8 @@ let main =
     Term.(
       const run $ scenarios_term $ modes_term $ seeds_term $ seed_base_term $ nodes_term
       $ horizon_term $ settle_term $ trace_term $ flight_term $ mutate_term
-      $ mutate_split_brain_term $ no_merge_term $ no_recovery_term $ hostile_term
-      $ no_quarantine_term $ no_salvage_term $ no_heal_term $ json_term $ verbose_term
-      $ plan_term)
+      $ mutate_split_brain_term $ no_merge_term $ no_recovery_term $ no_shed_term
+      $ hostile_term $ no_quarantine_term $ no_salvage_term $ no_heal_term $ json_term
+      $ verbose_term $ plan_term)
 
 let () = exit (Cmd.eval' main)

@@ -73,6 +73,13 @@ let presets =
         max_depth = 60;
       } );
     ("vs", { Model.default with mode = Oracle.Vs; chain = false });
+    ( "shed",
+      (* Semantic shedding at its most aggressive (threshold 1): every
+         held link purges its covered tail the moment a newer covering
+         multicast is appended, across every interleaving of sends,
+         deliveries and the crash — the exhaustive version of the chaos
+         overload scenario's safety claim. *)
+      { Model.default with multicasts = 3; crashes = 1; shed = Some 1; max_depth = 80 } );
   ]
 
 let preset_conv =
@@ -132,6 +139,13 @@ let no_chain_t =
        & info [ "no-chain" ]
            ~doc:"Multicasts unrelated even in svs mode (no obsolescence chain).")
 
+let shed_t =
+  Arg.(value & opt (some int) None
+       & info [ "shed" ] ~docv:"N"
+           ~doc:"Semantic shedding threshold for held links (default: off). A link \
+                 holding at least N sheddable frames purges its covered tail when a \
+                 newer covering multicast is appended.")
+
 let depth_t =
   Arg.(value & opt int Model.default.Model.max_depth
        & info [ "depth" ] ~docv:"N" ~doc:"Maximum trace length before cutoff.")
@@ -161,7 +175,7 @@ let mutate_t =
 let preset_t =
   Arg.(value & opt preset_conv None
        & info [ "preset" ] ~docv:"NAME"
-           ~doc:"Named configuration (smoke|restart|partition|vs); explicit bound \
+           ~doc:"Named configuration (smoke|restart|partition|vs|shed); explicit bound \
                  flags are ignored when set.")
 
 let trace_out_t =
@@ -195,13 +209,15 @@ let print_json ~outcome_label ~exit_code ~reduce ~mutation cfg
   Printf.bprintf b
     "\"config\": {\"nodes\": %d, \"multicasts\": %d, \"crashes\": %d, \
      \"restarts\": %d, \"probes\": %d, \"partitions\": %d, \"heals\": %b, \
-     \"mode\": %S, \"chain\": %b, \"depth\": %d}, "
+     \"mode\": %S, \"chain\": %b, \"shed\": %s, \"depth\": %d}, "
     cfg.Model.nodes cfg.Model.multicasts cfg.Model.crashes cfg.Model.restarts
     cfg.Model.probes
     (List.length cfg.Model.partitions)
     cfg.Model.heals
     (Oracle.mode_label cfg.Model.mode)
-    cfg.Model.chain cfg.Model.max_depth;
+    cfg.Model.chain
+    (match cfg.Model.shed with Some l -> string_of_int l | None -> "null")
+    cfg.Model.max_depth;
   Printf.bprintf b "\"reduce\": %b, " reduce;
   Printf.bprintf b "\"mutation\": %S, "
     (match mutation with Some m -> Explorer.mutation_label m | None -> "none");
@@ -259,7 +275,7 @@ let run_replay file json =
 
 (* Explore mode *)
 
-let run nodes multicasts crashes restarts probes partitions heal mode no_chain
+let run nodes multicasts crashes restarts probes partitions heal mode no_chain shed
     depth max_states no_reduce no_dedup mutate preset trace_out replay json
     progress =
   match replay with
@@ -279,6 +295,7 @@ let run nodes multicasts crashes restarts probes partitions heal mode no_chain
               heals = heal;
               mode;
               chain = not no_chain;
+              shed;
               max_depth = depth;
             }
       in
@@ -293,13 +310,16 @@ let run nodes multicasts crashes restarts probes partitions heal mode no_chain
         else None
       in
       say "exploring: %d nodes, %d multicasts, %d crashes, %d restarts, %d \
-           probes, %d cuttable links%s, mode %s%s, depth %d%s%s%s@."
+           probes, %d cuttable links%s, mode %s%s%s, depth %d%s%s%s@."
         cfg.Model.nodes cfg.Model.multicasts cfg.Model.crashes cfg.Model.restarts
         cfg.Model.probes
         (List.length cfg.Model.partitions)
         (if cfg.Model.heals then " (healable)" else "")
         (Oracle.mode_label cfg.Model.mode)
         (if cfg.Model.chain then "" else " (no chain)")
+        (match cfg.Model.shed with
+        | Some l -> Printf.sprintf ", shed>=%d" l
+        | None -> "")
         cfg.Model.max_depth
         (if reduce then "" else ", reduction OFF")
         (if dedup then "" else ", dedup OFF")
@@ -376,7 +396,7 @@ let main =
   Cmd.v info
     Term.(
       const run $ nodes_t $ multicasts_t $ crashes_t $ restarts_t $ probes_t
-      $ partitions_t $ heal_t $ mode_t $ no_chain_t $ depth_t $ max_states_t
+      $ partitions_t $ heal_t $ mode_t $ no_chain_t $ shed_t $ depth_t $ max_states_t
       $ no_reduce_t $ no_dedup_t $ mutate_t $ preset_t $ trace_out_t $ replay_t $ json_t
       $ progress_t)
 

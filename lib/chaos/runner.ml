@@ -16,6 +16,10 @@ type config = {
   reconfigure : float option;
   recover : bool;
   merge : bool;
+  shed : bool;
+      (* Honor the scenario's shed_limit (default). false runs the
+         same plans with shedding disabled — the inverted --no-shed
+         self-check, which must blow the overload budget. *)
 }
 
 let default_config =
@@ -29,6 +33,7 @@ let default_config =
     reconfigure = Some 0.45;
     recover = true;
     merge = true;
+    shed = true;
   }
 
 type outcome = {
@@ -38,6 +43,11 @@ type outcome = {
   parked : int;
   sent : int;
   purged : int;
+  shed : int;
+  peak_backlog : int;
+  over_budget : bool option;
+      (* Some true: the sampled peak paused backlog exceeded the
+         scenario's budget; None when the scenario sets no budget. *)
   events : int;
   flight : Trace.record list;
 }
@@ -58,6 +68,7 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
       tracer;
       park_timeout = scenario.Scenario.park_timeout;
       merge = config.merge;
+      shed = (if config.shed then scenario.Scenario.shed_limit else None);
       (* Park semantics only exist under partition-sensitive consensus:
          the centralised arbiter decides out-of-band, so a split
          minority would learn the majority's decision and exclude
@@ -136,6 +147,19 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
       ignore
         (Engine.schedule_at engine ~time:(frac *. config.horizon) attempt : Engine.handle))
     config.reconfigure;
+  (* Peak paused-inbox data backlog, sampled between sends: the
+     quantity the overload budget bounds (and --no-shed must blow). *)
+  let peak_backlog = ref 0 in
+  ignore
+    (Engine.every engine ~start:(config.send_period /. 2.0) ~period:(config.send_period /. 2.0)
+       (fun () ->
+         List.iter
+           (fun p ->
+             let b = Group.backlog cluster p in
+             if b > !peak_backlog then peak_backlog := b)
+           members;
+         Engine.now engine < drain_until)
+      : Engine.handle);
   let injection =
     Injector.inject ~recover:config.recover cluster ~scenario ~horizon:config.horizon
   in
@@ -159,6 +183,17 @@ let run_one ?mutation ?(tracer = Trace.nop) ?(config = default_config) ~mode ~sc
     parked = Group.parked_events cluster;
     sent = !sent;
     purged = List.fold_left (fun acc m -> acc + Group.purged m) 0 (Group.members cluster);
+    shed = Group.shed_total cluster;
+    peak_backlog = !peak_backlog;
+    over_budget =
+      (* The budget bounds what shedding can keep bounded, and shedding
+         needs semantic information: VS-mode runs send [Unrelated]
+         annotations (nothing is sheddable), so no bound is claimable
+         there and the verdict only applies to SVS-mode runs. *)
+      (match mode with
+      | Oracle.Vs -> None
+      | Oracle.Svs ->
+          Option.map (fun budget -> !peak_backlog > budget) scenario.Scenario.backlog_budget);
     events = Engine.events_executed engine;
     flight = (if Oracle.ok report then [] else Trace.records flight_ring);
   }
@@ -191,7 +226,7 @@ let pp_table ppf outcomes =
   let header =
     [
       "scenario"; "mode"; "seeds"; "pass"; "fail"; "faults"; "parked"; "sent"; "delivered";
-      "purged";
+      "purged"; "shed";
     ]
   in
   let rows =
@@ -212,6 +247,7 @@ let pp_table ppf outcomes =
           string_of_int (sum (fun o -> o.sent));
           string_of_int (sum (fun o -> o.report.Oracle.deliveries));
           string_of_int (sum (fun o -> o.purged));
+          string_of_int (sum (fun o -> o.shed));
         ])
       !order
   in

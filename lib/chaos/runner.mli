@@ -32,6 +32,11 @@ type config = {
           members parked forever — the no-merge self-check: every
           scenario that expects re-convergence must then fail with
           [Not_converged]. *)
+  shed : bool;
+      (** Whether to honor the scenario's [shed_limit] (default). With
+          [false] the same plans run with semantic shedding disabled —
+          the inverted [--no-shed] self-check: overload scenarios with
+          a [backlog_budget] must then exceed it. *)
 }
 
 val default_config : config
@@ -46,6 +51,15 @@ type outcome = {
   parked : int;  (** Quorum-loss park transitions during the run. *)
   sent : int;  (** Messages multicast by the workload. *)
   purged : int;  (** Deliveries saved by obsolescence (sum over nodes). *)
+  shed : int;
+      (** Queued-but-undelivered data messages the network shed as
+          semantically obsolete (whole cluster). *)
+  peak_backlog : int;
+      (** Largest paused-inbox data backlog observed at any single
+          node, sampled at half the send period. *)
+  over_budget : bool option;
+      (** [Some true] when [peak_backlog] exceeded the scenario's
+          [backlog_budget]; [None] when the scenario sets no budget. *)
   events : int;  (** Engine events executed. *)
   flight : Svs_telemetry.Trace.record list;
       (** Flight recorder: the run's last protocol events (up to 2048,

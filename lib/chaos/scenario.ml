@@ -23,6 +23,13 @@ type t = {
   heal_at_settle : bool;
   park_timeout : float option;
   expect_reconverge : bool;
+  shed_limit : int option;
+      (* Network-level semantic shedding for this scenario's runs (the
+         Group config [shed] value); None leaves queues unbounded. *)
+  backlog_budget : int option;
+      (* Overload acceptance: the peak paused-inbox data backlog (any
+         node) a run is allowed with shedding on — and must EXCEED
+         with shedding off, the inverted --no-shed self-check. *)
 }
 
 let action_kind = function
@@ -66,9 +73,18 @@ let victims rng ~n ~k =
   Rng.shuffle rng pool;
   Array.to_list (Array.sub pool 0 (min k (Array.length pool)))
 
-let scenario ?(heal_at_settle = true) ?park_timeout ?(expect_reconverge = false) name doc
-    plan =
-  { name; doc; plan; heal_at_settle; park_timeout; expect_reconverge }
+let scenario ?(heal_at_settle = true) ?park_timeout ?(expect_reconverge = false)
+    ?shed_limit ?backlog_budget name doc plan =
+  {
+    name;
+    doc;
+    plan;
+    heal_at_settle;
+    park_timeout;
+    expect_reconverge;
+    shed_limit;
+    backlog_budget;
+  }
 
 let calm =
   scenario "calm" "no faults (baseline)" (fun ~rng:_ ~n:_ ~horizon:_ -> [])
@@ -285,6 +301,31 @@ let flapping_split =
     "repeated split/heal cycles with fresh random sets, converged at the end"
     flapping_split_plan
 
+(* Overload: one victim stops reading early and stays wedged for most
+   of the run while every member keeps publishing — the slow-consumer
+   survival test. With shedding on ([shed_limit]), the victim's
+   backlog must stay under [backlog_budget] (newer annotated messages
+   purge the obsolete tail of the queue) while the healthy members
+   keep delivering; with shedding off (--no-shed) the same plan must
+   blow through the budget — the inverted self-check proving the
+   budget verdict measures shedding, not a gentle workload. The pause
+   window is only lightly jittered so the offered load, and hence the
+   budget, is comparable across seeds. *)
+let overload_plan ~rng ~n ~horizon =
+  if n < 2 then []
+  else begin
+    let v = List.hd (victims rng ~n ~k:1) in
+    let start = Rng.uniform rng ~lo:(0.08 *. horizon) ~hi:(0.12 *. horizon) in
+    let stop = Float.min (0.85 *. horizon) (start +. (0.6 *. horizon)) in
+    by_time [ { at = start; action = Pause v }; { at = stop; action = Resume v } ]
+  end
+
+let overload =
+  scenario ~shed_limit:32 ~backlog_budget:250 "overload"
+    "one member stops reading for most of the run under full load; shedding must keep \
+     its backlog bounded"
+    overload_plan
+
 let spike_models =
   [|
     Latency.Uniform { lo = 0.02; hi = 0.08 };
@@ -313,6 +354,19 @@ let latency_spikes_plan ~rng ~n:_ ~horizon =
 
 let latency_spikes =
   scenario "latency-spikes" "windows of much slower network, then restored" latency_spikes_plan
+
+(* The same wedged consumer with everything else still going wrong
+   around it: shedding has to stay safe (the oracle checks every run)
+   while partitions and latency spikes reorder the pressure. No budget
+   — the point is safety under composition, not the bound. *)
+let overload_mayhem_plan ~rng ~n ~horizon =
+  let sub plan = plan ~rng:(Rng.split rng) ~n ~horizon in
+  by_time (List.concat [ sub overload_plan; sub partition_heal_plan; sub latency_spikes_plan ])
+
+let overload_mayhem =
+  scenario ~shed_limit:32 "overload-mayhem"
+    "the wedged consumer composed with partitions and latency spikes, shedding on"
+    overload_mayhem_plan
 
 (* Everything at once, each sub-plan on its own split stream. Crashes
    and churn share one removal budget of n-2 victims so the anchor
@@ -352,6 +406,8 @@ let all =
     split_heal_merge;
     flapping_split;
     latency_spikes;
+    overload;
+    overload_mayhem;
     mayhem;
   ]
 

@@ -74,6 +74,17 @@ type t = {
           alive at the end of the run ends it in the final primary
           view ({!Svs_core.Checker.check_converged}) — the
           liveness-after-heal contract of the merge path. *)
+  shed_limit : int option;
+      (** Network-level semantic shedding for this scenario's runs:
+          handed to {!Svs_core.Group}'s config as [shed] (unless the
+          runner disables shedding). [None] (the default) leaves
+          backlogged queues unbounded. *)
+  backlog_budget : int option;
+      (** Overload acceptance bound: the peak paused-inbox data
+          backlog (over all nodes, sampled by the runner) a run may
+          reach with shedding on — and must {e exceed} with shedding
+          off, which is the inverted [--no-shed] self-check. [None]:
+          no budget verdict. *)
 }
 
 val action_kind : action -> string
@@ -135,6 +146,19 @@ val flapping_split : t
 val latency_spikes : t
 (** Repeated windows in which the base latency is replaced by a much
     slower distribution, then restored. *)
+
+val overload : t
+(** One member stops reading early and stays wedged for ~60% of the
+    run while every member keeps publishing. Runs with semantic
+    shedding on ([shed_limit]) and a [backlog_budget] the victim's
+    data backlog must stay under — and must blow through when the
+    runner disables shedding ([--no-shed]), proving the verdict
+    measures shedding. *)
+
+val overload_mayhem : t
+(** The wedged consumer composed with link partitions and latency
+    spikes, shedding on but no budget: safety (the oracle's contracts)
+    under composition is the point, not the bound. *)
 
 val mayhem : t
 (** The union of all of the above drawn from one stream: crashes,

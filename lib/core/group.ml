@@ -47,6 +47,12 @@ type config = {
   park_timeout : float option;
   merge : bool;
   divergence : divergence option;
+  shed : int option;
+      (* Semantic shedding of backlogged network queues (paused
+         inboxes, held links) once they exceed this many data
+         messages, under the prefix-safe suffix rule; None disables
+         (the queues grow without bound, the pre-flow-control
+         behaviour). *)
   tracer : Trace.t;
   metrics : Metrics.t option;
 }
@@ -63,6 +69,7 @@ let default_config =
     park_timeout = None;
     merge = true;
     divergence = None;
+    shed = None;
     tracer = Trace.nop;
     metrics = None;
   }
@@ -292,15 +299,19 @@ let on_packet m ~src packet =
     | Beat -> ( match m.hb with Some hb -> Heartbeat.on_heartbeat hb ~src | None -> ())
     | Digest { view_id; digest } -> Hashtbl.replace m.peer_digests src (view_id, digest)
     | Proto (Wdata d) ->
-        (* Note: the held-back backlog is deliberately NOT purged (and
-           hence not covered by the protocol's purge indexes). A
-           message purged here could lose its cover before either is
-           accepted (the cover may be dropped as stale at the next view
-           installation without ever entering any member's PRED set),
-           violating FIFO semantic reliability. Purging is only safe in
-           the accepted sets — the delivery queue, where Purge_index
-           tracks every queued message, and the agreed pred — where
-           every cover is itself accounted for. *)
+        (* Note: this held-back backlog is NOT purged by the protocol's
+           purge indexes. Purging an {e arbitrary} queued message here
+           could lose its cover before either is accepted (the cover
+           may be dropped as stale at the next view installation
+           without ever entering any member's PRED set), violating
+           FIFO semantic reliability. The network-level shedding
+           ([config.shed]) is sound precisely because it refuses that
+           generality: it removes only a contiguous newest-end run
+           whose every victim is covered by a retained (or co-shed)
+           newer message on the same stream, so any prefix the member
+           can observe still ends in a cover. Anywhere-in-queue purging
+           remains safe only in the accepted sets — the delivery queue
+           (Purge_index) and the agreed pred. *)
         Queue.add (src, d) m.inbox;
         pump m
     | Proto wire ->
@@ -379,6 +390,10 @@ let request_join m ~contact =
   end
 
 let bytes_sent c = Network.bytes_sent c.net
+
+let shed_total c = Network.shed_count c.net
+
+let backlog c p = Network.inbox_data_length c.net ~node:p
 
 let partition c a b = Network.disconnect c.net a b
 
@@ -592,6 +607,42 @@ let create_cluster eng ~members:member_ids ?(latency = Latency.Zero) ?bandwidth
   | Some reg ->
       Engine.attach_metrics eng reg;
       Network.attach_metrics net reg);
+  (* Semantic shedding of backlogged queues: only annotated DATA
+     packets are candidates, covers must come from the same view, and
+     the network applies the prefix-safe suffix rule per FIFO stream
+     (see Network.shed_policy). Wdata frames travel sender → receiver
+     directly, so the victim's sender is the shedding node. *)
+  (match config.shed with
+  | None -> ()
+  | Some shed_limit ->
+      Network.set_shed_policy net
+        {
+          Network.shed_limit;
+          sheddable =
+            (function
+            | Proto (Wdata d) -> d.ann <> Types.Annotation.Unrelated
+            | Proto _ | Cons _ | Beat | Digest _ -> false);
+          obsoletes =
+            (fun ~older ~newer ->
+              match (older, newer) with
+              | Proto (Wdata o), Proto (Wdata n) ->
+                  o.view_id = n.view_id && obsoletes o n
+              | _ -> false);
+          on_shed =
+            (fun ~dst packet ->
+              match packet with
+              | Proto (Wdata d) ->
+                  if Trace.enabled config.tracer then
+                    Trace.emit config.tracer
+                      (Trace.Shed
+                         {
+                           node = d.id.Msg_id.sender;
+                           peer = dst;
+                           sender = d.id.Msg_id.sender;
+                           sn = d.id.Msg_id.sn;
+                         })
+              | _ -> ());
+        });
   let initial_view = View.initial ~members:ids in
   let oracle =
     match config.detector with

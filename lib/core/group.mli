@@ -93,6 +93,17 @@ type config = {
           corrupt one, traced as [Divergence] and counted in
           {!divergence_events}. Default [None]. (Periodic gossip:
           run the engine with a horizon.) *)
+  shed : int option;
+      (** Semantic shedding of backlogged network queues (a paused
+          member's inbox, a partitioned or manual-mode link): once a
+          queue holds this many data messages, each newly queued
+          annotated message sheds the contiguous newest-end run of
+          same-stream, same-view messages it (transitively) obsoletes
+          — the prefix-safe suffix rule (see
+          {!Svs_net.Network.shed_policy}), the simulated counterpart
+          of the runtime transport's flow control. Victims are traced
+          as [Shed] and counted in {!shed_total}. Default [None]: no
+          shedding, queues grow without bound. *)
   tracer : Svs_telemetry.Trace.t;
       (** Receives every member's trace events, stamped with virtual
           time (the cluster re-points the tracer's clock at the
@@ -139,6 +150,15 @@ val metrics : 'p cluster -> Svs_telemetry.Metrics.t option
 
 val bytes_sent : 'p cluster -> int
 (** Total wire bytes (0 unless a payload codec was supplied). *)
+
+val shed_total : 'p cluster -> int
+(** Messages semantically shed from backlogged network queues so far
+    (0 unless [config.shed] is set). *)
+
+val backlog : 'p cluster -> int -> int
+(** Data messages queued at a member's paused receive side (sheddable
+    entries only when [config.shed] is set — control traffic is
+    excluded so overload budgets measure what shedding can touch). *)
 
 val crash : 'p cluster -> int -> unit
 (** Crash-stop a member: silenced on the network, marked at the oracle

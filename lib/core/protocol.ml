@@ -320,7 +320,13 @@ let send_to_others t wire =
   List.iter (fun dst -> if dst <> t.me then emit t (Send { dst; wire })) t.cv.View.members
 
 (* t7: once every unsuspected member's PRED arrived and they form a
-   majority, propose ((pred-received \ leave) U join, global-pred). *)
+   majority, propose ((pred-received \ leave) U join, global-pred).
+   Members in the leave set are not awaited even when not locally
+   suspected: the initiator is excluding them (crash suspicion or the
+   slow-member escalation), and an alive-but-unresponsive laggard
+   would otherwise stall the change at every member whose own link to
+   it is healthy — its detector keeps seeing heartbeats, so it never
+   suspects, never collects the laggard's PRED, and never proposes. *)
 let try_propose t =
   match t.vc with
   | None -> ()
@@ -328,7 +334,9 @@ let try_propose t =
       let have p = List.mem p vc.pred_received in
       let ready =
         vc.pred_sent && (not vc.proposed)
-        && List.for_all (fun p -> t.suspects p || have p) t.cv.View.members
+        && List.for_all
+             (fun p -> t.suspects p || List.mem p vc.leave || have p)
+             t.cv.View.members
         && List.length vc.pred_received >= View.majority t.cv
       in
       if ready then begin

@@ -267,11 +267,13 @@ let config_line cfg mutation =
   in
   Printf.sprintf
     "config nodes=%d multicasts=%d crashes=%d restarts=%d probes=%d \
-     partitions=%s heals=%b mode=%s chain=%b depth=%d mutation=%s"
+     partitions=%s heals=%b mode=%s chain=%b shed=%s depth=%d mutation=%s"
     cfg.Model.nodes cfg.Model.multicasts cfg.Model.crashes cfg.Model.restarts
     cfg.Model.probes partitions cfg.Model.heals
     (Oracle.mode_label cfg.Model.mode)
-    cfg.Model.chain cfg.Model.max_depth
+    cfg.Model.chain
+    (match cfg.Model.shed with Some l -> string_of_int l | None -> "none")
+    cfg.Model.max_depth
     (match mutation with Some m -> mutation_label m | None -> "none")
 
 let write_trace oc cfg ?mutation trace =
@@ -344,6 +346,10 @@ let parse_config_line line =
               heals = bool "heals" d.Model.heals;
               mode;
               chain = bool "chain" d.Model.chain;
+              shed =
+                (match Hashtbl.find_opt tbl "shed" with
+                | None | Some "none" -> d.Model.shed
+                | Some v -> Some (int_of_string v));
               max_depth = int "depth" d.Model.max_depth;
             },
             mutation )

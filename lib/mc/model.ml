@@ -23,6 +23,13 @@ type config = {
       (** In [Svs] mode, each multicast obsoletes the sender's previous
           one (k-enumeration, direct distance 1) — the relation that
           makes SVS cover equivalence distinguishable from plain VS. *)
+  shed : int option;
+      (** Semantic shedding threshold handed to the group's network
+          config: a manual-mode link holding at least this many
+          sheddable frames purges the covered tail when a newer
+          covering multicast is appended. The explorer then checks
+          that shedding is safe under {e every} interleaving of
+          sends, deliveries and faults. [None]: shedding off. *)
   max_depth : int;
 }
 
@@ -37,6 +44,7 @@ let default =
     heals = false;
     mode = Oracle.Svs;
     chain = true;
+    shed = None;
     max_depth = 80;
   }
 
@@ -105,6 +113,7 @@ let make cfg =
     {
       Group.default_config with
       semantic = (cfg.mode = Oracle.Svs);
+      shed = cfg.shed;
       merge = false (* parking/merge is periodic machinery; MC drives rejoins explicitly *);
     }
   in

@@ -22,6 +22,10 @@ type config = {
   chain : bool;
       (** In [Svs] mode, each multicast obsoletes the sender's previous
           one (k-enumeration, direct distance 1). *)
+  shed : int option;
+      (** Semantic shedding threshold for the manual network's held
+          links ([None]: off). With shedding on, the explorer proves
+          the prefix-safe shed rule holds under every interleaving. *)
   max_depth : int;
 }
 

@@ -24,6 +24,28 @@ type 'msg node = {
   inbox : (int * 'msg) Queue.t;
 }
 
+(* Semantic shedding for backlogged queues (a paused receiver's inbox,
+   a partitioned or manual-mode link), under the same prefix-safe
+   suffix rule as the runtime transport (see [Svs_obs.Shed]): a queued
+   message may be dropped only when a newer message {e on the same
+   FIFO stream} obsoletes it, directly or through messages themselves
+   shed, and only from the contiguous newest-end run — so every
+   prefix a receiver can observe still carries a cover for anything
+   shed. The policy is injected as closures because this module knows
+   nothing of the protocol's message type. *)
+type 'msg shed_policy = {
+  shed_limit : int;
+      (* Walk only once a queue holds at least this many sheddable
+         entries — small backlogs are not worth touching. *)
+  sheddable : 'msg -> bool;
+  obsoletes : older:'msg -> newer:'msg -> bool;
+  on_shed : dst:int -> 'msg -> unit;
+}
+
+let shed_max_walk = 128
+
+let shed_max_cover = 32
+
 type 'msg t = {
   engine : Engine.t;
   mutable latency : Latency.t;
@@ -40,6 +62,8 @@ type 'msg t = {
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
+  mutable shed : int;
+  mutable shed_policy : 'msg shed_policy option;
   mutable probe : probe option;
 }
 
@@ -62,8 +86,58 @@ let create engine ~nodes ?(latency = Latency.Zero) ?(bandwidth = infinity) ?size
     sent = 0;
     delivered = 0;
     bytes = 0;
+    shed = 0;
+    shed_policy = None;
     probe = None;
   }
+
+let set_shed_policy t p = t.shed_policy <- Some p
+
+let shed_count t = t.shed
+
+(* The suffix walk over one queue, generic in the entry shape.
+   [entries] is the queue newest-first (excluding [fresh], the message
+   about to be appended); [same_stream] selects the FIFO stream
+   [fresh] extends (entries of other streams are skipped — their own
+   order is untouched); returns the victims. A same-stream entry that
+   is unsheddable or uncovered stops the walk: only the contiguous
+   covered run at the newest end may go, which is what makes every
+   observable prefix carry a cover. *)
+let shed_walk p ~same_stream ~msg_of entries fresh =
+  let rec go steps n_cover cover acc = function
+    | [] -> acc
+    | e :: rest ->
+        if steps >= shed_max_walk then acc
+        else if not (same_stream e) then go (steps + 1) n_cover cover acc rest
+        else
+          let m = msg_of e in
+          if not (p.sheddable m) then acc
+          else if List.exists (fun c -> p.obsoletes ~older:m ~newer:c) cover then
+            let cover, n_cover =
+              if n_cover < shed_max_cover then (m :: cover, n_cover + 1) else (cover, n_cover)
+            in
+            go (steps + 1) n_cover cover (e :: acc) rest
+          else acc
+  in
+  go 0 1 [ fresh ] [] entries
+
+(* Apply the walk to [q] before appending a fresh sheddable message:
+   victims are removed in place (queue rebuild — sim scale, not a hot
+   path) and reported oldest-first. *)
+let shed_queue t p ~dst ~same_stream ~msg_of q fresh =
+  let backlog = Queue.fold (fun n e -> if p.sheddable (msg_of e) then n + 1 else n) 0 q in
+  if backlog >= p.shed_limit then begin
+    let newest_first = List.rev (List.of_seq (Queue.to_seq q)) in
+    match shed_walk p ~same_stream ~msg_of newest_first fresh with
+    | [] -> ()
+    | victims ->
+        let keep = Queue.create () in
+        Queue.iter (fun e -> if not (List.memq e victims) then Queue.add e keep) q;
+        Queue.clear q;
+        Queue.transfer keep q;
+        t.shed <- t.shed + List.length victims;
+        List.iter (fun e -> p.on_shed ~dst (msg_of e)) victims
+  end
 
 let engine t = t.engine
 
@@ -97,7 +171,16 @@ let set_handler t ~node f =
 let handle t ~dst ~src msg =
   let n = t.nodes.(dst) in
   if n.alive then
-    if n.paused then Queue.add (src, msg) n.inbox
+    if n.paused then begin
+      (* A paused receiver's backlog: the fresh arrival may obsolete
+         queued arrivals from the same sender (the per-sender
+         subsequence of the inbox is that sender's FIFO stream). *)
+      (match t.shed_policy with
+      | Some p when p.sheddable msg ->
+          shed_queue t p ~dst ~same_stream:(fun (s, _) -> s = src) ~msg_of:snd n.inbox msg
+      | Some _ | None -> ());
+      Queue.add (src, msg) n.inbox
+    end
     else begin
       note_delivered t;
       match n.handler with
@@ -142,7 +225,15 @@ let send t ~src ~dst msg =
     t.sent <- t.sent + 1;
     (match t.probe with None -> () | Some p -> Metrics.Counter.incr p.m_sent);
     let link = t.links.(src).(dst) in
-    if t.manual || link.partitioned then Queue.add msg link.held
+    if t.manual || link.partitioned then begin
+      (* A held link carries exactly one FIFO stream, so every entry
+         is walk-eligible. *)
+      (match t.shed_policy with
+      | Some p when p.sheddable msg ->
+          shed_queue t p ~dst ~same_stream:(fun _ -> true) ~msg_of:(fun m -> m) link.held msg
+      | Some _ | None -> ());
+      Queue.add msg link.held
+    end
     else schedule_arrival t ~src ~dst msg
   end
 
@@ -205,6 +296,16 @@ let receive_paused t ~node =
 let inbox_length t ~node =
   check_node t node;
   Queue.length t.nodes.(node).inbox
+
+(* Sheddable (data) entries only — the number the overload scenarios
+   budget, since control traffic is never shed and would otherwise
+   drown the signal. Falls back to the full length without a policy. *)
+let inbox_data_length t ~node =
+  check_node t node;
+  match t.shed_policy with
+  | None -> Queue.length t.nodes.(node).inbox
+  | Some p ->
+      Queue.fold (fun n (_, m) -> if p.sheddable m then n + 1 else n) 0 t.nodes.(node).inbox
 
 let disconnect t a b =
   check_node t a;

@@ -12,9 +12,32 @@
       (models "ceases to accept further messages from the network").
     - {!disconnect}/{!reconnect}: a temporarily partitioned link holds
       messages and releases them in order on reconnection, preserving
-      the reliable-channel contract. *)
+      the reliable-channel contract.
+    - {!set_shed_policy}: semantic shedding of backlogged queues (a
+      paused receiver's inbox, a held link) under the prefix-safe
+      suffix rule — the simulated counterpart of the runtime
+      transport's flow control. *)
 
 type 'msg t
+
+(** Semantic shedding for backlogged queues. A queued message may be
+    dropped only when a newer message on the {e same FIFO stream}
+    obsoletes it (directly, or transitively through messages
+    themselves shed), and only from the contiguous newest-end run of
+    such messages — so every prefix a receiver can observe still
+    carries a cover for anything shed, and the FIFO-SR/SVS contract
+    survives arbitrary crash points. Injected as closures: this module
+    knows nothing of the protocol's message type. *)
+type 'msg shed_policy = {
+  shed_limit : int;
+      (** Walk a queue only once it holds at least this many sheddable
+          entries. *)
+  sheddable : 'msg -> bool;  (** Annotated data messages. *)
+  obsoletes : older:'msg -> newer:'msg -> bool;
+  on_shed : dst:int -> 'msg -> unit;
+      (** Fired per victim, oldest first ([dst] is the receiver that
+          will now never see it). *)
+}
 
 val create :
   Svs_sim.Engine.t ->
@@ -85,6 +108,21 @@ val receive_paused : 'msg t -> node:int -> bool
 
 val inbox_length : 'msg t -> node:int -> int
 (** Messages held while the node's receive side is paused. *)
+
+val inbox_data_length : 'msg t -> node:int -> int
+(** Sheddable entries of the paused backlog only (per the installed
+    {!shed_policy}'s [sheddable]) — what the overload scenarios
+    budget, control traffic excluded. {!inbox_length} without a
+    policy. *)
+
+val set_shed_policy : 'msg t -> 'msg shed_policy -> unit
+(** Install (or replace) the shedding policy. Applies to messages
+    queued from now on — each enqueue onto a backlogged paused inbox
+    or held link runs the suffix walk with the fresh message as the
+    candidate cover. *)
+
+val shed_count : 'msg t -> int
+(** Messages shed so far. *)
 
 val disconnect : 'msg t -> int -> int -> unit
 (** Symmetrically partition the pair of nodes. *)

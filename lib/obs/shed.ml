@@ -1,0 +1,79 @@
+(* Prefix-safe semantic shedding of queued-but-unsent frames.
+
+   The protocol purges obsolete messages from its delivery queue
+   (paper §4); this module extends the same relation to *transport*
+   queues — a peer's outbound send buffer, or a paused receiver's
+   inbox — where frames wait in FIFO order and have not yet been
+   handed to anyone.
+
+   Soundness is subtler than in the delivery queue, because a frame
+   shed from the middle of a FIFO stream can strand its receiver: if
+   the queue towards p is [m; x; m'] where m' covers m but x does
+   not, shedding m and then crashing after x reaches p (but before
+   m' reaches anyone) leaves p past m with no cover of m delivered
+   anywhere — a FIFO-SR / SVS-cover hole the unshed run never has.
+
+   The rule that is safe is the SUFFIX rule: shed a data frame only
+   when the next *retained* data frame behind it in the queue covers
+   it — directly, or transitively through frames that were themselves
+   shed (every shed frame is still in the multicast log, so the
+   cover relation chains through it). Then every prefix of the FIFO
+   stream that contains any data frame newer than a victim also
+   contains a cover of that victim; a receiver either never advances
+   past the victim (no obligation — the view-change PRED exchange
+   supplies it or its cover) or holds a delivered cover. Control
+   frames interleaved between victims carry no sequence obligations
+   and are always retained.
+
+   Operationally the walk runs at enqueue time: the freshly queued
+   frame is the candidate cover, and we scan backward from the tail
+   shedding the contiguous run of covered data frames, stopping at
+   the first data frame the accumulated cover set does not reach.
+   Stopping early is always safe — caps only reduce shedding. *)
+
+type key = { id : Msg_id.t; ann : Annotation.t; view : int }
+
+(* Caps keep the walk amortised O(1) per enqueue: the cover set is
+   bounded, and so is the number of frames examined. Both are policy,
+   not safety: a truncated walk sheds less, never more. *)
+let max_walk = 128
+
+let max_cover = 32
+
+let covered_by ~cover (k : key) =
+  List.exists
+    (fun (c : key) ->
+      c.view = k.view
+      && Annotation.obsoletes ~older:(k.id, k.ann) ~newer:(c.id, c.ann))
+    cover
+
+(* [walk ~meta ~shed ~fresh frames] scans [frames] (newest first:
+   the reverse of FIFO order) and returns the elements that the
+   suffix rule allows shedding, given that [fresh] is about to be
+   enqueued behind them. [meta] is [None] for control frames (always
+   retained, transparently skipped); [shed] marks frames already
+   shed by an earlier walk (retained in place, but their annotations
+   chain the cover relation). The walk stops at the first live data
+   frame the cover set does not reach — everything older keeps its
+   cover ahead of it in the stream. *)
+let walk ~meta ~shed ~fresh frames =
+  let rec go cover n_cover steps victims = function
+    | [] -> victims
+    | _ when steps >= max_walk -> victims
+    | f :: rest -> (
+        match meta f with
+        | None -> go cover n_cover (steps + 1) victims rest
+        | Some k ->
+            let extend () =
+              if n_cover < max_cover then (k :: cover, n_cover + 1)
+              else (cover, n_cover)
+            in
+            if shed f then
+              let cover, n_cover = extend () in
+              go cover n_cover (steps + 1) victims rest
+            else if covered_by ~cover k then
+              let cover, n_cover = extend () in
+              go cover n_cover (steps + 1) (f :: victims) rest
+            else victims)
+  in
+  go [ fresh ] 1 0 [] frames

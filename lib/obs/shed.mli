@@ -1,0 +1,38 @@
+(** Prefix-safe semantic shedding of queued-but-unsent frames.
+
+    Extends the obsolescence relation (paper §4.2) to transport
+    queues: frames sitting unsent in a FIFO stream may be dropped
+    when a newer queued frame covers them, under the {e suffix rule}
+    — a data frame is shed only if the next retained data frame
+    behind it covers it, directly or transitively through frames
+    that were themselves shed. This keeps every prefix of the stream
+    cover-closed, so a receiver that advances past a victim always
+    holds a delivered cover, even if the sender crashes mid-queue.
+    See the module implementation and PROTOCOL.md ("Flow control and
+    semantic shedding") for the safety argument. *)
+
+type key = { id : Msg_id.t; ann : Annotation.t; view : int }
+
+val max_walk : int
+(** Upper bound on frames examined per walk (policy, not safety). *)
+
+val max_cover : int
+(** Upper bound on the accumulated cover set (policy, not safety). *)
+
+val covered_by : cover:key list -> key -> bool
+(** Whether any element of [cover] obsoletes the frame (same view). *)
+
+val walk :
+  meta:('a -> key option) ->
+  shed:('a -> bool) ->
+  fresh:key ->
+  'a list ->
+  'a list
+(** [walk ~meta ~shed ~fresh frames] — [frames] newest-first (the
+    reverse of FIFO order), [fresh] the data frame about to be
+    enqueued behind them all. Returns the frames the suffix rule
+    allows shedding now: the contiguous newest run of live data
+    frames each covered by the set {[fresh]} ∪ already-shed frames ∪
+    frames shed earlier in this walk. Control frames ([meta] =
+    [None]) are skipped and retained; the walk stops at the first
+    live data frame not covered. *)

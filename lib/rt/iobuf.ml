@@ -1,8 +1,16 @@
 module Slice = Svs_codec.Codec.Slice
 
-type t = { mutable buf : Bytes.t; mutable start : int; mutable fill : int }
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable fill : int;
+  initial : int;
+  shrink : int;
+}
 
-let create ?(capacity = 4096) () = { buf = Bytes.create (max 16 capacity); start = 0; fill = 0 }
+let create ?(capacity = 4096) ?(shrink = 1 lsl 20) () =
+  let initial = max 16 capacity in
+  { buf = Bytes.create initial; start = 0; fill = 0; initial; shrink = max initial shrink }
 
 let length t = t.fill - t.start
 
@@ -10,9 +18,14 @@ let is_empty t = t.fill = t.start
 
 let capacity t = Bytes.length t.buf
 
+(* Draining resets the region; a backing buffer blown up by a one-time
+   burst is released here rather than pinned forever (borrowed slices
+   keep the old bytes alive on their own). Growth is geometric, so a
+   steady-state buffer under [shrink] never reallocates. *)
 let clear t =
   t.start <- 0;
-  t.fill <- 0
+  t.fill <- 0;
+  if Bytes.length t.buf > t.shrink then t.buf <- Bytes.create t.initial
 
 (* Make room for [extra] more bytes at the tail: first slide the live
    region back to offset 0 (reclaiming consumed space), and only if

@@ -13,7 +13,12 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?shrink:int -> unit -> t
+(** [shrink] (default 1 MiB, clamped to at least [capacity]) is the
+    release threshold: when the buffer drains empty with a backing
+    larger than this, the backing is replaced by a fresh
+    [capacity]-sized one, so a one-time burst doesn't pin its peak
+    memory forever. Borrowed slices keep the old backing alive. *)
 
 val length : t -> int
 (** Bytes currently queued (live region size). *)

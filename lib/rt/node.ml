@@ -9,10 +9,27 @@ module Codec = Svs_codec.Codec
 module Metrics = Svs_telemetry.Metrics
 module Trace = Svs_telemetry.Trace
 module Msg_id = Svs_obs.Msg_id
+module Shed = Svs_obs.Shed
+module Annotation = Svs_obs.Annotation
 
 let src = Logs.Src.create "svs.rt" ~doc:"SVS real-time node"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Graceful escalation for a persistently slow member, staged on the
+   time its link has spent continuously over the hard watermark:
+   first the transport stalls the link and sheds obsolete frames (the
+   backpressure policy), then the node reports it (log + trace +
+   counter), and finally — if the operator allowed it — suspects it,
+   which hands it to the ordinary suspicion → view-change path: the
+   group agrees on a view without the laggard rather than one node
+   unilaterally expelling it. *)
+type slow_member_policy = {
+  report_after : float;
+  evict_after : float option;  (** [None]: never escalate to suspicion. *)
+}
+
+let default_slow_member = { report_after = 2.0; evict_after = Some 15.0 }
 
 type config = {
   semantic : bool;
@@ -27,6 +44,13 @@ type config = {
   divergence_period : float option;
       (* Check the digest gossip (piggybacked on heartbeats) at this
          period; None disables divergence self-healing. *)
+  backpressure : Tcp_mesh.backpressure_policy;
+  slow_member : slow_member_policy;
+  max_frame : int;
+      (* Largest single inbound frame the mesh will buffer. The view
+         change's PRED echoes every unstable message as one frame, so
+         groups with large payloads or deep unstable backlogs need
+         this above the flush size or the exchange resets the link. *)
 }
 
 let default_config =
@@ -40,6 +64,9 @@ let default_config =
     flush_interval = 0.001;
     hostile = Tcp_mesh.default_hostile_policy;
     divergence_period = None;
+    backpressure = Tcp_mesh.default_backpressure;
+    slow_member = default_slow_member;
+    max_frame = 8 * 1024 * 1024;
   }
 
 (* How many consecutive divergence checks must agree before a node
@@ -134,6 +161,20 @@ type 'p t = {
   app_digest : (unit -> int) option;
   c_divergence : Metrics.Counter.t;
   suspicions : Metrics.Counter.t;
+  c_slow_reports : Metrics.Counter.t;
+  slow_member : slow_member_policy;
+  (* Admission control: one-shot callbacks fired by the escalation
+     timer once {!would_block} clears. *)
+  mutable ready_callbacks : (unit -> unit) list;
+  (* Peers currently flagged by the slow-member report stage (cleared
+     when their link drops back under the hard watermark). *)
+  reported_slow : (int, unit) Hashtbl.t;
+  (* Peers the escalation is evicting. Their heartbeats are ignored —
+     a slow consumer is alive and still beating, so without this the
+     beat would rescind the forced suspicion before the view change
+     completes. Cleared once the link drains (the peer recovered, or
+     its backlog was dropped when a view without it installed). *)
+  evicting : (int, unit) Hashtbl.t;
   delivery_latency : Metrics.Histogram.t;
   merge_spans : Metrics.Histogram.t;
   (* Wall-clock arrival time of each message accepted but not yet
@@ -184,9 +225,19 @@ let send_packet t ~dst packet =
   let w = t.pkt_writer in
   Codec.Writer.clear w;
   write_packet t.payload_codec w packet;
+  (* Annotated data frames are the ones semantic shedding may purge
+     from a congested link's queue (a newer queued frame obsoleting
+     them); everything else — control traffic, unannotated data — is
+     always retained. *)
+  let meta =
+    match packet with
+    | Proto (Types.Wdata d) when d.Types.ann <> Annotation.Unrelated ->
+        Some { Shed.id = d.Types.id; ann = d.Types.ann; view = d.Types.view_id }
+    | _ -> None
+  in
   (* The writer's bytes move straight into the mesh batch — no
      per-packet string, no per-packet syscall. *)
-  Tcp_mesh.send_writer t.mesh ~dst w
+  Tcp_mesh.send_writer t.mesh ~dst ?meta w
 
 let rec drain t =
   let outs = Protocol.take_outputs t.proto in
@@ -221,7 +272,23 @@ and handle_output t = function
         (fun p ->
           if p <> t.me && Tcp_mesh.written_off t.mesh ~dst:p then
             Tcp_mesh.forget_peer t.mesh ~dst:p)
-        v.View.members
+        v.View.members;
+      (* Frames queued towards peers the group just agreed are out are
+         dead weight against the mesh budget: drop them. (Their next
+         incarnation re-enters via JOIN/SYNC on a fresh stream.) The
+         flush first pushes whatever the kernel will still take — on a
+         healthy link that includes the consensus DECIDE telling the
+         excluded peer about this very view, which it needs to start
+         rejoining; only the undeliverable backlog is dropped. *)
+      if List.exists (fun p -> p <> t.me && not (List.mem p v.View.members)) t.peers_ids
+      then begin
+        Tcp_mesh.flush t.mesh;
+        List.iter
+          (fun p ->
+            if p <> t.me && not (List.mem p v.View.members) then
+              ignore (Tcp_mesh.drop_pending t.mesh ~dst:p : int))
+          t.peers_ids
+      end
   | Types.Excluded v ->
       Log.warn (fun m -> m "node %d excluded from %a" t.me View.pp v);
       (* Primary-component mode: exclusion learned after a cut (the
@@ -288,8 +355,10 @@ let on_packet t ~src packet =
   if not t.stopped then
     match packet with
     | Beat { view_id; digest } ->
-        Hashtbl.replace t.peer_digests src (view_id, digest);
-        Heartbeat.on_heartbeat t.hb ~src
+        if not (Hashtbl.mem t.evicting src) then begin
+          Hashtbl.replace t.peer_digests src (view_id, digest);
+          Heartbeat.on_heartbeat t.hb ~src
+        end
     | Proto wire ->
         (match wire with
         | Types.Wdata d ->
@@ -497,6 +566,85 @@ let multicast t ?ann payload =
     result
   end
 
+(* Admission control. {!multicast} never blocks the caller — a slow
+   peer's frames queue (and shed) in the mesh — so a publisher that
+   outruns the group indefinitely would exhaust the mesh budget. A
+   well-behaved application checks {!would_block} (or uses
+   {!try_multicast}) and resumes on {!on_ready}. *)
+let would_block t = Tcp_mesh.would_block t.mesh
+
+let try_multicast t ?ann payload =
+  if t.stopped then Error `Not_member
+  else if would_block t then Error `Would_block
+  else
+    (multicast t ?ann payload
+      : (_, [ `Blocked | `Not_member ]) result
+      :> (_, [ `Blocked | `Not_member | `Would_block ]) result)
+
+let on_ready t f = t.ready_callbacks <- f :: t.ready_callbacks
+
+let shed_frames t = Tcp_mesh.shed_frames t.mesh
+
+let slow_reports t = Metrics.Counter.value t.c_slow_reports
+
+let pause_reads t = Tcp_mesh.pause_reads t.mesh
+
+let resume_reads t = Tcp_mesh.resume_reads t.mesh
+
+(* One tick of the slow-member escalation: stage transitions are
+   driven by the time each link has spent continuously over the hard
+   watermark (tracked by the mesh), and the admission-control ready
+   callbacks fire here once the mesh drains back under its gates. *)
+let check_slow_members t =
+  if t.ready_callbacks <> [] && not (would_block t) then begin
+    let cbs = List.rev t.ready_callbacks in
+    t.ready_callbacks <- [];
+    List.iter (fun f -> f ()) cbs
+  end;
+  let p = t.slow_member in
+  List.iter
+    (fun (st : Tcp_mesh.peer_stat) ->
+      if st.Tcp_mesh.over_hard_s <= 0.0 then begin
+        Hashtbl.remove t.reported_slow st.Tcp_mesh.peer;
+        Hashtbl.remove t.evicting st.Tcp_mesh.peer
+      end
+      else begin
+        if st.Tcp_mesh.over_hard_s >= p.report_after
+           && not (Hashtbl.mem t.reported_slow st.Tcp_mesh.peer)
+        then begin
+          Hashtbl.replace t.reported_slow st.Tcp_mesh.peer ();
+          Metrics.Counter.incr t.c_slow_reports;
+          Log.warn (fun m ->
+              m "node %d: peer %d over the hard watermark for %.1fs (%d bytes pending, %d shed)"
+                t.me st.Tcp_mesh.peer st.Tcp_mesh.over_hard_s st.Tcp_mesh.pending
+                st.Tcp_mesh.shed);
+          if Trace.enabled t.tracer then
+            Trace.emit t.tracer
+              (Trace.Backpressure
+                 {
+                   node = t.me;
+                   peer = st.Tcp_mesh.peer;
+                   stage = "reported";
+                   pending = st.Tcp_mesh.pending;
+                 })
+        end;
+        match p.evict_after with
+        | Some deadline when st.Tcp_mesh.over_hard_s >= deadline ->
+            (* Hand the laggard to the ordinary suspicion machinery:
+               the group agrees on a view without it, rather than one
+               node unilaterally expelling it. Its heartbeats are
+               muted while [evicting] so the (alive, just unreadable)
+               peer cannot rescind the suspicion mid-view-change. *)
+            if not (Hashtbl.mem t.evicting st.Tcp_mesh.peer) then
+              Log.warn (fun m ->
+                  m "node %d: escalating slow peer %d to suspicion after %.1fs over watermark"
+                    t.me st.Tcp_mesh.peer st.Tcp_mesh.over_hard_s);
+            Hashtbl.replace t.evicting st.Tcp_mesh.peer ();
+            Heartbeat.force_suspect t.hb st.Tcp_mesh.peer
+        | Some _ | None -> ()
+      end)
+    (Tcp_mesh.peer_stats t.mesh)
+
 let deliver t =
   if t.stopped then None
   else
@@ -562,15 +710,30 @@ let status_json t =
   (match wal_segment t with
   | Some seg -> Printf.bprintf b "\"wal\":{\"segment\":%d}," seg
   | None -> Printf.bprintf b "\"wal\":null,");
+  let bp = Tcp_mesh.backpressure t.mesh in
+  Printf.bprintf b
+    "\"backpressure\":{\"soft\":%d,\"hard\":%d,\"budget\":%d,\"shed\":%b,\"total_pending\":%d,\"would_block\":%b,\"shed_frames\":%d,\"slow_reports\":%d},"
+    bp.Tcp_mesh.soft bp.Tcp_mesh.hard bp.Tcp_mesh.budget bp.Tcp_mesh.shed
+    (Tcp_mesh.total_pending t.mesh)
+    (would_block t) (shed_frames t) (slow_reports t);
   Printf.bprintf b "\"bytes_out\":%d,\"bytes_in\":%d,\"peers\":[%s]}" (bytes_out t)
     (bytes_in t)
     (String.concat ","
        (List.map
           (fun (p : Tcp_mesh.peer_stat) ->
+            (* The adaptive heartbeat timeout sits next to the flow
+               state so an operator can tell a laggard (big pending,
+               hard stage) from a lossy link (inflated timeout). *)
+            let hb_timeout =
+              try Heartbeat.timeout_of t.hb p.Tcp_mesh.peer with Invalid_argument _ -> 0.0
+            in
             Printf.sprintf
-              "{\"peer\":%d,\"up\":%b,\"pending\":%d,\"attempts\":%d,\"written_off\":%b,\"quarantined\":%b}"
+              "{\"peer\":%d,\"up\":%b,\"pending\":%d,\"attempts\":%d,\"written_off\":%b,\"quarantined\":%b,\"hb_timeout_s\":%.3f,\"stage\":\"%s\",\"shed\":%d,\"over_hard_s\":%.3f,\"evicting\":%b}"
               p.Tcp_mesh.peer p.Tcp_mesh.up p.Tcp_mesh.pending p.Tcp_mesh.attempts
-              p.Tcp_mesh.written_off p.Tcp_mesh.quarantined)
+              p.Tcp_mesh.written_off p.Tcp_mesh.quarantined hb_timeout
+              (Tcp_mesh.stage_name p.Tcp_mesh.stage)
+              p.Tcp_mesh.shed p.Tcp_mesh.over_hard_s
+              (Hashtbl.mem t.evicting p.Tcp_mesh.peer))
           (List.filter (fun (p : Tcp_mesh.peer_stat) -> p.Tcp_mesh.peer <> t.me)
              (Tcp_mesh.peer_stats t.mesh))));
   Buffer.contents b
@@ -648,6 +811,7 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
                    garbage escalates to link reset and quarantine. *)
                 Tcp_mesh.note_misbehavior t.mesh ~src ~reason:"bad-frame"))
       ~tracer:config.tracer ?metrics:config.metrics ~hostile:config.hostile
+      ~backpressure:config.backpressure ~max_frame:config.max_frame
       ~flush_interval:config.flush_interval ()
   in
   let hb_ref = ref None in
@@ -740,6 +904,14 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
         (match config.metrics with
         | None -> Metrics.Counter.detached ()
         | Some reg -> Metrics.counter reg ~labels:node_label "rt_suspicions_total");
+      c_slow_reports =
+        (match config.metrics with
+        | None -> Metrics.Counter.detached ()
+        | Some reg -> Metrics.counter reg ~labels:node_label "rt_slow_member_reports_total");
+      slow_member = config.slow_member;
+      ready_callbacks = [];
+      reported_slow = Hashtbl.create 7;
+      evicting = Hashtbl.create 7;
       delivery_latency =
         (match config.metrics with
         | None -> Metrics.Histogram.detached ()
@@ -803,6 +975,14 @@ let create loop ~me ~listen_fd ~peers ~payload_codec ?(config = default_config)
              end;
              not t.stopped)
           : Loop.timer));
+  (* Slow-member escalation and admission-control ready callbacks:
+     stage transitions depend only on mesh state the tick reads, so a
+     quarter-second cadence is plenty. *)
+  ignore
+    (Loop.every loop ~period:0.25 (fun () ->
+         if not t.stopped then check_slow_members t;
+         not t.stopped)
+      : Loop.timer);
   (* Divergence self-healing: digests arrive on heartbeats; this timer
      only evaluates them (and drives a pending self-demotion home). *)
   (match config.divergence_period with

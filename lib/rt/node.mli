@@ -14,6 +14,26 @@
 
 type 'p t
 
+(** Graceful escalation for a persistently slow member, staged on the
+    time its link has spent continuously over the hard backpressure
+    watermark. Stage 1 is the transport's own flow control (stall +
+    semantic shedding); at [report_after] seconds the node reports the
+    laggard ([rt_slow_member_reports_total], a [Backpressure] trace
+    event with stage ["reported"], a warning log); at [evict_after]
+    seconds it forces a suspicion, handing the peer to the ordinary
+    suspicion → view-change path — the group agrees on a view without
+    it instead of one node expelling it unilaterally. While the
+    eviction is in flight the peer's heartbeats are muted (a slow
+    consumer is alive and still beating; they would rescind the
+    suspicion), un-muted as soon as its link drains. *)
+type slow_member_policy = {
+  report_after : float;
+  evict_after : float option;  (** [None]: report but never suspect. *)
+}
+
+val default_slow_member : slow_member_policy
+(** Report after 2 s over the hard watermark, evict after 15 s. *)
+
 type config = {
   semantic : bool;
   heartbeat : Svs_detector.Heartbeat.config;
@@ -60,13 +80,28 @@ type config = {
           and re-enters through JOIN/SYNC with state transfer. [None]
           (default) disables the check; the digests still ride the
           heartbeats. *)
+  backpressure : Tcp_mesh.backpressure_policy;
+      (** Outbound flow control: watermarks, the mesh-wide budget and
+          the semantic-shedding switch (see
+          {!Tcp_mesh.backpressure_policy}). *)
+  slow_member : slow_member_policy;
+      (** How a link stuck over the hard watermark escalates (see
+          {!slow_member_policy}). *)
+  max_frame : int;
+      (** Largest single inbound frame the mesh will buffer (see
+          {!Tcp_mesh.create}). The view change's PRED echoes every
+          unstable message of the view as one frame, so a group with
+          large payloads or a deep unstable backlog (e.g. one jammed
+          member pinning stability) must raise this above its worst
+          flush size, or the PRED exchange itself resets the link. *)
 }
 
 val default_config : config
 (** Semantic purging on, 100 ms heartbeats (350 ms initial timeout),
     stability gossip every second, no park timeout, telemetry off,
     1 ms flush interval, default hostile policy, divergence healing
-    off. *)
+    off, default backpressure and slow-member policies, 8 MiB max
+    frame. *)
 
 val create :
   Loop.t ->
@@ -139,6 +174,42 @@ val multicast :
   ?ann:Svs_obs.Annotation.t ->
   'p ->
   ('p Svs_core.Types.data, [ `Blocked | `Not_member ]) result
+(** Never blocks the caller: a slow peer's frames queue (and, under
+    backpressure, shed) in the mesh. An unchecked publisher can
+    therefore outrun the mesh budget — see {!would_block} /
+    {!try_multicast} / {!on_ready} for the admission-control surface. *)
+
+val would_block : 'p t -> bool
+(** True while the transport asks the application to stop admitting
+    multicasts: some live peer is at or over the hard watermark, or
+    the mesh is over its byte budget. *)
+
+val try_multicast :
+  'p t ->
+  ?ann:Svs_obs.Annotation.t ->
+  'p ->
+  ('p Svs_core.Types.data, [ `Blocked | `Not_member | `Would_block ]) result
+(** {!multicast} gated on {!would_block}: refuses with [`Would_block]
+    instead of queueing into an overloaded mesh. *)
+
+val on_ready : 'p t -> (unit -> unit) -> unit
+(** Register a one-shot callback fired (from the escalation timer, so
+    within ~¼ s) once {!would_block} has cleared — the resume half of
+    the admission-control handshake. *)
+
+val shed_frames : 'p t -> int
+(** Frames purged from outbound queues by semantic shedding so far. *)
+
+val slow_reports : 'p t -> int
+(** Slow-member reports raised so far (the
+    [rt_slow_member_reports_total] counter). *)
+
+val pause_reads : 'p t -> unit
+(** Stop reading from the network (accept queue included) while
+    continuing to run timers and send — a live but wedged consumer.
+    For benches and chaos tests; see {!Tcp_mesh.pause_reads}. *)
+
+val resume_reads : 'p t -> unit
 
 val purged : 'p t -> int
 

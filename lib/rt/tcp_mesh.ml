@@ -1,6 +1,7 @@
 module Metrics = Svs_telemetry.Metrics
 module Trace = Svs_telemetry.Trace
 module Codec = Svs_codec.Codec
+module Shed = Svs_obs.Shed
 
 let frame_header_bytes = 4
 
@@ -83,10 +84,50 @@ type hostile_policy = {
 let default_hostile_policy =
   { reset_score = 3.0; quarantine_score = 8.0; forgive_after = 5.0; decay = 1.0 }
 
+(* Flow control for the per-peer outbound queues. Below [soft] the
+   zero-copy fast path runs untouched (frames coalesce straight into
+   the open batch). Crossing [soft] switches the peer to an overflow
+   queue of individually retained frames where semantic shedding can
+   purge obsolete queued-but-unsent traffic (see {!Svs_obs.Shed} for
+   the prefix-safe suffix rule). [hard] is the admission-control line:
+   {!would_block} turns true and the slow-member escalation clock
+   starts. [budget] bounds the whole mesh's pending bytes; [resume] is
+   the drain level at which a peer leaves overflow mode (hysteresis so
+   a queue hovering at [soft] doesn't flap). *)
+type backpressure_policy = {
+  soft : int;
+  hard : int;
+  resume : int;
+  budget : int;
+  shed : bool;
+}
+
+let default_backpressure =
+  {
+    soft = 256 * 1024;
+    hard = 2 * 1024 * 1024;
+    resume = 64 * 1024;
+    budget = 32 * 1024 * 1024;
+    shed = true;
+  }
+
 type offender = {
   mutable score : float;
   mutable last : float; (* when [score] last decayed *)
   mutable quarantined_until : float; (* 0. = not quarantined *)
+}
+
+(* One frame parked in the overflow queue: materialized (the batch
+   fast path is zero-copy, but a frame that may sit — or be shed —
+   needs its own bytes), with the shedding metadata the sender
+   attached. [fshed] frames stay in place as tombstones so the cover
+   relation can chain through them; [sent] frames have moved to the
+   kernel-bound batch and are immutable from here on. *)
+type oframe = {
+  bytes : string;
+  fmeta : Shed.key option;
+  mutable fshed : bool;
+  mutable sent : bool;
 }
 
 type outgoing = {
@@ -113,6 +154,16 @@ type outgoing = {
          whenever nothing has been partially written — in particular on
          the dial-cap write-off path, where no byte ever reached the
          kernel — which is the only place it is read. *)
+  mutable bp : bool; (* overflow (backpressure) mode *)
+  overflow : oframe Queue.t; (* oldest-first; frames not yet batched *)
+  mutable recent : oframe list;
+      (* Newest-first mirror of the overflow's data frames, for the
+         backward shed walk. Pruned of [sent] frames after each drain
+         and capped, so the walk is amortized O(1) per enqueue. *)
+  mutable recent_len : int;
+  mutable overflow_bytes : int; (* live (unshed, unsent) payload bytes *)
+  mutable shed_frames : int; (* total frames shed on this link *)
+  mutable over_hard_since : float; (* 0. = currently under [hard] *)
 }
 
 type incoming = {
@@ -136,6 +187,10 @@ type t = {
   max_frame : int;
   flush_interval : float;
   watermark : int; (* seal the open batch at this many payload bytes *)
+  bp_policy : backpressure_policy;
+  scratch : Buffer.t; (* materializes one frame on the overflow path *)
+  mutable reads_paused : bool;
+  mutable over_budget : bool;
   mutable jitter_state : int64;
   c_bytes_out : Metrics.Counter.t;
   c_bytes_in : Metrics.Counter.t;
@@ -146,6 +201,11 @@ type t = {
   c_flushes : Metrics.Counter.t;
   c_writev_bytes : Metrics.Counter.t;
   c_quarantined : Metrics.Counter.t;
+  c_bp_soft : Metrics.Counter.t;
+  c_bp_hard : Metrics.Counter.t;
+  c_bp_budget : Metrics.Counter.t;
+  c_shed_frames : Metrics.Counter.t;
+  c_shed_bytes : Metrics.Counter.t;
   h_batch_frames : Metrics.Histogram.t;
 }
 
@@ -203,17 +263,52 @@ let emit_drop t ~peer ~reason =
   if Trace.enabled t.tracer then
     Trace.emit t.tracer (Trace.TcpDrop { node = t.me; peer; reason })
 
+let peer_pending (out : outgoing) =
+  Iobuf.length out.out
+  + (if out.batch_frames > 0 then frame_header_bytes + Buffer.length out.batch else 0)
+  + out.overflow_bytes
+
+(* Frames that never reached the kernel: batched + live overflow. *)
+let live_frames (out : outgoing) =
+  out.queued_frames
+  + Queue.fold (fun acc f -> if f.fshed || f.sent then acc else acc + 1) 0 out.overflow
+
 let clear_queued (out : outgoing) =
   Iobuf.clear out.out;
   Buffer.clear out.batch;
   out.batch_frames <- 0;
-  out.queued_frames <- 0
+  out.queued_frames <- 0;
+  Queue.clear out.overflow;
+  out.recent <- [];
+  out.recent_len <- 0;
+  out.overflow_bytes <- 0;
+  out.bp <- false;
+  out.over_hard_since <- 0.0
+
+let emit_backpressure t (out : outgoing) ~stage =
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer
+      (Trace.Backpressure
+         { node = t.me; peer = out.dst; stage; pending = peer_pending out })
+
+(* Track the hard-watermark boundary on every pending-size change:
+   the slow-member escalation clock is "continuously over [hard]". *)
+let update_hard t (out : outgoing) =
+  let pending = peer_pending out in
+  if pending >= t.bp_policy.hard then begin
+    if out.over_hard_since = 0.0 then begin
+      out.over_hard_since <- Loop.now t.loop;
+      Metrics.Counter.incr t.c_bp_hard;
+      emit_backpressure t out ~stage:"hard"
+    end
+  end
+  else if out.over_hard_since > 0.0 then out.over_hard_since <- 0.0
 
 (* Give up on an unreachable peer: crash-stop semantics, queued frames
    are dropped (and counted — they were promised to no one). *)
 let write_off_unreachable t (out : outgoing) =
   out.broken <- true;
-  let dropped = out.queued_frames in
+  let dropped = live_frames out in
   clear_queued out;
   Metrics.Counter.add t.c_frames_dropped dropped;
   if Trace.enabled t.tracer then
@@ -231,30 +326,73 @@ let seal t (out : outgoing) =
   end
 
 (* Seal, then push as much of the pending output as the kernel will
-   take — one write syscall straight from the queue's backing bytes. *)
-let flush_outgoing t (out : outgoing) =
+   take — one write syscall straight from the queue's backing bytes.
+   In overflow mode, a fully drained kernel queue pulls the next
+   batch's worth of live frames out of the overflow queue and goes
+   again, until either the kernel pushes back or the overflow drains
+   under the resume watermark. *)
+let rec flush_outgoing t (out : outgoing) =
   seal t out;
   match out.fd with
   | None -> ()
   | Some fd ->
-      if not (Iobuf.is_empty out.out) then begin
-        match Iobuf.write_to_fd out.out fd with
-        | written ->
-            Metrics.Counter.incr t.c_flushes;
-            Metrics.Counter.add t.c_bytes_out written;
-            Metrics.Counter.add t.c_writev_bytes written;
-            if Iobuf.is_empty out.out then out.queued_frames <- 0
-        | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
-        | exception Unix.Unix_error (_, _, _) ->
-            (* Established connection lost: write the peer off. *)
-            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
-            out.fd <- None;
-            out.broken <- true;
-            clear_queued out;
-            if Trace.enabled t.tracer then
-              Trace.emit t.tracer
-                (Trace.TcpDrop { node = t.me; peer = out.dst; reason = "stream-broken" })
+      (if not (Iobuf.is_empty out.out) then
+         match Iobuf.write_to_fd out.out fd with
+         | written ->
+             Metrics.Counter.incr t.c_flushes;
+             Metrics.Counter.add t.c_bytes_out written;
+             Metrics.Counter.add t.c_writev_bytes written;
+             if Iobuf.is_empty out.out then out.queued_frames <- 0
+         | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+         | exception Unix.Unix_error (_, _, _) ->
+             (* Established connection lost: write the peer off. *)
+             (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+             out.fd <- None;
+             out.broken <- true;
+             clear_queued out;
+             if Trace.enabled t.tracer then
+               Trace.emit t.tracer
+                 (Trace.TcpDrop { node = t.me; peer = out.dst; reason = "stream-broken" }));
+      if out.bp then drain_overflow t out
+
+and drain_overflow t (out : outgoing) =
+  if out.fd <> None && Iobuf.is_empty out.out && not (Queue.is_empty out.overflow) then begin
+    let moved = ref false in
+    while
+      (not (Queue.is_empty out.overflow)) && Buffer.length out.batch < t.watermark
+    do
+      let f = Queue.pop out.overflow in
+      if not f.fshed then begin
+        f.sent <- true;
+        moved := true;
+        out.overflow_bytes <- out.overflow_bytes - String.length f.bytes;
+        add_varint out.batch (String.length f.bytes);
+        Buffer.add_string out.batch f.bytes;
+        out.batch_frames <- out.batch_frames + 1;
+        out.queued_frames <- out.queued_frames + 1
       end
+    done;
+    (* Frames marked [sent] (and everything older — the drain is FIFO)
+       can no longer be shed: drop them off the walk mirror. *)
+    if !moved then begin
+      let rec keep = function
+        | f :: rest when not f.sent -> f :: keep rest
+        | _ -> []
+      in
+      out.recent <- keep out.recent;
+      out.recent_len <- List.length out.recent;
+      flush_outgoing t out
+    end
+  end
+  else if
+    out.bp && Queue.is_empty out.overflow && peer_pending out <= t.bp_policy.resume
+  then begin
+    out.bp <- false;
+    out.recent <- [];
+    out.recent_len <- 0;
+    out.over_hard_since <- 0.0;
+    emit_backpressure t out ~stage:"resume"
+  end
 
 let try_dial t (out : outgoing) =
   if
@@ -370,7 +508,7 @@ let quarantine_peer t ~peer (o : offender) =
           out.fd <- None
       | None -> ());
       out.broken <- true;
-      let dropped = out.queued_frames in
+      let dropped = live_frames out in
       clear_queued out;
       Metrics.Counter.add t.c_frames_dropped dropped
   | _ -> ()
@@ -485,7 +623,8 @@ let on_accept t () =
 
 let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
     ?(dial = default_dial_policy) ?(hostile = default_hostile_policy)
-    ?(max_frame = 8 * 1024 * 1024) ?(flush_interval = 0.001) () =
+    ?(backpressure = default_backpressure) ?(max_frame = 8 * 1024 * 1024)
+    ?(flush_interval = 0.001) () =
   Unix.set_nonblock listen_fd;
   let outgoing =
     List.filter_map
@@ -507,6 +646,13 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
                 batch = Buffer.create 4096;
                 batch_frames = 0;
                 queued_frames = 0;
+                bp = false;
+                overflow = Queue.create ();
+                recent = [];
+                recent_len = 0;
+                overflow_bytes = 0;
+                shed_frames = 0;
+                over_hard_since = 0.0;
               } ))
       peers
   in
@@ -537,6 +683,10 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
       max_frame;
       flush_interval;
       watermark = min 65536 max_frame;
+      bp_policy = backpressure;
+      scratch = Buffer.create 512;
+      reads_paused = false;
+      over_budget = false;
       jitter_state = Int64.of_int ((me * 2654435761) lor 1);
       c_bytes_out = counter "tcp_bytes_out_total";
       c_bytes_in = counter "tcp_bytes_in_total";
@@ -547,6 +697,11 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
       c_flushes = counter "tcp_flushes_total";
       c_writev_bytes = counter "tcp_writev_bytes_total";
       c_quarantined = counter "tcp_peer_quarantined_total";
+      c_bp_soft = counter "tcp_backpressure_soft_total";
+      c_bp_hard = counter "tcp_backpressure_hard_total";
+      c_bp_budget = counter "tcp_backpressure_budget_total";
+      c_shed_frames = counter "tcp_shed_frames_total";
+      c_shed_bytes = counter "tcp_shed_bytes_total";
       h_batch_frames = histogram "tcp_batch_frames";
     }
   in
@@ -573,22 +728,94 @@ let create loop ~me ~listen_fd ~peers ~on_frame ?(tracer = Trace.nop) ?metrics
   t
 
 (* Append one inner frame to [dst]'s open batch. [len] is the payload
-   size; [add] writes exactly that many bytes to the batch buffer. *)
-let enqueue t (out : outgoing) ~len add =
-  (* Seal before adding when the frame would push the batch past the
-     watermark: a sealed batch is at most [watermark] bytes unless a
-     single frame alone exceeds it. *)
-  if
-    out.batch_frames > 0
-    && Buffer.length out.batch + varint_size len + len > t.watermark
-  then flush_outgoing t out;
-  add_varint out.batch len;
-  add out.batch;
-  out.batch_frames <- out.batch_frames + 1;
-  out.queued_frames <- out.queued_frames + 1;
-  if out.fd = None then try_dial t out;
-  if t.flush_interval <= 0.0 || Buffer.length out.batch >= t.watermark then
-    flush_outgoing t out
+   size; [add] writes exactly that many bytes to the batch buffer.
+   Past the soft watermark the frame goes to the overflow queue
+   instead, where the suffix-shed walk may purge the obsolete run of
+   queued-but-unsent data frames the fresh one covers. *)
+let enqueue t (out : outgoing) ?meta ~len add =
+  if out.bp || peer_pending out + len > t.bp_policy.soft then begin
+    if not out.bp then begin
+      out.bp <- true;
+      Metrics.Counter.incr t.c_bp_soft;
+      emit_backpressure t out ~stage:"soft"
+    end;
+    (match meta with
+    | Some fresh when t.bp_policy.shed ->
+        let victims =
+          Shed.walk ~meta:(fun f -> f.fmeta) ~shed:(fun f -> f.fshed) ~fresh out.recent
+        in
+        List.iter
+          (fun (f : oframe) ->
+            f.fshed <- true;
+            out.overflow_bytes <- out.overflow_bytes - String.length f.bytes;
+            out.shed_frames <- out.shed_frames + 1;
+            Metrics.Counter.incr t.c_shed_frames;
+            Metrics.Counter.add t.c_shed_bytes (String.length f.bytes);
+            match f.fmeta with
+            | Some k ->
+                if Trace.enabled t.tracer then
+                  Trace.emit t.tracer
+                    (Trace.Shed
+                       {
+                         node = t.me;
+                         peer = out.dst;
+                         sender = k.Shed.id.Svs_obs.Msg_id.sender;
+                         sn = k.Shed.id.Svs_obs.Msg_id.sn;
+                       })
+            | None -> ())
+          victims
+    | _ -> ());
+    Buffer.clear t.scratch;
+    add t.scratch;
+    let f =
+      { bytes = Buffer.contents t.scratch; fmeta = meta; fshed = false; sent = false }
+    in
+    Queue.add f out.overflow;
+    out.overflow_bytes <- out.overflow_bytes + len;
+    (match meta with
+    | Some _ ->
+        out.recent <- f :: out.recent;
+        out.recent_len <- out.recent_len + 1;
+        if out.recent_len > 2 * Shed.max_walk then begin
+          (* Cap the walk mirror; frames that fall off just become
+             unsheddable (less shedding, never unsafe). *)
+          let rec take n = function
+            | x :: rest when n > 0 -> x :: take (n - 1) rest
+            | _ -> []
+          in
+          out.recent <- take Shed.max_walk out.recent;
+          out.recent_len <- Shed.max_walk
+        end
+    | None -> ());
+    update_hard t out;
+    let total = List.fold_left (fun acc (_, o) -> acc + peer_pending o) 0 t.outgoing in
+    if total > t.bp_policy.budget then begin
+      if not t.over_budget then begin
+        t.over_budget <- true;
+        Metrics.Counter.incr t.c_bp_budget;
+        emit_backpressure t out ~stage:"budget"
+      end
+    end
+    else t.over_budget <- false;
+    if out.fd = None then try_dial t out
+    else if t.flush_interval <= 0.0 then flush_outgoing t out
+  end
+  else begin
+    (* Seal before adding when the frame would push the batch past the
+       watermark: a sealed batch is at most [watermark] bytes unless a
+       single frame alone exceeds it. *)
+    if
+      out.batch_frames > 0
+      && Buffer.length out.batch + varint_size len + len > t.watermark
+    then flush_outgoing t out;
+    add_varint out.batch len;
+    add out.batch;
+    out.batch_frames <- out.batch_frames + 1;
+    out.queued_frames <- out.queued_frames + 1;
+    if out.fd = None then try_dial t out;
+    if t.flush_interval <= 0.0 || Buffer.length out.batch >= t.watermark then
+      flush_outgoing t out
+  end
 
 let with_dst t ~dst f =
   if not t.closed then
@@ -600,13 +827,14 @@ let with_dst t ~dst f =
         emit_drop t ~peer:dst ~reason:"written-off"
     | Some (out : outgoing) -> f out
 
-let send t ~dst payload =
+let send t ~dst ?meta payload =
   with_dst t ~dst (fun out ->
-      enqueue t out ~len:(String.length payload) (fun batch -> Buffer.add_string batch payload))
+      enqueue t out ?meta ~len:(String.length payload) (fun batch ->
+          Buffer.add_string batch payload))
 
-let send_writer t ~dst w =
+let send_writer t ~dst ?meta w =
   with_dst t ~dst (fun out ->
-      enqueue t out ~len:(Codec.Writer.length w) (fun batch ->
+      enqueue t out ?meta ~len:(Codec.Writer.length w) (fun batch ->
           Codec.Writer.add_to_buffer w batch))
 
 let flush t = if not t.closed then List.iter (fun (_, out) -> flush_outgoing t out) t.outgoing
@@ -636,12 +864,48 @@ let connected t =
     (fun (dst, (out : outgoing)) -> if out.fd <> None then Some dst else None)
     t.outgoing
 
-let peer_pending (out : outgoing) =
-  Iobuf.length out.out
-  + if out.batch_frames > 0 then frame_header_bytes + Buffer.length out.batch else 0
-
 let pending_bytes t ~dst =
   match List.assoc_opt dst t.outgoing with None -> 0 | Some out -> peer_pending out
+
+let total_pending t =
+  List.fold_left (fun acc (_, out) -> acc + peer_pending out) 0 t.outgoing
+
+(* Drop everything queued towards a peer the membership layer no
+   longer counts — frames to a non-member are dead weight, and holding
+   megabytes for a consumer that will never read again defeats the
+   budget. The link itself stays configured (a future incarnation
+   re-enters via JOIN/SYNC on a fresh stream). *)
+let drop_pending t ~dst =
+  match List.assoc_opt dst t.outgoing with
+  | None -> 0
+  | Some out ->
+      let bytes = peer_pending out in
+      if bytes > 0 then begin
+        Metrics.Counter.add t.c_frames_dropped (live_frames out);
+        if Trace.enabled t.tracer then
+          Trace.emit t.tracer (Trace.TcpDrop { node = t.me; peer = dst; reason = "member-left" });
+        clear_queued out
+      end;
+      bytes
+
+(* Admission control: the application should stop multicasting when
+   any live peer is over the hard watermark or the mesh is over its
+   budget. Written-off peers don't count — their queues are already
+   dropped and the view machinery is evicting them. *)
+let would_block t =
+  total_pending t >= t.bp_policy.budget
+  || List.exists
+       (fun (_, (out : outgoing)) ->
+         (not out.broken) && peer_pending out >= t.bp_policy.hard)
+       t.outgoing
+
+let backpressure t = t.bp_policy
+
+let shed_frames t = Metrics.Counter.value t.c_shed_frames
+
+type bp_stage = Bp_normal | Bp_soft | Bp_hard
+
+let stage_name = function Bp_normal -> "normal" | Bp_soft -> "soft" | Bp_hard -> "hard"
 
 type peer_stat = {
   peer : int;
@@ -650,9 +914,13 @@ type peer_stat = {
   attempts : int;
   written_off : bool;
   quarantined : bool;
+  stage : bp_stage;
+  shed : int;
+  over_hard_s : float; (* continuously over [hard] for this long *)
 }
 
 let peer_stats t =
+  let now = Loop.now t.loop in
   List.map
     (fun (dst, (out : outgoing)) ->
       {
@@ -662,9 +930,32 @@ let peer_stats t =
         attempts = out.attempts;
         written_off = out.broken;
         quarantined = quarantined t ~peer:dst;
+        stage =
+          (if out.over_hard_since > 0.0 then Bp_hard
+           else if out.bp then Bp_soft
+           else Bp_normal);
+        shed = out.shed_frames;
+        over_hard_s = (if out.over_hard_since > 0.0 then now -. out.over_hard_since else 0.0);
       })
     t.outgoing
   |> List.sort (fun a b -> compare a.peer b.peer)
+
+(* Receiver-side stall injection (benches and chaos tests): stop
+   servicing inbound sockets — and the accept queue — so senders see a
+   consumer that reads nothing, exactly like a wedged process. *)
+let pause_reads t =
+  if not (t.reads_paused || t.closed) then begin
+    t.reads_paused <- true;
+    Loop.remove_fd t.loop t.listen_fd;
+    List.iter (fun inc -> Loop.remove_fd t.loop inc.fd) t.incoming
+  end
+
+let resume_reads t =
+  if t.reads_paused && not t.closed then begin
+    t.reads_paused <- false;
+    Loop.on_readable t.loop t.listen_fd (fun () -> on_accept t ());
+    List.iter (fun inc -> Loop.on_readable t.loop inc.fd (on_readable_incoming t inc)) t.incoming
+  end
 
 let quarantined_total t = Metrics.Counter.value t.c_quarantined
 

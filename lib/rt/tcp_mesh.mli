@@ -67,6 +67,33 @@ type hostile_policy = {
 val default_hostile_policy : hostile_policy
 (** Reset at 3, quarantine at 8, 5 s cooldown, decay 1/s. *)
 
+(** Flow control for outbound queues. Below [soft], sends take the
+    zero-copy fast path. At [soft] the link enters backpressure:
+    frames queue in an overflow stage where {e semantic shedding} may
+    purge a queued-but-unsent frame once a newer queued frame makes it
+    obsolete — under the prefix-safe suffix rule only (see
+    {!Svs_obs.Shed}), so the FIFO stream the peer observes always
+    carries a cover for anything shed. At [hard] the link is
+    considered overloaded: {!would_block} turns true so the
+    application can stop admitting new multicasts, and the time spent
+    continuously over [hard] feeds the slow-member escalation policy
+    upstairs. The link leaves backpressure when it drains back to
+    [resume]. [budget] caps the whole mesh's buffered bytes (all
+    peers): beyond it {!would_block} is true regardless of any single
+    link. [shed = false] disables shedding (frames queue unboundedly —
+    the pre-flow-control behaviour, for A/B runs). *)
+type backpressure_policy = {
+  soft : int;
+  hard : int;
+  resume : int;
+  budget : int;
+  shed : bool;
+}
+
+val default_backpressure : backpressure_policy
+(** soft 256 KiB, hard 2 MiB, resume 64 KiB, budget 32 MiB, shedding
+    on. *)
+
 val listener : Unix.sockaddr -> Unix.file_descr * Unix.sockaddr
 (** Bind + listen; returns the socket and its actual address (useful
     with port 0). *)
@@ -107,6 +134,7 @@ val create :
   ?metrics:Svs_telemetry.Metrics.t ->
   ?dial:dial_policy ->
   ?hostile:hostile_policy ->
+  ?backpressure:backpressure_policy ->
   ?max_frame:int ->
   ?flush_interval:float ->
   unit ->
@@ -150,8 +178,13 @@ val create :
     [tcp_batch_frames] histogram (inner frames per sealed batch),
     labelled by node. *)
 
-val send : t -> dst:int -> string -> unit
+val send : t -> dst:int -> ?meta:Svs_obs.Shed.key -> string -> unit
 (** Queue a frame for [dst]; buffered until the connection is up.
+    [meta] identifies the frame as a sheddable data frame carrying
+    that message: while the link is under backpressure, queueing a
+    frame whose annotation obsoletes older queued frames purges those
+    older frames (per the suffix rule — see {!backpressure_policy}).
+    Frames without [meta] are never shed.
     Frames to unknown or written-off destinations are dropped — loudly:
     counted in [tcp_frames_dropped_total] and traced as [TcpDrop].
 
@@ -163,9 +196,11 @@ val send : t -> dst:int -> string -> unit
     {!forget_peer} forgives it, or its restarted incarnation dials us
     with a fresh hello (which forgives it automatically). *)
 
-val send_writer : t -> dst:int -> Svs_codec.Codec.Writer.t -> unit
+val send_writer : t -> dst:int -> ?meta:Svs_obs.Shed.key -> Svs_codec.Codec.Writer.t -> unit
 (** Like {!send}, but moves the writer's bytes into the batch without
-    materializing a string. The writer is not cleared. *)
+    materializing a string (fast path; under backpressure the bytes
+    are materialized once into the overflow stage). The writer is not
+    cleared. *)
 
 val flush : t -> unit
 (** Seal and write every peer's pending output now, without waiting
@@ -199,8 +234,40 @@ val connected : t -> int list
 (** Peers whose outbound connection is currently established. *)
 
 val pending_bytes : t -> dst:int -> int
-(** Outbound bytes not yet handed to the kernel — sealed frames plus
-    the open batch (the sender-side buffer of the paper's model). *)
+(** Outbound bytes not yet handed to the kernel — sealed frames, the
+    open batch, plus the backpressure overflow stage (the sender-side
+    buffer of the paper's model). *)
+
+val total_pending : t -> int
+(** Sum of {!pending_bytes} over every peer. *)
+
+val drop_pending : t -> dst:int -> int
+(** Discard everything queued towards [dst] (returning the byte
+    count), leaving the link configured. For the membership layer:
+    once a view without [dst] is installed, its queued frames are dead
+    weight against the budget. Counted in [tcp_frames_dropped_total]
+    and traced as [TcpDrop] with reason ["member-left"]. *)
+
+val would_block : t -> bool
+(** Admission-control signal: true while any live (non-written-off)
+    peer is at or over the [hard] watermark, or the mesh as a whole is
+    at or over [budget]. A well-behaved application stops multicasting
+    until this clears. *)
+
+val backpressure : t -> backpressure_policy
+(** The policy this mesh was created with. *)
+
+val shed_frames : t -> int
+(** Frames purged by semantic shedding so far (the
+    [tcp_shed_frames_total] counter). *)
+
+(** A link's flow-control stage: [Bp_soft] once over the soft
+    watermark (shedding engaged), [Bp_hard] while over the hard
+    watermark (admission control engaged). *)
+type bp_stage = Bp_normal | Bp_soft | Bp_hard
+
+val stage_name : bp_stage -> string
+(** ["normal"], ["soft"] or ["hard"] — for status JSON. *)
 
 (** One outgoing link's condition, for status reporting. *)
 type peer_stat = {
@@ -210,6 +277,11 @@ type peer_stat = {
   attempts : int;  (** Consecutive failed dials (0 once connected). *)
   written_off : bool;
   quarantined : bool;  (** Currently serving a quarantine cooldown. *)
+  stage : bp_stage;
+  shed : int;  (** Frames shed from this link's queue so far. *)
+  over_hard_s : float;
+      (** Seconds spent continuously over the hard watermark (0 when
+          under it) — the slow-member escalation clock. *)
 }
 
 val peer_stats : t -> peer_stat list
@@ -243,6 +315,14 @@ val dial_attempts : t -> dst:int -> int
 
 val written_off : t -> dst:int -> bool
 (** True once [dst] has been given up on (broken stream or dial cap). *)
+
+val pause_reads : t -> unit
+(** Stop servicing inbound sockets and the accept queue: the node
+    keeps running but reads nothing, so peers' kernel buffers fill and
+    their meshes see a slow consumer. For benches and chaos tests. *)
+
+val resume_reads : t -> unit
+(** Undo {!pause_reads}: resume accepting and reading. *)
 
 val close : t -> unit
 (** Flush what the kernel will take, then close every socket (the

@@ -7,6 +7,7 @@ type timeline = {
   deliver : (int * float) list;
   stable : (int * float) list;
   purged : (int * float) list;
+  shed : (int * float) list;
 }
 
 type stat = { count : int; mean : float; p50 : float; p99 : float; max : float }
@@ -22,6 +23,13 @@ type report = {
   messages : int;
   deliveries : int;
   purges : int;
+  sheds : int;
+  shed_effectiveness : float;
+      (* Fraction of per-peer transmissions that semantic shedding
+         saved: sheds / (sheds + tx). A tx with no deliver at a
+         shedding peer is expected — the frame was obsolete and a
+         cover reached the peer instead — so sheds are reported here,
+         not flagged as anomalies. *)
   span : float;
   msgs_per_s : float;
   delivery_latency : stat option;
@@ -85,7 +93,9 @@ let event_node : Trace.event -> int = function
   | WalRecovery { node; _ }
   | Divergence { node; _ }
   | Parked { node; _ }
-  | Merge { node; _ } ->
+  | Merge { node; _ }
+  | Backpressure { node; _ }
+  | Shed { node; _ } ->
       node
 
 type cell = {
@@ -95,6 +105,7 @@ type cell = {
   mutable c_deliver : (int * float) list;
   mutable c_stable : (int * float) list;
   mutable c_purged : (int * float) list;
+  mutable c_shed : (int * float) list;
 }
 
 let cells records =
@@ -112,6 +123,7 @@ let cells records =
             c_deliver = [];
             c_stable = [];
             c_purged = [];
+            c_shed = [];
           }
         in
         Hashtbl.replace tbl key c;
@@ -139,6 +151,9 @@ let cells records =
       | Purge { node; sender; sn; _ } ->
           let c = cell sender sn in
           c.c_purged <- (node, t) :: c.c_purged
+      | Shed { peer; sender; sn; _ } ->
+          let c = cell sender sn in
+          c.c_shed <- (peer, t) :: c.c_shed
       | _ -> ())
     records;
   tbl
@@ -156,6 +171,7 @@ let timelines streams =
         deliver = List.rev c.c_deliver;
         stable = List.rev c.c_stable;
         purged = List.rev c.c_purged;
+        shed = List.rev c.c_shed;
       }
       :: acc)
     tbl []
@@ -191,6 +207,7 @@ let analyze ?(block_threshold = 5.0) streams =
   (* Span populations. *)
   let delivery = ref [] and remote = ref [] and stability = ref [] and purge_lat = ref [] in
   let deliveries = ref 0 and purges = ref 0 and messages = ref 0 in
+  let sheds = ref 0 and txs = ref 0 in
   let first_submit = ref infinity and last_deliver = ref neg_infinity in
   List.iter
     (fun tl ->
@@ -212,6 +229,8 @@ let analyze ?(block_threshold = 5.0) streams =
           List.iter (fun (_, t) -> purge_lat := (t -. s) :: !purge_lat) tl.purged);
       deliveries := !deliveries + List.length tl.deliver;
       purges := !purges + List.length tl.purged;
+      sheds := !sheds + List.length tl.shed;
+      txs := !txs + List.length tl.tx;
       List.iter (fun (_, t) -> if t > !last_deliver then last_deliver := t) tl.deliver)
     tls;
   (* Event-order passes: FIFO floors per (node, sender), blocked spans,
@@ -267,6 +286,10 @@ let analyze ?(block_threshold = 5.0) streams =
     messages = !messages;
     deliveries = !deliveries;
     purges = !purges;
+    sheds = !sheds;
+    shed_effectiveness =
+      (let total = !sheds + !txs in
+       if total = 0 then 0.0 else float_of_int !sheds /. float_of_int total);
     span;
     msgs_per_s = (if span > 0.0 then float_of_int !deliveries /. span else 0.0);
     delivery_latency = stat_of !delivery;
@@ -299,12 +322,14 @@ let report_to_json r =
   let anomaly_count pred = List.length (List.filter pred r.anomalies) in
   Printf.sprintf
     "{\"bench\":\"rt_throughput\",\"nodes\":%d,\"events\":%d,\"messages\":%d,\
-     \"deliveries\":%d,\"purged\":%d,\"span_s\":%s,\"msgs_per_s\":%s,\
+     \"deliveries\":%d,\"purged\":%d,\"shed\":%d,\"shed_effectiveness\":%s,\
+     \"span_s\":%s,\"msgs_per_s\":%s,\
      \"delivery_latency_s\":%s,\"remote_delivery_latency_s\":%s,\"stability_lag_s\":%s,\
      \"purge_latency_s\":%s,\"purge_effectiveness\":%s,\"view_changes\":%d,\
      \"view_span_s\":%s,\"merge_s\":%s,\"anomalies\":{\"never_stable\":%d,\
      \"floor_regressions\":%d,\"long_blocks\":%d}}"
-    (List.length r.nodes) r.events r.messages r.deliveries r.purges (float_str r.span)
+    (List.length r.nodes) r.events r.messages r.deliveries r.purges r.sheds
+    (float_str r.shed_effectiveness) (float_str r.span)
     (float_str r.msgs_per_s)
     (stat_json r.delivery_latency)
     (stat_json r.remote_latency)
@@ -333,6 +358,7 @@ let pp_timeline ppf tl =
   if tl.deliver <> [] then Format.fprintf ppf " deliver[%a]" pp_times tl.deliver;
   if tl.stable <> [] then Format.fprintf ppf " stable[%a]" pp_times tl.stable;
   if tl.purged <> [] then Format.fprintf ppf " purged[%a]" pp_times tl.purged;
+  if tl.shed <> [] then Format.fprintf ppf " shed[%a]" pp_times tl.shed;
   Format.fprintf ppf "@]"
 
 let pp_anomaly ppf = function
@@ -364,6 +390,9 @@ let pp_report ppf r =
   Format.fprintf ppf "deliveries       %d@," r.deliveries;
   Format.fprintf ppf "purged           %d (effectiveness %.3f)@," r.purges
     r.purge_effectiveness;
+  Format.fprintf ppf "shed             %d (effectiveness %.3f; tx-without-deliver at a \
+                      shedding peer is expected)@,"
+    r.sheds r.shed_effectiveness;
   Format.fprintf ppf "span             %.3fs (%.1f msgs/s end-to-end)@," r.span r.msgs_per_s;
   Format.fprintf ppf "delivery latency %a@," pp_stat r.delivery_latency;
   Format.fprintf ppf "remote latency   %a@," pp_stat r.remote_latency;

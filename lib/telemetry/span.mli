@@ -24,6 +24,10 @@ type timeline = {
   deliver : (int * float) list;  (** (node, delivered to app). *)
   stable : (int * float) list;  (** (node, declared stable). *)
   purged : (int * float) list;  (** (node, purged as obsolete). *)
+  shed : (int * float) list;
+      (** (peer, shed from a transport queue towards that peer). A
+          [tx] with no [deliver] at a shedding peer is expected, not
+          an anomaly: a cover reached the peer instead. *)
 }
 
 (** Exact order statistics over a span population (seconds). [p50] and
@@ -50,6 +54,10 @@ type report = {
   messages : int;  (** Distinct submitted messages. *)
   deliveries : int;
   purges : int;
+  sheds : int;  (** Frames shed from transport queues ([Shed] events). *)
+  shed_effectiveness : float;
+      (** Fraction of per-peer transmissions semantic shedding saved:
+          [sheds /. (sheds + tx)]. *)
   span : float;  (** First submit to last delivery (seconds). *)
   msgs_per_s : float;  (** [deliveries /. span]. *)
   delivery_latency : stat option;  (** submit → deliver, every node. *)

@@ -28,6 +28,8 @@ type event =
   | Divergence of { node : int; view_id : int }
   | Parked of { node : int; view_id : int }
   | Merge of { node : int; view_id : int; parked_ms : int }
+  | Backpressure of { node : int; peer : int; stage : string; pending : int }
+  | Shed of { node : int; peer : int; sender : int; sn : int }
 
 type record = { time : float; seq : int; event : event }
 
@@ -231,7 +233,19 @@ let record_to_json { time; seq; event } =
       Buffer.add_string b "\"merge\"";
       field "node" node;
       field "view" view_id;
-      field "parked_ms" parked_ms);
+      field "parked_ms" parked_ms
+  | Backpressure { node; peer; stage; pending } ->
+      Buffer.add_string b "\"backpressure\"";
+      field "node" node;
+      field "peer" peer;
+      Buffer.add_string b (Printf.sprintf ",\"stage\":\"%s\"" stage);
+      field "pending" pending
+  | Shed { node; peer; sender; sn } ->
+      Buffer.add_string b "\"shed\"";
+      field "node" node;
+      field "peer" peer;
+      field "sender" sender;
+      field "sn" sn);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -418,6 +432,10 @@ let record_of_json line =
       | "parked" -> Parked { node = int "node"; view_id = int "view" }
       | "merge" ->
           Merge { node = int "node"; view_id = int "view"; parked_ms = int "parked_ms" }
+      | "backpressure" ->
+          Backpressure
+            { node = int "node"; peer = int "peer"; stage = str "stage"; pending = int "pending" }
+      | "shed" -> Shed { node = int "node"; peer = int "peer"; sender = int "sender"; sn = int "sn" }
       | _ -> raise Bad
     in
     { time = num "t"; seq = int "seq"; event }
@@ -467,3 +485,8 @@ let pp_event ppf = function
   | Parked { node; view_id } -> Format.fprintf ppf "parked(node=%d view=%d)" node view_id
   | Merge { node; view_id; parked_ms } ->
       Format.fprintf ppf "merge(node=%d view=%d parked_ms=%d)" node view_id parked_ms
+  | Backpressure { node; peer; stage; pending } ->
+      Format.fprintf ppf "backpressure(node=%d peer=%d stage=%s pending=%d)" node peer stage
+        pending
+  | Shed { node; peer; sender; sn } ->
+      Format.fprintf ppf "shed(node=%d peer=%d msg=%d:%d)" node peer sender sn

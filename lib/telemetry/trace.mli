@@ -101,6 +101,18 @@ type event =
       (** A parked member rejoined the primary component via JOIN/SYNC,
           installing view [view_id] after [parked_ms] milliseconds out
           of the group. *)
+  | Backpressure of { node : int; peer : int; stage : string; pending : int }
+      (** [node]'s outbound queue towards [peer] crossed a flow-control
+          boundary: [stage] is ["soft"] (shedding engaged), ["hard"]
+          (admission control engaged), ["reported"] (persistently over
+          the hard watermark — the slow-member policy flagged it), or
+          ["resume"] (drained back under the resume watermark).
+          [pending] is the queue size in bytes at the transition. *)
+  | Shed of { node : int; peer : int; sender : int; sn : int }
+      (** A queued-but-unsent frame carrying message [sender]:[sn] was
+          purged from [node]'s outbound queue towards [peer] (or from a
+          paused receiver's backlog) under the prefix-safe suffix rule
+          — a newer queued frame covers it. *)
 
 type record = { time : float; seq : int; event : event }
 

@@ -15,6 +15,13 @@
 #   scripts/ci.sh fuzz-smoke
 #                        run the byte-level fuzz suite with a bigger
 #                        iteration budget (FUZZ_ITERS, default 2000)
+#   scripts/ci.sh overload
+#                        overload-survival smoke: the wedged-consumer
+#                        chaos scenario under its backlog budget, the
+#                        inverted --no-shed self-check, the svs_mc
+#                        shed preset, and one bench/overload --smoke
+#                        run gated on its two acceptance booleans
+#                        (BENCH_overload.json)
 #   scripts/ci.sh chaos  the full chaos sweep (20 seeds x every
 #                        scenario x both oracle modes) plus the
 #                        oracle mutation self-test
@@ -59,6 +66,7 @@ chaos_json() {
 chaos_json --seeds 3 \
   --scenarios crash,partition-heal,slow-receiver,churn,crash-restart,exclude-rejoin
 chaos_json --seeds 3 --scenarios group-split,split-heal-merge,flapping-split
+chaos_json --seeds 3 --scenarios overload
 
 # Recovery inverted self-check: restarting members amnesiac (no WAL)
 # must be caught by the oracle — proves the recovery path is what
@@ -158,6 +166,35 @@ if [ "${1:-}" = "fuzz-smoke" ]; then
   # clean salvage — anything else is a crash bug).
   FUZZ_ITERS="${FUZZ_ITERS:-2000}" dune exec test/test_fuzz.exe
   echo "ci: fuzz smoke OK"
+fi
+
+if [ "${1:-}" = "overload" ]; then
+  # Overload survival: the wedged-consumer scenario must stay within
+  # its backlog budget with semantic shedding on, and the inverted
+  # --no-shed run must EXCEED the budget — proving the verdict
+  # measures shedding, not a generous budget (see CHAOS.md).
+  chaos_json --seeds 3 --scenarios overload
+  dune exec bin/svs_chaos.exe -- --seeds 2 --scenarios overload \
+    --modes svs --no-shed
+
+  # Model-check the shedding rule at small scope: every interleaving
+  # of the shed preset (threshold 1 — shed at every opportunity) must
+  # keep the SVS contracts.
+  dune exec bin/svs_mc.exe -- --preset shed | grep -q '^exhausted' || {
+    echo "ci: mc shed preset did not exhaust cleanly" >&2; exit 1; }
+
+  # Bench liveness + the two acceptance booleans the overload claim
+  # rests on (no timing gates — booleans only).
+  ov_json=$(mktemp)
+  dune exec bench/overload.exe -- --smoke --json "$ov_json"
+  grep -q '"shed_under_budget": true' "$ov_json" || {
+    echo "ci: overload bench: shedding did not hold the backlog under budget" >&2
+    rm -f "$ov_json"; exit 1; }
+  grep -q '"noshed_over_budget": true' "$ov_json" || {
+    echo "ci: overload bench: no-shed run stayed under budget (budget too lax?)" >&2
+    rm -f "$ov_json"; exit 1; }
+  rm -f "$ov_json"
+  echo "ci: overload smoke OK"
 fi
 
 if [ "${1:-}" = "chaos" ]; then

@@ -384,6 +384,48 @@ let test_mode_labels () =
   Alcotest.(check bool) "roundtrip svs" true (Oracle.mode_of_label "svs" = Some Oracle.Svs);
   Alcotest.(check bool) "unknown" true (Oracle.mode_of_label "nope" = None)
 
+(* --- Overload: semantic shedding under a paused reader --- *)
+
+(* The overload scenario runs at the default scale: the shed budget
+   and the backlog budget in the scenario are calibrated against it
+   (the pause length scales with the horizon). *)
+
+let test_overload_sheds_within_budget () =
+  let scenario = Option.get (Scenario.find "overload") in
+  let o =
+    Runner.run_one ~config:Runner.default_config ~mode:Oracle.Svs ~scenario ~seed:1 ()
+  in
+  Alcotest.(check bool) "oracle passes with shedding on" true (Oracle.ok o.Runner.report);
+  Alcotest.(check bool) "shedding fired" true (o.Runner.shed > 0);
+  Alcotest.(check (option bool)) "peak backlog within the declared budget" (Some false)
+    o.Runner.over_budget;
+  (* VS mode carries no semantic information — nothing is sheddable
+     and the budget verdict does not apply. *)
+  let vs =
+    Runner.run_one ~config:Runner.default_config ~mode:Oracle.Vs ~scenario ~seed:1 ()
+  in
+  Alcotest.(check bool) "vs mode passes" true (Oracle.ok vs.Runner.report);
+  Alcotest.(check int) "vs mode sheds nothing" 0 vs.Runner.shed;
+  Alcotest.(check (option bool)) "no budget verdict in vs mode" None vs.Runner.over_budget
+
+let test_overload_no_shed_blows_budget () =
+  (* The inverted self-check: with shedding disabled the same run
+     must pile the paused member's backlog past the budget — proof
+     the budget is tight enough that the shed-on result means
+     something. Correctness is unaffected either way. *)
+  let scenario = Option.get (Scenario.find "overload") in
+  let config = { Runner.default_config with shed = false } in
+  let o = Runner.run_one ~config ~mode:Oracle.Svs ~scenario ~seed:1 () in
+  Alcotest.(check bool) "still safe without shedding" true (Oracle.ok o.Runner.report);
+  Alcotest.(check int) "nothing shed" 0 o.Runner.shed;
+  Alcotest.(check (option bool)) "backlog exceeds the budget" (Some true)
+    o.Runner.over_budget;
+  let shed_on =
+    Runner.run_one ~config:Runner.default_config ~mode:Oracle.Svs ~scenario ~seed:1 ()
+  in
+  Alcotest.(check bool) "shedding keeps the peak strictly lower" true
+    (shed_on.Runner.peak_backlog < o.Runner.peak_backlog)
+
 let () =
   Alcotest.run "svs_chaos"
     [
@@ -406,6 +448,11 @@ let () =
           Alcotest.test_case "unmutated control" `Quick test_unmutated_is_clean;
           Alcotest.test_case "flight recorder on failure" `Slow test_flight_recorder_on_failure;
           Alcotest.test_case "mode labels" `Quick test_mode_labels;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "sheds within budget" `Slow test_overload_sheds_within_budget;
+          Alcotest.test_case "no-shed blows budget" `Slow test_overload_no_shed_blows_budget;
         ] );
       ( "recovery",
         [

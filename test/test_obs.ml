@@ -324,6 +324,181 @@ let batch_encoding_transitive =
       done;
       !ok)
 
+(* --- Shed: prefix-safe shedding of queued frames --- *)
+
+module Shed = Svs_obs.Shed
+
+(* A transport-queue frame as the walk sees it: control frames have no
+   key; [wshed] marks frames already shed by an earlier walk (retained
+   in place, chaining the cover relation). *)
+type walk_frame = { wkey : Shed.key option; wshed : bool }
+
+let wmeta f = f.wkey
+
+let wshed f = f.wshed
+
+let dframe ?(shed = false) ~sender ~sn ann =
+  { wkey = Some { Shed.id = mid sender sn; ann; view = 0 }; wshed = shed }
+
+let ctrl = { wkey = None; wshed = false }
+
+let fresh_key ~sender ~sn ann = { Shed.id = mid sender sn; ann; view = 0 }
+
+(* The crash counterexample from the module doc: FIFO queue [m; x],
+   fresh m' covers m but not x. Shedding m would let a receiver that
+   gets x (then the sender dies) advance past m with no cover — the
+   walk must stop at x and shed nothing. *)
+let test_shed_stops_at_uncovered () =
+  let m = dframe ~sender:0 ~sn:0 (Annotation.Tag 7) in
+  let x = dframe ~sender:0 ~sn:1 (Annotation.Tag 9) in
+  let fresh = fresh_key ~sender:0 ~sn:2 (Annotation.Tag 7) in
+  (* newest-first: [x; m] *)
+  Alcotest.(check int) "uncovered live frame blocks the walk" 0
+    (List.length (Shed.walk ~meta:wmeta ~shed:wshed ~fresh [ x; m ]));
+  (* Control frames carry no obligations: same shape, but x is a
+     control frame — now m is sheddable. *)
+  let victims = Shed.walk ~meta:wmeta ~shed:wshed ~fresh [ ctrl; m ] in
+  Alcotest.(check bool) "control frame is transparent" true
+    (match victims with [ v ] -> v == m | _ -> false)
+
+let test_shed_contiguous_chain () =
+  (* A whole Tag chain pending behind a paused link: every frame is
+     covered by the next, so all of it sheds at once. *)
+  let chain = List.init 5 (fun i -> dframe ~sender:0 ~sn:i (Annotation.Tag 3)) in
+  let fresh = fresh_key ~sender:0 ~sn:5 (Annotation.Tag 3) in
+  let victims = Shed.walk ~meta:wmeta ~shed:wshed ~fresh (List.rev chain) in
+  Alcotest.(check int) "whole chain shed" 5 (List.length victims);
+  (* A foreign-sender frame in the middle splits it: only the newer
+     run sheds (Tag covers only same-sender messages). *)
+  let alien = dframe ~sender:1 ~sn:100 (Annotation.Tag 3) in
+  let q = List.rev chain @ [ alien ] @ List.rev chain in
+  Alcotest.(check int) "walk stops at the alien frame" 5
+    (List.length (Shed.walk ~meta:wmeta ~shed:wshed ~fresh q))
+
+let test_shed_transitive_through_shed () =
+  (* Enum annotations make the transitivity explicit: fresh covers
+     only m2, m2 covers only m1. m2 was already shed by an earlier
+     walk — its annotation still chains, so m1 is sheddable. *)
+  let m1 = dframe ~sender:0 ~sn:0 (Annotation.Enum [ mid 9 9 ]) in
+  let m2 = dframe ~shed:true ~sender:0 ~sn:1 (Annotation.Enum [ mid 0 0 ]) in
+  let fresh = fresh_key ~sender:0 ~sn:2 (Annotation.Enum [ mid 0 1 ]) in
+  let victims = Shed.walk ~meta:wmeta ~shed:wshed ~fresh [ m2; m1 ] in
+  Alcotest.(check bool) "cover chains through the shed frame" true
+    (match victims with [ v ] -> v == m1 | _ -> false);
+  (* With m2 live and a fresh frame covering nothing, the walk stops
+     at m2 immediately: nothing sheds, even though m2 covers m1 —
+     shedding m1 alone would be pointless (m2 still carries it) and
+     the suffix rule only sheds behind an established cover. *)
+  let m2_live = dframe ~sender:0 ~sn:1 (Annotation.Enum [ mid 0 0 ]) in
+  let aloof = fresh_key ~sender:0 ~sn:2 (Annotation.Enum [ mid 9 9 ]) in
+  Alcotest.(check int) "no cover, no shedding" 0
+    (List.length (Shed.walk ~meta:wmeta ~shed:wshed ~fresh:aloof [ m2_live; m1 ]))
+
+let test_shed_view_fence () =
+  (* Covers never cross a view boundary: the PRED exchange settles
+     older views, so a fresh frame of view 1 must not shed view-0
+     frames however related the annotations look. *)
+  let m = dframe ~sender:0 ~sn:0 (Annotation.Tag 3) in
+  let fresh = { Shed.id = mid 0 1; ann = Annotation.Tag 3; view = 1 } in
+  Alcotest.(check int) "other view retained" 0
+    (List.length (Shed.walk ~meta:wmeta ~shed:wshed ~fresh [ m ]))
+
+(* Reference implementation of the suffix rule: the uncapped walk,
+   written independently of the module. With queues far below
+   [max_walk]/[max_cover] the caps never bind, so the real walk must
+   agree exactly. *)
+let reference_walk ~fresh frames =
+  let covered cover (k : Shed.key) =
+    List.exists
+      (fun (c : Shed.key) ->
+        c.Shed.view = k.Shed.view
+        && Annotation.obsoletes ~older:(k.Shed.id, k.Shed.ann)
+             ~newer:(c.Shed.id, c.Shed.ann))
+      cover
+  in
+  let rec go cover victims = function
+    | [] -> List.rev victims
+    | f :: rest -> (
+        match f.wkey with
+        | None -> go cover victims rest
+        | Some k ->
+            if f.wshed then go (k :: cover) victims rest
+            else if covered cover k then go (k :: cover) (f :: victims) rest
+            else List.rev victims)
+  in
+  go [ fresh ] [] frames
+
+(* Random transport queues: two senders, Tag/Unrelated annotations,
+   interleaved control frames, some frames pre-shed by earlier walks.
+   Checks the walk against the reference, and — independently of
+   both — the safety property the suffix rule exists for: a victim is
+   always obsoleted by the fresh frame or by a newer frame that is
+   itself shed (present in the multicast log), never silently lost. *)
+let shed_walk_sound =
+  QCheck.Test.make ~name:"shed walk matches uncapped reference and never strands a frame"
+    ~count:1000
+    (QCheck.make
+       ~print:(fun (kinds, s, tag) ->
+         Printf.sprintf "%d frames, fresh sender %d tag %d" (List.length kinds) s tag)
+       QCheck.Gen.(
+         triple
+           (list_size (int_range 0 12) (pair (int_range 0 4) bool))
+           (int_range 0 1) (int_range 1 2)))
+    (fun (kinds, fsender, ftag) ->
+      (* FIFO order, oldest first; sn = position keeps ids unique and
+         monotone per sender. *)
+      let frames_fifo =
+        List.mapi
+          (fun i (kind, pre_shed) ->
+            match kind with
+            | 0 -> ctrl
+            | 1 -> dframe ~shed:pre_shed ~sender:0 ~sn:i (Annotation.Tag 1)
+            | 2 -> dframe ~shed:pre_shed ~sender:0 ~sn:i (Annotation.Tag 2)
+            | 3 -> dframe ~shed:pre_shed ~sender:1 ~sn:i (Annotation.Tag 1)
+            | _ -> dframe ~shed:pre_shed ~sender:(i mod 2) ~sn:i Annotation.Unrelated)
+          kinds
+      in
+      let newest_first = List.rev frames_fifo in
+      let fresh =
+        fresh_key ~sender:fsender ~sn:(List.length kinds) (Annotation.Tag ftag)
+      in
+      let victims = Shed.walk ~meta:wmeta ~shed:wshed ~fresh newest_first in
+      let expected = reference_walk ~fresh newest_first in
+      let same_set a b =
+        List.length a = List.length b && List.for_all (fun f -> List.memq f b) a
+      in
+      let live_data f = f.wkey <> None && not f.wshed in
+      (* For a victim, the frames NEWER than it (between it and the
+         queue tail) that a receiver's cover search can still rely
+         on: the fresh frame, frames shed by earlier walks, and this
+         walk's other victims — all present in the multicast log. *)
+      let newer_keys v =
+        let rec take acc = function
+          | [] -> acc
+          | f :: rest ->
+              if f == v then acc
+              else
+                let acc =
+                  match f.wkey with
+                  | Some k when f.wshed || List.memq f victims -> k :: acc
+                  | _ -> acc
+                in
+                take acc rest
+        in
+        take [ fresh ] newest_first
+      in
+      let never_stranded =
+        List.for_all
+          (fun v ->
+            match v.wkey with
+            | None -> false
+            | Some k -> Shed.covered_by ~cover:(newer_keys v) k)
+          victims
+      in
+      same_set victims expected
+      && List.for_all live_data victims
+      && never_stranded)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "svs_obs"
@@ -368,5 +543,14 @@ let () =
           Alcotest.test_case "separate commit" `Quick test_batch_separate_commit;
           Alcotest.test_case "input validation" `Quick test_batch_rejects_bad_input;
           q batch_encoding_transitive;
+        ] );
+      ( "shed",
+        [
+          Alcotest.test_case "stops at uncovered frame" `Quick test_shed_stops_at_uncovered;
+          Alcotest.test_case "contiguous chain" `Quick test_shed_contiguous_chain;
+          Alcotest.test_case "transitive through shed" `Quick
+            test_shed_transitive_through_shed;
+          Alcotest.test_case "view fence" `Quick test_shed_view_fence;
+          q shed_walk_sound;
         ] );
     ]

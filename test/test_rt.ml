@@ -357,6 +357,119 @@ let torn_batch_property =
       done;
       (not !bad) && List.rev !out = inner && Tcp_mesh.Assembler.buffered asm = 0)
 
+(* --- Iobuf: burst shrink --- *)
+
+module Iobuf = Svs_rt.Iobuf
+
+let test_iobuf_shrink () =
+  let buf = Iobuf.create ~capacity:64 ~shrink:1024 () in
+  let initial = Iobuf.capacity buf in
+  (* A burst well past the shrink threshold grows the backing. *)
+  Iobuf.add_string buf (String.make 4096 'a');
+  Alcotest.(check bool) "backing grew past shrink" true (Iobuf.capacity buf > 1024);
+  (* Draining the burst releases the oversized backing. *)
+  Iobuf.consume buf (Iobuf.length buf);
+  Alcotest.(check int) "empty after drain" 0 (Iobuf.length buf);
+  Alcotest.(check int) "backing released to initial size" initial (Iobuf.capacity buf);
+  (* Steady-state traffic below the threshold keeps its backing. *)
+  Iobuf.add_string buf (String.make 512 'b');
+  let steady = Iobuf.capacity buf in
+  Iobuf.consume buf (Iobuf.length buf);
+  Alcotest.(check int) "small backing survives drain" steady (Iobuf.capacity buf);
+  (* Partial drains never shrink: live bytes stay addressable. *)
+  Iobuf.add_string buf (String.make 4096 'c');
+  Iobuf.consume buf 4000;
+  Alcotest.(check bool) "partial drain keeps backing" true (Iobuf.capacity buf > 1024);
+  Alcotest.(check int) "tail intact" 96 (Iobuf.length buf)
+
+(* --- Tcp_mesh: backpressure + semantic shedding --- *)
+
+module Shed = Svs_obs.Shed
+module Msg_id = Svs_obs.Msg_id
+
+(* Deterministic shed scenario: queue a chain of mutually-obsoleting
+   frames faster than the link can drain them (here: before the loop
+   runs at all, so nothing drains). The first frame fills the open
+   batch past the soft watermark; every later frame lands in the
+   overflow stage where the newest Tag covers all its predecessors,
+   so only the head of the committed batch and the newest queued
+   frame should ever reach the wire. *)
+let test_mesh_shed_obsolete_frames () =
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got = ref [] in
+  let bp =
+    { Tcp_mesh.default_backpressure with soft = 4096; hard = 1 lsl 20; resume = 1024 }
+  in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers
+      ~on_frame:(fun ~src:_ _ -> ())
+      ~backpressure:bp ()
+  in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
+      ~on_frame:(fun ~src:_ frame -> got := str frame :: !got)
+      ()
+  in
+  let n = 30 in
+  let payload i = Printf.sprintf "%06d|" i ^ String.make 8185 'x' in
+  let sn_of s = int_of_string (String.sub s 0 6) in
+  for i = 0 to n - 1 do
+    let meta =
+      { Shed.id = Msg_id.make ~sender:0 ~sn:i; ann = Annotation.Tag 7; view = 0 }
+    in
+    Tcp_mesh.send mesh0 ~dst:1 ~meta (payload i)
+  done;
+  let shed = Tcp_mesh.shed_frames mesh0 in
+  Alcotest.(check bool) "most of the chain was shed" true (shed >= n - 4);
+  (* Now let the loop connect and drain what survived. *)
+  Loop.run
+    ~until:(fun () -> List.exists (fun s -> sn_of s = n - 1) !got)
+    ~timeout:5.0 loop;
+  let sns = List.rev_map sn_of !got in
+  Alcotest.(check bool) "newest frame delivered" true (List.mem (n - 1) sns);
+  Alcotest.(check int) "survivors + shed = sent" n (List.length sns + shed);
+  (* FIFO survives shedding: the survivors arrive in send order. *)
+  Alcotest.(check (list int)) "survivors in order" (List.sort compare sns) sns;
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
+(* Without shedding the same chain must be retained bit-for-bit. *)
+let test_mesh_no_shed_keeps_chain () =
+  let loop = Loop.create () in
+  let fd0, addr0 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let fd1, addr1 = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+  let peers = [ (0, addr0); (1, addr1) ] in
+  let got = ref 0 in
+  let bp =
+    { Tcp_mesh.default_backpressure with soft = 4096; hard = 1 lsl 20; resume = 1024;
+      shed = false }
+  in
+  let mesh0 =
+    Tcp_mesh.create loop ~me:0 ~listen_fd:fd0 ~peers
+      ~on_frame:(fun ~src:_ _ -> ())
+      ~backpressure:bp ()
+  in
+  let mesh1 =
+    Tcp_mesh.create loop ~me:1 ~listen_fd:fd1 ~peers
+      ~on_frame:(fun ~src:_ _ -> incr got)
+      ()
+  in
+  let n = 30 in
+  for i = 0 to n - 1 do
+    let meta =
+      { Shed.id = Msg_id.make ~sender:0 ~sn:i; ann = Annotation.Tag 7; view = 0 }
+    in
+    Tcp_mesh.send mesh0 ~dst:1 ~meta (Printf.sprintf "%06d|" i ^ String.make 8185 'x')
+  done;
+  Alcotest.(check int) "nothing shed" 0 (Tcp_mesh.shed_frames mesh0);
+  Loop.run ~until:(fun () -> !got >= n) ~timeout:5.0 loop;
+  Alcotest.(check int) "every frame delivered" n !got;
+  Tcp_mesh.close mesh0;
+  Tcp_mesh.close mesh1
+
 (* --- Wal: durable node state --- *)
 
 module Wal = Svs_rt.Wal
@@ -897,6 +1010,92 @@ let test_node_restart_rejoins () =
   Node.shutdown nodes.(0);
   Node.shutdown nodes.(1)
 
+(* Slow-member escalation: a member that stops reading while
+   unsheddable (Unrelated) traffic floods in pins the publisher's link
+   over the hard watermark. The staged policy first reports the
+   laggard, then force-suspects it, and the healthy majority evicts it
+   through the ordinary view-change path. The detector timeouts are
+   set far beyond the test horizon so the only route to the view
+   change is the escalation itself (the paused victim would otherwise
+   suspect everyone first — it stops reading heartbeats too). *)
+let test_node_slow_member_escalation () =
+  let loop = Loop.create () in
+  let listeners =
+    List.init 3 (fun i ->
+        let fd, addr = Tcp_mesh.listener (Unix.ADDR_INET (loopback, 0)) in
+        (i, fd, addr))
+  in
+  let peers = List.map (fun (i, _, addr) -> (i, addr)) listeners in
+  let config =
+    {
+      node_config with
+      Node.heartbeat =
+        {
+          Svs_detector.Heartbeat.period = 0.05;
+          initial_timeout = 60.0;
+          timeout_increment = 1.0;
+          max_timeout = 120.0;
+        };
+      backpressure =
+        {
+          Tcp_mesh.default_backpressure with
+          soft = 16 * 1024;
+          hard = 64 * 1024;
+          resume = 8 * 1024;
+        };
+      slow_member = { Node.report_after = 0.25; evict_after = Some 1.0 };
+      (* The eviction's PRED exchange echoes the whole jammed backlog
+         (stability is pinned by the victim), so the healthy members
+         swap multi-megabyte flush frames here. *)
+      max_frame = 64 * 1024 * 1024;
+    }
+  in
+  let nodes =
+    List.map
+      (fun (i, fd, _) ->
+        Node.create loop ~me:i ~listen_fd:fd ~peers
+          ~payload_codec:Wire_codec.string_codec ~config ())
+      listeners
+    |> Array.of_list
+  in
+  (* Healthy members consume; the victim (2) will stop reading. *)
+  Array.iteri
+    (fun i node ->
+      if i < 2 then
+        ignore
+          (Loop.every loop ~period:0.005 (fun () ->
+               ignore (Node.deliver_all node);
+               true)
+            : Loop.timer))
+    nodes;
+  (* Sized so the flood jams the victim's link far past [hard] even
+     after the kernel's socket buffers absorb their share. *)
+  let sent = ref 0 in
+  let payload = String.make 32_768 'p' in
+  ignore
+    (Loop.after loop ~delay:0.3 (fun () ->
+         Node.pause_reads nodes.(2);
+         ignore
+           (Loop.every loop ~period:0.002 (fun () ->
+                (* Unchecked flood: Unrelated payloads are never
+                   sheddable, so the victim's link can only grow. *)
+                for _ = 1 to 4 do
+                  ignore (Node.multicast nodes.(0) payload)
+                done;
+                sent := !sent + 4;
+                !sent < 400)
+             : Loop.timer)));
+  let evicted () =
+    (not (View.mem 2 (Node.view nodes.(0)))) && not (View.mem 2 (Node.view nodes.(1)))
+  in
+  Loop.run ~until:evicted ~timeout:30.0 loop;
+  Alcotest.(check bool) "victim evicted" true (evicted ());
+  Alcotest.(check (list int)) "survivors" [ 0; 1 ]
+    (Node.view nodes.(0)).View.members;
+  Alcotest.(check bool) "laggard was reported first" true (Node.slow_reports nodes.(0) >= 1);
+  Alcotest.(check int) "nothing sheddable was shed" 0 (Node.shed_frames nodes.(0));
+  Array.iter Node.shutdown nodes
+
 (* --- Ordered multicast over the real mesh --- *)
 
 module Total = Svs_order.Total
@@ -1309,7 +1508,11 @@ let () =
           Alcotest.test_case "quarantine and forgiveness" `Quick
             test_mesh_quarantine_and_forgiveness;
           QCheck_alcotest.to_alcotest torn_batch_property;
+          Alcotest.test_case "shed obsolete queued frames" `Quick
+            test_mesh_shed_obsolete_frames;
+          Alcotest.test_case "no-shed keeps whole chain" `Quick test_mesh_no_shed_keeps_chain;
         ] );
+      ("iobuf", [ Alcotest.test_case "burst shrink" `Quick test_iobuf_shrink ]);
       ( "wal",
         [
           Alcotest.test_case "round trip" `Quick test_wal_round_trip;
@@ -1334,5 +1537,6 @@ let () =
           Alcotest.test_case "restart rejoins from WAL" `Slow test_node_restart_rejoins;
           Alcotest.test_case "total order over TCP" `Slow test_total_order_over_tcp;
           Alcotest.test_case "divergence self-heals" `Slow test_node_divergence_self_heals;
+          Alcotest.test_case "slow member escalation" `Slow test_node_slow_member_escalation;
         ] );
     ]
